@@ -1,0 +1,36 @@
+//! Binder ablation: left-edge interval packing vs greedy conflict-graph
+//! coloring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rchls_bind::{bind_coloring, bind_left_edge, Assignment};
+use rchls_reslib::Library;
+use rchls_sched::{asap, schedule_density};
+use rchls_workloads::{random_layered_dfg, RandomDfgConfig};
+use std::hint::black_box;
+
+fn bench_binders(c: &mut Criterion) {
+    let library = Library::table1();
+    let mut group = c.benchmark_group("binder");
+    for nodes in [20usize, 40, 80] {
+        let dfg = random_layered_dfg(&RandomDfgConfig {
+            nodes,
+            layers: 8,
+            seed: 13,
+            ..Default::default()
+        });
+        let assign = Assignment::uniform(&dfg, &library).expect("table1 covers both classes");
+        let delays = assign.delays(&dfg, &library);
+        let min = asap(&dfg, &delays).unwrap().latency();
+        let schedule = schedule_density(&dfg, &delays, min + 4).unwrap();
+        group.bench_with_input(BenchmarkId::new("left-edge", nodes), &dfg, |b, dfg| {
+            b.iter(|| black_box(bind_left_edge(dfg, &schedule, &assign, &library)))
+        });
+        group.bench_with_input(BenchmarkId::new("coloring", nodes), &dfg, |b, dfg| {
+            b.iter(|| black_box(bind_coloring(dfg, &schedule, &assign, &library)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binders);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Characterization-substrate performance: logic simulation and
+//! Monte-Carlo SEU injection throughput on the five paper components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rchls_netlist::{generators, FaultInjector, Simulator};
+use std::hint::black_box;
+
+fn bench_injection(c: &mut Criterion) {
+    let components = [
+        ("rca16", generators::ripple_carry_adder(16)),
+        ("bk16", generators::brent_kung_adder(16)),
+        ("ks16", generators::kogge_stone_adder(16)),
+        ("csm8", generators::carry_save_multiplier(8)),
+        ("lfm8", generators::leapfrog_multiplier(8)),
+    ];
+    let mut group = c.benchmark_group("seu-injection-1k");
+    group.sample_size(10);
+    for (name, nl) in &components {
+        group.bench_with_input(BenchmarkId::from_parameter(name), nl, |b, nl| {
+            b.iter(|| black_box(FaultInjector::new(1).characterize(nl, 1000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let nl = generators::kogge_stone_adder(16);
+    let mut sim = Simulator::new(&nl);
+    let inputs = generators::adder_inputs(16, 12345, 54321);
+    c.bench_function("logic-sim-ks16", |b| {
+        b.iter(|| black_box(sim.run(&nl, &inputs)))
+    });
+}
+
+criterion_group!(benches, bench_injection, bench_simulation);
+criterion_main!(benches);

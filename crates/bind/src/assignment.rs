@@ -1,0 +1,191 @@
+//! Version assignments: which library version executes each operation.
+
+use rchls_dfg::{Dfg, NodeId};
+use rchls_relmath::{serial_reliability, Reliability};
+use rchls_reslib::{Library, LibraryError, VersionId};
+use rchls_sched::Delays;
+use serde::{Deserialize, Serialize};
+
+/// A total map from DFG nodes to library versions.
+///
+/// This is the central object the reliability-centric synthesizer mutates:
+/// it starts from the most reliable version per node and selectively
+/// degrades victims until the latency and area bounds are met. The
+/// assignment determines both each node's delay (hence the schedule) and
+/// its reliability contribution (hence the design reliability).
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{Dfg, OpKind};
+/// use rchls_reslib::Library;
+/// use rchls_bind::Assignment;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Dfg::new("g");
+/// let m = g.add_node(OpKind::Mul, "m");
+/// let lib = Library::table1();
+/// let a = Assignment::uniform(&g, &lib)?;
+/// assert_eq!(lib.version(a.version(m)).name(), "mult1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    versions: Vec<VersionId>,
+}
+
+impl Assignment {
+    /// Assigns every node the *most reliable* version of its class — the
+    /// initial solution of the paper's Figure 6 algorithm (line 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::Empty`] if some node's class has no version
+    /// in the library.
+    pub fn uniform(dfg: &Dfg, library: &Library) -> Result<Assignment, LibraryError> {
+        let mut versions = Vec::with_capacity(dfg.node_count());
+        for n in dfg.node_ids() {
+            let class = dfg.node(n).class();
+            let v = library
+                .most_reliable_id(class)
+                .ok_or(LibraryError::Empty)?;
+            versions.push(v);
+        }
+        Ok(Assignment { versions })
+    }
+
+    /// Assigns every node the version produced by `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a version of a different class than the node.
+    #[must_use]
+    pub fn from_fn(dfg: &Dfg, library: &Library, mut f: impl FnMut(NodeId) -> VersionId) -> Assignment {
+        let versions = dfg
+            .node_ids()
+            .map(|n| {
+                let v = f(n);
+                assert_eq!(
+                    library.version(v).class(),
+                    dfg.node(n).class(),
+                    "version class must match node class for node {n}"
+                );
+                v
+            })
+            .collect();
+        Assignment { versions }
+    }
+
+    /// The version assigned to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn version(&self, n: NodeId) -> VersionId {
+        self.versions[n.index()]
+    }
+
+    /// Reassigns node `n` to version `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn set(&mut self, n: NodeId, v: VersionId) {
+        self.versions[n.index()] = v;
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the assignment covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The per-node delays induced by this assignment.
+    #[must_use]
+    pub fn delays(&self, dfg: &Dfg, library: &Library) -> Delays {
+        Delays::from_fn(dfg, |n| library.version(self.version(n)).delay())
+    }
+
+    /// The design reliability under this assignment: the product of every
+    /// node's version reliability (the paper's Section 5 model), before
+    /// any redundancy is applied.
+    #[must_use]
+    pub fn design_reliability(&self, library: &Library) -> Reliability {
+        serial_reliability(
+            self.versions
+                .iter()
+                .map(|&v| library.version(v).reliability()),
+        )
+    }
+
+    /// Iterates over `(node, version)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, VersionId)> + '_ {
+        self.versions
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId::new(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+    use rchls_reslib::Library;
+
+    fn setup() -> (Dfg, Library) {
+        let g = DfgBuilder::new("g")
+            .ops(&["a", "b"], OpKind::Add)
+            .op("m", OpKind::Mul)
+            .build()
+            .unwrap();
+        (g, Library::table1())
+    }
+
+    #[test]
+    fn uniform_picks_most_reliable() {
+        let (g, lib) = setup();
+        let a = Assignment::uniform(&g, &lib).unwrap();
+        for (n, v) in a.iter() {
+            assert_eq!(lib.version(v).reliability().value(), 0.999, "node {n}");
+        }
+    }
+
+    #[test]
+    fn design_reliability_is_product() {
+        let (g, lib) = setup();
+        let a = Assignment::uniform(&g, &lib).unwrap();
+        let expect = 0.999f64.powi(3);
+        assert!((a.design_reliability(&lib).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_changes_delay_and_reliability() {
+        let (g, lib) = setup();
+        let mut a = Assignment::uniform(&g, &lib).unwrap();
+        let n = g.node_by_label("a").unwrap();
+        let adder2 = lib.version_by_name("adder2").unwrap();
+        a.set(n, adder2);
+        assert_eq!(a.version(n), adder2);
+        let d = a.delays(&g, &lib);
+        assert_eq!(d.get(n), 1); // adder2 is single-cycle
+        let expect = 0.999f64.powi(2) * 0.969;
+        assert!((a.design_reliability(&lib).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "version class must match")]
+    fn from_fn_rejects_cross_class() {
+        let (g, lib) = setup();
+        let mult1 = lib.version_by_name("mult1").unwrap();
+        let _ = Assignment::from_fn(&g, &lib, |_| mult1); // adders get a multiplier
+    }
+}

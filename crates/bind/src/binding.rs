@@ -1,0 +1,215 @@
+//! The binding result: operations packed onto functional-unit instances.
+
+use rchls_dfg::{Dfg, NodeId};
+use rchls_reslib::{Library, VersionId};
+use rchls_sched::{Delays, Schedule};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense handle for one functional-unit instance within a [`Binding`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InstanceId(u32);
+
+impl InstanceId {
+    /// Creates an instance id from a raw index.
+    #[must_use]
+    pub fn new(index: u32) -> InstanceId {
+        InstanceId(index)
+    }
+
+    /// The raw dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// One allocated functional unit: a concrete version plus the operations
+/// bound to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The library version this unit implements.
+    pub version: VersionId,
+    /// Operations executing on this unit, in schedule order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A complete binding: every operation mapped to an instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    instances: Vec<Instance>,
+    owner: Vec<InstanceId>,
+}
+
+impl Binding {
+    /// Builds a binding from the instance list and per-node owners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node's owner is out of range or the instance lists
+    /// disagree with the owner map.
+    #[must_use]
+    pub fn new(instances: Vec<Instance>, owner: Vec<InstanceId>) -> Binding {
+        for (i, &o) in owner.iter().enumerate() {
+            assert!(o.index() < instances.len(), "owner of node {i} out of range");
+            assert!(
+                instances[o.index()].nodes.contains(&NodeId::new(i as u32)),
+                "instance lists and owner map disagree on node {i}"
+            );
+        }
+        Binding { instances, owner }
+    }
+
+    /// All allocated instances.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Number of allocated instances.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The instance executing node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn instance_of(&self, n: NodeId) -> InstanceId {
+        self.owner[n.index()]
+    }
+
+    /// All nodes sharing an instance with `n` (including `n` itself) — the
+    /// set the Figure 6 area-reduction step must re-version together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn sharers(&self, n: NodeId) -> &[NodeId] {
+        &self.instances[self.owner[n.index()].index()].nodes
+    }
+
+    /// Total area: the sum of every allocated instance's version area.
+    #[must_use]
+    pub fn total_area(&self, library: &Library) -> u32 {
+        self.instances
+            .iter()
+            .map(|i| library.version(i.version).area())
+            .sum()
+    }
+
+    /// Verifies that no instance executes two overlapping operations and
+    /// that versions match the nodes bound to them.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a descriptive message) on any violation; this is a
+    /// test/debug facility, binders produce valid bindings by construction.
+    pub fn assert_valid(&self, dfg: &Dfg, schedule: &Schedule, delays: &Delays) {
+        for (idx, inst) in self.instances.iter().enumerate() {
+            let mut intervals: Vec<(u32, u32)> = inst
+                .nodes
+                .iter()
+                .map(|&n| (schedule.start(n), schedule.finish(n, delays)))
+                .collect();
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                assert!(
+                    w[0].1 < w[1].0,
+                    "instance u{idx} double-booked: [{}..{}] overlaps [{}..{}]",
+                    w[0].0,
+                    w[0].1,
+                    w[1].0,
+                    w[1].1
+                );
+            }
+            for &n in &inst.nodes {
+                assert_eq!(
+                    self.owner[n.index()].index(),
+                    idx,
+                    "owner map out of sync for node {n}"
+                );
+            }
+        }
+        assert_eq!(self.owner.len(), dfg.node_count(), "binding must cover all nodes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+    use rchls_reslib::Library;
+
+    #[test]
+    fn area_sums_instance_versions() {
+        let lib = Library::table1();
+        let adder1 = lib.version_by_name("adder1").unwrap();
+        let mult2 = lib.version_by_name("mult2").unwrap();
+        let b = Binding::new(
+            vec![
+                Instance {
+                    version: adder1,
+                    nodes: vec![NodeId::new(0)],
+                },
+                Instance {
+                    version: mult2,
+                    nodes: vec![NodeId::new(1)],
+                },
+            ],
+            vec![InstanceId::new(0), InstanceId::new(1)],
+        );
+        assert_eq!(b.total_area(&lib), 1 + 4);
+        assert_eq!(b.instance_count(), 2);
+        assert_eq!(b.instance_of(NodeId::new(1)), InstanceId::new(1));
+        assert_eq!(b.sharers(NodeId::new(0)), &[NodeId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn inconsistent_owner_map_panics() {
+        let lib = Library::table1();
+        let adder1 = lib.version_by_name("adder1").unwrap();
+        let _ = lib; // silence unused in panic path
+        let _ = Binding::new(
+            vec![Instance {
+                version: adder1,
+                nodes: vec![],
+            }],
+            vec![InstanceId::new(0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn overlap_detected() {
+        let g = DfgBuilder::new("g")
+            .ops(&["a", "b"], OpKind::Add)
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let adder1 = lib.version_by_name("adder1").unwrap();
+        let delays = Delays::uniform(&g, 2);
+        let sched = Schedule::new(vec![1, 2], &delays); // overlap at step 2
+        let b = Binding::new(
+            vec![Instance {
+                version: adder1,
+                nodes: vec![NodeId::new(0), NodeId::new(1)],
+            }],
+            vec![InstanceId::new(0), InstanceId::new(0)],
+        );
+        b.assert_valid(&g, &sched, &delays);
+    }
+}

@@ -1,0 +1,143 @@
+//! Conflict-graph coloring binder (ablation alternative).
+
+use crate::assignment::Assignment;
+use crate::binding::{Binding, Instance, InstanceId};
+use rchls_dfg::{Dfg, NodeId};
+use rchls_reslib::{Library, VersionId};
+use rchls_sched::Schedule;
+use std::collections::BTreeMap;
+
+/// Binds operations by greedy coloring of the interval-conflict graph,
+/// independently per version.
+///
+/// Two same-version operations conflict iff their execution intervals
+/// overlap; colors are unit instances. Nodes are colored in order of
+/// decreasing degree (a classic greedy heuristic). For interval graphs this
+/// is usually — but, unlike [`crate::bind_left_edge`], not provably —
+/// minimal, which is exactly why it is kept: it is the ablation comparator
+/// for the binder choice.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{DfgBuilder, OpKind};
+/// use rchls_reslib::Library;
+/// use rchls_sched::asap;
+/// use rchls_bind::{bind_coloring, Assignment};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("chain").ops(&["a", "b"], OpKind::Add).dep("a", "b").build()?;
+/// let lib = Library::table1();
+/// let assign = Assignment::uniform(&g, &lib)?;
+/// let s = asap(&g, &assign.delays(&g, &lib))?;
+/// let b = bind_coloring(&g, &s, &assign, &lib);
+/// assert_eq!(b.instance_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn bind_coloring(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    assignment: &Assignment,
+    library: &Library,
+) -> Binding {
+    let delays = assignment.delays(dfg, library);
+    let mut groups: BTreeMap<VersionId, Vec<NodeId>> = BTreeMap::new();
+    for n in dfg.node_ids() {
+        groups.entry(assignment.version(n)).or_default().push(n);
+    }
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut owner = vec![InstanceId::new(0); dfg.node_count()];
+    for (version, nodes) in groups {
+        let overlap = |a: NodeId, b: NodeId| {
+            schedule.start(a) <= schedule.finish(b, &delays)
+                && schedule.start(b) <= schedule.finish(a, &delays)
+        };
+        // Degree-descending greedy coloring.
+        let mut order = nodes.clone();
+        order.sort_by_key(|&n| {
+            let deg = nodes.iter().filter(|&&m| m != n && overlap(n, m)).count();
+            (std::cmp::Reverse(deg), n.index())
+        });
+        // color -> (global instance index)
+        let mut color_instance: Vec<usize> = Vec::new();
+        let mut color_of: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for &n in &order {
+            let mut used: Vec<bool> = vec![false; color_instance.len()];
+            for (&m, &c) in &color_of {
+                if overlap(n, m) {
+                    used[c] = true;
+                }
+            }
+            let color = used.iter().position(|&u| !u).unwrap_or_else(|| {
+                let idx = instances.len();
+                instances.push(Instance {
+                    version,
+                    nodes: Vec::new(),
+                });
+                color_instance.push(idx);
+                color_instance.len() - 1
+            });
+            color_of.insert(n, color);
+            let inst_idx = color_instance[color];
+            instances[inst_idx].nodes.push(n);
+            owner[n.index()] = InstanceId::new(inst_idx as u32);
+        }
+        // Keep instance node lists in schedule order for readability.
+        for &idx in &color_instance {
+            instances[idx]
+                .nodes
+                .sort_by_key(|&n| (schedule.start(n), n.index()));
+        }
+    }
+    Binding::new(instances, owner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::left_edge::bind_left_edge;
+    use rchls_dfg::{DfgBuilder, OpKind};
+    use rchls_sched::{schedule_density, Schedule};
+
+    #[test]
+    fn coloring_matches_left_edge_on_small_cases() {
+        let g = DfgBuilder::new("fig4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let adder2 = lib.version_by_name("adder2").unwrap();
+        let assign = Assignment::from_fn(&g, &lib, |_| adder2);
+        let delays = assign.delays(&g, &lib);
+        for latency in 4..=7 {
+            let s = schedule_density(&g, &delays, latency).unwrap();
+            let le = bind_left_edge(&g, &s, &assign, &lib);
+            let gc = bind_coloring(&g, &s, &assign, &lib);
+            gc.assert_valid(&g, &s, &delays);
+            assert_eq!(le.instance_count(), gc.instance_count(), "latency {latency}");
+        }
+    }
+
+    #[test]
+    fn coloring_never_double_books() {
+        let g = DfgBuilder::new("par")
+            .ops(&["a", "b", "c", "d"], OpKind::Mul)
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let assign = Assignment::uniform(&g, &lib).unwrap(); // mult1, 2cc
+        let delays = assign.delays(&g, &lib);
+        let s = Schedule::new(vec![1, 1, 2, 3], &delays);
+        let b = bind_coloring(&g, &s, &assign, &lib);
+        b.assert_valid(&g, &s, &delays);
+        assert!(b.instance_count() >= 3); // steps 1-2, 1-2, 2-3 mutually overlap
+    }
+}

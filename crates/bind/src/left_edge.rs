@@ -1,0 +1,200 @@
+//! Left-edge interval packing.
+
+use crate::assignment::Assignment;
+use crate::binding::{Binding, Instance, InstanceId};
+use rchls_dfg::Dfg;
+use rchls_reslib::{Library, VersionId};
+use rchls_sched::Schedule;
+use std::collections::BTreeMap;
+
+/// Binds operations to functional-unit instances with the left-edge
+/// algorithm, independently per version.
+///
+/// Operations assigned the same version are sorted by start step and packed
+/// greedily onto the first instance whose previous operation has finished —
+/// optimal (minimum instance count) for interval conflicts. Operations with
+/// different versions never share, since a unit *is* one concrete version.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{DfgBuilder, OpKind};
+/// use rchls_reslib::Library;
+/// use rchls_sched::{asap, Delays};
+/// use rchls_bind::{bind_left_edge, Assignment};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("chain")
+///     .ops(&["a", "b"], OpKind::Add)
+///     .dep("a", "b")
+///     .build()?;
+/// let lib = Library::table1();
+/// let assign = Assignment::uniform(&g, &lib)?;
+/// let delays = assign.delays(&g, &lib);
+/// let s = asap(&g, &delays)?;
+/// let b = bind_left_edge(&g, &s, &assign, &lib);
+/// // Sequential ops share one adder.
+/// assert_eq!(b.instance_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn bind_left_edge(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    assignment: &Assignment,
+    library: &Library,
+) -> Binding {
+    let delays = assignment.delays(dfg, library);
+    // Group nodes by version, keeping version order deterministic.
+    let mut groups: BTreeMap<VersionId, Vec<rchls_dfg::NodeId>> = BTreeMap::new();
+    for n in dfg.node_ids() {
+        groups.entry(assignment.version(n)).or_default().push(n);
+    }
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut owner = vec![InstanceId::new(0); dfg.node_count()];
+    for (version, mut nodes) in groups {
+        nodes.sort_by_key(|&n| (schedule.start(n), n.index()));
+        // Instances of this version: (free_at_step, global instance index).
+        let mut lanes: Vec<(u32, usize)> = Vec::new();
+        for n in nodes {
+            let start = schedule.start(n);
+            let finish = schedule.finish(n, &delays);
+            // First lane free before `start` (left-edge rule).
+            match lanes.iter_mut().find(|(free, _)| *free < start) {
+                Some((free, idx)) => {
+                    *free = finish;
+                    instances[*idx].nodes.push(n);
+                    owner[n.index()] = InstanceId::new(*idx as u32);
+                }
+                None => {
+                    let idx = instances.len();
+                    instances.push(Instance {
+                        version,
+                        nodes: vec![n],
+                    });
+                    lanes.push((finish, idx));
+                    owner[n.index()] = InstanceId::new(idx as u32);
+                }
+            }
+        }
+    }
+    Binding::new(instances, owner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+    use rchls_sched::{schedule_density, Delays, Schedule};
+
+    fn lib() -> Library {
+        Library::table1()
+    }
+
+    #[test]
+    fn independent_same_step_ops_get_separate_units() {
+        let g = DfgBuilder::new("par")
+            .ops(&["a", "b"], OpKind::Add)
+            .build()
+            .unwrap();
+        let l = lib();
+        let assign = Assignment::uniform(&g, &l).unwrap();
+        let delays = assign.delays(&g, &l);
+        let s = Schedule::new(vec![1, 1], &delays);
+        let b = bind_left_edge(&g, &s, &assign, &l);
+        assert_eq!(b.instance_count(), 2);
+        b.assert_valid(&g, &s, &delays);
+    }
+
+    #[test]
+    fn staggered_ops_share() {
+        let g = DfgBuilder::new("stag")
+            .ops(&["a", "b", "c"], OpKind::Add)
+            .build()
+            .unwrap();
+        let l = lib();
+        let assign = Assignment::uniform(&g, &l).unwrap(); // adder1, 2cc
+        let delays = assign.delays(&g, &l);
+        let s = Schedule::new(vec![1, 3, 5], &delays);
+        let b = bind_left_edge(&g, &s, &assign, &l);
+        assert_eq!(b.instance_count(), 1);
+        assert_eq!(b.total_area(&l), 1);
+        b.assert_valid(&g, &s, &delays);
+    }
+
+    #[test]
+    fn different_versions_never_share() {
+        let g = DfgBuilder::new("mixed")
+            .ops(&["a", "b"], OpKind::Add)
+            .build()
+            .unwrap();
+        let l = lib();
+        let adder1 = l.version_by_name("adder1").unwrap();
+        let adder2 = l.version_by_name("adder2").unwrap();
+        let ids = [g.node_by_label("a").unwrap(), g.node_by_label("b").unwrap()];
+        let assign = Assignment::from_fn(&g, &l, |n| if n == ids[0] { adder1 } else { adder2 });
+        let delays = assign.delays(&g, &l);
+        // a occupies steps 1-2 (adder1), b occupies step 3 (adder2): no
+        // interval overlap, but versions differ so they cannot share.
+        let s = Schedule::new(vec![1, 3], &delays);
+        let b = bind_left_edge(&g, &s, &assign, &l);
+        assert_eq!(b.instance_count(), 2);
+        assert_eq!(b.total_area(&l), 1 + 2);
+    }
+
+    #[test]
+    fn left_edge_matches_peak_usage_for_single_version() {
+        // With one version per class, the instance count per class equals
+        // the schedule's peak concurrent usage (left-edge optimality).
+        let g = DfgBuilder::new("fig4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap();
+        let l = lib();
+        let adder2 = l.version_by_name("adder2").unwrap();
+        let assign = Assignment::from_fn(&g, &l, |_| adder2);
+        let delays = assign.delays(&g, &l);
+        let s = schedule_density(&g, &delays, 5).unwrap();
+        let b = bind_left_edge(&g, &s, &assign, &l);
+        let peak = s.peak_usage(&g, &delays, rchls_dfg::OpClass::Adder);
+        assert_eq!(b.instance_count() as u32, peak);
+        b.assert_valid(&g, &s, &delays);
+    }
+
+    #[test]
+    fn multicycle_blocking_forces_second_unit() {
+        let g = DfgBuilder::new("m")
+            .ops(&["a", "b"], OpKind::Add)
+            .build()
+            .unwrap();
+        let l = lib();
+        let assign = Assignment::uniform(&g, &l).unwrap(); // 2-cycle adder1
+        let delays = assign.delays(&g, &l);
+        // b starts at step 2 while a still occupies the unit (steps 1-2).
+        let s = Schedule::new(vec![1, 2], &delays);
+        let b = bind_left_edge(&g, &s, &assign, &l);
+        assert_eq!(b.instance_count(), 2);
+        b.assert_valid(&g, &s, &delays);
+    }
+
+    #[test]
+    fn empty_graph_binds_trivially() {
+        let g = Dfg::new("e");
+        let l = lib();
+        let assign = Assignment::uniform(&g, &l).unwrap();
+        let delays = Delays::from_fn(&g, |_| unreachable!());
+        let s = Schedule::new(vec![], &delays);
+        let b = bind_left_edge(&g, &s, &assign, &l);
+        assert_eq!(b.instance_count(), 0);
+        assert_eq!(b.total_area(&l), 0);
+    }
+
+    use rchls_dfg::Dfg;
+}

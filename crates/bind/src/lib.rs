@@ -1,0 +1,55 @@
+//! Resource allocation and binding for reliability-centric HLS.
+//!
+//! Given a schedule and a *version assignment* (which library version each
+//! operation runs on), binding packs compatible operations onto shared
+//! functional-unit instances and accounts the total area. Two operations
+//! can share an instance iff they are assigned the same version and their
+//! execution intervals do not overlap.
+//!
+//! Two binders are provided:
+//!
+//! * [`bind_left_edge`] — the classic left-edge interval packing (optimal
+//!   instance count per version for interval conflicts);
+//! * [`bind_coloring`] — greedy conflict-graph coloring, kept as an
+//!   ablation alternative.
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_dfg::{DfgBuilder, OpKind};
+//! use rchls_reslib::Library;
+//! use rchls_sched::{schedule_density, Delays};
+//! use rchls_bind::{bind_left_edge, Assignment};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = DfgBuilder::new("two-adds").ops(&["a", "b"], OpKind::Add).build()?;
+//! let lib = Library::table1();
+//! let adder1 = lib.version_by_name("adder1").unwrap();
+//! let assign = Assignment::uniform(&g, &lib)?;
+//! let delays = assign.delays(&g, &lib);
+//! let s = schedule_density(&g, &delays, 4)?;
+//! let binding = bind_left_edge(&g, &s, &assign, &lib);
+//! // Staggered 2-cycle adds share one ripple-carry adder: area 1.
+//! assert_eq!(binding.total_area(&lib), 1);
+//! assert_eq!(binding.instance_count(), 1);
+//! # assert_eq!(assign.version(g.node_by_label("a").unwrap()), adder1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod binding;
+mod coloring;
+mod left_edge;
+mod pipelined;
+mod registers;
+
+pub use assignment::Assignment;
+pub use binding::{Binding, Instance, InstanceId};
+pub use coloring::bind_coloring;
+pub use left_edge::bind_left_edge;
+pub use pipelined::bind_left_edge_pipelined;
+pub use registers::{bind_registers, value_lifetimes, Lifetime, RegisterBinding};

@@ -1,0 +1,244 @@
+//! Register allocation: pack value lifetimes onto storage registers.
+//!
+//! Every operation's result must be held in a register from the cycle it
+//! is produced until its last consumer has read it. Two values can share
+//! a register iff their live ranges do not overlap; left-edge packing over
+//! the lifetimes yields the minimum register count for a given schedule —
+//! the classic HLS storage-allocation step that complements functional-
+//! unit binding.
+
+use rchls_dfg::{Dfg, NodeId};
+use rchls_sched::{Delays, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// A value's live range: available at the end of `defined` (the producing
+/// op's finish step), needed through `last_use` (the latest consumer's
+/// start step; for primary outputs, the schedule's last step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lifetime {
+    /// The producing operation.
+    pub producer: NodeId,
+    /// Step in which the value becomes available.
+    pub defined: u32,
+    /// Last step in which the value is read.
+    pub last_use: u32,
+}
+
+impl Lifetime {
+    /// Whether two live ranges overlap (and thus conflict for a register).
+    ///
+    /// A value defined in the cycle another dies may reuse its register:
+    /// the defining write happens at the end of the cycle, the final read
+    /// at its start.
+    #[must_use]
+    pub fn conflicts_with(&self, other: &Lifetime) -> bool {
+        self.defined < other.last_use && other.defined < self.last_use
+    }
+}
+
+/// The result of register allocation: values grouped per register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterBinding {
+    registers: Vec<Vec<NodeId>>,
+    lifetimes: Vec<Lifetime>,
+}
+
+impl RegisterBinding {
+    /// Number of registers allocated.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// The producers whose values share register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn values_in(&self, r: usize) -> &[NodeId] {
+        &self.registers[r]
+    }
+
+    /// All value lifetimes, indexed by producing node.
+    #[must_use]
+    pub fn lifetimes(&self) -> &[Lifetime] {
+        &self.lifetimes
+    }
+
+    /// Panics if any register holds two overlapping lifetimes (test/debug
+    /// facility; allocation is correct by construction).
+    pub fn assert_valid(&self) {
+        for (r, group) in self.registers.iter().enumerate() {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    let (la, lb) = (
+                        self.lifetimes[a.index()],
+                        self.lifetimes[b.index()],
+                    );
+                    assert!(
+                        !la.conflicts_with(&lb),
+                        "register r{r} holds overlapping values {a} and {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Computes every value's lifetime under a schedule.
+///
+/// Values produced by sink operations are primary outputs: they must
+/// still be readable *after* the schedule's final step, so their
+/// `last_use` is `latency + 1` — two outputs never share a register even
+/// if one is produced long before the other.
+#[must_use]
+pub fn value_lifetimes(dfg: &Dfg, schedule: &Schedule, delays: &Delays) -> Vec<Lifetime> {
+    dfg.node_ids()
+        .map(|n| {
+            let defined = schedule.finish(n, delays);
+            let last_use = dfg
+                .succs(n)
+                .iter()
+                .map(|&s| schedule.start(s))
+                .max()
+                .unwrap_or(schedule.latency() + 1);
+            Lifetime {
+                producer: n,
+                defined,
+                last_use: last_use.max(defined),
+            }
+        })
+        .collect()
+}
+
+/// Left-edge register allocation over the schedule's value lifetimes.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{DfgBuilder, OpKind};
+/// use rchls_sched::{asap, Delays};
+/// use rchls_bind::bind_registers;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A chain reuses one register: each value dies as the next is born.
+/// let g = DfgBuilder::new("chain")
+///     .ops(&["a", "b", "c"], OpKind::Add)
+///     .dep("a", "b")
+///     .dep("b", "c")
+///     .build()?;
+/// let d = Delays::uniform(&g, 1);
+/// let s = asap(&g, &d)?;
+/// let regs = bind_registers(&g, &s, &d);
+/// assert_eq!(regs.register_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn bind_registers(dfg: &Dfg, schedule: &Schedule, delays: &Delays) -> RegisterBinding {
+    let lifetimes = value_lifetimes(dfg, schedule, delays);
+    let mut order: Vec<NodeId> = dfg.node_ids().collect();
+    order.sort_by_key(|&n| (lifetimes[n.index()].defined, n.index()));
+    // Each lane records the last_use of its most recent value.
+    let mut lanes: Vec<(u32, usize)> = Vec::new(); // (busy_until, register index)
+    let mut registers: Vec<Vec<NodeId>> = Vec::new();
+    for n in order {
+        let lt = lifetimes[n.index()];
+        match lanes.iter_mut().find(|(busy, _)| *busy <= lt.defined) {
+            Some((busy, r)) => {
+                *busy = lt.last_use;
+                registers[*r].push(n);
+            }
+            None => {
+                lanes.push((lt.last_use, registers.len()));
+                registers.push(vec![n]);
+            }
+        }
+    }
+    let binding = RegisterBinding {
+        registers,
+        lifetimes,
+    };
+    binding.assert_valid();
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+    use rchls_sched::asap;
+
+    #[test]
+    fn lifetime_conflict_semantics() {
+        let a = Lifetime {
+            producer: NodeId::new(0),
+            defined: 1,
+            last_use: 3,
+        };
+        let b = Lifetime {
+            producer: NodeId::new(1),
+            defined: 3,
+            last_use: 5,
+        };
+        // b is defined exactly when a dies: no conflict.
+        assert!(!a.conflicts_with(&b));
+        let c = Lifetime {
+            producer: NodeId::new(2),
+            defined: 2,
+            last_use: 4,
+        };
+        assert!(a.conflicts_with(&c));
+        assert!(c.conflicts_with(&a));
+    }
+
+    #[test]
+    fn parallel_values_need_separate_registers() {
+        let g = DfgBuilder::new("join")
+            .ops(&["a", "b", "c"], OpKind::Add)
+            .dep("a", "c")
+            .dep("b", "c")
+            .build()
+            .unwrap();
+        let d = Delays::uniform(&g, 1);
+        let s = asap(&g, &d).unwrap();
+        // a and b both live until c reads them at step 2.
+        let regs = bind_registers(&g, &s, &d);
+        assert!(regs.register_count() >= 2);
+        regs.assert_valid();
+    }
+
+    #[test]
+    fn sink_values_live_to_end_of_schedule() {
+        let g = DfgBuilder::new("two")
+            .ops(&["early", "late"], OpKind::Add)
+            .build()
+            .unwrap();
+        let d = Delays::uniform(&g, 1);
+        let s = rchls_sched::Schedule::new(vec![1, 4], &d);
+        let lts = value_lifetimes(&g, &s, &d);
+        assert_eq!(lts[0].defined, 1);
+        assert_eq!(lts[0].last_use, 5); // outputs outlive the schedule
+        let regs = bind_registers(&g, &s, &d);
+        // early's output is still live when late's is produced.
+        assert_eq!(regs.register_count(), 2);
+    }
+
+    #[test]
+    fn fir_register_count_is_reasonable() {
+        let g = rchls_dfg::parse_dfg(
+            "graph t\nop a add\nop b add\nop c mul\nop d add\na -> c\nb -> c\nc -> d\n",
+        )
+        .unwrap();
+        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let s = asap(&g, &d).unwrap();
+        let regs = bind_registers(&g, &s, &d);
+        regs.assert_valid();
+        assert!(regs.register_count() <= g.node_count());
+        assert!(regs.register_count() >= 2);
+        // Every value is assigned exactly once.
+        let total: usize = (0..regs.register_count()).map(|r| regs.values_in(r).len()).sum();
+        assert_eq!(total, g.node_count());
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use crate::error::CliError;
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    flags: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses a flat `--flag value --flag value ...` list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadFlag`] on positional arguments, repeated
+    /// flags, or a flag without a value.
+    pub fn parse(args: &[String]) -> Result<ParsedArgs, CliError> {
+        let mut flags = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::BadFlag(arg.clone()));
+            };
+            let Some(value) = iter.next() else {
+                return Err(CliError::BadFlag(format!("--{name} (missing value)")));
+            };
+            if flags.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(CliError::BadFlag(format!("--{name} given twice")));
+            }
+        }
+        Ok(ParsedArgs { flags })
+    }
+
+    /// The raw value of a flag, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::MissingFlag`] if absent.
+    pub fn required(&self, name: &'static str) -> Result<&str, CliError> {
+        self.get(name).ok_or(CliError::MissingFlag(name))
+    }
+
+    /// A required unsigned integer flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::MissingFlag`] or [`CliError::BadValue`].
+    pub fn required_u32(&self, name: &'static str) -> Result<u32, CliError> {
+        parse_u32(name, self.required(name)?)
+    }
+
+    /// An optional unsigned integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparsable.
+    pub fn u32_or(&self, name: &'static str, default: u32) -> Result<u32, CliError> {
+        match self.get(name) {
+            Some(v) => parse_u32(name, v),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional u64 flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparsable.
+    pub fn u64_or(&self, name: &'static str, default: u64) -> Result<u64, CliError> {
+        match self.get(name) {
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                flag: name.to_owned(),
+                reason: format!("{v:?} is not an unsigned integer"),
+            }),
+            None => Ok(default),
+        }
+    }
+
+    /// A required comma-separated list of unsigned integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::MissingFlag`] or [`CliError::BadValue`].
+    pub fn required_u32_list(&self, name: &'static str) -> Result<Vec<u32>, CliError> {
+        let raw = self.required(name)?;
+        raw.split(',')
+            .map(|part| parse_u32(name, part.trim()))
+            .collect()
+    }
+}
+
+fn parse_u32(name: &str, v: &str) -> Result<u32, CliError> {
+    v.parse().map_err(|_| CliError::BadValue {
+        flag: name.to_owned(),
+        reason: format!("{v:?} is not an unsigned integer"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = ParsedArgs::parse(&s(&["--latency", "5", "--dfg", "fir16"])).unwrap();
+        assert_eq!(a.required_u32("latency").unwrap(), 5);
+        assert_eq!(a.required("dfg").unwrap(), "fir16");
+        assert_eq!(a.u32_or("area", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(ParsedArgs::parse(&s(&["positional"])).is_err());
+        assert!(ParsedArgs::parse(&s(&["--flag"])).is_err());
+        assert!(ParsedArgs::parse(&s(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = ParsedArgs::parse(&s(&["--areas", "3, 4,5"])).unwrap();
+        assert_eq!(a.required_u32_list("areas").unwrap(), vec![3, 4, 5]);
+        let bad = ParsedArgs::parse(&s(&["--areas", "3,x"])).unwrap();
+        assert!(bad.required_u32_list("areas").is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The `rchls` command-line interface, as a library for testability.
+//!
+//! Subcommands:
+//!
+//! * `synth`        — synthesize one design under bounds;
+//! * `sweep`        — Table-2-style three-strategy grid comparison;
+//! * `dot`          — emit a DFG in Graphviz DOT;
+//! * `list`         — list the built-in benchmark graphs;
+//! * `characterize` — run the gate-level SEU characterization;
+//! * `validate`     — Monte-Carlo check of a design's analytic reliability;
+//! * `help`         — usage.
+//!
+//! A `--dfg` argument accepts either a built-in benchmark name
+//! (`fir16`, `ewf`, `diffeq`, `figure4a`, `ar-lattice`) or a path to a
+//! file in the textual DFG format of [`rchls_dfg::parse_dfg`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::ParsedArgs;
+pub use error::CliError;
+
+/// Executes a full CLI invocation and returns its stdout payload.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, malformed flags, missing
+/// inputs, or synthesis failures; the binary prints it to stderr.
+///
+/// # Examples
+///
+/// ```
+/// let out = rchls_cli::run(&["list".to_string()])?;
+/// assert!(out.contains("fir16"));
+/// # Ok::<(), rchls_cli::CliError>(())
+/// ```
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(commands::help());
+    };
+    let parsed = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "synth" => commands::synth(&parsed),
+        "sweep" => commands::sweep(&parsed),
+        "dot" => commands::dot(&parsed),
+        "list" => Ok(commands::list()),
+        "characterize" => commands::characterize(&parsed),
+        "validate" => commands::validate(&parsed),
+        "help" | "--help" | "-h" => Ok(commands::help()),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_help() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn list_names_all_builtins() {
+        let out = run(&s(&["list"])).unwrap();
+        for name in ["figure4a", "fir16", "ewf", "diffeq", "ar-lattice"] {
+            assert!(out.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn synth_builtin_works() {
+        let out = run(&s(&[
+            "synth", "--dfg", "diffeq", "--latency", "6", "--area", "11",
+        ]))
+        .unwrap();
+        assert!(out.contains("reliability"));
+        assert!(out.contains("Step"));
+    }
+
+    #[test]
+    fn synth_baseline_strategy() {
+        let out = run(&s(&[
+            "synth", "--dfg", "diffeq", "--latency", "5", "--area", "11", "--strategy",
+            "baseline",
+        ]))
+        .unwrap();
+        assert!(out.contains("0.70723"));
+    }
+
+    #[test]
+    fn synth_pipelined() {
+        let out = run(&s(&[
+            "synth", "--dfg", "diffeq", "--latency", "8", "--area", "14", "--ii", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("II=4"));
+    }
+
+    #[test]
+    fn synth_infeasible_is_an_error() {
+        let err = run(&s(&[
+            "synth", "--dfg", "figure4a", "--latency", "3", "--area", "99",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Synthesis(_)));
+    }
+
+    #[test]
+    fn sweep_prints_table() {
+        let out = run(&s(&[
+            "sweep", "--dfg", "figure4a", "--latencies", "5,6", "--areas", "3,4",
+        ]))
+        .unwrap();
+        assert!(out.contains("Ref[3]"));
+        assert_eq!(out.lines().count(), 5); // header + 4 grid cells
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run(&s(&["dot", "--dfg", "figure4a"])).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn dfg_from_file() {
+        let dir = std::env::temp_dir().join("rchls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.dfg");
+        std::fs::write(&path, "graph tiny\nop a add\nop b add\na -> b\n").unwrap();
+        let out = run(&s(&[
+            "synth",
+            "--dfg",
+            path.to_str().unwrap(),
+            "--latency",
+            "4",
+            "--area",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("reliability"));
+    }
+
+    #[test]
+    fn custom_library_from_file() {
+        let dir = std::env::temp_dir().join("rchls-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.txt");
+        std::fs::write(
+            &path,
+            "library demo\nversion only adder 1 1 0.95\nversion m multiplier 2 1 0.9\n",
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "6",
+            "--area",
+            "4",
+            "--library",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("only"));
+        // 6 adds at 0.95 each.
+        assert!(out.contains(&format!("{:.5}", 0.95f64.powi(6))));
+    }
+
+    #[test]
+    fn mission_time_derates_library() {
+        let short = run(&s(&[
+            "synth", "--dfg", "figure4a", "--latency", "6", "--area", "4",
+        ]))
+        .unwrap();
+        let long = run(&s(&[
+            "synth", "--dfg", "figure4a", "--latency", "6", "--area", "4", "--mission-time",
+            "10",
+        ]))
+        .unwrap();
+        assert_ne!(short, long);
+        let bad = run(&s(&[
+            "synth", "--dfg", "figure4a", "--latency", "6", "--area", "4", "--mission-time",
+            "-1",
+        ]));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn missing_flag_reports_clearly() {
+        let err = run(&s(&["synth", "--dfg", "diffeq"])).unwrap_err();
+        assert!(err.to_string().contains("latency"));
+    }
+
+    #[test]
+    fn characterize_runs() {
+        let out = run(&s(&["characterize", "--width", "4", "--trials", "200"])).unwrap();
+        assert!(out.contains("susceptibility"));
+        assert!(out.contains("rca4"));
+    }
+
+    #[test]
+    fn validate_compares_models() {
+        let out = run(&s(&[
+            "validate", "--dfg", "diffeq", "--latency", "6", "--area", "11", "--trials",
+            "2000",
+        ]))
+        .unwrap();
+        assert!(out.contains("analytic"));
+        assert!(out.contains("empirical"));
+    }
+}

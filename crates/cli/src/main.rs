@@ -1,0 +1,18 @@
+//! `rchls` — the reliability-centric HLS command-line tool.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rchls_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `rchls help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Synthesizer configuration: the design-choice knobs DESIGN.md's
+//! ablation benches exercise.
+
+use serde::{Deserialize, Serialize};
+
+/// Which time-constrained scheduler the synthesizer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's partition-density scheduler (default).
+    #[default]
+    Density,
+    /// Force-directed scheduling (ablation alternative).
+    ForceDirected,
+}
+
+/// Which binder packs operations onto unit instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BinderKind {
+    /// Left-edge interval packing (default; optimal per version).
+    #[default]
+    LeftEdge,
+    /// Greedy conflict-graph coloring (ablation alternative).
+    Coloring,
+}
+
+/// How the latency-reduction loop picks its victim node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// The paper's rule: the critical-path node with the highest delay
+    /// (line 9 of Figure 6).
+    #[default]
+    CriticalMaxDelay,
+    /// Among critical-path nodes with a faster version, pick the one whose
+    /// substitution costs the least reliability (ablation alternative).
+    MinReliabilityLoss,
+}
+
+/// Whether a reliability-improving refinement pass runs after the
+/// Figure-6 loops have met both bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Refinement {
+    /// Greedily upgrade operations back to more reliable versions while
+    /// both bounds still hold (default). This is an extension beyond the
+    /// paper's one-pass greedy: Figure 6 only ever *degrades* versions, so
+    /// it can overshoot (e.g. end with a uniformly type-2 design when a
+    /// mixed design of equal area is strictly more reliable).
+    #[default]
+    Greedy,
+    /// Strict Figure-6 behaviour: stop as soon as the bounds are met.
+    Off,
+}
+
+/// The full knob set for [`crate::Synthesizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Scheduler choice.
+    pub scheduler: SchedulerKind,
+    /// Binder choice.
+    pub binder: BinderKind,
+    /// Latency-loop victim selection policy.
+    pub victim: VictimPolicy,
+    /// Post-pass refinement policy.
+    pub refine: Refinement,
+}
+
+impl SynthConfig {
+    /// The paper's strict Figure-6 configuration (density scheduler,
+    /// left-edge binder, max-delay victim rule, no refinement pass).
+    #[must_use]
+    pub fn paper() -> SynthConfig {
+        SynthConfig {
+            refine: Refinement::Off,
+            ..SynthConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_plus_refinement() {
+        let c = SynthConfig::default();
+        assert_eq!(c.scheduler, SchedulerKind::Density);
+        assert_eq!(c.binder, BinderKind::LeftEdge);
+        assert_eq!(c.victim, VictimPolicy::CriticalMaxDelay);
+        assert_eq!(c.refine, Refinement::Greedy);
+        assert_eq!(SynthConfig::paper().refine, Refinement::Off);
+    }
+}

@@ -1,0 +1,197 @@
+//! The synthesized design: the complete output of any strategy.
+
+use rchls_bind::{Assignment, Binding};
+use rchls_dfg::Dfg;
+use rchls_relmath::{replicated, serial_reliability, Reliability};
+use rchls_reslib::Library;
+use rchls_sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// A complete synthesized design: version assignment, schedule, binding,
+/// optional per-instance redundancy, and the resulting metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Design {
+    /// Which library version each operation runs on.
+    pub assignment: Assignment,
+    /// Start step of every operation.
+    pub schedule: Schedule,
+    /// Operations packed onto functional-unit instances.
+    pub binding: Binding,
+    /// Replication count per instance (1 = no redundancy; 2 = duplex with
+    /// recovery; odd N ≥ 3 = N-modular redundancy). Redundant copies run in
+    /// lock-step, so replication costs area but no latency.
+    pub replication: Vec<u32>,
+    /// Achieved latency in clock cycles.
+    pub latency: u32,
+    /// Total area including redundant copies.
+    pub area: u32,
+    /// Overall design reliability (the paper's Section 5 product model,
+    /// with NMR applied per replicated instance).
+    pub reliability: Reliability,
+}
+
+impl Design {
+    /// Assembles a design and computes its metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` length differs from the binding's instance
+    /// count or contains zeros.
+    #[must_use]
+    pub fn assemble(
+        dfg: &Dfg,
+        library: &Library,
+        assignment: Assignment,
+        schedule: Schedule,
+        binding: Binding,
+        replication: Vec<u32>,
+    ) -> Design {
+        assert_eq!(
+            replication.len(),
+            binding.instance_count(),
+            "one replication count per instance"
+        );
+        assert!(
+            replication.iter().all(|&r| r >= 1),
+            "replication counts are at least 1"
+        );
+        let latency = schedule.latency();
+        let area = Design::area_with_replication(library, &binding, &replication);
+        let reliability = Design::reliability_with_replication(
+            dfg,
+            library,
+            &assignment,
+            &binding,
+            &replication,
+        );
+        Design {
+            assignment,
+            schedule,
+            binding,
+            replication,
+            latency,
+            area,
+            reliability,
+        }
+    }
+
+    /// Total area of a binding under per-instance replication counts.
+    #[must_use]
+    pub fn area_with_replication(library: &Library, binding: &Binding, replication: &[u32]) -> u32 {
+        binding
+            .instances()
+            .iter()
+            .zip(replication)
+            .map(|(inst, &r)| library.version(inst.version).area() * r)
+            .sum()
+    }
+
+    /// Design reliability under per-instance replication: every node
+    /// contributes its version reliability boosted by its instance's
+    /// redundancy, and the design is the serial product (Section 5).
+    #[must_use]
+    pub fn reliability_with_replication(
+        dfg: &Dfg,
+        library: &Library,
+        assignment: &Assignment,
+        binding: &Binding,
+        replication: &[u32],
+    ) -> Reliability {
+        serial_reliability(dfg.node_ids().map(|n| {
+            let base = library.version(assignment.version(n)).reliability();
+            let r = replication[binding.instance_of(n).index()];
+            replicated(base, r)
+        }))
+    }
+
+    /// Number of redundant instances (replication > 1).
+    #[must_use]
+    pub fn redundant_instance_count(&self) -> usize {
+        self.replication.iter().filter(|&&r| r > 1).count()
+    }
+
+    /// Renders a human-readable summary (schedule plus metrics).
+    #[must_use]
+    pub fn render(&self, dfg: &Dfg, library: &Library) -> String {
+        let mut out = self.schedule.render(dfg);
+        out.push_str(&format!(
+            "latency = {} cc, area = {} units, reliability = {}\n",
+            self.latency, self.area, self.reliability
+        ));
+        for (idx, inst) in self.binding.instances().iter().enumerate() {
+            let v = library.version(inst.version);
+            let labels: Vec<&str> = inst
+                .nodes
+                .iter()
+                .map(|&n| dfg.node(n).label())
+                .collect();
+            out.push_str(&format!(
+                "  u{idx}: {} x{} <- [{}]\n",
+                v.name(),
+                self.replication[idx],
+                labels.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_bind::bind_left_edge;
+    use rchls_dfg::{DfgBuilder, OpKind};
+    use rchls_sched::asap;
+
+    fn setup() -> (Dfg, Library, Assignment, Schedule, Binding) {
+        let g = DfgBuilder::new("g")
+            .ops(&["a", "b"], OpKind::Add)
+            .dep("a", "b")
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let assign = Assignment::uniform(&g, &lib).unwrap();
+        let delays = assign.delays(&g, &lib);
+        let sched = asap(&g, &delays).unwrap();
+        let binding = bind_left_edge(&g, &sched, &assign, &lib);
+        (g, lib, assign, sched, binding)
+    }
+
+    #[test]
+    fn assemble_computes_metrics() {
+        let (g, lib, assign, sched, binding) = setup();
+        let reps = vec![1; binding.instance_count()];
+        let d = Design::assemble(&g, &lib, assign, sched, binding, reps);
+        assert_eq!(d.latency, 4); // two sequential 2-cycle adder1 ops
+        assert_eq!(d.area, 1); // shared single adder1
+        assert!((d.reliability.value() - 0.999f64.powi(2)).abs() < 1e-12);
+        assert_eq!(d.redundant_instance_count(), 0);
+        let text = d.render(&g, &lib);
+        assert!(text.contains("adder1"));
+        assert!(text.contains("latency = 4"));
+    }
+
+    #[test]
+    fn replication_raises_reliability_and_area() {
+        let (g, lib, assign, sched, binding) = setup();
+        let plain = Design::assemble(
+            &g,
+            &lib,
+            assign.clone(),
+            sched.clone(),
+            binding.clone(),
+            vec![1; binding.instance_count()],
+        );
+        let tmr = Design::assemble(&g, &lib, assign, sched, binding, vec![3]);
+        assert_eq!(tmr.area, 3 * plain.area);
+        assert!(tmr.reliability.value() > plain.reliability.value());
+        assert_eq!(tmr.redundant_instance_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one replication count per instance")]
+    fn wrong_replication_length_panics() {
+        let (g, lib, assign, sched, binding) = setup();
+        let _ = Design::assemble(&g, &lib, assign, sched, binding, vec![]);
+    }
+}

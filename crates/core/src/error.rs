@@ -1,0 +1,71 @@
+//! Synthesis errors.
+
+use rchls_reslib::LibraryError;
+use rchls_sched::ScheduleError;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by a synthesis strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// No design exists within the given bounds and library (the paper's
+    /// "return no solution" outcomes in Figure 6).
+    NoSolution {
+        /// Which bound could not be met, and why.
+        reason: String,
+    },
+    /// The library is missing versions for a class the graph uses.
+    Library(LibraryError),
+    /// A scheduling step failed (cycle in the graph, internal bug).
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoSolution { reason } => {
+                write!(f, "no design meets the bounds: {reason}")
+            }
+            SynthesisError::Library(e) => write!(f, "library error: {e}"),
+            SynthesisError::Schedule(e) => write!(f, "scheduling error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Library(e) => Some(e),
+            SynthesisError::Schedule(e) => Some(e),
+            SynthesisError::NoSolution { .. } => None,
+        }
+    }
+}
+
+impl From<LibraryError> for SynthesisError {
+    fn from(e: LibraryError) -> SynthesisError {
+        SynthesisError::Library(e)
+    }
+}
+
+impl From<ScheduleError> for SynthesisError {
+    fn from(e: ScheduleError) -> SynthesisError {
+        SynthesisError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SynthesisError::NoSolution {
+            reason: "latency 5 < critical path 7".into(),
+        };
+        assert!(e.to_string().contains("critical path"));
+        assert!(Error::source(&e).is_none());
+        let s: SynthesisError = ScheduleError::NoInstances.into();
+        assert!(Error::source(&s).is_some());
+    }
+}

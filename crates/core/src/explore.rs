@@ -1,0 +1,307 @@
+//! Design-space sweep drivers behind the paper's tables and figures.
+//!
+//! All sweep functions apply *feasibility inheritance*: a design feasible
+//! under bounds `(Ld, Ad)` is feasible under any looser bounds, so each
+//! sweep point reports the best reliability over all dominated bound
+//! pairs in the sweep. This turns the greedy engine's occasional
+//! non-monotonicity (a tighter bound steering the heuristic to a better
+//! local optimum) into the monotone curves a designer actually has
+//! available — at no additional synthesis cost.
+
+use crate::baseline::synthesize_nmr_baseline;
+use crate::bounds::Bounds;
+use crate::combined::synthesize_combined;
+use crate::config::SynthConfig;
+use crate::redundancy::RedundancyModel;
+use crate::synth::Synthesizer;
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+use serde::{Deserialize, Serialize};
+
+/// One row of a Table-2-style comparison: the three strategies at one
+/// `(Ld, Ad)` point. `None` means the strategy found no feasible design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Latency bound `Ld`.
+    pub latency_bound: u32,
+    /// Area bound `Ad`.
+    pub area_bound: u32,
+    /// Reliability of the redundancy baseline (\[3\]).
+    pub baseline: Option<f64>,
+    /// Reliability of the reliability-centric approach.
+    pub ours: Option<f64>,
+    /// Reliability of the combined approach.
+    pub combined: Option<f64>,
+}
+
+impl SweepRow {
+    /// Percentage improvement of ours over the baseline (the paper's
+    /// "% Imprv" column); `None` if either side is infeasible.
+    #[must_use]
+    pub fn improvement_pct(&self) -> Option<f64> {
+        match (self.baseline, self.ours) {
+            (Some(b), Some(o)) if b > 0.0 => Some((o - b) / b * 100.0),
+            _ => None,
+        }
+    }
+
+    /// Percentage improvement of the combined approach over the baseline.
+    #[must_use]
+    pub fn combined_improvement_pct(&self) -> Option<f64> {
+        match (self.baseline, self.combined) {
+            (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b * 100.0),
+            _ => None,
+        }
+    }
+}
+
+/// Runs all three strategies over a grid of `(Ld, Ad)` bounds — the
+/// driver behind Tables 2(a)–2(c) — with feasibility inheritance across
+/// dominated grid cells (see the module docs).
+#[must_use]
+pub fn sweep(dfg: &Dfg, library: &Library, grid: &[(u32, u32)]) -> Vec<SweepRow> {
+    let config = SynthConfig::default();
+    let model = RedundancyModel::default();
+    let raw: Vec<SweepRow> = grid
+        .iter()
+        .map(|&(latency, area)| {
+            let bounds = Bounds::new(latency, area);
+            let baseline = synthesize_nmr_baseline(dfg, library, bounds, model)
+                .ok()
+                .map(|d| d.reliability.value());
+            let ours = Synthesizer::with_config(dfg, library, config)
+                .synthesize(bounds)
+                .ok()
+                .map(|d| d.reliability.value());
+            let combined = synthesize_combined(dfg, library, bounds, config, model)
+                .ok()
+                .map(|d| d.reliability.value());
+            SweepRow {
+                latency_bound: latency,
+                area_bound: area,
+                baseline,
+                ours,
+                combined,
+            }
+        })
+        .collect();
+    // Feasibility inheritance over the grid's own dominance order.
+    raw.iter()
+        .map(|row| {
+            let dominated = |other: &SweepRow| {
+                other.latency_bound <= row.latency_bound && other.area_bound <= row.area_bound
+            };
+            let best = |f: fn(&SweepRow) -> Option<f64>| {
+                raw.iter()
+                    .filter(|o| dominated(o))
+                    .filter_map(f)
+                    .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            };
+            SweepRow {
+                latency_bound: row.latency_bound,
+                area_bound: row.area_bound,
+                baseline: best(|r| r.baseline),
+                ours: best(|r| r.ours),
+                combined: best(|r| r.combined),
+            }
+        })
+        .collect()
+}
+
+/// Reliability of the reliability-centric approach as the latency bound
+/// varies at fixed area (Figure 8a), with feasibility inheritance.
+#[must_use]
+pub fn reliability_vs_latency(
+    dfg: &Dfg,
+    library: &Library,
+    area: u32,
+    latencies: &[u32],
+) -> Vec<(u32, Option<f64>)> {
+    let raw: Vec<(u32, Option<f64>)> = latencies
+        .iter()
+        .map(|&l| {
+            let r = Synthesizer::new(dfg, library)
+                .synthesize(Bounds::new(l, area))
+                .ok()
+                .map(|d| d.reliability.value());
+            (l, r)
+        })
+        .collect();
+    inherit_1d(&raw)
+}
+
+/// Reliability of the reliability-centric approach as the area bound
+/// varies at fixed latency (Figure 8b), with feasibility inheritance.
+#[must_use]
+pub fn reliability_vs_area(
+    dfg: &Dfg,
+    library: &Library,
+    latency: u32,
+    areas: &[u32],
+) -> Vec<(u32, Option<f64>)> {
+    let raw: Vec<(u32, Option<f64>)> = areas
+        .iter()
+        .map(|&a| {
+            let r = Synthesizer::new(dfg, library)
+                .synthesize(Bounds::new(latency, a))
+                .ok()
+                .map(|d| d.reliability.value());
+            (a, r)
+        })
+        .collect();
+    inherit_1d(&raw)
+}
+
+/// Feasibility inheritance along one loosening axis: each point reports
+/// the best reliability among all points with a bound no looser than its
+/// own.
+fn inherit_1d(points: &[(u32, Option<f64>)]) -> Vec<(u32, Option<f64>)> {
+    points
+        .iter()
+        .map(|&(bound, _)| {
+            let best = points
+                .iter()
+                .filter(|&&(b, _)| b <= bound)
+                .filter_map(|&(_, r)| r)
+                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+            (bound, best)
+        })
+        .collect()
+}
+
+/// Per-strategy average reliabilities over the feasible cells of a sweep
+/// (the Figure 9 bars). Returns `(baseline, ours, combined)`.
+#[must_use]
+pub fn averages(rows: &[SweepRow]) -> (f64, f64, f64) {
+    let avg = |f: fn(&SweepRow) -> Option<f64>| {
+        let vals: Vec<f64> = rows.iter().filter_map(f).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    (
+        avg(|r| r.baseline),
+        avg(|r| r.ours),
+        avg(|r| r.combined),
+    )
+}
+
+/// Formats sweep rows as an aligned text table matching the paper's
+/// Table 2 layout.
+#[must_use]
+pub fn format_table(rows: &[SweepRow]) -> String {
+    let mut out = String::from("  Ld   Ad    Ref[3]      Ours    %Imprv  Ours+Ref[3]  %Imprv\n");
+    for r in rows {
+        let cell = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.5}"),
+            None => "   -   ".into(),
+        };
+        let pct = |v: Option<f64>| match v {
+            Some(x) => format!("{x:+.2}"),
+            None => "  -  ".into(),
+        };
+        out.push_str(&format!(
+            "{:>4} {:>4}  {:>8}  {:>8}  {:>8}  {:>10}  {:>7}\n",
+            r.latency_bound,
+            r.area_bound,
+            cell(r.baseline),
+            cell(r.ours),
+            pct(r.improvement_pct()),
+            cell(r.combined),
+            pct(r.combined_improvement_pct()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    fn figure4a() -> Dfg {
+        DfgBuilder::new("figure4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_row_per_grid_point() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let grid = [(5u32, 4u32), (6, 4), (6, 6), (3, 1)];
+        let rows = sweep(&g, &lib, &grid);
+        assert_eq!(rows.len(), 4);
+        // The infeasible point yields all-None.
+        let last = &rows[3];
+        assert!(last.baseline.is_none() && last.ours.is_none() && last.combined.is_none());
+        assert!(last.improvement_pct().is_none());
+    }
+
+    #[test]
+    fn combined_column_dominates_ours_column() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let grid: Vec<(u32, u32)> = (5..8).flat_map(|l| (3..7).map(move |a| (l, a))).collect();
+        for row in sweep(&g, &lib, &grid) {
+            if let (Some(o), Some(c)) = (row.ours, row.combined) {
+                assert!(c + 1e-12 >= o, "combined below ours at Ld={} Ad={}", row.latency_bound, row.area_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_percentages_match_formula() {
+        let row = SweepRow {
+            latency_bound: 10,
+            area_bound: 9,
+            baseline: Some(0.48467),
+            ours: Some(0.59998),
+            combined: Some(0.59998),
+        };
+        // The paper's Table 2a first row reports 23.79%.
+        assert!((row.improvement_pct().unwrap() - 23.79).abs() < 0.01);
+        assert!((row.combined_improvement_pct().unwrap() - 23.79).abs() < 0.01);
+    }
+
+    #[test]
+    fn figure8_style_curves_are_monotone_for_figure4a() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let latencies = [4u32, 5, 6, 8, 10, 12];
+        let curve = reliability_vs_latency(&g, &lib, 4, &latencies);
+        let feasible: Vec<f64> = curve.iter().filter_map(|&(_, r)| r).collect();
+        assert!(!feasible.is_empty());
+        for w in feasible.windows(2) {
+            assert!(w[1] + 1e-9 >= w[0], "loosening latency lowered reliability");
+        }
+        let areas = [1u32, 2, 3, 4, 6, 8];
+        let curve = reliability_vs_area(&g, &lib, 6, &areas);
+        let feasible: Vec<f64> = curve.iter().filter_map(|&(_, r)| r).collect();
+        for w in feasible.windows(2) {
+            assert!(w[1] + 1e-9 >= w[0], "loosening area lowered reliability");
+        }
+    }
+
+    #[test]
+    fn averages_and_formatting() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let rows = sweep(&g, &lib, &[(5, 4), (6, 5)]);
+        let (b, o, c) = averages(&rows);
+        assert!(b > 0.0 && o > 0.0 && c > 0.0);
+        assert!(c + 1e-12 >= o);
+        let table = format_table(&rows);
+        assert!(table.contains("Ref[3]"));
+        assert!(table.lines().count() == rows.len() + 1);
+    }
+}

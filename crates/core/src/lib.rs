@@ -1,0 +1,72 @@
+//! Reliability-centric high-level synthesis (Tosun et al., DATE 2005).
+//!
+//! This crate is the paper's primary contribution: given a data-flow graph,
+//! a reliability-characterized resource library, and latency/area bounds,
+//! find the *most reliable* design that meets both bounds by choosing, per
+//! operation, among several library versions of its functional unit.
+//!
+//! Three synthesis strategies are provided:
+//!
+//! * [`Synthesizer`] — the paper's Figure-6 algorithm: start from the most
+//!   reliable version everywhere, then degrade carefully chosen victims
+//!   until the latency bound and then the area bound are met;
+//! * [`synthesize_nmr_baseline`] — the redundancy-based prior art
+//!   (Orailoglu–Karri): one fixed version per class, reliability grown by
+//!   N-modular redundancy within the leftover area;
+//! * [`synthesize_combined`] — the paper's unified scheme: run the
+//!   reliability-centric algorithm, then spend any remaining area on
+//!   redundancy.
+//!
+//! [`explore`] drives the (latency, area) sweeps behind every table and
+//! figure of the paper's evaluation, and [`modes`] implements the paper's
+//! future-work objectives (minimize area / minimize latency under a
+//! reliability bound).
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_core::{Bounds, Synthesizer};
+//! use rchls_dfg::{DfgBuilder, OpKind};
+//! use rchls_reslib::Library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = DfgBuilder::new("tiny")
+//!     .ops(&["a", "b"], OpKind::Add)
+//!     .dep("a", "b")
+//!     .build()?;
+//! let library = Library::table1();
+//! let design = Synthesizer::new(&dfg, &library).synthesize(Bounds::new(4, 4))?;
+//! assert!(design.latency <= 4);
+//! assert!(design.area <= 4);
+//! // Plenty of slack: both adds run on the most reliable adder.
+//! assert!((design.reliability.value() - 0.999f64.powi(2)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc_search;
+mod baseline;
+mod bounds;
+mod combined;
+mod config;
+mod design;
+mod error;
+pub mod explore;
+pub mod modes;
+mod pipelined;
+mod redundancy;
+mod synth;
+mod validate;
+
+pub use baseline::{baseline_versions, synthesize_nmr_baseline};
+pub use bounds::Bounds;
+pub use combined::synthesize_combined;
+pub use config::{BinderKind, Refinement, SchedulerKind, SynthConfig, VictimPolicy};
+pub use design::Design;
+pub use error::SynthesisError;
+pub use redundancy::{add_redundancy, add_redundancy_with_model, RedundancyModel};
+pub use synth::Synthesizer;
+pub use validate::monte_carlo_reliability;

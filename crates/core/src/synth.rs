@@ -1,0 +1,603 @@
+//! The paper's Figure-6 algorithm: reliability-centric allocation,
+//! scheduling and binding under latency and area bounds.
+
+use crate::bounds::Bounds;
+use crate::config::{BinderKind, Refinement, SchedulerKind, SynthConfig, VictimPolicy};
+use crate::design::Design;
+use crate::error::SynthesisError;
+use rchls_bind::{bind_coloring, bind_left_edge, Assignment, Binding};
+use rchls_dfg::{Dfg, NodeId};
+use rchls_reslib::{Library, VersionId};
+use rchls_sched::{asap, schedule_density, schedule_force_directed, Schedule};
+use std::collections::HashSet;
+
+/// The reliability-centric synthesizer (`Find_Design` in Figure 6).
+///
+/// The algorithm proceeds in three phases:
+///
+/// 1. **Initial solution** (lines 3–6): every operation gets the *most
+///    reliable* version of its class — the reliability-optimal but possibly
+///    bound-violating starting point.
+/// 2. **Latency loop** (lines 7–12): while the critical path exceeds `Ld`,
+///    pick the victim operation on the critical path (highest delay, by
+///    default) and move it to a faster — typically less reliable — version.
+/// 3. **Area loop** (lines 15–28): first exploit any latency slack by
+///    rescheduling at a larger latency so more operations share units;
+///    then, while area still exceeds `Ad`, move the biggest-area victim
+///    (together with every operation sharing its unit) to a smaller
+///    version, rejecting moves that would break the latency bound.
+///
+/// If both loops exhaust their alternatives the design space is empty and
+/// [`SynthesisError::NoSolution`] is returned (line 29).
+#[derive(Debug)]
+pub struct Synthesizer<'a> {
+    dfg: &'a Dfg,
+    library: &'a Library,
+    config: SynthConfig,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer with the default configuration: the paper's
+    /// scheduler/binder/victim choices plus the greedy refinement pass
+    /// (see [`Refinement`]).
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, library: &'a Library) -> Synthesizer<'a> {
+        Synthesizer::with_config(dfg, library, SynthConfig::default())
+    }
+
+    /// Creates a synthesizer with explicit scheduler/binder/victim knobs.
+    #[must_use]
+    pub fn with_config(dfg: &'a Dfg, library: &'a Library, config: SynthConfig) -> Synthesizer<'a> {
+        Synthesizer {
+            dfg,
+            library,
+            config,
+        }
+    }
+
+    /// The graph being synthesized.
+    #[must_use]
+    pub fn dfg(&self) -> &Dfg {
+        self.dfg
+    }
+
+    /// The library in use.
+    #[must_use]
+    pub fn library(&self) -> &Library {
+        self.library
+    }
+
+    /// Runs the synthesis flow, returning the most reliable design found
+    /// within `bounds`.
+    ///
+    /// With [`Refinement::Off`] (i.e. [`SynthConfig::paper`]) this is the
+    /// strict Figure-6 greedy. With the default [`Refinement::Greedy`] the
+    /// Figure-6 result is pooled with every *uniform* single-version
+    /// assignment that meets the bounds, and the best feasible starting
+    /// point is improved by greedy version upgrades — a portfolio that
+    /// recovers the mixed-version optima the one-pass greedy can miss
+    /// (e.g. the paper's own Figure-7(b) FIR design).
+    ///
+    /// # Errors
+    ///
+    /// * [`SynthesisError::Library`] if the library lacks versions for a
+    ///   class the graph uses;
+    /// * [`SynthesisError::NoSolution`] if no version selection meets the
+    ///   bounds;
+    /// * [`SynthesisError::Schedule`] if the graph is malformed (cyclic).
+    pub fn synthesize(&self, bounds: Bounds) -> Result<Design, SynthesisError> {
+        let figure6 = self.figure6(bounds);
+        let (assignment, schedule, binding) = if self.config.refine == Refinement::Greedy {
+            let mut candidates: Vec<(Assignment, Schedule, Binding)> = Vec::new();
+            if let Ok(x) = &figure6 {
+                candidates.push(x.clone());
+            }
+            candidates.extend(self.uniform_feasible_starts(bounds)?);
+            candidates.extend(crate::alloc_search::best_allocation_design(
+                self.dfg,
+                self.library,
+                bounds,
+            ));
+            let Some(best) = candidates.into_iter().max_by(|a, b| {
+                let ra = a.0.design_reliability(self.library).value();
+                let rb = b.0.design_reliability(self.library).value();
+                ra.partial_cmp(&rb).expect("reliabilities are finite")
+            }) else {
+                return Err(figure6.expect_err("no candidates implies figure6 failed"));
+            };
+            self.refine(best.0, best.1, best.2, bounds)?
+        } else {
+            figure6?
+        };
+
+        let replication = vec![1u32; binding.instance_count()];
+        Ok(Design::assemble(
+            self.dfg,
+            self.library,
+            assignment,
+            schedule,
+            binding,
+            replication,
+        ))
+    }
+
+    /// Every uniform one-version-per-class assignment (no feasibility
+    /// filtering — callers check latency/area under their own scheduling
+    /// regime).
+    pub(crate) fn uniform_assignments(&self) -> Result<Vec<Assignment>, SynthesisError> {
+        use rchls_dfg::OpClass;
+        // Per-class version choices (only for classes the graph uses).
+        let mut per_class: Vec<(OpClass, Vec<VersionId>)> = Vec::new();
+        for class in OpClass::ALL {
+            if self.dfg.count_class(class) > 0 {
+                let vs: Vec<VersionId> =
+                    self.library.versions_of(class).map(|(id, _)| id).collect();
+                if vs.is_empty() {
+                    return Err(SynthesisError::Library(rchls_reslib::LibraryError::Empty));
+                }
+                per_class.push((class, vs));
+            }
+        }
+        if per_class.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Cartesian product over the (at most two, for the paper library)
+        // used classes.
+        let mut combos: Vec<Vec<(OpClass, VersionId)>> = vec![Vec::new()];
+        for (class, vs) in &per_class {
+            combos = combos
+                .into_iter()
+                .flat_map(|prefix| {
+                    vs.iter().map(move |&v| {
+                        let mut next = prefix.clone();
+                        next.push((*class, v));
+                        next
+                    })
+                })
+                .collect();
+        }
+        Ok(combos
+            .into_iter()
+            .map(|combo| {
+                Assignment::from_fn(self.dfg, self.library, |n| {
+                    let class = self.dfg.node(n).class();
+                    combo
+                        .iter()
+                        .find(|(c, _)| *c == class)
+                        .map(|&(_, v)| v)
+                        .expect("combo covers every used class")
+                })
+            })
+            .collect())
+    }
+
+    /// Every uniform one-version-per-class assignment that meets both
+    /// bounds, each already scheduled and bound at the full latency budget.
+    fn uniform_feasible_starts(
+        &self,
+        bounds: Bounds,
+    ) -> Result<Vec<(Assignment, Schedule, Binding)>, SynthesisError> {
+        let mut out = Vec::new();
+        for assignment in self.uniform_assignments()? {
+            let delays = assignment.delays(self.dfg, self.library);
+            if asap(self.dfg, &delays)?.latency() > bounds.latency {
+                continue;
+            }
+            let (s, b) = self.schedule_and_bind(&assignment, bounds.latency)?;
+            if b.total_area(self.library) <= bounds.area {
+                out.push((assignment, s, b));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The strict Figure-6 greedy (lines 3–29).
+    fn figure6(
+        &self,
+        bounds: Bounds,
+    ) -> Result<(Assignment, Schedule, Binding), SynthesisError> {
+        self.dfg
+            .validate()
+            .map_err(rchls_sched::ScheduleError::from)?;
+        // Line 3: allocate the most reliable resource to each node.
+        let mut assignment = Assignment::uniform(self.dfg, self.library)?;
+
+        // Lines 7-12: latency-reduction loop.
+        loop {
+            let delays = assignment.delays(self.dfg, self.library);
+            let min_latency = asap(self.dfg, &delays)?.latency();
+            if min_latency <= bounds.latency {
+                break;
+            }
+            let cp = self
+                .dfg
+                .critical_path(|n| delays.get(n))
+                .map_err(rchls_sched::ScheduleError::from)?;
+            let Some((victim, faster)) = self.pick_latency_victim(&assignment, &cp.nodes) else {
+                return Err(SynthesisError::NoSolution {
+                    reason: format!(
+                        "critical path needs {min_latency} cycles > bound {} and no faster \
+                         versions remain",
+                        bounds.latency
+                    ),
+                });
+            };
+            assignment.set(victim, faster);
+        }
+
+        // Lines 4-6 (for the now latency-feasible assignment): schedule at
+        // the minimum achievable latency and bind.
+        let delays = assignment.delays(self.dfg, self.library);
+        let mut target = asap(self.dfg, &delays)?.latency().max(1);
+        let (mut schedule, mut binding) = self.schedule_and_bind(&assignment, target)?;
+        let mut area = binding.total_area(self.library);
+
+        // Lines 15-21: exploit latency slack to share more units.
+        while area > bounds.area && target < bounds.latency {
+            target += 1;
+            let (s, b) = self.schedule_and_bind(&assignment, target)?;
+            schedule = s;
+            binding = b;
+            area = binding.total_area(self.library);
+        }
+
+        // Lines 23-28: area-reduction loop via smaller versions.
+        let mut tried: HashSet<(NodeId, VersionId)> = HashSet::new();
+        while area > bounds.area {
+            let Some((sharers, version, key)) = self.pick_area_victim(&assignment, &binding, &tried)
+            else {
+                return Err(SynthesisError::NoSolution {
+                    reason: format!(
+                        "area {area} exceeds bound {} and no smaller versions remain",
+                        bounds.area
+                    ),
+                });
+            };
+            tried.insert(key);
+            let mut candidate = assignment.clone();
+            for &n in &sharers {
+                candidate.set(n, version);
+            }
+            let cand_delays = candidate.delays(self.dfg, self.library);
+            let cand_min = asap(self.dfg, &cand_delays)?.latency();
+            if cand_min > bounds.latency {
+                continue; // this version would break the latency bound
+            }
+            let cand_target = target.max(cand_min).min(bounds.latency);
+            let (s, b) = self.schedule_and_bind(&candidate, cand_target)?;
+            let a = b.total_area(self.library);
+            if a < area {
+                assignment = candidate;
+                schedule = s;
+                binding = b;
+                area = a;
+                target = cand_target;
+                tried.clear(); // new assignment reopens previously useless moves
+            }
+        }
+
+        // Line 29: final feasibility check.
+        if schedule.latency() > bounds.latency || area > bounds.area {
+            return Err(SynthesisError::NoSolution {
+                reason: format!(
+                    "final design (L={}, A={area}) violates bounds ({bounds})",
+                    schedule.latency()
+                ),
+            });
+        }
+        Ok((assignment, schedule, binding))
+    }
+
+    /// Greedy refinement: repeatedly apply the single-node version upgrade
+    /// with the largest reliability gain that keeps both bounds satisfied.
+    ///
+    /// Candidate designs are evaluated at the full latency budget
+    /// (`bounds.latency`), which maximizes sharing and therefore gives each
+    /// upgrade its best chance of fitting the area bound; reliability is
+    /// independent of the schedule, so this loses nothing.
+    fn refine(
+        &self,
+        mut assignment: Assignment,
+        mut schedule: Schedule,
+        mut binding: Binding,
+        bounds: Bounds,
+    ) -> Result<(Assignment, Schedule, Binding), SynthesisError> {
+        loop {
+            let mut best: Option<(f64, Assignment, Schedule, Binding)> = None;
+            for n in self.dfg.node_ids() {
+                let cur = assignment.version(n);
+                let cur_r = self.library.version(cur).reliability().value();
+                for (v, ver) in self.library.versions_of(self.dfg.node(n).class()) {
+                    if ver.reliability().value() <= cur_r {
+                        continue;
+                    }
+                    let mut cand = assignment.clone();
+                    cand.set(n, v);
+                    let delays = cand.delays(self.dfg, self.library);
+                    if asap(self.dfg, &delays)?.latency() > bounds.latency {
+                        continue;
+                    }
+                    let (s, b) = self.schedule_and_bind(&cand, bounds.latency)?;
+                    if b.total_area(self.library) > bounds.area {
+                        continue;
+                    }
+                    let gain = cand.design_reliability(self.library).value()
+                        - assignment.design_reliability(self.library).value();
+                    if gain <= 1e-15 {
+                        continue;
+                    }
+                    let better = best.as_ref().is_none_or(|(bg, ..)| gain > *bg);
+                    if better {
+                        best = Some((gain, cand, s, b));
+                    }
+                }
+            }
+            match best {
+                Some((_, a, s, b)) => {
+                    assignment = a;
+                    schedule = s;
+                    binding = b;
+                }
+                None => break,
+            }
+        }
+        Ok((assignment, schedule, binding))
+    }
+
+    /// Schedules (per the configured scheduler) and binds (per the
+    /// configured binder) at the given latency.
+    pub(crate) fn schedule_and_bind(
+        &self,
+        assignment: &Assignment,
+        latency: u32,
+    ) -> Result<(Schedule, Binding), SynthesisError> {
+        let delays = assignment.delays(self.dfg, self.library);
+        let schedule = match self.config.scheduler {
+            SchedulerKind::Density => schedule_density(self.dfg, &delays, latency)?,
+            SchedulerKind::ForceDirected => schedule_force_directed(self.dfg, &delays, latency)?,
+        };
+        let binding = match self.config.binder {
+            BinderKind::LeftEdge => bind_left_edge(self.dfg, &schedule, assignment, self.library),
+            BinderKind::Coloring => bind_coloring(self.dfg, &schedule, assignment, self.library),
+        };
+        Ok((schedule, binding))
+    }
+
+    /// Line 9-10: pick the critical-path victim and its faster version.
+    fn pick_latency_victim(
+        &self,
+        assignment: &Assignment,
+        critical_path: &[NodeId],
+    ) -> Option<(NodeId, VersionId)> {
+        let mut candidates: Vec<(NodeId, VersionId)> = critical_path
+            .iter()
+            .filter_map(|&n| {
+                let alts = self.library.faster_alternatives(assignment.version(n));
+                alts.first().map(|&v| (n, v))
+            })
+            .collect();
+        match self.config.victim {
+            VictimPolicy::CriticalMaxDelay => {
+                candidates.sort_by_key(|&(n, _)| {
+                    let delay = self.library.version(assignment.version(n)).delay();
+                    (std::cmp::Reverse(delay), n.index())
+                });
+            }
+            VictimPolicy::MinReliabilityLoss => {
+                candidates.sort_by(|&(na, va), &(nb, vb)| {
+                    let loss = |n: NodeId, v: VersionId| {
+                        self.library
+                            .version(assignment.version(n))
+                            .reliability()
+                            .value()
+                            - self.library.version(v).reliability().value()
+                    };
+                    loss(na, va)
+                        .partial_cmp(&loss(nb, vb))
+                        .expect("reliability losses are finite")
+                        .then(na.index().cmp(&nb.index()))
+                });
+            }
+        }
+        candidates.first().copied()
+    }
+
+    /// Lines 25-26: pick the biggest-area victim, its co-sharing nodes, and
+    /// the version to move them all to. Returns the sharer set, the new
+    /// version, and the `(node, version)` key for the tried-set.
+    ///
+    /// One widening relative to the paper's text: candidate versions are
+    /// *all* other versions of the class, not only those with smaller unit
+    /// area. Rebinding after a swap can consolidate instances, so a move to
+    /// a larger-unit version sometimes shrinks the *total* area (e.g. the
+    /// last two ops on a lone ripple-carry adder joining an existing
+    /// Brent-Kung unit). The caller still accepts a move only when the
+    /// rebound total area strictly decreases, so the loop's contract is
+    /// unchanged.
+    fn pick_area_victim(
+        &self,
+        assignment: &Assignment,
+        binding: &Binding,
+        tried: &HashSet<(NodeId, VersionId)>,
+    ) -> Option<(Vec<NodeId>, VersionId, (NodeId, VersionId))> {
+        let mut nodes: Vec<NodeId> = self.dfg.node_ids().collect();
+        nodes.sort_by_key(|&n| {
+            let area = self.library.version(assignment.version(n)).area();
+            (std::cmp::Reverse(area), n.index())
+        });
+        for n in nodes {
+            for v in self.library.alternatives(assignment.version(n)) {
+                if tried.contains(&(n, v)) {
+                    continue;
+                }
+                let sharers = binding.sharers(n).to_vec();
+                return Some((sharers, v, (n, v)));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    fn figure4a() -> Dfg {
+        DfgBuilder::new("figure4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generous_bounds_keep_most_reliable_versions() {
+        let g = figure4a();
+        let lib = Library::table1();
+        // adder1 everywhere: critical path 4 nodes x 2cc = 8; area 1 unit
+        // when everything serializes.
+        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(20, 10)).unwrap();
+        assert!((d.reliability.value() - 0.999f64.powi(6)).abs() < 1e-9);
+        assert!(d.latency <= 20);
+        assert!(d.area <= 10);
+    }
+
+    #[test]
+    fn figure5_case_matches_all_type2_optimum() {
+        // Paper Fig. 5: Ld=5, Ad=4. At these bounds the graph's D/E (or
+        // A/B) pair must run concurrently on two 1-cycle adders, so the
+        // true optimum is the all-type-2 design at 0.82783 (the paper's
+        // claimed 0.90713 schedule violates its own dependences — see
+        // EXPERIMENTS.md). The engine must find that optimum.
+        let g = figure4a();
+        let lib = Library::table1();
+        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(5, 4)).unwrap();
+        assert!(d.latency <= 5, "latency {}", d.latency);
+        assert!(d.area <= 4, "area {}", d.area);
+        let all_type2 = 0.969f64.powi(6);
+        assert!(
+            d.reliability.value() + 1e-9 >= all_type2,
+            "got {} vs single-version {all_type2}",
+            d.reliability.value()
+        );
+    }
+
+    #[test]
+    fn relaxed_latency_lets_mixing_beat_single_version() {
+        // At Ld=6, Ad=4 the ops can stagger enough that a ripple-carry /
+        // Brent-Kung mix strictly beats any single-version design.
+        let g = figure4a();
+        let lib = Library::table1();
+        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(6, 4)).unwrap();
+        let all_type2 = 0.969f64.powi(6);
+        assert!(
+            d.reliability.value() > all_type2,
+            "got {} vs single-version {all_type2}",
+            d.reliability.value()
+        );
+    }
+
+    #[test]
+    fn latency_bound_forces_faster_versions() {
+        // Chain of 3 adds: all-adder1 needs 6 cycles. Ld=4 forces at least
+        // one faster (less reliable) version onto the chain.
+        let g = DfgBuilder::new("chain3")
+            .ops(&["a", "b", "c"], OpKind::Add)
+            .dep("a", "b")
+            .dep("b", "c")
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(4, 8)).unwrap();
+        assert!(d.latency <= 4);
+        assert!(d.reliability.value() < 0.999f64.powi(3));
+    }
+
+    #[test]
+    fn impossible_latency_reports_no_solution() {
+        let g = figure4a(); // depth 4, so even all-1cc versions need 4 cycles
+        let lib = Library::table1();
+        let err = Synthesizer::new(&g, &lib).synthesize(Bounds::new(3, 99)).unwrap_err();
+        assert!(matches!(err, SynthesisError::NoSolution { .. }), "{err}");
+    }
+
+    #[test]
+    fn impossible_area_reports_no_solution() {
+        // Two independent multiplies in 1 cycle each (mult2, area 4) can't
+        // fit area 3; even mult1 (area 2, 2cc) needs area 2 but latency is
+        // fine... so force both tight: area 1 is below any multiplier.
+        let g = DfgBuilder::new("mul")
+            .op("m", OpKind::Mul)
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let err = Synthesizer::new(&g, &lib).synthesize(Bounds::new(10, 1)).unwrap_err();
+        assert!(matches!(err, SynthesisError::NoSolution { .. }), "{err}");
+    }
+
+    #[test]
+    fn design_respects_bounds_across_grid() {
+        let g = figure4a();
+        let lib = Library::table1();
+        for latency in 4..=9 {
+            for area in 1..=8 {
+                if let Ok(d) = Synthesizer::new(&g, &lib).synthesize(Bounds::new(latency, area)) {
+                    assert!(d.latency <= latency, "L {} > {latency}", d.latency);
+                    assert!(d.area <= area, "A {} > {area}", d.area);
+                    d.binding.assert_valid(
+                        &g,
+                        &d.schedule,
+                        &d.assignment.delays(&g, &lib),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loosening_latency_never_lowers_reliability() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let mut prev = 0.0f64;
+        for latency in 4..=10 {
+            if let Ok(d) = Synthesizer::new(&g, &lib).synthesize(Bounds::new(latency, 4)) {
+                assert!(
+                    d.reliability.value() + 1e-9 >= prev,
+                    "reliability dropped from {prev} to {} at Ld={latency}",
+                    d.reliability.value()
+                );
+                prev = d.reliability.value();
+            }
+        }
+        assert!(prev > 0.0, "at least one point must be feasible");
+    }
+
+    #[test]
+    fn ablation_configs_all_produce_valid_designs() {
+        let g = figure4a();
+        let lib = Library::table1();
+        for scheduler in [SchedulerKind::Density, SchedulerKind::ForceDirected] {
+            for binder in [BinderKind::LeftEdge, BinderKind::Coloring] {
+                for victim in [VictimPolicy::CriticalMaxDelay, VictimPolicy::MinReliabilityLoss] {
+                    let cfg = SynthConfig {
+                        scheduler,
+                        binder,
+                        victim,
+                        ..SynthConfig::default()
+                    };
+                    let d = Synthesizer::with_config(&g, &lib, cfg)
+                        .synthesize(Bounds::new(6, 4))
+                        .unwrap();
+                    assert!(d.latency <= 6);
+                    assert!(d.area <= 4);
+                }
+            }
+        }
+    }
+}

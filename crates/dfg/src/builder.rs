@@ -1,0 +1,156 @@
+//! Fluent construction of DFGs by label.
+
+use crate::error::DfgError;
+use crate::graph::{Dfg, NodeId};
+use crate::op::OpKind;
+
+/// A fluent builder that wires nodes by label.
+///
+/// Handy for writing down benchmark graphs compactly: declare operations
+/// with [`DfgBuilder::op`] and dependences with [`DfgBuilder::dep`], in any
+/// order relative to each other (edges may reference labels declared later
+/// only if you call [`DfgBuilder::dep`] after the corresponding `op`).
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{DfgBuilder, OpKind};
+///
+/// let dfg = DfgBuilder::new("pair")
+///     .op("x", OpKind::Mul)
+///     .op("y", OpKind::Add)
+///     .dep("x", "y")
+///     .build()?;
+/// assert_eq!(dfg.edge_count(), 1);
+/// # Ok::<(), rchls_dfg::DfgError>(())
+/// ```
+#[derive(Debug)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+    error: Option<DfgError>,
+}
+
+impl DfgBuilder {
+    /// Starts building a graph with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> DfgBuilder {
+        DfgBuilder {
+            dfg: Dfg::new(name),
+            error: None,
+        }
+    }
+
+    /// Declares an operation node labelled `label`.
+    #[must_use]
+    pub fn op(mut self, label: &str, kind: OpKind) -> DfgBuilder {
+        if self.error.is_none() {
+            if let Err(e) = self.dfg.try_add_node(kind, label) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Declares several same-kind operations at once.
+    #[must_use]
+    pub fn ops(mut self, labels: &[&str], kind: OpKind) -> DfgBuilder {
+        for l in labels {
+            self = self.op(l, kind);
+        }
+        self
+    }
+
+    /// Declares a data dependence `from -> to` (both labels must exist).
+    #[must_use]
+    pub fn dep(mut self, from: &str, to: &str) -> DfgBuilder {
+        if self.error.is_none() {
+            match (self.lookup(from), self.lookup(to)) {
+                (Ok(f), Ok(t)) => {
+                    if let Err(e) = self.dfg.add_edge(f, t) {
+                        self.error = Some(e);
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => self.error = Some(e),
+            }
+        }
+        self
+    }
+
+    /// Declares dependences from each of `froms` into `to`.
+    #[must_use]
+    pub fn deps(mut self, froms: &[&str], to: &str) -> DfgBuilder {
+        for f in froms {
+            self = self.dep(f, to);
+        }
+        self
+    }
+
+    fn lookup(&self, label: &str) -> Result<NodeId, DfgError> {
+        self.dfg
+            .node_by_label(label)
+            .ok_or_else(|| DfgError::DuplicateLabel(format!("unknown label {label}")))
+    }
+
+    /// Finishes construction, validating acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error (duplicate label, unknown edge
+    /// endpoint, duplicate edge) or a cycle error from validation.
+    pub fn build(self) -> Result<Dfg, DfgError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.dfg.validate()?;
+        Ok(self.dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_small_graph() {
+        let g = DfgBuilder::new("g")
+            .ops(&["a", "b"], OpKind::Add)
+            .op("m", OpKind::Mul)
+            .deps(&["a", "b"], "m")
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn first_error_sticks() {
+        let err = DfgBuilder::new("g")
+            .op("a", OpKind::Add)
+            .op("a", OpKind::Add) // duplicate
+            .dep("a", "nope")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DfgError::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn unknown_dep_label_errors() {
+        let err = DfgBuilder::new("g")
+            .op("a", OpKind::Add)
+            .dep("a", "ghost")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn cycle_rejected_at_build() {
+        let err = DfgBuilder::new("g")
+            .ops(&["a", "b"], OpKind::Add)
+            .dep("a", "b")
+            .dep("b", "a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DfgError::Cycle(_)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT export.
+
+use crate::graph::Dfg;
+
+impl Dfg {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Adder-class nodes are drawn as circles, multiplier-class nodes as
+    /// double circles; each node is labelled `<symbol><label>` like the
+    /// paper's figures (`+A`, `*3`, ...).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rchls_dfg::{Dfg, OpKind};
+    ///
+    /// let mut g = Dfg::new("tiny");
+    /// g.add_node(OpKind::Add, "a");
+    /// assert!(g.to_dot().contains("digraph"));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n", escape(self.name())));
+        out.push_str("  rankdir=TB;\n");
+        for node in self.nodes() {
+            let shape = match node.class() {
+                crate::OpClass::Adder => "circle",
+                crate::OpClass::Multiplier => "doublecircle",
+            };
+            out.push_str(&format!(
+                "  {} [label=\"{}{}\", shape={}];\n",
+                node.id(),
+                node.kind().symbol(),
+                escape(node.label()),
+                shape
+            ));
+        }
+        for (a, b) in self.edges() {
+            out.push_str(&format!("  {a} -> {b};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Dfg, OpKind};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Dfg::new("t");
+        let a = g.add_node(OpKind::Add, "a");
+        let m = g.add_node(OpKind::Mul, "m");
+        g.add_edge(a, m).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph \"t\""));
+        assert!(dot.contains("+a"));
+        assert!(dot.contains("*m"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut g = Dfg::new("quo\"te");
+        g.add_node(OpKind::Add, "x\"y");
+        let dot = g.to_dot();
+        assert!(dot.contains("quo\\\"te"));
+        assert!(dot.contains("x\\\"y"));
+    }
+}

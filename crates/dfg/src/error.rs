@@ -1,0 +1,81 @@
+//! Error types for DFG construction and parsing.
+
+use crate::graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while constructing or analyzing a [`crate::Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// A node id did not belong to the graph.
+    UnknownNode(NodeId),
+    /// An edge from a node to itself was requested.
+    SelfLoop(NodeId),
+    /// The requested edge already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph contains a dependence cycle; the payload is a node on the cycle.
+    Cycle(NodeId),
+    /// Two nodes were given the same label.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode(n) => write!(f, "node {n} is not part of this graph"),
+            DfgError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            DfgError::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already exists"),
+            DfgError::Cycle(n) => write!(f, "dependence cycle detected through node {n}"),
+            DfgError::DuplicateLabel(l) => write!(f, "label {l:?} is already in use"),
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+/// An error produced while parsing the textual DFG format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDfgError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            DfgError::UnknownNode(NodeId::new(3)),
+            DfgError::SelfLoop(NodeId::new(0)),
+            DfgError::DuplicateEdge(NodeId::new(1), NodeId::new(2)),
+            DfgError::Cycle(NodeId::new(4)),
+            DfgError::DuplicateLabel("x".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("node"));
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = ParseDfgError {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "line 7: bad token");
+    }
+}

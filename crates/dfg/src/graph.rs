@@ -1,0 +1,384 @@
+//! The core data-flow graph representation.
+
+use crate::error::DfgError;
+use crate::op::{OpClass, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact handle identifying a node within one [`Dfg`].
+///
+/// Node ids are dense indices assigned in insertion order, which lets passes
+/// store per-node attributes in plain vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[must_use]
+    pub fn new(index: u32) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The raw dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One operation in a data-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    kind: OpKind,
+    label: String,
+}
+
+impl Node {
+    /// The node's id within its graph.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The operation this node performs.
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The resource class that executes this node.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        self.kind.class()
+    }
+
+    /// The human-readable label (unique within the graph).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A data-flow graph: operations plus data-dependence edges.
+///
+/// The graph is append-only (nodes and edges can be added, not removed),
+/// which is all HLS needs and keeps ids stable. Acyclicity is enforced
+/// lazily: [`Dfg::add_edge`] is O(1) and cycles are reported by
+/// [`Dfg::topological_order`] and [`Dfg::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{Dfg, OpKind};
+///
+/// # fn main() -> Result<(), rchls_dfg::DfgError> {
+/// let mut g = Dfg::new("fir-fragment");
+/// let x = g.add_node(OpKind::Mul, "x");
+/// let y = g.add_node(OpKind::Add, "y");
+/// g.add_edge(x, y)?;
+/// assert_eq!(g.preds(y), &[x]);
+/// assert_eq!(g.succs(x), &[y]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    labels: HashMap<String, NodeId>,
+    edge_count: usize,
+}
+
+impl Dfg {
+    /// Creates an empty graph with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Dfg {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            labels: HashMap::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// The graph's name (e.g. the benchmark it models).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an operation node and returns its id.
+    ///
+    /// If `label` collides with an existing label the node is still created
+    /// but with a uniquified label (`label#<id>`); use
+    /// [`Dfg::try_add_node`] to treat collisions as errors.
+    pub fn add_node(&mut self, kind: OpKind, label: impl Into<String>) -> NodeId {
+        let mut label = label.into();
+        let id = NodeId(self.nodes.len() as u32);
+        if self.labels.contains_key(&label) {
+            label = format!("{label}#{}", id.0);
+        }
+        self.labels.insert(label.clone(), id);
+        self.nodes.push(Node { id, kind, label });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds an operation node, failing on label collision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::DuplicateLabel`] if `label` is already in use.
+    pub fn try_add_node(&mut self, kind: OpKind, label: impl Into<String>) -> Result<NodeId, DfgError> {
+        let label = label.into();
+        if self.labels.contains_key(&label) {
+            return Err(DfgError::DuplicateLabel(label));
+        }
+        Ok(self.add_node(kind, label))
+    }
+
+    /// Adds a data-dependence edge `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown, if `from == to`, or if
+    /// the edge already exists. Cycles are *not* detected here; call
+    /// [`Dfg::validate`] or [`Dfg::topological_order`].
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DfgError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(DfgError::SelfLoop(from));
+        }
+        if self.succs[from.index()].contains(&to) {
+            return Err(DfgError::DuplicateEdge(from, to));
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), DfgError> {
+        if n.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(DfgError::UnknownNode(n))
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks up a node by id, returning `None` if it is out of range.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Looks up a node by its label.
+    #[must_use]
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels.get(label).copied()
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = &Node> + '_ {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all node ids in id order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + 'static {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |&t| (NodeId(i as u32), t)))
+    }
+
+    /// Direct predecessors (data inputs) of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Direct successors (data consumers) of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Nodes with no predecessors (primary-input operations).
+    #[must_use]
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.preds(n).is_empty())
+            .collect()
+    }
+
+    /// Nodes with no successors (primary-output operations).
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.succs(n).is_empty())
+            .collect()
+    }
+
+    /// Number of nodes executing on the given resource class.
+    #[must_use]
+    pub fn count_class(&self, class: OpClass) -> usize {
+        self.nodes.iter().filter(|n| n.class() == class).count()
+    }
+
+    /// Checks structural invariants (currently: acyclicity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Cycle`] if the graph has a dependence cycle.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        self.topological_order().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Dfg::new("empty");
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.sources().is_empty());
+        assert!(g.sinks().is_empty());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Mul, "b");
+        let c = g.add_node(OpKind::Sub, "c");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![c]);
+        assert_eq!(g.preds(b), &[a]);
+        assert_eq!(g.succs(b), &[c]);
+        assert_eq!(g.node(b).label(), "b");
+        assert_eq!(g.node_by_label("c"), Some(c));
+        assert_eq!(g.node_by_label("zzz"), None);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        assert_eq!(g.add_edge(a, a), Err(DfgError::SelfLoop(a)));
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.add_edge(a, b), Err(DfgError::DuplicateEdge(a, b)));
+        let bogus = NodeId::new(99);
+        assert_eq!(g.add_edge(a, bogus), Err(DfgError::UnknownNode(bogus)));
+    }
+
+    #[test]
+    fn labels_uniquified_or_rejected() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "x");
+        let b = g.add_node(OpKind::Add, "x");
+        assert_ne!(g.node(a).label(), g.node(b).label());
+        assert!(g.try_add_node(OpKind::Add, "x").is_err());
+        assert!(g.try_add_node(OpKind::Add, "y").is_ok());
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut g = Dfg::new("g");
+        g.add_node(OpKind::Add, "a");
+        g.add_node(OpKind::Sub, "s");
+        g.add_node(OpKind::Mul, "m");
+        assert_eq!(g.count_class(OpClass::Adder), 2);
+        assert_eq!(g.count_class(OpClass::Multiplier), 1);
+    }
+
+    #[test]
+    fn edges_iterator_matches_edge_count() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Add, "c");
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        assert!(edges.contains(&(a, c)));
+        assert!(edges.contains(&(b, c)));
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        assert!(matches!(g.validate(), Err(DfgError::Cycle(_))));
+    }
+}

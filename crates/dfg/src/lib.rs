@@ -1,0 +1,44 @@
+//! Data-flow graph (DFG) substrate for reliability-centric high-level synthesis.
+//!
+//! A [`Dfg`] is a directed acyclic graph whose nodes are arithmetic operations
+//! ([`OpKind`]) and whose edges are data dependences. This crate provides the
+//! graph representation itself plus the graph algorithms every HLS pass needs:
+//! topological ordering, delay-weighted longest paths (critical paths), DOT
+//! export, a small textual format, and a fluent builder.
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_dfg::{Dfg, OpKind};
+//!
+//! # fn main() -> Result<(), rchls_dfg::DfgError> {
+//! let mut dfg = Dfg::new("example");
+//! let a = dfg.add_node(OpKind::Add, "a");
+//! let b = dfg.add_node(OpKind::Add, "b");
+//! let c = dfg.add_node(OpKind::Mul, "c");
+//! dfg.add_edge(a, c)?;
+//! dfg.add_edge(b, c)?;
+//! assert_eq!(dfg.node_count(), 3);
+//! assert_eq!(dfg.topological_order()?.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dot;
+mod error;
+mod graph;
+mod op;
+mod parse;
+mod paths;
+mod topo;
+
+pub use builder::DfgBuilder;
+pub use error::{DfgError, ParseDfgError};
+pub use graph::{Dfg, Node, NodeId};
+pub use op::{OpClass, OpKind};
+pub use parse::parse_dfg;
+pub use paths::{CriticalPath, LevelMap};

@@ -1,0 +1,159 @@
+//! Operation kinds and the resource classes that execute them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The arithmetic operation performed by a DFG node.
+///
+/// High-level synthesis maps each kind onto a *resource class*
+/// ([`OpClass`]): additions, subtractions and comparisons all execute on
+/// adder/ALU-style units, while multiplications and divisions execute on
+/// multiplier-style units. This mirrors the paper's library, which
+/// characterizes adder and multiplier versions only.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{OpClass, OpKind};
+///
+/// assert_eq!(OpKind::Sub.class(), OpClass::Adder);
+/// assert_eq!(OpKind::Mul.class(), OpClass::Multiplier);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction (executes on an adder).
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (executes on a multiplier-class unit).
+    Div,
+    /// Magnitude comparison (executes on an adder).
+    Cmp,
+}
+
+impl OpKind {
+    /// All operation kinds, in declaration order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Cmp,
+    ];
+
+    /// The resource class that executes this operation.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::Add | OpKind::Sub | OpKind::Cmp => OpClass::Adder,
+            OpKind::Mul | OpKind::Div => OpClass::Multiplier,
+        }
+    }
+
+    /// The lowercase mnemonic used by the textual DFG format and DOT export.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Cmp => "cmp",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`OpKind::mnemonic`].
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<OpKind> {
+        match s {
+            "add" => Some(OpKind::Add),
+            "sub" => Some(OpKind::Sub),
+            "mul" => Some(OpKind::Mul),
+            "div" => Some(OpKind::Div),
+            "cmp" => Some(OpKind::Cmp),
+            _ => None,
+        }
+    }
+
+    /// The single-character symbol used in scheduled-DFG figures
+    /// (`+` for adder-class ops, `*` for multiplier-class ops).
+    #[must_use]
+    pub fn symbol(self) -> char {
+        match self {
+            OpKind::Add => '+',
+            OpKind::Sub => '-',
+            OpKind::Mul => '*',
+            OpKind::Div => '/',
+            OpKind::Cmp => '<',
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The class of functional unit that can execute an operation.
+///
+/// The paper's resource library contains several *versions* of each class
+/// (e.g. ripple-carry vs Kogge-Stone adders) that differ in area, delay and
+/// reliability; version selection is the core of the synthesis algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Adder/ALU-class unit (add, sub, compare).
+    Adder,
+    /// Multiplier-class unit (mul, div).
+    Multiplier,
+}
+
+impl OpClass {
+    /// All resource classes, in declaration order.
+    pub const ALL: [OpClass; 2] = [OpClass::Adder, OpClass::Multiplier];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Adder => f.write_str("adder"),
+            OpClass::Multiplier => f.write_str("multiplier"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping_matches_paper_library() {
+        assert_eq!(OpKind::Add.class(), OpClass::Adder);
+        assert_eq!(OpKind::Sub.class(), OpClass::Adder);
+        assert_eq!(OpKind::Cmp.class(), OpClass::Adder);
+        assert_eq!(OpKind::Mul.class(), OpClass::Multiplier);
+        assert_eq!(OpKind::Div.class(), OpClass::Multiplier);
+    }
+
+    #[test]
+    fn mnemonic_round_trips() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(OpKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn display_uses_mnemonic() {
+        assert_eq!(OpKind::Mul.to_string(), "mul");
+        assert_eq!(OpClass::Adder.to_string(), "adder");
+    }
+
+    #[test]
+    fn symbols_distinguish_classes() {
+        assert_eq!(OpKind::Add.symbol(), '+');
+        assert_eq!(OpKind::Mul.symbol(), '*');
+    }
+}

@@ -1,0 +1,156 @@
+//! A small line-oriented textual DFG format.
+//!
+//! The format has three line types (blank lines and `#` comments are
+//! ignored):
+//!
+//! ```text
+//! graph <name>
+//! op <label> <kind>        # kind: add | sub | mul | div | cmp
+//! <label> -> <label>       # data dependence
+//! ```
+
+use crate::error::ParseDfgError;
+use crate::graph::Dfg;
+use crate::op::OpKind;
+
+/// Parses the textual DFG format described in the module docs.
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] pinpointing the first malformed line,
+/// unknown operation kind, duplicate label, unknown edge endpoint, or
+/// dependence cycle.
+///
+/// # Examples
+///
+/// ```
+/// let text = "graph tiny\nop a add\nop b mul\na -> b\n";
+/// let dfg = rchls_dfg::parse_dfg(text)?;
+/// assert_eq!(dfg.name(), "tiny");
+/// assert_eq!(dfg.node_count(), 2);
+/// # Ok::<(), rchls_dfg::ParseDfgError>(())
+/// ```
+pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
+    let mut dfg = Dfg::new("unnamed");
+    let err = |line: usize, message: String| ParseDfgError { line, message };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["graph", name] => dfg = rename(dfg, name),
+            ["op", label, kind] => {
+                let kind = OpKind::from_mnemonic(kind)
+                    .ok_or_else(|| err(lineno, format!("unknown op kind {kind:?}")))?;
+                dfg.try_add_node(kind, *label)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            [from, "->", to] => {
+                let f = dfg
+                    .node_by_label(from)
+                    .ok_or_else(|| err(lineno, format!("unknown node {from:?}")))?;
+                let t = dfg
+                    .node_by_label(to)
+                    .ok_or_else(|| err(lineno, format!("unknown node {to:?}")))?;
+                dfg.add_edge(f, t).map_err(|e| err(lineno, e.to_string()))?;
+            }
+            _ => return Err(err(lineno, format!("unrecognized line {line:?}"))),
+        }
+    }
+    dfg.validate().map_err(|e| ParseDfgError {
+        line: 0,
+        message: e.to_string(),
+    })?;
+    Ok(dfg)
+}
+
+/// Rebuilds a graph under a new name, preserving all nodes and edges.
+fn rename(old: Dfg, name: &str) -> Dfg {
+    let mut g = Dfg::new(name);
+    for node in old.nodes() {
+        g.add_node(node.kind(), node.label());
+    }
+    for (a, b) in old.edges() {
+        g.add_edge(a, b).expect("edges of a valid graph re-add cleanly");
+    }
+    g
+}
+
+impl Dfg {
+    /// Serializes the graph to the textual format accepted by [`parse_dfg`].
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = format!("graph {}\n", self.name());
+        for node in self.nodes() {
+            out.push_str(&format!("op {} {}\n", node.label(), node.kind()));
+        }
+        for (a, b) in self.edges() {
+            out.push_str(&format!(
+                "{} -> {}\n",
+                self.node(a).label(),
+                self.node(b).label()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_round_trip() {
+        let text = "graph t\nop a add\nop b mul\nop c sub\na -> b\nb -> c\n";
+        let g = parse_dfg(text).unwrap();
+        assert_eq!(g.name(), "t");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let again = parse_dfg(&g.to_text()).unwrap();
+        assert_eq!(again.node_count(), 3);
+        assert_eq!(again.edge_count(), 2);
+        assert_eq!(again.name(), "t");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\ngraph t\nop a add # trailing\n";
+        let g = parse_dfg(text).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn unknown_kind_is_reported_with_line() {
+        let e = parse_dfg("op a frobnicate\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint() {
+        let e = parse_dfg("op a add\na -> ghost\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = parse_dfg("op a add\nop a add\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let e = parse_dfg("op a add\nop b add\na -> b\nb -> a\n").unwrap_err();
+        assert!(e.message.contains("cycle"));
+    }
+
+    #[test]
+    fn garbage_line_rejected() {
+        let e = parse_dfg("what is this\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

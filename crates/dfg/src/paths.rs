@@ -1,0 +1,208 @@
+//! Delay-weighted longest-path (critical-path) analysis.
+
+use crate::error::DfgError;
+use crate::graph::{Dfg, NodeId};
+
+/// Per-node earliest completion levels under a delay assignment.
+///
+/// Produced by [`Dfg::levels`]; `level(n)` is the length (sum of node
+/// delays) of the longest path *ending at and including* `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelMap {
+    levels: Vec<u32>,
+}
+
+impl LevelMap {
+    /// The longest-path length ending at (and including) `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to the graph the map was computed from.
+    #[must_use]
+    pub fn level(&self, n: NodeId) -> u32 {
+        self.levels[n.index()]
+    }
+
+    /// The overall longest-path length (the graph's minimum latency under
+    /// the delay assignment), or 0 for an empty graph.
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A longest path through the graph under a delay assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Nodes on the path in topological (execution) order.
+    pub nodes: Vec<NodeId>,
+    /// Total delay along the path.
+    pub length: u32,
+}
+
+impl Dfg {
+    /// Computes per-node longest-path levels under `delay`.
+    ///
+    /// `delay(n)` is the execution time of node `n` in clock cycles; the
+    /// level of `n` is `max(level of preds) + delay(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Cycle`] if the graph is cyclic.
+    pub fn levels(&self, mut delay: impl FnMut(NodeId) -> u32) -> Result<LevelMap, DfgError> {
+        let order = self.topological_order()?;
+        let mut levels = vec![0u32; self.node_count()];
+        for &v in &order {
+            let base = self
+                .preds(v)
+                .iter()
+                .map(|&p| levels[p.index()])
+                .max()
+                .unwrap_or(0);
+            levels[v.index()] = base + delay(v);
+        }
+        Ok(LevelMap { levels })
+    }
+
+    /// Extracts one critical (delay-weighted longest) path.
+    ///
+    /// Ties are broken toward the lowest node id, so the result is
+    /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Cycle`] if the graph is cyclic.
+    pub fn critical_path(
+        &self,
+        mut delay: impl FnMut(NodeId) -> u32,
+    ) -> Result<CriticalPath, DfgError> {
+        let mut delays = vec![0u32; self.node_count()];
+        for n in self.node_ids() {
+            delays[n.index()] = delay(n);
+        }
+        let map = self.levels(|n| delays[n.index()])?;
+        let length = map.length();
+        if self.is_empty() {
+            return Ok(CriticalPath {
+                nodes: Vec::new(),
+                length: 0,
+            });
+        }
+        // Walk backwards from the deepest sink along maximal predecessors.
+        let mut cur = self
+            .node_ids()
+            .filter(|&n| map.level(n) == length)
+            .min()
+            .expect("nonempty graph has a max-level node");
+        let mut rev = vec![cur];
+        loop {
+            let need = map.level(cur) - delays[cur.index()];
+            if need == 0 && self.preds(cur).is_empty() {
+                break;
+            }
+            let Some(&next) = self
+                .preds(cur)
+                .iter()
+                .filter(|&&p| map.level(p) == need)
+                .min()
+            else {
+                break;
+            };
+            rev.push(next);
+            cur = next;
+        }
+        rev.reverse();
+        Ok(CriticalPath { nodes: rev, length })
+    }
+
+    /// The number of nodes on the longest path with unit delays (graph depth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Cycle`] if the graph is cyclic.
+    pub fn depth(&self) -> Result<u32, DfgError> {
+        Ok(self.levels(|_| 1)?.length())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    /// Chain a -> b -> c with mixed delays.
+    fn chain() -> (Dfg, [NodeId; 3]) {
+        let mut g = Dfg::new("chain");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Mul, "b");
+        let c = g.add_node(OpKind::Add, "c");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn unit_delay_levels() {
+        let (g, [a, b, c]) = chain();
+        let m = g.levels(|_| 1).unwrap();
+        assert_eq!(m.level(a), 1);
+        assert_eq!(m.level(b), 2);
+        assert_eq!(m.level(c), 3);
+        assert_eq!(m.length(), 3);
+        assert_eq!(g.depth().unwrap(), 3);
+    }
+
+    #[test]
+    fn weighted_levels() {
+        let (g, [a, b, c]) = chain();
+        // multiplier takes 2 cycles
+        let m = g
+            .levels(|n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 })
+            .unwrap();
+        assert_eq!(m.level(a), 1);
+        assert_eq!(m.level(b), 3);
+        assert_eq!(m.level(c), 4);
+    }
+
+    #[test]
+    fn critical_path_on_diamond_prefers_heavy_branch() {
+        let mut g = Dfg::new("d");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Mul, "heavy");
+        let c = g.add_node(OpKind::Add, "light");
+        let d = g.add_node(OpKind::Add, "d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let cp = g
+            .critical_path(|n| if g.node(n).kind() == OpKind::Mul { 5 } else { 1 })
+            .unwrap();
+        assert_eq!(cp.length, 7);
+        assert_eq!(cp.nodes, vec![a, b, d]);
+    }
+
+    #[test]
+    fn critical_path_of_empty_graph() {
+        let g = Dfg::new("e");
+        let cp = g.critical_path(|_| 1).unwrap();
+        assert!(cp.nodes.is_empty());
+        assert_eq!(cp.length, 0);
+    }
+
+    #[test]
+    fn critical_path_single_node() {
+        let mut g = Dfg::new("s");
+        let a = g.add_node(OpKind::Add, "a");
+        let cp = g.critical_path(|_| 3).unwrap();
+        assert_eq!(cp.nodes, vec![a]);
+        assert_eq!(cp.length, 3);
+    }
+
+    #[test]
+    fn zero_delay_nodes_are_transparent() {
+        let (g, [_, b, _]) = chain();
+        let m = g.levels(|n| if n == b { 0 } else { 1 }).unwrap();
+        assert_eq!(m.length(), 2);
+    }
+}

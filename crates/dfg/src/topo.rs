@@ -1,0 +1,109 @@
+//! Topological ordering (Kahn's algorithm).
+
+use crate::error::DfgError;
+use crate::graph::{Dfg, NodeId};
+use std::collections::VecDeque;
+
+impl Dfg {
+    /// Computes a topological order of all nodes.
+    ///
+    /// Uses Kahn's algorithm with a FIFO queue, so the order is deterministic
+    /// for a given insertion order, which keeps every downstream pass (and
+    /// therefore every experiment) reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Cycle`] (carrying a node on the cycle) if the
+    /// graph is not acyclic.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, DfgError> {
+        let n = self.node_count();
+        let mut indegree: Vec<usize> = self.node_ids().map(|v| self.preds(v).len()).collect();
+        let mut queue: VecDeque<NodeId> = self
+            .node_ids()
+            .filter(|&v| indegree[v.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &s in self.succs(v) {
+                indegree[s.index()] -= 1;
+                if indegree[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let on_cycle = self
+                .node_ids()
+                .find(|&v| indegree[v.index()] > 0)
+                .expect("some node must have positive indegree when a cycle exists");
+            Err(DfgError::Cycle(on_cycle))
+        }
+    }
+
+    /// Whether the graph is acyclic.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn diamond() -> (Dfg, [NodeId; 4]) {
+        let mut g = Dfg::new("diamond");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Add, "b");
+        let c = g.add_node(OpKind::Add, "c");
+        let d = g.add_node(OpKind::Add, "d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = g.topological_order().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn topo_is_deterministic() {
+        let (g, _) = diamond();
+        assert_eq!(g.topological_order().unwrap(), g.topological_order().unwrap());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let (mut g, [_, b, c, _]) = diamond();
+        g.add_edge(c, b).unwrap();
+        assert!(g.is_acyclic()); // a->b, a->c, b->d, c->d, c->b: still acyclic
+        let mut g2 = Dfg::new("cyc");
+        let x = g2.add_node(OpKind::Add, "x");
+        let y = g2.add_node(OpKind::Add, "y");
+        let z = g2.add_node(OpKind::Add, "z");
+        g2.add_edge(x, y).unwrap();
+        g2.add_edge(y, z).unwrap();
+        g2.add_edge(z, x).unwrap();
+        assert!(!g2.is_acyclic());
+        assert!(matches!(g2.topological_order(), Err(DfgError::Cycle(_))));
+    }
+
+    #[test]
+    fn empty_topo_is_empty() {
+        let g = Dfg::new("empty");
+        assert!(g.topological_order().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! Netlist representation: nets, gates, structural validation.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A signal (wire) in a netlist, identified by a dense index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Net(u32);
+
+impl Net {
+    /// Creates a net handle from a raw index.
+    #[must_use]
+    pub fn new(index: u32) -> Net {
+        Net(index)
+    }
+
+    /// The dense index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The boolean function computed by a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Logical AND of all inputs.
+    And,
+    /// Logical OR of all inputs.
+    Or,
+    /// Logical XOR (odd parity) of all inputs.
+    Xor,
+    /// Negated AND.
+    Nand,
+    /// Negated OR.
+    Nor,
+    /// Inverter (exactly one input).
+    Not,
+    /// Buffer (exactly one input) — used to model fan-out stages.
+    Buf,
+    /// Constant zero (no inputs).
+    Zero,
+    /// Constant one (no inputs).
+    One,
+}
+
+impl GateKind {
+    /// Evaluates the gate function over the given input values.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::Zero => false,
+            GateKind::One => true,
+        }
+    }
+
+    /// The number of inputs this kind requires, or `None` for variadic.
+    #[must_use]
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::Not | GateKind::Buf => Some(1),
+            GateKind::Zero | GateKind::One => Some(0),
+            _ => None,
+        }
+    }
+}
+
+/// One gate instance: a function, its input nets, and its output net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The boolean function.
+    pub kind: GateKind,
+    /// Input nets, in order.
+    pub inputs: Vec<Net>,
+    /// The single output net this gate drives.
+    pub output: Net,
+}
+
+/// A structural error detected by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate referenced a net that does not exist.
+    UnknownNet(Net),
+    /// Two drivers (gates or primary inputs) drive the same net.
+    MultipleDrivers(Net),
+    /// A gate's input net has no driver.
+    Undriven(Net),
+    /// A gate has the wrong number of inputs for its kind.
+    BadArity {
+        /// The gate's function.
+        kind: GateKind,
+        /// The number of inputs it was given.
+        got: usize,
+    },
+    /// The gate graph contains a combinational cycle.
+    CombinationalCycle,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet(n) => write!(f, "net {n} does not exist"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::Undriven(n) => write!(f, "net {n} has no driver"),
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate {kind:?} cannot take {got} inputs")
+            }
+            NetlistError::CombinationalCycle => write!(f, "combinational cycle detected"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A combinational gate-level netlist.
+///
+/// Nets are allocated through [`Netlist::add_input`] (primary inputs) and
+/// [`Netlist::add_gate`] (gate outputs); primary outputs are declared with
+/// [`Netlist::mark_output`].
+///
+/// # Examples
+///
+/// ```
+/// use rchls_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), rchls_netlist::NetlistError> {
+/// let mut nl = Netlist::new("half-adder");
+/// let a = nl.add_input();
+/// let b = nl.add_input();
+/// let sum = nl.add_gate(GateKind::Xor, vec![a, b])?;
+/// let carry = nl.add_gate(GateKind::And, vec![a, b])?;
+/// nl.mark_output(sum);
+/// nl.mark_output(carry);
+/// nl.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    net_count: u32,
+    inputs: Vec<Net>,
+    outputs: Vec<Net>,
+    gates: Vec<Gate>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            net_count: 0,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// The netlist's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fresh_net(&mut self) -> Net {
+        let n = Net(self.net_count);
+        self.net_count += 1;
+        n
+    }
+
+    /// Allocates a primary-input net.
+    pub fn add_input(&mut self) -> Net {
+        let n = self.fresh_net();
+        self.inputs.push(n);
+        n
+    }
+
+    /// Adds a gate driving a freshly allocated output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if the input count does not match
+    /// the gate kind, or [`NetlistError::UnknownNet`] if an input net does
+    /// not exist yet.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<Net>) -> Result<Net, NetlistError> {
+        if let Some(a) = kind.arity() {
+            if inputs.len() != a {
+                return Err(NetlistError::BadArity {
+                    kind,
+                    got: inputs.len(),
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(NetlistError::BadArity { kind, got: 0 });
+        }
+        for &i in &inputs {
+            if i.0 >= self.net_count {
+                return Err(NetlistError::UnknownNet(i));
+            }
+        }
+        let output = self.fresh_net();
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
+        Ok(output)
+    }
+
+    /// Declares `net` a primary output.
+    pub fn mark_output(&mut self, net: Net) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Primary inputs, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[Net] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Net] {
+        &self.outputs
+    }
+
+    /// All gates, in creation (topological) order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total number of nets (inputs + gate outputs).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count as usize
+    }
+
+    /// Checks structural invariants: single driver per net, all nets driven,
+    /// no combinational cycles.
+    ///
+    /// Because [`Netlist::add_gate`] only references already-allocated nets
+    /// and always drives a fresh net, netlists built through the public API
+    /// are correct by construction; `validate` exists to guard
+    /// deserialization and to document the invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut driver = vec![false; self.net_count()];
+        for &i in &self.inputs {
+            if i.0 >= self.net_count {
+                return Err(NetlistError::UnknownNet(i));
+            }
+            if driver[i.index()] {
+                return Err(NetlistError::MultipleDrivers(i));
+            }
+            driver[i.index()] = true;
+        }
+        for g in &self.gates {
+            if g.output.0 >= self.net_count {
+                return Err(NetlistError::UnknownNet(g.output));
+            }
+            if driver[g.output.index()] {
+                return Err(NetlistError::MultipleDrivers(g.output));
+            }
+            driver[g.output.index()] = true;
+        }
+        // Creation order is topological: every gate input must already be
+        // driven when the gate is reached, otherwise there is a cycle or a
+        // dangling net.
+        let mut seen = vec![false; self.net_count()];
+        for &i in &self.inputs {
+            seen[i.index()] = true;
+        }
+        for g in &self.gates {
+            for &i in &g.inputs {
+                if i.0 >= self.net_count {
+                    return Err(NetlistError::UnknownNet(i));
+                }
+                if !driver[i.index()] {
+                    return Err(NetlistError::Undriven(i));
+                }
+                if !seen[i.index()] {
+                    return Err(NetlistError::CombinationalCycle);
+                }
+            }
+            seen[g.output.index()] = true;
+        }
+        for &o in &self.outputs {
+            if o.0 >= self.net_count {
+                return Err(NetlistError::UnknownNet(o));
+            }
+            if !driver[o.index()] {
+                return Err(NetlistError::Undriven(o));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_eval() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Zero.eval(&[]));
+        assert!(GateKind::One.eval(&[]));
+    }
+
+    #[test]
+    fn builds_half_adder() {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let s = nl.add_gate(GateKind::Xor, vec![a, b]).unwrap();
+        let c = nl.add_gate(GateKind::And, vec![a, b]).unwrap();
+        nl.mark_output(s);
+        nl.mark_output(c);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.net_count(), 4);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input();
+        assert!(matches!(
+            nl.add_gate(GateKind::Not, vec![a, a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            nl.add_gate(GateKind::And, vec![]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(nl.add_gate(GateKind::Not, vec![a]).is_ok());
+    }
+
+    #[test]
+    fn unknown_input_net_rejected() {
+        let mut nl = Netlist::new("t");
+        let ghost = Net::new(40);
+        assert_eq!(
+            nl.add_gate(GateKind::Buf, vec![ghost]),
+            Err(NetlistError::UnknownNet(ghost))
+        );
+    }
+
+    #[test]
+    fn mark_output_dedupes() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input();
+        nl.mark_output(a);
+        nl.mark_output(a);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,620 @@
+//! Structural generators for the paper's five arithmetic components.
+//!
+//! The paper characterizes ripple-carry, Brent-Kung and Kogge-Stone adders
+//! plus carry-save and leapfrog multipliers. These generators build
+//! gate-level netlists with the classic structure of each architecture, so
+//! the fault injector sees realistic differences in gate count, logic depth
+//! and reconvergent fan-out — the properties that drive logical masking.
+//!
+//! All adders take `2n` primary inputs (the bits of `a` then `b`,
+//! LSB-first) and produce `n + 1` outputs (sum bits then carry-out).
+//! Multipliers take `2n` inputs and produce `2n` product bits.
+
+use crate::gate::{GateKind, Net, Netlist};
+
+/// Builds an `n`-bit ripple-carry adder (a chain of full adders).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ripple_carry_adder(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("rca{n}"));
+    let a: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let mut carry = nl
+        .add_gate(GateKind::Zero, vec![])
+        .expect("zero gate is always valid");
+    for i in 0..n {
+        let (s, c) = full_adder(&mut nl, a[i], b[i], carry);
+        nl.mark_output(s);
+        carry = c;
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// Builds an `n`-bit Kogge-Stone parallel-prefix adder (minimum logic
+/// depth, maximum wiring/gate count).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn kogge_stone_adder(n: usize) -> Netlist {
+    prefix_adder(n, PrefixTopology::KoggeStone)
+}
+
+/// Builds an `n`-bit Brent-Kung parallel-prefix adder (sparse tree: fewer
+/// prefix cells than Kogge-Stone at roughly double the depth).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn brent_kung_adder(n: usize) -> Netlist {
+    prefix_adder(n, PrefixTopology::BrentKung)
+}
+
+#[derive(Clone, Copy)]
+enum PrefixTopology {
+    KoggeStone,
+    BrentKung,
+}
+
+/// `(G, P)` pair of nets for a prefix cell.
+type Gp = (Net, Net);
+
+fn prefix_adder(n: usize, topo: PrefixTopology) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let name = match topo {
+        PrefixTopology::KoggeStone => format!("ks{n}"),
+        PrefixTopology::BrentKung => format!("bk{n}"),
+    };
+    let mut nl = Netlist::new(name);
+    let a: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    // Pre-processing: per-bit generate and propagate.
+    let mut gp: Vec<Gp> = (0..n)
+        .map(|i| {
+            let g = nl
+                .add_gate(GateKind::And, vec![a[i], b[i]])
+                .expect("valid and");
+            let p = nl
+                .add_gate(GateKind::Xor, vec![a[i], b[i]])
+                .expect("valid xor");
+            (g, p)
+        })
+        .collect();
+    let p_bits: Vec<Net> = gp.iter().map(|&(_, p)| p).collect();
+    // Prefix network computing group (G, P) spanning [0, i] for each i.
+    match topo {
+        PrefixTopology::KoggeStone => {
+            let mut d = 1;
+            while d < n {
+                let snapshot = gp.clone();
+                for (i, slot) in gp.iter_mut().enumerate().skip(d) {
+                    *slot = combine(&mut nl, snapshot[i], snapshot[i - d]);
+                }
+                d *= 2;
+            }
+        }
+        PrefixTopology::BrentKung => {
+            // Up-sweep.
+            let mut d = 1;
+            while d < n {
+                let mut i = 2 * d - 1;
+                while i < n {
+                    gp[i] = combine(&mut nl, gp[i], gp[i - d]);
+                    i += 2 * d;
+                }
+                d *= 2;
+            }
+            // Down-sweep.
+            d /= 2;
+            while d >= 1 {
+                let mut i = 3 * d - 1;
+                while i < n {
+                    gp[i] = combine(&mut nl, gp[i], gp[i - d]);
+                    i += 2 * d;
+                }
+                d /= 2;
+            }
+        }
+    }
+    // Post-processing: c_i = G[0..i-1]; s_i = p_i xor c_i; c_0 = 0.
+    let zero = nl
+        .add_gate(GateKind::Zero, vec![])
+        .expect("zero gate is always valid");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let carry_in = if i == 0 { zero } else { gp[i - 1].0 };
+        let s = nl
+            .add_gate(GateKind::Xor, vec![p_bits[i], carry_in])
+            .expect("valid xor");
+        sums.push(s);
+    }
+    for s in sums {
+        nl.mark_output(s);
+    }
+    nl.mark_output(gp[n - 1].0); // carry-out
+    nl
+}
+
+/// Prefix combine: `(G, P) ∘ (G', P') = (G + P·G', P·P')` where the primed
+/// operand covers the lower bit range.
+fn combine(nl: &mut Netlist, hi: Gp, lo: Gp) -> Gp {
+    let pg = nl
+        .add_gate(GateKind::And, vec![hi.1, lo.0])
+        .expect("valid and");
+    let g = nl.add_gate(GateKind::Or, vec![hi.0, pg]).expect("valid or");
+    let p = nl
+        .add_gate(GateKind::And, vec![hi.1, lo.1])
+        .expect("valid and");
+    (g, p)
+}
+
+/// Builds an `n`-bit carry-skip adder: ripple blocks of `block` bits whose
+/// carries can bypass a whole block when every bit propagates (the
+/// architecture the paper's Section 4 names alongside carry-lookahead).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+#[must_use]
+pub fn carry_skip_adder(n: usize, block: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    assert!(block > 0, "block size must be positive");
+    let mut nl = Netlist::new(format!("cska{n}"));
+    let a: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let mut carry = nl
+        .add_gate(GateKind::Zero, vec![])
+        .expect("zero gate is always valid");
+    let mut i = 0;
+    while i < n {
+        let end = (i + block).min(n);
+        let block_cin = carry;
+        // Ripple through the block, collecting per-bit propagate signals.
+        let mut props = Vec::with_capacity(end - i);
+        let mut c = block_cin;
+        for j in i..end {
+            let p = nl
+                .add_gate(GateKind::Xor, vec![a[j], b[j]])
+                .expect("valid xor");
+            props.push(p);
+            let (s, cout) = full_adder(&mut nl, a[j], b[j], c);
+            nl.mark_output(s);
+            c = cout;
+        }
+        // Skip path: if every bit propagates, the block's carry-out is its
+        // carry-in; mux implemented as (P·cin) + (!P·ripple).
+        let all_p = if props.len() == 1 {
+            props[0]
+        } else {
+            nl.add_gate(GateKind::And, props.clone()).expect("valid and")
+        };
+        let skip = nl
+            .add_gate(GateKind::And, vec![all_p, block_cin])
+            .expect("valid and");
+        let not_p = nl.add_gate(GateKind::Not, vec![all_p]).expect("valid not");
+        let keep = nl
+            .add_gate(GateKind::And, vec![not_p, c])
+            .expect("valid and");
+        carry = nl
+            .add_gate(GateKind::Or, vec![skip, keep])
+            .expect("valid or");
+        i = end;
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// Builds an `n`-bit carry-select adder: for each block beyond the first,
+/// two ripple chains compute the sum for carry-in 0 and 1 and the real
+/// carry selects between them.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+#[must_use]
+pub fn carry_select_adder(n: usize, block: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    assert!(block > 0, "block size must be positive");
+    let mut nl = Netlist::new(format!("csel{n}"));
+    let a: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let zero = nl
+        .add_gate(GateKind::Zero, vec![])
+        .expect("zero gate is always valid");
+    let one = nl
+        .add_gate(GateKind::One, vec![])
+        .expect("one gate is always valid");
+    let mut carry = zero;
+    let mut i = 0;
+    while i < n {
+        let end = (i + block).min(n);
+        if i == 0 {
+            // First block ripples directly.
+            let mut c = zero;
+            for j in i..end {
+                let (s, cout) = full_adder(&mut nl, a[j], b[j], c);
+                nl.mark_output(s);
+                c = cout;
+            }
+            carry = c;
+        } else {
+            // Speculative chains for cin = 0 and cin = 1.
+            let (mut c0, mut c1) = (zero, one);
+            let mut sums = Vec::with_capacity(end - i);
+            for j in i..end {
+                let (s0, co0) = full_adder(&mut nl, a[j], b[j], c0);
+                let (s1, co1) = full_adder(&mut nl, a[j], b[j], c1);
+                sums.push((s0, s1));
+                c0 = co0;
+                c1 = co1;
+            }
+            // Select with the block's actual carry-in.
+            let ncin = nl
+                .add_gate(GateKind::Not, vec![carry])
+                .expect("valid not");
+            for (s0, s1) in sums {
+                let pick0 = nl
+                    .add_gate(GateKind::And, vec![ncin, s0])
+                    .expect("valid and");
+                let pick1 = nl
+                    .add_gate(GateKind::And, vec![carry, s1])
+                    .expect("valid and");
+                let s = nl
+                    .add_gate(GateKind::Or, vec![pick0, pick1])
+                    .expect("valid or");
+                nl.mark_output(s);
+            }
+            let pick0 = nl
+                .add_gate(GateKind::And, vec![ncin, c0])
+                .expect("valid and");
+            let pick1 = nl
+                .add_gate(GateKind::And, vec![carry, c1])
+                .expect("valid and");
+            carry = nl
+                .add_gate(GateKind::Or, vec![pick0, pick1])
+                .expect("valid or");
+        }
+        i = end;
+    }
+    nl.mark_output(carry);
+    nl
+}
+
+/// Builds an `n × n` carry-save array multiplier: AND-gate partial
+/// products reduced by rows of carry-save adders with a final ripple stage.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn carry_save_multiplier(n: usize) -> Netlist {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("csm{n}"));
+    let a: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let zero = nl
+        .add_gate(GateKind::Zero, vec![])
+        .expect("zero gate is always valid");
+    // Partial products pp[j][i] = a_i & b_j.
+    let pp: Vec<Vec<Net>> = (0..n)
+        .map(|j| {
+            (0..n)
+                .map(|i| {
+                    nl.add_gate(GateKind::And, vec![a[i], b[j]])
+                        .expect("valid and")
+                })
+                .collect()
+        })
+        .collect();
+    // Row-by-row carry-save reduction. `sum[i]` holds the running sum bit of
+    // weight (row + i); carries shift left by one each row.
+    let mut sum: Vec<Net> = pp[0].clone();
+    let mut carry: Vec<Net> = vec![zero; n];
+    let mut product: Vec<Net> = Vec::with_capacity(2 * n);
+    for pp_row in pp.iter().skip(1) {
+        product.push(sum[0]); // lowest live weight is now final
+        let mut new_sum = Vec::with_capacity(n);
+        let mut new_carry = Vec::with_capacity(n);
+        for i in 0..n {
+            let shifted_sum = if i + 1 < n { sum[i + 1] } else { zero };
+            let (s, c) = full_adder(&mut nl, pp_row[i], shifted_sum, carry[i]);
+            new_sum.push(s);
+            new_carry.push(c);
+        }
+        sum = new_sum;
+        carry = new_carry;
+    }
+    product.push(sum[0]);
+    // Final carry-propagate (ripple) stage over the remaining bits.
+    let mut cin = zero;
+    for i in 1..n {
+        let prev_carry = carry[i - 1];
+        let (s, c) = full_adder(&mut nl, sum[i], prev_carry, cin);
+        product.push(s);
+        cin = c;
+    }
+    let (last, _c) = full_adder(&mut nl, carry[n - 1], cin, zero);
+    product.push(last);
+    for p in product {
+        nl.mark_output(p);
+    }
+    nl
+}
+
+/// Builds an `n × n` "leapfrog" multiplier: the same partial-product array
+/// as [`carry_save_multiplier`] but reduced two rows at a time with
+/// interleaved (leapfrogging) carry chains, yielding a shallower but
+/// wider-fan-out structure.
+///
+/// The original leapfrog architecture is described only behaviourally in
+/// the paper's sources; this generator reproduces its defining structural
+/// property — alternating carry chains that skip a row — which is what
+/// differentiates its soft-error profile from the plain array multiplier.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn leapfrog_multiplier(n: usize) -> Netlist {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("lfm{n}"));
+    let a: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let b: Vec<Net> = (0..n).map(|_| nl.add_input()).collect();
+    let zero = nl
+        .add_gate(GateKind::Zero, vec![])
+        .expect("zero gate is always valid");
+    // Shifted partial products: row j has weight offset j.
+    // Reduce rows pairwise (leapfrog): combine row j and row j+1 into one
+    // two-row ripple block, then accumulate blocks.
+    let width = 2 * n;
+    let mut rows: Vec<Vec<Net>> = (0..n)
+        .map(|j| {
+            let mut row = vec![zero; width];
+            for i in 0..n {
+                row[i + j] = nl
+                    .add_gate(GateKind::And, vec![a[i], b[j]])
+                    .expect("valid and");
+            }
+            row
+        })
+        .collect();
+    // Pairwise reduction tree: each level halves the number of rows using
+    // full ripple additions of `width` bits (carry chains leapfrog rows).
+    while rows.len() > 1 {
+        let mut next: Vec<Vec<Net>> = Vec::with_capacity(rows.len().div_ceil(2));
+        let mut iter = rows.into_iter();
+        while let Some(x) = iter.next() {
+            if let Some(y) = iter.next() {
+                next.push(ripple_add_vectors(&mut nl, &x, &y, zero));
+            } else {
+                next.push(x);
+            }
+        }
+        rows = next;
+    }
+    for &p in rows[0].iter().take(width) {
+        nl.mark_output(p);
+    }
+    nl
+}
+
+fn ripple_add_vectors(nl: &mut Netlist, x: &[Net], y: &[Net], zero: Net) -> Vec<Net> {
+    let mut carry = zero;
+    let mut out = Vec::with_capacity(x.len());
+    for i in 0..x.len() {
+        let (s, c) = full_adder(nl, x[i], y[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+/// Adds the 5-gate full-adder cell, returning `(sum, carry_out)`.
+fn full_adder(nl: &mut Netlist, a: Net, b: Net, cin: Net) -> (Net, Net) {
+    let axb = nl.add_gate(GateKind::Xor, vec![a, b]).expect("valid xor");
+    let s = nl
+        .add_gate(GateKind::Xor, vec![axb, cin])
+        .expect("valid xor");
+    let ab = nl.add_gate(GateKind::And, vec![a, b]).expect("valid and");
+    let axbc = nl
+        .add_gate(GateKind::And, vec![axb, cin])
+        .expect("valid and");
+    let cout = nl
+        .add_gate(GateKind::Or, vec![ab, axbc])
+        .expect("valid or");
+    (s, cout)
+}
+
+/// Packs operand values into an input vector for a `2n`-input component
+/// (bits of `a` LSB-first, then bits of `b`).
+#[must_use]
+pub fn adder_inputs(n: usize, a: u64, b: u64) -> Vec<bool> {
+    let mut v = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        v.push((a >> i) & 1 == 1);
+    }
+    for i in 0..n {
+        v.push((b >> i) & 1 == 1);
+    }
+    v
+}
+
+/// Interprets an adder's output vector (`n` sum bits then carry-out) as an
+/// unsigned value.
+#[must_use]
+pub fn adder_output_value(n: usize, out: &[bool]) -> u64 {
+    debug_assert_eq!(out.len(), n + 1);
+    out.iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u64) << i)
+        .sum()
+}
+
+/// Interprets a multiplier's output vector (`2n` product bits, LSB-first)
+/// as an unsigned value.
+#[must_use]
+pub fn multiplier_output_value(out: &[bool]) -> u64 {
+    out.iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u64) << i)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn check_adder(build: fn(usize) -> Netlist, n: usize) {
+        let nl = build(n);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let max = 1u64 << n;
+        for a in 0..max {
+            for b in 0..max {
+                let out = sim.run(&nl, &adder_inputs(n, a, b));
+                assert_eq!(
+                    adder_output_value(n, &out),
+                    a + b,
+                    "{} failed on {a}+{b}",
+                    nl.name()
+                );
+            }
+        }
+    }
+
+    fn check_multiplier(build: fn(usize) -> Netlist, n: usize) {
+        let nl = build(n);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl);
+        let max = 1u64 << n;
+        for a in 0..max {
+            for b in 0..max {
+                let out = sim.run(&nl, &adder_inputs(n, a, b));
+                assert_eq!(
+                    multiplier_output_value(&out),
+                    a * b,
+                    "{} failed on {a}*{b}",
+                    nl.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_carry_exhaustive_4bit() {
+        check_adder(ripple_carry_adder, 4);
+    }
+
+    #[test]
+    fn kogge_stone_exhaustive_4bit() {
+        check_adder(kogge_stone_adder, 4);
+    }
+
+    #[test]
+    fn brent_kung_exhaustive_4bit() {
+        check_adder(brent_kung_adder, 4);
+    }
+
+    #[test]
+    fn adders_agree_at_5bit_samples() {
+        for n in [1usize, 2, 3, 5] {
+            check_adder(ripple_carry_adder, n.min(4));
+            let rca = ripple_carry_adder(n);
+            let ks = kogge_stone_adder(n);
+            let bk = brent_kung_adder(n);
+            let mut s1 = Simulator::new(&rca);
+            let mut s2 = Simulator::new(&ks);
+            let mut s3 = Simulator::new(&bk);
+            let max = 1u64 << n;
+            for (a, b) in [(0, 0), (max - 1, max - 1), (1, max - 1), (max / 2, 3 % max)] {
+                let iv = adder_inputs(n, a, b);
+                let o1 = adder_output_value(n, &s1.run(&rca, &iv));
+                let o2 = adder_output_value(n, &s2.run(&ks, &iv));
+                let o3 = adder_output_value(n, &s3.run(&bk, &iv));
+                assert_eq!(o1, a + b);
+                assert_eq!(o2, a + b);
+                assert_eq!(o3, a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_skip_exhaustive_4bit() {
+        for block in [1usize, 2, 3, 4] {
+            let nl = carry_skip_adder(4, block);
+            nl.validate().unwrap();
+            let mut sim = Simulator::new(&nl);
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    let out = sim.run(&nl, &adder_inputs(4, a, b));
+                    assert_eq!(adder_output_value(4, &out), a + b, "block {block}: {a}+{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_exhaustive_4bit() {
+        for block in [1usize, 2, 3, 4] {
+            let nl = carry_select_adder(4, block);
+            nl.validate().unwrap();
+            let mut sim = Simulator::new(&nl);
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    let out = sim.run(&nl, &adder_inputs(4, a, b));
+                    assert_eq!(adder_output_value(4, &out), a + b, "block {block}: {a}+{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_and_select_have_distinct_structures() {
+        let rca = ripple_carry_adder(16);
+        let cska = carry_skip_adder(16, 4);
+        let csel = carry_select_adder(16, 4);
+        // Skip adds a few gates per block; select nearly doubles the chains.
+        assert!(cska.gate_count() > rca.gate_count());
+        assert!(csel.gate_count() > cska.gate_count());
+    }
+
+    #[test]
+    fn carry_save_multiplier_exhaustive_4bit() {
+        check_multiplier(carry_save_multiplier, 4);
+    }
+
+    #[test]
+    fn leapfrog_multiplier_exhaustive_4bit() {
+        check_multiplier(leapfrog_multiplier, 4);
+    }
+
+    #[test]
+    fn multipliers_exhaustive_small_widths() {
+        for n in [1usize, 2, 3] {
+            check_multiplier(carry_save_multiplier, n);
+            check_multiplier(leapfrog_multiplier, n);
+        }
+    }
+
+    #[test]
+    fn architectures_differ_structurally() {
+        let rca = ripple_carry_adder(16);
+        let ks = kogge_stone_adder(16);
+        let bk = brent_kung_adder(16);
+        // Kogge-Stone spends more gates than Brent-Kung, which spends more
+        // than ripple-carry's bare chain of full adders.
+        assert!(ks.gate_count() > bk.gate_count());
+        assert!(bk.gate_count() > rca.gate_count());
+        let csm = carry_save_multiplier(8);
+        let lfm = leapfrog_multiplier(8);
+        assert_ne!(csm.gate_count(), lfm.gate_count());
+    }
+}

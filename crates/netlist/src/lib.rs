@@ -1,0 +1,33 @@
+//! Gate-level netlist substrate and soft-error fault injection.
+//!
+//! The paper derives its component reliabilities from transistor-level
+//! artifacts we cannot run (MAX layouts simulated with HSPICE). This crate
+//! is the documented substitution: structural gate-level netlists for the
+//! same five arithmetic components (ripple-carry, Brent-Kung and Kogge-Stone
+//! adders; carry-save and leapfrog multipliers), a logic simulator, and a
+//! Monte-Carlo single-event-upset (SEU) injector that measures each
+//! component's *logical masking* — the fraction of injected glitches that
+//! never reach an output. Susceptibility numbers from here feed the same
+//! Figure-2 characterization chain (`rchls-reslib`) the paper uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_netlist::{generators, FaultInjector};
+//!
+//! let adder = generators::ripple_carry_adder(8);
+//! let report = FaultInjector::new(42).characterize(&adder, 200);
+//! assert!(report.susceptibility > 0.0 && report.susceptibility <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod gate;
+pub mod generators;
+mod sim;
+
+pub use fault::{FaultInjector, SusceptibilityReport};
+pub use gate::{Gate, GateKind, Net, Netlist, NetlistError};
+pub use sim::Simulator;

@@ -1,0 +1,84 @@
+//! Whole-design reliability evaluation.
+
+use crate::model::{parallel_model, serial_model};
+use crate::reliability::Reliability;
+use serde::{Deserialize, Serialize};
+
+/// How a set of components composes into a system (paper Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemModel {
+    /// All components must succeed (`R = Π R_i`).
+    Serial,
+    /// One success suffices (`R = 1 - Π (1-R_i)`).
+    Parallel,
+}
+
+impl SystemModel {
+    /// Composes the component reliabilities under this model.
+    #[must_use]
+    pub fn compose(self, components: impl IntoIterator<Item = Reliability>) -> Reliability {
+        match self {
+            SystemModel::Serial => serial_model(components),
+            SystemModel::Parallel => parallel_model(components),
+        }
+    }
+}
+
+/// Design reliability of a scheduled data-flow graph: the product of the
+/// per-operation reliabilities, regardless of whether operations execute
+/// concurrently.
+///
+/// The paper's Section 5 makes the point explicitly: although concurrently
+/// scheduled operations look like a parallel block diagram, *every*
+/// operation's result is consumed downstream, so the design succeeds only
+/// if all operations succeed — the serial product form applies
+/// (`R = R_A · R_B · ... · R_F` for Figure 4a).
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::{serial_reliability, Reliability};
+///
+/// // Paper Fig. 5(a): six additions all on type-2 adders (R = 0.969).
+/// let ops = vec![Reliability::new(0.969)?; 6];
+/// let design = serial_reliability(ops);
+/// assert!((design.value() - 0.82783).abs() < 5e-6);
+/// # Ok::<(), rchls_relmath::ReliabilityError>(())
+/// ```
+#[must_use]
+pub fn serial_reliability(operations: impl IntoIterator<Item = Reliability>) -> Reliability {
+    serial_model(operations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: f64) -> Reliability {
+        Reliability::new(p).unwrap()
+    }
+
+    #[test]
+    fn compose_dispatches() {
+        let parts = [r(0.9), r(0.9)];
+        assert!((SystemModel::Serial.compose(parts).value() - 0.81).abs() < 1e-12);
+        assert!((SystemModel::Parallel.compose(parts).value() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure5b_model() {
+        // Fig. 5(b)-style mix: three ops at 0.999 and three at 0.969 gives
+        // 0.999^3 * 0.969^3 = 0.90713 (the paper's reported value).
+        let mix = [r(0.999), r(0.999), r(0.999), r(0.969), r(0.969), r(0.969)];
+        let design = serial_reliability(mix);
+        assert!((design.value() - 0.90713).abs() < 5e-6);
+    }
+
+    #[test]
+    fn paper_fir_all_type2() {
+        // 23-operation FIR with every op on a type-2 unit (R = 0.969):
+        // 0.969^23 = 0.48467 (Table 2a / Fig. 7a).
+        let design = serial_reliability(std::iter::repeat_n(r(0.969), 23));
+        assert!((design.value() - 0.48467).abs() < 5e-6);
+    }
+}

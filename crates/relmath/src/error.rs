@@ -1,0 +1,47 @@
+//! Error type for reliability computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by reliability computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReliabilityError {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability(f64),
+    /// A failure rate was negative or not finite.
+    InvalidRate(f64),
+    /// An NMR module count was even or zero (N must satisfy `N = 2k - 1`).
+    InvalidModuleCount(u32),
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReliabilityError::InvalidProbability(p) => {
+                write!(f, "probability {p} is not in [0, 1]")
+            }
+            ReliabilityError::InvalidRate(r) => write!(f, "failure rate {r} is not finite and non-negative"),
+            ReliabilityError::InvalidModuleCount(n) => {
+                write!(f, "NMR module count {n} is not an odd positive integer")
+            }
+        }
+    }
+}
+
+impl Error for ReliabilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ReliabilityError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(ReliabilityError::InvalidRate(-1.0).to_string().contains("-1"));
+        assert!(ReliabilityError::InvalidModuleCount(4)
+            .to_string()
+            .contains('4'));
+    }
+}

@@ -1,0 +1,38 @@
+//! Reliability mathematics for high-level synthesis.
+//!
+//! Implements the reliability model of the paper's Section 5: the
+//! [`Reliability`] probability newtype, failure-rate conversions
+//! (`R(t) = exp(-λ·t)`), serial/parallel system models (Figure 3), the
+//! product-form design reliability used for scheduled data-flow graphs
+//! (Figure 4a), and N-modular redundancy (NMR/TMR, the redundancy scheme of
+//! the Orailoglu–Karri baseline).
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_relmath::{Reliability, nmr};
+//!
+//! # fn main() -> Result<(), rchls_relmath::ReliabilityError> {
+//! let r = Reliability::new(0.969)?;
+//! // Triple modular redundancy improves a good component:
+//! assert!(nmr(r, 3)?.value() > r.value());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+mod error;
+mod model;
+mod nmr;
+mod rate;
+mod reliability;
+
+pub use design::{serial_reliability, SystemModel};
+pub use error::ReliabilityError;
+pub use model::{parallel_model, serial_model};
+pub use nmr::{duplex_with_recovery, nmr, replicated, tmr};
+pub use rate::FailureRate;
+pub use reliability::Reliability;

@@ -1,0 +1,89 @@
+//! Serial and parallel reliability block models (paper Figure 3).
+
+use crate::reliability::Reliability;
+
+/// Reliability of a serial composition: every component must succeed, so
+/// `R = Π R_i` (Figure 3a).
+///
+/// An empty composition is perfectly reliable (identity of the product).
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::{serial_model, Reliability};
+///
+/// let parts = [Reliability::new(0.9)?, Reliability::new(0.9)?];
+/// assert!((serial_model(parts).value() - 0.81).abs() < 1e-12);
+/// # Ok::<(), rchls_relmath::ReliabilityError>(())
+/// ```
+#[must_use]
+pub fn serial_model(components: impl IntoIterator<Item = Reliability>) -> Reliability {
+    components
+        .into_iter()
+        .fold(Reliability::PERFECT, Reliability::and)
+}
+
+/// Reliability of a classical parallel composition: a single success
+/// suffices, so `R = 1 - Π (1 - R_i)` (Figure 3b).
+///
+/// Note that the paper deliberately does **not** use this model for
+/// concurrently scheduled operations — in a data path every operation's
+/// result is consumed, so concurrency is still a serial reliability
+/// composition (see [`crate::serial_reliability`]). The classical parallel
+/// model applies to genuine redundancy, which is what NMR builds on.
+///
+/// An empty composition has reliability 0 (no component can succeed).
+#[must_use]
+pub fn parallel_model(components: impl IntoIterator<Item = Reliability>) -> Reliability {
+    let fail = components
+        .into_iter()
+        .fold(1.0, |acc, r| acc * r.unreliability());
+    Reliability::new(1.0 - fail).unwrap_or(Reliability::PERFECT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: f64) -> Reliability {
+        Reliability::new(p).unwrap()
+    }
+
+    #[test]
+    fn serial_is_product() {
+        let parts = [r(0.999); 6];
+        let expect = 0.999f64.powi(6);
+        assert!((serial_model(parts).value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_of_empty_is_one() {
+        assert_eq!(serial_model(std::iter::empty()), Reliability::PERFECT);
+    }
+
+    #[test]
+    fn parallel_improves_over_best_component() {
+        let parts = [r(0.6), r(0.7)];
+        let p = parallel_model(parts);
+        assert!(p.value() > 0.7);
+        assert!((p.value() - (1.0 - 0.4 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_of_empty_is_zero() {
+        assert_eq!(parallel_model(std::iter::empty()), Reliability::FAILED);
+    }
+
+    #[test]
+    fn serial_never_exceeds_weakest_component() {
+        let parts = [r(0.99), r(0.5), r(0.9)];
+        assert!(serial_model(parts).value() <= 0.5);
+    }
+
+    #[test]
+    fn paper_figure5a_value() {
+        // Six type-2 adders in series: 0.969^6 = 0.82783 (paper Fig. 5a).
+        let design = serial_model(std::iter::repeat_n(r(0.969), 6));
+        assert!((design.value() - 0.82783).abs() < 5e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! N-modular redundancy (NMR) reliability.
+
+use crate::error::ReliabilityError;
+use crate::reliability::Reliability;
+
+/// Reliability of an N-modular-redundant module built from `n` identical
+/// replicas of a component with reliability `r`:
+///
+/// `R_NMR = Σ_{i=k}^{N} C(N, i) · R^i · (1-R)^(N-i)` with `N = 2k - 1`
+///
+/// (majority voting; the paper's Section 5, following Orailoglu–Karri).
+/// The voter is assumed perfect and area-free, matching the paper's
+/// accounting which excludes result-checking circuitry.
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError::InvalidModuleCount`] unless `n` is odd and
+/// positive.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::{nmr, Reliability};
+///
+/// let r = Reliability::new(0.9)?;
+/// // TMR of 0.9: 3·0.81·0.1 + 0.729 = 0.972
+/// assert!((nmr(r, 3)?.value() - 0.972).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn nmr(r: Reliability, n: u32) -> Result<Reliability, ReliabilityError> {
+    if n == 0 || n.is_multiple_of(2) {
+        return Err(ReliabilityError::InvalidModuleCount(n));
+    }
+    let k = n.div_ceil(2);
+    let p = r.value();
+    let q = 1.0 - p;
+    let mut total = 0.0;
+    for i in k..=n {
+        total += binomial(n, i) * p.powi(i as i32) * q.powi((n - i) as i32);
+    }
+    // Clamp tiny floating error outside [0,1].
+    Reliability::new(total.clamp(0.0, 1.0))
+}
+
+/// Triple modular redundancy: `3R² − 2R³` (the `N = 3` special case).
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::{tmr, Reliability};
+///
+/// let r = Reliability::new(0.969)?;
+/// assert!(tmr(r).value() > r.value());
+/// # Ok::<(), rchls_relmath::ReliabilityError>(())
+/// ```
+#[must_use]
+pub fn tmr(r: Reliability) -> Reliability {
+    nmr(r, 3).expect("3 is a valid odd module count")
+}
+
+/// Reliability of simple duplication with a perfect detect-and-rollback
+/// recovery mechanism: the module succeeds unless *both* replicas fail,
+/// `R = 1 - (1-R)²`.
+///
+/// The paper notes that duplication alone only *detects* faults; modelling
+/// recovery as perfect gives the most optimistic duplex number, which is the
+/// convention the baseline's cost/benefit analysis uses.
+#[must_use]
+pub fn duplex_with_recovery(r: Reliability) -> Reliability {
+    r.or(r)
+}
+
+/// Reliability of `n` replicas under the appropriate model: duplex recovery
+/// for even `n`, majority-vote NMR for odd `n`, identity for `n <= 1`.
+///
+/// This is the per-module replication model the redundancy-based baseline
+/// uses when growing a module from 1 to 2 to 3 copies.
+#[must_use]
+pub fn replicated(r: Reliability, n: u32) -> Reliability {
+    match n {
+        0 | 1 => r,
+        2 => duplex_with_recovery(r),
+        n if n % 2 == 1 => nmr(r, n).expect("odd n validated by match arm"),
+        n => {
+            // Even n > 2: majority vote over n-1 plus a standby detect copy;
+            // conservatively score as NMR over the largest odd count below n.
+            nmr(r, n - 1).expect("n - 1 is odd here")
+        }
+    }
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    debug_assert!(k <= n);
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * f64::from(n - i) / f64::from(i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: f64) -> Reliability {
+        Reliability::new(p).unwrap()
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(3, 2), 3.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(7, 0), 1.0);
+        assert_eq!(binomial(7, 7), 1.0);
+    }
+
+    #[test]
+    fn tmr_closed_form() {
+        for p in [0.0, 0.3, 0.5, 0.9, 0.969, 0.999, 1.0] {
+            let closed = 3.0 * p * p - 2.0 * p * p * p;
+            assert!((tmr(r(p)).value() - closed).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn nmr_rejects_even_or_zero() {
+        assert!(nmr(r(0.9), 0).is_err());
+        assert!(nmr(r(0.9), 2).is_err());
+        assert!(nmr(r(0.9), 4).is_err());
+        assert!(nmr(r(0.9), 1).is_ok());
+        assert!(nmr(r(0.9), 5).is_ok());
+    }
+
+    #[test]
+    fn nmr_of_one_is_identity() {
+        assert!((nmr(r(0.7), 1).unwrap().value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmr_improves_good_components_and_hurts_bad_ones() {
+        // Above R = 0.5 majority voting helps; below it hurts.
+        assert!(nmr(r(0.9), 3).unwrap().value() > 0.9);
+        assert!(nmr(r(0.9), 5).unwrap().value() > nmr(r(0.9), 3).unwrap().value());
+        assert!(nmr(r(0.3), 3).unwrap().value() < 0.3);
+        // And R = 0.5 is the fixed point.
+        assert!((nmr(r(0.5), 3).unwrap().value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplex_with_recovery_formula() {
+        assert!((duplex_with_recovery(r(0.9)).value() - 0.99).abs() < 1e-12);
+        assert_eq!(duplex_with_recovery(Reliability::PERFECT), Reliability::PERFECT);
+        assert_eq!(duplex_with_recovery(Reliability::FAILED), Reliability::FAILED);
+    }
+
+    #[test]
+    fn replicated_dispatch() {
+        let base = r(0.969);
+        assert_eq!(replicated(base, 0), base);
+        assert_eq!(replicated(base, 1), base);
+        assert_eq!(replicated(base, 2), duplex_with_recovery(base));
+        assert_eq!(replicated(base, 3), tmr(base));
+        assert_eq!(replicated(base, 4), nmr(base, 3).unwrap());
+        assert_eq!(replicated(base, 5), nmr(base, 5).unwrap());
+    }
+
+    #[test]
+    fn paper_tmr_of_type2_adder() {
+        // TMR of the 0.969 type-2 adder: 3(0.969)^2 - 2(0.969)^3 = 0.99720...
+        let v = tmr(r(0.969)).value();
+        assert!((v - 0.99720).abs() < 5e-5);
+    }
+}

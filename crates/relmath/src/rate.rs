@@ -1,0 +1,109 @@
+//! Failure rates and the exponential reliability distribution.
+
+use crate::error::ReliabilityError;
+use crate::reliability::Reliability;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A constant failure rate λ (failures per time unit).
+///
+/// Under the paper's assumption that every soft error causes a failure, the
+/// soft-error rate (SER) of a component *is* its failure rate (step 2 of
+/// Figure 2), and reliability over a mission time `t` follows the
+/// exponential distribution `R(t) = exp(-λ·t)` (step 3).
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::FailureRate;
+///
+/// let rate = FailureRate::new(0.001)?;
+/// assert!((rate.reliability_at(1.0).value() - 0.999f64.powf(1.0)).abs() < 1e-3);
+/// # Ok::<(), rchls_relmath::ReliabilityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct FailureRate(f64);
+
+impl FailureRate {
+    /// Creates a failure rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::InvalidRate`] if `lambda` is negative or
+    /// NaN (infinity is allowed: it models a certainly-failing component).
+    pub fn new(lambda: f64) -> Result<FailureRate, ReliabilityError> {
+        if lambda.is_nan() || lambda < 0.0 {
+            Err(ReliabilityError::InvalidRate(lambda))
+        } else {
+            Ok(FailureRate(lambda))
+        }
+    }
+
+    /// Creates a rate without validation; used internally where the value is
+    /// known non-negative by construction.
+    pub(crate) fn from_raw(lambda: f64) -> FailureRate {
+        debug_assert!(!lambda.is_nan() && lambda >= -0.0);
+        FailureRate(lambda.max(0.0))
+    }
+
+    /// The raw rate λ.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Reliability after mission time `t`: `R(t) = exp(-λ·t)`.
+    #[must_use]
+    pub fn reliability_at(self, t: f64) -> Reliability {
+        Reliability::new((-self.0 * t).exp()).unwrap_or(Reliability::FAILED)
+    }
+
+    /// Scales the rate by a positive factor (e.g. relative SER between two
+    /// circuit implementations).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> FailureRate {
+        FailureRate::from_raw(self.0 * factor)
+    }
+}
+
+impl fmt::Display for FailureRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6e}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(FailureRate::new(0.0).is_ok());
+        assert!(FailureRate::new(1e9).is_ok());
+        assert!(FailureRate::new(f64::INFINITY).is_ok());
+        assert!(FailureRate::new(-1.0).is_err());
+        assert!(FailureRate::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exponential_distribution() {
+        let lam = FailureRate::new(0.5).unwrap();
+        assert!((lam.reliability_at(0.0).value() - 1.0).abs() < 1e-12);
+        assert!((lam.reliability_at(2.0).value() - (-1.0f64).exp()).abs() < 1e-12);
+        // Longer missions are never more reliable.
+        assert!(lam.reliability_at(3.0) < lam.reliability_at(2.0));
+    }
+
+    #[test]
+    fn scaling() {
+        let lam = FailureRate::new(0.001).unwrap();
+        let heavier = lam.scaled(31.98);
+        assert!((heavier.value() - 0.03198).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_rate_fails_certainly() {
+        let lam = FailureRate::new(f64::INFINITY).unwrap();
+        assert_eq!(lam.reliability_at(1.0), Reliability::FAILED);
+    }
+}

@@ -1,0 +1,152 @@
+//! The validated reliability probability newtype.
+
+use crate::error::ReliabilityError;
+use crate::rate::FailureRate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The probability that a component performs its intended function over the
+/// mission interval, given it worked at the start (Neubeck's definition,
+/// cited in the paper's Section 4).
+///
+/// Always a finite value in `[0, 1]`; construction validates this, so
+/// downstream reliability arithmetic never has to re-check.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::Reliability;
+///
+/// let r = Reliability::new(0.999)?;
+/// assert_eq!(r.value(), 0.999);
+/// assert!(Reliability::new(1.2).is_err());
+/// # Ok::<(), rchls_relmath::ReliabilityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Reliability(f64);
+
+impl Reliability {
+    /// A perfectly reliable component (`R = 1`).
+    pub const PERFECT: Reliability = Reliability(1.0);
+    /// A certainly-failing component (`R = 0`).
+    pub const FAILED: Reliability = Reliability(0.0);
+
+    /// Creates a reliability from a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::InvalidProbability`] unless
+    /// `0 <= p <= 1` and `p` is finite.
+    pub fn new(p: f64) -> Result<Reliability, ReliabilityError> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(Reliability(p))
+        } else {
+            Err(ReliabilityError::InvalidProbability(p))
+        }
+    }
+
+    /// The underlying probability.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The unreliability `1 - R` (probability of failure).
+    #[must_use]
+    pub fn unreliability(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// The constant failure rate λ such that `exp(-λ) = R` over one mission
+    /// time unit (step 2 of the paper's Figure 2, inverted).
+    ///
+    /// Returns an infinite rate for `R = 0`.
+    #[must_use]
+    pub fn to_failure_rate(self) -> FailureRate {
+        FailureRate::from_raw(-self.0.ln())
+    }
+
+    /// Product of two reliabilities (series composition of two components).
+    #[must_use]
+    pub fn and(self, other: Reliability) -> Reliability {
+        Reliability(self.0 * other.0)
+    }
+
+    /// Parallel composition `1 - (1-R1)(1-R2)` (either component suffices).
+    #[must_use]
+    pub fn or(self, other: Reliability) -> Reliability {
+        Reliability(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// `R^n` — series composition of `n` identical components.
+    #[must_use]
+    pub fn powi(self, n: u32) -> Reliability {
+        Reliability(self.0.powi(n as i32))
+    }
+}
+
+impl fmt::Display for Reliability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.5}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Reliability {
+    type Error = ReliabilityError;
+
+    fn try_from(p: f64) -> Result<Reliability, ReliabilityError> {
+        Reliability::new(p)
+    }
+}
+
+impl From<Reliability> for f64 {
+    fn from(r: Reliability) -> f64 {
+        r.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Reliability::new(0.0).is_ok());
+        assert!(Reliability::new(1.0).is_ok());
+        assert!(Reliability::new(-0.1).is_err());
+        assert!(Reliability::new(1.1).is_err());
+        assert!(Reliability::new(f64::NAN).is_err());
+        assert!(Reliability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn and_or_powi() {
+        let a = Reliability::new(0.9).unwrap();
+        let b = Reliability::new(0.8).unwrap();
+        assert!((a.and(b).value() - 0.72).abs() < 1e-12);
+        assert!((a.or(b).value() - 0.98).abs() < 1e-12);
+        assert!((a.powi(2).value() - 0.81).abs() < 1e-12);
+        assert_eq!(a.powi(0), Reliability::PERFECT);
+    }
+
+    #[test]
+    fn failure_rate_round_trip() {
+        let r = Reliability::new(0.999).unwrap();
+        let rate = r.to_failure_rate();
+        let back = rate.reliability_at(1.0);
+        assert!((back.value() - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_five_decimals() {
+        assert_eq!(Reliability::new(0.48467).unwrap().to_string(), "0.48467");
+    }
+
+    #[test]
+    fn extreme_values() {
+        assert_eq!(Reliability::FAILED.unreliability(), 1.0);
+        assert!(Reliability::FAILED.to_failure_rate().value().is_infinite());
+        assert_eq!(Reliability::PERFECT.to_failure_rate().value(), 0.0);
+    }
+}

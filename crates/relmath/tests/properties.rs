@@ -1,0 +1,72 @@
+//! Property-based tests for reliability mathematics.
+
+use proptest::prelude::*;
+use rchls_relmath::{
+    duplex_with_recovery, nmr, parallel_model, serial_model, tmr, Reliability,
+};
+
+fn rel() -> impl Strategy<Value = Reliability> {
+    (0.0f64..=1.0).prop_map(|p| Reliability::new(p).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn serial_bounded_by_min(parts in proptest::collection::vec(rel(), 1..10)) {
+        let s = serial_model(parts.clone());
+        let min = parts.iter().map(|r| r.value()).fold(1.0, f64::min);
+        prop_assert!(s.value() <= min + 1e-12);
+    }
+
+    #[test]
+    fn parallel_bounded_by_max(parts in proptest::collection::vec(rel(), 1..10)) {
+        let p = parallel_model(parts.clone());
+        let max = parts.iter().map(|r| r.value()).fold(0.0, f64::max);
+        prop_assert!(p.value() + 1e-12 >= max);
+        prop_assert!(p.value() <= 1.0);
+    }
+
+    #[test]
+    fn tmr_helps_iff_above_half(r in rel()) {
+        let t = tmr(r).value();
+        let p = r.value();
+        if p > 0.5 {
+            prop_assert!(t >= p - 1e-12);
+        } else {
+            prop_assert!(t <= p + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nmr_monotone_in_replicas_above_half(p in 0.5f64..1.0) {
+        let r = Reliability::new(p).unwrap();
+        let mut prev = nmr(r, 1).unwrap().value();
+        for n in [3u32, 5, 7, 9] {
+            let cur = nmr(r, n).unwrap().value();
+            prop_assert!(cur + 1e-12 >= prev, "n={} p={}", n, p);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn nmr_monotone_in_component_reliability(a in rel(), b in rel()) {
+        let (lo, hi) = if a.value() <= b.value() { (a, b) } else { (b, a) };
+        prop_assert!(nmr(lo, 3).unwrap().value() <= nmr(hi, 3).unwrap().value() + 1e-12);
+    }
+
+    #[test]
+    fn duplex_never_hurts(r in rel()) {
+        prop_assert!(duplex_with_recovery(r).value() + 1e-12 >= r.value());
+    }
+
+    #[test]
+    fn failure_rate_round_trip(p in 0.0001f64..1.0) {
+        let r = Reliability::new(p).unwrap();
+        let back = r.to_failure_rate().reliability_at(1.0);
+        prop_assert!((back.value() - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_is_commutative(a in rel(), b in rel()) {
+        prop_assert!((a.and(b).value() - b.and(a).value()).abs() < 1e-15);
+    }
+}

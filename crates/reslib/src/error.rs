@@ -1,0 +1,35 @@
+//! Library construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while constructing a [`crate::Library`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibraryError {
+    /// The library would contain no versions at all.
+    Empty,
+    /// Two versions share the same name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::Empty => write!(f, "a library must contain at least one version"),
+            LibraryError::DuplicateName(n) => write!(f, "version name {n:?} is used twice"),
+        }
+    }
+}
+
+impl Error for LibraryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(LibraryError::Empty.to_string().contains("at least one"));
+        assert!(LibraryError::DuplicateName("x".into()).to_string().contains("\"x\""));
+    }
+}

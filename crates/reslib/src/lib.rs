@@ -1,0 +1,46 @@
+//! Reliability-characterized resource library.
+//!
+//! The paper's key enabler is a component library holding several
+//! *versions* of each functional-unit class, each version with its own
+//! `(area, delay, reliability)` triple (Table 1). This crate provides:
+//!
+//! * [`ResourceVersion`] and [`Library`] — the library representation and
+//!   the queries the synthesis algorithm needs (most-reliable version,
+//!   faster alternatives, smaller alternatives, ...);
+//! * [`Library::table1`] — the paper's published library;
+//! * [`Characterizer`] — the three-step characterization chain of the
+//!   paper's Figure 2 (Q_critical → soft-error rate → failure rate →
+//!   reliability), calibrated exactly as the paper describes (ripple-carry
+//!   adder anchored at R = 0.999);
+//! * [`characterize_components`] — end-to-end characterization from
+//!   gate-level fault injection (`rchls-netlist`), the substitution for the
+//!   paper's MAX/HSPICE flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_dfg::OpClass;
+//! use rchls_reslib::Library;
+//!
+//! let lib = Library::table1();
+//! let best = lib.most_reliable(OpClass::Adder).expect("table 1 has adders");
+//! assert_eq!(best.name(), "adder1");
+//! assert_eq!(best.reliability().value(), 0.999);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+mod error;
+mod library;
+mod parse;
+mod version;
+
+pub use characterize::{
+    characterize_components, paper_qcritical, Characterizer, CharacterizedComponent,
+};
+pub use error::LibraryError;
+pub use library::Library;
+pub use parse::{parse_library, ParseLibraryError};
+pub use version::{ResourceVersion, VersionId};

@@ -1,0 +1,406 @@
+//! The resource library and its query surface.
+
+use crate::error::LibraryError;
+use crate::version::{ResourceVersion, VersionId};
+use rchls_dfg::OpClass;
+use rchls_relmath::Reliability;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A reliability-characterized resource library: all available versions of
+/// every functional-unit class.
+///
+/// The synthesis algorithm's moves are exactly this library's queries:
+/// start from [`Library::most_reliable`], degrade along
+/// [`Library::faster_alternatives`] to meet latency, and along
+/// [`Library::smaller_alternatives`] to meet area.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::OpClass;
+/// use rchls_reslib::Library;
+///
+/// let lib = Library::table1();
+/// assert_eq!(lib.versions_of(OpClass::Adder).count(), 3);
+/// assert_eq!(lib.versions_of(OpClass::Multiplier).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    versions: Vec<ResourceVersion>,
+}
+
+impl Library {
+    /// Creates a library from a set of versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::Empty`] for an empty version list and
+    /// [`LibraryError::DuplicateName`] if two versions share a name.
+    pub fn new(versions: Vec<ResourceVersion>) -> Result<Library, LibraryError> {
+        if versions.is_empty() {
+            return Err(LibraryError::Empty);
+        }
+        let mut seen = HashSet::new();
+        for v in &versions {
+            if !seen.insert(v.name().to_owned()) {
+                return Err(LibraryError::DuplicateName(v.name().to_owned()));
+            }
+        }
+        Ok(Library { versions })
+    }
+
+    /// The paper's Table 1 library: three adders and two multipliers.
+    ///
+    /// | name | class | area | delay | reliability |
+    /// |---|---|---|---|---|
+    /// | adder1 (ripple-carry) | adder | 1 | 2 | 0.999 |
+    /// | adder2 (Brent-Kung) | adder | 2 | 1 | 0.969 |
+    /// | adder3 (Kogge-Stone) | adder | 4 | 1 | 0.987 |
+    /// | mult1 (carry-save) | multiplier | 2 | 2 | 0.999 |
+    /// | mult2 (leapfrog) | multiplier | 4 | 1 | 0.969 |
+    #[must_use]
+    pub fn table1() -> Library {
+        let r = |p: f64| Reliability::new(p).expect("table 1 values are valid probabilities");
+        Library::new(vec![
+            ResourceVersion::new("adder1", OpClass::Adder, 1, 2, r(0.999)),
+            ResourceVersion::new("adder2", OpClass::Adder, 2, 1, r(0.969)),
+            ResourceVersion::new("adder3", OpClass::Adder, 4, 1, r(0.987)),
+            ResourceVersion::new("mult1", OpClass::Multiplier, 2, 2, r(0.999)),
+            ResourceVersion::new("mult2", OpClass::Multiplier, 4, 1, r(0.969)),
+        ])
+        .expect("table 1 library is well-formed")
+    }
+
+    /// Number of versions in the library.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the library is empty (never true for a constructed library).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The version with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this library.
+    #[must_use]
+    pub fn version(&self, id: VersionId) -> &ResourceVersion {
+        &self.versions[id.index()]
+    }
+
+    /// Looks up a version by name.
+    #[must_use]
+    pub fn version_by_name(&self, name: &str) -> Option<VersionId> {
+        self.versions
+            .iter()
+            .position(|v| v.name() == name)
+            .map(|i| VersionId::new(i as u32))
+    }
+
+    /// Iterates over all `(id, version)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VersionId, &ResourceVersion)> + '_ {
+        self.versions
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VersionId::new(i as u32), v))
+    }
+
+    /// Iterates over the versions of one class.
+    pub fn versions_of(&self, class: OpClass) -> impl Iterator<Item = (VersionId, &ResourceVersion)> + '_ {
+        self.iter().filter(move |(_, v)| v.class() == class)
+    }
+
+    /// The most reliable version of a class (ties broken toward smaller
+    /// area, then smaller delay, then lower id — deterministic).
+    #[must_use]
+    pub fn most_reliable(&self, class: OpClass) -> Option<&ResourceVersion> {
+        self.most_reliable_id(class).map(|id| self.version(id))
+    }
+
+    /// Id of the most reliable version of a class.
+    #[must_use]
+    pub fn most_reliable_id(&self, class: OpClass) -> Option<VersionId> {
+        self.versions_of(class)
+            .min_by(|(_, a), (_, b)| {
+                b.reliability()
+                    .partial_cmp(&a.reliability())
+                    .expect("reliabilities are finite")
+                    .then(a.area().cmp(&b.area()))
+                    .then(a.delay().cmp(&b.delay()))
+            })
+            .map(|(id, _)| id)
+    }
+
+    /// Id of the fastest version of a class (ties toward higher
+    /// reliability, then smaller area).
+    #[must_use]
+    pub fn fastest_id(&self, class: OpClass) -> Option<VersionId> {
+        self.versions_of(class)
+            .min_by(|(_, a), (_, b)| {
+                a.delay()
+                    .cmp(&b.delay())
+                    .then(
+                        b.reliability()
+                            .partial_cmp(&a.reliability())
+                            .expect("reliabilities are finite"),
+                    )
+                    .then(a.area().cmp(&b.area()))
+            })
+            .map(|(id, _)| id)
+    }
+
+    /// Id of the smallest version of a class (ties toward higher
+    /// reliability, then smaller delay).
+    #[must_use]
+    pub fn smallest_id(&self, class: OpClass) -> Option<VersionId> {
+        self.versions_of(class)
+            .min_by(|(_, a), (_, b)| {
+                a.area()
+                    .cmp(&b.area())
+                    .then(
+                        b.reliability()
+                            .partial_cmp(&a.reliability())
+                            .expect("reliabilities are finite"),
+                    )
+                    .then(a.delay().cmp(&b.delay()))
+            })
+            .map(|(id, _)| id)
+    }
+
+    /// Versions of the same class strictly faster than `than`, most
+    /// reliable first (the latency-reduction move of the Figure 6 loop:
+    /// "allocate a resource r' to n_l such that t_r > t_r'").
+    #[must_use]
+    pub fn faster_alternatives(&self, than: VersionId) -> Vec<VersionId> {
+        let cur = self.version(than);
+        let mut alts: Vec<VersionId> = self
+            .versions_of(cur.class())
+            .filter(|(id, v)| *id != than && v.delay() < cur.delay())
+            .map(|(id, _)| id)
+            .collect();
+        self.sort_by_reliability_desc(&mut alts);
+        alts
+    }
+
+    /// All other versions of the same class as `than`, most reliable
+    /// first — the widened area-reduction move set (a version with a
+    /// *larger* unit area can still shrink the total area when rebinding
+    /// consolidates instances).
+    #[must_use]
+    pub fn alternatives(&self, than: VersionId) -> Vec<VersionId> {
+        let cur = self.version(than);
+        let mut alts: Vec<VersionId> = self
+            .versions_of(cur.class())
+            .filter(|(id, _)| *id != than)
+            .map(|(id, _)| id)
+            .collect();
+        self.sort_by_reliability_desc(&mut alts);
+        alts
+    }
+
+    /// Versions of the same class with strictly smaller area than `than`,
+    /// most reliable first (the area-reduction move of the Figure 6 loop).
+    #[must_use]
+    pub fn smaller_alternatives(&self, than: VersionId) -> Vec<VersionId> {
+        let cur = self.version(than);
+        let mut alts: Vec<VersionId> = self
+            .versions_of(cur.class())
+            .filter(|(id, v)| *id != than && v.area() < cur.area())
+            .map(|(id, _)| id)
+            .collect();
+        self.sort_by_reliability_desc(&mut alts);
+        alts
+    }
+
+    fn sort_by_reliability_desc(&self, ids: &mut [VersionId]) {
+        ids.sort_by(|&a, &b| {
+            let (va, vb) = (self.version(a), self.version(b));
+            vb.reliability()
+                .partial_cmp(&va.reliability())
+                .expect("reliabilities are finite")
+                .then(va.area().cmp(&vb.area()))
+                .then(va.delay().cmp(&vb.delay()))
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// The minimum achievable delay for a class, if the class has versions.
+    #[must_use]
+    pub fn min_delay(&self, class: OpClass) -> Option<u32> {
+        self.versions_of(class).map(|(_, v)| v.delay()).min()
+    }
+
+    /// A copy of the library with every reliability re-evaluated at a
+    /// different mission time: `R(t) = exp(-λ·t) = R(1)^t` under the
+    /// exponential model of Figure 2 (step 3), so derating raises each
+    /// value to the power `t`.
+    ///
+    /// Longer missions (`t > 1`) widen the gap between versions — the
+    /// reliability-centric approach matters *more* as exposure grows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive and finite.
+    #[must_use]
+    pub fn at_mission_time(&self, t: f64) -> Library {
+        assert!(t.is_finite() && t > 0.0, "mission time must be positive");
+        let versions = self
+            .versions
+            .iter()
+            .map(|v| {
+                let r = Reliability::new(v.reliability().value().powf(t))
+                    .expect("powers of probabilities stay in [0, 1]");
+                ResourceVersion::new(v.name(), v.class(), v.area(), v.delay(), r)
+            })
+            .collect();
+        Library::new(versions).expect("derating preserves structure")
+    }
+
+    /// Whether every class appearing in `classes` has at least one version.
+    #[must_use]
+    pub fn covers(&self, classes: impl IntoIterator<Item = OpClass>) -> bool {
+        classes
+            .into_iter()
+            .all(|c| self.versions_of(c).next().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let lib = Library::table1();
+        assert_eq!(lib.len(), 5);
+        let a1 = lib.version(lib.version_by_name("adder1").unwrap());
+        assert_eq!((a1.area(), a1.delay(), a1.reliability().value()), (1, 2, 0.999));
+        let a2 = lib.version(lib.version_by_name("adder2").unwrap());
+        assert_eq!((a2.area(), a2.delay(), a2.reliability().value()), (2, 1, 0.969));
+        let a3 = lib.version(lib.version_by_name("adder3").unwrap());
+        assert_eq!((a3.area(), a3.delay(), a3.reliability().value()), (4, 1, 0.987));
+        let m1 = lib.version(lib.version_by_name("mult1").unwrap());
+        assert_eq!((m1.area(), m1.delay(), m1.reliability().value()), (2, 2, 0.999));
+        let m2 = lib.version(lib.version_by_name("mult2").unwrap());
+        assert_eq!((m2.area(), m2.delay(), m2.reliability().value()), (4, 1, 0.969));
+    }
+
+    #[test]
+    fn most_reliable_and_fastest() {
+        let lib = Library::table1();
+        assert_eq!(lib.most_reliable(OpClass::Adder).unwrap().name(), "adder1");
+        assert_eq!(lib.most_reliable(OpClass::Multiplier).unwrap().name(), "mult1");
+        // Fastest adder with 1cc delay: tie between adder2/adder3 broken by
+        // reliability -> adder3 (0.987 > 0.969).
+        let fastest = lib.version(lib.fastest_id(OpClass::Adder).unwrap());
+        assert_eq!(fastest.name(), "adder3");
+        assert_eq!(lib.min_delay(OpClass::Adder), Some(1));
+    }
+
+    #[test]
+    fn smallest() {
+        let lib = Library::table1();
+        assert_eq!(lib.version(lib.smallest_id(OpClass::Adder).unwrap()).name(), "adder1");
+        assert_eq!(
+            lib.version(lib.smallest_id(OpClass::Multiplier).unwrap()).name(),
+            "mult1"
+        );
+    }
+
+    #[test]
+    fn faster_alternatives_sorted_by_reliability() {
+        let lib = Library::table1();
+        let a1 = lib.version_by_name("adder1").unwrap();
+        let alts = lib.faster_alternatives(a1);
+        let names: Vec<_> = alts.iter().map(|&id| lib.version(id).name()).collect();
+        assert_eq!(names, vec!["adder3", "adder2"]);
+        // Nothing is faster than a 1cc adder.
+        let a2 = lib.version_by_name("adder2").unwrap();
+        assert!(lib.faster_alternatives(a2).is_empty());
+    }
+
+    #[test]
+    fn alternatives_cover_whole_class() {
+        let lib = Library::table1();
+        let a1 = lib.version_by_name("adder1").unwrap();
+        let names: Vec<_> = lib
+            .alternatives(a1)
+            .iter()
+            .map(|&id| lib.version(id).name())
+            .collect();
+        assert_eq!(names, vec!["adder3", "adder2"]);
+        let m2 = lib.version_by_name("mult2").unwrap();
+        let names: Vec<_> = lib
+            .alternatives(m2)
+            .iter()
+            .map(|&id| lib.version(id).name())
+            .collect();
+        assert_eq!(names, vec!["mult1"]);
+    }
+
+    #[test]
+    fn smaller_alternatives() {
+        let lib = Library::table1();
+        let a3 = lib.version_by_name("adder3").unwrap();
+        let names: Vec<_> = lib
+            .smaller_alternatives(a3)
+            .iter()
+            .map(|&id| lib.version(id).name())
+            .collect();
+        assert_eq!(names, vec!["adder1", "adder2"]);
+        let a1 = lib.version_by_name("adder1").unwrap();
+        assert!(lib.smaller_alternatives(a1).is_empty());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(Library::new(vec![]), Err(LibraryError::Empty));
+        let r = Reliability::new(0.9).unwrap();
+        let dup = vec![
+            ResourceVersion::new("x", OpClass::Adder, 1, 1, r),
+            ResourceVersion::new("x", OpClass::Adder, 2, 1, r),
+        ];
+        assert!(matches!(Library::new(dup), Err(LibraryError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn mission_time_derating() {
+        let lib = Library::table1();
+        let harsh = lib.at_mission_time(10.0);
+        let r1 = harsh
+            .version(harsh.version_by_name("adder1").unwrap())
+            .reliability()
+            .value();
+        assert!((r1 - 0.999f64.powi(10)).abs() < 1e-12);
+        // t = 1 is the identity.
+        assert_eq!(lib.at_mission_time(1.0), lib);
+        // Ordering between versions is preserved.
+        let r2 = harsh
+            .version(harsh.version_by_name("adder2").unwrap())
+            .reliability()
+            .value();
+        assert!(r1 > r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mission time")]
+    fn zero_mission_time_rejected() {
+        let _ = Library::table1().at_mission_time(0.0);
+    }
+
+    #[test]
+    fn covers() {
+        let lib = Library::table1();
+        assert!(lib.covers([OpClass::Adder, OpClass::Multiplier]));
+        let r = Reliability::new(0.9).unwrap();
+        let adders_only =
+            Library::new(vec![ResourceVersion::new("a", OpClass::Adder, 1, 1, r)]).unwrap();
+        assert!(!adders_only.covers([OpClass::Multiplier]));
+    }
+}

@@ -1,0 +1,151 @@
+//! A line-oriented textual library format.
+//!
+//! One version per line (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! library <name>                     # optional, informational
+//! version <name> <class> <area> <delay> <reliability>
+//! ```
+//!
+//! where `<class>` is `adder` or `multiplier`.
+
+use crate::error::LibraryError;
+use crate::library::Library;
+use crate::version::ResourceVersion;
+use rchls_dfg::OpClass;
+use rchls_relmath::Reliability;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing the textual library format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseLibraryError {
+    /// 1-based line number of the offending line (0 for whole-file errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseLibraryError {}
+
+/// Parses the textual library format described in the module docs.
+///
+/// # Errors
+///
+/// Returns a [`ParseLibraryError`] naming the first malformed line,
+/// out-of-range value, duplicate version name, or empty library.
+///
+/// # Examples
+///
+/// ```
+/// let text = "library demo\nversion fast adder 2 1 0.97\nversion slow adder 1 2 0.999\n";
+/// let lib = rchls_reslib::parse_library(text)?;
+/// assert_eq!(lib.len(), 2);
+/// # Ok::<(), rchls_reslib::ParseLibraryError>(())
+/// ```
+pub fn parse_library(text: &str) -> Result<Library, ParseLibraryError> {
+    let err = |line: usize, message: String| ParseLibraryError { line, message };
+    let mut versions = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["library", _name] => {}
+            ["version", name, class, area, delay, reliability] => {
+                let class = match *class {
+                    "adder" => OpClass::Adder,
+                    "multiplier" => OpClass::Multiplier,
+                    other => return Err(err(lineno, format!("unknown class {other:?}"))),
+                };
+                let area: u32 = area
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad area {area:?}")))?;
+                let delay: u32 = delay
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad delay {delay:?}")))?;
+                let r: f64 = reliability
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad reliability {reliability:?}")))?;
+                let r = Reliability::new(r).map_err(|e| err(lineno, e.to_string()))?;
+                if area == 0 || delay == 0 {
+                    return Err(err(lineno, "area and delay must be positive".into()));
+                }
+                versions.push(ResourceVersion::new(*name, class, area, delay, r));
+            }
+            _ => return Err(err(lineno, format!("unrecognized line {line:?}"))),
+        }
+    }
+    Library::new(versions).map_err(|e| match e {
+        LibraryError::Empty => err(0, "library contains no versions".into()),
+        LibraryError::DuplicateName(n) => err(0, format!("version name {n:?} is used twice")),
+    })
+}
+
+impl Library {
+    /// Serializes the library to the textual format accepted by
+    /// [`parse_library`].
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("library custom\n");
+        for (_, v) in self.iter() {
+            out.push_str(&format!(
+                "version {} {} {} {} {}\n",
+                v.name(),
+                v.class(),
+                v.area(),
+                v.delay(),
+                v.reliability().value()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_table1() {
+        let lib = Library::table1();
+        let parsed = parse_library(&lib.to_text()).unwrap();
+        assert_eq!(parsed, lib);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let lib = parse_library("# hi\n\nversion a adder 1 1 0.9 # inline\n").unwrap();
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse_library("version a wat 1 1 0.9\n").unwrap_err().line, 1);
+        assert_eq!(
+            parse_library("version a adder 1 1 0.9\nversion b adder x 1 0.9\n")
+                .unwrap_err()
+                .line,
+            2
+        );
+        assert_eq!(parse_library("nonsense\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert!(parse_library("version a adder 0 1 0.9\n").is_err());
+        assert!(parse_library("version a adder 1 0 0.9\n").is_err());
+        assert!(parse_library("version a adder 1 1 1.5\n").is_err());
+        assert!(parse_library("").is_err()); // empty library
+        assert!(parse_library("version a adder 1 1 0.9\nversion a adder 2 1 0.9\n").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Resource versions: one concrete implementation of a functional unit.
+
+use rchls_dfg::OpClass;
+use rchls_relmath::Reliability;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense handle identifying a version within one [`crate::Library`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VersionId(u32);
+
+impl VersionId {
+    /// Creates a version id from a raw index.
+    #[must_use]
+    pub fn new(index: u32) -> VersionId {
+        VersionId(index)
+    }
+
+    /// The raw dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One implementation (version) of a functional unit: a named point in the
+/// (area, delay, reliability) trade-off space for its [`OpClass`].
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::OpClass;
+/// use rchls_relmath::Reliability;
+/// use rchls_reslib::ResourceVersion;
+///
+/// let v = ResourceVersion::new("adder1", OpClass::Adder, 1, 2, Reliability::new(0.999)?);
+/// assert_eq!(v.area(), 1);
+/// assert_eq!(v.delay(), 2);
+/// # Ok::<(), rchls_relmath::ReliabilityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVersion {
+    name: String,
+    class: OpClass,
+    area: u32,
+    delay: u32,
+    reliability: Reliability,
+}
+
+impl ResourceVersion {
+    /// Creates a version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` (every operation takes at least one cycle) or
+    /// `area == 0`.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        class: OpClass,
+        area: u32,
+        delay: u32,
+        reliability: Reliability,
+    ) -> ResourceVersion {
+        assert!(delay > 0, "a version must take at least one clock cycle");
+        assert!(area > 0, "a version must occupy at least one area unit");
+        ResourceVersion {
+            name: name.into(),
+            class,
+            area,
+            delay,
+            reliability,
+        }
+    }
+
+    /// The version's name (unique within a library).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resource class this version implements.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        self.class
+    }
+
+    /// Area in normalized units (Table 1 column 2).
+    #[must_use]
+    pub fn area(&self) -> u32 {
+        self.area
+    }
+
+    /// Latency in clock cycles (Table 1 column 3).
+    #[must_use]
+    pub fn delay(&self) -> u32 {
+        self.delay
+    }
+
+    /// Soft-error reliability (Table 1 column 4).
+    #[must_use]
+    pub fn reliability(&self) -> Reliability {
+        self.reliability
+    }
+}
+
+impl fmt::Display for ResourceVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, area={}, delay={}cc, R={})",
+            self.name, self.class, self.area, self.delay, self.reliability
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: f64) -> Reliability {
+        Reliability::new(p).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let v = ResourceVersion::new("mult2", OpClass::Multiplier, 4, 1, r(0.969));
+        assert_eq!(v.name(), "mult2");
+        assert_eq!(v.class(), OpClass::Multiplier);
+        assert_eq!(v.area(), 4);
+        assert_eq!(v.delay(), 1);
+        assert_eq!(v.reliability().value(), 0.969);
+        assert!(v.to_string().contains("mult2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one clock cycle")]
+    fn zero_delay_rejected() {
+        let _ = ResourceVersion::new("bad", OpClass::Adder, 1, 0, r(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one area unit")]
+    fn zero_area_rejected() {
+        let _ = ResourceVersion::new("bad", OpClass::Adder, 0, 1, r(0.9));
+    }
+}

@@ -1,0 +1,131 @@
+//! As-late-as-possible scheduling.
+
+use crate::asap::asap;
+use crate::delays::Delays;
+use crate::error::ScheduleError;
+use crate::schedule::Schedule;
+use rchls_dfg::Dfg;
+
+/// Schedules every operation at its latest step such that the whole graph
+/// still finishes by `latency`.
+///
+/// Together with [`asap`] this yields each operation's mobility window,
+/// the raw material of the paper's partition-density scheduler.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Graph`] for cyclic graphs and
+/// [`ScheduleError::DeadlineTooTight`] if `latency` is below the
+/// critical-path minimum.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{Dfg, OpKind};
+/// use rchls_sched::{alap, Delays};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Dfg::new("g");
+/// let a = g.add_node(OpKind::Add, "a");
+/// let b = g.add_node(OpKind::Add, "b");
+/// g.add_edge(a, b)?;
+/// let d = Delays::uniform(&g, 1);
+/// let s = alap(&g, &d, 5)?;
+/// assert_eq!(s.start(b), 5);
+/// assert_eq!(s.start(a), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn alap(dfg: &Dfg, delays: &Delays, latency: u32) -> Result<Schedule, ScheduleError> {
+    let order = dfg.topological_order()?;
+    // Feasibility: the critical path must fit.
+    let minimum = asap(dfg, delays)?.latency();
+    if latency < minimum {
+        return Err(ScheduleError::DeadlineTooTight {
+            requested: latency,
+            minimum,
+        });
+    }
+    let mut starts = vec![0u32; dfg.node_count()];
+    for &n in order.iter().rev() {
+        let finish = dfg
+            .succs(n)
+            .iter()
+            .map(|&s| starts[s.index()] - 1)
+            .min()
+            .unwrap_or(latency);
+        starts[n.index()] = finish + 1 - delays.get(n);
+    }
+    Ok(Schedule::new(starts, delays))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Mobility;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    fn diamond() -> (Dfg, Delays) {
+        let g = DfgBuilder::new("d")
+            .ops(&["a", "b", "c", "d"], OpKind::Add)
+            .dep("a", "b")
+            .dep("a", "c")
+            .dep("b", "d")
+            .dep("c", "d")
+            .build()
+            .unwrap();
+        let delays = Delays::uniform(&g, 1);
+        (g, delays)
+    }
+
+    #[test]
+    fn alap_pushes_to_deadline() {
+        let (g, d) = diamond();
+        let s = alap(&g, &d, 5).unwrap();
+        let id = |l: &str| g.node_by_label(l).unwrap();
+        assert_eq!(s.start(id("d")), 5);
+        assert_eq!(s.start(id("b")), 4);
+        assert_eq!(s.start(id("c")), 4);
+        assert_eq!(s.start(id("a")), 3);
+        s.validate(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn alap_at_critical_path_equals_asap_for_critical_nodes() {
+        let (g, d) = diamond();
+        let a = asap(&g, &d).unwrap();
+        let l = alap(&g, &d, a.latency()).unwrap();
+        let m = Mobility::new(&a, &l);
+        for n in g.node_ids() {
+            assert_eq!(m.slack(n), 0, "diamond at L=3 has no slack anywhere");
+        }
+    }
+
+    #[test]
+    fn too_tight_deadline_rejected() {
+        let (g, d) = diamond();
+        assert_eq!(
+            alap(&g, &d, 2),
+            Err(ScheduleError::DeadlineTooTight {
+                requested: 2,
+                minimum: 3
+            })
+        );
+    }
+
+    #[test]
+    fn multicycle_alap() {
+        let g = DfgBuilder::new("m")
+            .op("m", OpKind::Mul)
+            .op("a", OpKind::Add)
+            .dep("m", "a")
+            .build()
+            .unwrap();
+        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let s = alap(&g, &d, 4).unwrap();
+        let id = |l: &str| g.node_by_label(l).unwrap();
+        assert_eq!(s.start(id("a")), 4);
+        // The multiply must finish by step 3, so it starts at step 2.
+        assert_eq!(s.start(id("m")), 2);
+    }
+}

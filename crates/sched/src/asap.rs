@@ -1,0 +1,101 @@
+//! As-soon-as-possible scheduling.
+
+use crate::delays::Delays;
+use crate::error::ScheduleError;
+use crate::schedule::Schedule;
+use rchls_dfg::Dfg;
+
+/// Schedules every operation at its earliest dependence-feasible step.
+///
+/// The resulting latency is the delay-weighted critical-path length: the
+/// minimum latency any schedule can achieve under these delays. The paper's
+/// algorithm uses this both as the initial latency estimate (line 4 of
+/// Figure 6) and to derive mobility windows.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Graph`] if the graph is cyclic.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{Dfg, OpKind};
+/// use rchls_sched::{asap, Delays};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Dfg::new("g");
+/// let a = g.add_node(OpKind::Mul, "a");
+/// let b = g.add_node(OpKind::Add, "b");
+/// g.add_edge(a, b)?;
+/// let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+/// let s = asap(&g, &d)?;
+/// assert_eq!(s.start(b), 3); // waits for the 2-cycle multiply
+/// # Ok(())
+/// # }
+/// ```
+pub fn asap(dfg: &Dfg, delays: &Delays) -> Result<Schedule, ScheduleError> {
+    let order = dfg.topological_order()?;
+    let mut starts = vec![1u32; dfg.node_count()];
+    for &n in &order {
+        let earliest = dfg
+            .preds(n)
+            .iter()
+            .map(|&p| starts[p.index()] + delays.get(p))
+            .max()
+            .unwrap_or(1);
+        starts[n.index()] = earliest;
+    }
+    Ok(Schedule::new(starts, delays))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    #[test]
+    fn asap_diamond() {
+        let g = DfgBuilder::new("d")
+            .ops(&["a", "b", "c", "d"], OpKind::Add)
+            .dep("a", "b")
+            .dep("a", "c")
+            .dep("b", "d")
+            .dep("c", "d")
+            .build()
+            .unwrap();
+        let delays = Delays::uniform(&g, 1);
+        let s = asap(&g, &delays).unwrap();
+        let id = |l: &str| g.node_by_label(l).unwrap();
+        assert_eq!(s.start(id("a")), 1);
+        assert_eq!(s.start(id("b")), 2);
+        assert_eq!(s.start(id("c")), 2);
+        assert_eq!(s.start(id("d")), 3);
+        assert_eq!(s.latency(), 3);
+        s.validate(&g, &delays).unwrap();
+    }
+
+    #[test]
+    fn asap_latency_equals_critical_path() {
+        let g = DfgBuilder::new("c")
+            .ops(&["a", "b"], OpKind::Mul)
+            .op("c", OpKind::Add)
+            .dep("a", "b")
+            .dep("b", "c")
+            .build()
+            .unwrap();
+        let delays = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let s = asap(&g, &delays).unwrap();
+        let cp = g.critical_path(|n| delays.get(n)).unwrap();
+        assert_eq!(s.latency(), cp.length);
+        assert_eq!(s.latency(), 5);
+    }
+
+    #[test]
+    fn empty_graph_schedules_trivially() {
+        let g = rchls_dfg::Dfg::new("e");
+        let delays = Delays::uniform(&g, 1);
+        let s = asap(&g, &delays).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.latency(), 0);
+    }
+}

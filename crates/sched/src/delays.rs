@@ -1,0 +1,108 @@
+//! Per-node execution delays.
+
+use rchls_dfg::{Dfg, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The execution delay (in clock cycles) of every node in one DFG.
+///
+/// In reliability-centric HLS the delay of a node is a property of the
+/// *version* currently assigned to it, so delays change as the synthesizer
+/// trades reliability for speed; schedulers therefore take delays as an
+/// explicit input rather than reading them off the graph.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{Dfg, OpKind};
+/// use rchls_sched::Delays;
+///
+/// let mut g = Dfg::new("g");
+/// let a = g.add_node(OpKind::Add, "a");
+/// let m = g.add_node(OpKind::Mul, "m");
+/// let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+/// assert_eq!(d.get(a), 1);
+/// assert_eq!(d.get(m), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delays {
+    delays: Vec<u32>,
+}
+
+impl Delays {
+    /// Builds delays by evaluating `f` on every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns 0 for any node (operations take ≥ 1 cycle).
+    #[must_use]
+    pub fn from_fn(dfg: &Dfg, mut f: impl FnMut(NodeId) -> u32) -> Delays {
+        let delays: Vec<u32> = dfg
+            .node_ids()
+            .map(|n| {
+                let d = f(n);
+                assert!(d > 0, "node {n} was given a zero delay");
+                d
+            })
+            .collect();
+        Delays { delays }
+    }
+
+    /// Uniform delay `d` for every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn uniform(dfg: &Dfg, d: u32) -> Delays {
+        Delays::from_fn(dfg, |_| d)
+    }
+
+    /// The delay of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to the graph these delays were built
+    /// from.
+    #[must_use]
+    pub fn get(&self, n: NodeId) -> u32 {
+        self.delays[n.index()]
+    }
+
+    /// The number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Whether this covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::OpKind;
+
+    #[test]
+    fn uniform_and_from_fn() {
+        let mut g = Dfg::new("g");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Mul, "b");
+        let u = Delays::uniform(&g, 3);
+        assert_eq!(u.get(a), 3);
+        assert_eq!(u.get(b), 3);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero delay")]
+    fn zero_delay_rejected() {
+        let mut g = Dfg::new("g");
+        g.add_node(OpKind::Add, "a");
+        let _ = Delays::uniform(&g, 0);
+    }
+}

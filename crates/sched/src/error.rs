@@ -1,0 +1,81 @@
+//! Scheduling errors.
+
+use rchls_dfg::{DfgError, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by a scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The graph itself is malformed (e.g. cyclic).
+    Graph(DfgError),
+    /// The requested latency is below the critical-path minimum.
+    DeadlineTooTight {
+        /// The latency that was requested.
+        requested: u32,
+        /// The minimum achievable latency under the given delays.
+        minimum: u32,
+    },
+    /// A produced schedule violated a dependence (internal consistency
+    /// check; indicates a scheduler bug if ever seen).
+    DependenceViolated {
+        /// Producing node.
+        from: NodeId,
+        /// Consuming node scheduled too early.
+        to: NodeId,
+    },
+    /// A resource-constrained scheduler was given a class with zero
+    /// instances while the graph contains operations of that class.
+    NoInstances,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Graph(e) => write!(f, "graph error: {e}"),
+            ScheduleError::DeadlineTooTight { requested, minimum } => write!(
+                f,
+                "latency bound {requested} is below the critical-path minimum {minimum}"
+            ),
+            ScheduleError::DependenceViolated { from, to } => {
+                write!(f, "dependence {from} -> {to} violated by the schedule")
+            }
+            ScheduleError::NoInstances => {
+                write!(f, "a required resource class has zero instances")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for ScheduleError {
+    fn from(e: DfgError) -> ScheduleError {
+        ScheduleError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScheduleError::DeadlineTooTight {
+            requested: 4,
+            minimum: 7,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('7'));
+        let g: ScheduleError = DfgError::Cycle(NodeId::new(0)).into();
+        assert!(Error::source(&g).is_some());
+        assert!(Error::source(&e).is_none());
+    }
+}

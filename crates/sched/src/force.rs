@@ -1,0 +1,161 @@
+//! Force-directed scheduling (Paulin–Knight), used as an ablation
+//! alternative to the paper's partition-density scheduler.
+
+use crate::alap::alap;
+use crate::asap::asap;
+use crate::delays::Delays;
+use crate::density::{class_density, windows};
+use crate::error::ScheduleError;
+use crate::schedule::Schedule;
+use rchls_dfg::{Dfg, NodeId};
+
+/// Time-constrained force-directed scheduling.
+///
+/// At each iteration the unplaced (operation, step) pair with the lowest
+/// *self force* is committed, where the self force of placing `n` at step
+/// `s` is `Σ_t∈occupied (DG(t) − avg window DG)` over the class
+/// distribution graph `DG`. Lower force = moving the op into a valley of
+/// expected occupancy. This is the classic alternative to the paper's
+/// least-dense-partition rule: it re-evaluates *all* candidates every
+/// iteration instead of committing ops in fixed mobility order.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::Graph`] for cyclic graphs and
+/// [`ScheduleError::DeadlineTooTight`] if `latency` is below the
+/// critical-path minimum.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{DfgBuilder, OpKind};
+/// use rchls_sched::{schedule_force_directed, Delays};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("indep").ops(&["a", "b"], OpKind::Add).build()?;
+/// let d = Delays::uniform(&g, 1);
+/// let s = schedule_force_directed(&g, &d, 2)?;
+/// assert!(s.latency() <= 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_force_directed(
+    dfg: &Dfg,
+    delays: &Delays,
+    latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    // Validate inputs the same way the density scheduler does.
+    let _ = asap(dfg, delays)?;
+    let _ = alap(dfg, delays, latency)?;
+    if dfg.is_empty() {
+        return Ok(Schedule::new(Vec::new(), delays));
+    }
+
+    let mut fixed: Vec<Option<u32>> = vec![None; dfg.node_count()];
+    let mut remaining = dfg.node_count();
+    while remaining > 0 {
+        let w = windows(dfg, delays, latency, &fixed)?;
+        let mut best: Option<(f64, NodeId, u32)> = None;
+        for n in dfg.node_ids() {
+            if fixed[n.index()].is_some() {
+                continue;
+            }
+            let class = dfg.node(n).class();
+            let density = class_density(dfg, delays, latency, &fixed, &w, class, Some(n));
+            let (es, ls) = (w.es[n.index()], w.ls[n.index()]);
+            let d = delays.get(n);
+            // Average occupancy over the op's whole window (its current
+            // expected contribution footprint).
+            let span: Vec<f64> = (es..ls + d)
+                .map(|t| density[(t - 1) as usize])
+                .collect();
+            let avg = span.iter().sum::<f64>() / span.len() as f64;
+            for s in es..=ls {
+                let force: f64 = (s..s + d)
+                    .map(|t| density[(t - 1) as usize] - avg)
+                    .sum();
+                let cand = (force, n, s);
+                let better = match best {
+                    None => true,
+                    Some((bf, bn, bs)) => {
+                        force < bf - 1e-12
+                            || ((force - bf).abs() <= 1e-12 && (n.index(), s) < (bn.index(), bs))
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, n, s) = best.expect("at least one unplaced node has a window");
+        fixed[n.index()] = Some(s);
+        remaining -= 1;
+    }
+
+    let starts: Vec<u32> = fixed
+        .into_iter()
+        .map(|s| s.expect("all nodes placed"))
+        .collect();
+    let schedule = Schedule::new(starts, delays);
+    schedule.validate(dfg, delays)?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpClass, OpKind};
+
+    fn figure4a() -> Dfg {
+        DfgBuilder::new("fig4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn force_directed_valid_and_within_latency() {
+        let g = figure4a();
+        let d = Delays::uniform(&g, 1);
+        for latency in 4..=8 {
+            let s = schedule_force_directed(&g, &d, latency).unwrap();
+            s.validate(&g, &d).unwrap();
+            assert!(s.latency() <= latency);
+        }
+    }
+
+    #[test]
+    fn force_directed_balances_like_density() {
+        let g = figure4a();
+        let d = Delays::uniform(&g, 1);
+        // 6 ops over 6 steps: perfect balance means one adder.
+        let s = schedule_force_directed(&g, &d, 6).unwrap();
+        assert_eq!(s.peak_usage(&g, &d, OpClass::Adder), 1);
+    }
+
+    #[test]
+    fn force_directed_rejects_tight_deadline() {
+        let g = figure4a();
+        let d = Delays::uniform(&g, 1);
+        assert!(matches!(
+            schedule_force_directed(&g, &d, 2),
+            Err(ScheduleError::DeadlineTooTight { .. })
+        ));
+    }
+
+    #[test]
+    fn force_directed_is_deterministic() {
+        let g = figure4a();
+        let d = Delays::uniform(&g, 1);
+        assert_eq!(
+            schedule_force_directed(&g, &d, 6).unwrap(),
+            schedule_force_directed(&g, &d, 6).unwrap()
+        );
+    }
+}

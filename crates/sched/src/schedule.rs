@@ -1,0 +1,259 @@
+//! The validated schedule type and mobility windows.
+
+use crate::delays::Delays;
+use crate::error::ScheduleError;
+use rchls_dfg::{Dfg, NodeId, OpClass};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A complete schedule: a 1-based start step for every node.
+///
+/// An operation starting at step `s` with delay `d` executes during steps
+/// `s ..= s + d - 1`; a dependent operation may start at `s + d` at the
+/// earliest. [`Schedule::validate`] checks exactly this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    starts: Vec<u32>,
+    latency: u32,
+}
+
+impl Schedule {
+    /// Builds a schedule from explicit start steps, computing the latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts.len()` differs from the delay map's node count or
+    /// any start step is 0 (steps are 1-based).
+    #[must_use]
+    pub fn new(starts: Vec<u32>, delays: &Delays) -> Schedule {
+        assert_eq!(starts.len(), delays.len(), "one start per node required");
+        assert!(starts.iter().all(|&s| s >= 1), "steps are 1-based");
+        let latency = starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + delays.get(NodeId::new(i as u32)) - 1)
+            .max()
+            .unwrap_or(0);
+        Schedule { starts, latency }
+    }
+
+    /// The start step of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn start(&self, n: NodeId) -> u32 {
+        self.starts[n.index()]
+    }
+
+    /// The last step during which `n` executes (`start + delay - 1`).
+    #[must_use]
+    pub fn finish(&self, n: NodeId, delays: &Delays) -> u32 {
+        self.starts[n.index()] + delays.get(n) - 1
+    }
+
+    /// The schedule latency in clock cycles (the last busy step).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Number of scheduled nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the schedule covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Checks that every dependence is satisfied with the given delays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::DependenceViolated`] naming the first
+    /// violated edge.
+    pub fn validate(&self, dfg: &Dfg, delays: &Delays) -> Result<(), ScheduleError> {
+        for (from, to) in dfg.edges() {
+            if self.start(to) < self.start(from) + delays.get(from) {
+                return Err(ScheduleError::DependenceViolated { from, to });
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of class-`class` operations executing at each step
+    /// (index 0 = step 1). The maximum of this profile is the minimum
+    /// number of units of that class any binding needs.
+    #[must_use]
+    pub fn usage_profile(&self, dfg: &Dfg, delays: &Delays, class: OpClass) -> Vec<u32> {
+        let mut profile = vec![0u32; self.latency as usize];
+        for n in dfg.node_ids() {
+            if dfg.node(n).class() != class {
+                continue;
+            }
+            let s = self.start(n);
+            for step in s..s + delays.get(n) {
+                profile[(step - 1) as usize] += 1;
+            }
+        }
+        profile
+    }
+
+    /// The peak concurrent usage of a resource class.
+    #[must_use]
+    pub fn peak_usage(&self, dfg: &Dfg, delays: &Delays, class: OpClass) -> u32 {
+        self.usage_profile(dfg, delays, class)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the schedule like the paper's figures: one line per step
+    /// listing the operations that *start* there.
+    #[must_use]
+    pub fn render(&self, dfg: &Dfg) -> String {
+        let mut out = String::new();
+        for step in 1..=self.latency {
+            let mut ops: Vec<String> = dfg
+                .nodes()
+                .filter(|n| self.start(n.id()) == step)
+                .map(|n| format!("{}{}", n.kind().symbol(), n.label()))
+                .collect();
+            ops.sort();
+            let _ = writeln!(out, "Step {:>2}: {}", step, ops.join(" "));
+        }
+        out
+    }
+}
+
+/// ASAP/ALAP mobility windows for every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mobility {
+    earliest: Vec<u32>,
+    latest: Vec<u32>,
+}
+
+impl Mobility {
+    /// Builds the window from an ASAP and an ALAP schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedules disagree in length or any ALAP start
+    /// precedes the ASAP start (which would indicate inconsistent inputs).
+    #[must_use]
+    pub fn new(asap: &Schedule, alap: &Schedule) -> Mobility {
+        assert_eq!(asap.len(), alap.len(), "schedules must cover the same graph");
+        for i in 0..asap.len() {
+            let n = NodeId::new(i as u32);
+            assert!(
+                alap.start(n) >= asap.start(n),
+                "ALAP start precedes ASAP start for node {n}"
+            );
+        }
+        Mobility {
+            earliest: asap.starts.clone(),
+            latest: alap.starts.clone(),
+        }
+    }
+
+    /// The earliest feasible start of `n`.
+    #[must_use]
+    pub fn earliest(&self, n: NodeId) -> u32 {
+        self.earliest[n.index()]
+    }
+
+    /// The latest feasible start of `n`.
+    #[must_use]
+    pub fn latest(&self, n: NodeId) -> u32 {
+        self.latest[n.index()]
+    }
+
+    /// The slack (`latest - earliest`) of `n`; 0 means `n` is critical.
+    #[must_use]
+    pub fn slack(&self, n: NodeId) -> u32 {
+        self.latest[n.index()] - self.earliest[n.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::OpKind;
+
+    fn chain() -> (Dfg, Delays, [NodeId; 3]) {
+        let mut g = Dfg::new("c");
+        let a = g.add_node(OpKind::Add, "a");
+        let b = g.add_node(OpKind::Mul, "b");
+        let c = g.add_node(OpKind::Add, "c");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        (g, d, [a, b, c])
+    }
+
+    #[test]
+    fn latency_accounts_for_multicycle_tail() {
+        let (g, d, _) = chain();
+        let s = Schedule::new(vec![1, 2, 4], &d);
+        assert_eq!(s.latency(), 4);
+        s.validate(&g, &d).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_overlap() {
+        let (g, d, [a, b]) = {
+            let (g, d, [a, b, _]) = chain();
+            (g, d, [a, b])
+        };
+        // b starts while a's single-cycle op hasn't finished? a finishes at
+        // step 1, so b at step 1 is too early.
+        let s = Schedule::new(vec![1, 1, 3], &d);
+        assert_eq!(
+            s.validate(&g, &d),
+            Err(ScheduleError::DependenceViolated { from: a, to: b })
+        );
+    }
+
+    #[test]
+    fn usage_profile_counts_multicycle_occupancy() {
+        let (g, d, _) = chain();
+        let s = Schedule::new(vec![1, 2, 4], &d);
+        // Multiplier occupies steps 2 and 3.
+        assert_eq!(s.usage_profile(&g, &d, OpClass::Multiplier), vec![0, 1, 1, 0]);
+        assert_eq!(s.usage_profile(&g, &d, OpClass::Adder), vec![1, 0, 0, 1]);
+        assert_eq!(s.peak_usage(&g, &d, OpClass::Adder), 1);
+    }
+
+    #[test]
+    fn render_lists_ops_by_start_step() {
+        let (g, d, _) = chain();
+        let s = Schedule::new(vec![1, 2, 4], &d);
+        let text = s.render(&g);
+        assert!(text.contains("Step  1: +a"));
+        assert!(text.contains("Step  2: *b"));
+        assert!(text.contains("Step  4: +c"));
+    }
+
+    #[test]
+    fn mobility_slack() {
+        let (_, d, [a, b, c]) = chain();
+        let asap = Schedule::new(vec![1, 2, 4], &d);
+        let alap = Schedule::new(vec![2, 3, 5], &d);
+        let m = Mobility::new(&asap, &alap);
+        assert_eq!(m.slack(a), 1);
+        assert_eq!(m.earliest(b), 2);
+        assert_eq!(m.latest(c), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_start_rejected() {
+        let (_, d, _) = chain();
+        let _ = Schedule::new(vec![0, 1, 2], &d);
+    }
+}

@@ -1,0 +1,417 @@
+//! Benchmark data-flow graphs for reliability-centric HLS.
+//!
+//! The paper evaluates on three classic HLS benchmarks: a 16-point
+//! symmetric FIR filter, a fifth-order elliptic wave filter, and the
+//! HLSynth92 differential-equation solver. The original HLSynth92 FTP
+//! repository is long gone, so these graphs are reconstructed from the
+//! literature; op counts are chosen to match the paper's own arithmetic
+//! where it is recoverable (the FIR graph's 23 operations reproduce the
+//! published `0.969²³ = 0.48467` exactly).
+//!
+//! # Examples
+//!
+//! ```
+//! let fir = rchls_workloads::fir16();
+//! assert_eq!(fir.node_count(), 23);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod random;
+
+pub use random::{random_layered_dfg, RandomDfgConfig};
+
+use rchls_dfg::{Dfg, DfgBuilder, OpKind};
+
+/// The paper's Figure 4(a) example: six chained additions
+/// (`A,B → C → D,E → F`).
+///
+/// Used by the Figure 5 experiment (two alternative schedules under
+/// `Ld = 5`, `Ad = 4`).
+#[must_use]
+pub fn figure4a() -> Dfg {
+    DfgBuilder::new("figure4a")
+        .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+        .dep("A", "C")
+        .dep("B", "C")
+        .dep("C", "D")
+        .dep("C", "E")
+        .dep("D", "F")
+        .dep("E", "F")
+        .build()
+        .expect("figure 4a graph is statically valid")
+}
+
+/// 16-point symmetric FIR filter: 8 pre-adds (`x_i + x_{15-i}`), 8
+/// coefficient multiplies, and a 7-add accumulation tree — 23 operations
+/// (15 adder-class, 8 multiplier-class), matching the paper's FIR numbers.
+#[must_use]
+pub fn fir16() -> Dfg {
+    let mut b = DfgBuilder::new("fir16");
+    // Pre-adders exploiting coefficient symmetry.
+    for i in 0..8 {
+        b = b.op(&format!("p{i}"), OpKind::Add);
+    }
+    // Coefficient multipliers.
+    for i in 0..8 {
+        b = b.op(&format!("m{i}"), OpKind::Mul).dep(&format!("p{i}"), &format!("m{i}"));
+    }
+    // Balanced accumulation tree: 4 + 2 + 1 adds.
+    for i in 0..4 {
+        let s = format!("s{i}");
+        b = b
+            .op(&s, OpKind::Add)
+            .dep(&format!("m{}", 2 * i), &s)
+            .dep(&format!("m{}", 2 * i + 1), &s);
+    }
+    for i in 0..2 {
+        let t = format!("t{i}");
+        b = b
+            .op(&t, OpKind::Add)
+            .dep(&format!("s{}", 2 * i), &t)
+            .dep(&format!("s{}", 2 * i + 1), &t);
+    }
+    b = b.op("y", OpKind::Add).dep("t0", "y").dep("t1", "y");
+    b.build().expect("fir16 graph is statically valid")
+}
+
+/// Fifth-order elliptic wave filter (the classic HLS benchmark): 34
+/// operations — 26 additions and 8 multiplications.
+///
+/// The original HLSynth92 netlist is no longer distributed, so this is a
+/// reconstruction preserving the EWF's defining structural signature: a
+/// 14-addition serial spine (the filter's feedback ladder) that fixes the
+/// unit-delay critical path at 14 steps, with the eight coefficient
+/// multipliers tapping the spine and re-entering three stages later
+/// (giving them the small scheduling mobility that makes the EWF the
+/// standard stress test for time-constrained scheduling), plus the
+/// pre-add per multiplier and four output-section adds.
+#[must_use]
+pub fn ewf() -> Dfg {
+    let mut b = DfgBuilder::new("ewf");
+    // The 14-add feedback spine c1 -> c2 -> ... -> c14.
+    for i in 1..=14 {
+        b = b.op(&format!("c{i}"), OpKind::Add);
+        if i > 1 {
+            b = b.dep(&format!("c{}", i - 1), &format!("c{i}"));
+        }
+    }
+    // Eight multiplier taps: pre-add p_k off the spine, multiplier m_k,
+    // result folded back in three stages down (c_{k+3}).
+    for k in 1..=8 {
+        let (p, m) = (format!("p{k}"), format!("m{k}"));
+        b = b
+            .op(&p, OpKind::Add)
+            .op(&m, OpKind::Mul)
+            .dep(&format!("c{}", k.max(2) - 1), &p)
+            .dep(&p, &m)
+            .dep(&m, &format!("c{}", k + 3));
+    }
+    // Output section: four sink adds off the spine tail.
+    for j in 1..=4 {
+        let o = format!("o{j}");
+        b = b
+            .op(&o, OpKind::Add)
+            .dep(&format!("c{}", 9 + j), &o)
+            .dep(&format!("m{}", 2 * j), &o);
+    }
+    b.build().expect("ewf graph is statically valid")
+}
+
+/// HLSynth92 differential-equation solver (`y'' + 3xy' + 3y = 0` Euler
+/// step): 11 operations — 6 multiplies, 2 adds, 2 subtracts, 1 compare —
+/// matching the paper's DiffEq arithmetic (`0.969¹¹ ≈ 0.707` for the
+/// all-type-2 design).
+#[must_use]
+pub fn diffeq() -> Dfg {
+    DfgBuilder::new("diffeq")
+        // u' = u - 3*x*u*dx - 3*y*dx ; y' = y + u*dx ; x' = x + dx ; x' < a
+        .ops(&["m1", "m2", "m3", "m4", "m5", "m6"], OpKind::Mul)
+        .ops(&["a1", "a2"], OpKind::Add)
+        .ops(&["s1", "s2"], OpKind::Sub)
+        .op("c1", OpKind::Cmp)
+        .dep("m1", "m3") // (3x)·(u dx)
+        .dep("m2", "m3")
+        .dep("m4", "s2") // 3y·dx
+        .dep("m3", "s1") // u - 3xudx
+        .dep("s1", "s2") // ... - 3ydx
+        .dep("m5", "a1") // y + u·dx
+        .dep("m6", "a1") // (second product feeding the y update)
+        .dep("a2", "c1") // x' < a
+        .build()
+        .expect("diffeq graph is statically valid")
+}
+
+/// Fourth-order auto-regressive (AR) lattice filter: 28 operations
+/// (12 additions, 16 multiplications). A standard extra benchmark with a
+/// much higher multiplier pressure than the paper's three, used by the
+/// scaling benches.
+#[must_use]
+pub fn ar_lattice() -> Dfg {
+    let mut b = DfgBuilder::new("ar-lattice");
+    // Four lattice stages; stage i has 4 multiplies and 3 adds wired in the
+    // classic butterfly, stages chained through their first adder.
+    for i in 0..4 {
+        for j in 0..4 {
+            b = b.op(&format!("m{i}{j}"), OpKind::Mul);
+        }
+        for j in 0..3 {
+            b = b.op(&format!("a{i}{j}"), OpKind::Add);
+        }
+        b = b
+            .dep(&format!("m{i}0"), &format!("a{i}0"))
+            .dep(&format!("m{i}1"), &format!("a{i}0"))
+            .dep(&format!("m{i}2"), &format!("a{i}1"))
+            .dep(&format!("m{i}3"), &format!("a{i}1"))
+            .dep(&format!("a{i}0"), &format!("a{i}2"))
+            .dep(&format!("a{i}1"), &format!("a{i}2"));
+        if i > 0 {
+            let prev = i - 1;
+            b = b
+                .dep(&format!("a{prev}2"), &format!("m{i}0"))
+                .dep(&format!("a{prev}2"), &format!("m{i}2"));
+        }
+    }
+    b.build().expect("ar lattice graph is statically valid")
+}
+
+/// Parameterized symmetric FIR filter with `taps` taps (`taps` must be
+/// even and at least 2): `taps/2` pre-adds, `taps/2` multiplies, and a
+/// balanced accumulation tree.
+///
+/// `fir(16)` is structurally identical to [`fir16`].
+///
+/// # Panics
+///
+/// Panics if `taps` is odd or less than 2.
+#[must_use]
+pub fn fir(taps: usize) -> Dfg {
+    assert!(taps >= 2 && taps.is_multiple_of(2), "taps must be even and >= 2");
+    let half = taps / 2;
+    let mut b = DfgBuilder::new(format!("fir{taps}"));
+    for i in 0..half {
+        b = b.op(&format!("p{i}"), OpKind::Add);
+        b = b
+            .op(&format!("m{i}"), OpKind::Mul)
+            .dep(&format!("p{i}"), &format!("m{i}"));
+    }
+    // Balanced accumulation tree over the products.
+    let mut layer: Vec<String> = (0..half).map(|i| format!("m{i}")).collect();
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for (j, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let name = format!("t{level}_{j}");
+                b = b.op(&name, OpKind::Add).dep(&pair[0], &name).dep(&pair[1], &name);
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    b.build().expect("fir graph is statically valid")
+}
+
+/// 8-point decimation-in-time FFT-style butterfly graph: three stages of
+/// four butterflies each; every butterfly is one multiply (twiddle) plus
+/// two adds — 12 multiplies and 24 adds.
+///
+/// A wide, shallow graph (depth 6 at unit delays) that stresses
+/// functional-unit pressure rather than the critical path — the opposite
+/// regime from the EWF.
+#[must_use]
+pub fn butterfly8() -> Dfg {
+    let mut b = DfgBuilder::new("butterfly8");
+    // Stage 0 butterflies have no predecessors; stages 1-2 consume the two
+    // adds of the corresponding butterflies of the previous stage.
+    for stage in 0..3 {
+        for k in 0..4 {
+            let m = format!("m{stage}_{k}");
+            let lo = format!("a{stage}_{k}");
+            let hi = format!("b{stage}_{k}");
+            b = b
+                .op(&m, OpKind::Mul)
+                .op(&lo, OpKind::Add)
+                .op(&hi, OpKind::Sub)
+                .dep(&m, &lo)
+                .dep(&m, &hi);
+            if stage > 0 {
+                let prev = stage - 1;
+                // Classic stride pattern: butterfly k reads from k and k^stride.
+                let stride = 1usize << (stage - 1);
+                let partner = (k ^ stride) % 4;
+                b = b
+                    .dep(&format!("a{prev}_{k}"), &m)
+                    .dep(&format!("b{prev}_{partner}"), &lo);
+            }
+        }
+    }
+    b.build().expect("butterfly graph is statically valid")
+}
+
+/// Cascade of `n` IIR biquad sections: each section is 4 multiplies and
+/// 4 adds with a serial accumulate, chained through the section output —
+/// a medium-depth, multiplier-heavy workload.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn iir_cascade(n: usize) -> Dfg {
+    assert!(n > 0, "need at least one biquad section");
+    let mut b = DfgBuilder::new(format!("iir{n}"));
+    for s in 0..n {
+        for j in 0..4 {
+            b = b.op(&format!("m{s}_{j}"), OpKind::Mul);
+        }
+        b = b
+            .op(&format!("a{s}_0"), OpKind::Add)
+            .op(&format!("a{s}_1"), OpKind::Add)
+            .op(&format!("a{s}_2"), OpKind::Add)
+            .op(&format!("a{s}_3"), OpKind::Add)
+            .dep(&format!("m{s}_0"), &format!("a{s}_0"))
+            .dep(&format!("m{s}_1"), &format!("a{s}_0"))
+            .dep(&format!("m{s}_2"), &format!("a{s}_1"))
+            .dep(&format!("m{s}_3"), &format!("a{s}_1"))
+            .dep(&format!("a{s}_0"), &format!("a{s}_2"))
+            .dep(&format!("a{s}_1"), &format!("a{s}_2"))
+            .dep(&format!("a{s}_2"), &format!("a{s}_3"));
+        if s > 0 {
+            for j in 0..2 {
+                b = b.dep(&format!("a{}_3", s - 1), &format!("m{s}_{j}"));
+            }
+        }
+    }
+    b.build().expect("iir cascade graph is statically valid")
+}
+
+/// A named benchmark constructor, as listed by [`all_benchmarks`].
+pub type NamedBenchmark = (&'static str, fn() -> Dfg);
+
+/// All named benchmarks as `(name, constructor)` pairs, for sweep drivers.
+#[must_use]
+pub fn all_benchmarks() -> Vec<NamedBenchmark> {
+    vec![
+        ("figure4a", figure4a as fn() -> Dfg),
+        ("fir16", fir16),
+        ("ewf", ewf),
+        ("diffeq", diffeq),
+        ("ar-lattice", ar_lattice),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::OpClass;
+
+    #[test]
+    fn figure4a_shape() {
+        let g = figure4a();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.depth().unwrap(), 4);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn fir16_matches_paper_op_counts() {
+        let g = fir16();
+        assert_eq!(g.node_count(), 23);
+        assert_eq!(g.count_class(OpClass::Adder), 15);
+        assert_eq!(g.count_class(OpClass::Multiplier), 8);
+        // Pre-add -> multiply -> 3-level accumulation tree: depth 5.
+        assert_eq!(g.depth().unwrap(), 5);
+    }
+
+    #[test]
+    fn ewf_matches_canonical_op_counts() {
+        let g = ewf();
+        assert_eq!(g.node_count(), 34);
+        assert_eq!(g.count_class(OpClass::Adder), 26);
+        assert_eq!(g.count_class(OpClass::Multiplier), 8);
+        assert!(g.validate().is_ok());
+        // The EWF's defining feature: the 14-step feedback spine.
+        assert_eq!(g.depth().unwrap(), 14);
+    }
+
+    #[test]
+    fn diffeq_matches_paper_op_counts() {
+        let g = diffeq();
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.count_class(OpClass::Multiplier), 6);
+        assert_eq!(g.count_class(OpClass::Adder), 5); // add + sub + cmp classes
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn ar_lattice_shape() {
+        let g = ar_lattice();
+        assert_eq!(g.node_count(), 28);
+        assert_eq!(g.count_class(OpClass::Multiplier), 16);
+        assert_eq!(g.count_class(OpClass::Adder), 12);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn fir_generic_matches_fir16_at_16_taps() {
+        let a = fir(16);
+        let b = fir16();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.count_class(OpClass::Adder), b.count_class(OpClass::Adder));
+        assert_eq!(a.depth().unwrap(), b.depth().unwrap());
+    }
+
+    #[test]
+    fn fir_scales_with_taps() {
+        for taps in [2usize, 4, 8, 32, 64] {
+            let g = fir(taps);
+            assert_eq!(g.count_class(OpClass::Multiplier), taps / 2);
+            assert_eq!(g.count_class(OpClass::Adder), taps / 2 + (taps / 2 - 1));
+            assert!(g.validate().is_ok(), "taps {taps}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_fir_rejected() {
+        let _ = fir(5);
+    }
+
+    #[test]
+    fn butterfly8_shape() {
+        let g = butterfly8();
+        assert_eq!(g.count_class(OpClass::Multiplier), 12);
+        assert_eq!(g.count_class(OpClass::Adder), 24);
+        assert!(g.validate().is_ok());
+        // Wide and shallow: 3 stages of mul -> add.
+        assert_eq!(g.depth().unwrap(), 6);
+    }
+
+    #[test]
+    fn iir_cascade_shape() {
+        for n in [1usize, 2, 4] {
+            let g = iir_cascade(n);
+            assert_eq!(g.count_class(OpClass::Multiplier), 4 * n);
+            assert_eq!(g.count_class(OpClass::Adder), 4 * n);
+            assert!(g.validate().is_ok());
+        }
+        // Depth grows linearly with sections (serial chaining).
+        assert!(iir_cascade(4).depth().unwrap() > iir_cascade(1).depth().unwrap() * 3);
+    }
+
+    #[test]
+    fn all_benchmarks_are_valid_dags() {
+        for (name, ctor) in all_benchmarks() {
+            let g = ctor();
+            assert!(g.validate().is_ok(), "{name} must be acyclic");
+            assert!(!g.is_empty(), "{name} must be nonempty");
+            assert_eq!(g.name(), name);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Seeded random layered DAG generation for property tests and scaling
+//! benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rchls_dfg::{Dfg, NodeId, OpKind};
+
+/// Configuration for [`random_layered_dfg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDfgConfig {
+    /// Total number of operations.
+    pub nodes: usize,
+    /// Number of layers (depth of the DAG skeleton).
+    pub layers: usize,
+    /// Probability of an extra edge between ops in adjacent layers.
+    pub edge_probability: f64,
+    /// Fraction of multiplier-class operations.
+    pub multiplier_fraction: f64,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for RandomDfgConfig {
+    fn default() -> RandomDfgConfig {
+        RandomDfgConfig {
+            nodes: 30,
+            layers: 6,
+            edge_probability: 0.3,
+            multiplier_fraction: 0.35,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random layered DAG: nodes are spread round-robin over
+/// `layers`, every non-source node gets at least one predecessor in the
+/// previous layer, and extra adjacent-layer edges are added with
+/// `edge_probability`.
+///
+/// The same configuration always yields the same graph.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`, `layers == 0`, or the probabilities are outside
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_workloads::{random_layered_dfg, RandomDfgConfig};
+///
+/// let g = random_layered_dfg(&RandomDfgConfig { nodes: 40, seed: 7, ..Default::default() });
+/// assert_eq!(g.node_count(), 40);
+/// assert!(g.validate().is_ok());
+/// ```
+#[must_use]
+pub fn random_layered_dfg(config: &RandomDfgConfig) -> Dfg {
+    assert!(config.nodes > 0, "need at least one node");
+    assert!(config.layers > 0, "need at least one layer");
+    assert!(
+        (0.0..=1.0).contains(&config.edge_probability),
+        "edge probability must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.multiplier_fraction),
+        "multiplier fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut g = Dfg::new(format!("random-{}-{}", config.nodes, config.seed));
+    let mut layer_of: Vec<usize> = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let kind = if rng.gen_bool(config.multiplier_fraction) {
+            OpKind::Mul
+        } else {
+            OpKind::Add
+        };
+        g.add_node(kind, format!("v{i}"));
+        layer_of.push(i % config.layers);
+    }
+    let node = |i: usize| NodeId::new(i as u32);
+    for i in 0..config.nodes {
+        let l = layer_of[i];
+        if l == 0 {
+            continue;
+        }
+        let prev: Vec<usize> = (0..config.nodes).filter(|&j| layer_of[j] == l - 1).collect();
+        if prev.is_empty() {
+            continue;
+        }
+        // Guaranteed predecessor keeps the graph connected layer-to-layer.
+        let anchor = prev[rng.gen_range(0..prev.len())];
+        let _ = g.add_edge(node(anchor), node(i));
+        for &j in &prev {
+            if j != anchor && rng.gen_bool(config.edge_probability) {
+                let _ = g.add_edge(node(j), node(i));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDfgConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let a = random_layered_dfg(&cfg);
+        let b = random_layered_dfg(&cfg);
+        assert_eq!(a, b);
+        let c = random_layered_dfg(&RandomDfgConfig {
+            seed: 43,
+            ..Default::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn always_acyclic_and_sized() {
+        for seed in 0..20 {
+            let cfg = RandomDfgConfig {
+                nodes: 25 + seed as usize,
+                seed,
+                ..Default::default()
+            };
+            let g = random_layered_dfg(&cfg);
+            assert_eq!(g.node_count(), cfg.nodes);
+            assert!(g.validate().is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn depth_bounded_by_layers() {
+        let cfg = RandomDfgConfig {
+            nodes: 60,
+            layers: 5,
+            seed: 3,
+            ..Default::default()
+        };
+        let g = random_layered_dfg(&cfg);
+        assert!(g.depth().unwrap() <= 5);
+    }
+
+    #[test]
+    fn multiplier_fraction_extremes() {
+        let all_mul = random_layered_dfg(&RandomDfgConfig {
+            multiplier_fraction: 1.0,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_eq!(
+            all_mul.count_class(rchls_dfg::OpClass::Multiplier),
+            all_mul.node_count()
+        );
+        let no_mul = random_layered_dfg(&RandomDfgConfig {
+            multiplier_fraction: 0.0,
+            seed: 1,
+            ..Default::default()
+        });
+        assert_eq!(no_mul.count_class(rchls_dfg::OpClass::Multiplier), 0);
+    }
+}

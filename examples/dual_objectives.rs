@@ -1,0 +1,38 @@
+//! The paper's future-work objectives, available as extensions: minimize
+//! area under (latency, reliability) bounds, and minimize latency under
+//! (area, reliability) bounds.
+//!
+//! Run with `cargo run --release --example dual_objectives`.
+
+use rc_hls::core::modes::{minimize_area, minimize_latency};
+use rc_hls::relmath::Reliability;
+use rc_hls::reslib::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dfg = rc_hls::workloads::diffeq();
+    let library = Library::table1();
+    println!("benchmark: {} ({} ops)\n", dfg.name(), dfg.node_count());
+
+    println!("minimum area meeting Ld=7 at increasing reliability floors:");
+    for floor in [0.75, 0.85, 0.90, 0.95] {
+        match minimize_area(&dfg, &library, 7, Reliability::new(floor)?, 32) {
+            Ok(d) => println!(
+                "  R >= {floor:.2}: area={:<3} latency={:<3} achieved R={}",
+                d.area, d.latency, d.reliability
+            ),
+            Err(e) => println!("  R >= {floor:.2}: {e}"),
+        }
+    }
+
+    println!("\nminimum latency meeting Ad=10 at increasing reliability floors:");
+    for floor in [0.75, 0.85, 0.90, 0.95] {
+        match minimize_latency(&dfg, &library, 10, Reliability::new(floor)?, 40) {
+            Ok(d) => println!(
+                "  R >= {floor:.2}: latency={:<3} area={:<3} achieved R={}",
+                d.latency, d.area, d.reliability
+            ),
+            Err(e) => println!("  R >= {floor:.2}: {e}"),
+        }
+    }
+    Ok(())
+}
