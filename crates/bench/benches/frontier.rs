@@ -1,0 +1,116 @@
+//! Exploration-engine performance: the multi-benchmark sweep behind the
+//! paper's evaluation at increasing worker counts (the speedup the
+//! `rchls-explorer` executor buys), cache effectiveness on repeated
+//! sweeps, and Pareto-archive insertion throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rchls_bench::paper_benchmarks;
+use rchls_core::{RedundancyModel, StrategyKind, SynthConfig};
+use rchls_explorer::{
+    explore, ExploreTask, FrontierPoint, ParetoArchive, SweepExecutor, SynthCache,
+};
+use rchls_reslib::Library;
+use std::hint::black_box;
+
+fn tasks() -> Vec<ExploreTask> {
+    paper_benchmarks()
+        .into_iter()
+        .map(|(name, dfg, grid)| ExploreTask::new(name, dfg, grid))
+        .collect()
+}
+
+/// The full three-benchmark, three-strategy sweep at 1, 2, 4, and 8
+/// workers, each iteration on a cold cache — the headline scaling curve.
+fn bench_sweep_jobs(c: &mut Criterion) {
+    let library = Library::table1();
+    let tasks = tasks();
+    let mut group = c.benchmark_group("multi-benchmark-sweep");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let cache = SynthCache::new();
+                black_box(explore(
+                    &tasks,
+                    &library,
+                    SynthConfig::default(),
+                    RedundancyModel::default(),
+                    SweepExecutor::new(jobs),
+                    &cache,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same sweep against a warm cache: the cost of a fully repeated
+/// exploration (fingerprint lookups only — no synthesis).
+fn bench_warm_cache(c: &mut Criterion) {
+    let library = Library::table1();
+    let tasks = tasks();
+    let cache = SynthCache::new();
+    let config = SynthConfig::default();
+    let model = RedundancyModel::default();
+    // Warm it once.
+    let _ = explore(
+        &tasks,
+        &library,
+        config,
+        model,
+        SweepExecutor::new(4),
+        &cache,
+    );
+    c.bench_function("multi-benchmark-sweep/warm-cache", |b| {
+        b.iter(|| {
+            black_box(explore(
+                &tasks,
+                &library,
+                config,
+                model,
+                SweepExecutor::new(4),
+                &cache,
+            ))
+        })
+    });
+}
+
+/// Pareto-archive maintenance: inserting a deterministic stream of
+/// mostly-dominated points.
+fn bench_archive_insert(c: &mut Criterion) {
+    // A deterministic point cloud with a thin frontier.
+    let points: Vec<FrontierPoint> = (0..2000u32)
+        .map(|i| {
+            let latency = 1 + (i * 7919) % 97;
+            let area = 1 + (i * 6271) % 89;
+            let reliability = 1.0 / (1.0 + f64::from(latency) * f64::from(area) / 500.0)
+                + f64::from(i % 13) / 1000.0;
+            FrontierPoint {
+                benchmark: format!("b{}", i % 3),
+                strategy: StrategyKind::ALL[(i % 3) as usize],
+                latency_bound: latency,
+                area_bound: area,
+                latency,
+                area,
+                reliability,
+            }
+        })
+        .collect();
+    c.bench_function("pareto-archive/insert-2000", |b| {
+        b.iter(|| {
+            let mut archive = ParetoArchive::new();
+            for p in &points {
+                archive.insert(p.clone());
+            }
+            black_box(archive.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_jobs,
+    bench_warm_cache,
+    bench_archive_insert
+);
+criterion_main!(benches);

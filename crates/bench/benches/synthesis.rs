@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rchls_core::{
-    synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel, Refinement,
-    SynthConfig, Synthesizer, VictimPolicy,
+    synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel, Refinement, SynthConfig,
+    Synthesizer, VictimPolicy,
 };
 use rchls_reslib::Library;
 use rchls_workloads::{random_layered_dfg, RandomDfgConfig};
@@ -25,10 +25,7 @@ fn bench_strategies(c: &mut Criterion) {
     group.sample_size(10);
     for (name, dfg, bounds) in paper_benchmark_bounds() {
         group.bench_with_input(BenchmarkId::new("ours", name), &dfg, |b, dfg| {
-            b.iter(|| {
-                black_box(Synthesizer::new(dfg, &library).synthesize(black_box(bounds)))
-                    .ok()
-            })
+            b.iter(|| black_box(Synthesizer::new(dfg, &library).synthesize(black_box(bounds))).ok())
         });
         group.bench_with_input(BenchmarkId::new("baseline", name), &dfg, |b, dfg| {
             b.iter(|| {
@@ -103,10 +100,7 @@ fn bench_ablations(c: &mut Criterion) {
     for (name, config) in cases {
         group.bench_function(name, |b| {
             b.iter(|| {
-                black_box(
-                    Synthesizer::with_config(&dfg, &library, config).synthesize(bounds),
-                )
-                .ok()
+                black_box(Synthesizer::with_config(&dfg, &library, config).synthesize(bounds)).ok()
             })
         });
     }

@@ -13,7 +13,9 @@ fn main() {
     let bounds = Bounds::new(5, 4);
 
     // (a) Single-version design: type-2 adders only, as in the paper.
-    let a2 = library.version_by_name("adder2").expect("table1 has adder2");
+    let a2 = library
+        .version_by_name("adder2")
+        .expect("table1 has adder2");
     let single = Assignment::from_fn(&dfg, &library, |_| a2);
     let delays = single.delays(&dfg, &library);
     let schedule = schedule_density(&dfg, &delays, bounds.latency).expect("L=5 is feasible");

@@ -18,7 +18,9 @@ fn main() {
     let bounds = Bounds::new(12, 8);
 
     // (a) Single version per type: type-2 adders and multipliers.
-    let a2 = library.version_by_name("adder2").expect("table1 has adder2");
+    let a2 = library
+        .version_by_name("adder2")
+        .expect("table1 has adder2");
     let m2 = library.version_by_name("mult2").expect("table1 has mult2");
     let single = Assignment::from_fn(&dfg, &library, |n| {
         if dfg.node(n).class() == OpClass::Adder {

@@ -1,8 +1,11 @@
 //! Regenerates **Figure 9**: per-benchmark average reliabilities of the
-//! three strategies over the Table-2 grids.
+//! three strategies over the Table-2 grids, computed through the
+//! parallel sweep executor.
 
 use rchls_bench::paper_benchmarks;
-use rchls_core::explore::{averages, sweep};
+use rchls_core::explore::averages;
+use rchls_core::{RedundancyModel, SynthConfig};
+use rchls_explorer::{explore, ExploreTask, SweepExecutor, SynthCache};
 use rchls_reslib::Library;
 
 fn bar(v: f64) -> String {
@@ -11,11 +14,23 @@ fn bar(v: f64) -> String {
 
 fn main() {
     let library = Library::table1();
+    let tasks: Vec<ExploreTask> = paper_benchmarks()
+        .into_iter()
+        .map(|(name, dfg, grid)| ExploreTask::new(name, dfg, grid))
+        .collect();
+    let cache = SynthCache::new();
+    let exploration = explore(
+        &tasks,
+        &library,
+        SynthConfig::default(),
+        RedundancyModel::default(),
+        SweepExecutor::default(),
+        &cache,
+    );
     println!("== Figure 9: average reliability per benchmark and strategy ==\n");
-    for (name, dfg, grid) in paper_benchmarks() {
-        let rows = sweep(&dfg, &library, &grid);
-        let (baseline, ours, combined) = averages(&rows);
-        println!("{name}:");
+    for sweep in &exploration.sweeps {
+        let (baseline, ours, combined) = averages(&sweep.rows);
+        println!("{}:", sweep.benchmark);
         println!("  Ref[3]    {}", bar(baseline));
         println!("  ours      {}", bar(ours));
         println!("  combined  {}", bar(combined));

@@ -8,7 +8,10 @@ use rchls_reslib::{paper_qcritical, Characterizer, Library};
 
 fn main() {
     println!("== Table 1: resource library ==\n");
-    println!("{:<8} {:<11} {:>5} {:>6} {:>12}", "name", "class", "area", "delay", "reliability");
+    println!(
+        "{:<8} {:<11} {:>5} {:>6} {:>12}",
+        "name", "class", "area", "delay", "reliability"
+    );
     for (_, v) in Library::table1().iter() {
         println!(
             "{:<8} {:<11} {:>5} {:>6} {:>12}",
@@ -23,7 +26,10 @@ fn main() {
     println!("\n== Figure 2 chain: Qcritical -> SER -> failure rate -> reliability ==\n");
     let (q_rca, q_bk, q_ks) = paper_qcritical();
     let chain = Characterizer::calibrated_to_table1();
-    println!("calibrated charge-collection efficiency Qs = {:.3e} C", chain.qs());
+    println!(
+        "calibrated charge-collection efficiency Qs = {:.3e} C",
+        chain.qs()
+    );
     println!(
         "{:<22} {:>14} {:>12} {:>12}",
         "component", "Qcrit (C)", "rel. SER", "derived R"
@@ -63,7 +69,11 @@ fn main() {
         let rep = injector.characterize(c, 20_000);
         println!(
             "{:<8} {:>6} {:>8} {:>16.4} {:>14.4}",
-            rep.component, rep.gate_count, rep.trials, rep.susceptibility, rep.masking_rate()
+            rep.component,
+            rep.gate_count,
+            rep.trials,
+            rep.susceptibility,
+            rep.masking_rate()
         );
     }
 }

@@ -47,9 +47,7 @@ impl Assignment {
         let mut versions = Vec::with_capacity(dfg.node_count());
         for n in dfg.node_ids() {
             let class = dfg.node(n).class();
-            let v = library
-                .most_reliable_id(class)
-                .ok_or(LibraryError::Empty)?;
+            let v = library.most_reliable_id(class).ok_or(LibraryError::Empty)?;
             versions.push(v);
         }
         Ok(Assignment { versions })
@@ -61,7 +59,11 @@ impl Assignment {
     ///
     /// Panics if `f` returns a version of a different class than the node.
     #[must_use]
-    pub fn from_fn(dfg: &Dfg, library: &Library, mut f: impl FnMut(NodeId) -> VersionId) -> Assignment {
+    pub fn from_fn(
+        dfg: &Dfg,
+        library: &Library,
+        mut f: impl FnMut(NodeId) -> VersionId,
+    ) -> Assignment {
         let versions = dfg
             .node_ids()
             .map(|n| {

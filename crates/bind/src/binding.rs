@@ -59,7 +59,10 @@ impl Binding {
     #[must_use]
     pub fn new(instances: Vec<Instance>, owner: Vec<InstanceId>) -> Binding {
         for (i, &o) in owner.iter().enumerate() {
-            assert!(o.index() < instances.len(), "owner of node {i} out of range");
+            assert!(
+                o.index() < instances.len(),
+                "owner of node {i} out of range"
+            );
             assert!(
                 instances[o.index()].nodes.contains(&NodeId::new(i as u32)),
                 "instance lists and owner map disagree on node {i}"
@@ -143,7 +146,11 @@ impl Binding {
                 );
             }
         }
-        assert_eq!(self.owner.len(), dfg.node_count(), "binding must cover all nodes");
+        assert_eq!(
+            self.owner.len(),
+            dfg.node_count(),
+            "binding must cover all nodes"
+        );
     }
 }
 

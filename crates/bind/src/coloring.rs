@@ -122,7 +122,11 @@ mod tests {
             let le = bind_left_edge(&g, &s, &assign, &lib);
             let gc = bind_coloring(&g, &s, &assign, &lib);
             gc.assert_valid(&g, &s, &delays);
-            assert_eq!(le.instance_count(), gc.instance_count(), "latency {latency}");
+            assert_eq!(
+                le.instance_count(),
+                gc.instance_count(),
+                "latency {latency}"
+            );
         }
     }
 

@@ -72,10 +72,7 @@ impl RegisterBinding {
         for (r, group) in self.registers.iter().enumerate() {
             for (i, &a) in group.iter().enumerate() {
                 for &b in &group[i + 1..] {
-                    let (la, lb) = (
-                        self.lifetimes[a.index()],
-                        self.lifetimes[b.index()],
-                    );
+                    let (la, lb) = (self.lifetimes[a.index()], self.lifetimes[b.index()]);
                     assert!(
                         !la.conflicts_with(&lb),
                         "register r{r} holds overlapping values {a} and {b}"
@@ -231,14 +228,22 @@ mod tests {
             "graph t\nop a add\nop b add\nop c mul\nop d add\na -> c\nb -> c\nc -> d\n",
         )
         .unwrap();
-        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let d = Delays::from_fn(&g, |n| {
+            if g.node(n).kind() == OpKind::Mul {
+                2
+            } else {
+                1
+            }
+        });
         let s = asap(&g, &d).unwrap();
         let regs = bind_registers(&g, &s, &d);
         regs.assert_valid();
         assert!(regs.register_count() <= g.node_count());
         assert!(regs.register_count() >= 2);
         // Every value is assigned exactly once.
-        let total: usize = (0..regs.register_count()).map(|r| regs.values_in(r).len()).sum();
+        let total: usize = (0..regs.register_count())
+            .map(|r| regs.values_in(r).len())
+            .sum();
         assert_eq!(total, g.node_count());
     }
 }

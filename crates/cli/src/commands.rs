@@ -2,12 +2,13 @@
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
-use rchls_core::explore::{format_table, sweep as run_sweep};
+use rchls_core::explore::format_table;
 use rchls_core::{
-    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds,
-    RedundancyModel, Refinement, SynthConfig, Synthesizer,
+    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel,
+    Refinement, SynthConfig, Synthesizer,
 };
 use rchls_dfg::Dfg;
+use rchls_explorer::{explore, export, ExploreTask, SweepExecutor, SynthCache};
 use rchls_netlist::{generators, FaultInjector};
 use rchls_reslib::Library;
 use std::fmt::Write as _;
@@ -21,14 +22,21 @@ pub fn help() -> String {
      \x20       [--strategy ours|paper|baseline|combined] [--ii N]\n\
      \x20       [--library <file>] [--mission-time T]\n\
      \x20 rchls sweep --dfg <name|file> --latencies L1,L2,... --areas A1,A2,...\n\
+     \x20 rchls pareto <name|file> [--latencies ...] [--areas ...]\n\
+     \x20       [--format table|json|csv]\n\
      \x20 rchls dot --dfg <name|file>\n\
      \x20 rchls list\n\
      \x20 rchls characterize [--width N] [--trials N] [--seed N]\n\
      \x20 rchls validate --dfg <name|file> --latency N --area N [--trials N] [--seed N]\n\
      \x20 rchls help\n\
      \n\
-     built-in DFGs: figure4a fir16 ewf diffeq ar-lattice; files use the\n\
-     textual format: `graph g` / `op x add` / `x -> y` lines.\n"
+     global flags: --jobs N sizes the worker pool of the sweep/pareto\n\
+     commands (0 or omitted = one worker per CPU); parallel runs produce\n\
+     byte-identical output to serial runs.\n\
+     \n\
+     built-in DFGs: figure4a fir16 ewf diffeq ar-lattice butterfly8 iir4;\n\
+     files use the textual format: `graph g` / `op x add` / `x -> y`\n\
+     lines.\n"
         .to_owned()
 }
 
@@ -118,9 +126,7 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
         "paper" => {
             Synthesizer::with_config(&dfg, &library, SynthConfig::paper()).synthesize(bounds)?
         }
-        "baseline" => {
-            synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default())?
-        }
+        "baseline" => synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default())?,
         "combined" => synthesize_combined(
             &dfg,
             &library,
@@ -140,6 +146,12 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolves the global `--jobs` flag into an executor (0 or absent means
+/// one worker per CPU).
+fn executor(args: &ParsedArgs) -> Result<SweepExecutor, CliError> {
+    Ok(SweepExecutor::new(args.u32_or("jobs", 0)? as usize))
+}
+
 /// `rchls sweep`.
 pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
@@ -150,8 +162,71 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
         .iter()
         .flat_map(|&l| areas.iter().map(move |&a| (l, a)))
         .collect();
-    let rows = run_sweep(&dfg, &library, &grid);
+    let cache = SynthCache::new();
+    let rows = rchls_explorer::sweep_parallel(&dfg, &library, &grid, executor(args)?, &cache);
     Ok(format_table(&rows))
+}
+
+/// `rchls pareto` — explore a benchmark's design space and print the
+/// Pareto frontier over achieved `(latency, area, reliability)`.
+pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
+    let dfg = load_dfg(args)?;
+    let library = load_library(args)?;
+    let grid: Vec<(u32, u32)> = match (args.get("latencies"), args.get("areas")) {
+        (None, None) => {
+            rchls_explorer::default_grid(&dfg, &library).ok_or_else(|| CliError::BadValue {
+                flag: "library".to_owned(),
+                reason: format!(
+                    "has no version for one of {}'s operation classes",
+                    dfg.name()
+                ),
+            })?
+        }
+        _ => {
+            let latencies = args.required_u32_list("latencies")?;
+            let areas = args.required_u32_list("areas")?;
+            latencies
+                .iter()
+                .flat_map(|&l| areas.iter().map(move |&a| (l, a)))
+                .collect()
+        }
+    };
+    let cache = SynthCache::new();
+    let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid.clone())];
+    let exploration = explore(
+        &tasks,
+        &library,
+        SynthConfig::default(),
+        RedundancyModel::default(),
+        executor(args)?,
+        &cache,
+    );
+    match args.get("format").unwrap_or("table") {
+        "json" => Ok(export::frontier_json(&exploration.frontier) + "\n"),
+        "csv" => Ok(export::frontier_csv(&exploration.frontier)),
+        "table" => {
+            let stats = cache.stats();
+            let mut out = format!(
+                "Pareto frontier of {} over {} bound points ({} synthesis runs):\n\n",
+                dfg.name(),
+                grid.len(),
+                stats.misses,
+            );
+            out.push_str(&export::frontier_table(&exploration.frontier));
+            if let Some(best) = exploration.frontier.most_reliable() {
+                let _ = writeln!(
+                    out,
+                    "\nbest reliability {:.5} ({} at Ld={}, Ad={})",
+                    best.reliability, best.strategy, best.latency_bound, best.area_bound
+                );
+            }
+            Ok(out)
+        }
+        other => Err(CliError::BadValue {
+            flag: "format".to_owned(),
+            reason: format!("{other:?} (expected table|json|csv)"),
+        }),
+    }
 }
 
 /// `rchls dot`.
@@ -182,7 +257,10 @@ pub fn characterize(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "{:<8} {:>6} {:>16.4} {:>14.4}",
-            rep.component, rep.gate_count, rep.susceptibility, rep.masking_rate()
+            rep.component,
+            rep.gate_count,
+            rep.susceptibility,
+            rep.masking_rate()
         );
     }
     Ok(out)

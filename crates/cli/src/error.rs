@@ -79,7 +79,9 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(CliError::UnknownCommand("x".into()).to_string().contains('x'));
+        assert!(CliError::UnknownCommand("x".into())
+            .to_string()
+            .contains('x'));
         assert!(CliError::MissingFlag("area").to_string().contains("area"));
         let bv = CliError::BadValue {
             flag: "latency".into(),

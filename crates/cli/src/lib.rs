@@ -4,15 +4,22 @@
 //!
 //! * `synth`        — synthesize one design under bounds;
 //! * `sweep`        — Table-2-style three-strategy grid comparison;
+//! * `pareto`       — explore a design space and print the Pareto
+//!   frontier over achieved `(latency, area, reliability)`;
 //! * `dot`          — emit a DFG in Graphviz DOT;
 //! * `list`         — list the built-in benchmark graphs;
 //! * `characterize` — run the gate-level SEU characterization;
 //! * `validate`     — Monte-Carlo check of a design's analytic reliability;
 //! * `help`         — usage.
 //!
+//! The sweep and pareto commands accept a global `--jobs N` flag sizing
+//! their worker pool (0 or omitted: one worker per CPU); parallel output
+//! is byte-identical to serial output.
+//!
 //! A `--dfg` argument accepts either a built-in benchmark name
-//! (`fir16`, `ewf`, `diffeq`, `figure4a`, `ar-lattice`) or a path to a
-//! file in the textual DFG format of [`rchls_dfg::parse_dfg`].
+//! (`fir16`, `ewf`, `diffeq`, `figure4a`, `ar-lattice`, `butterfly8`,
+//! `iir4`) or a path to a file in the textual DFG format of
+//! [`rchls_dfg::parse_dfg`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,10 +49,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Ok(commands::help());
     };
-    let parsed = ParsedArgs::parse(rest)?;
+    // `pareto` takes its benchmark positionally (`rchls pareto fir16`);
+    // desugar that into the `--dfg` flag every other command uses.
+    let rest: Vec<String> = match rest.split_first() {
+        Some((first, tail)) if command == "pareto" && !first.starts_with("--") => {
+            let mut flags = vec!["--dfg".to_owned(), first.clone()];
+            flags.extend(tail.iter().cloned());
+            flags
+        }
+        _ => rest.to_vec(),
+    };
+    let parsed = ParsedArgs::parse(&rest)?;
     match command.as_str() {
         "synth" => commands::synth(&parsed),
         "sweep" => commands::sweep(&parsed),
+        "pareto" => commands::pareto(&parsed),
         "dot" => commands::dot(&parsed),
         "list" => Ok(commands::list()),
         "characterize" => commands::characterize(&parsed),
@@ -78,7 +96,15 @@ mod tests {
     #[test]
     fn list_names_all_builtins() {
         let out = run(&s(&["list"])).unwrap();
-        for name in ["figure4a", "fir16", "ewf", "diffeq", "ar-lattice"] {
+        for name in [
+            "figure4a",
+            "fir16",
+            "ewf",
+            "diffeq",
+            "ar-lattice",
+            "butterfly8",
+            "iir4",
+        ] {
             assert!(out.contains(name), "{name} missing");
         }
     }
@@ -86,7 +112,13 @@ mod tests {
     #[test]
     fn synth_builtin_works() {
         let out = run(&s(&[
-            "synth", "--dfg", "diffeq", "--latency", "6", "--area", "11",
+            "synth",
+            "--dfg",
+            "diffeq",
+            "--latency",
+            "6",
+            "--area",
+            "11",
         ]))
         .unwrap();
         assert!(out.contains("reliability"));
@@ -96,7 +128,14 @@ mod tests {
     #[test]
     fn synth_baseline_strategy() {
         let out = run(&s(&[
-            "synth", "--dfg", "diffeq", "--latency", "5", "--area", "11", "--strategy",
+            "synth",
+            "--dfg",
+            "diffeq",
+            "--latency",
+            "5",
+            "--area",
+            "11",
+            "--strategy",
             "baseline",
         ]))
         .unwrap();
@@ -106,7 +145,15 @@ mod tests {
     #[test]
     fn synth_pipelined() {
         let out = run(&s(&[
-            "synth", "--dfg", "diffeq", "--latency", "8", "--area", "14", "--ii", "4",
+            "synth",
+            "--dfg",
+            "diffeq",
+            "--latency",
+            "8",
+            "--area",
+            "14",
+            "--ii",
+            "4",
         ]))
         .unwrap();
         assert!(out.contains("II=4"));
@@ -115,7 +162,13 @@ mod tests {
     #[test]
     fn synth_infeasible_is_an_error() {
         let err = run(&s(&[
-            "synth", "--dfg", "figure4a", "--latency", "3", "--area", "99",
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "3",
+            "--area",
+            "99",
         ]))
         .unwrap_err();
         assert!(matches!(err, CliError::Synthesis(_)));
@@ -124,11 +177,71 @@ mod tests {
     #[test]
     fn sweep_prints_table() {
         let out = run(&s(&[
-            "sweep", "--dfg", "figure4a", "--latencies", "5,6", "--areas", "3,4",
+            "sweep",
+            "--dfg",
+            "figure4a",
+            "--latencies",
+            "5,6",
+            "--areas",
+            "3,4",
         ]))
         .unwrap();
         assert!(out.contains("Ref[3]"));
         assert_eq!(out.lines().count(), 5); // header + 4 grid cells
+    }
+
+    #[test]
+    fn sweep_jobs_flag_is_output_invariant() {
+        let base = s(&[
+            "sweep",
+            "--dfg",
+            "figure4a",
+            "--latencies",
+            "5,6",
+            "--areas",
+            "3,4",
+        ]);
+        let serial = run(&[base.clone(), s(&["--jobs", "1"])].concat()).unwrap();
+        let parallel = run(&[base, s(&["--jobs", "8"])].concat()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pareto_positional_benchmark() {
+        let out = run(&s(&["pareto", "figure4a", "--jobs", "2"])).unwrap();
+        assert!(out.contains("Pareto frontier of figure4a"));
+        assert!(out.contains("best reliability"));
+        // The flag spelling works too and agrees.
+        let flagged = run(&s(&["pareto", "--dfg", "figure4a", "--jobs", "2"])).unwrap();
+        assert_eq!(out, flagged);
+    }
+
+    #[test]
+    fn pareto_formats() {
+        let args = |fmt: &str| {
+            s(&[
+                "pareto",
+                "figure4a",
+                "--latencies",
+                "5,6",
+                "--areas",
+                "4",
+                "--format",
+                fmt,
+            ])
+        };
+        let json = run(&args("json")).unwrap();
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.contains("\"reliability\""));
+        let csv = run(&args("csv")).unwrap();
+        assert!(csv.starts_with("benchmark,strategy"));
+        assert!(run(&args("yaml")).is_err());
+    }
+
+    #[test]
+    fn pareto_custom_grid_errors_without_both_lists() {
+        let err = run(&s(&["pareto", "figure4a", "--latencies", "5,6"])).unwrap_err();
+        assert!(err.to_string().contains("areas"));
     }
 
     #[test]
@@ -186,17 +299,37 @@ mod tests {
     #[test]
     fn mission_time_derates_library() {
         let short = run(&s(&[
-            "synth", "--dfg", "figure4a", "--latency", "6", "--area", "4",
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "6",
+            "--area",
+            "4",
         ]))
         .unwrap();
         let long = run(&s(&[
-            "synth", "--dfg", "figure4a", "--latency", "6", "--area", "4", "--mission-time",
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "6",
+            "--area",
+            "4",
+            "--mission-time",
             "10",
         ]))
         .unwrap();
         assert_ne!(short, long);
         let bad = run(&s(&[
-            "synth", "--dfg", "figure4a", "--latency", "6", "--area", "4", "--mission-time",
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "6",
+            "--area",
+            "4",
+            "--mission-time",
             "-1",
         ]));
         assert!(bad.is_err());
@@ -218,7 +351,14 @@ mod tests {
     #[test]
     fn validate_compares_models() {
         let out = run(&s(&[
-            "validate", "--dfg", "diffeq", "--latency", "6", "--area", "11", "--trials",
+            "validate",
+            "--dfg",
+            "diffeq",
+            "--latency",
+            "6",
+            "--area",
+            "11",
+            "--trials",
             "2000",
         ]))
         .unwrap();

@@ -37,8 +37,7 @@ pub fn enumerate_allocations(
         .iter()
         .flat_map(|&c| library.versions_of(c).map(|(id, _)| id))
         .collect();
-    let class_ops =
-        |c: OpClass| -> u32 { u32::try_from(dfg.count_class(c)).unwrap_or(u32::MAX) };
+    let class_ops = |c: OpClass| -> u32 { u32::try_from(dfg.count_class(c)).unwrap_or(u32::MAX) };
     let mut out: Vec<Vec<(VersionId, u32)>> = Vec::new();
     let mut counts: Vec<u32> = vec![0; versions.len()];
     fn recurse(
@@ -197,9 +196,7 @@ pub fn schedule_on_allocation(
             let mut free: Vec<(usize, &Unit)> = units
                 .iter()
                 .enumerate()
-                .filter(|(_, u)| {
-                    u.free_at <= step && library.version(u.version).class() == class
-                })
+                .filter(|(_, u)| u.free_at <= step && library.version(u.version).class() == class)
                 .collect();
             if free.is_empty() {
                 continue;
@@ -354,15 +351,11 @@ mod tests {
         let lib = Library::table1();
         let a1 = lib.version_by_name("adder1").unwrap();
         let a2 = lib.version_by_name("adder2").unwrap();
-        let (assign, sched, _) =
-            schedule_on_allocation(&g, &lib, &[(a1, 1), (a2, 1)], 8).unwrap();
+        let (assign, sched, _) = schedule_on_allocation(&g, &lib, &[(a1, 1), (a2, 1)], 8).unwrap();
         let delays = assign.delays(&g, &lib);
         sched.validate(&g, &delays).unwrap();
         // At least one op gets the reliable unit.
-        let reliable_ops = g
-            .node_ids()
-            .filter(|&n| assign.version(n) == a1)
-            .count();
+        let reliable_ops = g.node_ids().filter(|&n| assign.version(n) == a1).count();
         assert!(reliable_ops >= 1);
     }
 

@@ -178,10 +178,12 @@ mod tests {
             .build()
             .unwrap();
         let lib = Library::table1();
-        let tight = synthesize_nmr_baseline(&g, &lib, Bounds::new(6, 2), RedundancyModel::default())
-            .unwrap();
-        let loose = synthesize_nmr_baseline(&g, &lib, Bounds::new(6, 4), RedundancyModel::default())
-            .unwrap();
+        let tight =
+            synthesize_nmr_baseline(&g, &lib, Bounds::new(6, 2), RedundancyModel::default())
+                .unwrap();
+        let loose =
+            synthesize_nmr_baseline(&g, &lib, Bounds::new(6, 4), RedundancyModel::default())
+                .unwrap();
         assert!(loose.reliability.value() > tight.reliability.value());
         assert!(loose.redundant_instance_count() >= 1);
         assert!(loose.area <= 4);

@@ -57,13 +57,8 @@ impl Design {
         );
         let latency = schedule.latency();
         let area = Design::area_with_replication(library, &binding, &replication);
-        let reliability = Design::reliability_with_replication(
-            dfg,
-            library,
-            &assignment,
-            &binding,
-            &replication,
-        );
+        let reliability =
+            Design::reliability_with_replication(dfg, library, &assignment, &binding, &replication);
         Design {
             assignment,
             schedule,
@@ -120,11 +115,7 @@ impl Design {
         ));
         for (idx, inst) in self.binding.instances().iter().enumerate() {
             let v = library.version(inst.version);
-            let labels: Vec<&str> = inst
-                .nodes
-                .iter()
-                .map(|&n| dfg.node(n).label())
-                .collect();
+            let labels: Vec<&str> = inst.nodes.iter().map(|&n| dfg.node(n).label()).collect();
             out.push_str(&format!(
                 "  u{idx}: {} x{} <- [{}]\n",
                 v.name(),

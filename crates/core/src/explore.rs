@@ -12,11 +12,73 @@ use crate::baseline::synthesize_nmr_baseline;
 use crate::bounds::Bounds;
 use crate::combined::synthesize_combined;
 use crate::config::SynthConfig;
+use crate::design::Design;
+use crate::error::SynthesisError;
 use crate::redundancy::RedundancyModel;
 use crate::synth::Synthesizer;
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's three synthesis strategies, as a runnable value —
+/// the unit of work a sweep executor fans out over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// The redundancy-based prior art (Ref \[3\]: Orailoglu–Karri NMR).
+    Baseline,
+    /// The paper's reliability-centric approach (Figure 6).
+    Ours,
+    /// The combined scheme: reliability-centric, then leftover-area
+    /// redundancy.
+    Combined,
+}
+
+impl StrategyKind {
+    /// All strategies, in the paper's column order.
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Baseline,
+        StrategyKind::Ours,
+        StrategyKind::Combined,
+    ];
+
+    /// A stable lowercase name (used in exports and CLI flags).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Baseline => "baseline",
+            StrategyKind::Ours => "ours",
+            StrategyKind::Combined => "combined",
+        }
+    }
+
+    /// Runs this strategy at one `(dfg, bounds)` point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the strategy's [`SynthesisError`] when no feasible design
+    /// exists under `bounds`.
+    pub fn run(
+        self,
+        dfg: &Dfg,
+        library: &Library,
+        bounds: Bounds,
+        config: SynthConfig,
+        model: RedundancyModel,
+    ) -> Result<Design, SynthesisError> {
+        match self {
+            StrategyKind::Baseline => synthesize_nmr_baseline(dfg, library, bounds, model),
+            StrategyKind::Ours => Synthesizer::with_config(dfg, library, config).synthesize(bounds),
+            StrategyKind::Combined => synthesize_combined(dfg, library, bounds, config, model),
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One row of a Table-2-style comparison: the three strategies at one
 /// `(Ld, Ad)` point. `None` means the strategy found no feasible design.
@@ -55,37 +117,38 @@ impl SweepRow {
     }
 }
 
-/// Runs all three strategies over a grid of `(Ld, Ad)` bounds — the
-/// driver behind Tables 2(a)–2(c) — with feasibility inheritance across
-/// dominated grid cells (see the module docs).
+/// Runs all three strategies at one `(Ld, Ad)` point and reports their
+/// raw (pre-inheritance) reliabilities — the unit of work behind every
+/// sweep. Parallel drivers (`rchls-explorer`) fan this out per point and
+/// then apply [`inherit`], which reproduces [`sweep`] exactly.
 #[must_use]
-pub fn sweep(dfg: &Dfg, library: &Library, grid: &[(u32, u32)]) -> Vec<SweepRow> {
-    let config = SynthConfig::default();
-    let model = RedundancyModel::default();
-    let raw: Vec<SweepRow> = grid
-        .iter()
-        .map(|&(latency, area)| {
-            let bounds = Bounds::new(latency, area);
-            let baseline = synthesize_nmr_baseline(dfg, library, bounds, model)
-                .ok()
-                .map(|d| d.reliability.value());
-            let ours = Synthesizer::with_config(dfg, library, config)
-                .synthesize(bounds)
-                .ok()
-                .map(|d| d.reliability.value());
-            let combined = synthesize_combined(dfg, library, bounds, config, model)
-                .ok()
-                .map(|d| d.reliability.value());
-            SweepRow {
-                latency_bound: latency,
-                area_bound: area,
-                baseline,
-                ours,
-                combined,
-            }
-        })
-        .collect();
-    // Feasibility inheritance over the grid's own dominance order.
+pub fn sweep_point(
+    dfg: &Dfg,
+    library: &Library,
+    bounds: Bounds,
+    config: SynthConfig,
+    model: RedundancyModel,
+) -> SweepRow {
+    let reliability = |strategy: StrategyKind| {
+        strategy
+            .run(dfg, library, bounds, config, model)
+            .ok()
+            .map(|d| d.reliability.value())
+    };
+    SweepRow {
+        latency_bound: bounds.latency,
+        area_bound: bounds.area,
+        baseline: reliability(StrategyKind::Baseline),
+        ours: reliability(StrategyKind::Ours),
+        combined: reliability(StrategyKind::Combined),
+    }
+}
+
+/// Applies feasibility inheritance over a sweep's own dominance order:
+/// each row reports, per strategy, the best reliability among all rows
+/// whose bounds are no looser (see the module docs).
+#[must_use]
+pub fn inherit(raw: &[SweepRow]) -> Vec<SweepRow> {
     raw.iter()
         .map(|row| {
             let dominated = |other: &SweepRow| {
@@ -95,7 +158,9 @@ pub fn sweep(dfg: &Dfg, library: &Library, grid: &[(u32, u32)]) -> Vec<SweepRow>
                 raw.iter()
                     .filter(|o| dominated(o))
                     .filter_map(f)
-                    .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+                    .fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.max(v)))
+                    })
             };
             SweepRow {
                 latency_bound: row.latency_bound,
@@ -106,6 +171,22 @@ pub fn sweep(dfg: &Dfg, library: &Library, grid: &[(u32, u32)]) -> Vec<SweepRow>
             }
         })
         .collect()
+}
+
+/// Runs all three strategies over a grid of `(Ld, Ad)` bounds — the
+/// driver behind Tables 2(a)–2(c) — with feasibility inheritance across
+/// dominated grid cells (see the module docs).
+#[must_use]
+pub fn sweep(dfg: &Dfg, library: &Library, grid: &[(u32, u32)]) -> Vec<SweepRow> {
+    let config = SynthConfig::default();
+    let model = RedundancyModel::default();
+    let raw: Vec<SweepRow> = grid
+        .iter()
+        .map(|&(latency, area)| {
+            sweep_point(dfg, library, Bounds::new(latency, area), config, model)
+        })
+        .collect();
+    inherit(&raw)
 }
 
 /// Reliability of the reliability-centric approach as the latency bound
@@ -163,7 +244,9 @@ fn inherit_1d(points: &[(u32, Option<f64>)]) -> Vec<(u32, Option<f64>)> {
                 .iter()
                 .filter(|&&(b, _)| b <= bound)
                 .filter_map(|&(_, r)| r)
-                .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                });
             (bound, best)
         })
         .collect()
@@ -181,11 +264,7 @@ pub fn averages(rows: &[SweepRow]) -> (f64, f64, f64) {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
     };
-    (
-        avg(|r| r.baseline),
-        avg(|r| r.ours),
-        avg(|r| r.combined),
-    )
+    (avg(|r| r.baseline), avg(|r| r.ours), avg(|r| r.combined))
 }
 
 /// Formats sweep rows as an aligned text table matching the paper's
@@ -254,7 +333,12 @@ mod tests {
         let grid: Vec<(u32, u32)> = (5..8).flat_map(|l| (3..7).map(move |a| (l, a))).collect();
         for row in sweep(&g, &lib, &grid) {
             if let (Some(o), Some(c)) = (row.ours, row.combined) {
-                assert!(c + 1e-12 >= o, "combined below ours at Ld={} Ad={}", row.latency_bound, row.area_bound);
+                assert!(
+                    c + 1e-12 >= o,
+                    "combined below ours at Ld={} Ad={}",
+                    row.latency_bound,
+                    row.area_bound
+                );
             }
         }
     }

@@ -67,6 +67,7 @@ pub use combined::synthesize_combined;
 pub use config::{BinderKind, Refinement, SchedulerKind, SynthConfig, VictimPolicy};
 pub use design::Design;
 pub use error::SynthesisError;
+pub use explore::StrategyKind;
 pub use redundancy::{add_redundancy, add_redundancy_with_model, RedundancyModel};
 pub use synth::Synthesizer;
 pub use validate::monte_carlo_reliability;

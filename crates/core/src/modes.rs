@@ -51,7 +51,8 @@ pub fn minimize_area(
     area_cap: u32,
 ) -> Result<Design, SynthesisError> {
     for area in 1..=area_cap {
-        if let Ok(design) = Synthesizer::new(dfg, library).synthesize(Bounds::new(latency_bound, area))
+        if let Ok(design) =
+            Synthesizer::new(dfg, library).synthesize(Bounds::new(latency_bound, area))
         {
             if design.reliability.value() + 1e-12 >= reliability_floor.value() {
                 return Ok(design);
@@ -141,7 +142,10 @@ mod tests {
         let lib = Library::table1();
         let loose = minimize_area(&g, &lib, 12, Reliability::new(0.80).unwrap(), 16).unwrap();
         let tight = minimize_area(&g, &lib, 12, Reliability::new(0.99).unwrap(), 16).unwrap();
-        assert!(tight.area >= loose.area, "higher floor cannot need less area");
+        assert!(
+            tight.area >= loose.area,
+            "higher floor cannot need less area"
+        );
         assert!(tight.reliability.value() >= 0.99);
     }
 
@@ -151,7 +155,10 @@ mod tests {
         let lib = Library::table1();
         let loose = minimize_latency(&g, &lib, 8, Reliability::new(0.80).unwrap(), 20).unwrap();
         let tight = minimize_latency(&g, &lib, 8, Reliability::new(0.99).unwrap(), 20).unwrap();
-        assert!(tight.latency >= loose.latency, "higher floor cannot be faster");
+        assert!(
+            tight.latency >= loose.latency,
+            "higher floor cannot be faster"
+        );
     }
 
     #[test]

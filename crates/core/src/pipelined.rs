@@ -76,11 +76,7 @@ impl Synthesizer<'_> {
     }
 
     /// Feasible uniform starting points for the pipelined search.
-    fn pipelined_starts(
-        &self,
-        bounds: Bounds,
-        ii: u32,
-    ) -> Result<Vec<Design>, SynthesisError> {
+    fn pipelined_starts(&self, bounds: Bounds, ii: u32) -> Result<Vec<Design>, SynthesisError> {
         let mut out = Vec::new();
         for assignment in self.uniform_assignments()? {
             let delays = assignment.delays(self.dfg(), self.library());
@@ -131,8 +127,7 @@ impl Synthesizer<'_> {
                     if asap(self.dfg(), &delays)?.latency() > bounds.latency {
                         continue;
                     }
-                    let Ok(schedule) =
-                        schedule_modulo(self.dfg(), &delays, bounds.latency, ii)
+                    let Ok(schedule) = schedule_modulo(self.dfg(), &delays, bounds.latency, ii)
                     else {
                         continue;
                     };
@@ -194,7 +189,12 @@ mod tests {
         let d1 = synth.synthesize_pipelined(Bounds::new(8, 16), 1).unwrap();
         // II = 4: ops can stagger onto fewer units.
         let d4 = synth.synthesize_pipelined(Bounds::new(8, 16), 4).unwrap();
-        assert!(d1.area >= d4.area, "II=1 area {} < II=4 area {}", d1.area, d4.area);
+        assert!(
+            d1.area >= d4.area,
+            "II=1 area {} < II=4 area {}",
+            d1.area,
+            d4.area
+        );
         let delays1 = d1.assignment.delays(&g, &lib);
         d1.schedule.validate(&g, &delays1).unwrap();
     }

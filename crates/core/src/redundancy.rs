@@ -153,7 +153,9 @@ mod tests {
     fn no_budget_no_redundancy() {
         let g = chain2();
         let lib = Library::table1();
-        let mut d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(6, 2)).unwrap();
+        let mut d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(6, 2))
+            .unwrap();
         let area = d.area;
         let applied = add_redundancy(&mut d, &g, &lib, area);
         assert_eq!(applied, 0);
@@ -165,7 +167,9 @@ mod tests {
         let g = chain2();
         let lib = Library::table1();
         for budget in 2..=10 {
-            let mut d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(6, 2)).unwrap();
+            let mut d = Synthesizer::new(&g, &lib)
+                .synthesize(Bounds::new(6, 2))
+                .unwrap();
             let before = d.reliability.value();
             add_redundancy(&mut d, &g, &lib, budget);
             assert!(d.area <= budget, "budget {budget}: area {}", d.area);
@@ -180,7 +184,9 @@ mod tests {
     fn duplex_model_stops_at_two_copies() {
         let g = DfgBuilder::new("one").op("a", OpKind::Add).build().unwrap();
         let lib = Library::table1();
-        let mut d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(4, 1)).unwrap();
+        let mut d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(4, 1))
+            .unwrap();
         assert_eq!(d.area, 1); // single adder1
         add_redundancy(&mut d, &g, &lib, 10);
         // Duplex with perfect recovery dominates TMR, so the greedy stops
@@ -195,7 +201,9 @@ mod tests {
     fn nmr_only_model_triplicates() {
         let g = DfgBuilder::new("one").op("a", OpKind::Add).build().unwrap();
         let lib = Library::table1();
-        let mut d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(4, 1)).unwrap();
+        let mut d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(4, 1))
+            .unwrap();
         add_redundancy_with_model(&mut d, &g, &lib, 3, RedundancyModel::NmrOnly);
         assert_eq!(d.replication, vec![3]);
         let r = 0.999f64;
@@ -207,7 +215,9 @@ mod tests {
     fn nmr_only_grows_to_five_with_budget() {
         let g = DfgBuilder::new("one").op("a", OpKind::Add).build().unwrap();
         let lib = Library::table1();
-        let mut d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(4, 1)).unwrap();
+        let mut d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(4, 1))
+            .unwrap();
         add_redundancy_with_model(&mut d, &g, &lib, 5, RedundancyModel::NmrOnly);
         assert_eq!(d.replication, vec![5]);
     }

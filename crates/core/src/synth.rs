@@ -192,10 +192,7 @@ impl<'a> Synthesizer<'a> {
     }
 
     /// The strict Figure-6 greedy (lines 3–29).
-    fn figure6(
-        &self,
-        bounds: Bounds,
-    ) -> Result<(Assignment, Schedule, Binding), SynthesisError> {
+    fn figure6(&self, bounds: Bounds) -> Result<(Assignment, Schedule, Binding), SynthesisError> {
         self.dfg
             .validate()
             .map_err(rchls_sched::ScheduleError::from)?;
@@ -244,7 +241,8 @@ impl<'a> Synthesizer<'a> {
         // Lines 23-28: area-reduction loop via smaller versions.
         let mut tried: HashSet<(NodeId, VersionId)> = HashSet::new();
         while area > bounds.area {
-            let Some((sharers, version, key)) = self.pick_area_victim(&assignment, &binding, &tried)
+            let Some((sharers, version, key)) =
+                self.pick_area_victim(&assignment, &binding, &tried)
             else {
                 return Err(SynthesisError::NoSolution {
                     reason: format!(
@@ -462,7 +460,9 @@ mod tests {
         let lib = Library::table1();
         // adder1 everywhere: critical path 4 nodes x 2cc = 8; area 1 unit
         // when everything serializes.
-        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(20, 10)).unwrap();
+        let d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(20, 10))
+            .unwrap();
         assert!((d.reliability.value() - 0.999f64.powi(6)).abs() < 1e-9);
         assert!(d.latency <= 20);
         assert!(d.area <= 10);
@@ -477,7 +477,9 @@ mod tests {
         // EXPERIMENTS.md). The engine must find that optimum.
         let g = figure4a();
         let lib = Library::table1();
-        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(5, 4)).unwrap();
+        let d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(5, 4))
+            .unwrap();
         assert!(d.latency <= 5, "latency {}", d.latency);
         assert!(d.area <= 4, "area {}", d.area);
         let all_type2 = 0.969f64.powi(6);
@@ -494,7 +496,9 @@ mod tests {
         // Brent-Kung mix strictly beats any single-version design.
         let g = figure4a();
         let lib = Library::table1();
-        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(6, 4)).unwrap();
+        let d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(6, 4))
+            .unwrap();
         let all_type2 = 0.969f64.powi(6);
         assert!(
             d.reliability.value() > all_type2,
@@ -514,7 +518,9 @@ mod tests {
             .build()
             .unwrap();
         let lib = Library::table1();
-        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(4, 8)).unwrap();
+        let d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(4, 8))
+            .unwrap();
         assert!(d.latency <= 4);
         assert!(d.reliability.value() < 0.999f64.powi(3));
     }
@@ -523,7 +529,9 @@ mod tests {
     fn impossible_latency_reports_no_solution() {
         let g = figure4a(); // depth 4, so even all-1cc versions need 4 cycles
         let lib = Library::table1();
-        let err = Synthesizer::new(&g, &lib).synthesize(Bounds::new(3, 99)).unwrap_err();
+        let err = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(3, 99))
+            .unwrap_err();
         assert!(matches!(err, SynthesisError::NoSolution { .. }), "{err}");
     }
 
@@ -532,12 +540,11 @@ mod tests {
         // Two independent multiplies in 1 cycle each (mult2, area 4) can't
         // fit area 3; even mult1 (area 2, 2cc) needs area 2 but latency is
         // fine... so force both tight: area 1 is below any multiplier.
-        let g = DfgBuilder::new("mul")
-            .op("m", OpKind::Mul)
-            .build()
-            .unwrap();
+        let g = DfgBuilder::new("mul").op("m", OpKind::Mul).build().unwrap();
         let lib = Library::table1();
-        let err = Synthesizer::new(&g, &lib).synthesize(Bounds::new(10, 1)).unwrap_err();
+        let err = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(10, 1))
+            .unwrap_err();
         assert!(matches!(err, SynthesisError::NoSolution { .. }), "{err}");
     }
 
@@ -550,11 +557,8 @@ mod tests {
                 if let Ok(d) = Synthesizer::new(&g, &lib).synthesize(Bounds::new(latency, area)) {
                     assert!(d.latency <= latency, "L {} > {latency}", d.latency);
                     assert!(d.area <= area, "A {} > {area}", d.area);
-                    d.binding.assert_valid(
-                        &g,
-                        &d.schedule,
-                        &d.assignment.delays(&g, &lib),
-                    );
+                    d.binding
+                        .assert_valid(&g, &d.schedule, &d.assignment.delays(&g, &lib));
                 }
             }
         }
@@ -584,7 +588,10 @@ mod tests {
         let lib = Library::table1();
         for scheduler in [SchedulerKind::Density, SchedulerKind::ForceDirected] {
             for binder in [BinderKind::LeftEdge, BinderKind::Coloring] {
-                for victim in [VictimPolicy::CriticalMaxDelay, VictimPolicy::MinReliabilityLoss] {
+                for victim in [
+                    VictimPolicy::CriticalMaxDelay,
+                    VictimPolicy::MinReliabilityLoss,
+                ] {
                     let cfg = SynthConfig {
                         scheduler,
                         binder,

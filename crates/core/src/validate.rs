@@ -100,7 +100,9 @@ mod tests {
     fn empirical_matches_analytic_without_redundancy() {
         let g = rchls_workloads::fir16();
         let lib = Library::table1();
-        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(13, 8)).unwrap();
+        let d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(13, 8))
+            .unwrap();
         let emp = monte_carlo_reliability(&d, &g, &lib, 50_000, 7);
         assert!(
             (emp - d.reliability.value()).abs() < 0.01,
@@ -118,7 +120,9 @@ mod tests {
             .build()
             .unwrap();
         let lib = Library::table1();
-        let mut d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(8, 2)).unwrap();
+        let mut d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(8, 2))
+            .unwrap();
         add_redundancy(&mut d, &g, &lib, 6);
         assert!(d.redundant_instance_count() >= 1);
         let emp = monte_carlo_reliability(&d, &g, &lib, 50_000, 11);
@@ -133,7 +137,9 @@ mod tests {
     fn deterministic_per_seed() {
         let g = rchls_workloads::diffeq();
         let lib = Library::table1();
-        let d = Synthesizer::new(&g, &lib).synthesize(Bounds::new(6, 11)).unwrap();
+        let d = Synthesizer::new(&g, &lib)
+            .synthesize(Bounds::new(6, 11))
+            .unwrap();
         let a = monte_carlo_reliability(&d, &g, &lib, 5_000, 3);
         let b = monte_carlo_reliability(&d, &g, &lib, 5_000, 3);
         assert_eq!(a, b);

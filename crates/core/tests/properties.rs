@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use rchls_core::explore::sweep;
 use rchls_core::{
-    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds,
-    RedundancyModel, SynthConfig, Synthesizer,
+    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel,
+    SynthConfig, Synthesizer,
 };
 use rchls_dfg::{Dfg, NodeId, OpKind};
 use rchls_reslib::Library;

@@ -144,7 +144,11 @@ impl Dfg {
     /// # Errors
     ///
     /// Returns [`DfgError::DuplicateLabel`] if `label` is already in use.
-    pub fn try_add_node(&mut self, kind: OpKind, label: impl Into<String>) -> Result<NodeId, DfgError> {
+    pub fn try_add_node(
+        &mut self,
+        kind: OpKind,
+        label: impl Into<String>,
+    ) -> Result<NodeId, DfgError> {
         let label = label.into();
         if self.labels.contains_key(&label) {
             return Err(DfgError::DuplicateLabel(label));

@@ -74,7 +74,8 @@ fn rename(old: Dfg, name: &str) -> Dfg {
         g.add_node(node.kind(), node.label());
     }
     for (a, b) in old.edges() {
-        g.add_edge(a, b).expect("edges of a valid graph re-add cleanly");
+        g.add_edge(a, b)
+            .expect("edges of a valid graph re-add cleanly");
     }
     g
 }

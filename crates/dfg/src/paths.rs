@@ -157,7 +157,13 @@ mod tests {
         let (g, [a, b, c]) = chain();
         // multiplier takes 2 cycles
         let m = g
-            .levels(|n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 })
+            .levels(|n| {
+                if g.node(n).kind() == OpKind::Mul {
+                    2
+                } else {
+                    1
+                }
+            })
             .unwrap();
         assert_eq!(m.level(a), 1);
         assert_eq!(m.level(b), 3);
@@ -176,7 +182,13 @@ mod tests {
         g.add_edge(b, d).unwrap();
         g.add_edge(c, d).unwrap();
         let cp = g
-            .critical_path(|n| if g.node(n).kind() == OpKind::Mul { 5 } else { 1 })
+            .critical_path(|n| {
+                if g.node(n).kind() == OpKind::Mul {
+                    5
+                } else {
+                    1
+                }
+            })
             .unwrap();
         assert_eq!(cp.length, 7);
         assert_eq!(cp.nodes, vec![a, b, d]);

@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn topo_is_deterministic() {
         let (g, _) = diamond();
-        assert_eq!(g.topological_order().unwrap(), g.topological_order().unwrap());
+        assert_eq!(
+            g.topological_order().unwrap(),
+            g.topological_order().unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Memoization of synthesis results keyed by a content fingerprint.
+//!
+//! A sweep re-synthesizes the same `(DFG, library, bounds, config,
+//! strategy)` point whenever grids overlap between runs, benchmarks share
+//! structure, or a frontier is refined interactively. The [`SynthCache`]
+//! makes every repeat near-free: results are stored under a 64-bit
+//! fingerprint of the *content* of all synthesis inputs, so any
+//! structurally identical request — even from a rebuilt [`Dfg`] value —
+//! hits the cache.
+
+use crate::fingerprint::Fingerprint;
+use rchls_core::{Bounds, Design, RedundancyModel, StrategyKind, SynthConfig, SynthesisError};
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The cache key: a content fingerprint of every input that can change a
+/// synthesis result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Fingerprints one synthesis request.
+    #[must_use]
+    pub fn for_point(
+        dfg: &Dfg,
+        library: &Library,
+        bounds: Bounds,
+        config: SynthConfig,
+        model: RedundancyModel,
+        strategy: StrategyKind,
+    ) -> CacheKey {
+        let mut fp = Fingerprint::new();
+        fp.update(dfg);
+        fp.update(library);
+        fp.update(&bounds);
+        fp.update(&config);
+        fp.update(&model);
+        fp.update(&strategy);
+        CacheKey(fp.finish())
+    }
+
+    /// The raw 64-bit fingerprint.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters describing a cache's effectiveness so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran a fresh synthesis.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (`0.0` when empty).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memoized outcome, carrying the cheap-to-compare request facts
+/// (`bounds`, `strategy`) so a 64-bit fingerprint collision between two
+/// different requests is detected instead of silently returning the
+/// wrong design. (The remaining inputs — DFG, library, config — vary
+/// far less across a sweep, so the pair covers virtually all of the
+/// key diversity.)
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    bounds: Bounds,
+    strategy: StrategyKind,
+    result: Option<Design>,
+}
+
+/// A thread-safe memo table of synthesis outcomes.
+///
+/// Stores `Option<Design>` per key — `None` records an *infeasible* point
+/// so repeated sweeps don't re-prove infeasibility either. The lock is
+/// held only for lookups and inserts, never across a synthesis run, so
+/// parallel workers proceed without serializing on the cache. (Two
+/// workers may race to compute the same fresh key; both compute the same
+/// deterministic result, and the second insert is a harmless overwrite.)
+#[derive(Debug, Default)]
+pub struct SynthCache {
+    entries: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SynthCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> SynthCache {
+        SynthCache::default()
+    }
+
+    /// Runs `strategy` at one synthesis point through the cache: returns
+    /// the memoized outcome if the fingerprint is known, otherwise
+    /// synthesizes, stores, and returns the result. Infeasibility maps to
+    /// `None`.
+    pub fn synthesize(
+        &self,
+        dfg: &Dfg,
+        library: &Library,
+        bounds: Bounds,
+        config: SynthConfig,
+        model: RedundancyModel,
+        strategy: StrategyKind,
+    ) -> Option<Design> {
+        let key = CacheKey::for_point(dfg, library, bounds, config, model, strategy);
+        self.get_or_compute(key, bounds, strategy, || {
+            strategy.run(dfg, library, bounds, config, model)
+        })
+    }
+
+    /// Looks up `key`, computing and storing with `compute` on a miss.
+    ///
+    /// `bounds` and `strategy` double as a collision check: an entry
+    /// found under `key` but recorded for a different request is a
+    /// fingerprint collision, and the request is computed fresh (and not
+    /// cached) rather than answered with the wrong design.
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        bounds: Bounds,
+        strategy: StrategyKind,
+        compute: impl FnOnce() -> Result<Design, SynthesisError>,
+    ) -> Option<Design> {
+        let mut collided = false;
+        if let Some(entry) = self.entries.lock().expect("cache lock").get(&key.0) {
+            if entry.bounds == bounds && entry.strategy == strategy {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.result.clone();
+            }
+            collided = true;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = compute().ok();
+        if !collided {
+            self.entries.lock().expect("cache lock").insert(
+                key.0,
+                CacheEntry {
+                    bounds,
+                    strategy,
+                    result: result.clone(),
+                },
+            );
+        }
+        result
+    }
+
+    /// Hit/miss counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized points (feasible and infeasible).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    fn tiny() -> Dfg {
+        DfgBuilder::new("tiny")
+            .ops(&["a", "b"], OpKind::Add)
+            .dep("a", "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_requests_hit() {
+        let dfg = tiny();
+        let lib = Library::table1();
+        let cache = SynthCache::new();
+        let args = (
+            Bounds::new(6, 4),
+            SynthConfig::default(),
+            RedundancyModel::default(),
+        );
+        let first = cache.synthesize(&dfg, &lib, args.0, args.1, args.2, StrategyKind::Ours);
+        let second = cache.synthesize(&dfg, &lib, args.0, args.1, args.2, StrategyKind::Ours);
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn structurally_equal_graphs_share_entries() {
+        // A rebuilt graph with the same content fingerprints identically.
+        let lib = Library::table1();
+        let cache = SynthCache::new();
+        for _ in 0..2 {
+            let dfg = tiny();
+            cache.synthesize(
+                &dfg,
+                &lib,
+                Bounds::new(6, 4),
+                SynthConfig::default(),
+                RedundancyModel::default(),
+                StrategyKind::Combined,
+            );
+        }
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn different_inputs_do_not_collide() {
+        let dfg = tiny();
+        let lib = Library::table1();
+        let cache = SynthCache::new();
+        let model = RedundancyModel::default();
+        let config = SynthConfig::default();
+        for strategy in StrategyKind::ALL {
+            cache.synthesize(&dfg, &lib, Bounds::new(6, 4), config, model, strategy);
+        }
+        cache.synthesize(
+            &dfg,
+            &lib,
+            Bounds::new(7, 4),
+            config,
+            model,
+            StrategyKind::Ours,
+        );
+        cache.synthesize(
+            &dfg,
+            &lib,
+            Bounds::new(6, 5),
+            config,
+            model,
+            StrategyKind::Ours,
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 5 });
+    }
+
+    #[test]
+    fn infeasibility_is_cached_too() {
+        let dfg = tiny();
+        let lib = Library::table1();
+        let cache = SynthCache::new();
+        for _ in 0..2 {
+            let out = cache.synthesize(
+                &dfg,
+                &lib,
+                // Latency 1 is impossible for two dependent ops.
+                Bounds::new(1, 4),
+                SynthConfig::default(),
+                RedundancyModel::default(),
+                StrategyKind::Ours,
+            );
+            assert!(out.is_none());
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn fingerprint_collisions_are_detected_not_served() {
+        let dfg = tiny();
+        let lib = Library::table1();
+        let cache = SynthCache::new();
+        let config = SynthConfig::default();
+        let model = RedundancyModel::default();
+        // Slack bounds settle on the reliable slow adders (latency 4);
+        // the tight-latency request must use fast adders (latency 2).
+        let wide = Bounds::new(6, 4);
+        let tight = Bounds::new(2, 6);
+        let key = CacheKey::for_point(&dfg, &lib, wide, config, model, StrategyKind::Ours);
+        let first = cache.get_or_compute(key, wide, StrategyKind::Ours, || {
+            StrategyKind::Ours.run(&dfg, &lib, wide, config, model)
+        });
+        // The same key arriving with a different declared request is a
+        // collision: it must compute fresh, never serve the wide result.
+        let second = cache.get_or_compute(key, tight, StrategyKind::Ours, || {
+            StrategyKind::Ours.run(&dfg, &lib, tight, config, model)
+        });
+        assert_ne!(first, second);
+        assert_eq!(second.as_ref().map(|d| d.latency), Some(2));
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.len(), 1, "a collided request is not cached");
+        // The original entry still answers its own request.
+        let again = cache.get_or_compute(key, wide, StrategyKind::Ours, || {
+            unreachable!("must be served from the cache")
+        });
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    fn hit_rate_is_reported() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! A multi-threaded work-queue executor with deterministic result order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fans independent jobs over a fixed-size scoped thread pool.
+///
+/// Results are returned **in input order** regardless of which worker
+/// finished which job when — parallel runs are byte-for-byte
+/// reproducible as long as each job is a pure function of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepExecutor {
+    jobs: usize,
+}
+
+impl SweepExecutor {
+    /// An executor with `jobs` workers; `0` means one worker per
+    /// available CPU.
+    #[must_use]
+    pub fn new(jobs: usize) -> SweepExecutor {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        };
+        SweepExecutor { jobs }
+    }
+
+    /// A single-threaded executor (the serial reference).
+    #[must_use]
+    pub fn serial() -> SweepExecutor {
+        SweepExecutor::new(1)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `work` over every item, returning outputs in item order.
+    ///
+    /// With one worker (or at most one item) everything runs on the
+    /// calling thread; otherwise items are pulled from a shared atomic
+    /// cursor by `min(jobs, items.len())` scoped threads.
+    pub fn run<I, T, F>(&self, items: &[I], work: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        if self.jobs <= 1 || items.len() <= 1 {
+            return items.iter().map(work).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<T>>> =
+            Mutex::new(std::iter::repeat_with(|| None).take(items.len()).collect());
+        let workers = self.jobs.min(items.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else { break };
+                    let output = work(item);
+                    results.lock().expect("result lock")[index] = Some(output);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("result lock")
+            .into_iter()
+            .map(|slot| slot.expect("every job slot filled"))
+            .collect()
+    }
+}
+
+impl Default for SweepExecutor {
+    fn default() -> SweepExecutor {
+        SweepExecutor::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(SweepExecutor::new(0).jobs() >= 1);
+        assert_eq!(SweepExecutor::new(3).jobs(), 3);
+        assert_eq!(SweepExecutor::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1usize, 2, 4, 8] {
+            let got = SweepExecutor::new(jobs).run(&items, |&x| x * x);
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn uneven_job_durations_still_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let got = SweepExecutor::new(8).run(&items, |&x| {
+            // Early items sleep longest so late items finish first.
+            std::thread::sleep(std::time::Duration::from_micros(500 * (64 - x)));
+            x
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let got = SweepExecutor::new(16).run(&[1u32, 2], |&x| x + 1);
+        assert_eq!(got, vec![2, 3]);
+    }
+}

@@ -1,0 +1,358 @@
+//! High-level exploration drivers: fan `(benchmark × bounds × strategy)`
+//! jobs over the executor, assemble sweep tables, and archive the
+//! Pareto frontier.
+
+use crate::cache::SynthCache;
+use crate::executor::SweepExecutor;
+use crate::pareto::{FrontierPoint, ParetoArchive};
+use rchls_core::explore::{inherit, SweepRow};
+use rchls_core::{Bounds, Design, RedundancyModel, StrategyKind, SynthConfig};
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+use serde::{Deserialize, Serialize};
+
+/// The achieved objectives of one synthesized design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Achieved latency in clock cycles.
+    pub latency: u32,
+    /// Achieved area in normalized units.
+    pub area: u32,
+    /// Achieved design reliability.
+    pub reliability: f64,
+}
+
+impl From<&Design> for DesignPoint {
+    fn from(d: &Design) -> DesignPoint {
+        DesignPoint {
+            latency: d.latency,
+            area: d.area,
+            reliability: d.reliability.value(),
+        }
+    }
+}
+
+/// One benchmark to explore: a graph plus its `(Ld, Ad)` bound grid.
+#[derive(Debug, Clone)]
+pub struct ExploreTask {
+    /// Benchmark name (labels rows and frontier points).
+    pub name: String,
+    /// The data-flow graph.
+    pub dfg: Dfg,
+    /// The `(latency, area)` bound pairs to sweep.
+    pub grid: Vec<(u32, u32)>,
+}
+
+impl ExploreTask {
+    /// Bundles a named graph with its grid.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dfg: Dfg, grid: Vec<(u32, u32)>) -> ExploreTask {
+        ExploreTask {
+            name: name.into(),
+            dfg,
+            grid,
+        }
+    }
+}
+
+/// The full result of an exploration run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exploration {
+    /// Per-benchmark Table-2-style rows (feasibility-inherited), in task
+    /// order.
+    pub sweeps: Vec<BenchmarkSweep>,
+    /// The non-dominated frontier over every synthesized design.
+    pub frontier: ParetoArchive,
+}
+
+/// One benchmark's sweep rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Sweep rows in grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+/// One unit of executor work: a strategy at a grid point of a benchmark.
+struct PointJob<'a> {
+    dfg: &'a Dfg,
+    benchmark: &'a str,
+    bounds: Bounds,
+    strategy: StrategyKind,
+}
+
+/// Sweeps every task's grid with all three strategies in parallel and
+/// archives the Pareto frontier of the achieved designs.
+///
+/// The row tables are identical to running
+/// [`rchls_core::explore::sweep`] serially per benchmark — the executor
+/// only changes *when* each point is synthesized, never its result — and
+/// the output is byte-for-byte independent of the worker count.
+#[must_use]
+pub fn explore(
+    tasks: &[ExploreTask],
+    library: &Library,
+    config: SynthConfig,
+    model: RedundancyModel,
+    executor: SweepExecutor,
+    cache: &SynthCache,
+) -> Exploration {
+    let jobs: Vec<PointJob<'_>> = tasks
+        .iter()
+        .flat_map(|t| {
+            t.grid.iter().flat_map(move |&(latency, area)| {
+                StrategyKind::ALL.into_iter().map(move |strategy| PointJob {
+                    dfg: &t.dfg,
+                    benchmark: &t.name,
+                    bounds: Bounds::new(latency, area),
+                    strategy,
+                })
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<Option<Design>> = executor.run(&jobs, |job| {
+        cache.synthesize(job.dfg, library, job.bounds, config, model, job.strategy)
+    });
+
+    // Frontier: every feasible design, archived in deterministic job
+    // order (the archive's contents are order-independent anyway).
+    let mut frontier = ParetoArchive::new();
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        if let Some(design) = outcome {
+            let point = DesignPoint::from(design);
+            frontier.insert(FrontierPoint {
+                benchmark: job.benchmark.to_owned(),
+                strategy: job.strategy,
+                latency_bound: job.bounds.latency,
+                area_bound: job.bounds.area,
+                latency: point.latency,
+                area: point.area,
+                reliability: point.reliability,
+            });
+        }
+    }
+
+    // Tables: regroup outcomes into per-benchmark rows, then apply the
+    // same feasibility inheritance as the serial sweep. Jobs were
+    // generated task-major in grid order with all strategies per point,
+    // so each outcome's position is directly computable.
+    let strategies = StrategyKind::ALL.len();
+    let mut task_offset = 0usize;
+    let sweeps = tasks
+        .iter()
+        .map(|t| {
+            let raw: Vec<SweepRow> = t
+                .grid
+                .iter()
+                .enumerate()
+                .map(|(point, &(latency, area))| {
+                    let mut row = SweepRow {
+                        latency_bound: latency,
+                        area_bound: area,
+                        baseline: None,
+                        ours: None,
+                        combined: None,
+                    };
+                    let base = task_offset + point * strategies;
+                    for (slot, strategy) in StrategyKind::ALL.into_iter().enumerate() {
+                        let job = &jobs[base + slot];
+                        debug_assert_eq!(job.bounds, Bounds::new(latency, area));
+                        debug_assert_eq!(job.strategy, strategy);
+                        let r = outcomes[base + slot]
+                            .as_ref()
+                            .map(|d| d.reliability.value());
+                        match strategy {
+                            StrategyKind::Baseline => row.baseline = r,
+                            StrategyKind::Ours => row.ours = r,
+                            StrategyKind::Combined => row.combined = r,
+                        }
+                    }
+                    row
+                })
+                .collect();
+            task_offset += t.grid.len() * strategies;
+            BenchmarkSweep {
+                benchmark: t.name.clone(),
+                rows: inherit(&raw),
+            }
+        })
+        .collect();
+
+    Exploration { sweeps, frontier }
+}
+
+/// Sweeps one benchmark's grid in parallel — the drop-in counterpart of
+/// [`rchls_core::explore::sweep`] with identical output.
+#[must_use]
+pub fn sweep_parallel(
+    dfg: &Dfg,
+    library: &Library,
+    grid: &[(u32, u32)],
+    executor: SweepExecutor,
+    cache: &SynthCache,
+) -> Vec<SweepRow> {
+    let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid.to_vec())];
+    let mut exploration = explore(
+        &tasks,
+        library,
+        SynthConfig::default(),
+        RedundancyModel::default(),
+        executor,
+        cache,
+    );
+    exploration
+        .sweeps
+        .pop()
+        .expect("one task yields one sweep")
+        .rows
+}
+
+/// A default exploration grid for an arbitrary graph, derived from its
+/// fastest-possible latency and the areas of minimal vs generous
+/// allocations: four latency steps (the critical path at the library's
+/// fastest versions, then +50%, +100%, +200% — the long tail keeps the
+/// small-area column reachable on wide graphs) crossed with four area
+/// steps between "a couple of units" and "one generous unit per op
+/// class pressure". Deterministic, and always feasible at its loosest
+/// corner.
+///
+/// Returns `None` when the library has no version for one of the
+/// graph's op classes (no grid can be feasible then).
+#[must_use]
+pub fn default_grid(dfg: &Dfg, library: &Library) -> Option<Vec<(u32, u32)>> {
+    let classes: Vec<rchls_dfg::OpClass> = dfg.node_ids().map(|n| dfg.node(n).class()).collect();
+    if !library.covers(classes.iter().copied()) {
+        return None;
+    }
+    // Fastest critical path: every op on its fastest version.
+    let fastest = rchls_bind::Assignment::from_fn(dfg, library, |n| {
+        library
+            .fastest_id(dfg.node(n).class())
+            .expect("coverage checked above")
+    });
+    let min_latency = rchls_sched::asap(dfg, &fastest.delays(dfg, library))
+        .expect("benchmark graphs are acyclic")
+        .latency();
+    let latencies = [
+        min_latency,
+        (min_latency * 3).div_ceil(2),
+        min_latency * 2,
+        min_latency * 3,
+    ];
+    // Area scale: from a few small units to a generous allocation.
+    let min_area: u32 = {
+        let mut seen: Vec<rchls_dfg::OpClass> = Vec::new();
+        let mut total = 0;
+        for &c in &classes {
+            if !seen.contains(&c) {
+                seen.push(c);
+                let id = library.smallest_id(c).expect("coverage checked above");
+                total += library.version(id).area();
+            }
+        }
+        total.max(1)
+    };
+    let generous = (min_area * 2)
+        .max(dfg.node_count() as u32 / 2)
+        .max(min_area + 3);
+    let span = generous - min_area;
+    let areas = [
+        min_area,
+        min_area + span / 3,
+        min_area + (2 * span) / 3,
+        generous,
+    ];
+    let mut grid = Vec::new();
+    for &l in &latencies {
+        for &a in &areas {
+            if !grid.contains(&(l, a)) {
+                grid.push((l, a));
+            }
+        }
+    }
+    Some(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_core::explore::sweep;
+
+    #[test]
+    fn parallel_matches_serial_rows_exactly() {
+        let dfg = rchls_workloads::diffeq();
+        let lib = Library::table1();
+        let grid = [(5u32, 11u32), (6, 13), (7, 9), (4, 2)];
+        let serial = sweep(&dfg, &lib, &grid);
+        for jobs in [1usize, 2, 8] {
+            let cache = SynthCache::new();
+            let parallel = sweep_parallel(&dfg, &lib, &grid, SweepExecutor::new(jobs), &cache);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn exploration_builds_a_nonempty_frontier() {
+        let lib = Library::table1();
+        let tasks = vec![
+            ExploreTask::new(
+                "figure4a",
+                rchls_workloads::figure4a(),
+                vec![(5, 4), (6, 6)],
+            ),
+            ExploreTask::new("diffeq", rchls_workloads::diffeq(), vec![(6, 11)]),
+        ];
+        let cache = SynthCache::new();
+        let out = explore(
+            &tasks,
+            &lib,
+            SynthConfig::default(),
+            RedundancyModel::default(),
+            SweepExecutor::new(4),
+            &cache,
+        );
+        assert_eq!(out.sweeps.len(), 2);
+        assert_eq!(out.sweeps[0].rows.len(), 2);
+        assert!(!out.frontier.is_empty());
+        // Frontier archives only non-dominated designs from both benchmarks.
+        let benchmarks: Vec<&str> = out
+            .frontier
+            .points()
+            .iter()
+            .map(|p| p.benchmark.as_str())
+            .collect();
+        assert!(benchmarks.contains(&"figure4a") || benchmarks.contains(&"diffeq"));
+    }
+
+    #[test]
+    fn default_grid_requires_class_coverage() {
+        // An adders-only library cannot grid a graph with multipliers.
+        let lib = rchls_reslib::parse_library("library adders\nversion a1 adder 1 1 0.99\n")
+            .expect("valid library text");
+        assert_eq!(default_grid(&rchls_workloads::diffeq(), &lib), None);
+        assert!(default_grid(&rchls_workloads::figure4a(), &lib).is_some());
+    }
+
+    #[test]
+    fn default_grid_is_deterministic_and_feasible() {
+        let dfg = rchls_workloads::fir16();
+        let lib = Library::table1();
+        let a = default_grid(&dfg, &lib).expect("table1 covers fir16");
+        let b = default_grid(&dfg, &lib).expect("table1 covers fir16");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // The loosest corner must be feasible.
+        let &(l, ar) = a.last().unwrap();
+        assert!(StrategyKind::Ours
+            .run(
+                &dfg,
+                &lib,
+                Bounds::new(l, ar),
+                SynthConfig::default(),
+                RedundancyModel::default()
+            )
+            .is_ok());
+    }
+}

@@ -1,0 +1,154 @@
+//! Stable 64-bit content fingerprints for any serializable value.
+//!
+//! The fingerprint walks the serde shim's [`Value`] tree with an FNV-1a
+//! accumulator, tagging every node kind so differently shaped values
+//! cannot alias (e.g. the string `"1"` vs the integer `1`, or `[1, 2]`
+//! vs `[[1], 2]`). Map entries are hashed in the serializer's order,
+//! which the shim guarantees is deterministic (struct declaration order;
+//! dynamic maps sorted by key) — so the fingerprint is a pure function
+//! of content, stable across processes and platforms.
+
+use serde::{Serialize, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An FNV-1a accumulator over serialized value trees.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> Fingerprint {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Folds one serializable value into the fingerprint.
+    pub fn update<T: Serialize + ?Sized>(&mut self, value: &T) {
+        self.walk(&value.to_value());
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn walk(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.byte(0),
+            Value::Bool(b) => {
+                self.byte(1);
+                self.byte(u8::from(*b));
+            }
+            Value::Int(i) => {
+                self.byte(2);
+                self.bytes(&i.to_le_bytes());
+            }
+            Value::UInt(u) => {
+                self.byte(3);
+                self.bytes(&u.to_le_bytes());
+            }
+            Value::Float(x) => {
+                self.byte(4);
+                self.bytes(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.byte(5);
+                self.bytes(&(s.len() as u64).to_le_bytes());
+                self.bytes(s.as_bytes());
+            }
+            Value::Seq(items) => {
+                self.byte(6);
+                self.bytes(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    self.walk(item);
+                }
+            }
+            Value::Map(entries) => {
+                self.byte(7);
+                self.bytes(&(entries.len() as u64).to_le_bytes());
+                for (k, val) in entries {
+                    self.walk(k);
+                    self.walk(val);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+/// Fingerprints a single value (convenience wrapper).
+#[must_use]
+pub fn fingerprint<T: Serialize + ?Sized>(value: &T) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.update(value);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        assert_eq!(
+            fingerprint(&vec![1u32, 2, 3]),
+            fingerprint(&vec![1u32, 2, 3])
+        );
+        assert_eq!(fingerprint("abc"), fingerprint(&"abc".to_string()));
+    }
+
+    #[test]
+    fn shape_and_content_changes_move_the_fingerprint() {
+        assert_ne!(fingerprint(&vec![1u32, 2]), fingerprint(&vec![2u32, 1]));
+        assert_ne!(fingerprint(&1u32), fingerprint(&"1"));
+        assert_ne!(fingerprint(&Some(0u32)), fingerprint(&Option::<u32>::None));
+        assert_ne!(
+            fingerprint(&vec![vec![1u32], vec![2]]),
+            fingerprint(&vec![vec![1u32, 2]])
+        );
+    }
+
+    #[test]
+    fn hashmap_fingerprint_is_order_independent() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for i in 0..100u32 {
+            a.insert(format!("k{i}"), i);
+        }
+        for i in (0..100u32).rev() {
+            b.insert(format!("k{i}"), i);
+        }
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn real_graphs_fingerprint_stably() {
+        let a = rchls_workloads::fir16();
+        let b = rchls_workloads::fir16();
+        let c = rchls_workloads::ewf();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+}

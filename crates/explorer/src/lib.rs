@@ -1,0 +1,75 @@
+//! Parallel design-space exploration for reliability-centric HLS.
+//!
+//! The paper's entire evaluation is a design-space sweep: synthesize the
+//! same data-flow graph under a grid of `(latency, area)` bounds with
+//! three strategies, and compare. This crate turns that one-off pattern
+//! into a reusable engine:
+//!
+//! * [`SweepExecutor`] — a scoped-thread work queue that fans
+//!   `(benchmark × bounds × strategy)` jobs over a configurable worker
+//!   pool with **deterministic, input-ordered results** (a parallel run
+//!   is byte-identical to a serial one);
+//! * [`SynthCache`] — memoizes synthesis outcomes under a content
+//!   fingerprint of `(DFG, library, bounds, config, strategy)`, making
+//!   repeated or overlapping sweeps near-free;
+//! * [`ParetoArchive`] — maintains the non-dominated frontier over
+//!   achieved `(latency, area, reliability)` with dominance pruning and
+//!   a deterministic iteration order;
+//! * [`export`] — JSON and CSV renderings of frontiers and sweep tables.
+//!
+//! # Examples
+//!
+//! Explore two benchmarks in parallel and print the Pareto frontier:
+//!
+//! ```
+//! use rchls_core::{RedundancyModel, SynthConfig};
+//! use rchls_explorer::{explore, ExploreTask, SweepExecutor, SynthCache};
+//! use rchls_reslib::Library;
+//!
+//! let tasks = vec![
+//!     ExploreTask::new("figure4a", rchls_workloads::figure4a(), vec![(5, 4), (6, 6)]),
+//!     ExploreTask::new("diffeq", rchls_workloads::diffeq(), vec![(6, 11), (7, 9)]),
+//! ];
+//! let cache = SynthCache::new();
+//! let out = explore(
+//!     &tasks,
+//!     &Library::table1(),
+//!     SynthConfig::default(),
+//!     RedundancyModel::default(),
+//!     SweepExecutor::new(4),
+//!     &cache,
+//! );
+//! assert_eq!(out.sweeps.len(), 2);
+//! assert!(!out.frontier.is_empty());
+//! // Re-running the same tasks is answered entirely from the cache.
+//! let before = cache.stats().misses;
+//! let again = explore(
+//!     &tasks,
+//!     &Library::table1(),
+//!     SynthConfig::default(),
+//!     RedundancyModel::default(),
+//!     SweepExecutor::serial(),
+//!     &cache,
+//! );
+//! assert_eq!(again, out);
+//! assert_eq!(cache.stats().misses, before);
+//! println!("{}", rchls_explorer::export::frontier_table(&out.frontier));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod executor;
+mod explore;
+pub mod export;
+mod fingerprint;
+mod pareto;
+
+pub use cache::{CacheKey, CacheStats, SynthCache};
+pub use executor::SweepExecutor;
+pub use explore::{
+    default_grid, explore, sweep_parallel, BenchmarkSweep, DesignPoint, Exploration, ExploreTask,
+};
+pub use fingerprint::{fingerprint, Fingerprint};
+pub use pareto::{FrontierPoint, ParetoArchive};

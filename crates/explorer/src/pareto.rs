@@ -1,0 +1,270 @@
+//! The Pareto archive: the non-dominated frontier of explored designs.
+
+use rchls_core::StrategyKind;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// One synthesized design as a point in the exploration space: the
+/// achieved `(latency, area, reliability)` objectives plus where it came
+/// from (benchmark, strategy, and the bounds the synthesizer was given).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Benchmark name the design was synthesized for.
+    pub benchmark: String,
+    /// Strategy that produced the design.
+    pub strategy: StrategyKind,
+    /// Latency bound `Ld` given to the synthesizer.
+    pub latency_bound: u32,
+    /// Area bound `Ad` given to the synthesizer.
+    pub area_bound: u32,
+    /// Achieved latency in clock cycles (minimized).
+    pub latency: u32,
+    /// Achieved area in normalized units (minimized).
+    pub area: u32,
+    /// Achieved design reliability (maximized).
+    pub reliability: f64,
+}
+
+impl FrontierPoint {
+    /// `true` when `self` Pareto-dominates `other`: no objective is worse
+    /// and at least one is strictly better (latency and area minimized,
+    /// reliability maximized). Provenance fields don't participate.
+    #[must_use]
+    pub fn dominates(&self, other: &FrontierPoint) -> bool {
+        self.latency <= other.latency
+            && self.area <= other.area
+            && self.reliability >= other.reliability
+            && (self.latency < other.latency
+                || self.area < other.area
+                || self.reliability > other.reliability)
+    }
+
+    /// Total order used for the archive's deterministic iteration:
+    /// objectives first (ascending latency and area, descending
+    /// reliability), then provenance as a tiebreak.
+    fn sort_key(&self, other: &FrontierPoint) -> Ordering {
+        self.latency
+            .cmp(&other.latency)
+            .then(self.area.cmp(&other.area))
+            .then(other.reliability.total_cmp(&self.reliability))
+            .then(self.benchmark.cmp(&other.benchmark))
+            .then(self.strategy.name().cmp(other.strategy.name()))
+            .then(self.latency_bound.cmp(&other.latency_bound))
+            .then(self.area_bound.cmp(&other.area_bound))
+    }
+}
+
+/// A dominance-pruned archive of [`FrontierPoint`]s.
+///
+/// Invariants, maintained by [`insert`](ParetoArchive::insert):
+///
+/// * no archived point dominates another (points with *equal* objectives
+///   from different benchmarks or strategies are all kept — they are
+///   equally good — while the same `(benchmark, strategy)` rediscovering
+///   identical objectives under looser bounds is deduplicated);
+/// * iteration order is sorted by objectives and fully deterministic, so
+///   the archive contents are independent of insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_core::StrategyKind;
+/// use rchls_explorer::{FrontierPoint, ParetoArchive};
+///
+/// let mut archive = ParetoArchive::new();
+/// let point = |latency, area, reliability| FrontierPoint {
+///     benchmark: "demo".into(),
+///     strategy: StrategyKind::Ours,
+///     latency_bound: latency,
+///     area_bound: area,
+///     latency,
+///     area,
+///     reliability,
+/// };
+/// assert!(archive.insert(point(10, 5, 0.9)));
+/// assert!(archive.insert(point(8, 7, 0.8))); // trades area for latency
+/// assert!(!archive.insert(point(12, 9, 0.7))); // dominated: no-op
+/// assert!(archive.insert(point(9, 5, 0.95))); // dominates the first
+/// assert_eq!(archive.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParetoArchive {
+    points: Vec<FrontierPoint>,
+}
+
+impl ParetoArchive {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> ParetoArchive {
+        ParetoArchive::default()
+    }
+
+    /// Offers a point to the archive. Returns `true` if it joined the
+    /// frontier (evicting any points it dominates), `false` if it was
+    /// dominated by an archived point or redundant with one.
+    ///
+    /// Redundancy: the same `(benchmark, strategy)` reaching the same
+    /// objectives from several bound pairs (a loose bound rediscovering
+    /// a design a tighter bound already found) keeps only the entry
+    /// with the lexicographically smallest `(Ld, Ad)` — so the frontier
+    /// stays succinct and insertion-order independent.
+    pub fn insert(&mut self, point: FrontierPoint) -> bool {
+        let same_design = |p: &FrontierPoint| {
+            p.benchmark == point.benchmark
+                && p.strategy == point.strategy
+                && p.latency == point.latency
+                && p.area == point.area
+                && p.reliability == point.reliability
+        };
+        let bounds_key = |p: &FrontierPoint| (p.latency_bound, p.area_bound);
+        if self
+            .points
+            .iter()
+            .any(|p| p.dominates(&point) || (same_design(p) && bounds_key(p) <= bounds_key(&point)))
+        {
+            return false;
+        }
+        self.points
+            .retain(|p| !point.dominates(p) && !same_design(p));
+        let at = self
+            .points
+            .partition_point(|p| p.sort_key(&point) == Ordering::Less);
+        self.points.insert(at, point);
+        true
+    }
+
+    /// Archives every design produced by an iterator.
+    pub fn extend(&mut self, points: impl IntoIterator<Item = FrontierPoint>) {
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    /// The frontier, sorted by objectives (see the type docs).
+    #[must_use]
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Number of archived points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nothing has been archived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The archived point with the highest reliability, if any.
+    #[must_use]
+    pub fn most_reliable(&self) -> Option<&FrontierPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.reliability.total_cmp(&b.reliability))
+    }
+}
+
+impl FromIterator<FrontierPoint> for ParetoArchive {
+    fn from_iter<I: IntoIterator<Item = FrontierPoint>>(iter: I) -> ParetoArchive {
+        let mut archive = ParetoArchive::new();
+        archive.extend(iter);
+        archive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(latency: u32, area: u32, reliability: f64) -> FrontierPoint {
+        FrontierPoint {
+            benchmark: "t".into(),
+            strategy: StrategyKind::Ours,
+            latency_bound: latency,
+            area_bound: area,
+            latency,
+            area,
+            reliability,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_a_strict_improvement() {
+        let a = point(5, 5, 0.9);
+        assert!(!a.dominates(&a.clone()));
+        assert!(point(5, 5, 0.91).dominates(&a));
+        assert!(point(5, 4, 0.9).dominates(&a));
+        assert!(point(4, 5, 0.9).dominates(&a));
+        assert!(!point(4, 6, 0.9).dominates(&a));
+        assert!(!point(6, 4, 0.9).dominates(&a));
+    }
+
+    #[test]
+    fn dominated_insert_is_a_noop() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.insert(point(5, 5, 0.9)));
+        assert!(!archive.insert(point(6, 6, 0.8)));
+        assert_eq!(archive.len(), 1);
+    }
+
+    #[test]
+    fn dominating_insert_evicts() {
+        let mut archive = ParetoArchive::new();
+        archive.insert(point(5, 5, 0.9));
+        archive.insert(point(7, 3, 0.9));
+        assert!(archive.insert(point(5, 3, 0.95)));
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.points()[0].reliability, 0.95);
+    }
+
+    #[test]
+    fn equal_objectives_different_provenance_coexist() {
+        let mut archive = ParetoArchive::new();
+        let mut a = point(5, 5, 0.9);
+        a.strategy = StrategyKind::Baseline;
+        let b = point(5, 5, 0.9);
+        assert!(archive.insert(a.clone()));
+        assert!(archive.insert(b));
+        assert!(!archive.insert(a)); // exact duplicate
+        assert_eq!(archive.len(), 2);
+    }
+
+    #[test]
+    fn loose_bounds_rediscovering_a_design_are_deduplicated() {
+        let mut archive = ParetoArchive::new();
+        let tight = point(5, 5, 0.9); // bounds (5, 5)
+        let mut loose = point(5, 5, 0.9);
+        loose.latency_bound = 9;
+        loose.area_bound = 9;
+        // Loose-first then tight: the tight provenance replaces it.
+        assert!(archive.insert(loose.clone()));
+        assert!(archive.insert(tight.clone()));
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.points()[0], tight);
+        // Tight already archived: the loose rediscovery is a no-op.
+        assert!(!archive.insert(loose));
+        assert_eq!(archive.points()[0], tight);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_objectives() {
+        let mut archive = ParetoArchive::new();
+        archive.insert(point(9, 2, 0.7));
+        archive.insert(point(3, 8, 0.6));
+        archive.insert(point(5, 5, 0.9));
+        let latencies: Vec<u32> = archive.points().iter().map(|p| p.latency).collect();
+        assert_eq!(latencies, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn most_reliable_is_tracked() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.most_reliable().is_none());
+        archive.insert(point(9, 2, 0.7));
+        archive.insert(point(3, 8, 0.6));
+        assert_eq!(archive.most_reliable().unwrap().reliability, 0.7);
+    }
+}

@@ -1,0 +1,128 @@
+//! Executor determinism and cache-effectiveness guarantees on the real
+//! paper benchmarks.
+
+use rchls_core::explore::sweep;
+use rchls_core::{RedundancyModel, SynthConfig};
+use rchls_dfg::Dfg;
+use rchls_explorer::{explore, export, ExploreTask, SweepExecutor, SynthCache};
+use rchls_reslib::Library;
+
+/// The Table-2-style grid each benchmark sweeps in these tests (a
+/// tight-to-loose 2×3 block keeps debug-mode runtime reasonable).
+fn grid_for(name: &str) -> Vec<(u32, u32)> {
+    match name {
+        "fir16" => vec![(12, 8), (12, 12), (13, 8), (13, 16), (14, 12), (11, 6)],
+        "ewf" => vec![(14, 8), (14, 11), (15, 10), (16, 8), (16, 11), (13, 5)],
+        "diffeq" => vec![(5, 11), (5, 15), (6, 13), (7, 7), (7, 11), (4, 4)],
+        other => panic!("no grid for {other}"),
+    }
+}
+
+fn benchmark(name: &str) -> Dfg {
+    rchls_workloads::all_benchmarks()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .expect("benchmark is registered")
+        .1()
+}
+
+fn explore_with_jobs(
+    names: &[&str],
+    jobs: usize,
+    cache: &SynthCache,
+) -> rchls_explorer::Exploration {
+    let tasks: Vec<ExploreTask> = names
+        .iter()
+        .map(|&n| ExploreTask::new(n, benchmark(n), grid_for(n)))
+        .collect();
+    explore(
+        &tasks,
+        &Library::table1(),
+        SynthConfig::default(),
+        RedundancyModel::default(),
+        SweepExecutor::new(jobs),
+        cache,
+    )
+}
+
+/// Acceptance: the parallel frontier has identical membership to the
+/// serial one, and the parallel rows equal `rchls_core::explore::sweep`,
+/// on fir16, ewf, and diffeq.
+#[test]
+fn parallel_frontier_matches_serial_on_all_paper_benchmarks() {
+    for name in ["fir16", "ewf", "diffeq"] {
+        let serial_cache = SynthCache::new();
+        let serial = explore_with_jobs(&[name], 1, &serial_cache);
+        let parallel_cache = SynthCache::new();
+        let parallel = explore_with_jobs(&[name], 4, &parallel_cache);
+        assert_eq!(
+            serial.frontier.points(),
+            parallel.frontier.points(),
+            "{name}: frontier membership diverged between 1 and 4 jobs"
+        );
+        assert_eq!(serial.sweeps, parallel.sweeps, "{name}: rows diverged");
+        // And both equal the original serial sweep driver.
+        let reference = sweep(&benchmark(name), &Library::table1(), &grid_for(name));
+        assert_eq!(
+            serial.sweeps[0].rows, reference,
+            "{name}: drifted from core::explore::sweep"
+        );
+    }
+}
+
+/// Determinism guard: `--jobs 8` produces byte-identical JSON to
+/// `--jobs 1` on fir16 and ewf.
+#[test]
+fn json_export_is_byte_identical_across_job_counts() {
+    for name in ["fir16", "ewf"] {
+        let one = explore_with_jobs(&[name], 1, &SynthCache::new());
+        let eight = explore_with_jobs(&[name], 8, &SynthCache::new());
+        assert_eq!(
+            export::frontier_json(&one.frontier),
+            export::frontier_json(&eight.frontier),
+            "{name}: frontier JSON diverged between 1 and 8 jobs"
+        );
+        assert_eq!(
+            export::exploration_json(&one),
+            export::exploration_json(&eight),
+            "{name}: exploration JSON diverged between 1 and 8 jobs"
+        );
+    }
+}
+
+/// Cache guarantee: repeating a sweep against a warm cache performs zero
+/// new synthesis calls, and overlapping grids only pay for new points.
+#[test]
+fn repeated_sweep_synthesizes_nothing_new() {
+    let cache = SynthCache::new();
+    let first = explore_with_jobs(&["diffeq"], 2, &cache);
+    let misses_after_first = cache.stats().misses;
+    assert!(misses_after_first > 0);
+
+    let second = explore_with_jobs(&["diffeq"], 2, &cache);
+    assert_eq!(first, second, "cached rerun changed the result");
+    assert_eq!(
+        cache.stats().misses,
+        misses_after_first,
+        "a repeated sweep must be answered entirely from the cache"
+    );
+    assert!(cache.stats().hits >= misses_after_first);
+
+    // A superset grid pays only for the genuinely new points.
+    let mut grid = grid_for("diffeq");
+    grid.push((6, 15));
+    let tasks = [ExploreTask::new("diffeq", benchmark("diffeq"), grid)];
+    let _ = explore(
+        &tasks,
+        &Library::table1(),
+        SynthConfig::default(),
+        RedundancyModel::default(),
+        SweepExecutor::new(2),
+        &cache,
+    );
+    assert_eq!(
+        cache.stats().misses,
+        misses_after_first + 3,
+        "one new grid point = exactly three new synthesis runs"
+    );
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the Pareto archive.
+
+use proptest::prelude::*;
+use rchls_core::StrategyKind;
+use rchls_explorer::{FrontierPoint, ParetoArchive};
+
+fn points() -> impl Strategy<Value = Vec<FrontierPoint>> {
+    proptest::collection::vec((1u32..20, 1u32..20, 0u32..1000, 0u32..3), 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(latency, area, rel_millis, strategy)| FrontierPoint {
+                benchmark: "prop".to_owned(),
+                strategy: StrategyKind::ALL[strategy as usize],
+                latency_bound: latency,
+                area_bound: area,
+                latency,
+                area,
+                reliability: f64::from(rel_millis) / 1000.0,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn no_archived_point_dominates_another(ps in points()) {
+        let archive: ParetoArchive = ps.into_iter().collect();
+        for a in archive.points() {
+            for b in archive.points() {
+                prop_assert!(!a.dominates(b), "{a:?} dominates {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inserting_a_dominated_point_is_a_noop(ps in points(), extra_latency in 1u32..5, extra_area in 1u32..5) {
+        let mut archive: ParetoArchive = ps.clone().into_iter().collect();
+        let before = archive.clone();
+        // Degrade an existing input point on every objective: dominated
+        // by whatever archived point covers the original (or equal to a
+        // kept point's region) — never frontier-worthy.
+        let mut worse = ps[0].clone();
+        worse.latency += extra_latency;
+        worse.area += extra_area;
+        worse.reliability = (worse.reliability - 0.001).max(0.0);
+        prop_assert!(!archive.insert(worse));
+        prop_assert_eq!(archive.points(), before.points());
+    }
+
+    #[test]
+    fn frontier_is_insertion_order_independent(ps in points(), rotate in 0usize..40, stride in 1usize..7) {
+        let forward: ParetoArchive = ps.clone().into_iter().collect();
+        let mut reversed_input = ps.clone();
+        reversed_input.reverse();
+        let reversed: ParetoArchive = reversed_input.into_iter().collect();
+        prop_assert_eq!(forward.points(), reversed.points());
+        // A rotated + strided shuffle (deterministic permutation).
+        let n = ps.len();
+        let mut permuted: Vec<FrontierPoint> = Vec::with_capacity(n);
+        let stride = if stride % n == 0 { 1 } else { stride };
+        let mut taken = vec![false; n];
+        let mut i = rotate % n;
+        for _ in 0..n {
+            while taken[i] {
+                i = (i + 1) % n;
+            }
+            taken[i] = true;
+            permuted.push(ps[i].clone());
+            i = (i + stride) % n;
+        }
+        let shuffled: ParetoArchive = permuted.into_iter().collect();
+        prop_assert_eq!(forward.points(), shuffled.points());
+    }
+
+    #[test]
+    fn reinserting_archived_points_changes_nothing(ps in points()) {
+        let archive: ParetoArchive = ps.into_iter().collect();
+        let mut again = archive.clone();
+        for p in archive.points().to_vec() {
+            prop_assert!(!again.insert(p));
+        }
+        prop_assert_eq!(archive.points(), again.points());
+    }
+}

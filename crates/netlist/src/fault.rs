@@ -73,7 +73,10 @@ impl FaultInjector {
     ///
     /// Panics if the netlist has no gates or `trials == 0`.
     pub fn characterize(&mut self, netlist: &Netlist, trials: usize) -> SusceptibilityReport {
-        assert!(netlist.gate_count() > 0, "cannot inject into an empty netlist");
+        assert!(
+            netlist.gate_count() > 0,
+            "cannot inject into an empty netlist"
+        );
         assert!(trials > 0, "at least one trial is required");
         let mut sim = Simulator::new(netlist);
         let mut inputs = vec![false; netlist.inputs().len()];
@@ -109,8 +112,14 @@ impl FaultInjector {
     ///
     /// Panics if the netlist has no gates or `trials_per_gate == 0`.
     pub fn per_gate_profile(&mut self, netlist: &Netlist, trials_per_gate: usize) -> Vec<f64> {
-        assert!(netlist.gate_count() > 0, "cannot inject into an empty netlist");
-        assert!(trials_per_gate > 0, "at least one trial per gate is required");
+        assert!(
+            netlist.gate_count() > 0,
+            "cannot inject into an empty netlist"
+        );
+        assert!(
+            trials_per_gate > 0,
+            "at least one trial per gate is required"
+        );
         let mut sim = Simulator::new(netlist);
         let mut inputs = vec![false; netlist.inputs().len()];
         let mut profile = Vec::with_capacity(netlist.gate_count());

@@ -193,7 +193,8 @@ pub fn carry_skip_adder(n: usize, block: usize) -> Netlist {
         let all_p = if props.len() == 1 {
             props[0]
         } else {
-            nl.add_gate(GateKind::And, props.clone()).expect("valid and")
+            nl.add_gate(GateKind::And, props.clone())
+                .expect("valid and")
         };
         let skip = nl
             .add_gate(GateKind::And, vec![all_p, block_cin])
@@ -256,9 +257,7 @@ pub fn carry_select_adder(n: usize, block: usize) -> Netlist {
                 c1 = co1;
             }
             // Select with the block's actual carry-in.
-            let ncin = nl
-                .add_gate(GateKind::Not, vec![carry])
-                .expect("valid not");
+            let ncin = nl.add_gate(GateKind::Not, vec![carry]).expect("valid not");
             for (s0, s1) in sums {
                 let pick0 = nl
                     .add_gate(GateKind::And, vec![ncin, s0])
@@ -426,9 +425,7 @@ fn full_adder(nl: &mut Netlist, a: Net, b: Net, cin: Net) -> (Net, Net) {
     let axbc = nl
         .add_gate(GateKind::And, vec![axb, cin])
         .expect("valid and");
-    let cout = nl
-        .add_gate(GateKind::Or, vec![ab, axbc])
-        .expect("valid or");
+    let cout = nl.add_gate(GateKind::Or, vec![ab, axbc]).expect("valid or");
     (s, cout)
 }
 
@@ -451,20 +448,14 @@ pub fn adder_inputs(n: usize, a: u64, b: u64) -> Vec<bool> {
 #[must_use]
 pub fn adder_output_value(n: usize, out: &[bool]) -> u64 {
     debug_assert_eq!(out.len(), n + 1);
-    out.iter()
-        .enumerate()
-        .map(|(i, &b)| (b as u64) << i)
-        .sum()
+    out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
 }
 
 /// Interprets a multiplier's output vector (`2n` product bits, LSB-first)
 /// as an unsigned value.
 #[must_use]
 pub fn multiplier_output_value(out: &[bool]) -> u64 {
-    out.iter()
-        .enumerate()
-        .map(|(i, &b)| (b as u64) << i)
-        .sum()
+    out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
 }
 
 #[cfg(test)]

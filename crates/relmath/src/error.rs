@@ -20,7 +20,9 @@ impl fmt::Display for ReliabilityError {
             ReliabilityError::InvalidProbability(p) => {
                 write!(f, "probability {p} is not in [0, 1]")
             }
-            ReliabilityError::InvalidRate(r) => write!(f, "failure rate {r} is not finite and non-negative"),
+            ReliabilityError::InvalidRate(r) => {
+                write!(f, "failure rate {r} is not finite and non-negative")
+            }
             ReliabilityError::InvalidModuleCount(n) => {
                 write!(f, "NMR module count {n} is not an odd positive integer")
             }
@@ -39,7 +41,9 @@ mod tests {
         assert!(ReliabilityError::InvalidProbability(1.5)
             .to_string()
             .contains("1.5"));
-        assert!(ReliabilityError::InvalidRate(-1.0).to_string().contains("-1"));
+        assert!(ReliabilityError::InvalidRate(-1.0)
+            .to_string()
+            .contains("-1"));
         assert!(ReliabilityError::InvalidModuleCount(4)
             .to_string()
             .contains('4'));

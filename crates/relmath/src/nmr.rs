@@ -150,8 +150,14 @@ mod tests {
     #[test]
     fn duplex_with_recovery_formula() {
         assert!((duplex_with_recovery(r(0.9)).value() - 0.99).abs() < 1e-12);
-        assert_eq!(duplex_with_recovery(Reliability::PERFECT), Reliability::PERFECT);
-        assert_eq!(duplex_with_recovery(Reliability::FAILED), Reliability::FAILED);
+        assert_eq!(
+            duplex_with_recovery(Reliability::PERFECT),
+            Reliability::PERFECT
+        );
+        assert_eq!(
+            duplex_with_recovery(Reliability::FAILED),
+            Reliability::FAILED
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for reliability mathematics.
 
 use proptest::prelude::*;
-use rchls_relmath::{
-    duplex_with_recovery, nmr, parallel_model, serial_model, tmr, Reliability,
-};
+use rchls_relmath::{duplex_with_recovery, nmr, parallel_model, serial_model, tmr, Reliability};
 
 fn rel() -> impl Strategy<Value = Reliability> {
     (0.0f64..=1.0).prop_map(|p| Reliability::new(p).unwrap())

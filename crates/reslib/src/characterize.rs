@@ -250,7 +250,11 @@ mod tests {
         // Qs recovered from the paper's numbers is a few 1e-21 C —
         // same order as the published Q_critical values.
         let chain = Characterizer::calibrated_to_table1();
-        assert!(chain.qs() > 1e-21 && chain.qs() < 1e-19, "qs = {}", chain.qs());
+        assert!(
+            chain.qs() > 1e-21 && chain.qs() < 1e-19,
+            "qs = {}",
+            chain.qs()
+        );
     }
 
     #[test]

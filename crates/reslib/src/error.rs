@@ -30,6 +30,8 @@ mod tests {
     #[test]
     fn messages() {
         assert!(LibraryError::Empty.to_string().contains("at least one"));
-        assert!(LibraryError::DuplicateName("x".into()).to_string().contains("\"x\""));
+        assert!(LibraryError::DuplicateName("x".into())
+            .to_string()
+            .contains("\"x\""));
     }
 }

@@ -38,7 +38,7 @@ mod parse;
 mod version;
 
 pub use characterize::{
-    characterize_components, paper_qcritical, Characterizer, CharacterizedComponent,
+    characterize_components, paper_qcritical, CharacterizedComponent, Characterizer,
 };
 pub use error::LibraryError;
 pub use library::Library;

@@ -112,7 +112,10 @@ impl Library {
     }
 
     /// Iterates over the versions of one class.
-    pub fn versions_of(&self, class: OpClass) -> impl Iterator<Item = (VersionId, &ResourceVersion)> + '_ {
+    pub fn versions_of(
+        &self,
+        class: OpClass,
+    ) -> impl Iterator<Item = (VersionId, &ResourceVersion)> + '_ {
         self.iter().filter(move |(_, v)| v.class() == class)
     }
 
@@ -280,22 +283,40 @@ mod tests {
         let lib = Library::table1();
         assert_eq!(lib.len(), 5);
         let a1 = lib.version(lib.version_by_name("adder1").unwrap());
-        assert_eq!((a1.area(), a1.delay(), a1.reliability().value()), (1, 2, 0.999));
+        assert_eq!(
+            (a1.area(), a1.delay(), a1.reliability().value()),
+            (1, 2, 0.999)
+        );
         let a2 = lib.version(lib.version_by_name("adder2").unwrap());
-        assert_eq!((a2.area(), a2.delay(), a2.reliability().value()), (2, 1, 0.969));
+        assert_eq!(
+            (a2.area(), a2.delay(), a2.reliability().value()),
+            (2, 1, 0.969)
+        );
         let a3 = lib.version(lib.version_by_name("adder3").unwrap());
-        assert_eq!((a3.area(), a3.delay(), a3.reliability().value()), (4, 1, 0.987));
+        assert_eq!(
+            (a3.area(), a3.delay(), a3.reliability().value()),
+            (4, 1, 0.987)
+        );
         let m1 = lib.version(lib.version_by_name("mult1").unwrap());
-        assert_eq!((m1.area(), m1.delay(), m1.reliability().value()), (2, 2, 0.999));
+        assert_eq!(
+            (m1.area(), m1.delay(), m1.reliability().value()),
+            (2, 2, 0.999)
+        );
         let m2 = lib.version(lib.version_by_name("mult2").unwrap());
-        assert_eq!((m2.area(), m2.delay(), m2.reliability().value()), (4, 1, 0.969));
+        assert_eq!(
+            (m2.area(), m2.delay(), m2.reliability().value()),
+            (4, 1, 0.969)
+        );
     }
 
     #[test]
     fn most_reliable_and_fastest() {
         let lib = Library::table1();
         assert_eq!(lib.most_reliable(OpClass::Adder).unwrap().name(), "adder1");
-        assert_eq!(lib.most_reliable(OpClass::Multiplier).unwrap().name(), "mult1");
+        assert_eq!(
+            lib.most_reliable(OpClass::Multiplier).unwrap().name(),
+            "mult1"
+        );
         // Fastest adder with 1cc delay: tie between adder2/adder3 broken by
         // reliability -> adder3 (0.987 > 0.969).
         let fastest = lib.version(lib.fastest_id(OpClass::Adder).unwrap());
@@ -306,9 +327,13 @@ mod tests {
     #[test]
     fn smallest() {
         let lib = Library::table1();
-        assert_eq!(lib.version(lib.smallest_id(OpClass::Adder).unwrap()).name(), "adder1");
         assert_eq!(
-            lib.version(lib.smallest_id(OpClass::Multiplier).unwrap()).name(),
+            lib.version(lib.smallest_id(OpClass::Adder).unwrap()).name(),
+            "adder1"
+        );
+        assert_eq!(
+            lib.version(lib.smallest_id(OpClass::Multiplier).unwrap())
+                .name(),
             "mult1"
         );
     }
@@ -366,7 +391,10 @@ mod tests {
             ResourceVersion::new("x", OpClass::Adder, 1, 1, r),
             ResourceVersion::new("x", OpClass::Adder, 2, 1, r),
         ];
-        assert!(matches!(Library::new(dup), Err(LibraryError::DuplicateName(_))));
+        assert!(matches!(
+            Library::new(dup),
+            Err(LibraryError::DuplicateName(_))
+        ));
     }
 
     #[test]

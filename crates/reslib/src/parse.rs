@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn errors_carry_line_numbers() {
-        assert_eq!(parse_library("version a wat 1 1 0.9\n").unwrap_err().line, 1);
+        assert_eq!(
+            parse_library("version a wat 1 1 0.9\n").unwrap_err().line,
+            1
+        );
         assert_eq!(
             parse_library("version a adder 1 1 0.9\nversion b adder x 1 0.9\n")
                 .unwrap_err()

@@ -121,7 +121,13 @@ mod tests {
             .dep("m", "a")
             .build()
             .unwrap();
-        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let d = Delays::from_fn(&g, |n| {
+            if g.node(n).kind() == OpKind::Mul {
+                2
+            } else {
+                1
+            }
+        });
         let s = alap(&g, &d, 4).unwrap();
         let id = |l: &str| g.node_by_label(l).unwrap();
         assert_eq!(s.start(id("a")), 4);

@@ -83,7 +83,13 @@ mod tests {
             .dep("b", "c")
             .build()
             .unwrap();
-        let delays = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let delays = Delays::from_fn(&g, |n| {
+            if g.node(n).kind() == OpKind::Mul {
+                2
+            } else {
+                1
+            }
+        });
         let s = asap(&g, &delays).unwrap();
         let cp = g.critical_path(|n| delays.get(n)).unwrap();
         assert_eq!(s.latency(), cp.length);

@@ -96,7 +96,11 @@ pub(crate) fn windows(
 /// # Ok(())
 /// # }
 /// ```
-pub fn schedule_density(dfg: &Dfg, delays: &Delays, latency: u32) -> Result<Schedule, ScheduleError> {
+pub fn schedule_density(
+    dfg: &Dfg,
+    delays: &Delays,
+    latency: u32,
+) -> Result<Schedule, ScheduleError> {
     let asap_s = asap(dfg, delays)?;
     let alap_s = alap(dfg, delays, latency)?; // also validates feasibility
     if dfg.is_empty() {
@@ -247,7 +251,13 @@ mod tests {
             .dep("m2", "s")
             .build()
             .unwrap();
-        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let d = Delays::from_fn(&g, |n| {
+            if g.node(n).kind() == OpKind::Mul {
+                2
+            } else {
+                1
+            }
+        });
         // Minimum latency 3; with 5 steps the two multiplies can serialize.
         let s = schedule_density(&g, &d, 5).unwrap();
         s.validate(&g, &d).unwrap();

@@ -66,14 +66,10 @@ pub fn schedule_force_directed(
             let d = delays.get(n);
             // Average occupancy over the op's whole window (its current
             // expected contribution footprint).
-            let span: Vec<f64> = (es..ls + d)
-                .map(|t| density[(t - 1) as usize])
-                .collect();
+            let span: Vec<f64> = (es..ls + d).map(|t| density[(t - 1) as usize]).collect();
             let avg = span.iter().sum::<f64>() / span.len() as f64;
             for s in es..=ls {
-                let force: f64 = (s..s + d)
-                    .map(|t| density[(t - 1) as usize] - avg)
-                    .sum();
+                let force: f64 = (s..s + d).map(|t| density[(t - 1) as usize] - avg).sum();
                 let cand = (force, n, s);
                 let better = match best {
                     None => true,

@@ -142,9 +142,8 @@ pub fn schedule_modulo(
         let d = delays.get(victim);
         let best = (es..=ls)
             .min_by(|&a, &b| {
-                let cost = |s: u32| -> f64 {
-                    (s..s + d).map(|t| density[((t - 1) % ii) as usize]).sum()
-                };
+                let cost =
+                    |s: u32| -> f64 { (s..s + d).map(|t| density[((t - 1) % ii) as usize]).sum() };
                 cost(a)
                     .partial_cmp(&cost(b))
                     .expect("densities are finite")
@@ -182,7 +181,10 @@ mod tests {
         let d = Delays::uniform(&g, 1);
         let s = Schedule::new(vec![1, 2, 3, 4], &d);
         // Steps 1..4 at II=2 fold onto residues {0,1} twice each.
-        assert_eq!(s.modulo_usage_profile(&g, &d, OpClass::Adder, 2), vec![2, 2]);
+        assert_eq!(
+            s.modulo_usage_profile(&g, &d, OpClass::Adder, 2),
+            vec![2, 2]
+        );
         assert_eq!(s.modulo_peak_usage(&g, &d, OpClass::Adder, 2), 2);
         // At II=4 nothing folds.
         assert_eq!(s.modulo_peak_usage(&g, &d, OpClass::Adder, 4), 1);
@@ -221,14 +223,14 @@ mod tests {
 
     #[test]
     fn multicycle_op_spanning_residues() {
-        let g = DfgBuilder::new("m")
-            .op("m", OpKind::Mul)
-            .build()
-            .unwrap();
+        let g = DfgBuilder::new("m").op("m", OpKind::Mul).build().unwrap();
         let d = Delays::uniform(&g, 2);
         let s = schedule_modulo(&g, &d, 4, 2).unwrap();
         // A 2-cycle op at II=2 occupies both residues once.
-        assert_eq!(s.modulo_usage_profile(&g, &d, OpClass::Multiplier, 2), vec![1, 1]);
+        assert_eq!(
+            s.modulo_usage_profile(&g, &d, OpClass::Multiplier, 2),
+            vec![1, 1]
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ impl Mobility {
     /// precedes the ASAP start (which would indicate inconsistent inputs).
     #[must_use]
     pub fn new(asap: &Schedule, alap: &Schedule) -> Mobility {
-        assert_eq!(asap.len(), alap.len(), "schedules must cover the same graph");
+        assert_eq!(
+            asap.len(),
+            alap.len(),
+            "schedules must cover the same graph"
+        );
         for i in 0..asap.len() {
             let n = NodeId::new(i as u32);
             assert!(
@@ -192,7 +196,13 @@ mod tests {
         let c = g.add_node(OpKind::Add, "c");
         g.add_edge(a, b).unwrap();
         g.add_edge(b, c).unwrap();
-        let d = Delays::from_fn(&g, |n| if g.node(n).kind() == OpKind::Mul { 2 } else { 1 });
+        let d = Delays::from_fn(&g, |n| {
+            if g.node(n).kind() == OpKind::Mul {
+                2
+            } else {
+                1
+            }
+        });
         (g, d, [a, b, c])
     }
 
@@ -224,7 +234,10 @@ mod tests {
         let (g, d, _) = chain();
         let s = Schedule::new(vec![1, 2, 4], &d);
         // Multiplier occupies steps 2 and 3.
-        assert_eq!(s.usage_profile(&g, &d, OpClass::Multiplier), vec![0, 1, 1, 0]);
+        assert_eq!(
+            s.usage_profile(&g, &d, OpClass::Multiplier),
+            vec![0, 1, 1, 0]
+        );
         assert_eq!(s.usage_profile(&g, &d, OpClass::Adder), vec![1, 0, 0, 1]);
         assert_eq!(s.peak_usage(&g, &d, OpClass::Adder), 1);
     }

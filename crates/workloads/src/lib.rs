@@ -55,7 +55,9 @@ pub fn fir16() -> Dfg {
     }
     // Coefficient multipliers.
     for i in 0..8 {
-        b = b.op(&format!("m{i}"), OpKind::Mul).dep(&format!("p{i}"), &format!("m{i}"));
+        b = b
+            .op(&format!("m{i}"), OpKind::Mul)
+            .dep(&format!("p{i}"), &format!("m{i}"));
     }
     // Balanced accumulation tree: 4 + 2 + 1 adds.
     for i in 0..4 {
@@ -187,7 +189,10 @@ pub fn ar_lattice() -> Dfg {
 /// Panics if `taps` is odd or less than 2.
 #[must_use]
 pub fn fir(taps: usize) -> Dfg {
-    assert!(taps >= 2 && taps.is_multiple_of(2), "taps must be even and >= 2");
+    assert!(
+        taps >= 2 && taps.is_multiple_of(2),
+        "taps must be even and >= 2"
+    );
     let half = taps / 2;
     let mut b = DfgBuilder::new(format!("fir{taps}"));
     for i in 0..half {
@@ -204,7 +209,10 @@ pub fn fir(taps: usize) -> Dfg {
         for (j, pair) in layer.chunks(2).enumerate() {
             if pair.len() == 2 {
                 let name = format!("t{level}_{j}");
-                b = b.op(&name, OpKind::Add).dep(&pair[0], &name).dep(&pair[1], &name);
+                b = b
+                    .op(&name, OpKind::Add)
+                    .dep(&pair[0], &name)
+                    .dep(&pair[1], &name);
                 next.push(name);
             } else {
                 next.push(pair[0].clone());
@@ -292,6 +300,13 @@ pub fn iir_cascade(n: usize) -> Dfg {
 /// A named benchmark constructor, as listed by [`all_benchmarks`].
 pub type NamedBenchmark = (&'static str, fn() -> Dfg);
 
+/// [`iir_cascade`] at its standard four-section depth, as a plain
+/// constructor so sweep drivers can list it.
+#[must_use]
+pub fn iir4() -> Dfg {
+    iir_cascade(4)
+}
+
 /// All named benchmarks as `(name, constructor)` pairs, for sweep drivers.
 #[must_use]
 pub fn all_benchmarks() -> Vec<NamedBenchmark> {
@@ -301,6 +316,8 @@ pub fn all_benchmarks() -> Vec<NamedBenchmark> {
         ("ewf", ewf),
         ("diffeq", diffeq),
         ("ar-lattice", ar_lattice),
+        ("butterfly8", butterfly8),
+        ("iir4", iir4),
     ]
 }
 
@@ -403,6 +420,23 @@ mod tests {
         }
         // Depth grows linearly with sections (serial chaining).
         assert!(iir_cascade(4).depth().unwrap() > iir_cascade(1).depth().unwrap() * 3);
+    }
+
+    #[test]
+    fn all_benchmarks_include_the_full_roster() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "figure4a",
+                "fir16",
+                "ewf",
+                "diffeq",
+                "ar-lattice",
+                "butterfly8",
+                "iir4"
+            ]
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub fn random_layered_dfg(config: &RandomDfgConfig) -> Dfg {
         if l == 0 {
             continue;
         }
-        let prev: Vec<usize> = (0..config.nodes).filter(|&j| layer_of[j] == l - 1).collect();
+        let prev: Vec<usize> = (0..config.nodes)
+            .filter(|&j| layer_of[j] == l - 1)
+            .collect();
         if prev.is_empty() {
             continue;
         }

@@ -34,7 +34,10 @@ fn main() {
                     ""
                 }
             ),
-            Err(e) => println!("{ii:>4} {:>10}      -            -   {e}", format!("1/{ii} cyc")),
+            Err(e) => println!(
+                "{ii:>4} {:>10}      -            -   {e}",
+                format!("1/{ii} cyc")
+            ),
         }
     }
     println!(

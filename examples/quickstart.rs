@@ -13,7 +13,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // different (area, delay, reliability) trade-off.
     let library = Library::table1();
 
-    println!("benchmark: {} ({} operations)", dfg.name(), dfg.node_count());
+    println!(
+        "benchmark: {} ({} operations)",
+        dfg.name(),
+        dfg.node_count()
+    );
     println!("library:");
     for (_, version) in library.iter() {
         println!("  {version}");

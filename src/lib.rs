@@ -18,6 +18,8 @@
 //! * [`bind`] — version assignments, left-edge and coloring binders;
 //! * [`core`] — the Figure-6 synthesis algorithm, the NMR baseline, the
 //!   combined approach, sweep drivers, and the dual-objective extensions;
+//! * [`explorer`] — parallel design-space exploration: the sweep
+//!   executor, synthesis cache, and Pareto archive;
 //! * [`workloads`] — the FIR16 / EWF / DiffEq benchmark graphs.
 //!
 //! # Quickstart
@@ -42,6 +44,7 @@
 pub use rchls_bind as bind;
 pub use rchls_core as core;
 pub use rchls_dfg as dfg;
+pub use rchls_explorer as explorer;
 pub use rchls_netlist as netlist;
 pub use rchls_relmath as relmath;
 pub use rchls_reslib as reslib;

@@ -3,8 +3,7 @@
 
 use rc_hls::bind::bind_left_edge;
 use rc_hls::core::{
-    synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel, SynthConfig,
-    Synthesizer,
+    synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel, SynthConfig, Synthesizer,
 };
 use rc_hls::dfg::OpClass;
 use rc_hls::relmath::serial_reliability;
@@ -19,6 +18,8 @@ fn bounds_for(name: &str) -> Bounds {
         "ewf" => Bounds::new(15, 10),
         "diffeq" => Bounds::new(6, 11),
         "ar-lattice" => Bounds::new(24, 14),
+        "butterfly8" => Bounds::new(10, 16),
+        "iir4" => Bounds::new(20, 14),
         other => panic!("no bounds for {other}"),
     }
 }
@@ -57,8 +58,7 @@ fn three_strategies_rank_consistently_on_diffeq() {
     let dfg = rc_hls::workloads::diffeq();
     let library = Library::table1();
     let bounds = Bounds::new(5, 11);
-    let base =
-        synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default()).unwrap();
+    let base = synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default()).unwrap();
     let ours = Synthesizer::new(&dfg, &library).synthesize(bounds).unwrap();
     let comb = synthesize_combined(
         &dfg,
@@ -86,8 +86,7 @@ fn baseline_wins_with_loose_area_like_the_paper_observes() {
     let dfg = rc_hls::workloads::fir16();
     let library = Library::table1();
     let bounds = Bounds::new(14, 24);
-    let base =
-        synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default()).unwrap();
+    let base = synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default()).unwrap();
     let ours = Synthesizer::new(&dfg, &library).synthesize(bounds).unwrap();
     assert!(
         base.reliability.value() > ours.reliability.value(),
@@ -173,13 +172,15 @@ fn pipelined_synthesis_end_to_end() {
     let library = Library::table1();
     let synth = Synthesizer::new(&dfg, &library);
     let bounds = Bounds::new(14, 40);
-    let d = synth.synthesize_pipelined(bounds, 4).expect("II=4 is feasible");
+    let d = synth
+        .synthesize_pipelined(bounds, 4)
+        .expect("II=4 is feasible");
     assert!(d.latency <= bounds.latency && d.area <= bounds.area);
     let delays = d.assignment.delays(&dfg, &library);
     d.schedule.validate(&dfg, &delays).unwrap();
     // No unit may be double-booked modulo the initiation interval.
     for inst in d.binding.instances() {
-        let mut used = vec![false; 4];
+        let mut used = [false; 4];
         for &n in &inst.nodes {
             let s = d.schedule.start(n);
             for t in s..s + delays.get(n).min(4) {
@@ -221,8 +222,7 @@ fn mission_time_derating_amplifies_the_gap() {
     let bounds = Bounds::new(5, 11);
     let gap = |lib: &Library| {
         let ours = Synthesizer::new(&dfg, lib).synthesize(bounds).unwrap();
-        let base =
-            synthesize_nmr_baseline(&dfg, lib, bounds, RedundancyModel::default()).unwrap();
+        let base = synthesize_nmr_baseline(&dfg, lib, bounds, RedundancyModel::default()).unwrap();
         ours.reliability.value() - base.reliability.value()
     };
     assert!(gap(&long) > gap(&short));

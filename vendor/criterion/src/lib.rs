@@ -1,0 +1,230 @@
+//! A minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses: [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed
+//! up briefly and then timed over an adaptive iteration count; the mean,
+//! minimum, and iteration count are printed in a `criterion`-like line.
+//! Set `BENCH_QUICK=1` to cut measurement time by ~10x (useful in CI).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    #[must_use]
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Drives the timed closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    min_iter: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Brief warmup (untimed).
+        let warmup_end = Instant::now() + self.budget / 5;
+        while Instant::now() < warmup_end {
+            std::hint::black_box(f());
+        }
+        let measure_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            self.elapsed += dt;
+            self.iters_done += 1;
+            if dt < self.min_iter {
+                self.min_iter = dt;
+            }
+            if measure_start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn measurement_budget() -> Duration {
+    match std::env::var("BENCH_QUICK") {
+        Ok(v) if v != "0" && !v.is_empty() => Duration::from_millis(30),
+        _ => Duration::from_millis(300),
+    }
+}
+
+fn run_benchmark(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        min_iter: Duration::MAX,
+        budget: measurement_budget(),
+    };
+    f(&mut bencher);
+    if bencher.iters_done == 0 {
+        println!("{name:<40} (no iterations run)");
+        return;
+    }
+    let mean = bencher.elapsed / u32::try_from(bencher.iters_done).unwrap_or(u32::MAX);
+    println!(
+        "{name:<40} time: [mean {} min {}]  ({} iterations)",
+        format_duration(mean),
+        format_duration(bencher.min_iter),
+        bencher.iters_done
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::new("double", "21"), &input, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("ours", "fir16").to_string(), "ours/fir16");
+        assert_eq!(BenchmarkId::from_parameter(40).to_string(), "40");
+    }
+}

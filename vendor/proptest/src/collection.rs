@@ -1,0 +1,75 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `len` (an exact `usize`, a `Range`, or a
+/// `RangeInclusive`).
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenStrategy) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into_len_strategy(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: LenStrategy,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Length specifications accepted by [`vec`].
+#[derive(Debug, Clone)]
+pub enum LenStrategy {
+    /// Exactly this many elements.
+    Exact(usize),
+    /// A length in `[lo, hi)`.
+    Range(usize, usize),
+}
+
+impl LenStrategy {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        match *self {
+            LenStrategy::Exact(n) => n,
+            LenStrategy::Range(lo, hi) => {
+                assert!(lo < hi, "empty length range");
+                lo + (rng.next_u64() as usize) % (hi - lo)
+            }
+        }
+    }
+}
+
+/// Conversion into a [`LenStrategy`] (mirrors proptest's `SizeRange`).
+pub trait IntoLenStrategy {
+    /// Performs the conversion.
+    fn into_len_strategy(self) -> LenStrategy;
+}
+
+impl IntoLenStrategy for usize {
+    fn into_len_strategy(self) -> LenStrategy {
+        LenStrategy::Exact(self)
+    }
+}
+
+impl IntoLenStrategy for std::ops::Range<usize> {
+    fn into_len_strategy(self) -> LenStrategy {
+        LenStrategy::Range(self.start, self.end)
+    }
+}
+
+impl IntoLenStrategy for std::ops::RangeInclusive<usize> {
+    fn into_len_strategy(self) -> LenStrategy {
+        LenStrategy::Range(*self.start(), *self.end() + 1)
+    }
+}

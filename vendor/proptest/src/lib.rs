@@ -1,0 +1,197 @@
+//! A minimal, deterministic property-testing harness with the `proptest`
+//! API surface this workspace uses: the [`proptest!`] macro (including
+//! `#![proptest_config(...)]`), [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, [`Just`], range and tuple strategies,
+//! [`collection::vec`], and the `prop_assert!` family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case panics immediately with the assertion
+//!   message (cases are reproducible: the RNG is seeded from the test
+//!   name, so a failure repeats on every run);
+//! * `prop_assert!` panics instead of returning `TestCaseError`;
+//! * the default case count is 64 (every case here runs real synthesis,
+//!   so the real default of 256 would be needlessly slow).
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The harness RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded deterministically from the test's name, so every
+    /// run of a given property sees the same case sequence.
+    #[must_use]
+    pub fn deterministic(test_name: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+}
+
+/// Defines property tests over random inputs drawn from strategies.
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg(<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let ($($pat,)*) = ($($crate::Strategy::sample(&$strat, &mut rng),)*);
+                let run = || { $body };
+                if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)).is_err() {
+                    // The assertion has already printed its message; add
+                    // which case failed for reproducibility, then re-panic.
+                    ::std::panic!(
+                        "property {} failed at case {}/{} (deterministic seed; rerun reproduces it)",
+                        stringify!($name), case + 1, config.cases
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, with an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            ::std::panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, (a, b) in (0usize..5, 0usize..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn flat_map_dependent_values(xs in (1usize..8).prop_flat_map(|n| crate::collection::vec(0u32..100, n))) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn map_transforms(s in (0u8..26).prop_map(|i| char::from(b'a' + i))) {
+            prop_assert!(s.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = crate::collection::vec(0u64..1000, 3usize);
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(
+            crate::Strategy::sample(&strat, &mut a),
+            crate::Strategy::sample(&strat, &mut b)
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! The usual `use proptest::prelude::*;` imports.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

@@ -1,0 +1,253 @@
+//! A minimal, deterministic stand-in for the parts of `rand` 0.8 this
+//! workspace uses: [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast, well
+//! distributed, and fully reproducible from a `u64` seed. It makes no
+//! attempt to match the stream of the real `StdRng` (callers here only
+//! rely on determinism per seed, not on specific values).
+
+/// Core random-number-generator trait (the subset of `rand::Rng` used in
+/// this workspace).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of a supported type (`bool`, integers,
+    /// `f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive integer
+    /// ranges, or half-open `f64` ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        f64::sample(self) < p
+    }
+}
+
+/// Seedable generators (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce (the shim's analogue of sampling from
+/// rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: Rng>(rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniformly random element.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        start + f64::sample(rng) * (end - start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 stream to fill the state (never all-zero).
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..7);
+            assert!((3..7).contains(&v));
+            let w = rng.gen_range(1u32..=3);
+            assert!((1..=3).contains(&w));
+            let x = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -1,0 +1,422 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes this workspace actually uses:
+//!
+//! * structs with named fields (any visibility),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences),
+//! * enums with unit variants only (serialized as the variant name),
+//! * the `#[serde(try_from = "T", into = "T")]` container attribute.
+//!
+//! The macros parse the item's token stream directly (no `syn`/`quote`
+//! available offline) and emit impls of the shim's eager `Serialize` /
+//! `Deserialize` traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum E { A, B }` — variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(try_from = "T")]` proxy type, if present.
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]` proxy type, if present.
+    into: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("::core::compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens parse")
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("generated impl tokens parse")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let mut try_from = None;
+    let mut into = None;
+
+    // Leading attributes (doc comments, #[serde(...)], #[derive(...)], ...).
+    while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(g)) = tokens.get(pos + 1) else {
+            return Err("malformed attribute".into());
+        };
+        parse_serde_attr(g.stream(), &mut try_from, &mut into)?;
+        pos += 2;
+    }
+
+    // Optional visibility: `pub` or `pub(...)`.
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` unsupported"
+        ));
+    }
+
+    let shape = match (keyword.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(g.stream(), &name)?)
+        }
+        _ => {
+            return Err(format!(
+                "serde shim derive: unsupported item shape for `{name}`"
+            ))
+        }
+    };
+    Ok(Item {
+        name,
+        shape,
+        try_from,
+        into,
+    })
+}
+
+/// Extracts `try_from`/`into` from a `serde(...)` attribute body, ignoring
+/// every other attribute.
+fn parse_serde_attr(
+    attr: TokenStream,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let is_serde = matches!(&tokens.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return Ok(());
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Err("malformed #[serde(...)] attribute".into());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0usize;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => return Err("expected an identifier in #[serde(...)]".into()),
+        };
+        let value = match (args.get(i + 1), args.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                let raw = lit.to_string();
+                raw.trim_matches('"').to_string()
+            }
+            _ => {
+                return Err(format!(
+                    "serde shim derive: only `key = \"value\"` entries supported, at `{key}`"
+                ))
+            }
+        };
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            other => {
+                return Err(format!(
+                    "serde shim derive: unsupported attribute `{other}`"
+                ));
+            }
+        }
+        i += 3;
+        if matches!(&args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Field names of a named-field struct body, skipping attributes,
+/// visibility, and the type tokens (angle-bracket aware).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2; // `#` + bracket group
+        }
+        if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            pos += 1;
+            if matches!(&tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                pos += 1;
+            }
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            _ => return Err("expected a field name".into()),
+        };
+        pos += 1;
+        if !matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        pos += 1;
+        // Skip the type: angle brackets nest, every other bracket is one
+        // token group already.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Number of fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && i + 1 < tokens.len() => {
+                fields += 1;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-only enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 2;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            _ => return Err(format!("expected a variant name in `{enum_name}`")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive: enum `{enum_name}` has a data-carrying variant `{name}`, \
+                     only unit variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                pos += 1;
+                while !matches!(&tokens.get(pos), None | Some(TokenTree::Punct(_))) {
+                    pos += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let proxy: {proxy} = <{proxy} as ::std::convert::From<{name}>>::from(\
+                 ::std::clone::Clone::clone(self));\n\
+             serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(serde::Value::Str(::std::string::ToString::to_string({f:?})), \
+                              serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            }
+            Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            }
+            Shape::UnitEnum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => {v:?}"))
+                    .collect();
+                format!(
+                    "serde::Value::Str(::std::string::ToString::to_string(\
+                         match self {{ {} }}))",
+                    arms.join(", ")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.try_from {
+        format!(
+            "let proxy: {proxy} = serde::Deserialize::from_value(v)?;\n\
+             <{name} as ::std::convert::TryFrom<{proxy}>>::try_from(proxy)\
+                 .map_err(serde::Error::custom)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(\
+                                 serde::map_get(entries, {f:?})\
+                                     .ok_or_else(|| serde::Error::missing_field({f:?}))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let entries = serde::Value::as_map(v)\
+                         .ok_or_else(|| serde::Error::unexpected(\"map\", v))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Shape::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+            }
+            Shape::TupleStruct(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let seq = serde::Value::as_seq(v)\
+                         .ok_or_else(|| serde::Error::unexpected(\"sequence\", v))?;\n\
+                     if seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(serde::Error::custom(\
+                             ::std::format!(\"expected {n} elements, got {{}}\", seq.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::UnitEnum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v}),")
+                    })
+                    .collect();
+                format!(
+                    "match serde::Value::as_str(v) {{\n\
+                         {}\n\
+                         ::std::option::Option::Some(other) => ::std::result::Result::Err(\
+                             serde::Error::custom(::std::format!(\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         ::std::option::Option::None => ::std::result::Result::Err(\
+                             serde::Error::unexpected(\"string\", v)),\n\
+                     }}",
+                    arms.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> ::std::result::Result<{name}, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
