@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rchls_bench::paper_benchmarks;
-use rchls_core::{RedundancyModel, StrategyKind, SynthConfig};
+use rchls_core::{FlowSpec, RedundancyModel};
 use rchls_explorer::{
     explore, ExploreTask, FrontierPoint, ParetoArchive, SweepExecutor, SynthCache,
 };
@@ -33,7 +33,7 @@ fn bench_sweep_jobs(c: &mut Criterion) {
                 black_box(explore(
                     &tasks,
                     &library,
-                    SynthConfig::default(),
+                    &FlowSpec::default(),
                     RedundancyModel::default(),
                     SweepExecutor::new(jobs),
                     &cache,
@@ -50,13 +50,13 @@ fn bench_warm_cache(c: &mut Criterion) {
     let library = Library::table1();
     let tasks = tasks();
     let cache = SynthCache::new();
-    let config = SynthConfig::default();
+    let flow = FlowSpec::default();
     let model = RedundancyModel::default();
     // Warm it once.
     let _ = explore(
         &tasks,
         &library,
-        config,
+        &flow,
         model,
         SweepExecutor::new(4),
         &cache,
@@ -66,7 +66,7 @@ fn bench_warm_cache(c: &mut Criterion) {
             black_box(explore(
                 &tasks,
                 &library,
-                config,
+                &flow,
                 model,
                 SweepExecutor::new(4),
                 &cache,
@@ -87,7 +87,7 @@ fn bench_archive_insert(c: &mut Criterion) {
                 + f64::from(i % 13) / 1000.0;
             FrontierPoint {
                 benchmark: format!("b{}", i % 3),
-                strategy: StrategyKind::ALL[(i % 3) as usize],
+                strategy: ["baseline", "ours", "combined"][(i % 3) as usize].to_owned(),
                 latency_bound: latency,
                 area_bound: area,
                 latency,

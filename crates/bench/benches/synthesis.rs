@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rchls_core::{
-    synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel, Refinement, SynthConfig,
-    Synthesizer, VictimPolicy,
+    synthesize_combined, synthesize_nmr_baseline, Bounds, FlowSpec, RedundancyModel, Synthesizer,
 };
 use rchls_reslib::Library;
 use rchls_workloads::{random_layered_dfg, RandomDfgConfig};
@@ -44,7 +43,7 @@ fn bench_strategies(c: &mut Criterion) {
                     dfg,
                     &library,
                     black_box(bounds),
-                    SynthConfig::default(),
+                    &FlowSpec::default(),
                     RedundancyModel::default(),
                 ))
                 .ok()
@@ -81,26 +80,22 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     let cases = [
-        (
-            "paper-strict-figure6",
-            SynthConfig {
-                refine: Refinement::Off,
-                ..SynthConfig::default()
-            },
-        ),
-        ("portfolio-default", SynthConfig::default()),
+        ("paper-strict-figure6", FlowSpec::paper()),
+        ("portfolio-default", FlowSpec::default()),
         (
             "victim-min-reliability-loss",
-            SynthConfig {
-                victim: VictimPolicy::MinReliabilityLoss,
-                ..SynthConfig::default()
-            },
+            FlowSpec::default().with_victim("min-reliability-loss"),
         ),
     ];
-    for (name, config) in cases {
+    for (name, flow) in cases {
         group.bench_function(name, |b| {
             b.iter(|| {
-                black_box(Synthesizer::with_config(&dfg, &library, config).synthesize(bounds)).ok()
+                black_box(
+                    Synthesizer::with_flow(&dfg, &library, &flow)
+                        .expect("built-in flow ids resolve")
+                        .synthesize(bounds),
+                )
+                .ok()
             })
         });
     }

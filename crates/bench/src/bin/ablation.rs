@@ -4,11 +4,10 @@
 //!
 //! Rows: strict Figure-6 greedy (the paper's pseudo-code), + portfolio
 //! starts & refinement (the default engine), scheduler and binder
-//! alternatives, and the victim-selection policy.
+//! alternatives, and the victim-selection policy — every variant named
+//! purely by flow-registry pass ids.
 
-use rchls_core::{
-    BinderKind, Bounds, Refinement, SchedulerKind, SynthConfig, Synthesizer, VictimPolicy,
-};
+use rchls_core::{Bounds, FlowSpec, Synthesizer};
 use rchls_reslib::Library;
 
 fn main() {
@@ -18,35 +17,20 @@ fn main() {
         ("ewf", rchls_workloads::ewf(), Bounds::new(15, 10)),
         ("diffeq", rchls_workloads::diffeq(), Bounds::new(5, 11)),
     ];
-    let configs: Vec<(&str, SynthConfig)> = vec![
-        (
-            "figure6-strict (paper)",
-            SynthConfig {
-                refine: Refinement::Off,
-                ..SynthConfig::default()
-            },
-        ),
-        ("portfolio+refine (default)", SynthConfig::default()),
+    let flows: Vec<(&str, FlowSpec)> = vec![
+        ("figure6-strict (paper)", FlowSpec::paper()),
+        ("portfolio+refine (default)", FlowSpec::default()),
         (
             "force-directed scheduler",
-            SynthConfig {
-                scheduler: SchedulerKind::ForceDirected,
-                ..SynthConfig::default()
-            },
+            FlowSpec::default().with_scheduler("force-directed"),
         ),
         (
             "coloring binder",
-            SynthConfig {
-                binder: BinderKind::Coloring,
-                ..SynthConfig::default()
-            },
+            FlowSpec::default().with_binder("coloring"),
         ),
         (
             "min-reliability-loss victim",
-            SynthConfig {
-                victim: VictimPolicy::MinReliabilityLoss,
-                ..SynthConfig::default()
-            },
+            FlowSpec::default().with_victim("min-reliability-loss"),
         ),
     ];
     println!("== engine ablation: achieved reliability at tight bounds ==\n");
@@ -55,10 +39,12 @@ fn main() {
         print!(" {:>16}", format!("{name} ({},{})", b.latency, b.area));
     }
     println!();
-    for (label, config) in &configs {
+    for (label, flow) in &flows {
         print!("{label:<28}");
         for (_, dfg, bounds) in &cases {
-            match Synthesizer::with_config(dfg, &library, *config).synthesize(*bounds) {
+            let synth =
+                Synthesizer::with_flow(dfg, &library, flow).expect("built-in flow ids resolve");
+            match synth.synthesize(*bounds) {
                 Ok(d) => print!(" {:>16}", d.reliability.to_string()),
                 Err(_) => print!(" {:>16}", "no solution"),
             }

@@ -8,7 +8,7 @@
 
 use rchls_bench::paper_benchmarks;
 use rchls_core::explore::format_table;
-use rchls_core::{RedundancyModel, SynthConfig};
+use rchls_core::{FlowSpec, RedundancyModel};
 use rchls_explorer::{explore, ExploreTask, SweepExecutor, SynthCache};
 use rchls_reslib::Library;
 
@@ -23,7 +23,7 @@ fn main() {
     let exploration = explore(
         &tasks,
         &library,
-        SynthConfig::default(),
+        &FlowSpec::default(),
         RedundancyModel::default(),
         executor,
         &cache,

@@ -4,8 +4,7 @@ use crate::args::ParsedArgs;
 use crate::error::CliError;
 use rchls_core::explore::format_table;
 use rchls_core::{
-    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel,
-    Refinement, SynthConfig, Synthesizer,
+    flow, monte_carlo_reliability, Bounds, FlowSpec, RedundancyModel, SynthRequest, Synthesizer,
 };
 use rchls_dfg::Dfg;
 use rchls_explorer::{explore, export, ExploreTask, SweepExecutor, SynthCache};
@@ -19,16 +18,23 @@ pub fn help() -> String {
      \n\
      usage:\n\
      \x20 rchls synth --dfg <name|file> --latency N --area N\n\
-     \x20       [--strategy ours|paper|baseline|combined] [--ii N]\n\
+     \x20       [--strategy <id>|paper] [--ii N] [--report json]\n\
+     \x20       [--scheduler <id>] [--binder <id>] [--victim <id>] [--refine <id>]\n\
      \x20       [--library <file>] [--mission-time T]\n\
      \x20 rchls sweep --dfg <name|file> --latencies L1,L2,... --areas A1,A2,...\n\
+     \x20       [--format table|json|csv]\n\
      \x20 rchls pareto <name|file> [--latencies ...] [--areas ...]\n\
      \x20       [--format table|json|csv]\n\
+     \x20 rchls flows\n\
      \x20 rchls dot --dfg <name|file>\n\
      \x20 rchls list\n\
      \x20 rchls characterize [--width N] [--trials N] [--seed N]\n\
      \x20 rchls validate --dfg <name|file> --latency N --area N [--trials N] [--seed N]\n\
      \x20 rchls help\n\
+     \n\
+     strategies and passes are registry ids (`rchls flows` lists them);\n\
+     `--format json` sweeps include per-strategy diagnostics, and\n\
+     `--report json` dumps the full synthesis report of one run.\n\
      \n\
      global flags: --jobs N sizes the worker pool of the sweep/pareto\n\
      commands (0 or omitted = one worker per CPU); parallel runs produce\n\
@@ -54,6 +60,45 @@ pub fn list() -> String {
             g.depth().expect("builtin graphs are acyclic")
         );
     }
+    out
+}
+
+/// `rchls flows` — the registered strategies and passes.
+pub fn flows() -> String {
+    let mut out = String::from("registered synthesis flows:\n");
+    let section = |title: &str, ids: Vec<String>, describe: &dyn Fn(&str) -> String| {
+        let mut s = format!("\n{title}:\n");
+        for id in ids {
+            let d = describe(&id);
+            if d.is_empty() {
+                let _ = writeln!(s, "  {id}");
+            } else {
+                let _ = writeln!(s, "  {id:<22} {d}");
+            }
+        }
+        s
+    };
+    out.push_str(&section("strategies", flow::strategy_ids(), &|id| {
+        flow::strategy(id).map_or_else(String::new, |s| s.description().to_owned())
+    }));
+    out.push_str(&section("schedulers", flow::scheduler_ids(), &|id| {
+        flow::scheduler(id).map_or_else(String::new, |s| s.description().to_owned())
+    }));
+    out.push_str(&section("binders", flow::binder_ids(), &|id| {
+        flow::binder(id).map_or_else(String::new, |s| s.description().to_owned())
+    }));
+    out.push_str(&section(
+        "victim policies",
+        flow::victim_policy_ids(),
+        &|id| flow::victim_policy(id).map_or_else(String::new, |s| s.description().to_owned()),
+    ));
+    out.push_str(&section("refine passes", flow::refine_pass_ids(), &|id| {
+        flow::refine_pass(id).map_or_else(String::new, |s| s.description().to_owned())
+    }));
+    out.push_str(
+        "\nout-of-tree crates extend every list via \
+         rchls_core::flow::register_* (see the crate docs).\n",
+    );
     out
 }
 
@@ -106,43 +151,104 @@ fn load_dfg(args: &ParsedArgs) -> Result<Dfg, CliError> {
     rchls_dfg::parse_dfg(&text).map_err(CliError::ParseDfg)
 }
 
+/// Builds the flow spec from the `--scheduler/--binder/--victim/--refine`
+/// flags (registry ids; missing flags keep the defaults) and validates it
+/// against the registry.
+fn flow_from_args(args: &ParsedArgs) -> Result<FlowSpec, CliError> {
+    let mut spec = FlowSpec::default();
+    if let Some(id) = args.get("scheduler") {
+        spec = spec.with_scheduler(id);
+    }
+    if let Some(id) = args.get("binder") {
+        spec = spec.with_binder(id);
+    }
+    if let Some(id) = args.get("victim") {
+        spec = spec.with_victim(id);
+    }
+    if let Some(id) = args.get("refine") {
+        spec = spec.with_refine(id);
+    }
+    spec.resolve().map_err(CliError::Synthesis)?;
+    Ok(spec)
+}
+
 /// `rchls synth`.
 pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let library = load_library(args)?;
     let bounds = Bounds::new(args.required_u32("latency")?, args.required_u32("area")?);
-    let strategy = args.get("strategy").unwrap_or("ours");
-    let design = match strategy {
-        "ours" => {
-            if args.get("ii").is_some() {
-                let ii = args.required_u32("ii")?;
-                let d = Synthesizer::new(&dfg, &library).synthesize_pipelined(bounds, ii)?;
-                let mut out = format!("pipelined design ({bounds}, II={ii}):\n");
-                out.push_str(&d.render(&dfg, &library));
-                return Ok(out);
+    let mut flow_spec = flow_from_args(args)?;
+    let requested = args.get("strategy").unwrap_or("ours");
+    // `paper` is shorthand for the strict Figure-6 flow: `ours` with the
+    // refine pass off (an explicit --refine flag still wins).
+    let strategy_id = if requested == "paper" {
+        if args.get("refine").is_none() {
+            flow_spec = flow_spec.with_refine("off");
+        }
+        "ours"
+    } else {
+        requested
+    };
+    let (strategy, header): (std::sync::Arc<dyn rchls_core::Strategy>, String) = match args
+        .get("ii")
+    {
+        Some(_) => {
+            let ii = args.required_u32("ii")?;
+            if !matches!(strategy_id, "ours" | "pipelined") {
+                return Err(CliError::BadValue {
+                    flag: "ii".to_owned(),
+                    reason: format!("only applies to the pipelined flow, not {requested:?}"),
+                });
             }
-            Synthesizer::new(&dfg, &library).synthesize(bounds)?
+            if ii == 0 {
+                return Err(CliError::BadValue {
+                    flag: "ii".to_owned(),
+                    reason: "initiation interval must be positive".to_owned(),
+                });
+            }
+            (
+                std::sync::Arc::new(rchls_core::flow::Pipelined::with_ii(ii)),
+                format!("pipelined design ({bounds}, II={ii}):\n"),
+            )
         }
-        "paper" => {
-            Synthesizer::with_config(&dfg, &library, SynthConfig::paper()).synthesize(bounds)?
-        }
-        "baseline" => synthesize_nmr_baseline(&dfg, &library, bounds, RedundancyModel::default())?,
-        "combined" => synthesize_combined(
-            &dfg,
-            &library,
-            bounds,
-            SynthConfig::default(),
-            RedundancyModel::default(),
-        )?,
-        other => {
-            return Err(CliError::BadValue {
+        None => {
+            let strategy = flow::strategy(strategy_id).ok_or_else(|| CliError::BadValue {
                 flag: "strategy".to_owned(),
-                reason: format!("{other:?} (expected ours|paper|baseline|combined)"),
-            })
+                reason: format!("{requested:?} is not a registered strategy (see `rchls flows`)"),
+            })?;
+            (strategy, format!("{requested} design under {bounds}:\n"))
         }
     };
-    let mut out = format!("{strategy} design under {bounds}:\n");
-    out.push_str(&design.render(&dfg, &library));
+    // Validate the output format before spending time on synthesis.
+    let report_json = match args.get("report") {
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::BadValue {
+                flag: "report".to_owned(),
+                reason: format!("{other:?} (expected json)"),
+            })
+        }
+        None => false,
+    };
+    let request = SynthRequest::new(&dfg, &library, bounds).with_flow(flow_spec);
+    let report = strategy.run(&request)?;
+    if report_json {
+        return Ok(serde_json::to_string_pretty(&report).expect("reports serialize") + "\n");
+    }
+    let mut out = header;
+    out.push_str(&report.design.render(&dfg, &library));
+    let d = &report.diagnostics;
+    let _ = writeln!(
+        out,
+        "diagnostics: {} victim moves, {} rejected, {} loop iterations, \
+         {} refine upgrades, {} redundancy moves ({} us)",
+        d.victim_moves,
+        d.rejected_moves,
+        d.loop_iterations,
+        d.refine_upgrades,
+        d.redundancy_moves,
+        d.wall_time_micros
+    );
     Ok(out)
 }
 
@@ -156,6 +262,7 @@ fn executor(args: &ParsedArgs) -> Result<SweepExecutor, CliError> {
 pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let library = load_library(args)?;
+    let flow_spec = flow_from_args(args)?;
     let latencies = args.required_u32_list("latencies")?;
     let areas = args.required_u32_list("areas")?;
     let grid: Vec<(u32, u32)> = latencies
@@ -163,8 +270,27 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
         .flat_map(|&l| areas.iter().map(move |&a| (l, a)))
         .collect();
     let cache = SynthCache::new();
-    let rows = rchls_explorer::sweep_parallel(&dfg, &library, &grid, executor(args)?, &cache);
-    Ok(format_table(&rows))
+    let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid)];
+    let exploration = explore(
+        &tasks,
+        &library,
+        &flow_spec,
+        RedundancyModel::default(),
+        executor(args)?,
+        &cache,
+    );
+    let rows = &exploration.sweeps[0].rows;
+    match args.get("format").unwrap_or("table") {
+        "table" => Ok(format_table(rows)),
+        // Machine-consumable: rows with per-strategy diagnostics plus the
+        // frontier, as one JSON document.
+        "json" => Ok(export::exploration_json(&exploration) + "\n"),
+        "csv" => Ok(export::rows_csv(rows)),
+        other => Err(CliError::BadValue {
+            flag: "format".to_owned(),
+            reason: format!("{other:?} (expected table|json|csv)"),
+        }),
+    }
 }
 
 /// `rchls pareto` — explore a benchmark's design space and print the
@@ -172,6 +298,7 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
 pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
     let dfg = load_dfg(args)?;
     let library = load_library(args)?;
+    let flow_spec = flow_from_args(args)?;
     let grid: Vec<(u32, u32)> = match (args.get("latencies"), args.get("areas")) {
         (None, None) => {
             rchls_explorer::default_grid(&dfg, &library).ok_or_else(|| CliError::BadValue {
@@ -196,13 +323,15 @@ pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
     let exploration = explore(
         &tasks,
         &library,
-        SynthConfig::default(),
+        &flow_spec,
         RedundancyModel::default(),
         executor(args)?,
         &cache,
     );
     match args.get("format").unwrap_or("table") {
-        "json" => Ok(export::frontier_json(&exploration.frontier) + "\n"),
+        // Machine-consumable: frontier plus diagnostics-carrying sweep
+        // rows, as one JSON document.
+        "json" => Ok(export::exploration_json(&exploration) + "\n"),
         "csv" => Ok(export::frontier_csv(&exploration.frontier)),
         "table" => {
             let stats = cache.stats();
@@ -273,11 +402,8 @@ pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
     let bounds = Bounds::new(args.required_u32("latency")?, args.required_u32("area")?);
     let trials = args.u32_or("trials", 50_000)? as usize;
     let seed = args.u64_or("seed", 1)?;
-    let config = SynthConfig {
-        refine: Refinement::Greedy,
-        ..SynthConfig::default()
-    };
-    let design = Synthesizer::with_config(&dfg, &library, config).synthesize(bounds)?;
+    let flow_spec = flow_from_args(args)?;
+    let design = Synthesizer::with_flow(&dfg, &library, &flow_spec)?.synthesize(bounds)?;
     let empirical = monte_carlo_reliability(&design, &dfg, &library, trials, seed);
     Ok(format!(
         "design under {bounds}:\n  analytic reliability  = {}\n  empirical reliability = {empirical:.5} ({trials} trials, seed {seed})\n  |difference|          = {:.5}\n",

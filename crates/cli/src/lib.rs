@@ -2,15 +2,23 @@
 //!
 //! Subcommands:
 //!
-//! * `synth`        — synthesize one design under bounds;
-//! * `sweep`        — Table-2-style three-strategy grid comparison;
+//! * `synth`        — synthesize one design under bounds (`--report json`
+//!   dumps the full diagnostics-carrying report);
+//! * `sweep`        — Table-2-style three-strategy grid comparison
+//!   (`--format json` includes per-strategy diagnostics);
 //! * `pareto`       — explore a design space and print the Pareto
 //!   frontier over achieved `(latency, area, reliability)`;
+//! * `flows`        — list the registered strategies and passes;
 //! * `dot`          — emit a DFG in Graphviz DOT;
 //! * `list`         — list the built-in benchmark graphs;
 //! * `characterize` — run the gate-level SEU characterization;
 //! * `validate`     — Monte-Carlo check of a design's analytic reliability;
 //! * `help`         — usage.
+//!
+//! Strategies (`--strategy`) and passes (`--scheduler`, `--binder`,
+//! `--victim`, `--refine`) are addressed by registry id, so strategies
+//! and passes registered by out-of-tree crates work from every flag that
+//! takes an id.
 //!
 //! The sweep and pareto commands accept a global `--jobs N` flag sizing
 //! their worker pool (0 or omitted: one worker per CPU); parallel output
@@ -64,6 +72,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "synth" => commands::synth(&parsed),
         "sweep" => commands::sweep(&parsed),
         "pareto" => commands::pareto(&parsed),
+        "flows" => Ok(commands::flows()),
         "dot" => commands::dot(&parsed),
         "list" => Ok(commands::list()),
         "characterize" => commands::characterize(&parsed),
@@ -231,11 +240,144 @@ mod tests {
             ])
         };
         let json = run(&args("json")).unwrap();
-        assert!(json.trim_start().starts_with('['));
+        // One JSON document: the frontier plus diagnostics-carrying rows.
+        assert!(json.contains("\"frontier\""));
         assert!(json.contains("\"reliability\""));
+        assert!(json.contains("\"diagnostics\""));
+        assert!(json.contains("\"victim_moves\""));
         let csv = run(&args("csv")).unwrap();
         assert!(csv.starts_with("benchmark,strategy"));
         assert!(run(&args("yaml")).is_err());
+    }
+
+    #[test]
+    fn sweep_json_carries_diagnostics() {
+        let out = run(&s(&[
+            "sweep",
+            "--dfg",
+            "figure4a",
+            "--latencies",
+            "5,6",
+            "--areas",
+            "4",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"diagnostics\""));
+        assert!(out.contains("\"loop_iterations\""));
+        // Scrubbed wall times keep sweep JSON deterministic.
+        assert!(out.contains("\"wall_time_micros\": 0"));
+        let csv = run(&s(&[
+            "sweep",
+            "--dfg",
+            "figure4a",
+            "--latencies",
+            "5",
+            "--areas",
+            "4",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        assert!(csv.starts_with("latency_bound,area_bound"));
+    }
+
+    #[test]
+    fn flows_lists_registry_ids() {
+        let out = run(&s(&["flows"])).unwrap();
+        for id in [
+            "baseline",
+            "ours",
+            "combined",
+            "pipelined",
+            "redundancy",
+            "density",
+            "force-directed",
+            "left-edge",
+            "coloring",
+            "max-delay",
+            "min-reliability-loss",
+            "greedy",
+        ] {
+            assert!(out.contains(id), "{id} missing from `rchls flows`");
+        }
+    }
+
+    #[test]
+    fn synth_accepts_pass_ids_and_rejects_unknown_ones() {
+        let base = s(&[
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "6",
+            "--area",
+            "4",
+        ]);
+        let custom = run(&[
+            base.clone(),
+            s(&[
+                "--scheduler",
+                "force-directed",
+                "--binder",
+                "coloring",
+                "--victim",
+                "min-reliability-loss",
+            ]),
+        ]
+        .concat())
+        .unwrap();
+        assert!(custom.contains("reliability"));
+        let err = run(&[base.clone(), s(&["--scheduler", "warp"])].concat()).unwrap_err();
+        assert!(err.to_string().contains("warp"));
+        let err = run(&[base, s(&["--strategy", "nope"])].concat()).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn synth_report_json_dumps_design_and_diagnostics() {
+        let out = run(&s(&[
+            "synth",
+            "--dfg",
+            "figure4a",
+            "--latency",
+            "5",
+            "--area",
+            "4",
+            "--report",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"design\""));
+        assert!(out.contains("\"diagnostics\""));
+        assert!(out.contains("\"victim_moves\""));
+    }
+
+    #[test]
+    fn synth_runs_every_builtin_strategy_id() {
+        for strategy in [
+            "ours",
+            "paper",
+            "baseline",
+            "combined",
+            "pipelined",
+            "redundancy",
+        ] {
+            let out = run(&s(&[
+                "synth",
+                "--dfg",
+                "figure4a",
+                "--latency",
+                "8",
+                "--area",
+                "6",
+                "--strategy",
+                strategy,
+            ]))
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            assert!(out.contains("reliability"), "{strategy}");
+        }
     }
 
     #[test]

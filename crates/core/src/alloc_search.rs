@@ -211,8 +211,8 @@ pub fn schedule_on_allocation(
                     .min_by(|(ia, a), (ib, b)| {
                         let (va, vb) = (library.version(a.version), library.version(b.version));
                         vb.reliability()
-                            .partial_cmp(&va.reliability())
-                            .expect("reliabilities are finite")
+                            .value()
+                            .total_cmp(&va.reliability().value())
                             .then(va.delay().cmp(&vb.delay()))
                             .then(ia.cmp(ib))
                     })

@@ -4,12 +4,14 @@
 use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
+use crate::flow::{elapsed_micros, Diagnostics, FlowSpec, SynthReport};
 use crate::redundancy::{add_redundancy_with_model, RedundancyModel};
 use crate::synth::Synthesizer;
 use rchls_bind::Assignment;
 use rchls_dfg::{Dfg, OpClass};
 use rchls_reslib::{Library, VersionId};
 use rchls_sched::asap;
+use std::time::Instant;
 
 /// The fixed version the baseline uses for each class: the fastest one,
 /// ties broken toward the smaller area.
@@ -72,6 +74,26 @@ pub fn synthesize_nmr_baseline(
     bounds: Bounds,
     model: RedundancyModel,
 ) -> Result<Design, SynthesisError> {
+    nmr_baseline_report(dfg, library, bounds, &FlowSpec::default(), model).map(|r| r.design)
+}
+
+/// [`synthesize_nmr_baseline`] with an explicit flow (whose scheduler and
+/// binder place the single-version design) and a full diagnostics-carrying
+/// [`SynthReport`] — the engine behind the `"baseline"`
+/// [`Strategy`](crate::Strategy).
+///
+/// # Errors
+///
+/// Same contract as [`synthesize_nmr_baseline`], plus
+/// [`SynthesisError::UnknownPass`] when `flow` names unregistered passes.
+pub fn nmr_baseline_report(
+    dfg: &Dfg,
+    library: &Library,
+    bounds: Bounds,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+) -> Result<SynthReport, SynthesisError> {
+    let start = Instant::now();
     dfg.validate().map_err(rchls_sched::ScheduleError::from)?;
     // Fixed single version per class.
     let mut chosen = Vec::new();
@@ -105,7 +127,7 @@ pub fn synthesize_nmr_baseline(
 
     // Schedule at the full latency budget for maximal sharing (minimum
     // base area leaves the most room for redundancy).
-    let synth = Synthesizer::new(dfg, library);
+    let synth = Synthesizer::with_flow(dfg, library, flow)?;
     let (schedule, binding) = synth.schedule_and_bind(&assignment, bounds.latency.max(minimum))?;
     let area = binding.total_area(library);
     if area > bounds.area {
@@ -119,8 +141,16 @@ pub fn synthesize_nmr_baseline(
 
     let replication = vec![1u32; binding.instance_count()];
     let mut design = Design::assemble(dfg, library, assignment, schedule, binding, replication);
-    add_redundancy_with_model(&mut design, dfg, library, bounds.area, model);
-    Ok(design)
+    let moves = add_redundancy_with_model(&mut design, dfg, library, bounds.area, model);
+    let diagnostics = Diagnostics {
+        redundancy_moves: moves,
+        wall_time_micros: elapsed_micros(start),
+        ..Diagnostics::default()
+    };
+    Ok(SynthReport {
+        design,
+        diagnostics,
+    })
 }
 
 #[cfg(test)]

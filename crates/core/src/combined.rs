@@ -2,13 +2,14 @@
 //! followed by redundancy on the leftover area.
 
 use crate::bounds::Bounds;
-use crate::config::SynthConfig;
 use crate::design::Design;
 use crate::error::SynthesisError;
+use crate::flow::{elapsed_micros, FlowSpec, SynthReport};
 use crate::redundancy::{add_redundancy_with_model, RedundancyModel};
 use crate::synth::Synthesizer;
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
+use std::time::Instant;
 
 /// Runs the reliability-centric synthesizer, then spends any area still
 /// under the bound on modular redundancy — the "Our approach + Ref \[3\]"
@@ -34,7 +35,7 @@ use rchls_reslib::Library;
 /// # Examples
 ///
 /// ```
-/// use rchls_core::{synthesize_combined, Bounds, RedundancyModel, SynthConfig};
+/// use rchls_core::{synthesize_combined, Bounds, FlowSpec, RedundancyModel};
 /// use rchls_dfg::{DfgBuilder, OpKind};
 /// use rchls_reslib::Library;
 ///
@@ -42,7 +43,7 @@ use rchls_reslib::Library;
 /// let dfg = DfgBuilder::new("pair").ops(&["a", "b"], OpKind::Add).dep("a", "b").build()?;
 /// let library = Library::table1();
 /// let d = synthesize_combined(
-///     &dfg, &library, Bounds::new(4, 6), SynthConfig::default(), RedundancyModel::default(),
+///     &dfg, &library, Bounds::new(4, 6), &FlowSpec::default(), RedundancyModel::default(),
 /// )?;
 /// assert!(d.area <= 6);
 /// # Ok(())
@@ -52,26 +53,55 @@ pub fn synthesize_combined(
     dfg: &Dfg,
     library: &Library,
     bounds: Bounds,
-    config: SynthConfig,
+    flow: &FlowSpec,
     model: RedundancyModel,
 ) -> Result<Design, SynthesisError> {
-    let ours = Synthesizer::with_config(dfg, library, config)
-        .synthesize(bounds)
-        .map(|mut design| {
-            add_redundancy_with_model(&mut design, dfg, library, bounds.area, model);
-            design
+    combined_report(dfg, library, bounds, flow, model).map(|r| r.design)
+}
+
+/// [`synthesize_combined`] with a full diagnostics-carrying
+/// [`SynthReport`] — the engine behind the `"combined"`
+/// [`Strategy`](crate::Strategy). The report's diagnostics fold together
+/// both portfolio branches (the reliability-centric run and, when it was
+/// evaluated, the baseline).
+///
+/// # Errors
+///
+/// Same contract as [`synthesize_combined`].
+pub fn combined_report(
+    dfg: &Dfg,
+    library: &Library,
+    bounds: Bounds,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+) -> Result<SynthReport, SynthesisError> {
+    let start = Instant::now();
+    let ours = Synthesizer::with_flow(dfg, library, flow)?
+        .synthesize_report(bounds)
+        .map(|mut report| {
+            report.diagnostics.redundancy_moves +=
+                add_redundancy_with_model(&mut report.design, dfg, library, bounds.area, model);
+            report
         });
-    let baseline = crate::baseline::synthesize_nmr_baseline(dfg, library, bounds, model);
-    match (ours, baseline) {
-        (Ok(a), Ok(b)) => Ok(if a.reliability.value() >= b.reliability.value() {
-            a
-        } else {
-            b
-        }),
-        (Ok(a), Err(_)) => Ok(a),
-        (Err(_), Ok(b)) => Ok(b),
-        (Err(e), Err(_)) => Err(e),
-    }
+    let baseline = crate::baseline::nmr_baseline_report(dfg, library, bounds, flow, model);
+    let mut report = match (ours, baseline) {
+        (Ok(a), Ok(b)) => {
+            if a.design.reliability.value() >= b.design.reliability.value() {
+                let mut a = a;
+                a.diagnostics.absorb(&b.diagnostics);
+                a
+            } else {
+                let mut b = b;
+                b.diagnostics.absorb(&a.diagnostics);
+                b
+            }
+        }
+        (Ok(a), Err(_)) => a,
+        (Err(_), Ok(b)) => b,
+        (Err(e), Err(_)) => return Err(e),
+    };
+    report.diagnostics.wall_time_micros = elapsed_micros(start);
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -103,7 +133,7 @@ mod tests {
                 &g,
                 &lib,
                 bounds,
-                SynthConfig::default(),
+                &FlowSpec::default(),
                 RedundancyModel::default(),
             )
             .unwrap();
@@ -126,7 +156,7 @@ mod tests {
             &g,
             &lib,
             bounds,
-            SynthConfig::default(),
+            &FlowSpec::default(),
             RedundancyModel::default(),
         )
         .unwrap();

@@ -18,6 +18,13 @@ pub enum SynthesisError {
     Library(LibraryError),
     /// A scheduling step failed (cycle in the graph, internal bug).
     Schedule(ScheduleError),
+    /// A flow spec named a pass id the registry doesn't know.
+    UnknownPass {
+        /// Which slot failed to resolve (`"scheduler"`, `"binder"`, ...).
+        kind: String,
+        /// The unresolved id.
+        id: String,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -28,6 +35,12 @@ impl fmt::Display for SynthesisError {
             }
             SynthesisError::Library(e) => write!(f, "library error: {e}"),
             SynthesisError::Schedule(e) => write!(f, "scheduling error: {e}"),
+            SynthesisError::UnknownPass { kind, id } => {
+                write!(
+                    f,
+                    "unknown {kind} {id:?} (see `rchls flows` for registered ids)"
+                )
+            }
         }
     }
 }
@@ -37,7 +50,7 @@ impl Error for SynthesisError {
         match self {
             SynthesisError::Library(e) => Some(e),
             SynthesisError::Schedule(e) => Some(e),
-            SynthesisError::NoSolution { .. } => None,
+            SynthesisError::NoSolution { .. } | SynthesisError::UnknownPass { .. } => None,
         }
     }
 }

@@ -7,22 +7,34 @@
 //! non-monotonicity (a tighter bound steering the heuristic to a better
 //! local optimum) into the monotone curves a designer actually has
 //! available — at no additional synthesis cost.
+//!
+//! Every strategy here is dispatched through the [`Strategy`] trait and
+//! the flow registry — [`StrategyKind`] is only a thin enumeration of the
+//! built-in ids for callers that want an exhaustive, `Copy` handle.
 
-use crate::baseline::synthesize_nmr_baseline;
 use crate::bounds::Bounds;
-use crate::combined::synthesize_combined;
-use crate::config::SynthConfig;
 use crate::design::Design;
 use crate::error::SynthesisError;
+use crate::flow::{self, Diagnostics, FlowSpec, Strategy, SynthReport, SynthRequest};
 use crate::redundancy::RedundancyModel;
 use crate::synth::Synthesizer;
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
-/// One of the paper's three synthesis strategies, as a runnable value —
+/// A built-in synthesis strategy, as a `Copy` handle over the registry —
 /// the unit of work a sweep executor fans out over.
+///
+/// Each variant names one registered [`Strategy`]; [`strategy`]
+/// (`StrategyKind::strategy`) resolves the shared instance and [`run`]
+/// (`StrategyKind::run`) dispatches through the trait. Out-of-tree
+/// strategies don't appear here — address them by id via
+/// [`flow::strategy`].
+///
+/// [`strategy`]: StrategyKind::strategy
+/// [`run`]: StrategyKind::run
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StrategyKind {
     /// The redundancy-based prior art (Ref \[3\]: Orailoglu–Karri NMR).
@@ -32,27 +44,56 @@ pub enum StrategyKind {
     /// The combined scheme: reliability-centric, then leftover-area
     /// redundancy.
     Combined,
+    /// Pipelined reliability-centric synthesis at the automatic
+    /// initiation interval.
+    Pipelined,
+    /// Redundancy over the best single-version design.
+    Redundancy,
 }
 
 impl StrategyKind {
-    /// All strategies, in the paper's column order.
-    pub const ALL: [StrategyKind; 3] = [
+    /// All built-in strategies.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Baseline,
+        StrategyKind::Ours,
+        StrategyKind::Combined,
+        StrategyKind::Pipelined,
+        StrategyKind::Redundancy,
+    ];
+
+    /// The paper's three Table-2 strategies, in the paper's column order.
+    pub const TABLE2: [StrategyKind; 3] = [
         StrategyKind::Baseline,
         StrategyKind::Ours,
         StrategyKind::Combined,
     ];
 
-    /// A stable lowercase name (used in exports and CLI flags).
+    /// The stable registry id (used in exports and CLI flags).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             StrategyKind::Baseline => "baseline",
             StrategyKind::Ours => "ours",
             StrategyKind::Combined => "combined",
+            StrategyKind::Pipelined => "pipelined",
+            StrategyKind::Redundancy => "redundancy",
         }
     }
 
-    /// Runs this strategy at one `(dfg, bounds)` point.
+    /// The built-in kind with the given registry id, if any.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The registered [`Strategy`] instance behind this kind.
+    #[must_use]
+    pub fn strategy(self) -> Arc<dyn Strategy> {
+        flow::strategy(self.name()).expect("built-in strategies are always registered")
+    }
+
+    /// Runs this strategy at one `(dfg, bounds)` point through the
+    /// [`Strategy`] trait, returning just the design.
     ///
     /// # Errors
     ///
@@ -63,14 +104,33 @@ impl StrategyKind {
         dfg: &Dfg,
         library: &Library,
         bounds: Bounds,
-        config: SynthConfig,
+        flow: &FlowSpec,
         model: RedundancyModel,
     ) -> Result<Design, SynthesisError> {
-        match self {
-            StrategyKind::Baseline => synthesize_nmr_baseline(dfg, library, bounds, model),
-            StrategyKind::Ours => Synthesizer::with_config(dfg, library, config).synthesize(bounds),
-            StrategyKind::Combined => synthesize_combined(dfg, library, bounds, config, model),
-        }
+        self.run_report(dfg, library, bounds, flow, model)
+            .map(|r| r.design)
+    }
+
+    /// Runs this strategy and returns the full diagnostics-carrying
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the strategy's [`SynthesisError`] when no feasible design
+    /// exists under `bounds`.
+    pub fn run_report(
+        self,
+        dfg: &Dfg,
+        library: &Library,
+        bounds: Bounds,
+        flow: &FlowSpec,
+        model: RedundancyModel,
+    ) -> Result<SynthReport, SynthesisError> {
+        self.strategy().run(
+            &SynthRequest::new(dfg, library, bounds)
+                .with_flow(flow.clone())
+                .with_redundancy(model),
+        )
     }
 }
 
@@ -78,6 +138,16 @@ impl fmt::Display for StrategyKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// One strategy's diagnostics at one sweep point (wall time scrubbed for
+/// determinism — see [`Diagnostics::scrubbed`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrategyDiagnostics {
+    /// The strategy's registry id.
+    pub strategy: String,
+    /// The scrubbed diagnostics of the run.
+    pub diagnostics: Diagnostics,
 }
 
 /// One row of a Table-2-style comparison: the three strategies at one
@@ -94,9 +164,27 @@ pub struct SweepRow {
     pub ours: Option<f64>,
     /// Reliability of the combined approach.
     pub combined: Option<f64>,
+    /// Per-strategy diagnostics of this point's own (raw) runs, in
+    /// [`StrategyKind::TABLE2`] order, feasible runs only. Feasibility
+    /// inheritance copies a row's reliabilities from dominated rows but
+    /// keeps the row's own diagnostics.
+    pub diagnostics: Vec<StrategyDiagnostics>,
 }
 
 impl SweepRow {
+    /// An empty row at the given bounds.
+    #[must_use]
+    pub fn empty(latency_bound: u32, area_bound: u32) -> SweepRow {
+        SweepRow {
+            latency_bound,
+            area_bound,
+            baseline: None,
+            ours: None,
+            combined: None,
+            diagnostics: Vec::new(),
+        }
+    }
+
     /// Percentage improvement of ours over the baseline (the paper's
     /// "% Imprv" column); `None` if either side is infeasible.
     #[must_use]
@@ -117,36 +205,52 @@ impl SweepRow {
     }
 }
 
-/// Runs all three strategies at one `(Ld, Ad)` point and reports their
-/// raw (pre-inheritance) reliabilities — the unit of work behind every
-/// sweep. Parallel drivers (`rchls-explorer`) fan this out per point and
-/// then apply [`inherit`], which reproduces [`sweep`] exactly.
+/// Runs the three Table-2 strategies at one `(Ld, Ad)` point and reports
+/// their raw (pre-inheritance) reliabilities and diagnostics — the unit
+/// of work behind every sweep. Parallel drivers (`rchls-explorer`) fan
+/// this out per point and then apply [`inherit`], which reproduces
+/// [`sweep`] exactly.
+///
+/// # Panics
+///
+/// Panics if `flow` names a pass id the registry doesn't know — a
+/// mistyped id would otherwise be indistinguishable from an infeasible
+/// point.
 #[must_use]
 pub fn sweep_point(
     dfg: &Dfg,
     library: &Library,
     bounds: Bounds,
-    config: SynthConfig,
+    flow: &FlowSpec,
     model: RedundancyModel,
 ) -> SweepRow {
-    let reliability = |strategy: StrategyKind| {
-        strategy
-            .run(dfg, library, bounds, config, model)
-            .ok()
-            .map(|d| d.reliability.value())
-    };
-    SweepRow {
-        latency_bound: bounds.latency,
-        area_bound: bounds.area,
-        baseline: reliability(StrategyKind::Baseline),
-        ours: reliability(StrategyKind::Ours),
-        combined: reliability(StrategyKind::Combined),
+    if let Err(e) = flow.resolve() {
+        panic!("sweep_point: {e}");
     }
+    let mut row = SweepRow::empty(bounds.latency, bounds.area);
+    for kind in StrategyKind::TABLE2 {
+        let report = kind.run_report(dfg, library, bounds, flow, model).ok();
+        let reliability = report.as_ref().map(|r| r.design.reliability.value());
+        match kind {
+            StrategyKind::Baseline => row.baseline = reliability,
+            StrategyKind::Ours => row.ours = reliability,
+            StrategyKind::Combined => row.combined = reliability,
+            _ => unreachable!("TABLE2 holds the paper's three strategies"),
+        }
+        if let Some(report) = report {
+            row.diagnostics.push(StrategyDiagnostics {
+                strategy: kind.name().to_owned(),
+                diagnostics: report.diagnostics.scrubbed(),
+            });
+        }
+    }
+    row
 }
 
 /// Applies feasibility inheritance over a sweep's own dominance order:
 /// each row reports, per strategy, the best reliability among all rows
-/// whose bounds are no looser (see the module docs).
+/// whose bounds are no looser (see the module docs). Diagnostics stay
+/// with their own row.
 #[must_use]
 pub fn inherit(raw: &[SweepRow]) -> Vec<SweepRow> {
     raw.iter()
@@ -168,23 +272,22 @@ pub fn inherit(raw: &[SweepRow]) -> Vec<SweepRow> {
                 baseline: best(|r| r.baseline),
                 ours: best(|r| r.ours),
                 combined: best(|r| r.combined),
+                diagnostics: row.diagnostics.clone(),
             }
         })
         .collect()
 }
 
-/// Runs all three strategies over a grid of `(Ld, Ad)` bounds — the
-/// driver behind Tables 2(a)–2(c) — with feasibility inheritance across
-/// dominated grid cells (see the module docs).
+/// Runs the three Table-2 strategies over a grid of `(Ld, Ad)` bounds —
+/// the driver behind Tables 2(a)–2(c) — with feasibility inheritance
+/// across dominated grid cells (see the module docs).
 #[must_use]
 pub fn sweep(dfg: &Dfg, library: &Library, grid: &[(u32, u32)]) -> Vec<SweepRow> {
-    let config = SynthConfig::default();
+    let flow = FlowSpec::default();
     let model = RedundancyModel::default();
     let raw: Vec<SweepRow> = grid
         .iter()
-        .map(|&(latency, area)| {
-            sweep_point(dfg, library, Bounds::new(latency, area), config, model)
-        })
+        .map(|&(latency, area)| sweep_point(dfg, library, Bounds::new(latency, area), &flow, model))
         .collect();
     inherit(&raw)
 }
@@ -314,16 +417,35 @@ mod tests {
     }
 
     #[test]
+    fn kinds_round_trip_through_ids_and_registry() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.strategy().id(), kind.name());
+        }
+        assert_eq!(StrategyKind::from_name("nope"), None);
+        assert_eq!(StrategyKind::TABLE2.len(), 3);
+    }
+
+    #[test]
     fn sweep_produces_row_per_grid_point() {
         let g = figure4a();
         let lib = Library::table1();
         let grid = [(5u32, 4u32), (6, 4), (6, 6), (3, 1)];
         let rows = sweep(&g, &lib, &grid);
         assert_eq!(rows.len(), 4);
-        // The infeasible point yields all-None.
+        // The infeasible point yields all-None and no diagnostics.
         let last = &rows[3];
         assert!(last.baseline.is_none() && last.ours.is_none() && last.combined.is_none());
         assert!(last.improvement_pct().is_none());
+        assert!(last.diagnostics.is_empty());
+        // Feasible points carry scrubbed per-strategy diagnostics.
+        let first = &rows[0];
+        assert_eq!(first.diagnostics.len(), 3);
+        assert_eq!(first.diagnostics[0].strategy, "baseline");
+        assert!(first
+            .diagnostics
+            .iter()
+            .all(|d| d.diagnostics.wall_time_micros == 0));
     }
 
     #[test]
@@ -346,11 +468,10 @@ mod tests {
     #[test]
     fn improvement_percentages_match_formula() {
         let row = SweepRow {
-            latency_bound: 10,
-            area_bound: 9,
             baseline: Some(0.48467),
             ours: Some(0.59998),
             combined: Some(0.59998),
+            ..SweepRow::empty(10, 9)
         };
         // The paper's Table 2a first row reports 23.79%.
         assert!((row.improvement_pct().unwrap() - 23.79).abs() < 0.01);
@@ -387,5 +508,39 @@ mod tests {
         let table = format_table(&rows);
         assert!(table.contains("Ref[3]"));
         assert!(table.lines().count() == rows.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn sweep_point_rejects_mistyped_pass_ids() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let _ = sweep_point(
+            &g,
+            &lib,
+            Bounds::new(5, 4),
+            &FlowSpec::default().with_scheduler("densty"),
+            RedundancyModel::default(),
+        );
+    }
+
+    #[test]
+    fn all_five_builtins_run_through_the_trait() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let bounds = Bounds::new(8, 8);
+        for kind in StrategyKind::ALL {
+            let report = kind
+                .run_report(
+                    &g,
+                    &lib,
+                    bounds,
+                    &FlowSpec::default(),
+                    RedundancyModel::default(),
+                )
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(report.design.latency <= bounds.latency, "{kind}");
+            assert!(report.design.area <= bounds.area, "{kind}");
+        }
     }
 }

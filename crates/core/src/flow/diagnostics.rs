@@ -1,0 +1,118 @@
+//! Synthesis diagnostics: the inspectable trace a [`crate::SynthReport`]
+//! carries alongside its design.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and timings recorded while a strategy runs.
+///
+/// Every counter is a pure function of the synthesis inputs, so two runs
+/// of the same request produce identical diagnostics — except
+/// [`wall_time_micros`](Diagnostics::wall_time_micros), which measures
+/// real elapsed time. Aggregated artifacts (sweep rows, cached frontier
+/// exports) therefore store [`scrubbed`](Diagnostics::scrubbed)
+/// diagnostics so parallel and repeated runs stay byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Version moves committed by the Figure-6 loops: latency-loop
+    /// downgrades plus accepted area-loop group moves.
+    pub victim_moves: u32,
+    /// Moves evaluated but not committed: area-loop candidates that broke
+    /// the latency bound or failed to shrink the area, and refinement
+    /// upgrades that violated a bound or gained nothing.
+    pub rejected_moves: u32,
+    /// Total iterations across the latency, area, and refinement loops.
+    pub loop_iterations: u32,
+    /// Candidate-pool sizes observed along the run, in order: the victim
+    /// candidates of each latency-loop iteration, then (for refining
+    /// strategies) the size of the starting-design portfolio.
+    pub candidate_pool_sizes: Vec<u32>,
+    /// Version upgrades committed by the refinement pass.
+    pub refine_upgrades: u32,
+    /// Replication moves committed by redundancy insertion.
+    pub redundancy_moves: u32,
+    /// Wall-clock time of the strategy run in microseconds. Informational
+    /// only: the single non-deterministic field.
+    pub wall_time_micros: u64,
+}
+
+impl Diagnostics {
+    /// A copy with the wall time zeroed — the deterministic form stored
+    /// in sweep rows and exports.
+    #[must_use]
+    pub fn scrubbed(&self) -> Diagnostics {
+        Diagnostics {
+            wall_time_micros: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Folds another run's counters into this one (used by portfolio
+    /// strategies that execute several sub-flows). Wall time is summed;
+    /// pool sizes are concatenated in execution order.
+    pub fn absorb(&mut self, other: &Diagnostics) {
+        self.victim_moves += other.victim_moves;
+        self.rejected_moves += other.rejected_moves;
+        self.loop_iterations += other.loop_iterations;
+        self.candidate_pool_sizes
+            .extend(other.candidate_pool_sizes.iter().copied());
+        self.refine_upgrades += other.refine_upgrades;
+        self.redundancy_moves += other.redundancy_moves;
+        self.wall_time_micros += other.wall_time_micros;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrubbed_zeroes_only_wall_time() {
+        let d = Diagnostics {
+            victim_moves: 3,
+            rejected_moves: 1,
+            loop_iterations: 7,
+            candidate_pool_sizes: vec![4, 2],
+            refine_upgrades: 2,
+            redundancy_moves: 1,
+            wall_time_micros: 1234,
+        };
+        let s = d.scrubbed();
+        assert_eq!(s.wall_time_micros, 0);
+        assert_eq!(s.victim_moves, 3);
+        assert_eq!(s.candidate_pool_sizes, vec![4, 2]);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_concatenates_pools() {
+        let mut a = Diagnostics {
+            victim_moves: 1,
+            candidate_pool_sizes: vec![5],
+            wall_time_micros: 10,
+            ..Diagnostics::default()
+        };
+        let b = Diagnostics {
+            victim_moves: 2,
+            redundancy_moves: 4,
+            candidate_pool_sizes: vec![3],
+            wall_time_micros: 7,
+            ..Diagnostics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.victim_moves, 3);
+        assert_eq!(a.redundancy_moves, 4);
+        assert_eq!(a.candidate_pool_sizes, vec![5, 3]);
+        assert_eq!(a.wall_time_micros, 17);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Diagnostics {
+            loop_iterations: 9,
+            candidate_pool_sizes: vec![1, 2, 3],
+            ..Diagnostics::default()
+        };
+        let back: Diagnostics =
+            serde::Deserialize::from_value(&serde::Serialize::to_value(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,515 @@
+//! The pass traits a synthesis flow composes — [`Scheduler`], [`Binder`],
+//! [`VictimPolicy`], [`RefinePass`] — and the built-in implementations
+//! behind the default registry ids.
+//!
+//! Every pass is identified by a stable string id (see
+//! [`FlowSpec`](crate::FlowSpec) for the built-in table). Out-of-tree
+//! crates implement a trait and register the instance once with the
+//! matching `register_*` function in [`crate::flow`]; any [`FlowSpec`]
+//! naming the new id then composes it, with no changes to `rchls-core`.
+
+use crate::bounds::Bounds;
+use crate::error::SynthesisError;
+use crate::flow::Diagnostics;
+use crate::synth::Synthesizer;
+use rchls_bind::{bind_coloring, bind_left_edge, Assignment, Binding};
+use rchls_dfg::{Dfg, NodeId};
+use rchls_reslib::{Library, VersionId};
+use rchls_sched::{
+    asap, schedule_density, schedule_force_directed, Delays, Schedule, ScheduleError,
+};
+
+/// A time-constrained scheduler: places every operation at a start step
+/// so the whole graph finishes within `latency`.
+pub trait Scheduler: Send + Sync {
+    /// The stable registry id (e.g. `"density"`).
+    fn id(&self) -> &str;
+
+    /// A one-line human description for `rchls flows`-style listings.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Schedules `dfg` under per-node `delays` within `latency` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] when the graph is malformed or cannot
+    /// fit the latency budget.
+    fn schedule(&self, dfg: &Dfg, delays: &Delays, latency: u32)
+        -> Result<Schedule, ScheduleError>;
+}
+
+/// A binder: packs scheduled operations onto functional-unit instances.
+pub trait Binder: Send + Sync {
+    /// The stable registry id (e.g. `"left-edge"`).
+    fn id(&self) -> &str;
+
+    /// A one-line human description for `rchls flows`-style listings.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Binds every operation to an instance of its assigned version.
+    fn bind(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+    ) -> Binding;
+}
+
+/// The latency-loop victim rule: which critical-path operation moves to a
+/// faster version next (line 9 of the paper's Figure 6).
+pub trait VictimPolicy: Send + Sync {
+    /// The stable registry id (e.g. `"max-delay"`).
+    fn id(&self) -> &str;
+
+    /// A one-line human description for `rchls flows`-style listings.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Picks the victim among `candidates` — the critical-path nodes that
+    /// still have a faster version, paired with that version. Returns
+    /// `None` to declare the latency loop stuck (no solution).
+    fn pick(
+        &self,
+        dfg: &Dfg,
+        library: &Library,
+        assignment: &Assignment,
+        candidates: &[(NodeId, VersionId)],
+    ) -> Option<(NodeId, VersionId)>;
+}
+
+/// An intermediate flow state: a version assignment with its schedule and
+/// binding (what the Figure-6 loops produce and refinement improves).
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// Which library version each operation runs on.
+    pub assignment: Assignment,
+    /// Start step of every operation.
+    pub schedule: Schedule,
+    /// Operations packed onto unit instances.
+    pub binding: Binding,
+}
+
+/// The post-Figure-6 stage: given the greedy's outcome, produce the flow
+/// state the design is assembled from.
+pub trait RefinePass: Send + Sync {
+    /// The stable registry id (e.g. `"greedy"`).
+    fn id(&self) -> &str;
+
+    /// A one-line human description for `rchls flows`-style listings.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Consumes the Figure-6 result (which may itself be infeasible) and
+    /// returns the final state. Implementations may widen the search —
+    /// the built-in `"greedy"` pass pools alternative starting designs
+    /// and greedily upgrades versions — or pass the input through
+    /// unchanged (`"off"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] when no feasible design exists.
+    fn run(
+        &self,
+        synth: &Synthesizer<'_>,
+        figure6: Result<FlowState, SynthesisError>,
+        bounds: Bounds,
+        diagnostics: &mut Diagnostics,
+    ) -> Result<FlowState, SynthesisError>;
+}
+
+// ------------------------------------------------------------- schedulers
+
+/// The paper's partition-density scheduler (id `"density"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityScheduler;
+
+impl Scheduler for DensityScheduler {
+    fn id(&self) -> &str {
+        "density"
+    }
+
+    fn description(&self) -> &str {
+        "the paper's partition-density time-constrained scheduler (default)"
+    }
+
+    fn schedule(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+    ) -> Result<Schedule, ScheduleError> {
+        schedule_density(dfg, delays, latency)
+    }
+}
+
+/// Force-directed scheduling (id `"force-directed"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForceDirectedScheduler;
+
+impl Scheduler for ForceDirectedScheduler {
+    fn id(&self) -> &str {
+        "force-directed"
+    }
+
+    fn description(&self) -> &str {
+        "force-directed scheduling (ablation alternative)"
+    }
+
+    fn schedule(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+    ) -> Result<Schedule, ScheduleError> {
+        schedule_force_directed(dfg, delays, latency)
+    }
+}
+
+// ---------------------------------------------------------------- binders
+
+/// Left-edge interval packing (id `"left-edge"`; optimal per version).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeftEdgeBinder;
+
+impl Binder for LeftEdgeBinder {
+    fn id(&self) -> &str {
+        "left-edge"
+    }
+
+    fn description(&self) -> &str {
+        "left-edge interval packing (default; optimal per version)"
+    }
+
+    fn bind(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+    ) -> Binding {
+        bind_left_edge(dfg, schedule, assignment, library)
+    }
+}
+
+/// Greedy conflict-graph coloring (id `"coloring"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColoringBinder;
+
+impl Binder for ColoringBinder {
+    fn id(&self) -> &str {
+        "coloring"
+    }
+
+    fn description(&self) -> &str {
+        "greedy conflict-graph coloring (ablation alternative)"
+    }
+
+    fn bind(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+    ) -> Binding {
+        bind_coloring(dfg, schedule, assignment, library)
+    }
+}
+
+// --------------------------------------------------------- victim policies
+
+/// The paper's rule (id `"max-delay"`): the critical-path node with the
+/// highest delay moves first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxDelayVictim;
+
+impl VictimPolicy for MaxDelayVictim {
+    fn id(&self) -> &str {
+        "max-delay"
+    }
+
+    fn description(&self) -> &str {
+        "critical-path node with the highest delay (the paper's Figure-6 rule)"
+    }
+
+    fn pick(
+        &self,
+        _dfg: &Dfg,
+        library: &Library,
+        assignment: &Assignment,
+        candidates: &[(NodeId, VersionId)],
+    ) -> Option<(NodeId, VersionId)> {
+        candidates
+            .iter()
+            .min_by_key(|&&(n, _)| {
+                let delay = library.version(assignment.version(n)).delay();
+                (std::cmp::Reverse(delay), n.index())
+            })
+            .copied()
+    }
+}
+
+/// Among critical-path nodes with a faster version, the one whose
+/// substitution costs the least reliability (id `"min-reliability-loss"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinReliabilityLossVictim;
+
+impl VictimPolicy for MinReliabilityLossVictim {
+    fn id(&self) -> &str {
+        "min-reliability-loss"
+    }
+
+    fn description(&self) -> &str {
+        "substitution with the smallest reliability loss (ablation alternative)"
+    }
+
+    fn pick(
+        &self,
+        _dfg: &Dfg,
+        library: &Library,
+        assignment: &Assignment,
+        candidates: &[(NodeId, VersionId)],
+    ) -> Option<(NodeId, VersionId)> {
+        let loss = |n: NodeId, v: VersionId| {
+            library.version(assignment.version(n)).reliability().value()
+                - library.version(v).reliability().value()
+        };
+        candidates
+            .iter()
+            .min_by(|&&(na, va), &&(nb, vb)| {
+                loss(na, va)
+                    .total_cmp(&loss(nb, vb))
+                    .then(na.index().cmp(&nb.index()))
+            })
+            .copied()
+    }
+}
+
+// ------------------------------------------------------------ refine passes
+
+/// Strict Figure-6 behaviour (id `"off"`): the greedy's result is final.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRefine;
+
+impl RefinePass for NoRefine {
+    fn id(&self) -> &str {
+        "off"
+    }
+
+    fn description(&self) -> &str {
+        "strict Figure-6: stop as soon as the bounds are met"
+    }
+
+    fn run(
+        &self,
+        _synth: &Synthesizer<'_>,
+        figure6: Result<FlowState, SynthesisError>,
+        _bounds: Bounds,
+        _diagnostics: &mut Diagnostics,
+    ) -> Result<FlowState, SynthesisError> {
+        figure6
+    }
+}
+
+/// The default portfolio-and-upgrade pass (id `"greedy"`).
+///
+/// Pools the Figure-6 result with every *uniform* single-version
+/// assignment that meets the bounds and the best allocation-first design,
+/// starts from the most reliable pool member, and repeatedly applies the
+/// single-node version upgrade with the largest reliability gain that
+/// keeps both bounds satisfied. This extension recovers mixed-version
+/// optima the one-pass Figure-6 greedy can miss (e.g. the paper's own
+/// Figure-7(b) FIR design).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyRefine;
+
+impl RefinePass for GreedyRefine {
+    fn id(&self) -> &str {
+        "greedy"
+    }
+
+    fn description(&self) -> &str {
+        "portfolio starts + greedy version upgrades under both bounds (default)"
+    }
+
+    fn run(
+        &self,
+        synth: &Synthesizer<'_>,
+        figure6: Result<FlowState, SynthesisError>,
+        bounds: Bounds,
+        diagnostics: &mut Diagnostics,
+    ) -> Result<FlowState, SynthesisError> {
+        let dfg = synth.dfg();
+        let library = synth.library();
+        let mut candidates: Vec<FlowState> = Vec::new();
+        if let Ok(x) = &figure6 {
+            candidates.push(x.clone());
+        }
+        candidates.extend(synth.uniform_feasible_starts(bounds)?);
+        candidates.extend(
+            crate::alloc_search::best_allocation_design(dfg, library, bounds).map(
+                |(assignment, schedule, binding)| FlowState {
+                    assignment,
+                    schedule,
+                    binding,
+                },
+            ),
+        );
+        diagnostics
+            .candidate_pool_sizes
+            .push(u32::try_from(candidates.len()).unwrap_or(u32::MAX));
+        let Some(best) = candidates.into_iter().max_by(|a, b| {
+            let ra = a.assignment.design_reliability(library).value();
+            let rb = b.assignment.design_reliability(library).value();
+            ra.total_cmp(&rb)
+        }) else {
+            return Err(figure6.expect_err("no candidates implies figure6 failed"));
+        };
+        self.upgrade_loop(synth, best, bounds, diagnostics)
+    }
+}
+
+impl GreedyRefine {
+    /// Greedy refinement: repeatedly apply the single-node version upgrade
+    /// with the largest reliability gain that keeps both bounds satisfied.
+    ///
+    /// Candidate designs are evaluated at the full latency budget
+    /// (`bounds.latency`), which maximizes sharing and therefore gives
+    /// each upgrade its best chance of fitting the area bound; reliability
+    /// is independent of the schedule, so this loses nothing.
+    fn upgrade_loop(
+        &self,
+        synth: &Synthesizer<'_>,
+        mut state: FlowState,
+        bounds: Bounds,
+        diagnostics: &mut Diagnostics,
+    ) -> Result<FlowState, SynthesisError> {
+        let dfg = synth.dfg();
+        let library = synth.library();
+        loop {
+            diagnostics.loop_iterations += 1;
+            let mut best: Option<(f64, FlowState)> = None;
+            for n in dfg.node_ids() {
+                let cur = state.assignment.version(n);
+                let cur_r = library.version(cur).reliability().value();
+                for (v, ver) in library.versions_of(dfg.node(n).class()) {
+                    if ver.reliability().value() <= cur_r {
+                        continue;
+                    }
+                    let mut cand = state.assignment.clone();
+                    cand.set(n, v);
+                    let delays = cand.delays(dfg, library);
+                    if asap(dfg, &delays)?.latency() > bounds.latency {
+                        diagnostics.rejected_moves += 1;
+                        continue;
+                    }
+                    let (s, b) = synth.schedule_and_bind(&cand, bounds.latency)?;
+                    if b.total_area(library) > bounds.area {
+                        diagnostics.rejected_moves += 1;
+                        continue;
+                    }
+                    let gain = cand.design_reliability(library).value()
+                        - state.assignment.design_reliability(library).value();
+                    if gain <= 1e-15 {
+                        diagnostics.rejected_moves += 1;
+                        continue;
+                    }
+                    let better = best.as_ref().is_none_or(|(bg, ..)| gain > *bg);
+                    if better {
+                        best = Some((
+                            gain,
+                            FlowState {
+                                assignment: cand,
+                                schedule: s,
+                                binding: b,
+                            },
+                        ));
+                    }
+                }
+            }
+            match best {
+                Some((_, next)) => {
+                    diagnostics.refine_upgrades += 1;
+                    state = next;
+                }
+                None => break,
+            }
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    fn chain3() -> Dfg {
+        DfgBuilder::new("chain3")
+            .ops(&["a", "b", "c"], OpKind::Add)
+            .dep("a", "b")
+            .dep("b", "c")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn built_in_pass_ids_are_stable() {
+        assert_eq!(DensityScheduler.id(), "density");
+        assert_eq!(ForceDirectedScheduler.id(), "force-directed");
+        assert_eq!(LeftEdgeBinder.id(), "left-edge");
+        assert_eq!(ColoringBinder.id(), "coloring");
+        assert_eq!(MaxDelayVictim.id(), "max-delay");
+        assert_eq!(MinReliabilityLossVictim.id(), "min-reliability-loss");
+        assert_eq!(GreedyRefine.id(), "greedy");
+        assert_eq!(NoRefine.id(), "off");
+        assert!(!DensityScheduler.description().is_empty());
+    }
+
+    #[test]
+    fn schedulers_schedule_and_binders_bind() {
+        let g = chain3();
+        let lib = Library::table1();
+        let assignment = Assignment::uniform(&g, &lib).unwrap();
+        let delays = assignment.delays(&g, &lib);
+        for scheduler in [&DensityScheduler as &dyn Scheduler, &ForceDirectedScheduler] {
+            let s = scheduler.schedule(&g, &delays, 8).unwrap();
+            assert!(s.latency() <= 8);
+            for binder in [&LeftEdgeBinder as &dyn Binder, &ColoringBinder] {
+                let b = binder.bind(&g, &s, &assignment, &lib);
+                b.assert_valid(&g, &s, &delays);
+            }
+        }
+    }
+
+    #[test]
+    fn victim_policies_pick_from_candidates() {
+        let g = chain3();
+        let lib = Library::table1();
+        let assignment = Assignment::uniform(&g, &lib).unwrap();
+        let candidates: Vec<(NodeId, VersionId)> = g
+            .node_ids()
+            .filter_map(|n| {
+                lib.faster_alternatives(assignment.version(n))
+                    .first()
+                    .map(|&v| (n, v))
+            })
+            .collect();
+        assert!(!candidates.is_empty());
+        for policy in [
+            &MaxDelayVictim as &dyn VictimPolicy,
+            &MinReliabilityLossVictim,
+        ] {
+            let pick = policy.pick(&g, &lib, &assignment, &candidates);
+            assert!(pick.is_some(), "{}", policy.id());
+            assert!(candidates.contains(&pick.unwrap()));
+        }
+        assert!(MaxDelayVictim.pick(&g, &lib, &assignment, &[]).is_none());
+    }
+}

@@ -1,0 +1,400 @@
+//! The [`Strategy`] trait — a whole synthesis algorithm as a pluggable
+//! value — plus the request/report types and the five built-in
+//! strategies.
+
+use crate::bounds::Bounds;
+use crate::design::Design;
+use crate::error::SynthesisError;
+use crate::flow::{Diagnostics, FlowSpec};
+use crate::redundancy::{add_redundancy_with_model, RedundancyModel};
+use crate::synth::Synthesizer;
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Everything a strategy needs to synthesize one design point.
+#[derive(Debug, Clone)]
+pub struct SynthRequest<'a> {
+    /// The data-flow graph to synthesize.
+    pub dfg: &'a Dfg,
+    /// The reliability-characterized resource library.
+    pub library: &'a Library,
+    /// The latency and area bounds.
+    pub bounds: Bounds,
+    /// The pass composition (scheduler/binder/victim/refine ids).
+    pub flow: FlowSpec,
+    /// The redundancy growth model for strategies that replicate units.
+    pub redundancy: RedundancyModel,
+}
+
+impl<'a> SynthRequest<'a> {
+    /// A request with the default flow and redundancy model.
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, library: &'a Library, bounds: Bounds) -> SynthRequest<'a> {
+        SynthRequest {
+            dfg,
+            library,
+            bounds,
+            flow: FlowSpec::default(),
+            redundancy: RedundancyModel::default(),
+        }
+    }
+
+    /// Replaces the flow spec.
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowSpec) -> SynthRequest<'a> {
+        self.flow = flow;
+        self
+    }
+
+    /// Replaces the redundancy model.
+    #[must_use]
+    pub fn with_redundancy(mut self, model: RedundancyModel) -> SynthRequest<'a> {
+        self.redundancy = model;
+        self
+    }
+}
+
+/// A strategy's full output: the design plus the diagnostics trace that
+/// explains how the design was reached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthReport {
+    /// The synthesized design.
+    pub design: Design,
+    /// What the strategy did to get there.
+    pub diagnostics: Diagnostics,
+}
+
+/// A complete synthesis algorithm, dispatched by id.
+///
+/// The built-in ids are `baseline`, `ours`, `combined`, `pipelined`, and
+/// `redundancy`; out-of-tree strategies join the same namespace via
+/// [`crate::flow::register_strategy`]. Sweep drivers, the CLI, and the
+/// explorer dispatch exclusively through this trait.
+pub trait Strategy: Send + Sync {
+    /// The stable registry id (e.g. `"ours"`).
+    fn id(&self) -> &str;
+
+    /// A one-line human description for `rchls flows`-style listings.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// The token synthesis caches key this strategy under. Defaults to
+    /// [`id`](Strategy::id); strategies carrying extra parameters that
+    /// change their output (e.g. a pipelining initiation interval) must
+    /// fold them in so differently-parameterized runs never collide.
+    fn fingerprint_token(&self) -> String {
+        self.id().to_owned()
+    }
+
+    /// Synthesizes one design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] when no feasible design exists under
+    /// the request's bounds (or the flow names unknown passes).
+    fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError>;
+}
+
+/// The paper's reliability-centric approach (Figure 6 plus the flow's
+/// refine pass). Id `"ours"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ours;
+
+impl Strategy for Ours {
+    fn id(&self) -> &str {
+        "ours"
+    }
+
+    fn description(&self) -> &str {
+        "reliability-centric version selection (the paper's Figure 6 + refinement)"
+    }
+
+    fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
+        Synthesizer::with_flow(request.dfg, request.library, &request.flow)?
+            .synthesize_report(request.bounds)
+    }
+}
+
+/// The redundancy-based prior art (Orailoglu–Karri NMR over the fastest
+/// single version per class). Id `"baseline"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Baseline;
+
+impl Strategy for Baseline {
+    fn id(&self) -> &str {
+        "baseline"
+    }
+
+    fn description(&self) -> &str {
+        "prior art: fixed fastest version per class + modular redundancy (Ref [3])"
+    }
+
+    fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
+        crate::baseline::nmr_baseline_report(
+            request.dfg,
+            request.library,
+            request.bounds,
+            &request.flow,
+            request.redundancy,
+        )
+    }
+}
+
+/// The paper's unified scheme: reliability-centric selection, then
+/// leftover-area redundancy, as a portfolio with the baseline. Id
+/// `"combined"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Combined;
+
+impl Strategy for Combined {
+    fn id(&self) -> &str {
+        "combined"
+    }
+
+    fn description(&self) -> &str {
+        "reliability-centric selection + leftover-area redundancy (portfolio with baseline)"
+    }
+
+    fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
+        crate::combined::combined_report(
+            request.dfg,
+            request.library,
+            request.bounds,
+            &request.flow,
+            request.redundancy,
+        )
+    }
+}
+
+/// Pipelined reliability-centric synthesis at a fixed initiation
+/// interval. Id `"pipelined"`.
+///
+/// The registered default instance runs at the *automatic* interval
+/// `max(1, Ld / 2)`; [`Pipelined::with_ii`] pins an explicit one. The
+/// interval participates in [`Strategy::fingerprint_token`] so cached
+/// sweeps at different intervals never collide.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pipelined {
+    ii: Option<u32>,
+}
+
+impl Pipelined {
+    /// The automatic-interval instance (`ii = max(1, Ld / 2)`).
+    #[must_use]
+    pub fn auto() -> Pipelined {
+        Pipelined { ii: None }
+    }
+
+    /// A fixed-interval instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    #[must_use]
+    pub fn with_ii(ii: u32) -> Pipelined {
+        assert!(ii > 0, "initiation interval must be positive");
+        Pipelined { ii: Some(ii) }
+    }
+
+    /// The interval this instance runs at under `bounds`.
+    #[must_use]
+    pub fn effective_ii(&self, bounds: Bounds) -> u32 {
+        self.ii.unwrap_or_else(|| (bounds.latency / 2).max(1))
+    }
+}
+
+impl Strategy for Pipelined {
+    fn id(&self) -> &str {
+        "pipelined"
+    }
+
+    fn description(&self) -> &str {
+        "pipelined data path: modulo scheduling + collision-free binding at a fixed II"
+    }
+
+    fn fingerprint_token(&self) -> String {
+        match self.ii {
+            Some(ii) => format!("pipelined@ii={ii}"),
+            None => "pipelined@auto".to_owned(),
+        }
+    }
+
+    fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
+        let ii = self.effective_ii(request.bounds);
+        Synthesizer::with_flow(request.dfg, request.library, &request.flow)?
+            .synthesize_pipelined_report(request.bounds, ii)
+    }
+}
+
+/// Pure redundancy over the best *single-version* design: every uniform
+/// one-version-per-class assignment that meets the bounds is scheduled at
+/// the full latency budget (maximal sharing), the leftover area is spent
+/// on replication, and the most reliable outcome wins. Id `"redundancy"`.
+///
+/// The baseline's fastest-version design is one point of this space, so
+/// this strategy never scores below `"baseline"` at equal bounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Redundancy;
+
+impl Strategy for Redundancy {
+    fn id(&self) -> &str {
+        "redundancy"
+    }
+
+    fn description(&self) -> &str {
+        "best single-version design + modular redundancy (redundancy-only search)"
+    }
+
+    fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
+        let start = Instant::now();
+        let synth = Synthesizer::with_flow(request.dfg, request.library, &request.flow)?;
+        let starts = synth.uniform_feasible_starts(request.bounds)?;
+        let mut diagnostics = Diagnostics::default();
+        diagnostics
+            .candidate_pool_sizes
+            .push(u32::try_from(starts.len()).unwrap_or(u32::MAX));
+        let mut best: Option<(Design, u32)> = None;
+        for state in starts {
+            diagnostics.loop_iterations += 1;
+            let replication = vec![1u32; state.binding.instance_count()];
+            let mut design = Design::assemble(
+                request.dfg,
+                request.library,
+                state.assignment,
+                state.schedule,
+                state.binding,
+                replication,
+            );
+            let moves = add_redundancy_with_model(
+                &mut design,
+                request.dfg,
+                request.library,
+                request.bounds.area,
+                request.redundancy,
+            );
+            let better = best
+                .as_ref()
+                .is_none_or(|(b, _)| design.reliability.value() > b.reliability.value());
+            if better {
+                best = Some((design, moves));
+            } else {
+                diagnostics.rejected_moves += 1;
+            }
+        }
+        let (design, moves) = best.ok_or_else(|| SynthesisError::NoSolution {
+            reason: format!(
+                "no single-version design meets {} for redundancy insertion",
+                request.bounds
+            ),
+        })?;
+        diagnostics.redundancy_moves = moves;
+        diagnostics.wall_time_micros = elapsed_micros(start);
+        Ok(SynthReport {
+            design,
+            diagnostics,
+        })
+    }
+}
+
+/// Saturating microsecond conversion for wall-time stamps.
+pub(crate) fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rchls_dfg::{DfgBuilder, OpKind};
+
+    fn figure4a() -> Dfg {
+        DfgBuilder::new("figure4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ours_report_matches_legacy_synthesize() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let bounds = Bounds::new(6, 4);
+        let report = Ours.run(&SynthRequest::new(&g, &lib, bounds)).unwrap();
+        let legacy = Synthesizer::new(&g, &lib).synthesize(bounds).unwrap();
+        assert_eq!(report.design, legacy);
+        // The greedy refine pass records its starting-portfolio size.
+        assert!(!report.diagnostics.candidate_pool_sizes.is_empty());
+    }
+
+    #[test]
+    fn unknown_flow_ids_fail_cleanly() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let req = SynthRequest::new(&g, &lib, Bounds::new(6, 4))
+            .with_flow(FlowSpec::default().with_scheduler("warp"));
+        for s in [&Ours as &dyn Strategy, &Baseline, &Combined, &Redundancy] {
+            let err = s.run(&req).unwrap_err();
+            assert!(
+                matches!(err, SynthesisError::UnknownPass { .. }),
+                "{}",
+                s.id()
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_strategy_never_scores_below_baseline() {
+        let g = figure4a();
+        let lib = Library::table1();
+        for bounds in [Bounds::new(6, 4), Bounds::new(8, 8), Bounds::new(5, 6)] {
+            let req = SynthRequest::new(&g, &lib, bounds);
+            let red = Redundancy.run(&req).unwrap();
+            let base = Baseline.run(&req).unwrap();
+            assert!(
+                red.design.reliability.value() + 1e-12 >= base.design.reliability.value(),
+                "redundancy below baseline at {bounds}"
+            );
+            assert!(red.design.area <= bounds.area);
+            assert!(red.design.latency <= bounds.latency);
+        }
+    }
+
+    #[test]
+    fn pipelined_fingerprint_tokens_separate_intervals() {
+        assert_eq!(Pipelined::auto().fingerprint_token(), "pipelined@auto");
+        assert_eq!(Pipelined::with_ii(3).fingerprint_token(), "pipelined@ii=3");
+        assert_eq!(Ours.fingerprint_token(), "ours");
+        assert_eq!(Pipelined::auto().effective_ii(Bounds::new(8, 4)), 4);
+        assert_eq!(Pipelined::auto().effective_ii(Bounds::new(1, 4)), 1);
+        assert_eq!(Pipelined::with_ii(2).effective_ii(Bounds::new(8, 4)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_interval_is_rejected() {
+        let _ = Pipelined::with_ii(0);
+    }
+
+    #[test]
+    fn reports_carry_wall_time_and_scrub_cleanly() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let report = Combined
+            .run(&SynthRequest::new(&g, &lib, Bounds::new(8, 8)))
+            .unwrap();
+        let scrubbed = report.diagnostics.scrubbed();
+        assert_eq!(scrubbed.wall_time_micros, 0);
+        // Serde round-trip of the full report.
+        let v = serde::Serialize::to_value(&report);
+        let back: SynthReport = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -5,22 +5,32 @@
 //! find the *most reliable* design that meets both bounds by choosing, per
 //! operation, among several library versions of its functional unit.
 //!
-//! Three synthesis strategies are provided:
+//! Synthesis is organized as an **open flow** (the [`flow`] module):
+//! scheduler, binder, victim-policy, and refine passes are trait objects
+//! named by stable string ids in a [`FlowSpec`], and whole algorithms
+//! implement the [`Strategy`] trait, turning a [`SynthRequest`] into a
+//! diagnostics-carrying [`SynthReport`]. Five strategies ship built in:
 //!
-//! * [`Synthesizer`] — the paper's Figure-6 algorithm: start from the most
-//!   reliable version everywhere, then degrade carefully chosen victims
-//!   until the latency bound and then the area bound are met;
-//! * [`synthesize_nmr_baseline`] — the redundancy-based prior art
-//!   (Orailoglu–Karri): one fixed version per class, reliability grown by
-//!   N-modular redundancy within the leftover area;
-//! * [`synthesize_combined`] — the paper's unified scheme: run the
-//!   reliability-centric algorithm, then spend any remaining area on
-//!   redundancy.
+//! * `"ours"` ([`Synthesizer`]) — the paper's Figure-6 algorithm: start
+//!   from the most reliable version everywhere, then degrade carefully
+//!   chosen victims until the latency bound and then the area bound are
+//!   met;
+//! * `"baseline"` ([`synthesize_nmr_baseline`]) — the redundancy-based
+//!   prior art (Orailoglu–Karri): one fixed version per class,
+//!   reliability grown by N-modular redundancy within the leftover area;
+//! * `"combined"` ([`synthesize_combined`]) — the paper's unified scheme:
+//!   run the reliability-centric algorithm, then spend any remaining area
+//!   on redundancy;
+//! * `"pipelined"` ([`Synthesizer::synthesize_pipelined`]) — the same
+//!   reliability-centric selection under modulo scheduling at a fixed
+//!   initiation interval;
+//! * `"redundancy"` — replication over the best single-version design.
 //!
-//! [`explore`] drives the (latency, area) sweeps behind every table and
-//! figure of the paper's evaluation, and [`modes`] implements the paper's
-//! future-work objectives (minimize area / minimize latency under a
-//! reliability bound).
+//! Out-of-tree crates extend any slot by registering a trait impl (see
+//! [`flow::register_scheduler`]). [`explore`] drives the (latency, area)
+//! sweeps behind every table and figure of the paper's evaluation, and
+//! [`modes`] implements the paper's future-work objectives (minimize area
+//! / minimize latency under a reliability bound).
 //!
 //! # Examples
 //!
@@ -51,23 +61,23 @@ pub mod alloc_search;
 mod baseline;
 mod bounds;
 mod combined;
-mod config;
 mod design;
 mod error;
 pub mod explore;
+pub mod flow;
 pub mod modes;
 mod pipelined;
 mod redundancy;
 mod synth;
 mod validate;
 
-pub use baseline::{baseline_versions, synthesize_nmr_baseline};
+pub use baseline::{baseline_versions, nmr_baseline_report, synthesize_nmr_baseline};
 pub use bounds::Bounds;
-pub use combined::synthesize_combined;
-pub use config::{BinderKind, Refinement, SchedulerKind, SynthConfig, VictimPolicy};
+pub use combined::{combined_report, synthesize_combined};
 pub use design::Design;
 pub use error::SynthesisError;
-pub use explore::StrategyKind;
+pub use explore::{StrategyDiagnostics, StrategyKind};
+pub use flow::{Diagnostics, FlowSpec, Strategy, SynthReport, SynthRequest};
 pub use redundancy::{add_redundancy, add_redundancy_with_model, RedundancyModel};
 pub use synth::Synthesizer;
 pub use validate::monte_carlo_reliability;

@@ -11,9 +11,11 @@
 use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
+use crate::flow::{elapsed_micros, Diagnostics, SynthReport};
 use crate::synth::Synthesizer;
 use rchls_bind::bind_left_edge_pipelined;
 use rchls_sched::{asap, schedule_modulo};
+use std::time::Instant;
 
 impl Synthesizer<'_> {
     /// Synthesizes a pipelined data path with initiation interval `ii`:
@@ -51,17 +53,42 @@ impl Synthesizer<'_> {
     /// # }
     /// ```
     pub fn synthesize_pipelined(&self, bounds: Bounds, ii: u32) -> Result<Design, SynthesisError> {
+        self.synthesize_pipelined_report(bounds, ii)
+            .map(|r| r.design)
+    }
+
+    /// [`synthesize_pipelined`](Synthesizer::synthesize_pipelined) with a
+    /// full diagnostics-carrying [`SynthReport`] — the engine behind the
+    /// `"pipelined"` [`Strategy`](crate::Strategy).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Synthesizer::synthesize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn synthesize_pipelined_report(
+        &self,
+        bounds: Bounds,
+        ii: u32,
+    ) -> Result<SynthReport, SynthesisError> {
         assert!(ii > 0, "initiation interval must be positive");
+        let timer = Instant::now();
         self.dfg()
             .validate()
             .map_err(rchls_sched::ScheduleError::from)?;
 
-        // Degrade-versions loop mirroring Figure 6's latency phase: the
-        // dependence-only critical path lower-bounds any pipelined
-        // schedule, so the same victim selection applies.
+        // Portfolio over uniform starting points, each greedily upgraded
+        // under modulo scheduling / collision-free binding.
+        let mut diagnostics = Diagnostics::default();
+        let starts = self.pipelined_starts(bounds, ii)?;
+        diagnostics
+            .candidate_pool_sizes
+            .push(u32::try_from(starts.len()).unwrap_or(u32::MAX));
         let mut best: Option<Design> = None;
-        for start in self.pipelined_starts(bounds, ii)? {
-            let candidate = self.pipeline_refine(start, bounds, ii)?;
+        for start in starts {
+            let candidate = self.pipeline_refine(start, bounds, ii, &mut diagnostics)?;
             let better = match &best {
                 None => true,
                 Some(b) => candidate.reliability.value() > b.reliability.value(),
@@ -70,8 +97,13 @@ impl Synthesizer<'_> {
                 best = Some(candidate);
             }
         }
-        best.ok_or_else(|| SynthesisError::NoSolution {
+        let design = best.ok_or_else(|| SynthesisError::NoSolution {
             reason: format!("no pipelined design meets {bounds} at II={ii}"),
+        })?;
+        diagnostics.wall_time_micros = elapsed_micros(timer);
+        Ok(SynthReport {
+            design,
+            diagnostics,
         })
     }
 
@@ -111,8 +143,10 @@ impl Synthesizer<'_> {
         mut design: Design,
         bounds: Bounds,
         ii: u32,
+        diagnostics: &mut Diagnostics,
     ) -> Result<Design, SynthesisError> {
         loop {
+            diagnostics.loop_iterations += 1;
             let mut improved: Option<Design> = None;
             for n in self.dfg().node_ids() {
                 let cur = design.assignment.version(n);
@@ -125,10 +159,12 @@ impl Synthesizer<'_> {
                     assignment.set(n, v);
                     let delays = assignment.delays(self.dfg(), self.library());
                     if asap(self.dfg(), &delays)?.latency() > bounds.latency {
+                        diagnostics.rejected_moves += 1;
                         continue;
                     }
                     let Ok(schedule) = schedule_modulo(self.dfg(), &delays, bounds.latency, ii)
                     else {
+                        diagnostics.rejected_moves += 1;
                         continue;
                     };
                     let binding = bind_left_edge_pipelined(
@@ -139,6 +175,7 @@ impl Synthesizer<'_> {
                         ii,
                     );
                     if binding.total_area(self.library()) > bounds.area {
+                        diagnostics.rejected_moves += 1;
                         continue;
                     }
                     let replication = vec![1u32; binding.instance_count()];
@@ -163,7 +200,10 @@ impl Synthesizer<'_> {
                 }
             }
             match improved {
-                Some(d) => design = d,
+                Some(d) => {
+                    diagnostics.refine_upgrades += 1;
+                    design = d;
+                }
                 None => break,
             }
         }

@@ -1,15 +1,17 @@
 //! The paper's Figure-6 algorithm: reliability-centric allocation,
-//! scheduling and binding under latency and area bounds.
+//! scheduling and binding under latency and area bounds, composed from
+//! the flow registry's passes.
 
 use crate::bounds::Bounds;
-use crate::config::{BinderKind, Refinement, SchedulerKind, SynthConfig, VictimPolicy};
 use crate::design::Design;
 use crate::error::SynthesisError;
-use rchls_bind::{bind_coloring, bind_left_edge, Assignment, Binding};
+use crate::flow::{elapsed_micros, Diagnostics, FlowSpec, FlowState, ResolvedFlow, SynthReport};
+use rchls_bind::{Assignment, Binding};
 use rchls_dfg::{Dfg, NodeId};
 use rchls_reslib::{Library, VersionId};
-use rchls_sched::{asap, schedule_density, schedule_force_directed, Schedule};
+use rchls_sched::{asap, Schedule};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// The reliability-centric synthesizer (`Find_Design` in Figure 6).
 ///
@@ -19,13 +21,18 @@ use std::collections::HashSet;
 ///    reliable* version of its class — the reliability-optimal but possibly
 ///    bound-violating starting point.
 /// 2. **Latency loop** (lines 7–12): while the critical path exceeds `Ld`,
-///    pick the victim operation on the critical path (highest delay, by
-///    default) and move it to a faster — typically less reliable — version.
+///    pick the victim operation on the critical path (per the flow's
+///    [`VictimPolicy`](crate::flow::VictimPolicy)) and move it to a faster
+///    — typically less reliable — version.
 /// 3. **Area loop** (lines 15–28): first exploit any latency slack by
 ///    rescheduling at a larger latency so more operations share units;
 ///    then, while area still exceeds `Ad`, move the biggest-area victim
 ///    (together with every operation sharing its unit) to a smaller
 ///    version, rejecting moves that would break the latency bound.
+///
+/// The flow's [`RefinePass`](crate::flow::RefinePass) then runs on the
+/// outcome (the default `"greedy"` pass pools alternative starts and
+/// upgrades versions; `"off"` keeps the strict Figure-6 result).
 ///
 /// If both loops exhaust their alternatives the design space is empty and
 /// [`SynthesisError::NoSolution`] is returned (line 29).
@@ -33,26 +40,37 @@ use std::collections::HashSet;
 pub struct Synthesizer<'a> {
     dfg: &'a Dfg,
     library: &'a Library,
-    config: SynthConfig,
+    spec: FlowSpec,
+    flow: ResolvedFlow,
 }
 
 impl<'a> Synthesizer<'a> {
-    /// Creates a synthesizer with the default configuration: the paper's
-    /// scheduler/binder/victim choices plus the greedy refinement pass
-    /// (see [`Refinement`]).
+    /// Creates a synthesizer with the default flow: the paper's
+    /// scheduler/binder/victim passes plus the greedy refinement pass
+    /// (see [`FlowSpec::default`]).
     #[must_use]
     pub fn new(dfg: &'a Dfg, library: &'a Library) -> Synthesizer<'a> {
-        Synthesizer::with_config(dfg, library, SynthConfig::default())
+        Synthesizer::with_flow(dfg, library, &FlowSpec::default())
+            .expect("the default flow names built-in passes")
     }
 
-    /// Creates a synthesizer with explicit scheduler/binder/victim knobs.
-    #[must_use]
-    pub fn with_config(dfg: &'a Dfg, library: &'a Library, config: SynthConfig) -> Synthesizer<'a> {
-        Synthesizer {
+    /// Creates a synthesizer composing the passes `spec` names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::UnknownPass`] when a slot names an id the
+    /// registry doesn't know.
+    pub fn with_flow(
+        dfg: &'a Dfg,
+        library: &'a Library,
+        spec: &FlowSpec,
+    ) -> Result<Synthesizer<'a>, SynthesisError> {
+        Ok(Synthesizer {
             dfg,
             library,
-            config,
-        }
+            spec: spec.clone(),
+            flow: spec.resolve()?,
+        })
     }
 
     /// The graph being synthesized.
@@ -67,16 +85,24 @@ impl<'a> Synthesizer<'a> {
         self.library
     }
 
+    /// The flow spec this synthesizer was built from.
+    #[must_use]
+    pub fn flow(&self) -> &FlowSpec {
+        &self.spec
+    }
+
     /// Runs the synthesis flow, returning the most reliable design found
-    /// within `bounds`.
+    /// within `bounds` (the design half of [`synthesize_report`]).
     ///
-    /// With [`Refinement::Off`] (i.e. [`SynthConfig::paper`]) this is the
-    /// strict Figure-6 greedy. With the default [`Refinement::Greedy`] the
+    /// With the `"off"` refine pass (i.e. [`FlowSpec::paper`]) this is
+    /// the strict Figure-6 greedy. With the default `"greedy"` pass the
     /// Figure-6 result is pooled with every *uniform* single-version
     /// assignment that meets the bounds, and the best feasible starting
     /// point is improved by greedy version upgrades — a portfolio that
     /// recovers the mixed-version optima the one-pass greedy can miss
     /// (e.g. the paper's own Figure-7(b) FIR design).
+    ///
+    /// [`synthesize_report`]: Synthesizer::synthesize_report
     ///
     /// # Errors
     ///
@@ -86,39 +112,35 @@ impl<'a> Synthesizer<'a> {
     ///   bounds;
     /// * [`SynthesisError::Schedule`] if the graph is malformed (cyclic).
     pub fn synthesize(&self, bounds: Bounds) -> Result<Design, SynthesisError> {
-        let figure6 = self.figure6(bounds);
-        let (assignment, schedule, binding) = if self.config.refine == Refinement::Greedy {
-            let mut candidates: Vec<(Assignment, Schedule, Binding)> = Vec::new();
-            if let Ok(x) = &figure6 {
-                candidates.push(x.clone());
-            }
-            candidates.extend(self.uniform_feasible_starts(bounds)?);
-            candidates.extend(crate::alloc_search::best_allocation_design(
-                self.dfg,
-                self.library,
-                bounds,
-            ));
-            let Some(best) = candidates.into_iter().max_by(|a, b| {
-                let ra = a.0.design_reliability(self.library).value();
-                let rb = b.0.design_reliability(self.library).value();
-                ra.partial_cmp(&rb).expect("reliabilities are finite")
-            }) else {
-                return Err(figure6.expect_err("no candidates implies figure6 failed"));
-            };
-            self.refine(best.0, best.1, best.2, bounds)?
-        } else {
-            figure6?
-        };
+        self.synthesize_report(bounds).map(|r| r.design)
+    }
 
-        let replication = vec![1u32; binding.instance_count()];
-        Ok(Design::assemble(
+    /// Runs the synthesis flow and returns the design together with the
+    /// [`Diagnostics`] trace of the search.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Synthesizer::synthesize`].
+    pub fn synthesize_report(&self, bounds: Bounds) -> Result<SynthReport, SynthesisError> {
+        let start = Instant::now();
+        let mut diagnostics = Diagnostics::default();
+        let figure6 = self.figure6(bounds, &mut diagnostics);
+        let refine = std::sync::Arc::clone(&self.flow.refine);
+        let state = refine.run(self, figure6, bounds, &mut diagnostics)?;
+        let replication = vec![1u32; state.binding.instance_count()];
+        let design = Design::assemble(
             self.dfg,
             self.library,
-            assignment,
-            schedule,
-            binding,
+            state.assignment,
+            state.schedule,
+            state.binding,
             replication,
-        ))
+        );
+        diagnostics.wall_time_micros = elapsed_micros(start);
+        Ok(SynthReport {
+            design,
+            diagnostics,
+        })
     }
 
     /// Every uniform one-version-per-class assignment (no feasibility
@@ -173,26 +195,34 @@ impl<'a> Synthesizer<'a> {
 
     /// Every uniform one-version-per-class assignment that meets both
     /// bounds, each already scheduled and bound at the full latency budget.
-    fn uniform_feasible_starts(
+    pub(crate) fn uniform_feasible_starts(
         &self,
         bounds: Bounds,
-    ) -> Result<Vec<(Assignment, Schedule, Binding)>, SynthesisError> {
+    ) -> Result<Vec<FlowState>, SynthesisError> {
         let mut out = Vec::new();
         for assignment in self.uniform_assignments()? {
             let delays = assignment.delays(self.dfg, self.library);
             if asap(self.dfg, &delays)?.latency() > bounds.latency {
                 continue;
             }
-            let (s, b) = self.schedule_and_bind(&assignment, bounds.latency)?;
-            if b.total_area(self.library) <= bounds.area {
-                out.push((assignment, s, b));
+            let (schedule, binding) = self.schedule_and_bind(&assignment, bounds.latency)?;
+            if binding.total_area(self.library) <= bounds.area {
+                out.push(FlowState {
+                    assignment,
+                    schedule,
+                    binding,
+                });
             }
         }
         Ok(out)
     }
 
     /// The strict Figure-6 greedy (lines 3–29).
-    fn figure6(&self, bounds: Bounds) -> Result<(Assignment, Schedule, Binding), SynthesisError> {
+    fn figure6(
+        &self,
+        bounds: Bounds,
+        diagnostics: &mut Diagnostics,
+    ) -> Result<FlowState, SynthesisError> {
         self.dfg
             .validate()
             .map_err(rchls_sched::ScheduleError::from)?;
@@ -206,11 +236,14 @@ impl<'a> Synthesizer<'a> {
             if min_latency <= bounds.latency {
                 break;
             }
+            diagnostics.loop_iterations += 1;
             let cp = self
                 .dfg
                 .critical_path(|n| delays.get(n))
                 .map_err(rchls_sched::ScheduleError::from)?;
-            let Some((victim, faster)) = self.pick_latency_victim(&assignment, &cp.nodes) else {
+            let Some((victim, faster)) =
+                self.pick_latency_victim(&assignment, &cp.nodes, diagnostics)
+            else {
                 return Err(SynthesisError::NoSolution {
                     reason: format!(
                         "critical path needs {min_latency} cycles > bound {} and no faster \
@@ -220,6 +253,7 @@ impl<'a> Synthesizer<'a> {
                 });
             };
             assignment.set(victim, faster);
+            diagnostics.victim_moves += 1;
         }
 
         // Lines 4-6 (for the now latency-feasible assignment): schedule at
@@ -231,6 +265,7 @@ impl<'a> Synthesizer<'a> {
 
         // Lines 15-21: exploit latency slack to share more units.
         while area > bounds.area && target < bounds.latency {
+            diagnostics.loop_iterations += 1;
             target += 1;
             let (s, b) = self.schedule_and_bind(&assignment, target)?;
             schedule = s;
@@ -241,6 +276,7 @@ impl<'a> Synthesizer<'a> {
         // Lines 23-28: area-reduction loop via smaller versions.
         let mut tried: HashSet<(NodeId, VersionId)> = HashSet::new();
         while area > bounds.area {
+            diagnostics.loop_iterations += 1;
             let Some((sharers, version, key)) =
                 self.pick_area_victim(&assignment, &binding, &tried)
             else {
@@ -259,6 +295,7 @@ impl<'a> Synthesizer<'a> {
             let cand_delays = candidate.delays(self.dfg, self.library);
             let cand_min = asap(self.dfg, &cand_delays)?.latency();
             if cand_min > bounds.latency {
+                diagnostics.rejected_moves += 1;
                 continue; // this version would break the latency bound
             }
             let cand_target = target.max(cand_min).min(bounds.latency);
@@ -271,6 +308,9 @@ impl<'a> Synthesizer<'a> {
                 area = a;
                 target = cand_target;
                 tried.clear(); // new assignment reopens previously useless moves
+                diagnostics.victim_moves += 1;
+            } else {
+                diagnostics.rejected_moves += 1;
             }
         }
 
@@ -283,121 +323,57 @@ impl<'a> Synthesizer<'a> {
                 ),
             });
         }
-        Ok((assignment, schedule, binding))
+        Ok(FlowState {
+            assignment,
+            schedule,
+            binding,
+        })
     }
 
-    /// Greedy refinement: repeatedly apply the single-node version upgrade
-    /// with the largest reliability gain that keeps both bounds satisfied.
+    /// Schedules (per the flow's scheduler) and binds (per the flow's
+    /// binder) at the given latency — the primitive custom
+    /// [`RefinePass`](crate::flow::RefinePass) implementations build on.
     ///
-    /// Candidate designs are evaluated at the full latency budget
-    /// (`bounds.latency`), which maximizes sharing and therefore gives each
-    /// upgrade its best chance of fitting the area bound; reliability is
-    /// independent of the schedule, so this loses nothing.
-    fn refine(
-        &self,
-        mut assignment: Assignment,
-        mut schedule: Schedule,
-        mut binding: Binding,
-        bounds: Bounds,
-    ) -> Result<(Assignment, Schedule, Binding), SynthesisError> {
-        loop {
-            let mut best: Option<(f64, Assignment, Schedule, Binding)> = None;
-            for n in self.dfg.node_ids() {
-                let cur = assignment.version(n);
-                let cur_r = self.library.version(cur).reliability().value();
-                for (v, ver) in self.library.versions_of(self.dfg.node(n).class()) {
-                    if ver.reliability().value() <= cur_r {
-                        continue;
-                    }
-                    let mut cand = assignment.clone();
-                    cand.set(n, v);
-                    let delays = cand.delays(self.dfg, self.library);
-                    if asap(self.dfg, &delays)?.latency() > bounds.latency {
-                        continue;
-                    }
-                    let (s, b) = self.schedule_and_bind(&cand, bounds.latency)?;
-                    if b.total_area(self.library) > bounds.area {
-                        continue;
-                    }
-                    let gain = cand.design_reliability(self.library).value()
-                        - assignment.design_reliability(self.library).value();
-                    if gain <= 1e-15 {
-                        continue;
-                    }
-                    let better = best.as_ref().is_none_or(|(bg, ..)| gain > *bg);
-                    if better {
-                        best = Some((gain, cand, s, b));
-                    }
-                }
-            }
-            match best {
-                Some((_, a, s, b)) => {
-                    assignment = a;
-                    schedule = s;
-                    binding = b;
-                }
-                None => break,
-            }
-        }
-        Ok((assignment, schedule, binding))
-    }
-
-    /// Schedules (per the configured scheduler) and binds (per the
-    /// configured binder) at the given latency.
-    pub(crate) fn schedule_and_bind(
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Schedule`] when the assignment cannot be
+    /// scheduled within `latency`.
+    pub fn schedule_and_bind(
         &self,
         assignment: &Assignment,
         latency: u32,
     ) -> Result<(Schedule, Binding), SynthesisError> {
         let delays = assignment.delays(self.dfg, self.library);
-        let schedule = match self.config.scheduler {
-            SchedulerKind::Density => schedule_density(self.dfg, &delays, latency)?,
-            SchedulerKind::ForceDirected => schedule_force_directed(self.dfg, &delays, latency)?,
-        };
-        let binding = match self.config.binder {
-            BinderKind::LeftEdge => bind_left_edge(self.dfg, &schedule, assignment, self.library),
-            BinderKind::Coloring => bind_coloring(self.dfg, &schedule, assignment, self.library),
-        };
+        let schedule = self.flow.scheduler.schedule(self.dfg, &delays, latency)?;
+        let binding = self
+            .flow
+            .binder
+            .bind(self.dfg, &schedule, assignment, self.library);
         Ok((schedule, binding))
     }
 
-    /// Line 9-10: pick the critical-path victim and its faster version.
+    /// Line 9-10: collect the critical-path candidates and let the flow's
+    /// victim policy pick the operation to move to its next-faster
+    /// version.
     fn pick_latency_victim(
         &self,
         assignment: &Assignment,
         critical_path: &[NodeId],
+        diagnostics: &mut Diagnostics,
     ) -> Option<(NodeId, VersionId)> {
-        let mut candidates: Vec<(NodeId, VersionId)> = critical_path
+        let candidates: Vec<(NodeId, VersionId)> = critical_path
             .iter()
             .filter_map(|&n| {
                 let alts = self.library.faster_alternatives(assignment.version(n));
                 alts.first().map(|&v| (n, v))
             })
             .collect();
-        match self.config.victim {
-            VictimPolicy::CriticalMaxDelay => {
-                candidates.sort_by_key(|&(n, _)| {
-                    let delay = self.library.version(assignment.version(n)).delay();
-                    (std::cmp::Reverse(delay), n.index())
-                });
-            }
-            VictimPolicy::MinReliabilityLoss => {
-                candidates.sort_by(|&(na, va), &(nb, vb)| {
-                    let loss = |n: NodeId, v: VersionId| {
-                        self.library
-                            .version(assignment.version(n))
-                            .reliability()
-                            .value()
-                            - self.library.version(v).reliability().value()
-                    };
-                    loss(na, va)
-                        .partial_cmp(&loss(nb, vb))
-                        .expect("reliability losses are finite")
-                        .then(na.index().cmp(&nb.index()))
-                });
-            }
-        }
-        candidates.first().copied()
+        diagnostics
+            .candidate_pool_sizes
+            .push(u32::try_from(candidates.len()).unwrap_or(u32::MAX));
+        self.flow
+            .victim
+            .pick(self.dfg, self.library, assignment, &candidates)
     }
 
     /// Lines 25-26: pick the biggest-area victim, its co-sharing nodes, and
@@ -583,22 +559,18 @@ mod tests {
     }
 
     #[test]
-    fn ablation_configs_all_produce_valid_designs() {
+    fn every_flow_combination_produces_valid_designs() {
         let g = figure4a();
         let lib = Library::table1();
-        for scheduler in [SchedulerKind::Density, SchedulerKind::ForceDirected] {
-            for binder in [BinderKind::LeftEdge, BinderKind::Coloring] {
-                for victim in [
-                    VictimPolicy::CriticalMaxDelay,
-                    VictimPolicy::MinReliabilityLoss,
-                ] {
-                    let cfg = SynthConfig {
-                        scheduler,
-                        binder,
-                        victim,
-                        ..SynthConfig::default()
-                    };
-                    let d = Synthesizer::with_config(&g, &lib, cfg)
+        for scheduler in ["density", "force-directed"] {
+            for binder in ["left-edge", "coloring"] {
+                for victim in ["max-delay", "min-reliability-loss"] {
+                    let flow = FlowSpec::default()
+                        .with_scheduler(scheduler)
+                        .with_binder(binder)
+                        .with_victim(victim);
+                    let d = Synthesizer::with_flow(&g, &lib, &flow)
+                        .unwrap()
                         .synthesize(Bounds::new(6, 4))
                         .unwrap();
                     assert!(d.latency <= 6);
@@ -606,5 +578,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unknown_pass_id_is_rejected_at_construction() {
+        let g = figure4a();
+        let lib = Library::table1();
+        let err = Synthesizer::with_flow(&g, &lib, &FlowSpec::default().with_binder("magic"))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::UnknownPass { .. }), "{err}");
+    }
+
+    #[test]
+    fn report_diagnostics_trace_the_search() {
+        // Tight latency forces victim moves; the default refine pass
+        // records its portfolio and upgrade activity.
+        let g = figure4a();
+        let lib = Library::table1();
+        let report = Synthesizer::new(&g, &lib)
+            .synthesize_report(Bounds::new(5, 4))
+            .unwrap();
+        assert!(report.diagnostics.victim_moves > 0);
+        assert!(report.diagnostics.loop_iterations > 0);
+        assert!(!report.diagnostics.candidate_pool_sizes.is_empty());
+        // The strict paper flow never refines.
+        let paper = Synthesizer::with_flow(&g, &lib, &FlowSpec::paper())
+            .unwrap()
+            .synthesize_report(Bounds::new(5, 4))
+            .unwrap();
+        assert_eq!(paper.diagnostics.refine_upgrades, 0);
     }
 }

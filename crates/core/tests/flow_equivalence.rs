@@ -1,0 +1,180 @@
+//! Golden equivalence: every built-in strategy and pass combination must
+//! produce **byte-identical** designs through the trait-based flow API
+//! (`Strategy::run` over a `SynthRequest`) and through the pre-refactor
+//! entry points (`Synthesizer::synthesize`, `synthesize_nmr_baseline`,
+//! `synthesize_combined`, `synthesize_pipelined`), pinned on the
+//! deterministic sweep fixtures.
+
+use rchls_core::flow::Pipelined;
+use rchls_core::{
+    flow, synthesize_combined, synthesize_nmr_baseline, Bounds, Design, FlowSpec, RedundancyModel,
+    Strategy, StrategyKind, SynthRequest, Synthesizer,
+};
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+
+/// The deterministic sweep fixtures: per benchmark, the bound pairs the
+/// explorer determinism suite pins (trimmed to keep debug runtime sane).
+fn fixtures() -> Vec<(Dfg, Vec<Bounds>)> {
+    vec![
+        (
+            rchls_workloads::figure4a(),
+            vec![Bounds::new(5, 4), Bounds::new(6, 6), Bounds::new(8, 8)],
+        ),
+        (
+            rchls_workloads::diffeq(),
+            vec![Bounds::new(5, 11), Bounds::new(7, 9)],
+        ),
+    ]
+}
+
+/// Byte-identical comparison through the serde rendering (catches any
+/// field drift `PartialEq` might coalesce).
+fn bytes(design: &Design) -> String {
+    serde_json::to_string(design).expect("designs serialize")
+}
+
+fn run_trait(
+    strategy: &dyn Strategy,
+    dfg: &Dfg,
+    lib: &Library,
+    bounds: Bounds,
+    flow: &FlowSpec,
+) -> Option<Design> {
+    strategy
+        .run(&SynthRequest::new(dfg, lib, bounds).with_flow(flow.clone()))
+        .ok()
+        .map(|r| r.design)
+}
+
+#[test]
+fn ours_matches_synthesizer_for_every_pass_combination() {
+    let lib = Library::table1();
+    let ours = flow::strategy("ours").unwrap();
+    for (dfg, points) in fixtures() {
+        for scheduler in ["density", "force-directed"] {
+            for binder in ["left-edge", "coloring"] {
+                for victim in ["max-delay", "min-reliability-loss"] {
+                    for refine in ["greedy", "off"] {
+                        let spec = FlowSpec::default()
+                            .with_scheduler(scheduler)
+                            .with_binder(binder)
+                            .with_victim(victim)
+                            .with_refine(refine);
+                        for &bounds in &points {
+                            let legacy = Synthesizer::with_flow(&dfg, &lib, &spec)
+                                .unwrap()
+                                .synthesize(bounds)
+                                .ok();
+                            let trait_api = run_trait(&*ours, &dfg, &lib, bounds, &spec);
+                            assert_eq!(
+                                legacy.as_ref().map(bytes),
+                                trait_api.as_ref().map(bytes),
+                                "{} {scheduler}/{binder}/{victim}/{refine} at {bounds}",
+                                dfg.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_and_combined_match_their_legacy_entry_points() {
+    let lib = Library::table1();
+    let model = RedundancyModel::default();
+    let spec = FlowSpec::default();
+    let baseline = flow::strategy("baseline").unwrap();
+    let combined = flow::strategy("combined").unwrap();
+    for (dfg, points) in fixtures() {
+        for &bounds in &points {
+            let legacy_base = synthesize_nmr_baseline(&dfg, &lib, bounds, model).ok();
+            let trait_base = run_trait(&*baseline, &dfg, &lib, bounds, &spec);
+            assert_eq!(
+                legacy_base.as_ref().map(bytes),
+                trait_base.as_ref().map(bytes),
+                "baseline at {bounds} on {}",
+                dfg.name()
+            );
+            let legacy_comb = synthesize_combined(&dfg, &lib, bounds, &spec, model).ok();
+            let trait_comb = run_trait(&*combined, &dfg, &lib, bounds, &spec);
+            assert_eq!(
+                legacy_comb.as_ref().map(bytes),
+                trait_comb.as_ref().map(bytes),
+                "combined at {bounds} on {}",
+                dfg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_matches_its_legacy_entry_point() {
+    let lib = Library::table1();
+    let spec = FlowSpec::default();
+    for (dfg, points) in fixtures() {
+        for &bounds in &points {
+            for ii in [2u32, bounds.latency] {
+                let legacy = Synthesizer::new(&dfg, &lib)
+                    .synthesize_pipelined(bounds, ii)
+                    .ok();
+                let strategy = Pipelined::with_ii(ii);
+                let trait_api = run_trait(&strategy, &dfg, &lib, bounds, &spec);
+                assert_eq!(
+                    legacy.as_ref().map(bytes),
+                    trait_api.as_ref().map(bytes),
+                    "pipelined II={ii} at {bounds} on {}",
+                    dfg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn redundancy_is_deterministic_and_dominates_baseline() {
+    // `redundancy` has no pre-refactor entry point; its golden contract
+    // is determinism (two runs, byte-identical designs) plus dominance
+    // over the baseline whose design space it contains.
+    let lib = Library::table1();
+    let spec = FlowSpec::default();
+    let redundancy = flow::strategy("redundancy").unwrap();
+    let baseline = flow::strategy("baseline").unwrap();
+    for (dfg, points) in fixtures() {
+        for &bounds in &points {
+            let a = run_trait(&*redundancy, &dfg, &lib, bounds, &spec);
+            let b = run_trait(&*redundancy, &dfg, &lib, bounds, &spec);
+            assert_eq!(a.as_ref().map(bytes), b.as_ref().map(bytes));
+            if let (Some(red), Some(base)) = (&a, &run_trait(&*baseline, &dfg, &lib, bounds, &spec))
+            {
+                assert!(
+                    red.reliability.value() + 1e-12 >= base.reliability.value(),
+                    "redundancy below baseline at {bounds} on {}",
+                    dfg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategy_kind_run_is_the_trait_dispatch() {
+    // The thin enum registry must agree with direct trait dispatch for
+    // all five built-ins.
+    let lib = Library::table1();
+    let spec = FlowSpec::default();
+    let model = RedundancyModel::default();
+    let dfg = rchls_workloads::figure4a();
+    let bounds = Bounds::new(8, 8);
+    for kind in StrategyKind::ALL {
+        let via_kind = kind.run(&dfg, &lib, bounds, &spec, model).ok();
+        let via_trait = run_trait(&*kind.strategy(), &dfg, &lib, bounds, &spec);
+        assert_eq!(
+            via_kind.as_ref().map(bytes),
+            via_trait.as_ref().map(bytes),
+            "{kind}"
+        );
+    }
+}

@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use rchls_core::explore::sweep;
 use rchls_core::{
-    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel,
-    SynthConfig, Synthesizer,
+    monte_carlo_reliability, synthesize_combined, synthesize_nmr_baseline, Bounds, FlowSpec,
+    RedundancyModel, Synthesizer,
 };
 use rchls_dfg::{Dfg, NodeId, OpKind};
 use rchls_reslib::Library;
@@ -64,7 +64,7 @@ proptest! {
         let bounds = Bounds::new(3 * g.node_count() as u32, 16);
         let ours = Synthesizer::new(&g, &lib).synthesize(bounds);
         let base = synthesize_nmr_baseline(&g, &lib, bounds, RedundancyModel::default());
-        let comb = synthesize_combined(&g, &lib, bounds, SynthConfig::default(), RedundancyModel::default());
+        let comb = synthesize_combined(&g, &lib, bounds, &FlowSpec::default(), RedundancyModel::default());
         if let Ok(c) = &comb {
             prop_assert!(c.latency <= bounds.latency && c.area <= bounds.area);
             if let Ok(o) = &ours {

@@ -1,15 +1,19 @@
-//! Memoization of synthesis results keyed by a content fingerprint.
+//! Memoization of synthesis reports keyed by a content fingerprint.
 //!
-//! A sweep re-synthesizes the same `(DFG, library, bounds, config,
+//! A sweep re-synthesizes the same `(DFG, library, bounds, flow, model,
 //! strategy)` point whenever grids overlap between runs, benchmarks share
 //! structure, or a frontier is refined interactively. The [`SynthCache`]
-//! makes every repeat near-free: results are stored under a 64-bit
-//! fingerprint of the *content* of all synthesis inputs, so any
-//! structurally identical request — even from a rebuilt [`Dfg`] value —
-//! hits the cache.
+//! makes every repeat near-free: reports are stored under a 64-bit
+//! fingerprint of the *content* of all synthesis inputs — the flow's pass
+//! ids and the strategy's [`fingerprint
+//! token`](rchls_core::Strategy::fingerprint_token), never enum
+//! discriminants — so any structurally identical request, even from a
+//! rebuilt [`Dfg`] value or an out-of-tree strategy, hits the cache.
 
 use crate::fingerprint::Fingerprint;
-use rchls_core::{Bounds, Design, RedundancyModel, StrategyKind, SynthConfig, SynthesisError};
+use rchls_core::{
+    Bounds, FlowSpec, RedundancyModel, Strategy, SynthReport, SynthRequest, SynthesisError,
+};
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
 use std::collections::HashMap;
@@ -22,23 +26,24 @@ use std::sync::Mutex;
 pub struct CacheKey(u64);
 
 impl CacheKey {
-    /// Fingerprints one synthesis request.
+    /// Fingerprints one synthesis request for a strategy, keyed by the
+    /// flow's pass ids and the strategy's fingerprint token.
     #[must_use]
     pub fn for_point(
         dfg: &Dfg,
         library: &Library,
         bounds: Bounds,
-        config: SynthConfig,
+        flow: &FlowSpec,
         model: RedundancyModel,
-        strategy: StrategyKind,
+        strategy_token: &str,
     ) -> CacheKey {
         let mut fp = Fingerprint::new();
         fp.update(dfg);
         fp.update(library);
         fp.update(&bounds);
-        fp.update(&config);
+        fp.update(flow);
         fp.update(&model);
-        fp.update(&strategy);
+        fp.update(strategy_token);
         CacheKey(fp.finish())
     }
 
@@ -72,26 +77,30 @@ impl CacheStats {
 }
 
 /// One memoized outcome, carrying the cheap-to-compare request facts
-/// (`bounds`, `strategy`) so a 64-bit fingerprint collision between two
-/// different requests is detected instead of silently returning the
-/// wrong design. (The remaining inputs — DFG, library, config — vary
-/// far less across a sweep, so the pair covers virtually all of the
-/// key diversity.)
+/// (`bounds`, the strategy token) so a 64-bit fingerprint collision
+/// between two different requests is detected instead of silently
+/// returning the wrong design. (The remaining inputs — DFG, library,
+/// flow — vary far less across a sweep, so the pair covers virtually all
+/// of the key diversity.)
 #[derive(Debug, Clone)]
 struct CacheEntry {
     bounds: Bounds,
-    strategy: StrategyKind,
-    result: Option<Design>,
+    strategy: String,
+    result: Option<SynthReport>,
 }
 
-/// A thread-safe memo table of synthesis outcomes.
+/// A thread-safe memo table of synthesis reports.
 ///
-/// Stores `Option<Design>` per key — `None` records an *infeasible* point
-/// so repeated sweeps don't re-prove infeasibility either. The lock is
-/// held only for lookups and inserts, never across a synthesis run, so
+/// Stores `Option<SynthReport>` per key — `None` records an *infeasible*
+/// point so repeated sweeps don't re-prove infeasibility either. The lock
+/// is held only for lookups and inserts, never across a synthesis run, so
 /// parallel workers proceed without serializing on the cache. (Two
 /// workers may race to compute the same fresh key; both compute the same
 /// deterministic result, and the second insert is a harmless overwrite.)
+///
+/// Cached reports keep the wall time of the run that populated the entry;
+/// callers assembling deterministic artifacts scrub it (see
+/// [`rchls_core::Diagnostics::scrubbed`]).
 #[derive(Debug, Default)]
 pub struct SynthCache {
     entries: Mutex<HashMap<u64, CacheEntry>>,
@@ -107,7 +116,7 @@ impl SynthCache {
     }
 
     /// Runs `strategy` at one synthesis point through the cache: returns
-    /// the memoized outcome if the fingerprint is known, otherwise
+    /// the memoized report if the fingerprint is known, otherwise
     /// synthesizes, stores, and returns the result. Infeasibility maps to
     /// `None`.
     pub fn synthesize(
@@ -115,32 +124,37 @@ impl SynthCache {
         dfg: &Dfg,
         library: &Library,
         bounds: Bounds,
-        config: SynthConfig,
+        flow: &FlowSpec,
         model: RedundancyModel,
-        strategy: StrategyKind,
-    ) -> Option<Design> {
-        let key = CacheKey::for_point(dfg, library, bounds, config, model, strategy);
-        self.get_or_compute(key, bounds, strategy, || {
-            strategy.run(dfg, library, bounds, config, model)
+        strategy: &dyn Strategy,
+    ) -> Option<SynthReport> {
+        let token = strategy.fingerprint_token();
+        let key = CacheKey::for_point(dfg, library, bounds, flow, model, &token);
+        self.get_or_compute(key, bounds, &token, || {
+            strategy.run(
+                &SynthRequest::new(dfg, library, bounds)
+                    .with_flow(flow.clone())
+                    .with_redundancy(model),
+            )
         })
     }
 
     /// Looks up `key`, computing and storing with `compute` on a miss.
     ///
-    /// `bounds` and `strategy` double as a collision check: an entry
-    /// found under `key` but recorded for a different request is a
+    /// `bounds` and `strategy_token` double as a collision check: an
+    /// entry found under `key` but recorded for a different request is a
     /// fingerprint collision, and the request is computed fresh (and not
     /// cached) rather than answered with the wrong design.
     pub fn get_or_compute(
         &self,
         key: CacheKey,
         bounds: Bounds,
-        strategy: StrategyKind,
-        compute: impl FnOnce() -> Result<Design, SynthesisError>,
-    ) -> Option<Design> {
+        strategy_token: &str,
+        compute: impl FnOnce() -> Result<SynthReport, SynthesisError>,
+    ) -> Option<SynthReport> {
         let mut collided = false;
         if let Some(entry) = self.entries.lock().expect("cache lock").get(&key.0) {
-            if entry.bounds == bounds && entry.strategy == strategy {
+            if entry.bounds == bounds && entry.strategy == strategy_token {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return entry.result.clone();
             }
@@ -153,7 +167,7 @@ impl SynthCache {
                 key.0,
                 CacheEntry {
                     bounds,
-                    strategy,
+                    strategy: strategy_token.to_owned(),
                     result: result.clone(),
                 },
             );
@@ -186,6 +200,7 @@ impl SynthCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rchls_core::{flow, StrategyKind};
     use rchls_dfg::{DfgBuilder, OpKind};
 
     fn tiny() -> Dfg {
@@ -196,18 +211,19 @@ mod tests {
             .unwrap()
     }
 
+    fn ours() -> std::sync::Arc<dyn Strategy> {
+        flow::strategy("ours").unwrap()
+    }
+
     #[test]
     fn identical_requests_hit() {
         let dfg = tiny();
         let lib = Library::table1();
         let cache = SynthCache::new();
-        let args = (
-            Bounds::new(6, 4),
-            SynthConfig::default(),
-            RedundancyModel::default(),
-        );
-        let first = cache.synthesize(&dfg, &lib, args.0, args.1, args.2, StrategyKind::Ours);
-        let second = cache.synthesize(&dfg, &lib, args.0, args.1, args.2, StrategyKind::Ours);
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let first = cache.synthesize(&dfg, &lib, Bounds::new(6, 4), &flow_spec, model, &*ours());
+        let second = cache.synthesize(&dfg, &lib, Bounds::new(6, 4), &flow_spec, model, &*ours());
         assert_eq!(first, second);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
@@ -218,15 +234,16 @@ mod tests {
         // A rebuilt graph with the same content fingerprints identically.
         let lib = Library::table1();
         let cache = SynthCache::new();
+        let combined = flow::strategy("combined").unwrap();
         for _ in 0..2 {
             let dfg = tiny();
             cache.synthesize(
                 &dfg,
                 &lib,
                 Bounds::new(6, 4),
-                SynthConfig::default(),
+                &FlowSpec::default(),
                 RedundancyModel::default(),
-                StrategyKind::Combined,
+                &*combined,
             );
         }
         assert_eq!(cache.stats().hits, 1);
@@ -238,27 +255,29 @@ mod tests {
         let lib = Library::table1();
         let cache = SynthCache::new();
         let model = RedundancyModel::default();
-        let config = SynthConfig::default();
-        for strategy in StrategyKind::ALL {
-            cache.synthesize(&dfg, &lib, Bounds::new(6, 4), config, model, strategy);
+        let flow_spec = FlowSpec::default();
+        for kind in StrategyKind::TABLE2 {
+            cache.synthesize(
+                &dfg,
+                &lib,
+                Bounds::new(6, 4),
+                &flow_spec,
+                model,
+                &*kind.strategy(),
+            );
         }
+        cache.synthesize(&dfg, &lib, Bounds::new(7, 4), &flow_spec, model, &*ours());
+        cache.synthesize(&dfg, &lib, Bounds::new(6, 5), &flow_spec, model, &*ours());
+        // A different pass id is a different point too.
         cache.synthesize(
             &dfg,
             &lib,
-            Bounds::new(7, 4),
-            config,
+            Bounds::new(6, 4),
+            &FlowSpec::default().with_victim("min-reliability-loss"),
             model,
-            StrategyKind::Ours,
+            &*ours(),
         );
-        cache.synthesize(
-            &dfg,
-            &lib,
-            Bounds::new(6, 5),
-            config,
-            model,
-            StrategyKind::Ours,
-        );
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 5 });
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 6 });
     }
 
     #[test]
@@ -272,9 +291,9 @@ mod tests {
                 &lib,
                 // Latency 1 is impossible for two dependent ops.
                 Bounds::new(1, 4),
-                SynthConfig::default(),
+                &FlowSpec::default(),
                 RedundancyModel::default(),
-                StrategyKind::Ours,
+                &*ours(),
             );
             assert!(out.is_none());
         }
@@ -286,30 +305,32 @@ mod tests {
         let dfg = tiny();
         let lib = Library::table1();
         let cache = SynthCache::new();
-        let config = SynthConfig::default();
+        let flow_spec = FlowSpec::default();
         let model = RedundancyModel::default();
         // Slack bounds settle on the reliable slow adders (latency 4);
         // the tight-latency request must use fast adders (latency 2).
         let wide = Bounds::new(6, 4);
         let tight = Bounds::new(2, 6);
-        let key = CacheKey::for_point(&dfg, &lib, wide, config, model, StrategyKind::Ours);
-        let first = cache.get_or_compute(key, wide, StrategyKind::Ours, || {
-            StrategyKind::Ours.run(&dfg, &lib, wide, config, model)
-        });
+        let key = CacheKey::for_point(&dfg, &lib, wide, &flow_spec, model, "ours");
+        let run =
+            |bounds: Bounds| StrategyKind::Ours.run_report(&dfg, &lib, bounds, &flow_spec, model);
+        let first = cache.get_or_compute(key, wide, "ours", || run(wide));
         // The same key arriving with a different declared request is a
         // collision: it must compute fresh, never serve the wide result.
-        let second = cache.get_or_compute(key, tight, StrategyKind::Ours, || {
-            StrategyKind::Ours.run(&dfg, &lib, tight, config, model)
-        });
+        let second = cache.get_or_compute(key, tight, "ours", || run(tight));
         assert_ne!(first, second);
-        assert_eq!(second.as_ref().map(|d| d.latency), Some(2));
+        assert_eq!(second.as_ref().map(|r| r.design.latency), Some(2));
         assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
         assert_eq!(cache.len(), 1, "a collided request is not cached");
         // The original entry still answers its own request.
-        let again = cache.get_or_compute(key, wide, StrategyKind::Ours, || {
+        let again = cache.get_or_compute(key, wide, "ours", || {
             unreachable!("must be served from the cache")
         });
         assert_eq!(again, first);
+        // A differing strategy token on the same key is a collision too.
+        let other = cache.get_or_compute(key, wide, "pipelined@ii=2", || run(wide));
+        assert_eq!(cache.stats().misses, 3);
+        assert!(other.is_some());
     }
 
     #[test]

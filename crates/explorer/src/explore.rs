@@ -1,15 +1,20 @@
 //! High-level exploration drivers: fan `(benchmark × bounds × strategy)`
 //! jobs over the executor, assemble sweep tables, and archive the
 //! Pareto frontier.
+//!
+//! Every strategy is dispatched through the [`rchls_core::Strategy`]
+//! trait — the explorer never matches on a strategy enum, so
+//! out-of-tree strategies sweep exactly like built-ins.
 
 use crate::cache::SynthCache;
 use crate::executor::SweepExecutor;
 use crate::pareto::{FrontierPoint, ParetoArchive};
-use rchls_core::explore::{inherit, SweepRow};
-use rchls_core::{Bounds, Design, RedundancyModel, StrategyKind, SynthConfig};
+use rchls_core::explore::{inherit, StrategyDiagnostics, SweepRow};
+use rchls_core::{Bounds, Design, FlowSpec, RedundancyModel, Strategy, StrategyKind, SynthReport};
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The achieved objectives of one synthesized design.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,8 +63,8 @@ impl ExploreTask {
 /// The full result of an exploration run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Exploration {
-    /// Per-benchmark Table-2-style rows (feasibility-inherited), in task
-    /// order.
+    /// Per-benchmark Table-2-style rows (feasibility-inherited, carrying
+    /// per-strategy diagnostics), in task order.
     pub sweeps: Vec<BenchmarkSweep>,
     /// The non-dominated frontier over every synthesized design.
     pub frontier: ParetoArchive,
@@ -79,52 +84,68 @@ struct PointJob<'a> {
     dfg: &'a Dfg,
     benchmark: &'a str,
     bounds: Bounds,
-    strategy: StrategyKind,
+    strategy: Arc<dyn Strategy>,
 }
 
-/// Sweeps every task's grid with all three strategies in parallel and
-/// archives the Pareto frontier of the achieved designs.
+/// Sweeps every task's grid with the three Table-2 strategies in parallel
+/// and archives the Pareto frontier of the achieved designs.
 ///
 /// The row tables are identical to running
 /// [`rchls_core::explore::sweep`] serially per benchmark — the executor
 /// only changes *when* each point is synthesized, never its result — and
-/// the output is byte-for-byte independent of the worker count.
+/// the output is byte-for-byte independent of the worker count (sweep
+/// artifacts store wall-time-scrubbed diagnostics; see
+/// [`rchls_core::Diagnostics::scrubbed`]).
+///
+/// # Panics
+///
+/// Panics if `flow` names a pass id the registry doesn't know — a
+/// mistyped id would otherwise be indistinguishable from every grid
+/// point being infeasible.
 #[must_use]
 pub fn explore(
     tasks: &[ExploreTask],
     library: &Library,
-    config: SynthConfig,
+    flow: &FlowSpec,
     model: RedundancyModel,
     executor: SweepExecutor,
     cache: &SynthCache,
 ) -> Exploration {
+    if let Err(e) = flow.resolve() {
+        panic!("explore: {e}");
+    }
+    let strategies: Vec<Arc<dyn Strategy>> = StrategyKind::TABLE2
+        .into_iter()
+        .map(StrategyKind::strategy)
+        .collect();
+    let strategies_ref = &strategies;
     let jobs: Vec<PointJob<'_>> = tasks
         .iter()
         .flat_map(|t| {
             t.grid.iter().flat_map(move |&(latency, area)| {
-                StrategyKind::ALL.into_iter().map(move |strategy| PointJob {
+                strategies_ref.iter().map(move |strategy| PointJob {
                     dfg: &t.dfg,
                     benchmark: &t.name,
                     bounds: Bounds::new(latency, area),
-                    strategy,
+                    strategy: Arc::clone(strategy),
                 })
             })
         })
         .collect();
 
-    let outcomes: Vec<Option<Design>> = executor.run(&jobs, |job| {
-        cache.synthesize(job.dfg, library, job.bounds, config, model, job.strategy)
+    let outcomes: Vec<Option<SynthReport>> = executor.run(&jobs, |job| {
+        cache.synthesize(job.dfg, library, job.bounds, flow, model, &*job.strategy)
     });
 
     // Frontier: every feasible design, archived in deterministic job
     // order (the archive's contents are order-independent anyway).
     let mut frontier = ParetoArchive::new();
     for (job, outcome) in jobs.iter().zip(&outcomes) {
-        if let Some(design) = outcome {
-            let point = DesignPoint::from(design);
+        if let Some(report) = outcome {
+            let point = DesignPoint::from(&report.design);
             frontier.insert(FrontierPoint {
                 benchmark: job.benchmark.to_owned(),
-                strategy: job.strategy,
+                strategy: job.strategy.id().to_owned(),
                 latency_bound: job.bounds.latency,
                 area_bound: job.bounds.area,
                 latency: point.latency,
@@ -138,7 +159,7 @@ pub fn explore(
     // same feasibility inheritance as the serial sweep. Jobs were
     // generated task-major in grid order with all strategies per point,
     // so each outcome's position is directly computable.
-    let strategies = StrategyKind::ALL.len();
+    let stride = strategies.len();
     let mut task_offset = 0usize;
     let sweeps = tasks
         .iter()
@@ -148,31 +169,31 @@ pub fn explore(
                 .iter()
                 .enumerate()
                 .map(|(point, &(latency, area))| {
-                    let mut row = SweepRow {
-                        latency_bound: latency,
-                        area_bound: area,
-                        baseline: None,
-                        ours: None,
-                        combined: None,
-                    };
-                    let base = task_offset + point * strategies;
-                    for (slot, strategy) in StrategyKind::ALL.into_iter().enumerate() {
+                    let mut row = SweepRow::empty(latency, area);
+                    let base = task_offset + point * stride;
+                    for (slot, kind) in StrategyKind::TABLE2.into_iter().enumerate() {
                         let job = &jobs[base + slot];
                         debug_assert_eq!(job.bounds, Bounds::new(latency, area));
-                        debug_assert_eq!(job.strategy, strategy);
-                        let r = outcomes[base + slot]
-                            .as_ref()
-                            .map(|d| d.reliability.value());
-                        match strategy {
+                        debug_assert_eq!(job.strategy.id(), kind.name());
+                        let outcome = outcomes[base + slot].as_ref();
+                        let r = outcome.map(|rep| rep.design.reliability.value());
+                        match kind {
                             StrategyKind::Baseline => row.baseline = r,
                             StrategyKind::Ours => row.ours = r,
                             StrategyKind::Combined => row.combined = r,
+                            _ => unreachable!("TABLE2 holds the paper's three strategies"),
+                        }
+                        if let Some(report) = outcome {
+                            row.diagnostics.push(StrategyDiagnostics {
+                                strategy: kind.name().to_owned(),
+                                diagnostics: report.diagnostics.scrubbed(),
+                            });
                         }
                     }
                     row
                 })
                 .collect();
-            task_offset += t.grid.len() * strategies;
+            task_offset += t.grid.len() * stride;
             BenchmarkSweep {
                 benchmark: t.name.clone(),
                 rows: inherit(&raw),
@@ -197,7 +218,7 @@ pub fn sweep_parallel(
     let mut exploration = explore(
         &tasks,
         library,
-        SynthConfig::default(),
+        &FlowSpec::default(),
         RedundancyModel::default(),
         executor,
         cache,
@@ -308,7 +329,7 @@ mod tests {
         let out = explore(
             &tasks,
             &lib,
-            SynthConfig::default(),
+            &FlowSpec::default(),
             RedundancyModel::default(),
             SweepExecutor::new(4),
             &cache,
@@ -324,6 +345,36 @@ mod tests {
             .map(|p| p.benchmark.as_str())
             .collect();
         assert!(benchmarks.contains(&"figure4a") || benchmarks.contains(&"diffeq"));
+        // Frontier strategies are registry ids; rows carry scrubbed
+        // diagnostics for each feasible strategy run.
+        for p in out.frontier.points() {
+            assert!(["baseline", "ours", "combined"].contains(&p.strategy.as_str()));
+        }
+        for sweep in &out.sweeps {
+            for row in &sweep.rows {
+                for d in &row.diagnostics {
+                    assert_eq!(d.diagnostics.wall_time_micros, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn mistyped_pass_id_panics_instead_of_reading_as_infeasible() {
+        let tasks = vec![ExploreTask::new(
+            "figure4a",
+            rchls_workloads::figure4a(),
+            vec![(5, 4)],
+        )];
+        let _ = explore(
+            &tasks,
+            &Library::table1(),
+            &FlowSpec::default().with_scheduler("densty"),
+            RedundancyModel::default(),
+            SweepExecutor::serial(),
+            &SynthCache::new(),
+        );
     }
 
     #[test]
@@ -350,7 +401,7 @@ mod tests {
                 &dfg,
                 &lib,
                 Bounds::new(l, ar),
-                SynthConfig::default(),
+                &FlowSpec::default(),
                 RedundancyModel::default()
             )
             .is_ok());

@@ -74,7 +74,7 @@ pub fn frontier_table(archive: &ParetoArchive) -> String {
             out,
             "{:<12} {:<9} {:>5} {:>5} {:>5} {:>5} {:>12.5}",
             p.benchmark,
-            p.strategy.name(),
+            p.strategy,
             p.latency_bound,
             p.area_bound,
             p.latency,
@@ -89,13 +89,12 @@ pub fn frontier_table(archive: &ParetoArchive) -> String {
 mod tests {
     use super::*;
     use crate::pareto::FrontierPoint;
-    use rchls_core::StrategyKind;
 
     fn archive() -> ParetoArchive {
         let mut a = ParetoArchive::new();
         a.insert(FrontierPoint {
             benchmark: "fir16".into(),
-            strategy: StrategyKind::Ours,
+            strategy: "ours".into(),
             latency_bound: 12,
             area_bound: 8,
             latency: 12,
@@ -104,7 +103,7 @@ mod tests {
         });
         a.insert(FrontierPoint {
             benchmark: "fir16".into(),
-            strategy: StrategyKind::Combined,
+            strategy: "combined".into(),
             latency_bound: 14,
             area_bound: 16,
             latency: 13,

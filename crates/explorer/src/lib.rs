@@ -9,20 +9,26 @@
 //!   `(benchmark × bounds × strategy)` jobs over a configurable worker
 //!   pool with **deterministic, input-ordered results** (a parallel run
 //!   is byte-identical to a serial one);
-//! * [`SynthCache`] — memoizes synthesis outcomes under a content
-//!   fingerprint of `(DFG, library, bounds, config, strategy)`, making
-//!   repeated or overlapping sweeps near-free;
+//! * [`SynthCache`] — memoizes synthesis reports under a content
+//!   fingerprint of `(DFG, library, bounds, flow ids, model, strategy
+//!   id)`, making repeated or overlapping sweeps near-free;
 //! * [`ParetoArchive`] — maintains the non-dominated frontier over
 //!   achieved `(latency, area, reliability)` with dominance pruning and
 //!   a deterministic iteration order;
 //! * [`export`] — JSON and CSV renderings of frontiers and sweep tables.
+//!
+//! Strategies and passes are addressed by registry id through the
+//! [`rchls_core::Strategy`] trait, so out-of-tree strategies sweep and
+//! cache exactly like built-ins, and every feasible point carries the
+//! [`rchls_core::Diagnostics`] of its run (wall time scrubbed so
+//! artifacts stay deterministic).
 //!
 //! # Examples
 //!
 //! Explore two benchmarks in parallel and print the Pareto frontier:
 //!
 //! ```
-//! use rchls_core::{RedundancyModel, SynthConfig};
+//! use rchls_core::{FlowSpec, RedundancyModel};
 //! use rchls_explorer::{explore, ExploreTask, SweepExecutor, SynthCache};
 //! use rchls_reslib::Library;
 //!
@@ -34,7 +40,7 @@
 //! let out = explore(
 //!     &tasks,
 //!     &Library::table1(),
-//!     SynthConfig::default(),
+//!     &FlowSpec::default(),
 //!     RedundancyModel::default(),
 //!     SweepExecutor::new(4),
 //!     &cache,
@@ -46,7 +52,7 @@
 //! let again = explore(
 //!     &tasks,
 //!     &Library::table1(),
-//!     SynthConfig::default(),
+//!     &FlowSpec::default(),
 //!     RedundancyModel::default(),
 //!     SweepExecutor::serial(),
 //!     &cache,

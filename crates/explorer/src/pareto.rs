@@ -1,6 +1,5 @@
 //! The Pareto archive: the non-dominated frontier of explored designs.
 
-use rchls_core::StrategyKind;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
@@ -11,8 +10,8 @@ use std::cmp::Ordering;
 pub struct FrontierPoint {
     /// Benchmark name the design was synthesized for.
     pub benchmark: String,
-    /// Strategy that produced the design.
-    pub strategy: StrategyKind,
+    /// Registry id of the strategy that produced the design.
+    pub strategy: String,
     /// Latency bound `Ld` given to the synthesizer.
     pub latency_bound: u32,
     /// Area bound `Ad` given to the synthesizer.
@@ -48,7 +47,7 @@ impl FrontierPoint {
             .then(self.area.cmp(&other.area))
             .then(other.reliability.total_cmp(&self.reliability))
             .then(self.benchmark.cmp(&other.benchmark))
-            .then(self.strategy.name().cmp(other.strategy.name()))
+            .then(self.strategy.cmp(&other.strategy))
             .then(self.latency_bound.cmp(&other.latency_bound))
             .then(self.area_bound.cmp(&other.area_bound))
     }
@@ -68,13 +67,12 @@ impl FrontierPoint {
 /// # Examples
 ///
 /// ```
-/// use rchls_core::StrategyKind;
 /// use rchls_explorer::{FrontierPoint, ParetoArchive};
 ///
 /// let mut archive = ParetoArchive::new();
 /// let point = |latency, area, reliability| FrontierPoint {
 ///     benchmark: "demo".into(),
-///     strategy: StrategyKind::Ours,
+///     strategy: "ours".into(),
 ///     latency_bound: latency,
 ///     area_bound: area,
 ///     latency,
@@ -182,7 +180,7 @@ mod tests {
     fn point(latency: u32, area: u32, reliability: f64) -> FrontierPoint {
         FrontierPoint {
             benchmark: "t".into(),
-            strategy: StrategyKind::Ours,
+            strategy: "ours".into(),
             latency_bound: latency,
             area_bound: area,
             latency,
@@ -224,7 +222,7 @@ mod tests {
     fn equal_objectives_different_provenance_coexist() {
         let mut archive = ParetoArchive::new();
         let mut a = point(5, 5, 0.9);
-        a.strategy = StrategyKind::Baseline;
+        a.strategy = "baseline".into();
         let b = point(5, 5, 0.9);
         assert!(archive.insert(a.clone()));
         assert!(archive.insert(b));

@@ -2,7 +2,7 @@
 //! paper benchmarks.
 
 use rchls_core::explore::sweep;
-use rchls_core::{RedundancyModel, SynthConfig};
+use rchls_core::{FlowSpec, RedundancyModel};
 use rchls_dfg::Dfg;
 use rchls_explorer::{explore, export, ExploreTask, SweepExecutor, SynthCache};
 use rchls_reslib::Library;
@@ -38,7 +38,7 @@ fn explore_with_jobs(
     explore(
         &tasks,
         &Library::table1(),
-        SynthConfig::default(),
+        &FlowSpec::default(),
         RedundancyModel::default(),
         SweepExecutor::new(jobs),
         cache,
@@ -115,7 +115,7 @@ fn repeated_sweep_synthesizes_nothing_new() {
     let _ = explore(
         &tasks,
         &Library::table1(),
-        SynthConfig::default(),
+        &FlowSpec::default(),
         RedundancyModel::default(),
         SweepExecutor::new(2),
         &cache,

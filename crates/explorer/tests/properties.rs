@@ -1,7 +1,6 @@
 //! Property-based tests for the Pareto archive.
 
 use proptest::prelude::*;
-use rchls_core::StrategyKind;
 use rchls_explorer::{FrontierPoint, ParetoArchive};
 
 fn points() -> impl Strategy<Value = Vec<FrontierPoint>> {
@@ -9,7 +8,7 @@ fn points() -> impl Strategy<Value = Vec<FrontierPoint>> {
         raw.into_iter()
             .map(|(latency, area, rel_millis, strategy)| FrontierPoint {
                 benchmark: "prop".to_owned(),
-                strategy: StrategyKind::ALL[strategy as usize],
+                strategy: ["baseline", "ours", "combined"][strategy as usize].to_owned(),
                 latency_bound: latency,
                 area_bound: area,
                 latency,

@@ -132,8 +132,8 @@ impl Library {
         self.versions_of(class)
             .min_by(|(_, a), (_, b)| {
                 b.reliability()
-                    .partial_cmp(&a.reliability())
-                    .expect("reliabilities are finite")
+                    .value()
+                    .total_cmp(&a.reliability().value())
                     .then(a.area().cmp(&b.area()))
                     .then(a.delay().cmp(&b.delay()))
             })
@@ -148,11 +148,7 @@ impl Library {
             .min_by(|(_, a), (_, b)| {
                 a.delay()
                     .cmp(&b.delay())
-                    .then(
-                        b.reliability()
-                            .partial_cmp(&a.reliability())
-                            .expect("reliabilities are finite"),
-                    )
+                    .then(b.reliability().value().total_cmp(&a.reliability().value()))
                     .then(a.area().cmp(&b.area()))
             })
             .map(|(id, _)| id)
@@ -166,11 +162,7 @@ impl Library {
             .min_by(|(_, a), (_, b)| {
                 a.area()
                     .cmp(&b.area())
-                    .then(
-                        b.reliability()
-                            .partial_cmp(&a.reliability())
-                            .expect("reliabilities are finite"),
-                    )
+                    .then(b.reliability().value().total_cmp(&a.reliability().value()))
                     .then(a.delay().cmp(&b.delay()))
             })
             .map(|(id, _)| id)
@@ -225,8 +217,8 @@ impl Library {
         ids.sort_by(|&a, &b| {
             let (va, vb) = (self.version(a), self.version(b));
             vb.reliability()
-                .partial_cmp(&va.reliability())
-                .expect("reliabilities are finite")
+                .value()
+                .total_cmp(&va.reliability().value())
                 .then(va.area().cmp(&vb.area()))
                 .then(va.delay().cmp(&vb.delay()))
                 .then(a.cmp(&b))

@@ -125,9 +125,7 @@ pub fn schedule_density(
             .min_by(|&a, &b| {
                 let da: f64 = (a..a + d).map(|t| density[(t - 1) as usize]).sum();
                 let db: f64 = (b..b + d).map(|t| density[(t - 1) as usize]).sum();
-                da.partial_cmp(&db)
-                    .expect("densities are finite")
-                    .then(a.cmp(&b))
+                da.total_cmp(&db).then(a.cmp(&b))
             })
             .expect("window es..=ls is nonempty");
         fixed[victim.index()] = Some(best);

@@ -144,10 +144,7 @@ pub fn schedule_modulo(
             .min_by(|&a, &b| {
                 let cost =
                     |s: u32| -> f64 { (s..s + d).map(|t| density[((t - 1) % ii) as usize]).sum() };
-                cost(a)
-                    .partial_cmp(&cost(b))
-                    .expect("densities are finite")
-                    .then(a.cmp(&b))
+                cost(a).total_cmp(&cost(b)).then(a.cmp(&b))
             })
             .expect("window is nonempty");
         fixed[victim.index()] = Some(best);

@@ -17,7 +17,10 @@
 //!   scheduling;
 //! * [`bind`] — version assignments, left-edge and coloring binders;
 //! * [`core`] — the Figure-6 synthesis algorithm, the NMR baseline, the
-//!   combined approach, sweep drivers, and the dual-objective extensions;
+//!   combined approach, sweep drivers, the dual-objective extensions, and
+//!   the trait-based flow/strategy API (`core::flow`): pluggable
+//!   scheduler/binder/victim/refine passes and whole strategies, named by
+//!   registry id, returning diagnostics-carrying synthesis reports;
 //! * [`explorer`] — parallel design-space exploration: the sweep
 //!   executor, synthesis cache, and Pareto archive;
 //! * [`workloads`] — the FIR16 / EWF / DiffEq benchmark graphs.

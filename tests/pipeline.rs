@@ -3,7 +3,7 @@
 
 use rc_hls::bind::bind_left_edge;
 use rc_hls::core::{
-    synthesize_combined, synthesize_nmr_baseline, Bounds, RedundancyModel, SynthConfig, Synthesizer,
+    synthesize_combined, synthesize_nmr_baseline, Bounds, FlowSpec, RedundancyModel, Synthesizer,
 };
 use rc_hls::dfg::OpClass;
 use rc_hls::relmath::serial_reliability;
@@ -64,7 +64,7 @@ fn three_strategies_rank_consistently_on_diffeq() {
         &dfg,
         &library,
         bounds,
-        SynthConfig::default(),
+        &FlowSpec::default(),
         RedundancyModel::default(),
     )
     .unwrap();
@@ -99,7 +99,7 @@ fn baseline_wins_with_loose_area_like_the_paper_observes() {
         &dfg,
         &library,
         bounds,
-        SynthConfig::default(),
+        &FlowSpec::default(),
         RedundancyModel::default(),
     )
     .unwrap();

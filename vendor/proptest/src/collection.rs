@@ -13,7 +13,7 @@ pub fn vec<S: Strategy>(element: S, len: impl IntoLenStrategy) -> VecStrategy<S>
     }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
@@ -29,7 +29,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     }
 }
 
-/// Length specifications accepted by [`vec`].
+/// Length specifications accepted by [`vec()`].
 #[derive(Debug, Clone)]
 pub enum LenStrategy {
     /// Exactly this many elements.
