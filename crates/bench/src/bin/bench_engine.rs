@@ -1,0 +1,178 @@
+//! The engine scaling bench: `random:` workload families streamed
+//! through the session [`Engine`] as batches, timed serial vs parallel,
+//! with a machine-readable `BENCH_engine.json` summary.
+//!
+//! ```text
+//! cargo run --release -p rchls-bench --bin bench_engine -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` (or `BENCH_QUICK=1`, the convention of the Criterion
+//! benches) shrinks the families for CI smoke runs. The summary records,
+//! per family: batch wall times at one worker and at one worker per CPU,
+//! the speedup, cache effectiveness on an immediately repeated batch,
+//! and whether the parallel outcome document was byte-identical to the
+//! serial one — the engine's core determinism contract, checked on every
+//! bench run.
+
+use rchls_core::{Engine, SynthJob};
+use rchls_reslib::Library;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmarked workload family.
+#[derive(Debug, Clone, Serialize)]
+struct FamilyResult {
+    /// The family's spec pattern (seed position elided).
+    family: String,
+    /// Jobs in the batch (seeds × bound points).
+    jobs: usize,
+    /// Wall time of the serial batch, milliseconds.
+    serial_ms: f64,
+    /// Wall time of the parallel batch (fresh engine), milliseconds.
+    parallel_ms: f64,
+    /// Parallel workers used.
+    workers: usize,
+    /// serial_ms / parallel_ms.
+    speedup: f64,
+    /// Wall time of re-running the batch on the warm engine, ms.
+    warm_ms: f64,
+    /// Cache hit rate after the warm re-run.
+    warm_hit_rate: f64,
+    /// Feasible outcomes in the batch.
+    feasible: usize,
+    /// Whether the parallel document was byte-identical to the serial
+    /// one.
+    deterministic: bool,
+}
+
+/// The whole `BENCH_engine.json` document.
+#[derive(Debug, Clone, Serialize)]
+struct Summary {
+    /// Bench mode (`"quick"` or `"full"`).
+    mode: String,
+    /// Workers used for the parallel runs.
+    workers: usize,
+    /// Per-family results.
+    families: Vec<FamilyResult>,
+    /// Total wall time of all timed runs, milliseconds.
+    total_ms: f64,
+}
+
+fn millis(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// The batch for one family: `seeds` graphs crossed with a small bound
+/// grid, under the three Table-2 strategies.
+fn family_jobs(nodes: usize, layers: usize, seeds: u64) -> Vec<SynthJob> {
+    let mut jobs = Vec::new();
+    for seed in 0..seeds {
+        let spec = format!("random:{nodes}x{layers}@{seed}");
+        // Bounds scale with the family: the layer count floors the
+        // latency, the node count floors the area.
+        let (l0, a0) = (layers as u32 + 2, (nodes as u32).div_ceil(2));
+        for (latency, area) in [(l0, a0), (l0 * 2, a0), (l0, a0 * 2)] {
+            for strategy in ["baseline", "ours", "combined"] {
+                jobs.push(SynthJob::new(&spec, latency, area).with_strategy(strategy));
+            }
+        }
+    }
+    jobs
+}
+
+fn bench_family(nodes: usize, layers: usize, seeds: u64, workers: usize) -> FamilyResult {
+    let jobs = family_jobs(nodes, layers, seeds);
+
+    let serial_engine = Engine::new(Library::table1()).with_jobs(1);
+    let start = Instant::now();
+    let serial = serial_engine.run_batch(&jobs);
+    let serial_ms = millis(start);
+
+    let parallel_engine = Engine::new(Library::table1()).with_jobs(workers);
+    let start = Instant::now();
+    let parallel = parallel_engine.run_batch(&jobs);
+    let parallel_ms = millis(start);
+
+    // Determinism check: the documents must be byte-identical.
+    let serial_doc = serde_json::to_string(&serial).expect("batch reports serialize");
+    let parallel_doc = serde_json::to_string(&parallel).expect("batch reports serialize");
+    let deterministic = serial_doc == parallel_doc;
+
+    // Warm repeat on the parallel engine: every point is memoized.
+    let start = Instant::now();
+    let _ = parallel_engine.run_batch(&jobs);
+    let warm_ms = millis(start);
+
+    FamilyResult {
+        family: format!("random:{nodes}x{layers}"),
+        jobs: jobs.len(),
+        serial_ms,
+        parallel_ms,
+        workers,
+        speedup: if parallel_ms > 0.0 {
+            serial_ms / parallel_ms
+        } else {
+            0.0
+        },
+        warm_ms,
+        warm_hit_rate: parallel_engine.cache_stats().hit_rate(),
+        feasible: serial
+            .outcomes
+            .iter()
+            .filter(|o| o.report.is_some())
+            .count(),
+        deterministic,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick =
+        args.iter().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_engine.json".to_owned());
+
+    // (nodes, layers, seeds): rising node counts at similar shape, so
+    // the curve isolates graph size.
+    let families: &[(usize, usize, u64)] = if quick {
+        &[(16, 4, 2), (32, 5, 2)]
+    } else {
+        &[(16, 4, 4), (32, 5, 4), (64, 6, 3), (96, 8, 2)]
+    };
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+
+    let start = Instant::now();
+    let mut results = Vec::new();
+    for &(nodes, layers, seeds) in families {
+        let r = bench_family(nodes, layers, seeds, workers);
+        println!(
+            "{:<14} {:>3} jobs  serial {:>8.1} ms  x{} {:>8.1} ms  speedup {:>4.2}  warm {:>6.1} ms  {}",
+            r.family,
+            r.jobs,
+            r.serial_ms,
+            r.workers,
+            r.parallel_ms,
+            r.speedup,
+            r.warm_ms,
+            if r.deterministic { "deterministic" } else { "NONDETERMINISTIC" },
+        );
+        assert!(
+            r.deterministic,
+            "{}: parallel batch output diverged from serial",
+            r.family
+        );
+        results.push(r);
+    }
+    let summary = Summary {
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        workers,
+        families: results,
+        total_ms: millis(start),
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("summaries serialize");
+    std::fs::write(&out_path, json + "\n").expect("write bench summary");
+    println!("wrote {out_path}");
+}

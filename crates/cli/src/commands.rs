@@ -4,12 +4,13 @@ use crate::args::ParsedArgs;
 use crate::error::CliError;
 use rchls_core::explore::format_table;
 use rchls_core::{
-    flow, monte_carlo_reliability, Bounds, FlowSpec, RedundancyModel, SynthRequest, Synthesizer,
+    flow, monte_carlo_reliability, Bounds, Engine, FlowSpec, RedundancyModel, SynthJob,
+    SynthRequest, Synthesizer,
 };
-use rchls_dfg::Dfg;
 use rchls_explorer::{explore, export, ExploreTask, SweepExecutor, SynthCache};
 use rchls_netlist::{generators, FaultInjector};
 use rchls_reslib::Library;
+use rchls_workloads::Workload;
 use std::fmt::Write as _;
 
 /// Usage text.
@@ -17,33 +18,81 @@ pub fn help() -> String {
     "rchls — reliability-centric high-level synthesis\n\
      \n\
      usage:\n\
-     \x20 rchls synth --dfg <name|file> --latency N --area N\n\
+     \x20 rchls synth --workload SPEC --latency N --area N\n\
      \x20       [--strategy <id>|paper] [--ii N] [--report json]\n\
      \x20       [--scheduler <id>] [--binder <id>] [--victim <id>] [--refine <id>]\n\
      \x20       [--library <file>] [--mission-time T]\n\
-     \x20 rchls sweep --dfg <name|file> --latencies L1,L2,... --areas A1,A2,...\n\
+     \x20 rchls sweep --workload SPEC --latencies L1,L2,... --areas A1,A2,...\n\
      \x20       [--format table|json|csv]\n\
-     \x20 rchls pareto <name|file> [--latencies ...] [--areas ...]\n\
+     \x20 rchls pareto <SPEC> [--latencies ...] [--areas ...]\n\
      \x20       [--format table|json|csv]\n\
+     \x20 rchls batch <jobs.json> [--jobs N] [--library <file>] [--mission-time T]\n\
+     \x20 rchls workloads\n\
      \x20 rchls flows\n\
-     \x20 rchls dot --dfg <name|file>\n\
+     \x20 rchls dot --workload SPEC\n\
      \x20 rchls list\n\
      \x20 rchls characterize [--width N] [--trials N] [--seed N]\n\
-     \x20 rchls validate --dfg <name|file> --latency N --area N [--trials N] [--seed N]\n\
+     \x20 rchls validate --workload SPEC --latency N --area N [--trials N] [--seed N]\n\
      \x20 rchls help\n\
+     \n\
+     a workload SPEC is `scheme:rest` resolved through the open source\n\
+     registry (`rchls workloads` lists the schemes): `builtin:fir16`\n\
+     (bare benchmark names work too), `random:<nodes>x<layers>@<seed>`,\n\
+     `file:<path>` (the textual `graph g` / `op x add` / `x -> y`\n\
+     format). `--dfg <name|file>` remains as a legacy alias.\n\
+     \n\
+     `rchls batch` runs a JSON array of jobs\n\
+     (`{\"workload\": SPEC, \"latency\": N, \"area\": N, ...}`) through the\n\
+     session engine and emits one diagnostics-carrying JSON document;\n\
+     output is byte-identical at any --jobs.\n\
      \n\
      strategies and passes are registry ids (`rchls flows` lists them);\n\
      `--format json` sweeps include per-strategy diagnostics, and\n\
-     `--report json` dumps the full synthesis report of one run.\n\
+     `--report json` dumps the full synthesis report of one run with its\n\
+     canonical workload spec (random seeds echoed).\n\
      \n\
-     global flags: --jobs N sizes the worker pool of the sweep/pareto\n\
-     commands (0 or omitted = one worker per CPU); parallel runs produce\n\
-     byte-identical output to serial runs.\n\
-     \n\
-     built-in DFGs: figure4a fir16 ewf diffeq ar-lattice butterfly8 iir4;\n\
-     files use the textual format: `graph g` / `op x add` / `x -> y`\n\
-     lines.\n"
+     global flags: --jobs N sizes the worker pool of the sweep, pareto,\n\
+     and batch commands (0 or omitted = one worker per CPU); parallel\n\
+     runs produce byte-identical output to serial runs.\n"
         .to_owned()
+}
+
+/// `rchls workloads` — the registered workload sources and the specs
+/// they can name up front.
+pub fn workloads() -> String {
+    let mut out = String::from("registered workload sources:\n");
+    for scheme in rchls_workloads::workload_source_schemes() {
+        let source =
+            rchls_workloads::workload_source(&scheme).expect("listed schemes are registered");
+        let d = source.description();
+        if d.is_empty() {
+            let _ = writeln!(out, "\n  {scheme}:");
+        } else {
+            let _ = writeln!(out, "\n  {scheme:<8} {d}");
+        }
+        for spec in source.known_specs() {
+            match rchls_workloads::load_workload(&spec) {
+                Ok(w) => {
+                    let _ = writeln!(
+                        out,
+                        "    {spec:<20} {:>3} ops ({} adder-class, {} multiplier-class), depth {}",
+                        w.dfg.node_count(),
+                        w.dfg.count_class(rchls_dfg::OpClass::Adder),
+                        w.dfg.count_class(rchls_dfg::OpClass::Multiplier),
+                        w.dfg.depth().expect("known workloads are acyclic")
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "    {spec:<20} (unloadable: {e})");
+                }
+            }
+        }
+    }
+    out.push_str(
+        "\nout-of-tree crates add schemes via \
+         rchls_workloads::register_workload_source (see the crate docs).\n",
+    );
+    out
 }
 
 /// `rchls list` — the built-in benchmarks.
@@ -134,21 +183,45 @@ fn load_library(args: &ParsedArgs) -> Result<Library, CliError> {
     }
 }
 
-/// Resolves `--dfg` (built-in name or file path).
-fn load_dfg(args: &ParsedArgs) -> Result<Dfg, CliError> {
-    let spec = args.required("dfg")?;
-    if let Some((_, ctor)) = rchls_workloads::all_benchmarks()
-        .into_iter()
-        .find(|(n, _)| *n == spec)
+/// Resolves the workload of a command: `--workload SPEC` (the source
+/// registry's spec grammar) or the legacy `--dfg <name|file>` alias,
+/// which desugars to `builtin:`/`file:` specs — so every entry point
+/// resolves through the registry.
+fn load_workload_arg(args: &ParsedArgs) -> Result<Workload, CliError> {
+    let spec: String = match (args.get("workload"), args.get("dfg")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::BadFlag(
+                "--workload and --dfg are mutually exclusive".to_owned(),
+            ))
+        }
+        (Some(w), None) => w.to_owned(),
+        (None, Some(d)) => legacy_dfg_spec(d)?,
+        (None, None) => return Err(CliError::MissingFlag("workload")),
+    };
+    Ok(rchls_workloads::load_workload(&spec)?)
+}
+
+/// Desugars a legacy `--dfg` value: an explicit `scheme:` spec passes
+/// through, a benchmark name becomes `builtin:`, an existing path
+/// becomes `file:`.
+fn legacy_dfg_spec(value: &str) -> Result<String, CliError> {
+    // Pass explicit specs through — but only for registered schemes, so
+    // file paths that happen to contain `:` keep loading as paths.
+    if let Some((scheme, _)) = value.split_once(':') {
+        if rchls_workloads::workload_source(scheme).is_some() {
+            return Ok(value.to_owned());
+        }
+    }
+    if rchls_workloads::all_benchmarks()
+        .iter()
+        .any(|(name, _)| *name == value)
     {
-        return Ok(ctor());
+        return Ok(format!("builtin:{value}"));
     }
-    let path = std::path::Path::new(spec);
-    if !path.exists() {
-        return Err(CliError::UnknownDfg(spec.to_owned()));
+    if std::path::Path::new(value).exists() {
+        return Ok(format!("file:{value}"));
     }
-    let text = std::fs::read_to_string(path)?;
-    rchls_dfg::parse_dfg(&text).map_err(CliError::ParseDfg)
+    Err(CliError::UnknownDfg(value.to_owned()))
 }
 
 /// Builds the flow spec from the `--scheduler/--binder/--victim/--refine`
@@ -174,7 +247,8 @@ fn flow_from_args(args: &ParsedArgs) -> Result<FlowSpec, CliError> {
 
 /// `rchls synth`.
 pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
-    let dfg = load_dfg(args)?;
+    let workload = load_workload_arg(args)?;
+    let dfg = workload.dfg;
     let library = load_library(args)?;
     let bounds = Bounds::new(args.required_u32("latency")?, args.required_u32("area")?);
     let mut flow_spec = flow_from_args(args)?;
@@ -233,7 +307,20 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     let request = SynthRequest::new(&dfg, &library, bounds).with_flow(flow_spec);
     let report = strategy.run(&request)?;
     if report_json {
-        return Ok(serde_json::to_string_pretty(&report).expect("reports serialize") + "\n");
+        // Prepend the canonical workload spec (random seeds echoed) so
+        // the report alone reproduces the run.
+        let serde::Value::Map(mut entries) = serde::Serialize::to_value(&report) else {
+            unreachable!("reports serialize as maps")
+        };
+        entries.insert(
+            0,
+            (
+                serde::Value::Str("workload".to_owned()),
+                serde::Value::Str(workload.spec),
+            ),
+        );
+        let doc = serde::Value::Map(entries);
+        return Ok(serde_json::to_string_pretty(&doc).expect("reports serialize") + "\n");
     }
     let mut out = header;
     out.push_str(&report.design.render(&dfg, &library));
@@ -260,7 +347,7 @@ fn executor(args: &ParsedArgs) -> Result<SweepExecutor, CliError> {
 
 /// `rchls sweep`.
 pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
-    let dfg = load_dfg(args)?;
+    let workload = load_workload_arg(args)?;
     let library = load_library(args)?;
     let flow_spec = flow_from_args(args)?;
     let latencies = args.required_u32_list("latencies")?;
@@ -270,7 +357,10 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
         .flat_map(|&l| areas.iter().map(move |&a| (l, a)))
         .collect();
     let cache = SynthCache::new();
-    let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid)];
+    let tasks = [
+        ExploreTask::new(workload.dfg.name(), workload.dfg.clone(), grid)
+            .with_workload(workload.spec),
+    ];
     let exploration = explore(
         &tasks,
         &library,
@@ -296,7 +386,8 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
 /// `rchls pareto` — explore a benchmark's design space and print the
 /// Pareto frontier over achieved `(latency, area, reliability)`.
 pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
-    let dfg = load_dfg(args)?;
+    let workload = load_workload_arg(args)?;
+    let dfg = workload.dfg;
     let library = load_library(args)?;
     let flow_spec = flow_from_args(args)?;
     let grid: Vec<(u32, u32)> = match (args.get("latencies"), args.get("areas")) {
@@ -319,7 +410,8 @@ pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
         }
     };
     let cache = SynthCache::new();
-    let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid.clone())];
+    let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid.clone())
+        .with_workload(workload.spec.clone())];
     let exploration = explore(
         &tasks,
         &library,
@@ -360,7 +452,21 @@ pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// `rchls dot`.
 pub fn dot(args: &ParsedArgs) -> Result<String, CliError> {
-    Ok(load_dfg(args)?.to_dot())
+    Ok(load_workload_arg(args)?.dfg.to_dot())
+}
+
+/// `rchls batch` — run a JSON job file through the session [`Engine`]
+/// and emit the deterministic, diagnostics-carrying outcome document.
+pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.required("file")?;
+    let text = std::fs::read_to_string(path)?;
+    let jobs: Vec<SynthJob> = serde_json::from_str(&text).map_err(|e| CliError::BadValue {
+        flag: "file".to_owned(),
+        reason: format!("{path}: {e}"),
+    })?;
+    let engine = Engine::new(load_library(args)?).with_jobs(args.u32_or("jobs", 0)? as usize);
+    let report = engine.run_batch(&jobs);
+    Ok(serde_json::to_string_pretty(&report).expect("batch reports serialize") + "\n")
 }
 
 /// `rchls characterize`.
@@ -397,7 +503,7 @@ pub fn characterize(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// `rchls validate`.
 pub fn validate(args: &ParsedArgs) -> Result<String, CliError> {
-    let dfg = load_dfg(args)?;
+    let dfg = load_workload_arg(args)?.dfg;
     let library = load_library(args)?;
     let bounds = Bounds::new(args.required_u32("latency")?, args.required_u32("area")?);
     let trials = args.u32_or("trials", 50_000)? as usize;

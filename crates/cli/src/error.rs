@@ -22,12 +22,14 @@ pub enum CliError {
     },
     /// `--dfg` named neither a built-in benchmark nor a readable file.
     UnknownDfg(String),
-    /// The DFG file failed to parse.
-    ParseDfg(rchls_dfg::ParseDfgError),
+    /// A workload spec did not resolve through the source registry.
+    Workload(rchls_workloads::WorkloadError),
     /// Reading an input file failed.
     Io(std::io::Error),
     /// Synthesis found no design (or another engine error).
     Synthesis(SynthesisError),
+    /// A batch job failed engine-side validation.
+    Engine(rchls_core::EngineError),
 }
 
 impl fmt::Display for CliError {
@@ -43,9 +45,10 @@ impl fmt::Display for CliError {
                 f,
                 "{name:?} is neither a built-in benchmark nor a readable DFG file"
             ),
-            CliError::ParseDfg(e) => write!(f, "failed to parse DFG: {e}"),
+            CliError::Workload(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Synthesis(e) => write!(f, "{e}"),
+            CliError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
@@ -53,9 +56,10 @@ impl fmt::Display for CliError {
 impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CliError::ParseDfg(e) => Some(e),
+            CliError::Workload(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::Synthesis(e) => Some(e),
+            CliError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +68,18 @@ impl Error for CliError {
 impl From<SynthesisError> for CliError {
     fn from(e: SynthesisError) -> CliError {
         CliError::Synthesis(e)
+    }
+}
+
+impl From<rchls_workloads::WorkloadError> for CliError {
+    fn from(e: rchls_workloads::WorkloadError) -> CliError {
+        CliError::Workload(e)
+    }
+}
+
+impl From<rchls_core::EngineError> for CliError {
+    fn from(e: rchls_core::EngineError) -> CliError {
+        CliError::Engine(e)
     }
 }
 

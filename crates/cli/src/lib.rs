@@ -3,11 +3,16 @@
 //! Subcommands:
 //!
 //! * `synth`        — synthesize one design under bounds (`--report json`
-//!   dumps the full diagnostics-carrying report);
+//!   dumps the full diagnostics-carrying report with its canonical
+//!   workload spec);
 //! * `sweep`        — Table-2-style three-strategy grid comparison
 //!   (`--format json` includes per-strategy diagnostics);
 //! * `pareto`       — explore a design space and print the Pareto
 //!   frontier over achieved `(latency, area, reliability)`;
+//! * `batch`        — run a JSON array of synthesis jobs through the
+//!   session [`rchls_core::Engine`], emitting one deterministic,
+//!   diagnostics-carrying JSON document;
+//! * `workloads`    — list the registered workload sources and specs;
 //! * `flows`        — list the registered strategies and passes;
 //! * `dot`          — emit a DFG in Graphviz DOT;
 //! * `list`         — list the built-in benchmark graphs;
@@ -18,16 +23,16 @@
 //! Strategies (`--strategy`) and passes (`--scheduler`, `--binder`,
 //! `--victim`, `--refine`) are addressed by registry id, so strategies
 //! and passes registered by out-of-tree crates work from every flag that
-//! takes an id.
+//! takes an id. Workloads are addressed the same way: `--workload SPEC`
+//! resolves `builtin:<name>`, `random:<nodes>x<layers>@<seed>`,
+//! `file:<path>`, or any scheme registered via
+//! [`rchls_workloads::register_workload_source`]. The legacy
+//! `--dfg <name|file>` flag desugars to `builtin:`/`file:` specs, so
+//! every entry point resolves through the registry.
 //!
-//! The sweep and pareto commands accept a global `--jobs N` flag sizing
-//! their worker pool (0 or omitted: one worker per CPU); parallel output
-//! is byte-identical to serial output.
-//!
-//! A `--dfg` argument accepts either a built-in benchmark name
-//! (`fir16`, `ewf`, `diffeq`, `figure4a`, `ar-lattice`, `butterfly8`,
-//! `iir4`) or a path to a file in the textual DFG format of
-//! [`rchls_dfg::parse_dfg`].
+//! The sweep, pareto, and batch commands accept a global `--jobs N` flag
+//! sizing their worker pool (0 or omitted: one worker per CPU); parallel
+//! output is byte-identical to serial output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,11 +62,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Ok(commands::help());
     };
-    // `pareto` takes its benchmark positionally (`rchls pareto fir16`);
-    // desugar that into the `--dfg` flag every other command uses.
-    let rest: Vec<String> = match rest.split_first() {
-        Some((first, tail)) if command == "pareto" && !first.starts_with("--") => {
-            let mut flags = vec!["--dfg".to_owned(), first.clone()];
+    // `pareto` takes its workload positionally (`rchls pareto fir16`)
+    // and `batch` its job file (`rchls batch jobs.json`); desugar those
+    // into the flags the commands read.
+    let positional_flag = match command.as_str() {
+        "pareto" => Some("--workload"),
+        "batch" => Some("--file"),
+        _ => None,
+    };
+    let rest: Vec<String> = match (positional_flag, rest.split_first()) {
+        (Some(flag), Some((first, tail))) if !first.starts_with("--") => {
+            let mut flags = vec![flag.to_owned(), first.clone()];
             flags.extend(tail.iter().cloned());
             flags
         }
@@ -72,6 +83,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "synth" => commands::synth(&parsed),
         "sweep" => commands::sweep(&parsed),
         "pareto" => commands::pareto(&parsed),
+        "batch" => commands::batch(&parsed),
+        "workloads" => Ok(commands::workloads()),
         "flows" => Ok(commands::flows()),
         "dot" => commands::dot(&parsed),
         "list" => Ok(commands::list()),
@@ -475,6 +488,215 @@ mod tests {
             "-1",
         ]));
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn workloads_lists_sources_and_builtin_specs() {
+        let out = run(&s(&["workloads"])).unwrap();
+        for scheme in ["builtin", "random", "file"] {
+            assert!(out.contains(scheme), "{scheme} missing");
+        }
+        assert!(out.contains("builtin:fir16"));
+        assert!(out.contains("random:<nodes>x<layers>"));
+        assert!(out.contains("register_workload_source"));
+    }
+
+    #[test]
+    fn workload_specs_work_on_every_command() {
+        let synth = run(&s(&[
+            "synth",
+            "--workload",
+            "random:20x5@3",
+            "--latency",
+            "10",
+            "--area",
+            "10",
+        ]))
+        .unwrap();
+        assert!(synth.contains("reliability"));
+        let sweep = run(&s(&[
+            "sweep",
+            "--workload",
+            "builtin:figure4a",
+            "--latencies",
+            "5,6",
+            "--areas",
+            "4",
+        ]))
+        .unwrap();
+        assert!(sweep.contains("Ref[3]"));
+        let pareto = run(&s(&["pareto", "random:12x3@1", "--jobs", "2"])).unwrap();
+        assert!(pareto.contains("Pareto frontier of random-12-1"));
+        let dot = run(&s(&["dot", "--workload", "builtin:figure4a"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+        // Unknown schemes and mixing the flags report clearly.
+        let err = run(&s(&[
+            "synth",
+            "--workload",
+            "warp:9",
+            "--latency",
+            "5",
+            "--area",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("warp"));
+        let err = run(&s(&[
+            "synth",
+            "--workload",
+            "fir16",
+            "--dfg",
+            "fir16",
+            "--latency",
+            "12",
+            "--area",
+            "8",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn legacy_dfg_flag_matches_workload_specs_byte_for_byte() {
+        // Everything but the measured wall time (the single
+        // non-deterministic output field) must agree byte-for-byte.
+        let scrub = |out: String| -> String {
+            match out.rfind(" (") {
+                Some(i) if out.ends_with("us)\n") => out[..i].to_owned(),
+                _ => out,
+            }
+        };
+        for (legacy, spec) in [("fir16", "builtin:fir16"), ("diffeq", "builtin:diffeq")] {
+            let old = run(&s(&[
+                "synth",
+                "--dfg",
+                legacy,
+                "--latency",
+                "12",
+                "--area",
+                "11",
+            ]))
+            .unwrap();
+            let new = run(&s(&[
+                "synth",
+                "--workload",
+                spec,
+                "--latency",
+                "12",
+                "--area",
+                "11",
+            ]))
+            .unwrap();
+            assert_eq!(scrub(old), scrub(new), "{legacy}");
+        }
+        // --dfg also accepts full specs directly.
+        let via_dfg = run(&s(&["dot", "--dfg", "random:10x2@4"])).unwrap();
+        let via_workload = run(&s(&["dot", "--workload", "random:10x2@4"])).unwrap();
+        assert_eq!(via_dfg, via_workload);
+        // A file path containing `:` (no registered scheme before it)
+        // still loads as a path, as the old loader did.
+        let dir = std::env::temp_dir().join("rchls-cli-colon:dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dfg");
+        std::fs::write(&path, "graph t\nop a add\nop b add\na -> b\n").unwrap();
+        let out = run(&s(&["dot", "--dfg", path.to_str().unwrap()])).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn synth_report_json_echoes_the_canonical_workload_spec() {
+        let out = run(&s(&[
+            "synth",
+            "--workload",
+            "random:14x4", // seed omitted: canonicalized to @0
+            "--latency",
+            "9",
+            "--area",
+            "9",
+            "--report",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"workload\": \"random:14x4@0\""));
+        assert!(out.contains("\"design\""));
+        assert!(out.contains("\"diagnostics\""));
+    }
+
+    #[test]
+    fn sweep_json_carries_the_workload_spec() {
+        let out = run(&s(&[
+            "sweep",
+            "--workload",
+            "random:14x4@2",
+            "--latencies",
+            "9,10",
+            "--areas",
+            "9",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"workload\": \"random:14x4@2\""));
+    }
+
+    fn write_batch_fixture() -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join("rchls-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dfg_path = dir.join("chain.dfg");
+        std::fs::write(
+            &dfg_path,
+            "graph chain\nop a add\nop b mul\nop c add\na -> b\nb -> c\n",
+        )
+        .unwrap();
+        let jobs_path = dir.join("jobs.json");
+        let jobs = format!(
+            r#"[
+              {{"workload": "builtin:figure4a", "latency": 6, "area": 4}},
+              {{"workload": "random:16x4", "latency": 9, "area": 9,
+                "strategy": "combined"}},
+              {{"workload": "file:{}", "latency": 6, "area": 5,
+                "strategy": "baseline"}},
+              {{"workload": "builtin:figure4a", "latency": 3, "area": 99}},
+              {{"workload": "warp:9", "latency": 5, "area": 5}}
+            ]"#,
+            dfg_path.display()
+        );
+        std::fs::write(&jobs_path, jobs).unwrap();
+        (jobs_path, dfg_path)
+    }
+
+    #[test]
+    fn batch_runs_mixed_sources_and_is_jobs_invariant() {
+        let (jobs_path, _) = write_batch_fixture();
+        let path = jobs_path.to_str().unwrap();
+        let reference = run(&s(&["batch", path, "--jobs", "1"])).unwrap();
+        // Feasible jobs carry reports with diagnostics; failures carry
+        // deterministic errors; the random seed is echoed.
+        assert!(reference.contains("\"workload\": \"builtin:figure4a\""));
+        assert!(reference.contains("\"workload\": \"random:16x4@0\""));
+        assert!(reference.contains("\"diagnostics\""));
+        assert!(reference.contains("\"wall_time_micros\": 0"));
+        assert!(reference.contains("no ours design for builtin:figure4a meets Ld=3, Ad=99"));
+        assert!(reference.contains("unknown workload scheme \\\"warp\\\""));
+        for jobs in ["2", "8"] {
+            let parallel = run(&s(&["batch", path, "--jobs", jobs])).unwrap();
+            assert_eq!(parallel, reference, "--jobs {jobs}");
+        }
+        // The positional and flag spellings agree.
+        let flagged = run(&s(&["batch", "--file", path, "--jobs", "1"])).unwrap();
+        assert_eq!(flagged, reference);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_job_files() {
+        let dir = std::env::temp_dir().join("rchls-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, r#"[{"workload": "fir16"}]"#).unwrap();
+        let err = run(&s(&["batch", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("latency"));
+        let err = run(&s(&["batch", "/nonexistent/jobs.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
     }
 
     #[test]

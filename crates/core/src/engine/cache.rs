@@ -6,12 +6,12 @@
 //! makes every repeat near-free: reports are stored under a 64-bit
 //! fingerprint of the *content* of all synthesis inputs — the flow's pass
 //! ids and the strategy's [`fingerprint
-//! token`](rchls_core::Strategy::fingerprint_token), never enum
+//! token`](crate::Strategy::fingerprint_token), never enum
 //! discriminants — so any structurally identical request, even from a
 //! rebuilt [`Dfg`] value or an out-of-tree strategy, hits the cache.
 
-use crate::fingerprint::Fingerprint;
-use rchls_core::{
+use crate::engine::fingerprint::Fingerprint;
+use crate::{
     Bounds, FlowSpec, RedundancyModel, Strategy, SynthReport, SynthRequest, SynthesisError,
 };
 use rchls_dfg::Dfg;
@@ -100,7 +100,7 @@ struct CacheEntry {
 ///
 /// Cached reports keep the wall time of the run that populated the entry;
 /// callers assembling deterministic artifacts scrub it (see
-/// [`rchls_core::Diagnostics::scrubbed`]).
+/// [`crate::Diagnostics::scrubbed`]).
 #[derive(Debug, Default)]
 pub struct SynthCache {
     entries: Mutex<HashMap<u64, CacheEntry>>,
@@ -200,7 +200,7 @@ impl SynthCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rchls_core::{flow, StrategyKind};
+    use crate::{flow, StrategyKind};
     use rchls_dfg::{DfgBuilder, OpKind};
 
     fn tiny() -> Dfg {

@@ -1,0 +1,644 @@
+//! The session-oriented synthesis engine: interned inputs, a shared
+//! fingerprint cache, and deterministic parallel batch execution.
+//!
+//! The per-call API ([`crate::Strategy::run`]) re-borrows its DFG and
+//! library on every request; a service synthesizing many scenario-diverse
+//! requests wants the opposite shape — set the session up once, then
+//! stream jobs through it. An [`Engine`] owns that session state:
+//!
+//! * the resource library and every resolved workload are interned
+//!   behind [`Arc`], so repeated jobs share one copy instead of cloning
+//!   on the hot path;
+//! * workloads are named by **spec strings** resolved through the
+//!   [`rchls_workloads`] source registry (`builtin:fir16`,
+//!   `random:64x8@7`, `file:path.dfg`, or any out-of-tree scheme), and
+//!   the canonical spec — seed and all — is echoed in every outcome so
+//!   a report alone reproduces its run;
+//! * every job runs through the [`SynthCache`] keyed by content
+//!   fingerprints, so structurally identical requests are answered once;
+//! * [`Engine::synth_batch`] fans jobs over the deterministic
+//!   [`SweepExecutor`]: results come back in job order and are
+//!   byte-identical at any worker count.
+//!
+//! This module also hosts the executor, fingerprint, and cache
+//! primitives (grown in `rchls-explorer`, moved here so both the engine
+//! and the explorer build on one implementation; `rchls_explorer`
+//! re-exports them unchanged).
+//!
+//! # Examples
+//!
+//! ```
+//! use rchls_core::engine::{Engine, SynthJob};
+//! use rchls_reslib::Library;
+//!
+//! let engine = Engine::new(Library::table1()).with_jobs(2);
+//! let jobs = vec![
+//!     SynthJob::new("builtin:figure4a", 6, 4),
+//!     SynthJob::new("random:16x4@7", 8, 8).with_strategy("combined"),
+//! ];
+//! let batch = engine.run_batch(&jobs);
+//! assert_eq!(batch.outcomes.len(), 2);
+//! assert!(batch.outcomes.iter().all(|o| o.report.is_some()));
+//! // The random workload's seed is echoed in the canonical spec.
+//! assert_eq!(batch.outcomes[1].workload, "random:16x4@7");
+//! ```
+
+mod cache;
+mod executor;
+mod fingerprint;
+
+pub use cache::{CacheKey, CacheStats, SynthCache};
+pub use executor::SweepExecutor;
+pub use fingerprint::{fingerprint, Fingerprint};
+
+use crate::bounds::Bounds;
+use crate::error::SynthesisError;
+use crate::flow::{self, FlowSpec, SynthReport};
+use crate::redundancy::RedundancyModel;
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+use rchls_workloads::WorkloadError;
+use serde::{map_get, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// An engine-level failure for one job.
+///
+/// Every variant's message is a pure function of the job's inputs (in
+/// particular, infeasibility is reported canonically rather than with
+/// the synthesizer's run-dependent detail), so batch outputs stay
+/// byte-identical across worker counts and cache states.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The workload spec did not resolve through the source registry.
+    Workload(WorkloadError),
+    /// The job named an unregistered strategy id.
+    UnknownStrategy(String),
+    /// The job's flow named an unregistered pass id.
+    Flow(SynthesisError),
+    /// No design meets the job's bounds.
+    Infeasible {
+        /// The canonical workload spec.
+        workload: String,
+        /// The bounds that could not be met.
+        bounds: Bounds,
+        /// The strategy that found no design.
+        strategy: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Workload(e) => write!(f, "{e}"),
+            EngineError::UnknownStrategy(id) => {
+                write!(f, "{id:?} is not a registered strategy")
+            }
+            EngineError::Flow(e) => write!(f, "{e}"),
+            EngineError::Infeasible {
+                workload,
+                bounds,
+                strategy,
+            } => write!(f, "no {strategy} design for {workload} meets {bounds}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Workload(e) => Some(e),
+            EngineError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for EngineError {
+    fn from(e: WorkloadError) -> EngineError {
+        EngineError::Workload(e)
+    }
+}
+
+/// One synthesis job, fully described by value: a workload spec plus
+/// bounds, strategy id, flow, and redundancy model.
+///
+/// Serializes flat (`workload`, `latency`, `area`, `strategy`, `flow`,
+/// `redundancy`); deserialization accepts job files that omit
+/// `strategy`, `flow`, and `redundancy`, which default to `"ours"`, the
+/// default flow, and the default model — so a minimal batch entry is
+/// `{"workload": "builtin:fir16", "latency": 12, "area": 8}`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SynthJob {
+    /// The workload spec (resolved through the source registry).
+    pub workload: String,
+    /// Latency bound `Ld` in cycles (must be positive).
+    pub latency: u32,
+    /// Area bound `Ad` in normalized units (must be positive).
+    pub area: u32,
+    /// Strategy registry id.
+    pub strategy: String,
+    /// Pass composition.
+    pub flow: FlowSpec,
+    /// Redundancy growth model.
+    pub redundancy: RedundancyModel,
+}
+
+impl SynthJob {
+    /// A job with the default strategy (`ours`), flow, and model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, latency: u32, area: u32) -> SynthJob {
+        let bounds = Bounds::new(latency, area);
+        SynthJob {
+            workload: workload.into(),
+            latency: bounds.latency,
+            area: bounds.area,
+            strategy: "ours".to_owned(),
+            flow: FlowSpec::default(),
+            redundancy: RedundancyModel::default(),
+        }
+    }
+
+    /// Replaces the strategy id.
+    #[must_use]
+    pub fn with_strategy(mut self, id: impl Into<String>) -> SynthJob {
+        self.strategy = id.into();
+        self
+    }
+
+    /// Replaces the flow spec.
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowSpec) -> SynthJob {
+        self.flow = flow;
+        self
+    }
+
+    /// Replaces the redundancy model.
+    #[must_use]
+    pub fn with_redundancy(mut self, model: RedundancyModel) -> SynthJob {
+        self.redundancy = model;
+        self
+    }
+
+    /// The job's bounds.
+    #[must_use]
+    pub fn bounds(&self) -> Bounds {
+        Bounds::new(self.latency, self.area)
+    }
+}
+
+impl Deserialize for SynthJob {
+    fn from_value(v: &Value) -> Result<SynthJob, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::unexpected("map", v))?;
+        let field = |name: &str| map_get(entries, name);
+        let workload = String::from_value(
+            field("workload").ok_or_else(|| serde::Error::missing_field("workload"))?,
+        )?;
+        let latency = u32::from_value(
+            field("latency").ok_or_else(|| serde::Error::missing_field("latency"))?,
+        )?;
+        let area =
+            u32::from_value(field("area").ok_or_else(|| serde::Error::missing_field("area"))?)?;
+        if latency == 0 || area == 0 {
+            return Err(serde::Error::custom(
+                "latency and area bounds must be positive",
+            ));
+        }
+        let mut job = SynthJob::new(workload, latency, area);
+        if let Some(s) = field("strategy") {
+            job.strategy = String::from_value(s)?;
+        }
+        if let Some(f) = field("flow") {
+            job.flow = FlowSpec::from_value(f)?;
+        }
+        if let Some(r) = field("redundancy") {
+            job.redundancy = RedundancyModel::from_value(r)?;
+        }
+        Ok(job)
+    }
+}
+
+/// One job's result in a [`BatchReport`]: the canonical workload spec
+/// (seed made explicit), the job facts, and either a report (wall time
+/// scrubbed for determinism) or a deterministic error string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Canonical workload spec (the input spec when resolution failed).
+    pub workload: String,
+    /// The job's latency bound.
+    pub latency_bound: u32,
+    /// The job's area bound.
+    pub area_bound: u32,
+    /// The job's strategy id.
+    pub strategy: String,
+    /// The synthesis report, diagnostics scrubbed; `None` on error.
+    pub report: Option<SynthReport>,
+    /// Why the job produced no design; `None` on success.
+    pub error: Option<String>,
+}
+
+/// A whole batch's outcomes plus session counters — the
+/// diagnostics-carrying document `rchls batch` serializes.
+///
+/// Byte-identical for the same jobs at any worker count: outcomes are in
+/// job order, wall times are scrubbed, error strings are canonical, and
+/// `memoized_points` counts distinct fingerprints (not hit/miss timing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Number of jobs submitted.
+    pub jobs: usize,
+    /// Distinct synthesis points memoized in the engine's cache so far.
+    pub memoized_points: usize,
+    /// Per-job outcomes, in job order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+/// A workload interned by an [`Engine`]: the canonical spec plus the
+/// shared graph.
+#[derive(Debug, Clone)]
+pub struct InternedWorkload {
+    /// The canonical spec string.
+    pub spec: String,
+    /// The shared graph.
+    pub dfg: Arc<Dfg>,
+}
+
+/// A synthesis session: one library, an open-ended stream of jobs.
+///
+/// See the [module docs](self) for the full story; in short, an engine
+/// interns everything a job references, memoizes every synthesis point,
+/// and runs batches in parallel with deterministic output.
+#[derive(Debug)]
+pub struct Engine {
+    library: Arc<Library>,
+    executor: SweepExecutor,
+    cache: SynthCache,
+    workloads: RwLock<HashMap<String, InternedWorkload>>,
+}
+
+impl Engine {
+    /// A session over `library` with one worker per CPU.
+    #[must_use]
+    pub fn new(library: Library) -> Engine {
+        Engine {
+            library: Arc::new(library),
+            executor: SweepExecutor::default(),
+            cache: SynthCache::new(),
+            workloads: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Replaces the batch worker count (`0` = one worker per CPU). The
+    /// worker count never changes results, only wall time.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Engine {
+        self.executor = SweepExecutor::new(jobs);
+        self
+    }
+
+    /// The session library.
+    #[must_use]
+    pub fn library(&self) -> &Arc<Library> {
+        &self.library
+    }
+
+    /// The batch worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.executor.jobs()
+    }
+
+    /// Hit/miss counters of the session cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Distinct synthesis points memoized so far.
+    #[must_use]
+    pub fn memoized_points(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Resolves a workload spec through the source registry, interning
+    /// the result: the first resolution of a spec loads (or generates)
+    /// the graph, every later one returns the shared [`Arc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Workload`] when the spec does not resolve.
+    pub fn workload(&self, spec: &str) -> Result<InternedWorkload, EngineError> {
+        if let Some(found) = self
+            .workloads
+            .read()
+            .expect("workload intern lock")
+            .get(spec)
+        {
+            return Ok(found.clone());
+        }
+        let loaded = rchls_workloads::load_workload(spec)?;
+        let mut table = self.workloads.write().expect("workload intern lock");
+        // Under the write lock, prefer any entry that appeared since the
+        // read-lock miss — either this spelling (a racing resolver) or
+        // the canonical one (`random:30x6` after `random:30x6@0`) — so
+        // every spelling of a workload shares one graph.
+        let entry = match table.get(spec).or_else(|| table.get(&loaded.spec)) {
+            Some(existing) => existing.clone(),
+            None => InternedWorkload {
+                spec: loaded.spec.clone(),
+                dfg: Arc::new(loaded.dfg),
+            },
+        };
+        table
+            .entry(spec.to_owned())
+            .or_insert_with(|| entry.clone());
+        // Index the canonical spelling too.
+        table
+            .entry(entry.spec.clone())
+            .or_insert_with(|| entry.clone());
+        Ok(entry)
+    }
+
+    /// Number of distinct workloads interned so far.
+    #[must_use]
+    pub fn interned_workloads(&self) -> usize {
+        let table = self.workloads.read().expect("workload intern lock");
+        let mut specs: Vec<&str> = table.values().map(|w| w.spec.as_str()).collect();
+        specs.sort_unstable();
+        specs.dedup();
+        specs.len()
+    }
+
+    /// Synthesizes one job through the session cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the workload, strategy, or flow
+    /// does not resolve, or when no design meets the bounds.
+    pub fn synth(&self, job: &SynthJob) -> Result<SynthReport, EngineError> {
+        let workload = self.workload(&job.workload)?;
+        self.synth_resolved(job, &workload)
+    }
+
+    /// Runs a batch in parallel over the session executor.
+    ///
+    /// Results are in job order and independent of the worker count.
+    /// Workloads are resolved (and interned) up front on the calling
+    /// thread, so a batch over `n` jobs with `k` distinct specs loads
+    /// exactly `k` graphs.
+    #[must_use]
+    pub fn synth_batch(&self, jobs: &[SynthJob]) -> Vec<Result<SynthReport, EngineError>> {
+        let resolved: Vec<(&SynthJob, Result<InternedWorkload, EngineError>)> = jobs
+            .iter()
+            .map(|job| (job, self.workload(&job.workload)))
+            .collect();
+        self.executor.run(&resolved, |(job, workload)| {
+            let workload = workload.as_ref().map_err(Clone::clone)?;
+            self.synth_resolved(job, workload)
+        })
+    }
+
+    /// Runs a batch and assembles the deterministic outcome document.
+    #[must_use]
+    pub fn run_batch(&self, jobs: &[SynthJob]) -> BatchReport {
+        let results = self.synth_batch(jobs);
+        let outcomes = jobs
+            .iter()
+            .zip(results)
+            .map(|(job, result)| {
+                // Echo the canonical spec (now interned) so randomized
+                // runs are reproducible from the outcome alone; fall
+                // back to the input spec when resolution failed.
+                let workload = match &result {
+                    Err(EngineError::Workload(_)) => job.workload.clone(),
+                    _ => self
+                        .workload(&job.workload)
+                        .map(|w| w.spec)
+                        .unwrap_or_else(|_| job.workload.clone()),
+                };
+                let (report, error) = match result {
+                    Ok(report) => (
+                        Some(SynthReport {
+                            diagnostics: report.diagnostics.scrubbed(),
+                            ..report
+                        }),
+                        None,
+                    ),
+                    Err(e) => (None, Some(e.to_string())),
+                };
+                JobOutcome {
+                    workload,
+                    latency_bound: job.latency,
+                    area_bound: job.area,
+                    strategy: job.strategy.clone(),
+                    report,
+                    error,
+                }
+            })
+            .collect();
+        BatchReport {
+            jobs: jobs.len(),
+            memoized_points: self.memoized_points(),
+            outcomes,
+        }
+    }
+
+    /// The cached synthesis of one job whose workload is already
+    /// resolved. Validation (flow, strategy) happens before the cache so
+    /// every failure mode has a canonical, order-independent message.
+    fn synth_resolved(
+        &self,
+        job: &SynthJob,
+        workload: &InternedWorkload,
+    ) -> Result<SynthReport, EngineError> {
+        job.flow.resolve().map_err(EngineError::Flow)?;
+        let strategy = flow::strategy(&job.strategy)
+            .ok_or_else(|| EngineError::UnknownStrategy(job.strategy.clone()))?;
+        self.cache
+            .synthesize(
+                &workload.dfg,
+                &self.library,
+                job.bounds(),
+                &job.flow,
+                job.redundancy,
+                &*strategy,
+            )
+            .ok_or_else(|| EngineError::Infeasible {
+                workload: workload.spec.clone(),
+                bounds: job.bounds(),
+                strategy: job.strategy.clone(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthRequest;
+
+    fn engine() -> Engine {
+        Engine::new(Library::table1())
+    }
+
+    #[test]
+    fn engine_matches_the_per_call_api() {
+        let e = engine();
+        let job = SynthJob::new("builtin:figure4a", 6, 4);
+        let via_engine = e.synth(&job).unwrap();
+        let dfg = rchls_workloads::figure4a();
+        let direct = flow::strategy("ours")
+            .unwrap()
+            .run(&SynthRequest::new(&dfg, e.library(), job.bounds()))
+            .unwrap();
+        assert_eq!(via_engine.design, direct.design);
+    }
+
+    #[test]
+    fn workloads_are_interned_once_per_spec() {
+        let e = engine();
+        let a = e.workload("random:20x4@3").unwrap();
+        let b = e.workload("random:20x4@3").unwrap();
+        assert!(Arc::ptr_eq(&a.dfg, &b.dfg));
+        // The non-canonical spelling shares the canonical entry.
+        let c = e.workload("builtin:ewf").unwrap();
+        assert!(!Arc::ptr_eq(&a.dfg, &c.dfg));
+        assert_eq!(e.interned_workloads(), 2);
+        let e2 = engine();
+        let d = e2.workload("random:20x4").unwrap();
+        assert_eq!(d.spec, "random:20x4@0");
+        let d2 = e2.workload("random:20x4@0").unwrap();
+        assert!(Arc::ptr_eq(&d.dfg, &d2.dfg));
+        assert_eq!(e2.interned_workloads(), 1);
+        // ... and in the opposite order: the canonical spelling first,
+        // the defaulted one after, still one shared graph.
+        let e3 = engine();
+        let f = e3.workload("random:20x4@0").unwrap();
+        let f2 = e3.workload("random:20x4").unwrap();
+        assert!(Arc::ptr_eq(&f.dfg, &f2.dfg));
+        assert_eq!(e3.interned_workloads(), 1);
+    }
+
+    #[test]
+    fn repeated_jobs_hit_the_session_cache() {
+        let e = engine();
+        let job = SynthJob::new("builtin:diffeq", 6, 11);
+        let first = e.synth(&job).unwrap();
+        let second = e.synth(&job).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(e.cache_stats().hits, 1);
+        assert_eq!(e.cache_stats().misses, 1);
+        assert_eq!(e.memoized_points(), 1);
+    }
+
+    #[test]
+    fn batch_results_are_in_job_order_and_jobs_invariant() {
+        let jobs: Vec<SynthJob> = (0..6)
+            .flat_map(|i| {
+                [
+                    SynthJob::new("builtin:figure4a", 5 + i % 3, 4),
+                    SynthJob::new(format!("random:12x3@{i}"), 8, 6).with_strategy("combined"),
+                ]
+            })
+            .collect();
+        let reference: Vec<_> = Engine::new(Library::table1())
+            .with_jobs(1)
+            .run_batch(&jobs)
+            .outcomes;
+        for workers in [2usize, 8] {
+            let out = Engine::new(Library::table1())
+                .with_jobs(workers)
+                .run_batch(&jobs);
+            assert_eq!(out.outcomes, reference, "workers = {workers}");
+            assert_eq!(out.jobs, jobs.len());
+        }
+    }
+
+    #[test]
+    fn batch_reports_scrub_wall_time() {
+        let e = engine();
+        let batch = e.run_batch(&[SynthJob::new("builtin:figure4a", 6, 4)]);
+        let report = batch.outcomes[0].report.as_ref().unwrap();
+        assert_eq!(report.diagnostics.wall_time_micros, 0);
+        // ... while the direct API keeps the measured time.
+        assert_eq!(batch.memoized_points, 1);
+    }
+
+    #[test]
+    fn every_failure_mode_has_a_canonical_error() {
+        let e = engine();
+        let bad_workload = e.synth(&SynthJob::new("warp:9", 6, 4)).unwrap_err();
+        assert!(matches!(bad_workload, EngineError::Workload(_)));
+        assert!(bad_workload.to_string().contains("warp"));
+        let bad_strategy = e
+            .synth(&SynthJob::new("builtin:figure4a", 6, 4).with_strategy("nope"))
+            .unwrap_err();
+        assert!(matches!(bad_strategy, EngineError::UnknownStrategy(_)));
+        let bad_flow = e
+            .synth(
+                &SynthJob::new("builtin:figure4a", 6, 4)
+                    .with_flow(FlowSpec::default().with_scheduler("warp")),
+            )
+            .unwrap_err();
+        assert!(matches!(bad_flow, EngineError::Flow(_)));
+        let infeasible = e
+            .synth(&SynthJob::new("builtin:figure4a", 3, 99))
+            .unwrap_err();
+        assert_eq!(
+            infeasible.to_string(),
+            "no ours design for builtin:figure4a meets Ld=3, Ad=99"
+        );
+        // Infeasibility is reported identically on the cached repeat.
+        let again = e
+            .synth(&SynthJob::new("builtin:figure4a", 3, 99))
+            .unwrap_err();
+        assert_eq!(infeasible, again);
+    }
+
+    #[test]
+    fn jobs_deserialize_with_defaults() {
+        let text = r#"[
+            {"workload": "builtin:fir16", "latency": 12, "area": 8},
+            {"workload": "random:24x4@9", "latency": 10, "area": 7,
+             "strategy": "baseline",
+             "flow": {"scheduler": "force-directed", "binder": "left-edge",
+                      "victim": "max-delay", "refine": "greedy"}}
+        ]"#;
+        let jobs: Vec<SynthJob> = serde_json::from_str(text).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].strategy, "ours");
+        assert_eq!(jobs[0].flow, FlowSpec::default());
+        assert_eq!(jobs[1].strategy, "baseline");
+        assert_eq!(jobs[1].flow.scheduler, "force-directed");
+        // Serialize -> deserialize round-trips.
+        let back: Vec<SynthJob> =
+            serde_json::from_str(&serde_json::to_string(&jobs).unwrap()).unwrap();
+        assert_eq!(back, jobs);
+        // Zero bounds and missing fields are rejected.
+        assert!(serde_json::from_str::<SynthJob>(
+            r#"{"workload": "builtin:fir16", "latency": 0, "area": 8}"#
+        )
+        .is_err());
+        assert!(serde_json::from_str::<SynthJob>(r#"{"latency": 1, "area": 8}"#).is_err());
+    }
+
+    #[test]
+    fn batch_report_serializes_and_round_trips() {
+        let e = engine();
+        let batch = e.run_batch(&[
+            SynthJob::new("builtin:figure4a", 6, 4),
+            SynthJob::new("builtin:figure4a", 3, 99),
+        ]);
+        assert!(batch.outcomes[0].error.is_none());
+        assert!(batch.outcomes[1].report.is_none());
+        let json = serde_json::to_string_pretty(&batch).unwrap();
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+    }
+}

@@ -32,6 +32,14 @@
 //! [`modes`] implements the paper's future-work objectives (minimize area
 //! / minimize latency under a reliability bound).
 //!
+//! For serving many requests, [`engine`] wraps the per-call API in a
+//! session: an [`Engine`] interns the library and every workload behind
+//! `Arc`, memoizes synthesis points in a fingerprint cache, and runs
+//! [`SynthJob`] batches in parallel with deterministic, job-ordered
+//! output. Workloads are addressed by spec strings (`builtin:fir16`,
+//! `random:64x8@7`, `file:path.dfg`) resolved through the open
+//! [`rchls_workloads`] source registry.
+//!
 //! # Examples
 //!
 //! ```
@@ -62,6 +70,7 @@ mod baseline;
 mod bounds;
 mod combined;
 mod design;
+pub mod engine;
 mod error;
 pub mod explore;
 pub mod flow;
@@ -75,6 +84,7 @@ pub use baseline::{baseline_versions, nmr_baseline_report, synthesize_nmr_baseli
 pub use bounds::Bounds;
 pub use combined::{combined_report, synthesize_combined};
 pub use design::Design;
+pub use engine::{BatchReport, Engine, EngineError, JobOutcome, SynthJob};
 pub use error::SynthesisError;
 pub use explore::{StrategyDiagnostics, StrategyKind};
 pub use flow::{Diagnostics, FlowSpec, Strategy, SynthReport, SynthRequest};

@@ -8,6 +8,15 @@
 //! op <label> <kind>        # kind: add | sub | mul | div | cmp
 //! <label> -> <label>       # data dependence
 //! ```
+//!
+//! The `graph` directive is optional (the graph is called `unnamed`
+//! without it) but, when present, must be the **first** directive and
+//! appear at most once — a duplicate or late `graph` line is a parse
+//! error with its line number.
+//!
+//! [`Dfg::to_text`] prints this format back; `parse_dfg(dfg.to_text())`
+//! reconstructs the graph exactly (nodes in id order, edges grouped by
+//! source).
 
 use crate::error::ParseDfgError;
 use crate::graph::Dfg;
@@ -32,6 +41,10 @@ use crate::op::OpKind;
 /// ```
 pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
     let mut dfg = Dfg::new("unnamed");
+    // The `graph` directive is only legal as the first directive, once:
+    // accepting it anywhere would silently rename the graph mid-parse.
+    let mut named_at: Option<usize> = None;
+    let mut body_started = false;
     let err = |line: usize, message: String| ParseDfgError { line, message };
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -41,14 +54,31 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         match tokens.as_slice() {
-            ["graph", name] => dfg = rename(dfg, name),
+            ["graph", name] => {
+                if let Some(first) = named_at {
+                    return Err(err(
+                        lineno,
+                        format!("duplicate `graph` directive (first named at line {first})"),
+                    ));
+                }
+                if body_started {
+                    return Err(err(
+                        lineno,
+                        "`graph` directive must precede all op and edge lines".to_owned(),
+                    ));
+                }
+                named_at = Some(lineno);
+                dfg = Dfg::new(*name);
+            }
             ["op", label, kind] => {
+                body_started = true;
                 let kind = OpKind::from_mnemonic(kind)
                     .ok_or_else(|| err(lineno, format!("unknown op kind {kind:?}")))?;
                 dfg.try_add_node(kind, *label)
                     .map_err(|e| err(lineno, e.to_string()))?;
             }
             [from, "->", to] => {
+                body_started = true;
                 let f = dfg
                     .node_by_label(from)
                     .ok_or_else(|| err(lineno, format!("unknown node {from:?}")))?;
@@ -65,19 +95,6 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
         message: e.to_string(),
     })?;
     Ok(dfg)
-}
-
-/// Rebuilds a graph under a new name, preserving all nodes and edges.
-fn rename(old: Dfg, name: &str) -> Dfg {
-    let mut g = Dfg::new(name);
-    for node in old.nodes() {
-        g.add_node(node.kind(), node.label());
-    }
-    for (a, b) in old.edges() {
-        g.add_edge(a, b)
-            .expect("edges of a valid graph re-add cleanly");
-    }
-    g
 }
 
 impl Dfg {
@@ -121,6 +138,37 @@ mod tests {
         let text = "# header\n\ngraph t\nop a add # trailing\n";
         let g = parse_dfg(text).unwrap();
         assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_graph_directive_is_rejected_with_both_lines() {
+        let e = parse_dfg("graph a\nop x add\ngraph b\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate"));
+        assert!(e.message.contains("line 1"));
+        // Even back-to-back renames (no body between) are duplicates.
+        let e = parse_dfg("graph a\ngraph b\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn late_graph_directive_is_rejected_with_line() {
+        let e = parse_dfg("op x add\ngraph late\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("must precede"));
+        // After an edge line too.
+        let e = parse_dfg("op x add\nop y add\nx -> y\ngraph late\n").unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn missing_graph_directive_parses_as_unnamed() {
+        let g = parse_dfg("op a add\n").unwrap();
+        assert_eq!(g.name(), "unnamed");
+        // Comments and blanks before `graph` are fine — it is the first
+        // *directive*, not the first line.
+        let g = parse_dfg("# header\n\ngraph named\nop a add\n").unwrap();
+        assert_eq!(g.name(), "named");
     }
 
     #[test]

@@ -6,9 +6,8 @@
 //! trait — the explorer never matches on a strategy enum, so
 //! out-of-tree strategies sweep exactly like built-ins.
 
-use crate::cache::SynthCache;
-use crate::executor::SweepExecutor;
 use crate::pareto::{FrontierPoint, ParetoArchive};
+use rchls_core::engine::{SweepExecutor, SynthCache};
 use rchls_core::explore::{inherit, StrategyDiagnostics, SweepRow};
 use rchls_core::{Bounds, Design, FlowSpec, RedundancyModel, Strategy, StrategyKind, SynthReport};
 use rchls_dfg::Dfg;
@@ -42,6 +41,11 @@ impl From<&Design> for DesignPoint {
 pub struct ExploreTask {
     /// Benchmark name (labels rows and frontier points).
     pub name: String,
+    /// The workload spec the graph came from, when it was resolved
+    /// through the [`rchls_workloads`] source registry — echoed into the
+    /// sweep artifacts so randomized runs are reproducible from their
+    /// reports.
+    pub workload: Option<String>,
     /// The data-flow graph.
     pub dfg: Dfg,
     /// The `(latency, area)` bound pairs to sweep.
@@ -54,9 +58,39 @@ impl ExploreTask {
     pub fn new(name: impl Into<String>, dfg: Dfg, grid: Vec<(u32, u32)>) -> ExploreTask {
         ExploreTask {
             name: name.into(),
+            workload: None,
             dfg,
             grid,
         }
+    }
+
+    /// Resolves a workload spec (`builtin:fir16`, `random:64x8@7`,
+    /// `file:path.dfg`, or any registered scheme) into a task over
+    /// `grid`. The task is named after the graph and carries the
+    /// canonical spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the registry's [`rchls_workloads::WorkloadError`] when
+    /// the spec does not resolve.
+    pub fn from_spec(
+        spec: &str,
+        grid: Vec<(u32, u32)>,
+    ) -> Result<ExploreTask, rchls_workloads::WorkloadError> {
+        let workload = rchls_workloads::load_workload(spec)?;
+        Ok(ExploreTask {
+            name: workload.dfg.name().to_owned(),
+            workload: Some(workload.spec),
+            dfg: workload.dfg,
+            grid,
+        })
+    }
+
+    /// Attaches the canonical workload spec this task's graph came from.
+    #[must_use]
+    pub fn with_workload(mut self, spec: impl Into<String>) -> ExploreTask {
+        self.workload = Some(spec.into());
+        self
     }
 }
 
@@ -75,6 +109,9 @@ pub struct Exploration {
 pub struct BenchmarkSweep {
     /// Benchmark name.
     pub benchmark: String,
+    /// The canonical workload spec the benchmark was resolved from
+    /// (`None` when the task was built from a bare graph).
+    pub workload: Option<String>,
     /// Sweep rows in grid order.
     pub rows: Vec<SweepRow>,
 }
@@ -196,6 +233,7 @@ pub fn explore(
             task_offset += t.grid.len() * stride;
             BenchmarkSweep {
                 benchmark: t.name.clone(),
+                workload: t.workload.clone(),
                 rows: inherit(&raw),
             }
         })
@@ -375,6 +413,26 @@ mod tests {
             SweepExecutor::serial(),
             &SynthCache::new(),
         );
+    }
+
+    #[test]
+    fn tasks_from_workload_specs_echo_the_canonical_spec() {
+        let task = ExploreTask::from_spec("random:18x4", vec![(8, 8)]).unwrap();
+        assert_eq!(task.workload.as_deref(), Some("random:18x4@0"));
+        assert_eq!(task.dfg.node_count(), 18);
+        let out = explore(
+            &[task],
+            &Library::table1(),
+            &FlowSpec::default(),
+            RedundancyModel::default(),
+            SweepExecutor::serial(),
+            &SynthCache::new(),
+        );
+        assert_eq!(out.sweeps[0].workload.as_deref(), Some("random:18x4@0"));
+        // Tasks built from bare graphs carry no spec.
+        let bare = ExploreTask::new("figure4a", rchls_workloads::figure4a(), vec![(5, 4)]);
+        assert_eq!(bare.workload, None);
+        assert!(ExploreTask::from_spec("warp:9", vec![(5, 4)]).is_err());
     }
 
     #[test]

@@ -65,17 +65,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
-mod executor;
 mod explore;
 pub mod export;
-mod fingerprint;
 mod pareto;
 
-pub use cache::{CacheKey, CacheStats, SynthCache};
-pub use executor::SweepExecutor;
+// The executor, fingerprint, and cache primitives were grown here and
+// now live in `rchls_core::engine` (so the session `Engine` can build on
+// them without a dependency cycle); these re-exports keep every explorer
+// consumer source-compatible.
+pub use rchls_core::engine::{
+    fingerprint, CacheKey, CacheStats, Fingerprint, SweepExecutor, SynthCache,
+};
+
 pub use explore::{
     default_grid, explore, sweep_parallel, BenchmarkSweep, DesignPoint, Exploration, ExploreTask,
 };
-pub use fingerprint::{fingerprint, Fingerprint};
 pub use pareto::{FrontierPoint, ParetoArchive};

@@ -8,6 +8,12 @@
 //! where it is recoverable (the FIR graph's 23 operations reproduce the
 //! published `0.969²³ = 0.48467` exactly).
 //!
+//! Ingestion is an **open registry** (the [`WorkloadSource`] trait,
+//! mirroring `rchls_core::flow`): any workload is addressable by a spec
+//! string — `builtin:<name>`, `random:<nodes>x<layers>@<seed>`,
+//! `file:<path>`, or a scheme registered by an out-of-tree crate via
+//! [`register_workload_source`]. See [`load_workload`].
+//!
 //! # Examples
 //!
 //! ```
@@ -19,8 +25,13 @@
 #![warn(missing_docs)]
 
 mod random;
+mod source;
 
 pub use random::{random_layered_dfg, RandomDfgConfig};
+pub use source::{
+    load_workload, register_workload_source, workload_source, workload_source_schemes,
+    BuiltinSource, FileSource, RandomSource, Workload, WorkloadError, WorkloadSource,
+};
 
 use rchls_dfg::{Dfg, DfgBuilder, OpKind};
 

@@ -91,11 +91,17 @@ pub fn random_layered_dfg(config: &RandomDfgConfig) -> Dfg {
         }
         // Guaranteed predecessor keeps the graph connected layer-to-layer.
         let anchor = prev[rng.gen_range(0..prev.len())];
-        let _ = g.add_edge(node(anchor), node(i));
-        for &j in &prev {
-            if j != anchor && rng.gen_bool(config.edge_probability) {
-                let _ = g.add_edge(node(j), node(i));
-            }
+        // Insert each node's predecessor edges in ascending source order
+        // (`prev` is ascending by construction): the graph then has the
+        // same canonical edge ordering `parse_dfg` rebuilds from
+        // `Dfg::to_text`, so generated workloads round-trip through the
+        // text format as `==`-identical values.
+        let sources = prev
+            .iter()
+            .copied()
+            .filter(|&j| j == anchor || rng.gen_bool(config.edge_probability));
+        for j in sources {
+            let _ = g.add_edge(node(j), node(i));
         }
     }
     g

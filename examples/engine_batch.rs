@@ -1,0 +1,106 @@
+//! Session-oriented batch synthesis through the [`Engine`] and the open
+//! workload-source registry.
+//!
+//! Run with `cargo run --release --example engine_batch` (from the repo
+//! root, so the `file:` spec resolves).
+
+use rc_hls::core::{Engine, SynthJob};
+use rc_hls::reslib::Library;
+use rc_hls::workloads::{self, Workload, WorkloadError, WorkloadSource};
+use std::sync::Arc;
+
+/// An out-of-tree workload source: serial adder chains under
+/// `chain:<n>`. Registering it once makes `chain:` specs work
+/// everywhere — this engine, the `rchls` CLI flags, batch job files.
+struct ChainSource;
+
+impl WorkloadSource for ChainSource {
+    fn scheme(&self) -> &str {
+        "chain"
+    }
+
+    fn description(&self) -> &str {
+        "a serial chain of <n> additions (chain:8)"
+    }
+
+    fn load(&self, rest: &str) -> Result<Workload, WorkloadError> {
+        let n: usize = rest.parse().map_err(|_| WorkloadError {
+            spec: format!("chain:{rest}"),
+            message: "expected chain:<n> with a positive length".to_owned(),
+        })?;
+        let mut b = rc_hls::dfg::DfgBuilder::new(format!("chain{n}"));
+        for i in 0..n.max(1) {
+            b = b.op(&format!("c{i}"), rc_hls::dfg::OpKind::Add);
+            if i > 0 {
+                b = b.dep(&format!("c{}", i - 1), &format!("c{i}"));
+            }
+        }
+        Ok(Workload {
+            spec: format!("chain:{}", n.max(1)),
+            dfg: b.build().expect("chains are acyclic"),
+        })
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    workloads::register_workload_source(Arc::new(ChainSource))?;
+
+    // One session: the library and every resolved workload are interned,
+    // and every synthesis point is memoized across jobs.
+    let engine = Engine::new(Library::table1());
+    println!("engine with {} worker(s)\n", engine.jobs());
+
+    // A batch mixing all four spec schemes. Jobs carry their strategy
+    // and flow by value, so one batch can compare approaches.
+    let jobs = vec![
+        SynthJob::new("builtin:fir16", 12, 8),
+        SynthJob::new("builtin:fir16", 12, 8).with_strategy("combined"),
+        SynthJob::new("random:24x5@7", 10, 16),
+        SynthJob::new("file:examples/fir4.dfg", 6, 6),
+        SynthJob::new("chain:8", 10, 3),
+        SynthJob::new("chain:8", 4, 3), // infeasible: 8 serial adds need 8 cycles
+    ];
+    let batch = engine.run_batch(&jobs);
+
+    for outcome in &batch.outcomes {
+        match &outcome.report {
+            Some(report) => println!(
+                "{:<24} {:<9} Ld={:<3} Ad={:<3} -> reliability {:.5} ({} loop iterations)",
+                outcome.workload,
+                outcome.strategy,
+                outcome.latency_bound,
+                outcome.area_bound,
+                report.design.reliability.value(),
+                report.diagnostics.loop_iterations,
+            ),
+            None => println!(
+                "{:<24} {:<9} Ld={:<3} Ad={:<3} -> {}",
+                outcome.workload,
+                outcome.strategy,
+                outcome.latency_bound,
+                outcome.area_bound,
+                outcome.error.as_deref().unwrap_or("unknown failure"),
+            ),
+        }
+    }
+
+    println!(
+        "\n{} jobs over {} interned workload(s), {} memoized synthesis points \
+         (cache: {} hits / {} misses)",
+        batch.jobs,
+        engine.interned_workloads(),
+        batch.memoized_points,
+        engine.cache_stats().hits,
+        engine.cache_stats().misses,
+    );
+
+    // Repeating the whole batch is answered entirely from the cache.
+    let again = engine.run_batch(&jobs);
+    assert_eq!(again.outcomes, batch.outcomes);
+    println!(
+        "repeat batch: {} hits / {} misses",
+        engine.cache_stats().hits,
+        engine.cache_stats().misses,
+    );
+    Ok(())
+}
