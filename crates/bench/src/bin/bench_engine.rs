@@ -3,7 +3,8 @@
 //! with a machine-readable `BENCH_engine.json` summary.
 //!
 //! ```text
-//! cargo run --release -p rchls-bench --bin bench_engine -- [--quick] [--out PATH]
+//! cargo run --release -p rchls-bench --bin bench_engine -- \
+//!     [--quick] [--baseline] [--out PATH]
 //! ```
 //!
 //! `--quick` (or `BENCH_QUICK=1`, the convention of the Criterion
@@ -13,11 +14,22 @@
 //! and whether the parallel outcome document was byte-identical to the
 //! serial one — the engine's core determinism contract, checked on every
 //! bench run.
+//!
+//! Every run also measures the **pinned perf-gate set**
+//! ([`rchls_bench::perf`]) — `random:64x8` sweeps timed per phase
+//! (sched / bind / refine / total) plus a calibration score — into the
+//! summary's `perf` section. `--baseline` emits *only* that section
+//! (mode `"baseline"`): the committable `BENCH_baseline.json` the CI
+//! `perf_gate` compares against (see `scripts/refresh_baseline.sh`).
 
+use rchls_bench::perf::{measure_perf_section, PerfSection};
 use rchls_core::{Engine, SynthJob};
 use rchls_reslib::Library;
 use serde::Serialize;
 use std::time::Instant;
+
+/// Calibration length: long enough to be stable, short enough for CI.
+const CALIBRATION_ITERS: u64 = 200_000_000;
 
 /// One benchmarked workload family.
 #[derive(Debug, Clone, Serialize)]
@@ -48,12 +60,14 @@ struct FamilyResult {
 /// The whole `BENCH_engine.json` document.
 #[derive(Debug, Clone, Serialize)]
 struct Summary {
-    /// Bench mode (`"quick"` or `"full"`).
+    /// Bench mode (`"quick"`, `"full"`, or `"baseline"`).
     mode: String,
     /// Workers used for the parallel runs.
     workers: usize,
-    /// Per-family results.
+    /// Per-family results (empty in `--baseline` mode).
     families: Vec<FamilyResult>,
+    /// Per-phase timings of the pinned perf-gate workload set.
+    perf: PerfSection,
     /// Total wall time of all timed runs, milliseconds.
     total_ms: f64,
 }
@@ -129,6 +143,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick =
         args.iter().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let baseline = args.iter().any(|a| a == "--baseline");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -136,8 +151,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_engine.json".to_owned());
 
     // (nodes, layers, seeds): rising node counts at similar shape, so
-    // the curve isolates graph size.
-    let families: &[(usize, usize, u64)] = if quick {
+    // the curve isolates graph size. `--baseline` skips the scaling
+    // families: the gate only compares the pinned perf section.
+    let families: &[(usize, usize, u64)] = if baseline {
+        &[]
+    } else if quick {
         &[(16, 4, 2), (32, 5, 2)]
     } else {
         &[(16, 4, 4), (32, 5, 4), (64, 6, 3), (96, 8, 2)]
@@ -166,10 +184,33 @@ fn main() {
         );
         results.push(r);
     }
+
+    let perf = measure_perf_section(CALIBRATION_ITERS);
+    println!(
+        "perf set: {} jobs ({} feasible)  sched {:>8.1}/s ({} calls)  bind {:>8.1}/s  \
+         refine {:>6.2}/s  total {:>6.2}/s  calib {:.3e}/s",
+        perf.jobs,
+        perf.feasible,
+        perf.sched.per_sec,
+        perf.sched.units,
+        perf.bind.per_sec,
+        perf.refine.per_sec,
+        perf.total.per_sec,
+        perf.calibration_per_sec,
+    );
+
     let summary = Summary {
-        mode: if quick { "quick" } else { "full" }.to_owned(),
+        mode: if baseline {
+            "baseline"
+        } else if quick {
+            "quick"
+        } else {
+            "full"
+        }
+        .to_owned(),
         workers,
         families: results,
+        perf,
         total_ms: millis(start),
     };
     let json = serde_json::to_string_pretty(&summary).expect("summaries serialize");

@@ -1,0 +1,213 @@
+//! The CI perf-regression gate.
+//!
+//! ```text
+//! perf_gate <BENCH_engine.json> <BENCH_baseline.json> \
+//!     [--tolerance 0.30] [--summary PATH]
+//! ```
+//!
+//! Compares the `perf` sections of a fresh `bench_engine` run and the
+//! committed baseline. For each phase (sched / bind / refine / total)
+//! the gate compares **normalized throughput** — `units-per-second /
+//! calibration-score` — so a slower or faster CI machine shifts both
+//! sides of the ratio together. A phase whose normalized throughput
+//! falls more than `tolerance` (default 0.30, overridable with the flag
+//! or `PERF_GATE_TOLERANCE`) below the baseline fails the build.
+//!
+//! The pinned workload set makes the per-phase *unit counts* (pass
+//! calls, jobs) machine-independent; a count mismatch means the workload
+//! set or the algorithms changed since the baseline was captured, and
+//! the gate fails with a pointer to `scripts/refresh_baseline.sh`.
+//!
+//! A GitHub-flavored markdown delta table is printed to stdout and, with
+//! `--summary PATH`, appended to that file (CI passes
+//! `$GITHUB_STEP_SUMMARY`).
+
+use rchls_bench::perf::{PerfSection, PhaseStat};
+use serde::{map_get, Deserialize, Value};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One phase's comparison outcome.
+struct PhaseDelta {
+    name: &'static str,
+    baseline_norm: f64,
+    current_norm: f64,
+    ratio: f64,
+    units_match: bool,
+}
+
+fn load_perf(path: &str) -> Result<PerfSection, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let entries = value
+        .as_map()
+        .ok_or_else(|| format!("{path}: expected a JSON object"))?;
+    let perf = map_get(entries, "perf").ok_or_else(|| format!("{path}: missing `perf` section"))?;
+    PerfSection::from_value(perf).map_err(|e| format!("{path}: bad `perf` section: {e}"))
+}
+
+fn compare(name: &'static str, base: &PerfSection, cur: &PerfSection) -> PhaseDelta {
+    let pick = |p: &PerfSection| -> PhaseStat {
+        match name {
+            "sched" => p.sched,
+            "bind" => p.bind,
+            "refine" => p.refine,
+            "total" => p.total,
+            _ => unreachable!("fixed phase list"),
+        }
+    };
+    let (b, c) = (pick(base), pick(cur));
+    let baseline_norm = b.per_sec / base.calibration_per_sec;
+    let current_norm = c.per_sec / cur.calibration_per_sec;
+    PhaseDelta {
+        name,
+        baseline_norm,
+        current_norm,
+        ratio: if baseline_norm > 0.0 {
+            current_norm / baseline_norm
+        } else {
+            1.0
+        },
+        units_match: b.units == c.units,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut tolerance_flag: Option<String> = None;
+    let mut summary_path: Option<String> = None;
+    let mut iter = args.iter();
+    let usage = || {
+        eprintln!(
+            "usage: perf_gate <BENCH_engine.json> <BENCH_baseline.json> \
+             [--tolerance F] [--summary PATH]"
+        );
+        ExitCode::from(2)
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" => match iter.next() {
+                Some(v) => tolerance_flag = Some(v.clone()),
+                None => return usage(),
+            },
+            "--summary" => match iter.next() {
+                Some(v) => summary_path = Some(v.clone()),
+                None => return usage(),
+            },
+            a if a.starts_with("--") => {
+                eprintln!("perf_gate: unknown flag {a:?}");
+                return usage();
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [current_path, baseline_path] = positional.as_slice() else {
+        return usage();
+    };
+    let tolerance: f64 = tolerance_flag
+        .or_else(|| std::env::var("PERF_GATE_TOLERANCE").ok())
+        .map_or(0.30, |t| t.parse().expect("tolerance must be a number"));
+
+    let (current, baseline) = match (load_perf(current_path), load_perf(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    if current.jobs != baseline.jobs || current.workloads != baseline.workloads {
+        eprintln!(
+            "perf_gate: pinned workload set changed ({} jobs now vs {} in the baseline) — \
+             refresh it with scripts/refresh_baseline.sh",
+            current.jobs, baseline.jobs
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let deltas: Vec<PhaseDelta> = ["sched", "bind", "refine", "total"]
+        .into_iter()
+        .map(|name| compare(name, &baseline, &current))
+        .collect();
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "### Perf gate (tolerance ±{:.0}%)\n",
+        tolerance * 100.0
+    );
+    let _ = writeln!(
+        table,
+        "| phase | baseline (norm) | current (norm) | Δ | status |"
+    );
+    let _ = writeln!(table, "|---|---:|---:|---:|---|");
+    let mut stale = false;
+    let mut regressed = false;
+    for d in &deltas {
+        let status = if !d.units_match {
+            stale = true;
+            "⚠️ stale baseline"
+        } else if d.ratio < 1.0 - tolerance {
+            regressed = true;
+            "❌ regression"
+        } else {
+            "✅ ok"
+        };
+        let _ = writeln!(
+            table,
+            "| {} | {:.4e} | {:.4e} | {:+.1}% | {} |",
+            d.name,
+            d.baseline_norm,
+            d.current_norm,
+            (d.ratio - 1.0) * 100.0,
+            status,
+        );
+    }
+    let _ = writeln!(
+        table,
+        "\ncalibration: baseline {:.3e}/s, current {:.3e}/s; feasible jobs: {} vs {}",
+        baseline.calibration_per_sec,
+        current.calibration_per_sec,
+        baseline.feasible,
+        current.feasible,
+    );
+    print!("{table}");
+    if let Some(path) = summary_path {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open summary file");
+        file.write_all(table.as_bytes()).expect("append summary");
+    }
+
+    if stale {
+        eprintln!(
+            "perf_gate: per-phase unit counts diverge from the baseline — the pinned set's \
+             deterministic work changed; refresh with scripts/refresh_baseline.sh"
+        );
+        return ExitCode::FAILURE;
+    }
+    if current.feasible != baseline.feasible {
+        eprintln!(
+            "perf_gate: feasible-job count changed ({} vs {}) — synthesis results moved; \
+             refresh with scripts/refresh_baseline.sh",
+            current.feasible, baseline.feasible
+        );
+        return ExitCode::FAILURE;
+    }
+    if regressed {
+        eprintln!(
+            "perf_gate: normalized throughput regressed beyond {:.0}% on at least one phase",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf gate passed");
+    ExitCode::SUCCESS
+}

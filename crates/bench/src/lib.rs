@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
 

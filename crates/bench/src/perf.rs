@@ -1,0 +1,180 @@
+//! The pinned perf-gate workload set and its per-phase measurement.
+//!
+//! `bench_engine` runs this fixed set on every invocation and embeds the
+//! resulting [`PerfSection`] in `BENCH_engine.json`; `bench_engine
+//! --baseline` emits the same section as a committable
+//! `BENCH_baseline.json`; and the `perf_gate` binary compares the two,
+//! failing CI when a phase's *normalized* throughput regresses beyond
+//! the tolerance.
+//!
+//! Cross-machine comparability comes from the calibration score: a fixed
+//! integer workload ([`calibrate`]) is timed on every run, and the gate
+//! compares `phase throughput / calibration throughput` ratios, so a
+//! slower CI runner shifts both sides of the ratio together. Workloads,
+//! seeds, and bounds are pinned — the per-phase call counts are a pure
+//! function of them, and the gate cross-checks those counts to detect a
+//! stale baseline.
+
+use rchls_core::{Engine, SynthJob};
+use rchls_reslib::Library;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One phase's accumulated cost over the pinned set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Wall time spent in the phase, microseconds.
+    pub micros: u64,
+    /// Deterministic work units (pass calls for sched/bind, jobs for
+    /// refine/total).
+    pub units: u64,
+    /// Raw throughput, units per second.
+    pub per_sec: f64,
+}
+
+impl PhaseStat {
+    fn new(micros: u64, units: u64) -> PhaseStat {
+        let per_sec = if micros == 0 {
+            0.0
+        } else {
+            units as f64 / (micros as f64 / 1e6)
+        };
+        PhaseStat {
+            micros,
+            units,
+            per_sec,
+        }
+    }
+}
+
+/// The per-phase timing section of `BENCH_engine.json` /
+/// `BENCH_baseline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSection {
+    /// The pinned workload specs the set sweeps.
+    pub workloads: Vec<String>,
+    /// Jobs in the pinned set.
+    pub jobs: u64,
+    /// Jobs that produced a design.
+    pub feasible: u64,
+    /// Calibration score: iterations per second of the fixed integer
+    /// workload on this machine (the gate's normalizer).
+    pub calibration_per_sec: f64,
+    /// Scheduler-pass phase.
+    pub sched: PhaseStat,
+    /// Binder-pass phase.
+    pub bind: PhaseStat,
+    /// Refinement-pass phase (brackets nested sched/bind work).
+    pub refine: PhaseStat,
+    /// Whole pinned set, end to end.
+    pub total: PhaseStat,
+}
+
+/// The pinned perf-gate job set: `random:64x8` sweeps (two seeds, a
+/// tight-to-loose bound grid) under the default flow's two heaviest
+/// strategies. Everything is seeded and fixed, so call counts are
+/// machine-independent.
+#[must_use]
+pub fn perf_jobs() -> Vec<SynthJob> {
+    let mut jobs = Vec::new();
+    for seed in 0..2u64 {
+        let spec = format!("random:64x8@{seed}");
+        for (latency, area) in [(10, 24), (10, 32), (14, 24), (14, 32), (20, 32), (20, 48)] {
+            for strategy in ["ours", "combined"] {
+                jobs.push(SynthJob::new(&spec, latency, area).with_strategy(strategy));
+            }
+        }
+    }
+    jobs
+}
+
+/// The fixed integer calibration workload: `iters` xorshift64* steps.
+/// Returns iterations per second (the checksum keeps the loop honest).
+#[must_use]
+pub fn calibrate(iters: u64) -> f64 {
+    let start = Instant::now();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..iters {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_ne!(x, 0, "calibration loop must not be optimized away");
+    if secs > 0.0 {
+        iters as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Runs the pinned set serially on a fresh engine and accumulates the
+/// per-phase diagnostics into a [`PerfSection`].
+#[must_use]
+pub fn measure_perf_section(calibration_iters: u64) -> PerfSection {
+    let jobs = perf_jobs();
+    let mut workloads: Vec<String> = jobs.iter().map(|j| j.workload.clone()).collect();
+    workloads.sort();
+    workloads.dedup();
+
+    let calibration_per_sec = calibrate(calibration_iters);
+
+    let engine = Engine::new(Library::table1()).with_jobs(1);
+    let start = Instant::now();
+    let mut sched_micros = 0u64;
+    let mut bind_micros = 0u64;
+    let mut refine_micros = 0u64;
+    let mut sched_calls = 0u64;
+    let mut bind_calls = 0u64;
+    let mut feasible = 0u64;
+    for job in &jobs {
+        if let Ok(report) = engine.synth(job) {
+            let d = &report.diagnostics;
+            sched_micros += d.sched_micros;
+            bind_micros += d.bind_micros;
+            refine_micros += d.refine_micros;
+            sched_calls += u64::from(d.sched_calls);
+            bind_calls += u64::from(d.bind_calls);
+            feasible += 1;
+        }
+    }
+    let total_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    PerfSection {
+        workloads,
+        jobs: jobs.len() as u64,
+        feasible,
+        calibration_per_sec,
+        sched: PhaseStat::new(sched_micros, sched_calls),
+        bind: PhaseStat::new(bind_micros, bind_calls),
+        refine: PhaseStat::new(refine_micros, jobs.len() as u64),
+        total: PhaseStat::new(total_micros, jobs.len() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_jobs_are_pinned_and_deterministic() {
+        let a = perf_jobs();
+        let b = perf_jobs();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 24);
+        assert!(a.iter().all(|j| j.workload.starts_with("random:64x8@")));
+    }
+
+    #[test]
+    fn calibration_returns_a_positive_score() {
+        assert!(calibrate(100_000) > 0.0);
+    }
+
+    #[test]
+    fn phase_stat_throughput() {
+        let s = PhaseStat::new(2_000_000, 10);
+        assert!((s.per_sec - 5.0).abs() < 1e-9);
+        assert_eq!(PhaseStat::new(0, 10).per_sec, 0.0);
+    }
+}

@@ -71,6 +71,28 @@ impl Binding {
         Binding { instances, owner }
     }
 
+    /// Builds a binding whose consistency is upheld by construction — the
+    /// binder fast path. The [`Binding::new`] invariants (owners in
+    /// range, instance lists agreeing with the owner map) are the
+    /// caller's responsibility and are verified in debug builds only.
+    #[must_use]
+    pub fn from_binder(instances: Vec<Instance>, owner: Vec<InstanceId>) -> Binding {
+        #[cfg(debug_assertions)]
+        {
+            for (i, &o) in owner.iter().enumerate() {
+                debug_assert!(
+                    o.index() < instances.len(),
+                    "owner of node {i} out of range"
+                );
+                debug_assert!(
+                    instances[o.index()].nodes.contains(&NodeId::new(i as u32)),
+                    "instance lists and owner map disagree on node {i}"
+                );
+            }
+        }
+        Binding { instances, owner }
+    }
+
     /// All allocated instances.
     #[must_use]
     pub fn instances(&self) -> &[Instance] {

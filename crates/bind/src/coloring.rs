@@ -2,10 +2,10 @@
 
 use crate::assignment::Assignment;
 use crate::binding::{Binding, Instance, InstanceId};
+use crate::scratch::BindScratch;
 use rchls_dfg::{Dfg, NodeId};
-use rchls_reslib::{Library, VersionId};
+use rchls_reslib::Library;
 use rchls_sched::Schedule;
-use std::collections::BTreeMap;
 
 /// Binds operations by greedy coloring of the interval-conflict graph,
 /// independently per version.
@@ -42,35 +42,72 @@ pub fn bind_coloring(
     assignment: &Assignment,
     library: &Library,
 ) -> Binding {
-    let delays = assignment.delays(dfg, library);
-    let mut groups: BTreeMap<VersionId, Vec<NodeId>> = BTreeMap::new();
-    for n in dfg.node_ids() {
-        groups.entry(assignment.version(n)).or_default().push(n);
-    }
+    bind_coloring_with(dfg, schedule, assignment, library, &mut BindScratch::new())
+}
+
+/// [`bind_coloring`] on a reusable [`BindScratch`]: one set of ordering,
+/// color, and conflict buffers serves every color pass (the former
+/// implementation cloned the full node list per version group and walked
+/// a fresh `BTreeMap` per node). Byte-identical output.
+#[must_use]
+pub fn bind_coloring_with(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    assignment: &Assignment,
+    library: &Library,
+    scratch: &mut BindScratch,
+) -> Binding {
+    scratch
+        .delays
+        .fill_from_fn(dfg, |n| library.version(assignment.version(n)).delay());
+    scratch.fill_groups(
+        library.len(),
+        dfg.node_ids().map(|n| (n, assignment.version(n).index())),
+    );
     let mut instances: Vec<Instance> = Vec::new();
     let mut owner = vec![InstanceId::new(0); dfg.node_count()];
-    for (version, nodes) in groups {
+    scratch.color_of.clear();
+    scratch.color_of.resize(dfg.node_count(), u32::MAX);
+    scratch.degree.clear();
+    scratch.degree.resize(dfg.node_count(), 0);
+    let BindScratch {
+        delays,
+        groups,
+        degree,
+        order,
+        color_of,
+        colored,
+        used_colors,
+        color_instance,
+        ..
+    } = scratch;
+    for (vidx, nodes) in groups.iter().enumerate().take(library.len()) {
+        if nodes.is_empty() {
+            continue;
+        }
+        let version = rchls_reslib::VersionId::new(vidx as u32);
         let overlap = |a: NodeId, b: NodeId| {
-            schedule.start(a) <= schedule.finish(b, &delays)
-                && schedule.start(b) <= schedule.finish(a, &delays)
+            schedule.start(a) <= schedule.finish(b, delays)
+                && schedule.start(b) <= schedule.finish(a, delays)
         };
-        // Degree-descending greedy coloring.
-        let mut order = nodes.clone();
-        order.sort_by_key(|&n| {
-            let deg = nodes.iter().filter(|&&m| m != n && overlap(n, m)).count();
-            (std::cmp::Reverse(deg), n.index())
-        });
-        // color -> (global instance index)
-        let mut color_instance: Vec<usize> = Vec::new();
-        let mut color_of: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for &n in &order {
-            let mut used: Vec<bool> = vec![false; color_instance.len()];
-            for (&m, &c) in &color_of {
+        // Degree-descending greedy coloring, on one reused order buffer.
+        for &n in nodes {
+            degree[n.index()] = nodes.iter().filter(|&&m| m != n && overlap(n, m)).count() as u32;
+        }
+        order.clear();
+        order.extend_from_slice(nodes);
+        order.sort_by_key(|&n| (std::cmp::Reverse(degree[n.index()]), n.index()));
+        color_instance.clear();
+        colored.clear();
+        for &n in order.iter() {
+            used_colors.clear();
+            used_colors.resize(color_instance.len(), false);
+            for &m in colored.iter() {
                 if overlap(n, m) {
-                    used[c] = true;
+                    used_colors[color_of[m.index()] as usize] = true;
                 }
             }
-            let color = used.iter().position(|&u| !u).unwrap_or_else(|| {
+            let color = used_colors.iter().position(|&u| !u).unwrap_or_else(|| {
                 let idx = instances.len();
                 instances.push(Instance {
                     version,
@@ -79,19 +116,20 @@ pub fn bind_coloring(
                 color_instance.push(idx);
                 color_instance.len() - 1
             });
-            color_of.insert(n, color);
+            color_of[n.index()] = color as u32;
+            colored.push(n);
             let inst_idx = color_instance[color];
             instances[inst_idx].nodes.push(n);
             owner[n.index()] = InstanceId::new(inst_idx as u32);
         }
         // Keep instance node lists in schedule order for readability.
-        for &idx in &color_instance {
+        for &idx in color_instance.iter() {
             instances[idx]
                 .nodes
                 .sort_by_key(|&n| (schedule.start(n), n.index()));
         }
     }
-    Binding::new(instances, owner)
+    Binding::from_binder(instances, owner)
 }
 
 #[cfg(test)]
@@ -143,5 +181,25 @@ mod tests {
         let b = bind_coloring(&g, &s, &assign, &lib);
         b.assert_valid(&g, &s, &delays);
         assert!(b.instance_count() >= 3); // steps 1-2, 1-2, 2-3 mutually overlap
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = DfgBuilder::new("mix")
+            .ops(&["a", "b", "c", "d"], OpKind::Add)
+            .op("m", OpKind::Mul)
+            .dep("a", "m")
+            .dep("b", "m")
+            .build()
+            .unwrap();
+        let lib = Library::table1();
+        let assign = Assignment::uniform(&g, &lib).unwrap();
+        let delays = assign.delays(&g, &lib);
+        let mut scratch = BindScratch::new();
+        for latency in 6..=10 {
+            let s = schedule_density(&g, &delays, latency).unwrap();
+            let reused = bind_coloring_with(&g, &s, &assign, &lib, &mut scratch);
+            assert_eq!(reused, bind_coloring(&g, &s, &assign, &lib));
+        }
     }
 }

@@ -2,18 +2,25 @@
 
 use crate::assignment::Assignment;
 use crate::binding::{Binding, Instance, InstanceId};
+use crate::scratch::BindScratch;
 use rchls_dfg::Dfg;
-use rchls_reslib::{Library, VersionId};
+use rchls_reslib::Library;
 use rchls_sched::Schedule;
-use std::collections::BTreeMap;
 
 /// Binds operations to functional-unit instances with the left-edge
 /// algorithm, independently per version.
 ///
-/// Operations assigned the same version are sorted by start step and packed
-/// greedily onto the first instance whose previous operation has finished —
-/// optimal (minimum instance count) for interval conflicts. Operations with
-/// different versions never share, since a unit *is* one concrete version.
+/// Operations assigned the same version are ordered by start step and
+/// packed greedily onto the first instance whose previous operation has
+/// finished — optimal (minimum instance count) for interval conflicts.
+/// Operations with different versions never share, since a unit *is* one
+/// concrete version.
+///
+/// The hot path ([`bind_left_edge_with`]) groups nodes into preallocated
+/// per-version buckets and orders each group with a counting sort over
+/// start steps (nodes are visited in id order, so bucket order is exactly
+/// the `(start, id)` lexicographic order a comparison sort would give) —
+/// no allocation beyond the returned [`Binding`].
 ///
 /// # Examples
 ///
@@ -45,23 +52,62 @@ pub fn bind_left_edge(
     assignment: &Assignment,
     library: &Library,
 ) -> Binding {
-    let delays = assignment.delays(dfg, library);
-    // Group nodes by version, keeping version order deterministic.
-    let mut groups: BTreeMap<VersionId, Vec<rchls_dfg::NodeId>> = BTreeMap::new();
-    for n in dfg.node_ids() {
-        groups.entry(assignment.version(n)).or_default().push(n);
-    }
+    bind_left_edge_with(dfg, schedule, assignment, library, &mut BindScratch::new())
+}
+
+/// [`bind_left_edge`] on a reusable [`BindScratch`] — the synthesis hot
+/// path. Byte-identical output.
+#[must_use]
+pub fn bind_left_edge_with(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    assignment: &Assignment,
+    library: &Library,
+    scratch: &mut BindScratch,
+) -> Binding {
+    scratch
+        .delays
+        .fill_from_fn(dfg, |n| library.version(assignment.version(n)).delay());
+    scratch.fill_groups(
+        library.len(),
+        dfg.node_ids().map(|n| (n, assignment.version(n).index())),
+    );
     let mut instances: Vec<Instance> = Vec::new();
     let mut owner = vec![InstanceId::new(0); dfg.node_count()];
-    for (version, mut nodes) in groups {
-        nodes.sort_by_key(|&n| (schedule.start(n), n.index()));
+    let latency = schedule.latency() as usize;
+    for vidx in 0..library.len() {
+        if scratch.groups[vidx].is_empty() {
+            continue;
+        }
+        let version = rchls_reslib::VersionId::new(vidx as u32);
+        // Counting sort by start step; nodes enter in id order, so the
+        // result is (start, id)-lexicographic — the left-edge order.
+        scratch.counts.clear();
+        scratch.counts.resize(latency + 2, 0);
+        for &n in &scratch.groups[vidx] {
+            scratch.counts[schedule.start(n) as usize] += 1;
+        }
+        let mut total = 0u32;
+        for c in &mut scratch.counts {
+            let here = *c;
+            *c = total;
+            total += here;
+        }
+        scratch
+            .sorted
+            .resize(scratch.groups[vidx].len(), rchls_dfg::NodeId::new(0));
+        for &n in &scratch.groups[vidx] {
+            let slot = &mut scratch.counts[schedule.start(n) as usize];
+            scratch.sorted[*slot as usize] = n;
+            *slot += 1;
+        }
         // Instances of this version: (free_at_step, global instance index).
-        let mut lanes: Vec<(u32, usize)> = Vec::new();
-        for n in nodes {
+        scratch.lanes.clear();
+        for &n in &scratch.sorted {
             let start = schedule.start(n);
-            let finish = schedule.finish(n, &delays);
+            let finish = schedule.finish(n, &scratch.delays);
             // First lane free before `start` (left-edge rule).
-            match lanes.iter_mut().find(|(free, _)| *free < start) {
+            match scratch.lanes.iter_mut().find(|(free, _)| *free < start) {
                 Some((free, idx)) => {
                     *free = finish;
                     instances[*idx].nodes.push(n);
@@ -73,13 +119,13 @@ pub fn bind_left_edge(
                         version,
                         nodes: vec![n],
                     });
-                    lanes.push((finish, idx));
+                    scratch.lanes.push((finish, idx));
                     owner[n.index()] = InstanceId::new(idx as u32);
                 }
             }
         }
     }
-    Binding::new(instances, owner)
+    Binding::from_binder(instances, owner)
 }
 
 #[cfg(test)]
@@ -194,6 +240,29 @@ mod tests {
         let b = bind_left_edge(&g, &s, &assign, &l);
         assert_eq!(b.instance_count(), 0);
         assert_eq!(b.total_area(&l), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = DfgBuilder::new("fig4a")
+            .ops(&["A", "B", "C", "D", "E", "F"], OpKind::Add)
+            .dep("A", "C")
+            .dep("B", "C")
+            .dep("C", "D")
+            .dep("C", "E")
+            .dep("D", "F")
+            .dep("E", "F")
+            .build()
+            .unwrap();
+        let l = lib();
+        let assign = Assignment::uniform(&g, &l).unwrap();
+        let delays = assign.delays(&g, &l);
+        let mut scratch = BindScratch::new();
+        for latency in 8..=12 {
+            let s = schedule_density(&g, &delays, latency).unwrap();
+            let reused = bind_left_edge_with(&g, &s, &assign, &l, &mut scratch);
+            assert_eq!(reused, bind_left_edge(&g, &s, &assign, &l));
+        }
     }
 
     use rchls_dfg::Dfg;

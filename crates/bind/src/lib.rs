@@ -45,11 +45,14 @@ mod binding;
 mod coloring;
 mod left_edge;
 mod pipelined;
+pub mod reference;
 mod registers;
+mod scratch;
 
 pub use assignment::Assignment;
 pub use binding::{Binding, Instance, InstanceId};
-pub use coloring::bind_coloring;
-pub use left_edge::bind_left_edge;
+pub use coloring::{bind_coloring, bind_coloring_with};
+pub use left_edge::{bind_left_edge, bind_left_edge_with};
 pub use pipelined::bind_left_edge_pipelined;
 pub use registers::{bind_registers, value_lifetimes, Lifetime, RegisterBinding};
+pub use scratch::BindScratch;

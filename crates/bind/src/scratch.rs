@@ -1,0 +1,85 @@
+//! The reusable binding arena: preallocated grouping, interval, and
+//! conflict buffers, so the synthesis hot loop binds thousands of
+//! schedules without touching the allocator for intermediates.
+//!
+//! Like [`rchls_sched::SchedScratch`], a [`BindScratch`] is plain state:
+//! it can be reused freely across graphs, schedules, and libraries (all
+//! per-call buffers are re-derived from the call's inputs; nothing is
+//! cached across calls beyond capacity).
+
+use rchls_dfg::NodeId;
+use rchls_sched::Delays;
+
+/// Reusable buffers for the binders in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_dfg::{DfgBuilder, OpKind};
+/// use rchls_reslib::Library;
+/// use rchls_sched::asap;
+/// use rchls_bind::{bind_left_edge_with, Assignment, BindScratch};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DfgBuilder::new("chain").ops(&["a", "b"], OpKind::Add).dep("a", "b").build()?;
+/// let lib = Library::table1();
+/// let assign = Assignment::uniform(&g, &lib)?;
+/// let s = asap(&g, &assign.delays(&g, &lib))?;
+/// let mut scratch = BindScratch::new();
+/// let b = bind_left_edge_with(&g, &s, &assign, &lib, &mut scratch);
+/// assert_eq!(b.instance_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct BindScratch {
+    /// Per-call delay map derived from the assignment.
+    pub(crate) delays: Delays,
+    /// Nodes grouped per library version (indexed by version id).
+    pub(crate) groups: Vec<Vec<NodeId>>,
+    /// Counting-sort histogram / offset table (indexed by start step).
+    pub(crate) counts: Vec<u32>,
+    /// Counting-sort output: one version's nodes in (start, id) order.
+    pub(crate) sorted: Vec<NodeId>,
+    /// Left-edge lanes: (free-at step, global instance index).
+    pub(crate) lanes: Vec<(u32, usize)>,
+    /// Coloring: conflict degree per node.
+    pub(crate) degree: Vec<u32>,
+    /// Coloring: one version's nodes in degree-descending order.
+    pub(crate) order: Vec<NodeId>,
+    /// Coloring: assigned color per node (`u32::MAX` = uncolored).
+    pub(crate) color_of: Vec<u32>,
+    /// Coloring: already-colored nodes of the current version.
+    pub(crate) colored: Vec<NodeId>,
+    /// Coloring: per-color conflict flags for the node being colored.
+    pub(crate) used_colors: Vec<bool>,
+    /// Coloring: color → global instance index.
+    pub(crate) color_instance: Vec<usize>,
+}
+
+impl BindScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> BindScratch {
+        BindScratch::default()
+    }
+
+    /// Clears and resizes the per-version group lists for a library with
+    /// `versions` entries, then fills them from `f`'s `(node, version
+    /// index)` pairs in node-id order.
+    pub(crate) fn fill_groups(
+        &mut self,
+        versions: usize,
+        nodes: impl Iterator<Item = (NodeId, usize)>,
+    ) {
+        if self.groups.len() < versions {
+            self.groups.resize_with(versions, Vec::new);
+        }
+        for g in &mut self.groups {
+            g.clear();
+        }
+        for (n, v) in nodes {
+            self.groups[v].push(n);
+        }
+    }
+}

@@ -21,6 +21,32 @@ use rchls_sched::Schedule;
 /// (returns no candidates) rather than blow up combinatorially.
 const MAX_ALLOCATIONS: usize = 200_000;
 
+/// Reusable buffers for [`schedule_on_allocation`] and the allocation
+/// search — one set serves every enumerated allocation.
+#[derive(Debug, Default)]
+struct AllocScratch {
+    topo: Vec<NodeId>,
+    remaining_path: Vec<u32>,
+    start: Vec<Option<u32>>,
+    finish: Vec<u32>,
+    owner: Vec<usize>,
+    ready: Vec<NodeId>,
+}
+
+impl AllocScratch {
+    /// (Re)computes the cached topological order for `dfg`. Returns
+    /// `false` for cyclic graphs.
+    fn prepare(&mut self, dfg: &Dfg) -> bool {
+        match dfg.topological_order() {
+            Ok(order) => {
+                self.topo = order;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
 /// Enumerates all unit allocations (counts per version) with total area
 /// within `area_bound`, at least one unit for every class the graph uses,
 /// and no more units of a class than the graph has operations of it.
@@ -117,11 +143,29 @@ pub fn schedule_on_allocation(
     allocation: &[(VersionId, u32)],
     latency_bound: u32,
 ) -> Option<(Assignment, Schedule, Binding)> {
-    struct Unit {
-        version: VersionId,
-        free_at: u32, // first step this unit can start a new op
-        nodes: Vec<NodeId>,
+    let mut scratch = AllocScratch::default();
+    if !scratch.prepare(dfg) {
+        return None;
     }
+    schedule_on_allocation_in(dfg, library, allocation, latency_bound, &mut scratch)
+}
+
+struct Unit {
+    version: VersionId,
+    free_at: u32, // first step this unit can start a new op
+    nodes: Vec<NodeId>,
+}
+
+/// [`schedule_on_allocation`] on reusable buffers (`scratch.prepare` must
+/// have succeeded for `dfg`). Decision-for-decision identical to the
+/// original formulation — only the intermediate allocations are gone.
+fn schedule_on_allocation_in(
+    dfg: &Dfg,
+    library: &Library,
+    allocation: &[(VersionId, u32)],
+    latency_bound: u32,
+    scratch: &mut AllocScratch,
+) -> Option<(Assignment, Schedule, Binding)> {
     let mut units: Vec<Unit> = allocation
         .iter()
         .flat_map(|&(v, n)| {
@@ -137,86 +181,108 @@ pub fn schedule_on_allocation(
     }
 
     // Optimistic remaining-path lengths (per-class minimum delays).
-    let order = dfg.topological_order().ok()?;
     let min_delay = |n: NodeId| {
         library
             .min_delay(dfg.node(n).class())
             .expect("allocation covers every used class")
     };
-    let mut remaining_path = vec![0u32; dfg.node_count()];
-    for &n in order.iter().rev() {
+    scratch.remaining_path.clear();
+    scratch.remaining_path.resize(dfg.node_count(), 0);
+    for &n in scratch.topo.iter().rev() {
         let down = dfg
             .succs(n)
             .iter()
-            .map(|&s| remaining_path[s.index()])
+            .map(|&s| scratch.remaining_path[s.index()])
             .max()
             .unwrap_or(0);
-        remaining_path[n.index()] = down + min_delay(n);
+        scratch.remaining_path[n.index()] = down + min_delay(n);
     }
+    let remaining_path = &scratch.remaining_path;
 
-    let mut start: Vec<Option<u32>> = vec![None; dfg.node_count()];
-    let mut finish: Vec<u32> = vec![0; dfg.node_count()];
-    let mut owner: Vec<usize> = vec![0; dfg.node_count()];
+    scratch.start.clear();
+    scratch.start.resize(dfg.node_count(), None);
+    scratch.finish.clear();
+    scratch.finish.resize(dfg.node_count(), 0);
+    scratch.owner.clear();
+    scratch.owner.resize(dfg.node_count(), 0);
+    let (start, finish, owner) = (&mut scratch.start, &mut scratch.finish, &mut scratch.owner);
     let mut remaining = dfg.node_count();
     // The fastest delay actually available per class in this allocation —
     // the deferral horizon: as long as starting *now* on such a unit would
     // still meet the deadline, waiting for one to free up is viable.
-    let alloc_min_delay = |class: OpClass| {
-        units
+    let mut class_min: Vec<(OpClass, u32)> = Vec::new();
+    for class in OpClass::ALL {
+        let d = units
             .iter()
             .filter(|u| library.version(u.version).class() == class)
             .map(|u| library.version(u.version).delay())
-            .min()
-    };
-    let mut class_min: Vec<(OpClass, u32)> = Vec::new();
-    for class in OpClass::ALL {
-        if let Some(d) = alloc_min_delay(class) {
+            .min();
+        if let Some(d) = d {
             class_min.push((class, d));
         }
     }
+    let ready = &mut scratch.ready;
     for step in 1..=latency_bound {
         if remaining == 0 {
             break;
         }
-        let mut ready: Vec<NodeId> = dfg
-            .node_ids()
-            .filter(|&n| {
-                start[n.index()].is_none()
-                    && dfg
-                        .preds(n)
-                        .iter()
-                        .all(|&p| start[p.index()].is_some() && finish[p.index()] < step)
-            })
-            .collect();
+        ready.clear();
+        ready.extend(dfg.node_ids().filter(|&n| {
+            start[n.index()].is_none()
+                && dfg
+                    .preds(n)
+                    .iter()
+                    .all(|&p| start[p.index()].is_some() && finish[p.index()] < step)
+        }));
         ready.sort_by_key(|&n| (std::cmp::Reverse(remaining_path[n.index()]), n.index()));
-        for n in ready {
+        for &n in ready.iter() {
             let class = dfg.node(n).class();
             let downstream = remaining_path[n.index()] - min_delay(n);
-            // Free units of this class, judged for deadline safety.
-            let mut free: Vec<(usize, &Unit)> = units
-                .iter()
-                .enumerate()
-                .filter(|(_, u)| u.free_at <= step && library.version(u.version).class() == class)
-                .collect();
-            if free.is_empty() {
-                continue;
+            // One pass over the units replaces the original
+            // filter/retain/min_by pipeline: every comparator ends on the
+            // unit index, so each minimum is unique and a strict
+            // `is-less` scan finds exactly the element `min_by` would.
+            let mut best_safe: Option<usize> = None; // most reliable deadline-safe free unit
+            let mut best_fast: Option<usize> = None; // fastest free unit
+            for (i, u) in units.iter().enumerate() {
+                if u.free_at > step {
+                    continue;
+                }
+                let ver = library.version(u.version);
+                if ver.class() != class {
+                    continue;
+                }
+                let fast_better = match best_fast {
+                    None => true,
+                    Some(b) => (ver.delay(), i) < (library.version(units[b].version).delay(), b),
+                };
+                if fast_better {
+                    best_fast = Some(i);
+                }
+                if step - 1 + ver.delay() + downstream <= latency_bound {
+                    let safe_better = match best_safe {
+                        None => true,
+                        Some(b) => {
+                            let vb = library.version(units[b].version);
+                            vb.reliability()
+                                .value()
+                                .total_cmp(&ver.reliability().value())
+                                .then(ver.delay().cmp(&vb.delay()))
+                                .then(i.cmp(&b))
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if safe_better {
+                        best_safe = Some(i);
+                    }
+                }
             }
-            let safe = |u: &Unit| {
-                step - 1 + library.version(u.version).delay() + downstream <= latency_bound
-            };
-            let pick = if free.iter().any(|(_, u)| safe(u)) {
+            if best_fast.is_none() {
+                continue; // no free unit of this class at all
+            }
+            let pick: Option<usize> = if best_safe.is_some() {
                 // Most reliable among deadline-safe units.
-                free.retain(|(_, u)| safe(u));
-                free.into_iter()
-                    .min_by(|(ia, a), (ib, b)| {
-                        let (va, vb) = (library.version(a.version), library.version(b.version));
-                        vb.reliability()
-                            .value()
-                            .total_cmp(&va.reliability().value())
-                            .then(va.delay().cmp(&vb.delay()))
-                            .then(ia.cmp(ib))
-                    })
-                    .map(|(i, _)| i)
+                best_safe
             } else {
                 // No safe unit is free. If a fast-enough unit exists in the
                 // allocation and starting now on it would still meet the
@@ -231,9 +297,7 @@ pub fn schedule_on_allocation(
                     continue; // wait for a safe unit
                 }
                 // Doomed either way: grab the fastest to limit the damage.
-                free.into_iter()
-                    .min_by_key(|(i, u)| (library.version(u.version).delay(), *i))
-                    .map(|(i, _)| i)
+                best_fast
             };
             let Some(idx) = pick else { continue };
             let delay = library.version(units[idx].version).delay();
@@ -251,7 +315,7 @@ pub fn schedule_on_allocation(
 
     let assignment = Assignment::from_fn(dfg, library, |n| units[owner[n.index()]].version);
     let delays = assignment.delays(dfg, library);
-    let starts: Vec<u32> = start.into_iter().map(|s| s.unwrap_or(1)).collect();
+    let starts: Vec<u32> = start.iter().map(|s| s.unwrap_or(1)).collect();
     let schedule = Schedule::new(starts, &delays);
     schedule.validate(dfg, &delays).ok()?;
     // Compact: drop unused units and renumber owners.
@@ -273,24 +337,154 @@ pub fn schedule_on_allocation(
 
 /// Full allocation search: the most reliable feasible design over all
 /// enumerated allocations, or `None` if none schedules within the bounds.
+///
+/// The scan produces **exactly** the design that trying every enumerated
+/// allocation in order and keeping the first one attaining the maximum
+/// reliability would produce, but visits allocations by descending
+/// *capacity-aware reliability upper bound* so almost all of them die to
+/// two sound prunes:
+///
+/// * *Latency lower bound* (exact) — the critical path weighted by each
+///   class's fastest delay *available in the allocation* floors every
+///   achievable latency; an allocation whose floor exceeds
+///   `bounds.latency` would make [`schedule_on_allocation`] return
+///   `None` anyway.
+/// * *Capacity-aware reliability upper bound* — a unit of version `v`
+///   executes at most `⌊Ld / delay(v)⌋` operations within the latency
+///   budget, so each class's most reliable versions can cover only that
+///   many nodes; the bound gives every node the best version capacity
+///   admits. Because the bound is evaluated in floating point, the prune
+///   keeps a conservative relative margin (scaled to the node count's
+///   worst-case rounding error), so an allocation is skipped only when
+///   it *provably* cannot reach the incumbent's reliability — ties and
+///   the original scan's first-index tie-breaking are unaffected.
 pub fn best_allocation_design(
     dfg: &Dfg,
     library: &Library,
     bounds: Bounds,
 ) -> Option<(Assignment, Schedule, Binding)> {
-    let mut best: Option<(f64, (Assignment, Schedule, Binding))> = None;
-    for alloc in enumerate_allocations(dfg, library, bounds.area) {
-        // Quick optimistic latency check: even a perfectly parallel design
-        // cannot beat the critical path under per-version delays.
-        if let Some(cand) = schedule_on_allocation(dfg, library, &alloc, bounds.latency) {
+    let mut scratch = AllocScratch::default();
+    if !scratch.prepare(dfg) {
+        return None;
+    }
+    let slots = OpClass::ALL.len();
+    let class_slot = |c: OpClass| -> usize {
+        OpClass::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("every class is listed in OpClass::ALL")
+    };
+    let class_nodes: Vec<u64> = OpClass::ALL
+        .iter()
+        .map(|&c| dfg.count_class(c) as u64)
+        .collect();
+    let allocations = enumerate_allocations(dfg, library, bounds.area);
+
+    // Per-allocation metadata, computed once: the capacity-aware
+    // reliability upper bound and the per-class fastest delay.
+    let mut min_delay = vec![u32::MAX; slots];
+    // Per class: (reliability, node capacity) per allocated version.
+    let mut caps: Vec<Vec<(f64, u64)>> = vec![Vec::new(); slots];
+    let mut metas: Vec<(f64, usize)> = Vec::with_capacity(allocations.len());
+    let mut class_mins: Vec<[u32; 8]> = Vec::with_capacity(allocations.len());
+    debug_assert!(slots <= 8, "class_mins uses a fixed-width row");
+    for (idx, alloc) in allocations.iter().enumerate() {
+        min_delay.iter_mut().for_each(|d| *d = u32::MAX);
+        caps.iter_mut().for_each(Vec::clear);
+        for &(v, count) in alloc {
+            if count == 0 {
+                continue;
+            }
+            let ver = library.version(v);
+            let slot = class_slot(ver.class());
+            min_delay[slot] = min_delay[slot].min(ver.delay());
+            let capacity = u64::from(count) * u64::from(bounds.latency / ver.delay().max(1));
+            caps[slot].push((ver.reliability().value(), capacity));
+        }
+        // Give every node the most reliable version capacity admits.
+        let mut ub = 1.0f64;
+        for (slot, nodes) in class_nodes.iter().enumerate() {
+            let mut left = *nodes;
+            if left == 0 {
+                continue;
+            }
+            caps[slot].sort_by(|(ra, _), (rb, _)| rb.total_cmp(ra));
+            for &(rel, capacity) in &caps[slot] {
+                let here = left.min(capacity);
+                ub *= rel.powi(i32::try_from(here).unwrap_or(i32::MAX));
+                left -= here;
+                if left == 0 {
+                    break;
+                }
+            }
+            if left > 0 {
+                // Not enough unit capacity to run every node: the list
+                // scheduler cannot finish in time, so the allocation is
+                // infeasible outright.
+                ub = 0.0;
+                break;
+            }
+        }
+        metas.push((ub, idx));
+        let mut row = [u32::MAX; 8];
+        row[..slots].copy_from_slice(&min_delay);
+        class_mins.push(row);
+    }
+    // Highest bound first; enumeration index breaks ties so the original
+    // scan's tie winner (smallest index) is met first.
+    metas.sort_by(|(ua, ia), (ub, ib)| ub.total_cmp(ua).then(ia.cmp(ib)));
+
+    // Worst-case relative rounding slack of the bound product vs the
+    // exact fold `design_reliability` performs.
+    let margin = 1.0 - (dfg.node_count() as f64 + 8.0) * 4.0 * f64::EPSILON;
+    let mut longest = vec![0u32; dfg.node_count()];
+    let mut best: Option<(f64, usize, (Assignment, Schedule, Binding))> = None;
+    for &(ub, idx) in &metas {
+        // Incumbent prune: sound because `ub / margin` dominates every
+        // reliability the allocation's assignments can evaluate to,
+        // rounding included. Skips only strict losers, so the final
+        // (max reliability, first index) winner is unchanged.
+        if let Some((brel, _, _)) = &best {
+            if ub < brel * margin {
+                continue;
+            }
+        }
+        // Exact latency lower bound.
+        let mins = &class_mins[idx];
+        let mut lb = 0u32;
+        for &n in &scratch.topo {
+            let down = dfg
+                .preds(n)
+                .iter()
+                .map(|&p| longest[p.index()])
+                .max()
+                .unwrap_or(0);
+            let d = mins[class_slot(dfg.node(n).class())];
+            debug_assert!(d != u32::MAX, "allocation covers every used class");
+            longest[n.index()] = down + d;
+            lb = lb.max(longest[n.index()]);
+        }
+        if lb > bounds.latency {
+            continue;
+        }
+        if let Some(cand) = schedule_on_allocation_in(
+            dfg,
+            library,
+            &allocations[idx],
+            bounds.latency,
+            &mut scratch,
+        ) {
             debug_assert!(cand.2.total_area(library) <= bounds.area);
             let rel = cand.0.design_reliability(library).value();
-            if best.as_ref().is_none_or(|(b, _)| rel > *b) {
-                best = Some((rel, cand));
+            let better = best
+                .as_ref()
+                .is_none_or(|(brel, bidx, _)| rel > *brel || (rel == *brel && idx < *bidx));
+            if better {
+                best = Some((rel, idx, cand));
             }
         }
     }
-    best.map(|(_, d)| d)
+    best.map(|(.., d)| d)
 }
 
 #[cfg(test)]

@@ -10,7 +10,6 @@ use crate::synth::Synthesizer;
 use rchls_bind::Assignment;
 use rchls_dfg::{Dfg, OpClass};
 use rchls_reslib::{Library, VersionId};
-use rchls_sched::asap;
 use std::time::Instant;
 
 /// The fixed version the baseline uses for each class: the fastest one,
@@ -93,6 +92,23 @@ pub fn nmr_baseline_report(
     flow: &FlowSpec,
     model: RedundancyModel,
 ) -> Result<SynthReport, SynthesisError> {
+    nmr_baseline_report_pooled(dfg, library, bounds, flow, model, None)
+}
+
+/// [`nmr_baseline_report`] borrowing synthesis arenas from a session
+/// [`ScratchPool`].
+///
+/// # Errors
+///
+/// Same contract as [`nmr_baseline_report`].
+pub(crate) fn nmr_baseline_report_pooled(
+    dfg: &Dfg,
+    library: &Library,
+    bounds: Bounds,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+    pool: Option<&crate::scratch::ScratchPool>,
+) -> Result<SynthReport, SynthesisError> {
     let start = Instant::now();
     dfg.validate().map_err(rchls_sched::ScheduleError::from)?;
     // Fixed single version per class.
@@ -114,8 +130,10 @@ pub fn nmr_baseline_report(
             .expect("class coverage checked above")
     });
 
-    let delays = assignment.delays(dfg, library);
-    let minimum = asap(dfg, &delays)?.latency();
+    // Schedule at the full latency budget for maximal sharing (minimum
+    // base area leaves the most room for redundancy).
+    let synth = Synthesizer::with_flow_pooled(dfg, library, flow, pool)?;
+    let minimum = synth.min_latency(&assignment)?;
     if minimum > bounds.latency {
         return Err(SynthesisError::NoSolution {
             reason: format!(
@@ -124,10 +142,6 @@ pub fn nmr_baseline_report(
             ),
         });
     }
-
-    // Schedule at the full latency budget for maximal sharing (minimum
-    // base area leaves the most room for redundancy).
-    let synth = Synthesizer::with_flow(dfg, library, flow)?;
     let (schedule, binding) = synth.schedule_and_bind(&assignment, bounds.latency.max(minimum))?;
     let area = binding.total_area(library);
     if area > bounds.area {
@@ -142,11 +156,12 @@ pub fn nmr_baseline_report(
     let replication = vec![1u32; binding.instance_count()];
     let mut design = Design::assemble(dfg, library, assignment, schedule, binding, replication);
     let moves = add_redundancy_with_model(&mut design, dfg, library, bounds.area, model);
-    let diagnostics = Diagnostics {
+    let mut diagnostics = Diagnostics {
         redundancy_moves: moves,
-        wall_time_micros: elapsed_micros(start),
         ..Diagnostics::default()
     };
+    synth.harvest_timers(&mut diagnostics);
+    diagnostics.wall_time_micros = elapsed_micros(start);
     Ok(SynthReport {
         design,
         diagnostics,

@@ -75,15 +75,33 @@ pub fn combined_report(
     flow: &FlowSpec,
     model: RedundancyModel,
 ) -> Result<SynthReport, SynthesisError> {
+    combined_report_pooled(dfg, library, bounds, flow, model, None)
+}
+
+/// [`combined_report`] borrowing synthesis arenas from a session
+/// [`ScratchPool`](crate::ScratchPool).
+///
+/// # Errors
+///
+/// Same contract as [`combined_report`].
+pub(crate) fn combined_report_pooled(
+    dfg: &Dfg,
+    library: &Library,
+    bounds: Bounds,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+    pool: Option<&crate::scratch::ScratchPool>,
+) -> Result<SynthReport, SynthesisError> {
     let start = Instant::now();
-    let ours = Synthesizer::with_flow(dfg, library, flow)?
+    let ours = Synthesizer::with_flow_pooled(dfg, library, flow, pool)?
         .synthesize_report(bounds)
         .map(|mut report| {
             report.diagnostics.redundancy_moves +=
                 add_redundancy_with_model(&mut report.design, dfg, library, bounds.area, model);
             report
         });
-    let baseline = crate::baseline::nmr_baseline_report(dfg, library, bounds, flow, model);
+    let baseline =
+        crate::baseline::nmr_baseline_report_pooled(dfg, library, bounds, flow, model, pool);
     let mut report = match (ours, baseline) {
         (Ok(a), Ok(b)) => {
             if a.design.reliability.value() >= b.design.reliability.value() {

@@ -106,6 +106,10 @@ pub struct SynthCache {
     entries: Mutex<HashMap<u64, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Session scratch arenas lent to every miss's synthesis run, so a
+    /// sweep/batch over this cache allocates one arena per concurrent
+    /// worker instead of per point.
+    scratch: crate::scratch::ScratchPool,
 }
 
 impl SynthCache {
@@ -134,9 +138,16 @@ impl SynthCache {
             strategy.run(
                 &SynthRequest::new(dfg, library, bounds)
                     .with_flow(flow.clone())
-                    .with_redundancy(model),
+                    .with_redundancy(model)
+                    .with_scratch_pool(&self.scratch),
             )
         })
+    }
+
+    /// The session scratch pool misses synthesize on.
+    #[must_use]
+    pub fn scratch_pool(&self) -> &crate::scratch::ScratchPool {
+        &self.scratch
     }
 
     /// Looks up `key`, computing and storing with `compute` on a miss.

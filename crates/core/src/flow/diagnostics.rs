@@ -30,24 +30,43 @@ pub struct Diagnostics {
     pub refine_upgrades: u32,
     /// Replication moves committed by redundancy insertion.
     pub redundancy_moves: u32,
-    /// Wall-clock time of the strategy run in microseconds. Informational
-    /// only: the single non-deterministic field.
+    /// Scheduler-pass invocations across the run (deterministic).
+    pub sched_calls: u32,
+    /// Binder-pass invocations across the run (deterministic).
+    pub bind_calls: u32,
+    /// Wall-clock time spent inside the scheduler pass, microseconds.
+    /// Non-deterministic; scrubbed in aggregated artifacts.
+    pub sched_micros: u64,
+    /// Wall-clock time spent inside the binder pass, microseconds.
+    /// Non-deterministic; scrubbed in aggregated artifacts.
+    pub bind_micros: u64,
+    /// Wall-clock time of the refinement pass, microseconds (this brackets
+    /// the scheduler/binder calls the pass makes, so the three phase
+    /// timings overlap rather than partition the total).
+    /// Non-deterministic; scrubbed in aggregated artifacts.
+    pub refine_micros: u64,
+    /// Wall-clock time of the whole strategy run in microseconds.
+    /// Non-deterministic; scrubbed in aggregated artifacts.
     pub wall_time_micros: u64,
 }
 
 impl Diagnostics {
-    /// A copy with the wall time zeroed — the deterministic form stored
-    /// in sweep rows and exports.
+    /// A copy with every wall-clock timing zeroed — the deterministic form
+    /// stored in sweep rows and exports. The phase *call counters* are
+    /// pure functions of the inputs and survive scrubbing.
     #[must_use]
     pub fn scrubbed(&self) -> Diagnostics {
         Diagnostics {
+            sched_micros: 0,
+            bind_micros: 0,
+            refine_micros: 0,
             wall_time_micros: 0,
             ..self.clone()
         }
     }
 
     /// Folds another run's counters into this one (used by portfolio
-    /// strategies that execute several sub-flows). Wall time is summed;
+    /// strategies that execute several sub-flows). Timings are summed;
     /// pool sizes are concatenated in execution order.
     pub fn absorb(&mut self, other: &Diagnostics) {
         self.victim_moves += other.victim_moves;
@@ -57,6 +76,11 @@ impl Diagnostics {
             .extend(other.candidate_pool_sizes.iter().copied());
         self.refine_upgrades += other.refine_upgrades;
         self.redundancy_moves += other.redundancy_moves;
+        self.sched_calls += other.sched_calls;
+        self.bind_calls += other.bind_calls;
+        self.sched_micros += other.sched_micros;
+        self.bind_micros += other.bind_micros;
+        self.refine_micros += other.refine_micros;
         self.wall_time_micros += other.wall_time_micros;
     }
 }
@@ -66,7 +90,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scrubbed_zeroes_only_wall_time() {
+    fn scrubbed_zeroes_only_wall_times() {
         let d = Diagnostics {
             victim_moves: 3,
             rejected_moves: 1,
@@ -74,11 +98,21 @@ mod tests {
             candidate_pool_sizes: vec![4, 2],
             refine_upgrades: 2,
             redundancy_moves: 1,
+            sched_calls: 9,
+            bind_calls: 9,
+            sched_micros: 55,
+            bind_micros: 44,
+            refine_micros: 33,
             wall_time_micros: 1234,
         };
         let s = d.scrubbed();
         assert_eq!(s.wall_time_micros, 0);
+        assert_eq!(s.sched_micros, 0);
+        assert_eq!(s.bind_micros, 0);
+        assert_eq!(s.refine_micros, 0);
         assert_eq!(s.victim_moves, 3);
+        assert_eq!(s.sched_calls, 9);
+        assert_eq!(s.bind_calls, 9);
         assert_eq!(s.candidate_pool_sizes, vec![4, 2]);
     }
 

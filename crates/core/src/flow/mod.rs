@@ -44,9 +44,10 @@ mod strategy;
 
 pub use diagnostics::Diagnostics;
 pub use passes::{
-    Binder, ColoringBinder, DensityScheduler, FlowState, ForceDirectedScheduler, GreedyRefine,
-    LeftEdgeBinder, MaxDelayVictim, MinReliabilityLossVictim, NoRefine, RefinePass, Scheduler,
-    VictimPolicy,
+    Binder, ColoringBinder, ColoringReferenceBinder, DensityReferenceScheduler, DensityScheduler,
+    FlowState, ForceDirectedReferenceScheduler, ForceDirectedScheduler, GreedyRefine,
+    LeftEdgeBinder, LeftEdgeReferenceBinder, MaxDelayVictim, MinReliabilityLossVictim, NoRefine,
+    RefinePass, Scheduler, VictimPolicy,
 };
 pub use registry::{
     binder, binder_ids, refine_pass, refine_pass_ids, register_binder, register_refine_pass,

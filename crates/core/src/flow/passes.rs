@@ -12,11 +12,15 @@ use crate::bounds::Bounds;
 use crate::error::SynthesisError;
 use crate::flow::Diagnostics;
 use crate::synth::Synthesizer;
-use rchls_bind::{bind_coloring, bind_left_edge, Assignment, Binding};
+use rchls_bind::{
+    bind_coloring_with, bind_left_edge_with, reference as bind_reference, Assignment, BindScratch,
+    Binding,
+};
 use rchls_dfg::{Dfg, NodeId};
 use rchls_reslib::{Library, VersionId};
 use rchls_sched::{
-    asap, schedule_density, schedule_force_directed, Delays, Schedule, ScheduleError,
+    reference as sched_reference, schedule_density_with, schedule_force_directed_with, Delays,
+    SchedScratch, Schedule, ScheduleError,
 };
 
 /// A time-constrained scheduler: places every operation at a start step
@@ -38,6 +42,26 @@ pub trait Scheduler: Send + Sync {
     /// fit the latency budget.
     fn schedule(&self, dfg: &Dfg, delays: &Delays, latency: u32)
         -> Result<Schedule, ScheduleError>;
+
+    /// [`Scheduler::schedule`] on a reusable [`SchedScratch`]. The
+    /// synthesizer always calls this entry point; the default ignores the
+    /// scratch (so out-of-tree passes keep working unchanged), while the
+    /// built-ins run their zero-allocation kernels on it. Implementations
+    /// must return exactly what [`Scheduler::schedule`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scheduler::schedule`].
+    fn schedule_with(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, ScheduleError> {
+        let _ = scratch;
+        self.schedule(dfg, delays, latency)
+    }
 }
 
 /// A binder: packs scheduled operations onto functional-unit instances.
@@ -58,6 +82,23 @@ pub trait Binder: Send + Sync {
         assignment: &Assignment,
         library: &Library,
     ) -> Binding;
+
+    /// [`Binder::bind`] on a reusable [`BindScratch`]. The synthesizer
+    /// always calls this entry point; the default ignores the scratch (so
+    /// out-of-tree passes keep working unchanged), while the built-ins
+    /// run their preallocated kernels on it. Implementations must return
+    /// exactly what [`Binder::bind`] returns.
+    fn bind_with(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+        scratch: &mut BindScratch,
+    ) -> Binding {
+        let _ = scratch;
+        self.bind(dfg, schedule, assignment, library)
+    }
 }
 
 /// The latency-loop victim rule: which critical-path operation moves to a
@@ -145,7 +186,17 @@ impl Scheduler for DensityScheduler {
         delays: &Delays,
         latency: u32,
     ) -> Result<Schedule, ScheduleError> {
-        schedule_density(dfg, delays, latency)
+        rchls_sched::schedule_density(dfg, delays, latency)
+    }
+
+    fn schedule_with(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, ScheduleError> {
+        schedule_density_with(dfg, delays, latency, scratch)
     }
 }
 
@@ -159,7 +210,7 @@ impl Scheduler for ForceDirectedScheduler {
     }
 
     fn description(&self) -> &str {
-        "force-directed scheduling (ablation alternative)"
+        "force-directed scheduling (delta-cost kernel; ablation alternative)"
     }
 
     fn schedule(
@@ -168,7 +219,70 @@ impl Scheduler for ForceDirectedScheduler {
         delays: &Delays,
         latency: u32,
     ) -> Result<Schedule, ScheduleError> {
-        schedule_force_directed(dfg, delays, latency)
+        rchls_sched::schedule_force_directed(dfg, delays, latency)
+    }
+
+    fn schedule_with(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+        scratch: &mut SchedScratch,
+    ) -> Result<Schedule, ScheduleError> {
+        schedule_force_directed_with(dfg, delays, latency, scratch)
+    }
+}
+
+/// The retained naive partition-density scheduler (id
+/// `"density-reference"`): full recomputation per placement, allocating
+/// freely. Byte-identical to `"density"` — kept so whole flows can be
+/// replayed through the naive kernel and diffed against the optimized
+/// one (the CI golden tests do exactly that).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityReferenceScheduler;
+
+impl Scheduler for DensityReferenceScheduler {
+    fn id(&self) -> &str {
+        "density-reference"
+    }
+
+    fn description(&self) -> &str {
+        "naive reference of the density scheduler (byte-identical, slow; for equivalence tests)"
+    }
+
+    fn schedule(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+    ) -> Result<Schedule, ScheduleError> {
+        sched_reference::schedule_density_reference(dfg, delays, latency)
+    }
+}
+
+/// The retained naive force-directed scheduler (id
+/// `"force-directed-reference"`): recomputes every distribution graph
+/// and candidate force each iteration. Byte-identical to
+/// `"force-directed"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForceDirectedReferenceScheduler;
+
+impl Scheduler for ForceDirectedReferenceScheduler {
+    fn id(&self) -> &str {
+        "force-directed-reference"
+    }
+
+    fn description(&self) -> &str {
+        "naive reference of the force-directed scheduler (byte-identical, slow)"
+    }
+
+    fn schedule(
+        &self,
+        dfg: &Dfg,
+        delays: &Delays,
+        latency: u32,
+    ) -> Result<Schedule, ScheduleError> {
+        sched_reference::schedule_force_directed_reference(dfg, delays, latency)
     }
 }
 
@@ -194,7 +308,18 @@ impl Binder for LeftEdgeBinder {
         assignment: &Assignment,
         library: &Library,
     ) -> Binding {
-        bind_left_edge(dfg, schedule, assignment, library)
+        rchls_bind::bind_left_edge(dfg, schedule, assignment, library)
+    }
+
+    fn bind_with(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+        scratch: &mut BindScratch,
+    ) -> Binding {
+        bind_left_edge_with(dfg, schedule, assignment, library, scratch)
     }
 }
 
@@ -218,7 +343,70 @@ impl Binder for ColoringBinder {
         assignment: &Assignment,
         library: &Library,
     ) -> Binding {
-        bind_coloring(dfg, schedule, assignment, library)
+        rchls_bind::bind_coloring(dfg, schedule, assignment, library)
+    }
+
+    fn bind_with(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+        scratch: &mut BindScratch,
+    ) -> Binding {
+        bind_coloring_with(dfg, schedule, assignment, library, scratch)
+    }
+}
+
+/// The retained naive left-edge binder (id `"left-edge-reference"`):
+/// `BTreeMap` grouping plus comparison sorts. Byte-identical to
+/// `"left-edge"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeftEdgeReferenceBinder;
+
+impl Binder for LeftEdgeReferenceBinder {
+    fn id(&self) -> &str {
+        "left-edge-reference"
+    }
+
+    fn description(&self) -> &str {
+        "naive reference of the left-edge binder (byte-identical, slow; for equivalence tests)"
+    }
+
+    fn bind(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+    ) -> Binding {
+        bind_reference::bind_left_edge_reference(dfg, schedule, assignment, library)
+    }
+}
+
+/// The retained naive coloring binder (id `"coloring-reference"`):
+/// per-pass node-list clones and `BTreeMap` conflict walks.
+/// Byte-identical to `"coloring"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColoringReferenceBinder;
+
+impl Binder for ColoringReferenceBinder {
+    fn id(&self) -> &str {
+        "coloring-reference"
+    }
+
+    fn description(&self) -> &str {
+        "naive reference of the coloring binder (byte-identical, slow)"
+    }
+
+    fn bind(
+        &self,
+        dfg: &Dfg,
+        schedule: &Schedule,
+        assignment: &Assignment,
+        library: &Library,
+    ) -> Binding {
+        bind_reference::bind_coloring_reference(dfg, schedule, assignment, library)
     }
 }
 
@@ -392,8 +580,14 @@ impl GreedyRefine {
     ) -> Result<FlowState, SynthesisError> {
         let dfg = synth.dfg();
         let library = synth.library();
+        // One candidate-assignment buffer serves every move evaluation.
+        let mut cand = state.assignment.clone();
         loop {
             diagnostics.loop_iterations += 1;
+            // The incumbent's reliability is loop-invariant: hoist it out
+            // of the per-candidate gain computation (same float, computed
+            // once instead of once per candidate).
+            let state_rel = state.assignment.design_reliability(library).value();
             let mut best: Option<(f64, FlowState)> = None;
             for n in dfg.node_ids() {
                 let cur = state.assignment.version(n);
@@ -402,10 +596,9 @@ impl GreedyRefine {
                     if ver.reliability().value() <= cur_r {
                         continue;
                     }
-                    let mut cand = state.assignment.clone();
+                    cand.clone_from(&state.assignment);
                     cand.set(n, v);
-                    let delays = cand.delays(dfg, library);
-                    if asap(dfg, &delays)?.latency() > bounds.latency {
+                    if synth.min_latency(&cand)? > bounds.latency {
                         diagnostics.rejected_moves += 1;
                         continue;
                     }
@@ -414,8 +607,7 @@ impl GreedyRefine {
                         diagnostics.rejected_moves += 1;
                         continue;
                     }
-                    let gain = cand.design_reliability(library).value()
-                        - state.assignment.design_reliability(library).value();
+                    let gain = cand.design_reliability(library).value() - state_rel;
                     if gain <= 1e-15 {
                         diagnostics.rejected_moves += 1;
                         continue;
@@ -425,7 +617,7 @@ impl GreedyRefine {
                         best = Some((
                             gain,
                             FlowState {
-                                assignment: cand,
+                                assignment: cand.clone(),
                                 schedule: s,
                                 binding: b,
                             },
@@ -469,7 +661,45 @@ mod tests {
         assert_eq!(MinReliabilityLossVictim.id(), "min-reliability-loss");
         assert_eq!(GreedyRefine.id(), "greedy");
         assert_eq!(NoRefine.id(), "off");
+        assert_eq!(DensityReferenceScheduler.id(), "density-reference");
+        assert_eq!(
+            ForceDirectedReferenceScheduler.id(),
+            "force-directed-reference"
+        );
+        assert_eq!(LeftEdgeReferenceBinder.id(), "left-edge-reference");
+        assert_eq!(ColoringReferenceBinder.id(), "coloring-reference");
         assert!(!DensityScheduler.description().is_empty());
+    }
+
+    #[test]
+    fn reference_passes_match_optimized_passes() {
+        let g = chain3();
+        let lib = Library::table1();
+        let assignment = Assignment::uniform(&g, &lib).unwrap();
+        let delays = assignment.delays(&g, &lib);
+        for (opt, reference) in [
+            (
+                &DensityScheduler as &dyn Scheduler,
+                &DensityReferenceScheduler as &dyn Scheduler,
+            ),
+            (&ForceDirectedScheduler, &ForceDirectedReferenceScheduler),
+        ] {
+            let a = opt.schedule(&g, &delays, 8).unwrap();
+            let b = reference.schedule(&g, &delays, 8).unwrap();
+            assert_eq!(a, b, "{}", reference.id());
+        }
+        let s = DensityScheduler.schedule(&g, &delays, 8).unwrap();
+        for (opt, reference) in [
+            (
+                &LeftEdgeBinder as &dyn Binder,
+                &LeftEdgeReferenceBinder as &dyn Binder,
+            ),
+            (&ColoringBinder, &ColoringReferenceBinder),
+        ] {
+            let a = opt.bind(&g, &s, &assignment, &lib);
+            let b = reference.bind(&g, &s, &assignment, &lib);
+            assert_eq!(a, b, "{}", reference.id());
+        }
     }
 
     #[test]

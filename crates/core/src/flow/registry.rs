@@ -39,8 +39,10 @@
 //! ```
 
 use crate::flow::passes::{
-    Binder, ColoringBinder, DensityScheduler, ForceDirectedScheduler, GreedyRefine, LeftEdgeBinder,
-    MaxDelayVictim, MinReliabilityLossVictim, NoRefine, RefinePass, Scheduler, VictimPolicy,
+    Binder, ColoringBinder, ColoringReferenceBinder, DensityReferenceScheduler, DensityScheduler,
+    ForceDirectedReferenceScheduler, ForceDirectedScheduler, GreedyRefine, LeftEdgeBinder,
+    LeftEdgeReferenceBinder, MaxDelayVictim, MinReliabilityLossVictim, NoRefine, RefinePass,
+    Scheduler, VictimPolicy,
 };
 use crate::flow::strategy::{Baseline, Combined, Ours, Pipelined, Redundancy, Strategy};
 use std::fmt;
@@ -133,6 +135,8 @@ fn registries() -> &'static Registries {
                 vec![
                     sched(Arc::new(DensityScheduler)),
                     sched(Arc::new(ForceDirectedScheduler)),
+                    sched(Arc::new(DensityReferenceScheduler)),
+                    sched(Arc::new(ForceDirectedReferenceScheduler)),
                 ],
             ),
             binders: Table::new(
@@ -140,6 +144,8 @@ fn registries() -> &'static Registries {
                 vec![
                     bind(Arc::new(LeftEdgeBinder)),
                     bind(Arc::new(ColoringBinder)),
+                    bind(Arc::new(LeftEdgeReferenceBinder)),
+                    bind(Arc::new(ColoringReferenceBinder)),
                 ],
             ),
             victims: Table::new(
@@ -281,10 +287,20 @@ mod tests {
 
     #[test]
     fn builtins_are_always_present() {
-        for id in ["density", "force-directed"] {
+        for id in [
+            "density",
+            "force-directed",
+            "density-reference",
+            "force-directed-reference",
+        ] {
             assert!(scheduler(id).is_some(), "{id}");
         }
-        for id in ["left-edge", "coloring"] {
+        for id in [
+            "left-edge",
+            "coloring",
+            "left-edge-reference",
+            "coloring-reference",
+        ] {
             assert!(binder(id).is_some(), "{id}");
         }
         for id in ["max-delay", "min-reliability-loss"] {

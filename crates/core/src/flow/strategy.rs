@@ -7,6 +7,7 @@ use crate::design::Design;
 use crate::error::SynthesisError;
 use crate::flow::{Diagnostics, FlowSpec};
 use crate::redundancy::{add_redundancy_with_model, RedundancyModel};
+use crate::scratch::ScratchPool;
 use crate::synth::Synthesizer;
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
@@ -26,6 +27,9 @@ pub struct SynthRequest<'a> {
     pub flow: FlowSpec,
     /// The redundancy growth model for strategies that replicate units.
     pub redundancy: RedundancyModel,
+    /// Session scratch pool the strategy's synthesizers borrow arenas
+    /// from (`None` = allocate per run).
+    scratch_pool: Option<&'a ScratchPool>,
 }
 
 impl<'a> SynthRequest<'a> {
@@ -38,6 +42,7 @@ impl<'a> SynthRequest<'a> {
             bounds,
             flow: FlowSpec::default(),
             redundancy: RedundancyModel::default(),
+            scratch_pool: None,
         }
     }
 
@@ -53,6 +58,20 @@ impl<'a> SynthRequest<'a> {
     pub fn with_redundancy(mut self, model: RedundancyModel) -> SynthRequest<'a> {
         self.redundancy = model;
         self
+    }
+
+    /// Attaches a session [`ScratchPool`]; strategies hand it to every
+    /// [`Synthesizer`] they construct so repeated points share arenas.
+    #[must_use]
+    pub fn with_scratch_pool(mut self, pool: &'a ScratchPool) -> SynthRequest<'a> {
+        self.scratch_pool = Some(pool);
+        self
+    }
+
+    /// The attached session scratch pool, if any.
+    #[must_use]
+    pub fn scratch_pool(&self) -> Option<&'a ScratchPool> {
+        self.scratch_pool
     }
 }
 
@@ -113,8 +132,13 @@ impl Strategy for Ours {
     }
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
-        Synthesizer::with_flow(request.dfg, request.library, &request.flow)?
-            .synthesize_report(request.bounds)
+        Synthesizer::with_flow_pooled(
+            request.dfg,
+            request.library,
+            &request.flow,
+            request.scratch_pool,
+        )?
+        .synthesize_report(request.bounds)
     }
 }
 
@@ -133,12 +157,13 @@ impl Strategy for Baseline {
     }
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
-        crate::baseline::nmr_baseline_report(
+        crate::baseline::nmr_baseline_report_pooled(
             request.dfg,
             request.library,
             request.bounds,
             &request.flow,
             request.redundancy,
+            request.scratch_pool,
         )
     }
 }
@@ -159,12 +184,13 @@ impl Strategy for Combined {
     }
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
-        crate::combined::combined_report(
+        crate::combined::combined_report_pooled(
             request.dfg,
             request.library,
             request.bounds,
             &request.flow,
             request.redundancy,
+            request.scratch_pool,
         )
     }
 }
@@ -224,8 +250,13 @@ impl Strategy for Pipelined {
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
         let ii = self.effective_ii(request.bounds);
-        Synthesizer::with_flow(request.dfg, request.library, &request.flow)?
-            .synthesize_pipelined_report(request.bounds, ii)
+        Synthesizer::with_flow_pooled(
+            request.dfg,
+            request.library,
+            &request.flow,
+            request.scratch_pool,
+        )?
+        .synthesize_pipelined_report(request.bounds, ii)
     }
 }
 
@@ -250,7 +281,12 @@ impl Strategy for Redundancy {
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
         let start = Instant::now();
-        let synth = Synthesizer::with_flow(request.dfg, request.library, &request.flow)?;
+        let synth = Synthesizer::with_flow_pooled(
+            request.dfg,
+            request.library,
+            &request.flow,
+            request.scratch_pool,
+        )?;
         let starts = synth.uniform_feasible_starts(request.bounds)?;
         let mut diagnostics = Diagnostics::default();
         diagnostics
@@ -291,6 +327,7 @@ impl Strategy for Redundancy {
             ),
         })?;
         diagnostics.redundancy_moves = moves;
+        synth.harvest_timers(&mut diagnostics);
         diagnostics.wall_time_micros = elapsed_micros(start);
         Ok(SynthReport {
             design,

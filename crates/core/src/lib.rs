@@ -77,6 +77,7 @@ pub mod flow;
 pub mod modes;
 mod pipelined;
 mod redundancy;
+mod scratch;
 mod synth;
 mod validate;
 
@@ -89,5 +90,6 @@ pub use error::SynthesisError;
 pub use explore::{StrategyDiagnostics, StrategyKind};
 pub use flow::{Diagnostics, FlowSpec, Strategy, SynthReport, SynthRequest};
 pub use redundancy::{add_redundancy, add_redundancy_with_model, RedundancyModel};
+pub use scratch::{ScratchPool, SynthScratch};
 pub use synth::Synthesizer;
 pub use validate::monte_carlo_reliability;

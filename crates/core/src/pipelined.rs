@@ -100,6 +100,7 @@ impl Synthesizer<'_> {
         let design = best.ok_or_else(|| SynthesisError::NoSolution {
             reason: format!("no pipelined design meets {bounds} at II={ii}"),
         })?;
+        self.harvest_timers(&mut diagnostics);
         diagnostics.wall_time_micros = elapsed_micros(timer);
         Ok(SynthReport {
             design,

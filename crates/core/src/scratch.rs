@@ -1,0 +1,103 @@
+//! Session-scoped synthesis scratch state.
+//!
+//! Every synthesis point runs the same inner loop — derive delays,
+//! schedule, bind, check — hundreds of times while the Figure-6 loops and
+//! the refinement pass explore candidates. A [`SynthScratch`] bundles the
+//! reusable arenas those kernels need ([`SchedScratch`], [`BindScratch`],
+//! and a delay-map buffer); a [`ScratchPool`] lends scratches to
+//! concurrent jobs so a whole batch/sweep session allocates a handful of
+//! arenas total instead of re-allocating per point.
+//!
+//! The pool is wired through the stack automatically: every
+//! [`SynthCache`](crate::SynthCache) owns one (so the engine's batches,
+//! the explorer's sweeps, and the CLI's sweep/pareto/batch commands all
+//! pool), and [`SynthRequest`](crate::SynthRequest) carries an optional
+//! pool reference for strategies to hand to the
+//! [`Synthesizer`](crate::Synthesizer) they construct.
+
+use rchls_bind::BindScratch;
+use rchls_sched::{Delays, SchedScratch};
+use std::fmt;
+use std::sync::Mutex;
+
+/// The per-synthesis-run scratch bundle.
+#[derive(Debug, Default)]
+pub struct SynthScratch {
+    /// Scheduling buffers (cached topological order, windows, densities).
+    pub sched: SchedScratch,
+    /// Binding buffers (version groups, interval/conflict state).
+    pub bind: BindScratch,
+    /// Reusable delay map derived from the current version assignment.
+    pub delays: Delays,
+}
+
+/// A lock-protected stack of idle [`SynthScratch`] arenas.
+///
+/// `acquire` pops an arena (or creates one when the pool is dry) and
+/// `release` returns it; with `k` concurrent jobs the pool converges on
+/// `k` arenas for the life of the session. Returned arenas have their
+/// cached topological order invalidated, so reuse across different
+/// graphs is always safe.
+#[derive(Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<SynthScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Takes an idle scratch (creating one when none is pooled). The
+    /// scratch's graph-keyed caches are invalidated before hand-out.
+    #[must_use]
+    pub fn acquire(&self) -> SynthScratch {
+        let mut scratch = self
+            .pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default();
+        scratch.sched.invalidate();
+        scratch
+    }
+
+    /// Returns a scratch to the pool for the next job.
+    pub fn release(&self, scratch: SynthScratch) {
+        self.pool.lock().expect("scratch pool lock").push(scratch);
+    }
+
+    /// Number of idle arenas currently pooled.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.pool.lock().expect("scratch pool lock").len()
+    }
+}
+
+impl fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_arenas() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.idle(), 0);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.acquire();
+        assert_eq!(pool.idle(), 1);
+    }
+}

@@ -6,12 +6,24 @@ use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
 use crate::flow::{elapsed_micros, Diagnostics, FlowSpec, FlowState, ResolvedFlow, SynthReport};
+use crate::scratch::{ScratchPool, SynthScratch};
 use rchls_bind::{Assignment, Binding};
 use rchls_dfg::{Dfg, NodeId};
 use rchls_reslib::{Library, VersionId};
-use rchls_sched::{asap, Schedule};
+use rchls_sched::Schedule;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::time::Instant;
+
+/// Per-phase wall-time and call accumulators, harvested into
+/// [`Diagnostics`] when a report is assembled.
+#[derive(Debug, Default)]
+struct PhaseTimers {
+    sched_micros: Cell<u64>,
+    bind_micros: Cell<u64>,
+    sched_calls: Cell<u32>,
+    bind_calls: Cell<u32>,
+}
 
 /// The reliability-centric synthesizer (`Find_Design` in Figure 6).
 ///
@@ -42,6 +54,20 @@ pub struct Synthesizer<'a> {
     library: &'a Library,
     spec: FlowSpec,
     flow: ResolvedFlow,
+    /// Preallocated scheduling/binding/delay buffers, reused by every
+    /// pass invocation this synthesizer makes.
+    scratch: RefCell<SynthScratch>,
+    /// Where the scratch came from (and returns to on drop), if pooled.
+    pool: Option<&'a ScratchPool>,
+    timers: PhaseTimers,
+}
+
+impl Drop for Synthesizer<'_> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool {
+            pool.release(std::mem::take(&mut *self.scratch.borrow_mut()));
+        }
+    }
 }
 
 impl<'a> Synthesizer<'a> {
@@ -65,11 +91,32 @@ impl<'a> Synthesizer<'a> {
         library: &'a Library,
         spec: &FlowSpec,
     ) -> Result<Synthesizer<'a>, SynthesisError> {
+        Synthesizer::with_flow_pooled(dfg, library, spec, None)
+    }
+
+    /// [`Synthesizer::with_flow`] borrowing its scratch arenas from a
+    /// session [`ScratchPool`] (and returning them when dropped), so
+    /// batch jobs and sweep points stop re-allocating per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::UnknownPass`] when a slot names an id the
+    /// registry doesn't know.
+    pub fn with_flow_pooled(
+        dfg: &'a Dfg,
+        library: &'a Library,
+        spec: &FlowSpec,
+        pool: Option<&'a ScratchPool>,
+    ) -> Result<Synthesizer<'a>, SynthesisError> {
+        let scratch = pool.map_or_else(SynthScratch::default, ScratchPool::acquire);
         Ok(Synthesizer {
             dfg,
             library,
             spec: spec.clone(),
             flow: spec.resolve()?,
+            scratch: RefCell::new(scratch),
+            pool,
+            timers: PhaseTimers::default(),
         })
     }
 
@@ -126,7 +173,9 @@ impl<'a> Synthesizer<'a> {
         let mut diagnostics = Diagnostics::default();
         let figure6 = self.figure6(bounds, &mut diagnostics);
         let refine = std::sync::Arc::clone(&self.flow.refine);
+        let refine_start = Instant::now();
         let state = refine.run(self, figure6, bounds, &mut diagnostics)?;
+        diagnostics.refine_micros += elapsed_micros(refine_start);
         let replication = vec![1u32; state.binding.instance_count()];
         let design = Design::assemble(
             self.dfg,
@@ -136,11 +185,38 @@ impl<'a> Synthesizer<'a> {
             state.binding,
             replication,
         );
+        self.harvest_timers(&mut diagnostics);
         diagnostics.wall_time_micros = elapsed_micros(start);
         Ok(SynthReport {
             design,
             diagnostics,
         })
+    }
+
+    /// Moves the accumulated scheduler/binder phase timings and call
+    /// counts into `diagnostics`, resetting the accumulators (so a
+    /// synthesizer reused for several runs attributes each run's phases
+    /// to its own report).
+    pub(crate) fn harvest_timers(&self, diagnostics: &mut Diagnostics) {
+        diagnostics.sched_micros += self.timers.sched_micros.take();
+        diagnostics.bind_micros += self.timers.bind_micros.take();
+        diagnostics.sched_calls += self.timers.sched_calls.take();
+        diagnostics.bind_calls += self.timers.bind_calls.take();
+    }
+
+    /// The minimum (critical-path) latency of `assignment`, computed on
+    /// the scratch arena without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Schedule`] if the graph is cyclic.
+    pub(crate) fn min_latency(&self, assignment: &Assignment) -> Result<u32, SynthesisError> {
+        let mut guard = self.scratch.borrow_mut();
+        let scratch = &mut *guard;
+        scratch.delays.fill_from_fn(self.dfg, |n| {
+            self.library.version(assignment.version(n)).delay()
+        });
+        Ok(scratch.sched.asap_latency(self.dfg, &scratch.delays)?)
     }
 
     /// Every uniform one-version-per-class assignment (no feasibility
@@ -201,8 +277,7 @@ impl<'a> Synthesizer<'a> {
     ) -> Result<Vec<FlowState>, SynthesisError> {
         let mut out = Vec::new();
         for assignment in self.uniform_assignments()? {
-            let delays = assignment.delays(self.dfg, self.library);
-            if asap(self.dfg, &delays)?.latency() > bounds.latency {
+            if self.min_latency(&assignment)? > bounds.latency {
                 continue;
             }
             let (schedule, binding) = self.schedule_and_bind(&assignment, bounds.latency)?;
@@ -231,16 +306,19 @@ impl<'a> Synthesizer<'a> {
 
         // Lines 7-12: latency-reduction loop.
         loop {
-            let delays = assignment.delays(self.dfg, self.library);
-            let min_latency = asap(self.dfg, &delays)?.latency();
+            let min_latency = self.min_latency(&assignment)?;
             if min_latency <= bounds.latency {
                 break;
             }
             diagnostics.loop_iterations += 1;
-            let cp = self
-                .dfg
-                .critical_path(|n| delays.get(n))
-                .map_err(rchls_sched::ScheduleError::from)?;
+            let cp = {
+                // `min_latency` left the assignment's delays in the
+                // scratch buffer.
+                let guard = self.scratch.borrow();
+                self.dfg
+                    .critical_path(|n| guard.delays.get(n))
+                    .map_err(rchls_sched::ScheduleError::from)?
+            };
             let Some((victim, faster)) =
                 self.pick_latency_victim(&assignment, &cp.nodes, diagnostics)
             else {
@@ -258,8 +336,7 @@ impl<'a> Synthesizer<'a> {
 
         // Lines 4-6 (for the now latency-feasible assignment): schedule at
         // the minimum achievable latency and bind.
-        let delays = assignment.delays(self.dfg, self.library);
-        let mut target = asap(self.dfg, &delays)?.latency().max(1);
+        let mut target = self.min_latency(&assignment)?.max(1);
         let (mut schedule, mut binding) = self.schedule_and_bind(&assignment, target)?;
         let mut area = binding.total_area(self.library);
 
@@ -292,8 +369,7 @@ impl<'a> Synthesizer<'a> {
             for &n in &sharers {
                 candidate.set(n, version);
             }
-            let cand_delays = candidate.delays(self.dfg, self.library);
-            let cand_min = asap(self.dfg, &cand_delays)?.latency();
+            let cand_min = self.min_latency(&candidate)?;
             if cand_min > bounds.latency {
                 diagnostics.rejected_moves += 1;
                 continue; // this version would break the latency bound
@@ -343,12 +419,36 @@ impl<'a> Synthesizer<'a> {
         assignment: &Assignment,
         latency: u32,
     ) -> Result<(Schedule, Binding), SynthesisError> {
-        let delays = assignment.delays(self.dfg, self.library);
-        let schedule = self.flow.scheduler.schedule(self.dfg, &delays, latency)?;
-        let binding = self
-            .flow
-            .binder
-            .bind(self.dfg, &schedule, assignment, self.library);
+        let mut guard = self.scratch.borrow_mut();
+        let scratch = &mut *guard;
+        scratch.delays.fill_from_fn(self.dfg, |n| {
+            self.library.version(assignment.version(n)).delay()
+        });
+        let sched_start = Instant::now();
+        let schedule = self.flow.scheduler.schedule_with(
+            self.dfg,
+            &scratch.delays,
+            latency,
+            &mut scratch.sched,
+        )?;
+        self.timers
+            .sched_micros
+            .set(self.timers.sched_micros.get() + elapsed_micros(sched_start));
+        self.timers
+            .sched_calls
+            .set(self.timers.sched_calls.get() + 1);
+        let bind_start = Instant::now();
+        let binding = self.flow.binder.bind_with(
+            self.dfg,
+            &schedule,
+            assignment,
+            self.library,
+            &mut scratch.bind,
+        );
+        self.timers
+            .bind_micros
+            .set(self.timers.bind_micros.get() + elapsed_micros(bind_start));
+        self.timers.bind_calls.set(self.timers.bind_calls.get() + 1);
         Ok((schedule, binding))
     }
 

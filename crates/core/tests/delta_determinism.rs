@@ -1,0 +1,175 @@
+//! The delta-kernel determinism suite.
+//!
+//! The optimized scheduling/binding kernels (scratch-reused, delta-cost,
+//! bucket-pass) must be **byte-identical** to the retained naive
+//! reference implementations on every input — this suite holds them to
+//! it over the pinned random families `random:{8x3,32x6,64x8}@{0..4}`
+//! and every builtin workload, and checks that whole engine batches stay
+//! byte-identical across worker counts (`--jobs 1` vs `--jobs 8`) with
+//! the scratch pool in play.
+
+use rchls_bind::{
+    bind_coloring, bind_left_edge,
+    reference::{bind_coloring_reference, bind_left_edge_reference},
+    Assignment, BindScratch,
+};
+use rchls_core::{Engine, FlowSpec, SynthJob};
+use rchls_dfg::Dfg;
+use rchls_reslib::Library;
+use rchls_sched::{
+    reference::{schedule_density_reference, schedule_force_directed_reference},
+    schedule_density_with, schedule_force_directed_with, SchedScratch,
+};
+
+/// The pinned corpus: three random families at five seeds each, plus
+/// every builtin workload.
+fn corpus() -> Vec<(String, Dfg)> {
+    let mut graphs = Vec::new();
+    for shape in ["8x3", "32x6", "64x8"] {
+        for seed in 0..5u64 {
+            let spec = format!("random:{shape}@{seed}");
+            let w = rchls_workloads::load_workload(&spec).expect("pinned spec resolves");
+            graphs.push((w.spec, w.dfg));
+        }
+    }
+    for (name, dfg) in rchls_workloads::all_benchmarks() {
+        graphs.push((format!("builtin:{name}"), dfg()));
+    }
+    graphs
+}
+
+/// A couple of latency budgets bracketing each graph's critical path.
+fn latencies(dfg: &Dfg, lib: &Library, assignment: &Assignment) -> Vec<u32> {
+    let delays = assignment.delays(dfg, lib);
+    let min = rchls_sched::asap(dfg, &delays)
+        .expect("corpus graphs are acyclic")
+        .latency();
+    vec![min, min + 3]
+}
+
+#[test]
+fn delta_schedulers_match_naive_references_on_the_corpus() {
+    let lib = Library::table1();
+    // One long-lived scratch across the whole corpus: exactly the reuse
+    // pattern the engine's pool produces.
+    let mut scratch = SchedScratch::new();
+    for (spec, dfg) in corpus() {
+        scratch.invalidate();
+        let assignment = Assignment::uniform(&dfg, &lib).expect("table1 covers all classes");
+        let delays = assignment.delays(&dfg, &lib);
+        for latency in latencies(&dfg, &lib, &assignment) {
+            let density = schedule_density_with(&dfg, &delays, latency, &mut scratch)
+                .expect("latency >= critical path");
+            let density_ref = schedule_density_reference(&dfg, &delays, latency).unwrap();
+            assert_eq!(
+                density, density_ref,
+                "density diverged on {spec} at L={latency}"
+            );
+
+            let force = schedule_force_directed_with(&dfg, &delays, latency, &mut scratch)
+                .expect("latency >= critical path");
+            let force_ref = schedule_force_directed_reference(&dfg, &delays, latency).unwrap();
+            assert_eq!(force, force_ref, "force diverged on {spec} at L={latency}");
+        }
+    }
+}
+
+#[test]
+fn bucket_binders_match_naive_references_on_the_corpus() {
+    let lib = Library::table1();
+    let mut sched_scratch = SchedScratch::new();
+    let mut bind_scratch = BindScratch::new();
+    for (spec, dfg) in corpus() {
+        sched_scratch.invalidate();
+        let assignment = Assignment::uniform(&dfg, &lib).expect("table1 covers all classes");
+        let delays = assignment.delays(&dfg, &lib);
+        for latency in latencies(&dfg, &lib, &assignment) {
+            let schedule =
+                schedule_density_with(&dfg, &delays, latency, &mut sched_scratch).unwrap();
+            let le =
+                bind_left_edge_with_scratch(&dfg, &schedule, &assignment, &lib, &mut bind_scratch);
+            assert_eq!(
+                le,
+                bind_left_edge_reference(&dfg, &schedule, &assignment, &lib),
+                "left-edge diverged on {spec} at L={latency}"
+            );
+            assert_eq!(
+                bind_coloring(&dfg, &schedule, &assignment, &lib),
+                bind_coloring_reference(&dfg, &schedule, &assignment, &lib),
+                "coloring diverged on {spec} at L={latency}"
+            );
+        }
+    }
+}
+
+fn bind_left_edge_with_scratch(
+    dfg: &Dfg,
+    schedule: &rchls_sched::Schedule,
+    assignment: &Assignment,
+    lib: &Library,
+    scratch: &mut BindScratch,
+) -> rchls_bind::Binding {
+    let with = rchls_bind::bind_left_edge_with(dfg, schedule, assignment, lib, scratch);
+    // The scratch-less wrapper must agree with the reused-scratch path.
+    assert_eq!(with, bind_left_edge(dfg, schedule, assignment, lib));
+    with
+}
+
+/// The batch determinism contract under the session scratch pool: the
+/// same jobs — optimized flows and reference flows alike — produce
+/// byte-identical batch documents at `--jobs 1` and `--jobs 8`.
+#[test]
+fn pooled_batches_are_byte_identical_across_worker_counts() {
+    let mut jobs = Vec::new();
+    for shape in ["8x3", "32x6"] {
+        for seed in 0..3u64 {
+            let spec = format!("random:{shape}@{seed}");
+            jobs.push(SynthJob::new(&spec, 8, 8));
+            jobs.push(SynthJob::new(&spec, 10, 6).with_strategy("combined"));
+            jobs.push(
+                SynthJob::new(&spec, 9, 7).with_flow(
+                    FlowSpec::default()
+                        .with_scheduler("force-directed")
+                        .with_binder("coloring"),
+                ),
+            );
+        }
+    }
+    // random:64x8 is heavier; one point keeps the suite fast while still
+    // exercising the acceptance workload.
+    jobs.push(SynthJob::new("random:64x8@0", 14, 24));
+
+    let serial = Engine::new(Library::table1()).with_jobs(1).run_batch(&jobs);
+    let serial_doc = serde_json::to_string(&serial).expect("batch documents serialize");
+    let parallel = Engine::new(Library::table1()).with_jobs(8).run_batch(&jobs);
+    let parallel_doc = serde_json::to_string(&parallel).expect("batch documents serialize");
+    assert_eq!(serial_doc, parallel_doc);
+}
+
+/// Whole-flow golden check on the acceptance workload: the optimized and
+/// reference pass implementations produce byte-identical scrubbed
+/// reports through the engine.
+#[test]
+fn reference_flows_reproduce_optimized_reports_on_random_64x8() {
+    let engine = Engine::new(Library::table1()).with_jobs(1);
+    let reference_flow = FlowSpec::default()
+        .with_scheduler("density-reference")
+        .with_binder("left-edge-reference");
+    for (latency, area) in [(14, 24), (20, 32)] {
+        let optimized = engine.synth(&SynthJob::new("random:64x8@0", latency, area));
+        let reference = engine.synth(
+            &SynthJob::new("random:64x8@0", latency, area).with_flow(reference_flow.clone()),
+        );
+        match (optimized, reference) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.design, b.design, "L={latency} A={area}");
+                assert_eq!(
+                    a.diagnostics.scrubbed(),
+                    b.diagnostics.scrubbed(),
+                    "L={latency} A={area}"
+                );
+            }
+            (a, b) => panic!("feasibility diverged at L={latency} A={area}: {a:?} vs {b:?}"),
+        }
+    }
+}

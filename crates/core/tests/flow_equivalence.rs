@@ -178,3 +178,64 @@ fn strategy_kind_run_is_the_trait_dispatch() {
         );
     }
 }
+
+/// The tentpole golden: for **all 16 pass combinations** and both the
+/// `ours` and `baseline` strategies, swapping the optimized scheduler
+/// and binder for their retained naive references
+/// (`density-reference`, `left-edge-reference`, ...) produces
+/// byte-identical `SynthReport`s (designs and scrubbed diagnostics) —
+/// the delta-cost kernels change nothing but wall time.
+#[test]
+fn optimized_and_reference_kernels_agree_across_all_combos_and_strategies() {
+    let lib = Library::table1();
+    let report_bytes = |r: &rchls_core::SynthReport| {
+        serde_json::to_string(&rchls_core::SynthReport {
+            design: r.design.clone(),
+            diagnostics: r.diagnostics.scrubbed(),
+        })
+        .expect("reports serialize")
+    };
+    for (dfg, points) in fixtures() {
+        for scheduler in ["density", "force-directed"] {
+            for binder in ["left-edge", "coloring"] {
+                for victim in ["max-delay", "min-reliability-loss"] {
+                    for refine in ["greedy", "off"] {
+                        let optimized = FlowSpec::default()
+                            .with_scheduler(scheduler)
+                            .with_binder(binder)
+                            .with_victim(victim)
+                            .with_refine(refine);
+                        let reference = optimized
+                            .clone()
+                            .with_scheduler(format!("{scheduler}-reference"))
+                            .with_binder(format!("{binder}-reference"));
+                        for strategy_id in ["ours", "baseline"] {
+                            let strategy = flow::strategy(strategy_id).unwrap();
+                            for &bounds in &points {
+                                let fast = strategy
+                                    .run(
+                                        &SynthRequest::new(&dfg, &lib, bounds)
+                                            .with_flow(optimized.clone()),
+                                    )
+                                    .ok();
+                                let slow = strategy
+                                    .run(
+                                        &SynthRequest::new(&dfg, &lib, bounds)
+                                            .with_flow(reference.clone()),
+                                    )
+                                    .ok();
+                                assert_eq!(
+                                    fast.as_ref().map(&report_bytes),
+                                    slow.as_ref().map(&report_bytes),
+                                    "{} {strategy_id} {scheduler}/{binder}/{victim}/{refine} \
+                                     at {bounds}",
+                                    dfg.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

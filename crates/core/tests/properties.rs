@@ -46,7 +46,8 @@ proptest! {
             rchls_sched::asap(&g, &fast.delays(&g, &lib)).unwrap().latency()
         };
         let bounds = Bounds::new(min + l_extra, area);
-        if let Ok(d) = Synthesizer::new(&g, &lib).synthesize(bounds) {
+        let result = Synthesizer::new(&g, &lib).synthesize(bounds);
+        if let Ok(d) = result {
             prop_assert!(d.latency <= bounds.latency);
             prop_assert!(d.area <= bounds.area);
             let delays = d.assignment.delays(&g, &lib);
@@ -109,7 +110,8 @@ proptest! {
     fn monte_carlo_agrees_with_analytic(g in small_dag(), seed in 0u64..1000) {
         let lib = Library::table1();
         let bounds = Bounds::new(3 * g.node_count() as u32, 12);
-        if let Ok(d) = Synthesizer::new(&g, &lib).synthesize(bounds) {
+        let result = Synthesizer::new(&g, &lib).synthesize(bounds);
+        if let Ok(d) = result {
             let emp = monte_carlo_reliability(&d, &g, &lib, 20_000, seed);
             prop_assert!(
                 (emp - d.reliability.value()).abs() < 0.02,

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.get(a), 1);
 /// assert_eq!(d.get(m), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Delays {
     delays: Vec<u32>,
 }
@@ -55,6 +55,22 @@ impl Delays {
     #[must_use]
     pub fn uniform(dfg: &Dfg, d: u32) -> Delays {
         Delays::from_fn(dfg, |_| d)
+    }
+
+    /// Refills this delay map in place by evaluating `f` on every node —
+    /// the allocation-free counterpart of [`Delays::from_fn`] for hot
+    /// loops that re-derive delays from a changing version assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns 0 for any node (operations take ≥ 1 cycle).
+    pub fn fill_from_fn(&mut self, dfg: &Dfg, mut f: impl FnMut(NodeId) -> u32) {
+        self.delays.clear();
+        self.delays.extend(dfg.node_ids().map(|n| {
+            let d = f(n);
+            assert!(d > 0, "node {n} was given a zero delay");
+            d
+        }));
     }
 
     /// The delay of node `n`.

@@ -15,15 +15,22 @@
 //! mobility, each into the feasible start that minimizes the density of the
 //! partitions it would occupy — which evens out the per-step load and
 //! thereby minimizes the number of functional units a binder needs.
+//!
+//! Two entry points share one algorithm: [`schedule_density_with`] runs on
+//! a caller-provided [`SchedScratch`] (cached topological order, zero
+//! per-call allocation of intermediates) and is the synthesis hot path;
+//! [`schedule_density`] wraps it with a fresh scratch. Both are
+//! byte-identical to [`crate::reference::schedule_density_reference`], the
+//! retained naive implementation — the determinism suite holds them to it.
 
-use crate::alap::alap;
-use crate::asap::asap;
 use crate::delays::Delays;
 use crate::error::ScheduleError;
 use crate::schedule::Schedule;
+use crate::scratch::SchedScratch;
 use rchls_dfg::{Dfg, NodeId, OpClass};
 
-/// Dependence-consistent mobility windows under a partial assignment.
+/// Dependence-consistent mobility windows under a partial assignment
+/// (the naive allocating form, retained for the reference scheduler).
 pub(crate) struct Windows {
     pub es: Vec<u32>,
     pub ls: Vec<u32>,
@@ -72,7 +79,7 @@ pub(crate) fn windows(
 }
 
 /// Time-constrained scheduling by partition density (the paper's
-/// scheduler).
+/// scheduler) on a fresh scratch.
 ///
 /// # Errors
 ///
@@ -101,26 +108,57 @@ pub fn schedule_density(
     delays: &Delays,
     latency: u32,
 ) -> Result<Schedule, ScheduleError> {
-    let asap_s = asap(dfg, delays)?;
-    let alap_s = alap(dfg, delays, latency)?; // also validates feasibility
+    schedule_density_with(dfg, delays, latency, &mut SchedScratch::new())
+}
+
+/// [`schedule_density`] on a reusable [`SchedScratch`] — the synthesis
+/// hot path. Byte-identical output; zero intermediate allocations once
+/// the scratch is warm.
+///
+/// # Errors
+///
+/// Same contract as [`schedule_density`].
+pub fn schedule_density_with(
+    dfg: &Dfg,
+    delays: &Delays,
+    latency: u32,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, ScheduleError> {
+    scratch.ensure_topo(dfg)?;
+    // Feasibility exactly as asap+alap validation reports it.
+    let minimum = scratch.asap_latency(dfg, delays)?;
+    if latency < minimum {
+        return Err(ScheduleError::DeadlineTooTight {
+            requested: latency,
+            minimum,
+        });
+    }
     if dfg.is_empty() {
         return Ok(Schedule::new(Vec::new(), delays));
     }
 
-    // Placement order: increasing initial mobility, then topological order
-    // (node id as a deterministic stand-in — ids are assigned in
-    // construction order and ties only need determinism, not optimality).
-    let mut order: Vec<NodeId> = dfg.node_ids().collect();
-    order.sort_by_key(|&n| (alap_s.start(n) - asap_s.start(n), n.index()));
+    let n = dfg.node_count();
+    scratch.fixed.clear();
+    scratch.fixed.resize(n, None);
+    // Initial (all-unfixed) windows give the ASAP/ALAP mobility used for
+    // the placement order: increasing initial mobility, then node id.
+    scratch.fill_windows(dfg, delays, latency);
+    let mut order = std::mem::take(&mut scratch.order);
+    order.clear();
+    order.extend(dfg.node_ids());
+    {
+        let (es, ls) = (&scratch.es, &scratch.ls);
+        order.sort_by_key(|&n| (ls[n.index()] - es[n.index()], n.index()));
+    }
 
-    let mut fixed: Vec<Option<u32>> = vec![None; dfg.node_count()];
     for &victim in &order {
-        let w = windows(dfg, delays, latency, &fixed)?;
-        let (es, ls) = (w.es[victim.index()], w.ls[victim.index()]);
+        scratch.fill_windows(dfg, delays, latency);
+        let (es, ls) = (scratch.es[victim.index()], scratch.ls[victim.index()]);
         debug_assert!(es <= ls, "window collapsed below feasibility");
         let class = dfg.node(victim).class();
-        let density = class_density(dfg, delays, latency, &fixed, &w, class, Some(victim));
+        fill_class_density(scratch, dfg, delays, latency, class, Some(victim));
         let d = delays.get(victim);
+        let density = &scratch.density;
         let best = (es..=ls)
             .min_by(|&a, &b| {
                 let da: f64 = (a..a + d).map(|t| density[(t - 1) as usize]).sum();
@@ -128,11 +166,13 @@ pub fn schedule_density(
                 da.total_cmp(&db).then(a.cmp(&b))
             })
             .expect("window es..=ls is nonempty");
-        fixed[victim.index()] = Some(best);
+        scratch.fixed[victim.index()] = Some(best);
     }
+    scratch.order = order;
 
-    let starts: Vec<u32> = fixed
-        .into_iter()
+    let starts: Vec<u32> = scratch
+        .fixed
+        .iter()
         .map(|s| s.expect("every node was placed"))
         .collect();
     let schedule = Schedule::new(starts, delays);
@@ -140,9 +180,48 @@ pub fn schedule_density(
     Ok(schedule)
 }
 
-/// Per-step expected occupancy ("partition density") for one class, under
-/// the current partial assignment. `skip` excludes one node (the one being
-/// placed) from the distribution.
+/// Per-step expected occupancy ("partition density") for one class under
+/// the current partial assignment, written into `scratch.density`.
+/// `skip` excludes one node (the one being placed) from the distribution.
+///
+/// Iteration order and arithmetic match [`class_density`] exactly, so the
+/// scratch path selects byte-identical schedules.
+pub(crate) fn fill_class_density(
+    scratch: &mut SchedScratch,
+    dfg: &Dfg,
+    delays: &Delays,
+    latency: u32,
+    class: OpClass,
+    skip: Option<NodeId>,
+) {
+    scratch.density.clear();
+    scratch.density.resize(latency as usize, 0.0);
+    for n in dfg.node_ids() {
+        if Some(n) == skip || dfg.node(n).class() != class {
+            continue;
+        }
+        let d = delays.get(n);
+        match scratch.fixed[n.index()] {
+            Some(s) => {
+                for t in s..s + d {
+                    scratch.density[(t - 1) as usize] += 1.0;
+                }
+            }
+            None => {
+                let (es, ls) = (scratch.es[n.index()], scratch.ls[n.index()]);
+                let width = f64::from(ls - es + 1);
+                for s in es..=ls {
+                    for t in s..s + d {
+                        scratch.density[(t - 1) as usize] += 1.0 / width;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-step expected occupancy for one class (the naive allocating form,
+/// retained for the reference scheduler).
 pub(crate) fn class_density(
     dfg: &Dfg,
     delays: &Delays,
@@ -181,6 +260,7 @@ pub(crate) fn class_density(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::asap::asap;
     use rchls_dfg::DfgBuilder;
     use rchls_dfg::OpKind;
 
@@ -289,5 +369,25 @@ mod tests {
             schedule_density(&g, &d, 6).unwrap(),
             schedule_density(&g, &d, 6).unwrap()
         );
+    }
+
+    #[test]
+    fn scratch_reuse_across_latencies_and_graphs_matches_fresh() {
+        let g = figure4a();
+        let d = Delays::uniform(&g, 1);
+        let mut scratch = SchedScratch::new();
+        for latency in 4..=8 {
+            let reused = schedule_density_with(&g, &d, latency, &mut scratch).unwrap();
+            let fresh = schedule_density(&g, &d, latency).unwrap();
+            assert_eq!(reused, fresh, "latency {latency}");
+        }
+        // Switching to a different-size graph re-binds automatically.
+        let g2 = DfgBuilder::new("indep")
+            .ops(&["a", "b", "c"], OpKind::Add)
+            .build()
+            .unwrap();
+        let d2 = Delays::uniform(&g2, 1);
+        let reused = schedule_density_with(&g2, &d2, 3, &mut scratch).unwrap();
+        assert_eq!(reused, schedule_density(&g2, &d2, 3).unwrap());
     }
 }

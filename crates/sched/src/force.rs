@@ -1,21 +1,42 @@
 //! Force-directed scheduling (Paulin–Knight), used as an ablation
 //! alternative to the paper's partition-density scheduler.
+//!
+//! This is the delta-cost rework of the classic kernel. The naive
+//! formulation re-derives, for every unplaced `(operation, step)` pair in
+//! every iteration, a skip-one distribution graph over all same-class
+//! operations — `O(V · V · L)` work per placement. Here the per-class
+//! distribution graph `DG` is built **once per placement** and each
+//! candidate's self force is evaluated against it by subtracting the
+//! candidate's own expected contribution (`density_n = DG − contrib_n`),
+//! an `O(window · delay)` delta per candidate. Across placements, a
+//! change detector on the mobility windows skips entire classes whose
+//! distribution inputs did not move, reusing the cached per-candidate
+//! best force — placing one node then costs `O(V + E)` for the window
+//! sweep plus work proportional to the nodes its placement actually
+//! disturbed.
+//!
+//! Candidate selection is the lexicographic minimum of
+//! `(force, node id, step)` under [`f64::total_cmp`] — order-independent,
+//! so cached and freshly computed candidates fold identically. The
+//! retained naive implementation
+//! ([`crate::reference::schedule_force_directed_reference`]) evaluates
+//! the same formulas with full recomputation and no caching; the
+//! determinism suite asserts both produce byte-identical schedules.
 
-use crate::alap::alap;
-use crate::asap::asap;
 use crate::delays::Delays;
-use crate::density::{class_density, windows};
 use crate::error::ScheduleError;
 use crate::schedule::Schedule;
-use rchls_dfg::{Dfg, NodeId};
+use crate::scratch::SchedScratch;
+use rchls_dfg::{Dfg, NodeId, OpClass};
 
 /// Time-constrained force-directed scheduling.
 ///
 /// At each iteration the unplaced (operation, step) pair with the lowest
 /// *self force* is committed, where the self force of placing `n` at step
 /// `s` is `Σ_t∈occupied (DG(t) − avg window DG)` over the class
-/// distribution graph `DG`. Lower force = moving the op into a valley of
-/// expected occupancy. This is the classic alternative to the paper's
+/// distribution graph `DG` (with `n`'s own expected contribution
+/// subtracted out). Lower force = moving the op into a valley of expected
+/// occupancy. This is the classic alternative to the paper's
 /// least-dense-partition rule: it re-evaluates *all* candidates every
 /// iteration instead of committing ops in fixed mobility order.
 ///
@@ -44,57 +65,224 @@ pub fn schedule_force_directed(
     delays: &Delays,
     latency: u32,
 ) -> Result<Schedule, ScheduleError> {
-    // Validate inputs the same way the density scheduler does.
-    let _ = asap(dfg, delays)?;
-    let _ = alap(dfg, delays, latency)?;
+    schedule_force_directed_with(dfg, delays, latency, &mut SchedScratch::new())
+}
+
+/// [`schedule_force_directed`] on a reusable [`SchedScratch`] — the
+/// delta-cost kernel described in the module docs above.
+///
+/// # Errors
+///
+/// Same contract as [`schedule_force_directed`].
+pub fn schedule_force_directed_with(
+    dfg: &Dfg,
+    delays: &Delays,
+    latency: u32,
+    scratch: &mut SchedScratch,
+) -> Result<Schedule, ScheduleError> {
+    scratch.ensure_topo(dfg)?;
+    let minimum = scratch.asap_latency(dfg, delays)?;
+    if latency < minimum {
+        return Err(ScheduleError::DeadlineTooTight {
+            requested: latency,
+            minimum,
+        });
+    }
     if dfg.is_empty() {
         return Ok(Schedule::new(Vec::new(), delays));
     }
 
-    let mut fixed: Vec<Option<u32>> = vec![None; dfg.node_count()];
-    let mut remaining = dfg.node_count();
+    let n = dfg.node_count();
+    scratch.fixed.clear();
+    scratch.fixed.resize(n, None);
+    scratch.cand_force.resize(n, 0.0);
+    scratch.cand_step.resize(n, 0);
+    scratch.prev_es.clear();
+    scratch.prev_es.resize(n, u32::MAX);
+    scratch.prev_ls.clear();
+    scratch.prev_ls.resize(n, u32::MAX);
+
+    let class_slot = |c: OpClass| -> usize {
+        OpClass::ALL
+            .iter()
+            .position(|&x| x == c)
+            .expect("every class is listed in OpClass::ALL")
+    };
+
+    let mut remaining = n;
+    let mut first = true;
     while remaining > 0 {
-        let w = windows(dfg, delays, latency, &fixed)?;
-        let mut best: Option<(f64, NodeId, u32)> = None;
-        for n in dfg.node_ids() {
-            if fixed[n.index()].is_some() {
-                continue;
-            }
-            let class = dfg.node(n).class();
-            let density = class_density(dfg, delays, latency, &fixed, &w, class, Some(n));
-            let (es, ls) = (w.es[n.index()], w.ls[n.index()]);
-            let d = delays.get(n);
-            // Average occupancy over the op's whole window (its current
-            // expected contribution footprint).
-            let span: Vec<f64> = (es..ls + d).map(|t| density[(t - 1) as usize]).collect();
-            let avg = span.iter().sum::<f64>() / span.len() as f64;
-            for s in es..=ls {
-                let force: f64 = (s..s + d).map(|t| density[(t - 1) as usize] - avg).sum();
-                let cand = (force, n, s);
-                let better = match best {
-                    None => true,
-                    Some((bf, bn, bs)) => {
-                        force < bf - 1e-12
-                            || ((force - bf).abs() <= 1e-12 && (n.index(), s) < (bn.index(), bs))
-                    }
-                };
-                if better {
-                    best = Some(cand);
+        scratch.fill_windows(dfg, delays, latency);
+
+        // Which classes had a distribution input move since the last
+        // placement? A window shift changes a node's expected
+        // contribution; a spread→fixed transition without a window shift
+        // is value-preserving (width-1 spread ≡ committed occupancy), so
+        // windows are the complete change signal.
+        let mut dirty = [first; OpClass::ALL.len()];
+        if !first {
+            for v in dfg.node_ids() {
+                let i = v.index();
+                if scratch.es[i] != scratch.prev_es[i] || scratch.ls[i] != scratch.prev_ls[i] {
+                    dirty[class_slot(dfg.node(v).class())] = true;
                 }
             }
         }
-        let (_, n, s) = best.expect("at least one unplaced node has a window");
-        fixed[n.index()] = Some(s);
+        first = false;
+        scratch.prev_es.copy_from_slice(&scratch.es);
+        scratch.prev_ls.copy_from_slice(&scratch.ls);
+
+        for (slot, &class) in OpClass::ALL.iter().enumerate() {
+            if !dirty[slot] {
+                continue;
+            }
+            let any_unplaced = dfg
+                .node_ids()
+                .any(|v| scratch.fixed[v.index()].is_none() && dfg.node(v).class() == class);
+            if !any_unplaced {
+                continue;
+            }
+            // One distribution graph per dirty class per placement...
+            fill_class_distribution(scratch, dfg, delays, latency, class);
+            // ... then every candidate is a delta against it.
+            for v in dfg.node_ids() {
+                if scratch.fixed[v.index()].is_some() || dfg.node(v).class() != class {
+                    continue;
+                }
+                let (force, step) = candidate_best(
+                    delays.get(v),
+                    scratch.es[v.index()],
+                    scratch.ls[v.index()],
+                    &scratch.density,
+                );
+                scratch.cand_force[v.index()] = force;
+                scratch.cand_step[v.index()] = step;
+            }
+        }
+
+        // Lexicographic minimum of (force, node id, step); the per-node
+        // bests already minimize over steps.
+        let mut best: Option<(f64, NodeId, u32)> = None;
+        for v in dfg.node_ids() {
+            if scratch.fixed[v.index()].is_some() {
+                continue;
+            }
+            let f = scratch.cand_force[v.index()];
+            let better = match best {
+                None => true,
+                Some((bf, ..)) => f.total_cmp(&bf) == std::cmp::Ordering::Less,
+            };
+            if better {
+                best = Some((f, v, scratch.cand_step[v.index()]));
+            }
+        }
+        let (_, v, s) = best.expect("at least one unplaced node has a window");
+        scratch.fixed[v.index()] = Some(s);
         remaining -= 1;
     }
 
-    let starts: Vec<u32> = fixed
-        .into_iter()
+    let starts: Vec<u32> = scratch
+        .fixed
+        .iter()
         .map(|s| s.expect("all nodes placed"))
         .collect();
     let schedule = Schedule::new(starts, delays);
     schedule.validate(dfg, delays)?;
     Ok(schedule)
+}
+
+/// The full per-class distribution graph (no skip) under the current
+/// windows and partial assignment, written into `scratch.density`.
+pub(crate) fn fill_class_distribution(
+    scratch: &mut SchedScratch,
+    dfg: &Dfg,
+    delays: &Delays,
+    latency: u32,
+    class: OpClass,
+) {
+    scratch.density.clear();
+    scratch.density.resize(latency as usize, 0.0);
+    let SchedScratch {
+        density,
+        fixed,
+        es,
+        ls,
+        ..
+    } = scratch;
+    accumulate_class_distribution(density, dfg, delays, class, fixed, es, ls);
+}
+
+/// Accumulates every class-`class` node's expected occupancy into
+/// `density` (node-id order) — shared verbatim by the delta kernel and
+/// the naive reference so their distribution graphs are bit-identical.
+pub(crate) fn accumulate_class_distribution(
+    density: &mut [f64],
+    dfg: &Dfg,
+    delays: &Delays,
+    class: OpClass,
+    fixed: &[Option<u32>],
+    es: &[u32],
+    ls: &[u32],
+) {
+    for m in dfg.node_ids() {
+        if dfg.node(m).class() != class {
+            continue;
+        }
+        let d = delays.get(m);
+        match fixed[m.index()] {
+            Some(s) => {
+                for t in s..s + d {
+                    density[(t - 1) as usize] += 1.0;
+                }
+            }
+            None => {
+                let (e, l) = (es[m.index()], ls[m.index()]);
+                let width = f64::from(l - e + 1);
+                for s in e..=l {
+                    for t in s..s + d {
+                        density[(t - 1) as usize] += 1.0 / width;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The best (lowest-force, earliest-step) candidate placement of one
+/// unplaced node against a class distribution graph, with the node's own
+/// expected contribution subtracted — shared verbatim by the delta kernel
+/// and the naive reference.
+pub(crate) fn candidate_best(d: u32, es: u32, ls: u32, density: &[f64]) -> (f64, u32) {
+    let width = f64::from(ls - es + 1);
+    let per_start = 1.0 / width;
+    // `n`'s expected occupancy of step `t`: one share per window start
+    // whose execution interval covers `t`.
+    let contrib = |t: u32| -> f64 {
+        let lo = es.max((t + 1).saturating_sub(d));
+        let hi = ls.min(t);
+        f64::from(hi - lo + 1) * per_start
+    };
+    // Average occupancy over the op's whole window footprint.
+    let mut sum = 0.0f64;
+    for t in es..ls + d {
+        sum += density[(t - 1) as usize] - contrib(t);
+    }
+    let avg = sum / f64::from(ls + d - es);
+    let mut best: Option<(f64, u32)> = None;
+    for s in es..=ls {
+        let mut force = 0.0f64;
+        for t in s..s + d {
+            force += density[(t - 1) as usize] - contrib(t) - avg;
+        }
+        let better = match best {
+            None => true,
+            Some((bf, _)) => force.total_cmp(&bf) == std::cmp::Ordering::Less,
+        };
+        if better {
+            best = Some((force, s));
+        }
+    }
+    best.expect("window es..=ls is nonempty")
 }
 
 #[cfg(test)]
@@ -153,5 +341,39 @@ mod tests {
             schedule_force_directed(&g, &d, 6).unwrap(),
             schedule_force_directed(&g, &d, 6).unwrap()
         );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = figure4a();
+        let d = Delays::uniform(&g, 1);
+        let mut scratch = SchedScratch::new();
+        for latency in 4..=8 {
+            let reused = schedule_force_directed_with(&g, &d, latency, &mut scratch).unwrap();
+            assert_eq!(reused, schedule_force_directed(&g, &d, latency).unwrap());
+        }
+    }
+
+    #[test]
+    fn multicycle_mixed_classes_schedule_validly() {
+        let g = DfgBuilder::new("mix")
+            .op("m1", OpKind::Mul)
+            .op("m2", OpKind::Mul)
+            .op("s", OpKind::Add)
+            .dep("m1", "s")
+            .dep("m2", "s")
+            .build()
+            .unwrap();
+        let d = Delays::from_fn(&g, |n| {
+            if g.node(n).kind() == OpKind::Mul {
+                2
+            } else {
+                1
+            }
+        });
+        let s = schedule_force_directed(&g, &d, 5).unwrap();
+        s.validate(&g, &d).unwrap();
+        assert!(s.latency() <= 5);
+        assert!(s.peak_usage(&g, &d, OpClass::Multiplier) <= 2);
     }
 }

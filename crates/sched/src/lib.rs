@@ -49,14 +49,17 @@ mod error;
 mod force;
 mod list;
 mod pipeline;
+pub mod reference;
 mod schedule;
+mod scratch;
 
 pub use alap::alap;
 pub use asap::asap;
 pub use delays::Delays;
-pub use density::schedule_density;
+pub use density::{schedule_density, schedule_density_with};
 pub use error::ScheduleError;
-pub use force::schedule_force_directed;
-pub use list::{schedule_list, ResourceLimits};
+pub use force::{schedule_force_directed, schedule_force_directed_with};
+pub use list::{schedule_list, schedule_list_with, ResourceLimits};
 pub use pipeline::schedule_modulo;
 pub use schedule::{Mobility, Schedule};
+pub use scratch::SchedScratch;

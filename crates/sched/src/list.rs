@@ -3,7 +3,7 @@
 use crate::delays::Delays;
 use crate::error::ScheduleError;
 use crate::schedule::Schedule;
-use rchls_dfg::{Dfg, NodeId, OpClass};
+use rchls_dfg::{Dfg, OpClass};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -77,7 +77,23 @@ pub fn schedule_list(
     delays: &Delays,
     limits: &ResourceLimits,
 ) -> Result<Schedule, ScheduleError> {
-    let order = dfg.topological_order()?;
+    schedule_list_with(dfg, delays, limits, &mut crate::SchedScratch::new())
+}
+
+/// [`schedule_list`] on a reusable [`crate::SchedScratch`]: the cached
+/// topological order and the per-node priority/ready buffers are reused
+/// across calls. Byte-identical output.
+///
+/// # Errors
+///
+/// Same contract as [`schedule_list`].
+pub fn schedule_list_with(
+    dfg: &Dfg,
+    delays: &Delays,
+    limits: &ResourceLimits,
+    scratch: &mut crate::SchedScratch,
+) -> Result<Schedule, ScheduleError> {
+    scratch.ensure_topo(dfg)?;
     for class in OpClass::ALL {
         if dfg.count_class(class) > 0 && limits.get(class) == 0 {
             return Err(ScheduleError::NoInstances);
@@ -87,63 +103,70 @@ pub fn schedule_list(
         return Ok(Schedule::new(Vec::new(), delays));
     }
 
+    let n = dfg.node_count();
     // Priority: delay-weighted longest path from the node to any sink.
-    let mut priority = vec![0u32; dfg.node_count()];
-    for &n in order.iter().rev() {
+    scratch.priority.clear();
+    scratch.priority.resize(n, 0);
+    for &v in scratch.topo.iter().rev() {
         let down = dfg
-            .succs(n)
+            .succs(v)
             .iter()
-            .map(|&s| priority[s.index()])
+            .map(|&s| scratch.priority[s.index()])
             .max()
             .unwrap_or(0);
-        priority[n.index()] = down + delays.get(n);
+        scratch.priority[v.index()] = down + delays.get(v);
     }
 
-    let mut starts: Vec<Option<u32>> = vec![None; dfg.node_count()];
-    let mut unscheduled_preds: Vec<usize> = dfg.node_ids().map(|n| dfg.preds(n).len()).collect();
+    scratch.starts_opt.clear();
+    scratch.starts_opt.resize(n, None);
+    scratch.pending_preds.clear();
+    scratch
+        .pending_preds
+        .extend(dfg.node_ids().map(|v| dfg.preds(v).len()));
     // For each class: the step at which each unit becomes free again.
     let mut free_at: HashMap<OpClass, Vec<u32>> = OpClass::ALL
         .iter()
         .map(|&c| (c, vec![1u32; limits.get(c) as usize]))
         .collect();
 
-    let mut remaining = dfg.node_count();
+    let mut remaining = n;
     let mut step = 1u32;
     // Fully serialized execution is the worst case; anything beyond it
     // means the loop is stuck (a bug, not an input condition).
-    let step_bound: u32 = dfg.node_ids().map(|n| delays.get(n)).sum::<u32>() + 2;
+    let step_bound: u32 = dfg.node_ids().map(|v| delays.get(v)).sum::<u32>() + 2;
+    let mut ready = std::mem::take(&mut scratch.ready);
     while remaining > 0 {
         // Ready ops: all preds scheduled and finished before `step`.
-        let mut ready: Vec<NodeId> = dfg
-            .node_ids()
-            .filter(|&n| {
-                starts[n.index()].is_none()
-                    && unscheduled_preds[n.index()] == 0
-                    && dfg.preds(n).iter().all(|&p| {
-                        let ps = starts[p.index()].expect("pred counted as scheduled");
-                        ps + delays.get(p) <= step
-                    })
-            })
-            .collect();
-        ready.sort_by_key(|&n| (std::cmp::Reverse(priority[n.index()]), n.index()));
-        for n in ready {
-            let class = dfg.node(n).class();
+        ready.clear();
+        ready.extend(dfg.node_ids().filter(|&v| {
+            scratch.starts_opt[v.index()].is_none()
+                && scratch.pending_preds[v.index()] == 0
+                && dfg.preds(v).iter().all(|&p| {
+                    let ps = scratch.starts_opt[p.index()].expect("pred counted as scheduled");
+                    ps + delays.get(p) <= step
+                })
+        }));
+        ready.sort_by_key(|&v| (std::cmp::Reverse(scratch.priority[v.index()]), v.index()));
+        for &v in &ready {
+            let class = dfg.node(v).class();
             let units = free_at.get_mut(&class).expect("all classes initialized");
             if let Some(u) = units.iter_mut().find(|f| **f <= step) {
-                *u = step + delays.get(n);
-                starts[n.index()] = Some(step);
+                *u = step + delays.get(v);
+                scratch.starts_opt[v.index()] = Some(step);
                 remaining -= 1;
-                for &s in dfg.succs(n) {
-                    unscheduled_preds[s.index()] -= 1;
+                for &s in dfg.succs(v) {
+                    scratch.pending_preds[s.index()] -= 1;
                 }
             }
         }
         step += 1;
         assert!(step <= step_bound, "list scheduling failed to converge");
     }
+    scratch.ready = ready;
 
-    let starts: Vec<u32> = starts
-        .into_iter()
+    let starts: Vec<u32> = scratch
+        .starts_opt
+        .iter()
         .map(|s| s.expect("all nodes scheduled"))
         .collect();
     let schedule = Schedule::new(starts, delays);
