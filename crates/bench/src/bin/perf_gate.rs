@@ -16,35 +16,89 @@
 //! The pinned workload set makes the per-phase *unit counts* (pass
 //! calls, jobs) machine-independent; a count mismatch means the workload
 //! set or the algorithms changed since the baseline was captured, and
-//! the gate fails with a pointer to `scripts/refresh_baseline.sh`.
+//! the gate fails with a pointer to `scripts/refresh_baseline.sh`. The
+//! same pointer is given — as a hard failure — when the baseline's
+//! `perf.schema_version` predates this gate's
+//! [`PERF_SCHEMA_VERSION`]: phase or unit semantics changed, so the old
+//! numbers are not comparable. Phase deltas smaller than
+//! [`NOISE_FLOOR_MICROS`] in absolute terms are reported but never fail
+//! the gate (on a millisecond-scale phase such ratios are timer jitter,
+//! not signal; a real blow-up moves past the allowance and fails).
 //!
 //! A GitHub-flavored markdown delta table is printed to stdout and, with
 //! `--summary PATH`, appended to that file (CI passes
 //! `$GITHUB_STEP_SUMMARY`).
 
-use rchls_bench::perf::{PerfSection, PhaseStat};
+use rchls_bench::perf::{PerfSection, PhaseStat, PERF_SCHEMA_VERSION};
 use serde::{map_get, Deserialize, Value};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+/// Absolute wall-time changes below this are treated as timer noise
+/// regardless of the ratio: a couple of milliseconds spread over ~2000
+/// timer reads is timestamp jitter and cache-warming variance, not the
+/// code under test, yet on a 3 ms phase it reads as a -50% "regression".
+/// The allowance is *absolute*, so a genuinely regressed small phase
+/// (say 3 ms → 18 ms) still moves far past it and fails the ratio check
+/// as usual; large phases are unaffected (their jitter-sized deltas
+/// already pass the ratio tolerance).
+const NOISE_FLOOR_MICROS: u64 = 10_000;
+
 /// One phase's comparison outcome.
 struct PhaseDelta {
     name: &'static str,
+    baseline_ms: f64,
+    current_ms: f64,
     baseline_norm: f64,
     current_norm: f64,
     ratio: f64,
     units_match: bool,
+    within_jitter: bool,
 }
 
-fn load_perf(path: &str) -> Result<PerfSection, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+/// A gate failure that should print a clean message and exit non-zero
+/// (`hard` distinguishes a regression-style failure from a usage error).
+struct GateError {
+    message: String,
+    hard: bool,
+}
+
+fn load_perf(path: &str) -> Result<PerfSection, GateError> {
+    let soft = |message: String| GateError {
+        message,
+        hard: false,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| soft(format!("{path}: {e}")))?;
     let value: Value =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| soft(format!("{path}: invalid JSON: {e}")))?;
     let entries = value
         .as_map()
-        .ok_or_else(|| format!("{path}: expected a JSON object"))?;
-    let perf = map_get(entries, "perf").ok_or_else(|| format!("{path}: missing `perf` section"))?;
-    PerfSection::from_value(perf).map_err(|e| format!("{path}: bad `perf` section: {e}"))
+        .ok_or_else(|| soft(format!("{path}: expected a JSON object")))?;
+    let perf =
+        map_get(entries, "perf").ok_or_else(|| soft(format!("{path}: missing `perf` section")))?;
+    // Check the schema stamp *before* the strict parse, so a baseline
+    // captured under an older schema (possibly lacking fields the
+    // current section has) fails with the actionable message rather
+    // than a parse error.
+    let schema = perf
+        .as_map()
+        .and_then(|m| map_get(m, "schema_version"))
+        .map_or(0, |v| match v {
+            Value::UInt(u) => *u,
+            Value::Int(i) if *i >= 0 => *i as u64,
+            _ => 0,
+        });
+    if schema < u64::from(PERF_SCHEMA_VERSION) {
+        return Err(GateError {
+            message: format!(
+                "{path}: perf section carries schema v{schema}, but this gate requires \
+                 v{PERF_SCHEMA_VERSION} — the committed baseline predates the gate; \
+                 regenerate it with scripts/refresh_baseline.sh"
+            ),
+            hard: true,
+        });
+    }
+    PerfSection::from_value(perf).map_err(|e| soft(format!("{path}: bad `perf` section: {e}")))
 }
 
 fn compare(name: &'static str, base: &PerfSection, cur: &PerfSection) -> PhaseDelta {
@@ -62,6 +116,8 @@ fn compare(name: &'static str, base: &PerfSection, cur: &PerfSection) -> PhaseDe
     let current_norm = c.per_sec / cur.calibration_per_sec;
     PhaseDelta {
         name,
+        baseline_ms: b.micros as f64 / 1e3,
+        current_ms: c.micros as f64 / 1e3,
         baseline_norm,
         current_norm,
         ratio: if baseline_norm > 0.0 {
@@ -70,6 +126,7 @@ fn compare(name: &'static str, base: &PerfSection, cur: &PerfSection) -> PhaseDe
             1.0
         },
         units_match: b.units == c.units,
+        within_jitter: c.micros.abs_diff(b.micros) < NOISE_FLOOR_MICROS,
     }
 }
 
@@ -113,10 +170,16 @@ fn main() -> ExitCode {
     let (current, baseline) = match (load_perf(current_path), load_perf(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
         (c, b) => {
-            for err in [c.err(), b.err()].into_iter().flatten() {
-                eprintln!("perf_gate: {err}");
+            let errs: Vec<GateError> = [c.err(), b.err()].into_iter().flatten().collect();
+            let hard = errs.iter().any(|e| e.hard);
+            for err in errs {
+                eprintln!("perf_gate: {}", err.message);
             }
-            return ExitCode::from(2);
+            return if hard {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
 
@@ -142,15 +205,17 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(
         table,
-        "| phase | baseline (norm) | current (norm) | Δ | status |"
+        "| phase | baseline ms | current ms | baseline (norm) | current (norm) | Δ | status |"
     );
-    let _ = writeln!(table, "|---|---:|---:|---:|---|");
+    let _ = writeln!(table, "|---|---:|---:|---:|---:|---:|---|");
     let mut stale = false;
     let mut regressed = false;
     for d in &deltas {
         let status = if !d.units_match {
             stale = true;
             "⚠️ stale baseline"
+        } else if d.within_jitter {
+            "✅ ok (within noise floor)"
         } else if d.ratio < 1.0 - tolerance {
             regressed = true;
             "❌ regression"
@@ -159,8 +224,10 @@ fn main() -> ExitCode {
         };
         let _ = writeln!(
             table,
-            "| {} | {:.4e} | {:.4e} | {:+.1}% | {} |",
+            "| {} | {:.1} | {:.1} | {:.4e} | {:.4e} | {:+.1}% | {} |",
             d.name,
+            d.baseline_ms,
+            d.current_ms,
             d.baseline_norm,
             d.current_norm,
             (d.ratio - 1.0) * 100.0,

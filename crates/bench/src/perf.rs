@@ -20,6 +20,17 @@ use rchls_reslib::Library;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// The perf-gate schema version, bumped whenever the pinned set, the
+/// phase definitions, or the deterministic unit semantics change in a
+/// way that makes old baselines incomparable. The gate refuses to
+/// compare against a committed baseline captured under an older schema
+/// (regenerate with `scripts/refresh_baseline.sh`).
+///
+/// History: 1 = the original four-phase section; 2 = delta-evaluated
+/// refine kernel (pass-call counts now include cache-replayed calls, so
+/// v1 call counts are not comparable).
+pub const PERF_SCHEMA_VERSION: u32 = 2;
+
 /// One phase's accumulated cost over the pinned set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PhaseStat {
@@ -51,6 +62,8 @@ impl PhaseStat {
 /// `BENCH_baseline.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfSection {
+    /// The [`PERF_SCHEMA_VERSION`] this section was captured under.
+    pub schema_version: u32,
     /// The pinned workload specs the set sweeps.
     pub workloads: Vec<String>,
     /// Jobs in the pinned set.
@@ -142,6 +155,7 @@ pub fn measure_perf_section(calibration_iters: u64) -> PerfSection {
     let total_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
 
     PerfSection {
+        schema_version: PERF_SCHEMA_VERSION,
         workloads,
         jobs: jobs.len() as u64,
         feasible,

@@ -12,6 +12,7 @@
 //! versions, tens of area units) and is capped defensively.
 
 use crate::bounds::Bounds;
+use crate::flow::Diagnostics;
 use rchls_bind::{Assignment, Binding, Instance, InstanceId};
 use rchls_dfg::{Dfg, NodeId, OpClass};
 use rchls_reslib::{Library, VersionId};
@@ -31,6 +32,12 @@ struct AllocScratch {
     finish: Vec<u32>,
     owner: Vec<usize>,
     ready: Vec<NodeId>,
+    // Event-driven readiness state: unscheduled-predecessor counts, the
+    // latest predecessor finish seen so far, and per-step buckets of
+    // nodes that become ready at that step.
+    pending_preds: Vec<u32>,
+    max_pred_finish: Vec<u32>,
+    events: Vec<Vec<NodeId>>,
 }
 
 impl AllocScratch {
@@ -50,11 +57,28 @@ impl AllocScratch {
 /// Enumerates all unit allocations (counts per version) with total area
 /// within `area_bound`, at least one unit for every class the graph uses,
 /// and no more units of a class than the graph has operations of it.
+///
+/// Truncation at the defensive enumeration cap is **silent** here; use
+/// [`enumerate_allocations_with_cap`] when the caller needs to know (and
+/// report) that the candidate set is partial.
 pub fn enumerate_allocations(
     dfg: &Dfg,
     library: &Library,
     area_bound: u32,
 ) -> Vec<Vec<(VersionId, u32)>> {
+    enumerate_allocations_with_cap(dfg, library, area_bound).0
+}
+
+/// [`enumerate_allocations`] plus a flag reporting whether the
+/// enumeration cap truncated the set: `true` means at least one
+/// area-feasible allocation was *not* enumerated, so any search over the
+/// returned set is incomplete and should say so (the synthesis flows
+/// record it as [`Diagnostics::alloc_cap_hit`]).
+pub fn enumerate_allocations_with_cap(
+    dfg: &Dfg,
+    library: &Library,
+    area_bound: u32,
+) -> (Vec<Vec<(VersionId, u32)>>, bool) {
     let used: Vec<OpClass> = OpClass::ALL
         .into_iter()
         .filter(|&c| dfg.count_class(c) > 0)
@@ -64,7 +88,16 @@ pub fn enumerate_allocations(
         .flat_map(|&c| library.versions_of(c).map(|(id, _)| id))
         .collect();
     let class_ops = |c: OpClass| -> u32 { u32::try_from(dfg.count_class(c)).unwrap_or(u32::MAX) };
-    let mut out: Vec<Vec<(VersionId, u32)>> = Vec::new();
+    /// The enumeration's accumulator: the allocations plus whether the
+    /// defensive cap truncated them.
+    struct Enumeration {
+        out: Vec<Vec<(VersionId, u32)>>,
+        capped: bool,
+    }
+    let mut acc = Enumeration {
+        out: Vec::new(),
+        capped: false,
+    };
     let mut counts: Vec<u32> = vec![0; versions.len()];
     fn recurse(
         versions: &[VersionId],
@@ -72,14 +105,18 @@ pub fn enumerate_allocations(
         idx: usize,
         area_left: u32,
         counts: &mut Vec<u32>,
-        out: &mut Vec<Vec<(VersionId, u32)>>,
+        acc: &mut Enumeration,
         class_cap: &dyn Fn(OpClass) -> u32,
     ) {
-        if out.len() >= MAX_ALLOCATIONS {
+        if acc.out.len() >= MAX_ALLOCATIONS {
+            // Every recursion path ends in a push, so reaching the cap
+            // with calls still pending means real allocations are being
+            // dropped — record it instead of truncating silently.
+            acc.capped = true;
             return;
         }
         if idx == versions.len() {
-            out.push(
+            acc.out.push(
                 versions
                     .iter()
                     .zip(counts.iter())
@@ -101,7 +138,7 @@ pub fn enumerate_allocations(
                 idx + 1,
                 area_left - c * unit,
                 counts,
-                out,
+                acc,
                 class_cap,
             );
         }
@@ -113,9 +150,10 @@ pub fn enumerate_allocations(
         0,
         area_bound,
         &mut counts,
-        &mut out,
+        &mut acc,
         &|c| class_ops(c),
     );
+    let Enumeration { mut out, capped } = acc;
     // Keep only allocations covering every used class.
     out.retain(|alloc| {
         used.iter().all(|&c| {
@@ -124,7 +162,7 @@ pub fn enumerate_allocations(
                 .any(|&(v, n)| n > 0 && library.version(v).class() == c)
         })
     });
-    out
+    (out, capped)
 }
 
 /// Version-aware list scheduling against a fixed allocation.
@@ -158,7 +196,17 @@ struct Unit {
 
 /// [`schedule_on_allocation`] on reusable buffers (`scratch.prepare` must
 /// have succeeded for `dfg`). Decision-for-decision identical to the
-/// original formulation — only the intermediate allocations are gone.
+/// original formulation — only the intermediate allocations and the
+/// per-step readiness rescan are gone: instead of re-filtering all nodes
+/// every step (O(steps × nodes) even when nothing changed), readiness is
+/// event-driven. Each node tracks its count of unscheduled predecessors
+/// and the latest predecessor finish; when the count hits zero the node
+/// is bucketed at step `max_pred_finish + 1`, the first step the old
+/// filter (`all preds started && finished < step`) would have admitted
+/// it. The ready list carries deferred nodes forward and is re-sorted by
+/// the same `(longest remaining path, node index)` key, so the per-step
+/// visit order — and therefore every unit-assignment decision — is
+/// byte-identical to the rescan formulation.
 fn schedule_on_allocation_in(
     dfg: &Dfg,
     library: &Library,
@@ -221,20 +269,32 @@ fn schedule_on_allocation_in(
             class_min.push((class, d));
         }
     }
+    // Event-driven readiness: seed the sources at step 1, then bucket
+    // each node when its last predecessor is scheduled.
+    let pending = &mut scratch.pending_preds;
+    pending.clear();
+    pending.extend(dfg.node_ids().map(|n| dfg.preds(n).len() as u32));
+    let max_fin = &mut scratch.max_pred_finish;
+    max_fin.clear();
+    max_fin.resize(dfg.node_count(), 0);
+    let buckets = latency_bound as usize + 2;
+    if scratch.events.len() < buckets {
+        scratch.events.resize_with(buckets, Vec::new);
+    }
+    for bucket in &mut scratch.events[..buckets] {
+        bucket.clear();
+    }
+    let events = &mut scratch.events;
+    events[1].extend(dfg.node_ids().filter(|&n| dfg.preds(n).is_empty()));
     let ready = &mut scratch.ready;
+    ready.clear();
     for step in 1..=latency_bound {
         if remaining == 0 {
             break;
         }
-        ready.clear();
-        ready.extend(dfg.node_ids().filter(|&n| {
-            start[n.index()].is_none()
-                && dfg
-                    .preds(n)
-                    .iter()
-                    .all(|&p| start[p.index()].is_some() && finish[p.index()] < step)
-        }));
+        ready.append(&mut events[step as usize]);
         ready.sort_by_key(|&n| (std::cmp::Reverse(remaining_path[n.index()]), n.index()));
+        let mut scheduled_any = false;
         for &n in ready.iter() {
             let class = dfg.node(n).class();
             let downstream = remaining_path[n.index()] - min_delay(n);
@@ -301,12 +361,30 @@ fn schedule_on_allocation_in(
             };
             let Some(idx) = pick else { continue };
             let delay = library.version(units[idx].version).delay();
+            let fin = step + delay - 1;
             start[n.index()] = Some(step);
-            finish[n.index()] = step + delay - 1;
+            finish[n.index()] = fin;
             units[idx].free_at = step + delay;
             units[idx].nodes.push(n);
             owner[n.index()] = idx;
             remaining -= 1;
+            scheduled_any = true;
+            for &s in dfg.succs(n) {
+                pending[s.index()] -= 1;
+                max_fin[s.index()] = max_fin[s.index()].max(fin);
+                if pending[s.index()] == 0 {
+                    // First admissible step: strictly after the latest
+                    // predecessor finish (fin >= step, so this bucket is
+                    // always in the future — never mutated mid-visit).
+                    let at = max_fin[s.index()] + 1;
+                    if at <= latency_bound {
+                        events[at as usize].push(s);
+                    }
+                }
+            }
+        }
+        if scheduled_any {
+            ready.retain(|&n| start[n.index()].is_none());
         }
     }
     if remaining > 0 || finish.iter().copied().max().unwrap_or(0) > latency_bound {
@@ -363,6 +441,21 @@ pub fn best_allocation_design(
     library: &Library,
     bounds: Bounds,
 ) -> Option<(Assignment, Schedule, Binding)> {
+    let mut diagnostics = Diagnostics::default();
+    best_allocation_design_diag(dfg, library, bounds, &mut diagnostics)
+}
+
+/// [`best_allocation_design`] that also records search-quality facts in
+/// `diagnostics` — currently whether the enumeration cap truncated the
+/// candidate set ([`Diagnostics::alloc_cap_hit`]), so a capped search is
+/// reported instead of silently presenting a partial optimum as the
+/// global one.
+pub fn best_allocation_design_diag(
+    dfg: &Dfg,
+    library: &Library,
+    bounds: Bounds,
+    diagnostics: &mut Diagnostics,
+) -> Option<(Assignment, Schedule, Binding)> {
     let mut scratch = AllocScratch::default();
     if !scratch.prepare(dfg) {
         return None;
@@ -378,7 +471,8 @@ pub fn best_allocation_design(
         .iter()
         .map(|&c| dfg.count_class(c) as u64)
         .collect();
-    let allocations = enumerate_allocations(dfg, library, bounds.area);
+    let (allocations, capped) = enumerate_allocations_with_cap(dfg, library, bounds.area);
+    diagnostics.alloc_cap_hit |= capped;
 
     // Per-allocation metadata, computed once: the capacity-aware
     // reliability upper bound and the per-class fastest delay.
@@ -439,13 +533,31 @@ pub fn best_allocation_design(
     let margin = 1.0 - (dfg.node_count() as f64 + 8.0) * 4.0 * f64::EPSILON;
     let mut longest = vec![0u32; dfg.node_count()];
     let mut best: Option<(f64, usize, (Assignment, Schedule, Binding))> = None;
+    // Set once the incumbent assigns every node its class's most
+    // reliable version. The serial-product fold is monotone in each
+    // factor (replacing a factor with a larger one never decreases the
+    // rounded product), so no assignment evaluates above that
+    // incumbent's reliability — any later allocation can at best *tie*,
+    // and a tie only wins the (max reliability, first index) rule from a
+    // smaller enumeration index.
+    let mut best_is_ceiling = false;
     for &(ub, idx) in &metas {
-        // Incumbent prune: sound because `ub / margin` dominates every
-        // reliability the allocation's assignments can evaluate to,
-        // rounding included. Skips only strict losers, so the final
-        // (max reliability, first index) winner is unchanged.
-        if let Some((brel, _, _)) = &best {
+        if let Some((brel, bidx, _)) = &best {
+            // Incumbent prune: sound because `ub / margin` dominates
+            // every reliability the allocation's assignments can
+            // evaluate to, rounding included. Skips only strict losers,
+            // so the final (max reliability, first index) winner is
+            // unchanged.
             if ub < brel * margin {
+                continue;
+            }
+            // Ceiling prune: the incumbent already attains the global
+            // assignment-product maximum, so only earlier-enumerated
+            // allocations (which could tie and take the first-index
+            // rule) still need evaluating. This is what stops slack
+            // area bounds from scheduling tens of thousands of
+            // capacity-saturated lookalikes.
+            if best_is_ceiling && idx > *bidx {
                 continue;
             }
         }
@@ -480,6 +592,10 @@ pub fn best_allocation_design(
                 .as_ref()
                 .is_none_or(|(brel, bidx, _)| rel > *brel || (rel == *brel && idx < *bidx));
             if better {
+                best_is_ceiling = cand
+                    .0
+                    .iter()
+                    .all(|(n, v)| Some(v) == library.most_reliable_id(dfg.node(n).class()));
                 best = Some((rel, idx, cand));
             }
         }
@@ -551,6 +667,87 @@ mod tests {
         // At least one op gets the reliable unit.
         let reliable_ops = g.node_ids().filter(|&n| assign.version(n) == a1).count();
         assert!(reliable_ops >= 1);
+    }
+
+    #[test]
+    fn enumeration_cap_is_reported_not_silent() {
+        // Small graphs under tight bounds never hit the cap...
+        let g = pair();
+        let lib = Library::table1();
+        let (allocs, capped) = enumerate_allocations_with_cap(&g, &lib, 4);
+        assert!(!capped);
+        assert!(!allocs.is_empty());
+        // ... but a wide graph under an absurd area budget exceeds the
+        // combinatorial cap, and the flag must say so (the allocation
+        // search surfaces it as `Diagnostics::alloc_cap_hit`).
+        let wide = rchls_workloads::random_layered_dfg(&rchls_workloads::RandomDfgConfig {
+            nodes: 48,
+            layers: 4,
+            seed: 11,
+            ..Default::default()
+        });
+        let (allocs, capped) = enumerate_allocations_with_cap(&wide, &lib, 10_000);
+        assert!(capped, "{} allocations", allocs.len());
+        assert!(allocs.len() <= MAX_ALLOCATIONS);
+        // The non-reporting wrapper still returns the same truncated set.
+        assert_eq!(allocs, enumerate_allocations(&wide, &lib, 10_000));
+    }
+
+    #[test]
+    fn pruned_search_matches_the_naive_full_scan() {
+        // The documented contract: the bound-guided scan returns exactly
+        // the design the naive "schedule every allocation in enumeration
+        // order, keep the first one attaining the maximum reliability"
+        // scan returns. Slack bounds exercise the ceiling prune (the
+        // all-most-reliable incumbent), tight bounds the margin prune.
+        let lib = Library::table1();
+        for (nodes, layers, seed) in [(10usize, 3usize, 0u64), (14, 4, 3), (12, 3, 7)] {
+            let g = rchls_workloads::random_layered_dfg(&rchls_workloads::RandomDfgConfig {
+                nodes,
+                layers,
+                seed,
+                ..Default::default()
+            });
+            for bounds in [
+                Bounds::new(layers as u32 + 1, 4),
+                Bounds::new(layers as u32 + 3, 8),
+                Bounds::new(2 * layers as u32 + 4, 16),
+            ] {
+                let naive = {
+                    let mut best: Option<(f64, usize, (Assignment, Schedule, Binding))> = None;
+                    for (idx, alloc) in enumerate_allocations(&g, &lib, bounds.area)
+                        .iter()
+                        .enumerate()
+                    {
+                        if let Some(cand) = schedule_on_allocation(&g, &lib, alloc, bounds.latency)
+                        {
+                            let rel = cand.0.design_reliability(&lib).value();
+                            if best.as_ref().is_none_or(|(brel, bidx, _)| {
+                                rel > *brel || (rel == *brel && idx < *bidx)
+                            }) {
+                                best = Some((rel, idx, cand));
+                            }
+                        }
+                    }
+                    best.map(|(.., d)| d)
+                };
+                let pruned = best_allocation_design(&g, &lib, bounds);
+                assert_eq!(pruned, naive, "{nodes}x{layers}@{seed} at {bounds}");
+            }
+        }
+    }
+
+    #[test]
+    fn diag_variant_mirrors_plain_search_and_records_completeness() {
+        let g = pair();
+        let lib = Library::table1();
+        let bounds = Bounds::new(4, 4);
+        let mut diagnostics = Diagnostics::default();
+        let diag = best_allocation_design_diag(&g, &lib, bounds, &mut diagnostics);
+        let plain = best_allocation_design(&g, &lib, bounds);
+        assert_eq!(diag, plain);
+        // An uncapped enumeration reports a complete search.
+        assert!(!diagnostics.alloc_cap_hit);
     }
 
     #[test]

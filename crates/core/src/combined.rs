@@ -75,33 +75,46 @@ pub fn combined_report(
     flow: &FlowSpec,
     model: RedundancyModel,
 ) -> Result<SynthReport, SynthesisError> {
-    combined_report_pooled(dfg, library, bounds, flow, model, None)
+    combined_report_for(
+        &crate::flow::SynthRequest::new(dfg, library, bounds)
+            .with_flow(flow.clone())
+            .with_redundancy(model),
+    )
 }
 
-/// [`combined_report`] borrowing synthesis arenas from a session
-/// [`ScratchPool`](crate::ScratchPool).
+/// [`combined_report`] on a full [`SynthRequest`], inheriting whatever
+/// session state (scratch pool, starts cache) the request carries.
 ///
 /// # Errors
 ///
 /// Same contract as [`combined_report`].
-pub(crate) fn combined_report_pooled(
-    dfg: &Dfg,
-    library: &Library,
-    bounds: Bounds,
-    flow: &FlowSpec,
-    model: RedundancyModel,
-    pool: Option<&crate::scratch::ScratchPool>,
+///
+/// [`SynthRequest`]: crate::SynthRequest
+pub(crate) fn combined_report_for(
+    request: &crate::flow::SynthRequest<'_>,
 ) -> Result<SynthReport, SynthesisError> {
+    let (dfg, library, bounds, model) = (
+        request.dfg,
+        request.library,
+        request.bounds,
+        request.redundancy,
+    );
     let start = Instant::now();
-    let ours = Synthesizer::with_flow_pooled(dfg, library, flow, pool)?
+    let ours = Synthesizer::for_request(request)?
         .synthesize_report(bounds)
         .map(|mut report| {
             report.diagnostics.redundancy_moves +=
                 add_redundancy_with_model(&mut report.design, dfg, library, bounds.area, model);
             report
         });
-    let baseline =
-        crate::baseline::nmr_baseline_report_pooled(dfg, library, bounds, flow, model, pool);
+    let baseline = crate::baseline::nmr_baseline_report_pooled(
+        dfg,
+        library,
+        bounds,
+        &request.flow,
+        model,
+        request.scratch_pool(),
+    );
     let mut report = match (ours, baseline) {
         (Ok(a), Ok(b)) => {
             if a.design.reliability.value() >= b.design.reliability.value() {

@@ -110,6 +110,10 @@ pub struct SynthCache {
     /// sweep/batch over this cache allocates one arena per concurrent
     /// worker instead of per point.
     scratch: crate::scratch::ScratchPool,
+    /// Session-interned uniform start pools (see
+    /// [`StartsCache`](crate::engine::StartsCache)), shared by every
+    /// refining flow this cache runs.
+    starts: crate::engine::StartsCache,
 }
 
 impl SynthCache {
@@ -139,7 +143,8 @@ impl SynthCache {
                 &SynthRequest::new(dfg, library, bounds)
                     .with_flow(flow.clone())
                     .with_redundancy(model)
-                    .with_scratch_pool(&self.scratch),
+                    .with_scratch_pool(&self.scratch)
+                    .with_starts_cache(&self.starts),
             )
         })
     }
@@ -148,6 +153,12 @@ impl SynthCache {
     #[must_use]
     pub fn scratch_pool(&self) -> &crate::scratch::ScratchPool {
         &self.scratch
+    }
+
+    /// The session-interned uniform start pools misses draw from.
+    #[must_use]
+    pub fn starts_cache(&self) -> &crate::engine::StartsCache {
+        &self.starts
     }
 
     /// Looks up `key`, computing and storing with `compute` on a miss.

@@ -46,10 +46,12 @@
 mod cache;
 mod executor;
 mod fingerprint;
+mod starts;
 
 pub use cache::{CacheKey, CacheStats, SynthCache};
 pub use executor::SweepExecutor;
 pub use fingerprint::{fingerprint, Fingerprint};
+pub use starts::StartsCache;
 
 use crate::bounds::Bounds;
 use crate::error::SynthesisError;

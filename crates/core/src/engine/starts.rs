@@ -1,0 +1,261 @@
+//! Session interning of uniform feasible start pools.
+//!
+//! Every refining flow (the `"greedy"` pass, the `"redundancy"`
+//! strategy) begins by scheduling and binding **every uniform
+//! one-version-per-class assignment** that meets the bounds — a pool
+//! that depends only on `(graph, library, bounds, scheduler, binder)`.
+//! Sweeps and batches hit the same pool over and over across strategies
+//! and flows that differ only in their victim/refine slots; a
+//! [`StartsCache`] computes each pool once per session and replays it
+//! (including the deterministic scheduler/binder *call counts* the fresh
+//! computation would have booked, so diagnostics stay byte-identical
+//! between a cache hit and a miss — only the wall time disappears).
+//!
+//! The cache is owned by the session [`SynthCache`](crate::engine::SynthCache)
+//! alongside the scratch pool and travels to every
+//! [`Synthesizer`](crate::Synthesizer) through the
+//! [`SynthRequest`](crate::SynthRequest), so engine batches, explorer
+//! sweeps, and CLI sweeps all share one pool table per session.
+
+use crate::bounds::Bounds;
+use crate::engine::fingerprint::Fingerprint;
+use crate::error::SynthesisError;
+use crate::flow::{Diagnostics, FlowState};
+use crate::synth::Synthesizer;
+use rchls_bind::{Assignment, Binding};
+use rchls_sched::Schedule;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// One interned pool plus the request facts that detect fingerprint
+/// collisions and the pass-call counts to replay on every hit.
+#[derive(Debug, Clone)]
+struct StartsEntry {
+    bounds: Bounds,
+    scheduler: String,
+    binder: String,
+    states: Vec<FlowState>,
+    sched_calls: u32,
+    bind_calls: u32,
+}
+
+/// One interned allocation-first design (see
+/// [`crate::alloc_search::best_allocation_design_diag`]) plus the
+/// completeness flag its search reported.
+#[derive(Debug, Clone)]
+struct AllocEntry {
+    bounds: Bounds,
+    design: Option<(Assignment, Schedule, Binding)>,
+    cap_hit: bool,
+}
+
+/// A thread-safe memo table of refine-portfolio ingredients: the uniform
+/// feasible start pools (keyed by a content fingerprint of `(dfg,
+/// library, bounds, scheduler id, binder id)`) and the allocation-first
+/// designs (keyed by `(dfg, library, bounds)` — the allocation search
+/// runs its own list scheduler, independent of the flow's passes).
+///
+/// Mirrors the [`SynthCache`](crate::engine::SynthCache) locking discipline: the
+/// lock is never held across a computation, racing workers compute the
+/// same deterministic pool, and a fingerprint collision (an entry whose
+/// recorded request facts differ) is computed fresh and left uncached
+/// rather than answered wrongly.
+#[derive(Default)]
+pub struct StartsCache {
+    entries: Mutex<HashMap<u64, StartsEntry>>,
+    alloc: Mutex<HashMap<u64, AllocEntry>>,
+}
+
+impl StartsCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> StartsCache {
+        StartsCache::default()
+    }
+
+    /// Number of interned pools.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("starts cache lock").len()
+    }
+
+    /// `true` when no pool has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The uniform feasible start pool for `synth` at `bounds`: answered
+    /// from the cache when interned (replaying the recorded
+    /// scheduler/binder call counts into the synthesizer's phase
+    /// accounting), computed fresh — and interned — otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fresh computation's [`SynthesisError`] (library
+    /// gaps, malformed graphs); errors are never cached.
+    pub(crate) fn get_or_compute(
+        &self,
+        synth: &Synthesizer<'_>,
+        bounds: Bounds,
+    ) -> Result<Vec<FlowState>, SynthesisError> {
+        let flow = synth.flow();
+        let mut fp = Fingerprint::new();
+        fp.update("uniform-starts");
+        fp.update(synth.dfg());
+        fp.update(synth.library());
+        fp.update(&bounds);
+        fp.update(&flow.scheduler);
+        fp.update(&flow.binder);
+        let key = fp.finish();
+
+        if let Some(entry) = self.entries.lock().expect("starts cache lock").get(&key) {
+            if entry.bounds == bounds
+                && entry.scheduler == flow.scheduler
+                && entry.binder == flow.binder
+            {
+                synth.replay_pass_calls(entry.sched_calls, entry.bind_calls);
+                return Ok(entry.states.clone());
+            }
+            // Fingerprint collision: compute fresh, don't poison the
+            // existing entry.
+            return synth.uniform_feasible_starts_fresh(bounds);
+        }
+
+        let before = synth.pass_call_counts();
+        let states = synth.uniform_feasible_starts_fresh(bounds)?;
+        let after = synth.pass_call_counts();
+        self.entries.lock().expect("starts cache lock").insert(
+            key,
+            StartsEntry {
+                bounds,
+                scheduler: flow.scheduler.clone(),
+                binder: flow.binder.clone(),
+                states: states.clone(),
+                sched_calls: after.0 - before.0,
+                bind_calls: after.1 - before.1,
+            },
+        );
+        Ok(states)
+    }
+}
+
+impl StartsCache {
+    /// The allocation-first portfolio design for `synth` at `bounds`,
+    /// interned per `(dfg, library, bounds)`: the design (or its
+    /// absence) and the search's cap-hit flag are recorded into
+    /// `diagnostics` exactly as a fresh
+    /// [`best_allocation_design_diag`](crate::alloc_search::best_allocation_design_diag)
+    /// run would record them, so reports are byte-identical across cache
+    /// states.
+    pub(crate) fn alloc_design(
+        &self,
+        synth: &Synthesizer<'_>,
+        bounds: Bounds,
+        diagnostics: &mut Diagnostics,
+    ) -> Option<(Assignment, Schedule, Binding)> {
+        let mut fp = Fingerprint::new();
+        fp.update("alloc-design");
+        fp.update(synth.dfg());
+        fp.update(synth.library());
+        fp.update(&bounds);
+        let key = fp.finish();
+
+        if let Some(entry) = self.alloc.lock().expect("alloc design lock").get(&key) {
+            if entry.bounds == bounds {
+                diagnostics.alloc_cap_hit |= entry.cap_hit;
+                return entry.design.clone();
+            }
+            // Fingerprint collision: compute fresh, leave the entry be.
+            return crate::alloc_search::best_allocation_design_diag(
+                synth.dfg(),
+                synth.library(),
+                bounds,
+                diagnostics,
+            );
+        }
+
+        let mut fresh = Diagnostics::default();
+        let design = crate::alloc_search::best_allocation_design_diag(
+            synth.dfg(),
+            synth.library(),
+            bounds,
+            &mut fresh,
+        );
+        diagnostics.alloc_cap_hit |= fresh.alloc_cap_hit;
+        self.alloc.lock().expect("alloc design lock").insert(
+            key,
+            AllocEntry {
+                bounds,
+                design: design.clone(),
+                cap_hit: fresh.alloc_cap_hit,
+            },
+        );
+        design
+    }
+}
+
+impl fmt::Debug for StartsCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StartsCache")
+            .field("pools", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use rchls_reslib::Library;
+
+    #[test]
+    fn pools_are_interned_once_and_replay_call_counts() {
+        let dfg = rchls_workloads::figure4a();
+        let lib = Library::table1();
+        let cache = StartsCache::new();
+        let bounds = Bounds::new(6, 6);
+
+        let fresh_synth = Synthesizer::new(&dfg, &lib);
+        let fresh = fresh_synth.uniform_feasible_starts_fresh(bounds).unwrap();
+        let fresh_counts = fresh_synth.pass_call_counts();
+        assert!(fresh_counts.0 > 0, "starts must schedule something");
+
+        let miss_synth = Synthesizer::new(&dfg, &lib);
+        let first = cache.get_or_compute(&miss_synth, bounds).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(miss_synth.pass_call_counts(), fresh_counts);
+
+        // The hit returns the same pool and books the same call counts
+        // without scheduling anything.
+        let hit_synth = Synthesizer::new(&dfg, &lib);
+        let second = cache.get_or_compute(&hit_synth, bounds).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(hit_synth.pass_call_counts(), fresh_counts);
+        assert_eq!(first.len(), second.len());
+        assert_eq!(first.len(), fresh.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(a.binding, b.binding);
+        }
+
+        // A different bound pair is a different pool.
+        let other_synth = Synthesizer::new(&dfg, &lib);
+        let _ = cache
+            .get_or_compute(&other_synth, Bounds::new(8, 8))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+
+        // ... and a different scheduler/binder slot is too.
+        let force = Synthesizer::with_flow(
+            &dfg,
+            &lib,
+            &FlowSpec::default().with_scheduler("force-directed"),
+        )
+        .unwrap();
+        let _ = cache.get_or_compute(&force, bounds).unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -30,6 +30,12 @@ pub struct Diagnostics {
     pub refine_upgrades: u32,
     /// Replication moves committed by redundancy insertion.
     pub redundancy_moves: u32,
+    /// Whether the allocation-first search hit its enumeration cap and
+    /// therefore searched a *truncated* candidate set (see
+    /// [`crate::alloc_search::enumerate_allocations_with_cap`]). A pure
+    /// function of the inputs — it survives scrubbing — so downstream
+    /// consumers can tell a complete search from a capped one.
+    pub alloc_cap_hit: bool,
     /// Scheduler-pass invocations across the run (deterministic).
     pub sched_calls: u32,
     /// Binder-pass invocations across the run (deterministic).
@@ -76,6 +82,7 @@ impl Diagnostics {
             .extend(other.candidate_pool_sizes.iter().copied());
         self.refine_upgrades += other.refine_upgrades;
         self.redundancy_moves += other.redundancy_moves;
+        self.alloc_cap_hit |= other.alloc_cap_hit;
         self.sched_calls += other.sched_calls;
         self.bind_calls += other.bind_calls;
         self.sched_micros += other.sched_micros;
@@ -98,6 +105,7 @@ mod tests {
             candidate_pool_sizes: vec![4, 2],
             refine_upgrades: 2,
             redundancy_moves: 1,
+            alloc_cap_hit: true,
             sched_calls: 9,
             bind_calls: 9,
             sched_micros: 55,
@@ -111,6 +119,7 @@ mod tests {
         assert_eq!(s.bind_micros, 0);
         assert_eq!(s.refine_micros, 0);
         assert_eq!(s.victim_moves, 3);
+        assert!(s.alloc_cap_hit);
         assert_eq!(s.sched_calls, 9);
         assert_eq!(s.bind_calls, 9);
         assert_eq!(s.candidate_pool_sizes, vec![4, 2]);
@@ -127,6 +136,7 @@ mod tests {
         let b = Diagnostics {
             victim_moves: 2,
             redundancy_moves: 4,
+            alloc_cap_hit: true,
             candidate_pool_sizes: vec![3],
             wall_time_micros: 7,
             ..Diagnostics::default()
@@ -134,6 +144,7 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.victim_moves, 3);
         assert_eq!(a.redundancy_moves, 4);
+        assert!(a.alloc_cap_hit);
         assert_eq!(a.candidate_pool_sizes, vec![5, 3]);
         assert_eq!(a.wall_time_micros, 17);
     }

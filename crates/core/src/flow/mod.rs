@@ -38,6 +38,7 @@
 
 mod diagnostics;
 mod passes;
+mod refine;
 mod registry;
 mod spec;
 mod strategy;
@@ -45,10 +46,11 @@ mod strategy;
 pub use diagnostics::Diagnostics;
 pub use passes::{
     Binder, ColoringBinder, ColoringReferenceBinder, DensityReferenceScheduler, DensityScheduler,
-    FlowState, ForceDirectedReferenceScheduler, ForceDirectedScheduler, GreedyRefine,
-    LeftEdgeBinder, LeftEdgeReferenceBinder, MaxDelayVictim, MinReliabilityLossVictim, NoRefine,
-    RefinePass, Scheduler, VictimPolicy,
+    FlowState, ForceDirectedReferenceScheduler, ForceDirectedScheduler, LeftEdgeBinder,
+    LeftEdgeReferenceBinder, MaxDelayVictim, MinReliabilityLossVictim, NoRefine, RefinePass,
+    Scheduler, VictimPolicy,
 };
+pub use refine::{GreedyReferenceRefine, GreedyRefine};
 pub use registry::{
     binder, binder_ids, refine_pass, refine_pass_ids, register_binder, register_refine_pass,
     register_scheduler, register_strategy, register_victim_policy, scheduler, scheduler_ids,

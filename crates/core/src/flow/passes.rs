@@ -505,141 +505,13 @@ impl RefinePass for NoRefine {
     }
 }
 
-/// The default portfolio-and-upgrade pass (id `"greedy"`).
-///
-/// Pools the Figure-6 result with every *uniform* single-version
-/// assignment that meets the bounds and the best allocation-first design,
-/// starts from the most reliable pool member, and repeatedly applies the
-/// single-node version upgrade with the largest reliability gain that
-/// keeps both bounds satisfied. This extension recovers mixed-version
-/// optima the one-pass Figure-6 greedy can miss (e.g. the paper's own
-/// Figure-7(b) FIR design).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyRefine;
-
-impl RefinePass for GreedyRefine {
-    fn id(&self) -> &str {
-        "greedy"
-    }
-
-    fn description(&self) -> &str {
-        "portfolio starts + greedy version upgrades under both bounds (default)"
-    }
-
-    fn run(
-        &self,
-        synth: &Synthesizer<'_>,
-        figure6: Result<FlowState, SynthesisError>,
-        bounds: Bounds,
-        diagnostics: &mut Diagnostics,
-    ) -> Result<FlowState, SynthesisError> {
-        let dfg = synth.dfg();
-        let library = synth.library();
-        let mut candidates: Vec<FlowState> = Vec::new();
-        if let Ok(x) = &figure6 {
-            candidates.push(x.clone());
-        }
-        candidates.extend(synth.uniform_feasible_starts(bounds)?);
-        candidates.extend(
-            crate::alloc_search::best_allocation_design(dfg, library, bounds).map(
-                |(assignment, schedule, binding)| FlowState {
-                    assignment,
-                    schedule,
-                    binding,
-                },
-            ),
-        );
-        diagnostics
-            .candidate_pool_sizes
-            .push(u32::try_from(candidates.len()).unwrap_or(u32::MAX));
-        let Some(best) = candidates.into_iter().max_by(|a, b| {
-            let ra = a.assignment.design_reliability(library).value();
-            let rb = b.assignment.design_reliability(library).value();
-            ra.total_cmp(&rb)
-        }) else {
-            return Err(figure6.expect_err("no candidates implies figure6 failed"));
-        };
-        self.upgrade_loop(synth, best, bounds, diagnostics)
-    }
-}
-
-impl GreedyRefine {
-    /// Greedy refinement: repeatedly apply the single-node version upgrade
-    /// with the largest reliability gain that keeps both bounds satisfied.
-    ///
-    /// Candidate designs are evaluated at the full latency budget
-    /// (`bounds.latency`), which maximizes sharing and therefore gives
-    /// each upgrade its best chance of fitting the area bound; reliability
-    /// is independent of the schedule, so this loses nothing.
-    fn upgrade_loop(
-        &self,
-        synth: &Synthesizer<'_>,
-        mut state: FlowState,
-        bounds: Bounds,
-        diagnostics: &mut Diagnostics,
-    ) -> Result<FlowState, SynthesisError> {
-        let dfg = synth.dfg();
-        let library = synth.library();
-        // One candidate-assignment buffer serves every move evaluation.
-        let mut cand = state.assignment.clone();
-        loop {
-            diagnostics.loop_iterations += 1;
-            // The incumbent's reliability is loop-invariant: hoist it out
-            // of the per-candidate gain computation (same float, computed
-            // once instead of once per candidate).
-            let state_rel = state.assignment.design_reliability(library).value();
-            let mut best: Option<(f64, FlowState)> = None;
-            for n in dfg.node_ids() {
-                let cur = state.assignment.version(n);
-                let cur_r = library.version(cur).reliability().value();
-                for (v, ver) in library.versions_of(dfg.node(n).class()) {
-                    if ver.reliability().value() <= cur_r {
-                        continue;
-                    }
-                    cand.clone_from(&state.assignment);
-                    cand.set(n, v);
-                    if synth.min_latency(&cand)? > bounds.latency {
-                        diagnostics.rejected_moves += 1;
-                        continue;
-                    }
-                    let (s, b) = synth.schedule_and_bind(&cand, bounds.latency)?;
-                    if b.total_area(library) > bounds.area {
-                        diagnostics.rejected_moves += 1;
-                        continue;
-                    }
-                    let gain = cand.design_reliability(library).value() - state_rel;
-                    if gain <= 1e-15 {
-                        diagnostics.rejected_moves += 1;
-                        continue;
-                    }
-                    let better = best.as_ref().is_none_or(|(bg, ..)| gain > *bg);
-                    if better {
-                        best = Some((
-                            gain,
-                            FlowState {
-                                assignment: cand.clone(),
-                                schedule: s,
-                                binding: b,
-                            },
-                        ));
-                    }
-                }
-            }
-            match best {
-                Some((_, next)) => {
-                    diagnostics.refine_upgrades += 1;
-                    state = next;
-                }
-                None => break,
-            }
-        }
-        Ok(state)
-    }
-}
+// The greedy refine passes (`"greedy"` and its retained naive
+// `"greedy-reference"`) live in [`crate::flow::refine`].
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::refine::{GreedyReferenceRefine, GreedyRefine};
     use rchls_dfg::{DfgBuilder, OpKind};
 
     fn chain3() -> Dfg {
@@ -661,6 +533,7 @@ mod tests {
         assert_eq!(MinReliabilityLossVictim.id(), "min-reliability-loss");
         assert_eq!(GreedyRefine.id(), "greedy");
         assert_eq!(NoRefine.id(), "off");
+        assert_eq!(GreedyReferenceRefine.id(), "greedy-reference");
         assert_eq!(DensityReferenceScheduler.id(), "density-reference");
         assert_eq!(
             ForceDirectedReferenceScheduler.id(),

@@ -40,10 +40,11 @@
 
 use crate::flow::passes::{
     Binder, ColoringBinder, ColoringReferenceBinder, DensityReferenceScheduler, DensityScheduler,
-    ForceDirectedReferenceScheduler, ForceDirectedScheduler, GreedyRefine, LeftEdgeBinder,
+    ForceDirectedReferenceScheduler, ForceDirectedScheduler, LeftEdgeBinder,
     LeftEdgeReferenceBinder, MaxDelayVictim, MinReliabilityLossVictim, NoRefine, RefinePass,
     Scheduler, VictimPolicy,
 };
+use crate::flow::refine::{GreedyReferenceRefine, GreedyRefine};
 use crate::flow::strategy::{Baseline, Combined, Ours, Pipelined, Redundancy, Strategy};
 use std::fmt;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -157,7 +158,11 @@ fn registries() -> &'static Registries {
             ),
             refines: Table::new(
                 "refine pass",
-                vec![refi(Arc::new(GreedyRefine)), refi(Arc::new(NoRefine))],
+                vec![
+                    refi(Arc::new(GreedyRefine)),
+                    refi(Arc::new(NoRefine)),
+                    refi(Arc::new(GreedyReferenceRefine)),
+                ],
             ),
             strategies: Table::new(
                 "strategy",
@@ -306,7 +311,7 @@ mod tests {
         for id in ["max-delay", "min-reliability-loss"] {
             assert!(victim_policy(id).is_some(), "{id}");
         }
-        for id in ["greedy", "off"] {
+        for id in ["greedy", "off", "greedy-reference"] {
             assert!(refine_pass(id).is_some(), "{id}");
         }
         for id in ["baseline", "ours", "combined", "pipelined", "redundancy"] {

@@ -24,6 +24,12 @@ use std::sync::Arc;
 /// | `victim`    | `max-delay`, `min-reliability-loss`  |
 /// | `refine`    | `greedy`, `off`                      |
 ///
+/// The optimized scheduler, binder, and `greedy` refine passes each have
+/// a retained naive twin under the `-reference` suffix (e.g.
+/// `density-reference`, `greedy-reference`): byte-identical output,
+/// full recomputation — for equivalence testing and replaying flows
+/// through the naive kernels.
+///
 /// # Examples
 ///
 /// ```

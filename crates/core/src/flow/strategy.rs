@@ -30,6 +30,9 @@ pub struct SynthRequest<'a> {
     /// Session scratch pool the strategy's synthesizers borrow arenas
     /// from (`None` = allocate per run).
     scratch_pool: Option<&'a ScratchPool>,
+    /// Session-interned uniform start pools (`None` = recompute per
+    /// run).
+    starts_cache: Option<&'a crate::engine::StartsCache>,
 }
 
 impl<'a> SynthRequest<'a> {
@@ -43,6 +46,7 @@ impl<'a> SynthRequest<'a> {
             flow: FlowSpec::default(),
             redundancy: RedundancyModel::default(),
             scratch_pool: None,
+            starts_cache: None,
         }
     }
 
@@ -72,6 +76,22 @@ impl<'a> SynthRequest<'a> {
     #[must_use]
     pub fn scratch_pool(&self) -> Option<&'a ScratchPool> {
         self.scratch_pool
+    }
+
+    /// Attaches a session [`StartsCache`](crate::engine::StartsCache);
+    /// refining flows then intern their uniform start pools per
+    /// `(graph, library, bounds, scheduler, binder)` instead of
+    /// rescheduling them for every point.
+    #[must_use]
+    pub fn with_starts_cache(mut self, cache: &'a crate::engine::StartsCache) -> SynthRequest<'a> {
+        self.starts_cache = Some(cache);
+        self
+    }
+
+    /// The attached session starts cache, if any.
+    #[must_use]
+    pub fn starts_cache(&self) -> Option<&'a crate::engine::StartsCache> {
+        self.starts_cache
     }
 }
 
@@ -132,13 +152,7 @@ impl Strategy for Ours {
     }
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
-        Synthesizer::with_flow_pooled(
-            request.dfg,
-            request.library,
-            &request.flow,
-            request.scratch_pool,
-        )?
-        .synthesize_report(request.bounds)
+        Synthesizer::for_request(request)?.synthesize_report(request.bounds)
     }
 }
 
@@ -184,14 +198,7 @@ impl Strategy for Combined {
     }
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
-        crate::combined::combined_report_pooled(
-            request.dfg,
-            request.library,
-            request.bounds,
-            &request.flow,
-            request.redundancy,
-            request.scratch_pool,
-        )
+        crate::combined::combined_report_for(request)
     }
 }
 
@@ -250,13 +257,7 @@ impl Strategy for Pipelined {
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
         let ii = self.effective_ii(request.bounds);
-        Synthesizer::with_flow_pooled(
-            request.dfg,
-            request.library,
-            &request.flow,
-            request.scratch_pool,
-        )?
-        .synthesize_pipelined_report(request.bounds, ii)
+        Synthesizer::for_request(request)?.synthesize_pipelined_report(request.bounds, ii)
     }
 }
 
@@ -281,12 +282,7 @@ impl Strategy for Redundancy {
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
         let start = Instant::now();
-        let synth = Synthesizer::with_flow_pooled(
-            request.dfg,
-            request.library,
-            &request.flow,
-            request.scratch_pool,
-        )?;
+        let synth = Synthesizer::for_request(request)?;
         let starts = synth.uniform_feasible_starts(request.bounds)?;
         let mut diagnostics = Diagnostics::default();
         diagnostics

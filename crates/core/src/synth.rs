@@ -59,6 +59,9 @@ pub struct Synthesizer<'a> {
     scratch: RefCell<SynthScratch>,
     /// Where the scratch came from (and returns to on drop), if pooled.
     pool: Option<&'a ScratchPool>,
+    /// Session-interned uniform start pools, when running under an
+    /// engine session (see [`crate::engine::StartsCache`]).
+    starts: Option<&'a crate::engine::StartsCache>,
     timers: PhaseTimers,
 }
 
@@ -116,8 +119,32 @@ impl<'a> Synthesizer<'a> {
             flow: spec.resolve()?,
             scratch: RefCell::new(scratch),
             pool,
+            starts: None,
             timers: PhaseTimers::default(),
         })
+    }
+
+    /// A synthesizer wired to everything a [`SynthRequest`] carries: the
+    /// flow, the session scratch pool, and the session starts cache.
+    /// This is the constructor strategies use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::UnknownPass`] when a slot names an id the
+    /// registry doesn't know.
+    ///
+    /// [`SynthRequest`]: crate::SynthRequest
+    pub fn for_request(
+        request: &crate::flow::SynthRequest<'a>,
+    ) -> Result<Synthesizer<'a>, SynthesisError> {
+        let mut synth = Synthesizer::with_flow_pooled(
+            request.dfg,
+            request.library,
+            &request.flow,
+            request.scratch_pool(),
+        )?;
+        synth.starts = request.starts_cache();
+        Ok(synth)
     }
 
     /// The graph being synthesized.
@@ -204,6 +231,26 @@ impl<'a> Synthesizer<'a> {
         diagnostics.bind_calls += self.timers.bind_calls.take();
     }
 
+    /// The deterministic `(scheduler, binder)` pass-call counts booked so
+    /// far — the session starts cache captures deltas of these on a miss
+    /// and replays them on hits.
+    pub(crate) fn pass_call_counts(&self) -> (u32, u32) {
+        (self.timers.sched_calls.get(), self.timers.bind_calls.get())
+    }
+
+    /// Books pass calls answered from a session cache: the deterministic
+    /// call *counts* a fresh computation would have made (keeping
+    /// diagnostics byte-identical across cache states) without any wall
+    /// time, which genuinely wasn't spent.
+    pub(crate) fn replay_pass_calls(&self, sched: u32, bind: u32) {
+        self.timers
+            .sched_calls
+            .set(self.timers.sched_calls.get() + sched);
+        self.timers
+            .bind_calls
+            .set(self.timers.bind_calls.get() + bind);
+    }
+
     /// The minimum (critical-path) latency of `assignment`, computed on
     /// the scratch arena without allocating.
     ///
@@ -270,8 +317,27 @@ impl<'a> Synthesizer<'a> {
     }
 
     /// Every uniform one-version-per-class assignment that meets both
-    /// bounds, each already scheduled and bound at the full latency budget.
+    /// bounds, each already scheduled and bound at the full latency
+    /// budget — answered from the session
+    /// [`StartsCache`](crate::engine::StartsCache) when one is attached
+    /// (the pool depends only on the graph, library, bounds, and
+    /// scheduler/binder slots, so sweeps stop recomputing identical
+    /// pools), computed fresh otherwise.
     pub(crate) fn uniform_feasible_starts(
+        &self,
+        bounds: Bounds,
+    ) -> Result<Vec<FlowState>, SynthesisError> {
+        match self.starts {
+            Some(cache) => cache.get_or_compute(self, bounds),
+            None => self.uniform_feasible_starts_fresh(bounds),
+        }
+    }
+
+    /// [`Synthesizer::uniform_feasible_starts`] bypassing any session
+    /// cache: always schedules and binds every uniform assignment. The
+    /// naive reference passes use this so the golden equivalence suites
+    /// prove the interned pools against fresh recomputation.
+    pub(crate) fn uniform_feasible_starts_fresh(
         &self,
         bounds: Bounds,
     ) -> Result<Vec<FlowState>, SynthesisError> {
@@ -290,6 +356,27 @@ impl<'a> Synthesizer<'a> {
             }
         }
         Ok(out)
+    }
+
+    /// The best allocation-first design for the refine portfolio —
+    /// answered from the session [`StartsCache`](crate::engine::StartsCache)
+    /// when one is attached (the search depends only on the graph,
+    /// library, and bounds), computed fresh otherwise. Either way the
+    /// search's completeness flag lands in `diagnostics`.
+    pub(crate) fn alloc_design(
+        &self,
+        bounds: Bounds,
+        diagnostics: &mut Diagnostics,
+    ) -> Option<(Assignment, rchls_sched::Schedule, Binding)> {
+        match self.starts {
+            Some(cache) => cache.alloc_design(self, bounds, diagnostics),
+            None => crate::alloc_search::best_allocation_design_diag(
+                self.dfg,
+                self.library,
+                bounds,
+                diagnostics,
+            ),
+        }
     }
 
     /// The strict Figure-6 greedy (lines 3–29).

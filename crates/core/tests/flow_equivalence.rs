@@ -239,3 +239,65 @@ fn optimized_and_reference_kernels_agree_across_all_combos_and_strategies() {
         }
     }
 }
+
+/// The refine-kernel golden: for every scheduler/binder/victim
+/// combination and the three refining strategies, swapping the
+/// delta-evaluated `greedy` pass for its retained full-recompute
+/// `greedy-reference` produces byte-identical `SynthReport`s (designs
+/// and scrubbed diagnostics). The fast side runs with a session
+/// `ScratchPool` *and* `StartsCache` attached (shared across every
+/// combo, so pools intern and replay across flows) while the reference
+/// side recomputes everything fresh — proving the O(1) latency test,
+/// the area lower-bound screen, the cached reliability product, and the
+/// interned start pools change nothing but wall time.
+#[test]
+fn greedy_and_greedy_reference_agree_across_combos_and_strategies() {
+    let lib = Library::table1();
+    let scratch = rchls_core::ScratchPool::new();
+    let starts = rchls_core::engine::StartsCache::new();
+    let report_bytes = |r: &rchls_core::SynthReport| {
+        serde_json::to_string(&rchls_core::SynthReport {
+            design: r.design.clone(),
+            diagnostics: r.diagnostics.scrubbed(),
+        })
+        .expect("reports serialize")
+    };
+    for (dfg, points) in fixtures() {
+        for scheduler in ["density", "force-directed"] {
+            for binder in ["left-edge", "coloring"] {
+                for victim in ["max-delay", "min-reliability-loss"] {
+                    let fast_flow = FlowSpec::default()
+                        .with_scheduler(scheduler)
+                        .with_binder(binder)
+                        .with_victim(victim);
+                    let reference_flow = fast_flow.clone().with_refine("greedy-reference");
+                    for strategy_id in ["ours", "baseline", "combined"] {
+                        let strategy = flow::strategy(strategy_id).unwrap();
+                        for &bounds in &points {
+                            let fast = strategy
+                                .run(
+                                    &SynthRequest::new(&dfg, &lib, bounds)
+                                        .with_flow(fast_flow.clone())
+                                        .with_scratch_pool(&scratch)
+                                        .with_starts_cache(&starts),
+                                )
+                                .ok();
+                            let slow = strategy
+                                .run(
+                                    &SynthRequest::new(&dfg, &lib, bounds)
+                                        .with_flow(reference_flow.clone()),
+                                )
+                                .ok();
+                            assert_eq!(
+                                fast.as_ref().map(&report_bytes),
+                                slow.as_ref().map(&report_bytes),
+                                "{} {strategy_id} {scheduler}/{binder}/{victim} at {bounds}",
+                                dfg.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Incremental serial-product evaluation for single-component swaps.
+//!
+//! Refinement loops evaluate thousands of "swap one component's
+//! reliability, what is the new design reliability?" questions against an
+//! otherwise-unchanged component list. Recomputing the full serial
+//! product ([`crate::serial_reliability`]) costs O(components) per
+//! question; a [`SerialProduct`] answers them from cached prefix state
+//! instead, in two forms:
+//!
+//! * [`SerialProduct::swap_value`] — **bit-exact**: returns *exactly* the
+//!   `f64` the full left-fold recompute would return, by replaying the
+//!   fold from the cached prefix at the swap index (O(k) where `k` is
+//!   the number of components after the swap point, O(n/2) on average).
+//!   Exactness matters when the caller's decisions (move ordering, tie
+//!   breaking, accept thresholds) must be reproducible against a naive
+//!   reference implementation.
+//! * [`SerialProduct::swap_estimate`] — **O(1)**: evaluates the swap in
+//!   log space (`exp(logΣ_prefix + ln r' + logΣ_suffix)`). Within a few
+//!   ULPs of the exact value (the relative error is bounded by roughly
+//!   `(n+2)·ε` from the summed logs plus the `ln`/`exp` rounding), so it
+//!   is a sound *screen* when combined with an error margin, but must
+//!   not be used where bit-exact agreement with the fold is required.
+//!
+//! The left fold being replayed is the one [`crate::serial_model`]
+//! performs: `acc₀ = 1.0`, `accᵢ₊₁ = accᵢ · rᵢ`, each step rounded to
+//! the nearest `f64`. Floating-point multiplication is not associative,
+//! so *only* replaying the same operation sequence reproduces the same
+//! bits — this is why [`swap_value`](SerialProduct::swap_value) walks
+//! the suffix instead of multiplying by a cached suffix product.
+
+use crate::reliability::Reliability;
+
+/// A component-reliability list with cached prefix state, supporting
+/// exact and O(1)-estimated single-swap product evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use rchls_relmath::{serial_reliability, Reliability, SerialProduct};
+///
+/// # fn main() -> Result<(), rchls_relmath::ReliabilityError> {
+/// let parts = vec![Reliability::new(0.999)?, Reliability::new(0.969)?,
+///                  Reliability::new(0.999)?];
+/// let mut product = SerialProduct::new(parts.iter().copied());
+/// assert_eq!(product.value(), serial_reliability(parts.clone()).value());
+///
+/// // Swap component 1 up to 0.999: the incremental answer is the exact
+/// // bit pattern of the full recompute.
+/// let swapped = product.swap_value(1, 0.999);
+/// let mut full = parts.clone();
+/// full[1] = Reliability::new(0.999)?;
+/// assert_eq!(swapped, serial_reliability(full).value());
+///
+/// // Committing the swap updates the cached state.
+/// product.set(1, 0.999);
+/// assert_eq!(product.value(), swapped);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SerialProduct {
+    /// Component reliabilities, in composition order.
+    factors: Vec<f64>,
+    /// `ln(factors[i])`, cached so a committed swap costs one `ln` (the
+    /// log-sum arrays below are then plain additions).
+    logs: Vec<f64>,
+    /// `prefix[i]` is the left fold of `factors[..i]` starting from 1.0
+    /// (so `prefix[0] == 1.0` and `prefix[len]` is the full product).
+    prefix: Vec<f64>,
+    /// `log_prefix[i]` = Σ ln(factors[..i]) — the O(1) estimate's head.
+    log_prefix: Vec<f64>,
+    /// `log_suffix[i]` = Σ ln(factors[i..]) — the O(1) estimate's tail.
+    log_suffix: Vec<f64>,
+}
+
+impl SerialProduct {
+    /// Builds the cached state for `components` in composition order.
+    #[must_use]
+    pub fn new(components: impl IntoIterator<Item = Reliability>) -> SerialProduct {
+        let factors: Vec<f64> = components.into_iter().map(Reliability::value).collect();
+        let logs: Vec<f64> = factors.iter().map(|f| f.ln()).collect();
+        let mut product = SerialProduct {
+            factors,
+            logs,
+            prefix: Vec::new(),
+            log_prefix: Vec::new(),
+            log_suffix: Vec::new(),
+        };
+        product.rebuild_all();
+        product
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Whether the composition is empty (product 1.0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// The component reliability at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn factor(&self, index: usize) -> f64 {
+        self.factors[index]
+    }
+
+    /// The current product — exactly the left fold
+    /// [`crate::serial_reliability`] performs over the current factors.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.prefix[self.factors.len()]
+    }
+
+    /// The exact product with component `index` replaced by `factor`:
+    /// bit-for-bit equal to rebuilding the whole list and folding it.
+    /// O(len − index) — the fold is replayed from the cached prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn swap_value(&self, index: usize, factor: f64) -> f64 {
+        let mut acc = self.prefix[index] * factor;
+        for &f in &self.factors[index + 1..] {
+            acc *= f;
+        }
+        acc
+    }
+
+    /// An O(1) estimate of [`swap_value`](SerialProduct::swap_value) via
+    /// cached log-sums. Agrees with the exact value to within a relative
+    /// error of roughly `(len + 2) · f64::EPSILON`; use it only as a
+    /// screen with an explicit margin, never for exact tie-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn swap_estimate(&self, index: usize, factor: f64) -> f64 {
+        if factor == 0.0 {
+            return 0.0;
+        }
+        (self.log_prefix[index] + factor.ln() + self.log_suffix[index + 1]).exp()
+    }
+
+    /// Commits a swap: replaces component `index` and refreshes the
+    /// cached prefixes (O(len) worst case, O(len − index) for the value
+    /// prefixes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize, factor: f64) {
+        self.factors[index] = factor;
+        self.logs[index] = factor.ln();
+        // Prefixes from the swap onward, suffixes from the swap backward
+        // (everything beyond is untouched by a point update) — one `ln`
+        // paid above, plain multiplies/adds here.
+        let n = self.factors.len();
+        for i in index..n {
+            self.prefix[i + 1] = self.prefix[i] * self.factors[i];
+            self.log_prefix[i + 1] = self.log_prefix[i] + self.logs[i];
+        }
+        for i in (0..=index).rev() {
+            self.log_suffix[i] = self.logs[i] + self.log_suffix[i + 1];
+        }
+    }
+
+    /// Builds every cached array from scratch (construction only).
+    fn rebuild_all(&mut self) {
+        let n = self.factors.len();
+        self.prefix.resize(n + 1, 1.0);
+        self.log_prefix.resize(n + 1, 0.0);
+        self.log_suffix.resize(n + 1, 0.0);
+        self.prefix[0] = 1.0;
+        self.log_prefix[0] = 0.0;
+        for i in 0..n {
+            self.prefix[i + 1] = self.prefix[i] * self.factors[i];
+            self.log_prefix[i + 1] = self.log_prefix[i] + self.logs[i];
+        }
+        self.log_suffix[n] = 0.0;
+        for i in (0..n).rev() {
+            self.log_suffix[i] = self.logs[i] + self.log_suffix[i + 1];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::serial_reliability;
+
+    fn r(p: f64) -> Reliability {
+        Reliability::new(p).unwrap()
+    }
+
+    fn full_value(factors: &[f64]) -> f64 {
+        serial_reliability(factors.iter().map(|&p| r(p))).value()
+    }
+
+    #[test]
+    fn value_matches_serial_reliability_bitwise() {
+        let parts = [0.999, 0.969, 0.92, 1.0, 0.999, 0.87];
+        let product = SerialProduct::new(parts.iter().map(|&p| r(p)));
+        assert_eq!(product.value(), full_value(&parts));
+        assert_eq!(product.len(), 6);
+        assert!(!product.is_empty());
+        assert_eq!(product.factor(1), 0.969);
+    }
+
+    #[test]
+    fn empty_product_is_one() {
+        let product = SerialProduct::new(std::iter::empty());
+        assert!(product.is_empty());
+        assert_eq!(product.value(), 1.0);
+    }
+
+    #[test]
+    fn swap_value_is_bit_exact_at_every_index() {
+        let parts = [0.999, 0.969, 0.92, 0.999, 0.87, 0.9999, 0.75];
+        let product = SerialProduct::new(parts.iter().map(|&p| r(p)));
+        for i in 0..parts.len() {
+            for new in [0.5, 0.969, 0.999, 1.0] {
+                let mut swapped = parts;
+                swapped[i] = new;
+                assert_eq!(
+                    product.swap_value(i, new).to_bits(),
+                    full_value(&swapped).to_bits(),
+                    "swap {i} -> {new}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_commits_and_stays_exact() {
+        let mut parts = vec![0.999; 16];
+        let mut product = SerialProduct::new(parts.iter().map(|&p| r(p)));
+        for (i, new) in [(3usize, 0.969), (0, 0.92), (15, 0.999), (7, 0.5)] {
+            product.set(i, new);
+            parts[i] = new;
+            assert_eq!(product.value().to_bits(), full_value(&parts).to_bits());
+            // And further swaps from the committed state stay exact.
+            let mut swapped = parts.clone();
+            swapped[5] = 0.77;
+            assert_eq!(
+                product.swap_value(5, 0.77).to_bits(),
+                full_value(&swapped).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_close_and_zero_safe() {
+        let parts: Vec<f64> = (0..64).map(|i| 0.9 + 0.001 * (i as f64)).collect();
+        let product = SerialProduct::new(parts.iter().map(|&p| r(p)));
+        for i in [0usize, 17, 63] {
+            let exact = product.swap_value(i, 0.95);
+            let estimate = product.swap_estimate(i, 0.95);
+            assert!(
+                ((estimate - exact) / exact).abs() < 66.0 * f64::EPSILON,
+                "estimate off at {i}: {estimate} vs {exact}"
+            );
+        }
+        assert_eq!(product.swap_estimate(3, 0.0), 0.0);
+    }
+}

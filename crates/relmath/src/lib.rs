@@ -25,6 +25,7 @@
 
 mod design;
 mod error;
+mod incremental;
 mod model;
 mod nmr;
 mod rate;
@@ -32,6 +33,7 @@ mod reliability;
 
 pub use design::{serial_reliability, SystemModel};
 pub use error::ReliabilityError;
+pub use incremental::SerialProduct;
 pub use model::{parallel_model, serial_model};
 pub use nmr::{duplex_with_recovery, nmr, replicated, tmr};
 pub use rate::FailureRate;

@@ -68,3 +68,60 @@ proptest! {
         prop_assert!((a.and(b).value() - b.and(a).value()).abs() < 1e-15);
     }
 }
+
+proptest! {
+    /// The incremental swap evaluator is pinned **bit-for-bit** to the
+    /// full serial-product recompute: for any component list, any swap
+    /// index, and any replacement value, `SerialProduct::swap_value`
+    /// returns exactly the f64 that rebuilding and folding returns.
+    #[test]
+    fn incremental_swap_equals_full_recompute(
+        parts in proptest::collection::vec(rel(), 1..40),
+        swap_raw in 0usize..40,
+        replacement in rel(),
+    ) {
+        use rchls_relmath::{serial_reliability, SerialProduct};
+        let index = swap_raw % parts.len();
+        let product = SerialProduct::new(parts.iter().copied());
+        prop_assert_eq!(
+            product.value().to_bits(),
+            serial_reliability(parts.iter().copied()).value().to_bits()
+        );
+        let mut swapped = parts.clone();
+        swapped[index] = replacement;
+        prop_assert_eq!(
+            product.swap_value(index, replacement.value()).to_bits(),
+            serial_reliability(swapped.iter().copied()).value().to_bits()
+        );
+        // Committing the swap keeps the cached value exact too.
+        let mut committed = product.clone();
+        committed.set(index, replacement.value());
+        prop_assert_eq!(
+            committed.value().to_bits(),
+            serial_reliability(swapped.iter().copied()).value().to_bits()
+        );
+    }
+
+    /// The O(1) log-space estimate stays within its documented relative
+    /// error envelope of the exact swap value (on strictly positive
+    /// factors, where the relative error is well defined).
+    #[test]
+    fn incremental_estimate_tracks_exact_value(
+        parts in proptest::collection::vec(0.05f64..=1.0, 1..40),
+        swap_raw in 0usize..40,
+        replacement in 0.05f64..=1.0,
+    ) {
+        use rchls_relmath::SerialProduct;
+        let index = swap_raw % parts.len();
+        let product = SerialProduct::new(
+            parts.iter().map(|&p| Reliability::new(p).unwrap()),
+        );
+        let exact = product.swap_value(index, replacement);
+        let estimate = product.swap_estimate(index, replacement);
+        let margin = (parts.len() as f64 + 2.0) * 4.0 * f64::EPSILON;
+        prop_assert!(
+            (estimate - exact).abs() <= exact.abs() * margin,
+            "estimate {} vs exact {} at {}", estimate, exact, index
+        );
+    }
+}
