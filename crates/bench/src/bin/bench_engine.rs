@@ -4,11 +4,18 @@
 //!
 //! ```text
 //! cargo run --release -p rchls-bench --bin bench_engine -- \
-//!     [--quick] [--baseline] [--out PATH]
+//!     [--quick|--smoke] [--baseline] [--out PATH] \
+//!     [--trace PATH] [--metrics PATH]
 //! ```
 //!
-//! `--quick` (or `BENCH_QUICK=1`, the convention of the Criterion
-//! benches) shrinks the families for CI smoke runs. The summary records,
+//! `--quick` (or `--smoke`, or `BENCH_QUICK=1`, the convention of the
+//! Criterion benches) shrinks the families for CI smoke runs. `--trace`
+//! records every span of the run as a Chrome trace-event file (open in
+//! Perfetto); `--metrics` writes the telemetry metrics snapshot covering
+//! the scaling families as a standalone JSON document (validated against
+//! the metrics schema before writing — CI uploads both as artifacts and
+//! re-checks the snapshot with `rchls metrics --validate`). The same
+//! snapshot is embedded in the summary's `metrics` field. The summary records,
 //! per family: batch wall times at one worker and at one worker per CPU,
 //! the speedup, cache effectiveness on an immediately repeated batch,
 //! and whether the parallel outcome document was byte-identical to the
@@ -68,6 +75,9 @@ struct Summary {
     families: Vec<FamilyResult>,
     /// Per-phase timings of the pinned perf-gate workload set.
     perf: PerfSection,
+    /// Telemetry metrics snapshot covering the scaling families (taken
+    /// before the perf measurement, which resets the registry).
+    metrics: serde::Value,
     /// Total wall time of all timed runs, milliseconds.
     total_ms: f64,
 }
@@ -141,14 +151,26 @@ fn bench_family(nodes: usize, layers: usize, seeds: u64, workers: usize) -> Fami
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick =
-        args.iter().any(|a| a == "--quick") || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke")
+        || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
     let baseline = args.iter().any(|a| a == "--baseline");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let trace_path = flag_value("--trace");
+    let metrics_path = flag_value("--metrics");
+
+    // With --trace, every span of the whole run (families and perf set)
+    // is recorded into one Chrome trace.
+    let trace_sink = trace_path.as_ref().map(|_| {
+        let sink = std::sync::Arc::new(rchls_telemetry::ChromeTraceSink::new());
+        rchls_telemetry::register_sink(sink.clone()).expect("fresh process has no sinks");
+        sink
+    });
+    rchls_telemetry::metrics::reset();
 
     // (nodes, layers, seeds): rising node counts at similar shape, so
     // the curve isolates graph size. `--baseline` skips the scaling
@@ -185,6 +207,11 @@ fn main() {
         results.push(r);
     }
 
+    // Snapshot the families' metrics before the perf measurement resets
+    // the registry for its isolated percentile windows.
+    let metrics = rchls_telemetry::metrics::snapshot();
+    rchls_telemetry::metrics::validate_snapshot(&metrics).expect("snapshot passes its own schema");
+
     let perf = measure_perf_section(CALIBRATION_ITERS);
     println!(
         "perf set: {} jobs ({} feasible)  sched {:>8.1}/s ({} calls)  bind {:>8.1}/s  \
@@ -211,9 +238,22 @@ fn main() {
         workers,
         families: results,
         perf,
+        metrics: metrics.clone(),
         total_ms: millis(start),
     };
     let json = serde_json::to_string_pretty(&summary).expect("summaries serialize");
     std::fs::write(&out_path, json + "\n").expect("write bench summary");
     println!("wrote {out_path}");
+
+    if let Some(path) = &metrics_path {
+        let doc = serde_json::to_string_pretty(&metrics).expect("snapshots serialize");
+        std::fs::write(path, doc + "\n").expect("write metrics snapshot");
+        println!("wrote {path}");
+    }
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        let _ = rchls_telemetry::unregister_sink("chrome-trace");
+        sink.write_to(std::path::Path::new(path))
+            .expect("write trace file");
+        println!("wrote {path} ({} spans)", sink.len());
+    }
 }

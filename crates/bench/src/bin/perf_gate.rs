@@ -13,6 +13,14 @@
 //! falls more than `tolerance` (default 0.30, overridable with the flag
 //! or `PERF_GATE_TOLERANCE`) below the baseline fails the build.
 //!
+//! Since schema v3 the gate also checks **tail latency**: each phase
+//! carries p50/p95/p99 per-unit latencies read from the telemetry phase
+//! histograms, and a phase whose normalized p95 grows beyond
+//! [`P95_RATIO_LIMIT`] with an absolute delta above
+//! [`P95_NOISE_FLOOR_MICROS`] fails even when its *average* throughput
+//! stays inside the tolerance — the signature of a stall injected into
+//! some calls rather than uniform slowdown.
+//!
 //! The pinned workload set makes the per-phase *unit counts* (pass
 //! calls, jobs) machine-independent; a count mismatch means the workload
 //! set or the algorithms changed since the baseline was captured, and
@@ -44,6 +52,20 @@ use std::process::ExitCode;
 /// already pass the ratio tolerance).
 const NOISE_FLOOR_MICROS: u64 = 10_000;
 
+/// The tail-latency check (schema v3): a phase fails when its
+/// *normalized* p95 per-unit latency grows beyond this ratio AND the raw
+/// p95 delta exceeds [`P95_NOISE_FLOOR_MICROS`]. The telemetry
+/// histograms use power-of-two bucket bounds, so a benign run can flip a
+/// percentile by one bucket — exactly 2× — which is why the limit sits
+/// above 2: a one-bucket flip passes, a 100 µs stall injected into a
+/// ~40 µs scheduler pass (4× and ~190 µs of delta) fails.
+const P95_RATIO_LIMIT: f64 = 3.0;
+
+/// Absolute p95 deltas below this never fail the tail check: percentile
+/// buckets near the bottom of the scale (1–64 µs) can ratio wildly on
+/// jitter alone while representing a few tens of microseconds.
+const P95_NOISE_FLOOR_MICROS: u64 = 75;
+
 /// One phase's comparison outcome.
 struct PhaseDelta {
     name: &'static str,
@@ -52,6 +74,9 @@ struct PhaseDelta {
     baseline_norm: f64,
     current_norm: f64,
     ratio: f64,
+    baseline_p95: u64,
+    current_p95: u64,
+    p95_regressed: bool,
     units_match: bool,
     within_jitter: bool,
 }
@@ -114,6 +139,17 @@ fn compare(name: &'static str, base: &PerfSection, cur: &PerfSection) -> PhaseDe
     let (b, c) = (pick(base), pick(cur));
     let baseline_norm = b.per_sec / base.calibration_per_sec;
     let current_norm = c.per_sec / cur.calibration_per_sec;
+    // Normalized p95: latency × calibration speed, so a uniformly slower
+    // machine (lower calibration score, proportionally higher latency)
+    // cancels out of the ratio.
+    let p95_ratio = if b.p95_micros > 0 {
+        (c.p95_micros as f64 * cur.calibration_per_sec)
+            / (b.p95_micros as f64 * base.calibration_per_sec)
+    } else {
+        1.0
+    };
+    let p95_regressed = p95_ratio > P95_RATIO_LIMIT
+        && c.p95_micros.saturating_sub(b.p95_micros) > P95_NOISE_FLOOR_MICROS;
     PhaseDelta {
         name,
         baseline_ms: b.micros as f64 / 1e3,
@@ -125,6 +161,9 @@ fn compare(name: &'static str, base: &PerfSection, cur: &PerfSection) -> PhaseDe
         } else {
             1.0
         },
+        baseline_p95: b.p95_micros,
+        current_p95: c.p95_micros,
+        p95_regressed,
         units_match: b.units == c.units,
         within_jitter: c.micros.abs_diff(b.micros) < NOISE_FLOOR_MICROS,
     }
@@ -205,15 +244,18 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(
         table,
-        "| phase | baseline ms | current ms | baseline (norm) | current (norm) | Δ | status |"
+        "| phase | baseline ms | current ms | baseline (norm) | current (norm) | Δ | p95 µs | status |"
     );
-    let _ = writeln!(table, "|---|---:|---:|---:|---:|---:|---|");
+    let _ = writeln!(table, "|---|---:|---:|---:|---:|---:|---:|---|");
     let mut stale = false;
     let mut regressed = false;
     for d in &deltas {
         let status = if !d.units_match {
             stale = true;
             "⚠️ stale baseline"
+        } else if d.p95_regressed {
+            regressed = true;
+            "❌ p95 tail regression"
         } else if d.within_jitter {
             "✅ ok (within noise floor)"
         } else if d.ratio < 1.0 - tolerance {
@@ -224,13 +266,15 @@ fn main() -> ExitCode {
         };
         let _ = writeln!(
             table,
-            "| {} | {:.1} | {:.1} | {:.4e} | {:.4e} | {:+.1}% | {} |",
+            "| {} | {:.1} | {:.1} | {:.4e} | {:.4e} | {:+.1}% | {} → {} | {} |",
             d.name,
             d.baseline_ms,
             d.current_ms,
             d.baseline_norm,
             d.current_norm,
             (d.ratio - 1.0) * 100.0,
+            d.baseline_p95,
+            d.current_p95,
             status,
         );
     }

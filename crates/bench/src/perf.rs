@@ -28,10 +28,18 @@ use std::time::Instant;
 ///
 /// History: 1 = the original four-phase section; 2 = delta-evaluated
 /// refine kernel (pass-call counts now include cache-replayed calls, so
-/// v1 call counts are not comparable).
-pub const PERF_SCHEMA_VERSION: u32 = 2;
+/// v1 call counts are not comparable); 3 = per-phase latency percentiles
+/// (`p50/p95/p99_micros`, read from the telemetry phase histograms) —
+/// v2 baselines lack the fields and must be regenerated.
+pub const PERF_SCHEMA_VERSION: u32 = 3;
 
 /// One phase's accumulated cost over the pinned set.
+///
+/// The percentiles are per-*unit* latencies (one scheduler call, one
+/// binder call, one whole job for refine/total), quantized to the
+/// telemetry histograms' power-of-two bucket bounds — so a benign run
+/// can flip a percentile by one bucket (2×), and the gate's percentile
+/// check pairs a ratio limit above 2× with an absolute floor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PhaseStat {
     /// Wall time spent in the phase, microseconds.
@@ -41,10 +49,16 @@ pub struct PhaseStat {
     pub units: u64,
     /// Raw throughput, units per second.
     pub per_sec: f64,
+    /// Median per-unit latency in microseconds (bucket-quantized).
+    pub p50_micros: u64,
+    /// 95th-percentile per-unit latency in microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile per-unit latency in microseconds.
+    pub p99_micros: u64,
 }
 
 impl PhaseStat {
-    fn new(micros: u64, units: u64) -> PhaseStat {
+    fn new(micros: u64, units: u64, percentiles: [u64; 3]) -> PhaseStat {
         let per_sec = if micros == 0 {
             0.0
         } else {
@@ -54,6 +68,9 @@ impl PhaseStat {
             micros,
             units,
             per_sec,
+            p50_micros: percentiles[0],
+            p95_micros: percentiles[1],
+            p99_micros: percentiles[2],
         }
     }
 }
@@ -124,6 +141,12 @@ pub fn calibrate(iters: u64) -> f64 {
 
 /// Runs the pinned set serially on a fresh engine and accumulates the
 /// per-phase diagnostics into a [`PerfSection`].
+///
+/// Resets the process-global telemetry metrics registry first, so the
+/// phase histograms the percentiles are read from cover exactly this
+/// measurement — callers wanting a metrics snapshot of *other* work
+/// (e.g. `bench_engine`'s scaling families) must snapshot before
+/// calling this.
 #[must_use]
 pub fn measure_perf_section(calibration_iters: u64) -> PerfSection {
     let jobs = perf_jobs();
@@ -133,6 +156,7 @@ pub fn measure_perf_section(calibration_iters: u64) -> PerfSection {
 
     let calibration_per_sec = calibrate(calibration_iters);
 
+    rchls_telemetry::metrics::reset();
     let engine = Engine::new(Library::table1()).with_jobs(1);
     let start = Instant::now();
     let mut sched_micros = 0u64;
@@ -154,16 +178,35 @@ pub fn measure_perf_section(calibration_iters: u64) -> PerfSection {
     }
     let total_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
 
+    // Per-unit latency percentiles from the telemetry phase histograms
+    // (populated by the spans the kernels run under; reset above, so
+    // they cover exactly this measurement).
+    let percentiles = |name: &str| -> [u64; 3] {
+        let h = rchls_telemetry::metrics::histogram(
+            name,
+            rchls_telemetry::metrics::TIME_BUCKETS_MICROS,
+        );
+        [h.percentile(0.50), h.percentile(0.95), h.percentile(0.99)]
+    };
+
     PerfSection {
         schema_version: PERF_SCHEMA_VERSION,
         workloads,
         jobs: jobs.len() as u64,
         feasible,
         calibration_per_sec,
-        sched: PhaseStat::new(sched_micros, sched_calls),
-        bind: PhaseStat::new(bind_micros, bind_calls),
-        refine: PhaseStat::new(refine_micros, jobs.len() as u64),
-        total: PhaseStat::new(total_micros, jobs.len() as u64),
+        sched: PhaseStat::new(sched_micros, sched_calls, percentiles("phase.sched_micros")),
+        bind: PhaseStat::new(bind_micros, bind_calls, percentiles("phase.bind_micros")),
+        refine: PhaseStat::new(
+            refine_micros,
+            jobs.len() as u64,
+            percentiles("phase.refine_micros"),
+        ),
+        total: PhaseStat::new(
+            total_micros,
+            jobs.len() as u64,
+            percentiles("phase.synth_micros"),
+        ),
     }
 }
 
@@ -187,8 +230,9 @@ mod tests {
 
     #[test]
     fn phase_stat_throughput() {
-        let s = PhaseStat::new(2_000_000, 10);
+        let s = PhaseStat::new(2_000_000, 10, [1, 2, 4]);
         assert!((s.per_sec - 5.0).abs() < 1e-9);
-        assert_eq!(PhaseStat::new(0, 10).per_sec, 0.0);
+        assert_eq!(s.p95_micros, 2);
+        assert_eq!(PhaseStat::new(0, 10, [0, 0, 0]).per_sec, 0.0);
     }
 }

@@ -57,6 +57,7 @@ pub fn bind_coloring_with(
     library: &Library,
     scratch: &mut BindScratch,
 ) -> Binding {
+    let _span = rchls_telemetry::span!("bind.coloring");
     scratch
         .delays
         .fill_from_fn(dfg, |n| library.version(assignment.version(n)).delay());

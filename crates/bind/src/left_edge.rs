@@ -65,6 +65,7 @@ pub fn bind_left_edge_with(
     library: &Library,
     scratch: &mut BindScratch,
 ) -> Binding {
+    let _span = rchls_telemetry::span!("bind.left-edge");
     scratch
         .delays
         .fill_from_fn(dfg, |n| library.version(assignment.version(n)).delay());

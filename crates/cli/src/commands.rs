@@ -7,7 +7,7 @@ use rchls_core::{
     flow, monte_carlo_reliability, Bounds, Engine, FlowSpec, RedundancyModel, SynthJob,
     SynthRequest, Synthesizer,
 };
-use rchls_explorer::{explore, export, ExploreTask, SweepExecutor, SynthCache};
+use rchls_explorer::{explore, export, CacheStats, ExploreTask, SweepExecutor, SynthCache};
 use rchls_netlist::{generators, FaultInjector};
 use rchls_reslib::Library;
 use rchls_workloads::Workload;
@@ -18,8 +18,8 @@ pub fn help() -> String {
     "rchls — reliability-centric high-level synthesis\n\
      \n\
      usage:\n\
-     \x20 rchls synth --workload SPEC --latency N --area N\n\
-     \x20       [--strategy <id>|paper] [--ii N] [--report json]\n\
+     \x20 rchls synth --workload SPEC [--latency N] [--area N]\n\
+     \x20       [--strategy <id>|paper] [--ii N] [--report json] [--trace FILE]\n\
      \x20       [--scheduler <id>] [--binder <id>] [--victim <id>] [--refine <id>]\n\
      \x20       [--library <file>] [--mission-time T]\n\
      \x20 rchls sweep --workload SPEC --latencies L1,L2,... --areas A1,A2,...\n\
@@ -27,6 +27,7 @@ pub fn help() -> String {
      \x20 rchls pareto <SPEC> [--latencies ...] [--areas ...]\n\
      \x20       [--format table|json|csv]\n\
      \x20 rchls batch <jobs.json> [--jobs N] [--library <file>] [--mission-time T]\n\
+     \x20 rchls metrics [--jobs N] [--library <file>] | rchls metrics --validate FILE\n\
      \x20 rchls workloads\n\
      \x20 rchls flows\n\
      \x20 rchls dot --workload SPEC\n\
@@ -50,6 +51,15 @@ pub fn help() -> String {
      `--format json` sweeps include per-strategy diagnostics, and\n\
      `--report json` dumps the full synthesis report of one run with its\n\
      canonical workload spec (random seeds echoed).\n\
+     \n\
+     observability: `synth --trace FILE` records the run's spans as a\n\
+     Chrome trace-event JSON file (open in Perfetto / chrome://tracing);\n\
+     omitting --latency/--area defaults each to the loosest corner of the\n\
+     default exploration grid. `rchls metrics` runs a pinned demo batch\n\
+     twice (cold, then warm) and prints the process metrics snapshot —\n\
+     cache hit rates and phase latency percentiles — as one\n\
+     deterministic-ordered JSON document; `rchls metrics --validate FILE`\n\
+     schema-checks an exported snapshot (CI runs it on bench_engine's).\n\
      \n\
      global flags: --jobs N sizes the worker pool of the sweep, pareto,\n\
      and batch commands (0 or omitted = one worker per CPU); parallel\n\
@@ -245,12 +255,80 @@ fn flow_from_args(args: &ParsedArgs) -> Result<FlowSpec, CliError> {
     Ok(spec)
 }
 
+/// Resolves `--latency`/`--area` for `rchls synth`. A missing flag
+/// defaults to the loosest corner of the default exploration grid —
+/// always feasible — so trace-oriented invocations (`synth --workload
+/// random:64x8@0 --trace trace.json`) work without hand-picked bounds.
+fn synth_bounds(
+    args: &ParsedArgs,
+    dfg: &rchls_dfg::Dfg,
+    library: &Library,
+) -> Result<Bounds, CliError> {
+    let loosest = |pick: fn(&(u32, u32)) -> u32| -> Result<u32, CliError> {
+        let grid =
+            rchls_explorer::default_grid(dfg, library).ok_or_else(|| CliError::BadValue {
+                flag: "library".to_owned(),
+                reason: format!(
+                    "has no version for one of {}'s operation classes",
+                    dfg.name()
+                ),
+            })?;
+        Ok(grid.iter().map(pick).max().unwrap_or(1))
+    };
+    let latency = match args.get("latency") {
+        Some(_) => args.required_u32("latency")?,
+        None => loosest(|&(l, _)| l)?,
+    };
+    let area = match args.get("area") {
+        Some(_) => args.required_u32("area")?,
+        None => loosest(|&(_, a)| a)?,
+    };
+    Ok(Bounds::new(latency, area))
+}
+
+/// The session cache facts of one CLI run as a JSON map: hit/miss
+/// counters plus table sizes for the synthesis, start-pool, and
+/// allocation-design caches (ROADMAP's unbounded-growth watch numbers).
+fn session_caches_value(cache: &SynthCache) -> serde::Value {
+    let table = |stats: CacheStats, size_key: &str, size: usize| {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("hits".to_owned()),
+                serde::Value::UInt(stats.hits),
+            ),
+            (
+                serde::Value::Str("misses".to_owned()),
+                serde::Value::UInt(stats.misses),
+            ),
+            (
+                serde::Value::Str(size_key.to_owned()),
+                serde::Value::UInt(size as u64),
+            ),
+        ])
+    };
+    let starts = cache.starts_cache();
+    serde::Value::Map(vec![
+        (
+            serde::Value::Str("synth_cache".to_owned()),
+            table(cache.stats(), "points", cache.len()),
+        ),
+        (
+            serde::Value::Str("starts_cache".to_owned()),
+            table(starts.stats(), "pools", starts.len()),
+        ),
+        (
+            serde::Value::Str("alloc_cache".to_owned()),
+            table(starts.alloc_stats(), "designs", starts.alloc_len()),
+        ),
+    ])
+}
+
 /// `rchls synth`.
 pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     let workload = load_workload_arg(args)?;
     let dfg = workload.dfg;
     let library = load_library(args)?;
-    let bounds = Bounds::new(args.required_u32("latency")?, args.required_u32("area")?);
+    let bounds = synth_bounds(args, &dfg, &library)?;
     let mut flow_spec = flow_from_args(args)?;
     let requested = args.get("strategy").unwrap_or("ours");
     // `paper` is shorthand for the strict Figure-6 flow: `ours` with the
@@ -304,8 +382,42 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
         }
         None => false,
     };
-    let request = SynthRequest::new(&dfg, &library, bounds).with_flow(flow_spec);
-    let report = strategy.run(&request)?;
+    // `--trace` records this run's spans as a Chrome trace-event file:
+    // install the sink for the duration of the synthesis, then write.
+    let trace_path = args.get("trace").map(str::to_owned);
+    let trace_sink = match &trace_path {
+        Some(_) => {
+            let sink = std::sync::Arc::new(rchls_telemetry::ChromeTraceSink::new());
+            rchls_telemetry::register_sink(sink.clone()).map_err(|e| CliError::BadValue {
+                flag: "trace".to_owned(),
+                reason: e.to_string(),
+            })?;
+            Some(sink)
+        }
+        None => None,
+    };
+    // Run through a one-shot session cache so the report JSON can carry
+    // the starts/alloc cache facts of the run; a `None` (infeasible or
+    // failed) replays the uncached run for its full error message.
+    let request = SynthRequest::new(&dfg, &library, bounds).with_flow(flow_spec.clone());
+    let session = SynthCache::new();
+    let result = session
+        .synthesize(
+            &dfg,
+            &library,
+            bounds,
+            &flow_spec,
+            RedundancyModel::default(),
+            &*strategy,
+        )
+        .map_or_else(|| strategy.run(&request).map_err(CliError::Synthesis), Ok);
+    if trace_sink.is_some() {
+        let _ = rchls_telemetry::unregister_sink("chrome-trace");
+    }
+    let report = result?;
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        sink.write_to(std::path::Path::new(path))?;
+    }
     if report_json {
         // Prepend the canonical workload spec (random seeds echoed) so
         // the report alone reproduces the run.
@@ -319,6 +431,12 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
                 serde::Value::Str(workload.spec),
             ),
         );
+        // The run's cache facts ride along so unbounded session growth
+        // is visible from the report alone.
+        entries.push((
+            serde::Value::Str("session".to_owned()),
+            session_caches_value(&session),
+        ));
         let doc = serde::Value::Map(entries);
         return Ok(serde_json::to_string_pretty(&doc).expect("reports serialize") + "\n");
     }
@@ -467,6 +585,99 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     let engine = Engine::new(load_library(args)?).with_jobs(args.u32_or("jobs", 0)? as usize);
     let report = engine.run_batch(&jobs);
     Ok(serde_json::to_string_pretty(&report).expect("batch reports serialize") + "\n")
+}
+
+/// `rchls metrics` — reset the process-global telemetry registry, run a
+/// pinned demo batch twice (cold, then warm) through a session
+/// [`Engine`], and print one deterministic-ordered JSON document: the
+/// session cache hit rates plus the metrics snapshot (counters and phase
+/// latency percentiles). With `--validate FILE`, instead schema-check an
+/// exported snapshot document (bare or wrapped under a `"metrics"` key)
+/// and report the result — the CI artifact check.
+pub fn metrics(args: &ParsedArgs) -> Result<String, CliError> {
+    if let Some(path) = args.get("validate") {
+        let text = std::fs::read_to_string(path)?;
+        let doc: serde::Value = serde_json::from_str(&text).map_err(|e| CliError::BadValue {
+            flag: "validate".to_owned(),
+            reason: format!("{path}: {e}"),
+        })?;
+        let snapshot = doc
+            .as_map()
+            .and_then(|entries| {
+                entries.iter().find_map(|(k, v)| match k {
+                    serde::Value::Str(s) if s == "metrics" => Some(v),
+                    _ => None,
+                })
+            })
+            .unwrap_or(&doc);
+        rchls_telemetry::metrics::validate_snapshot(snapshot).map_err(|e| CliError::BadValue {
+            flag: "validate".to_owned(),
+            reason: format!("{path}: {e}"),
+        })?;
+        return Ok(format!(
+            "{path}: valid metrics snapshot (schema_version {})\n",
+            rchls_telemetry::metrics::METRICS_SCHEMA_VERSION
+        ));
+    }
+    rchls_telemetry::metrics::reset();
+    let engine = Engine::new(load_library(args)?).with_jobs(args.u32_or("jobs", 0)? as usize);
+    // Distinct workload specs keep the hit/miss tallies deterministic at
+    // any worker count: the cold run misses every key exactly once (no
+    // two workers ever race on the same fingerprint), the warm run hits
+    // every one.
+    let jobs: Vec<SynthJob> = [
+        ("builtin:figure4a", 6, 4),
+        ("builtin:diffeq", 6, 11),
+        ("random:24x4@1", 14, 14),
+        ("random:24x4@2", 14, 14),
+    ]
+    .into_iter()
+    .map(|(w, l, a)| SynthJob::new(w, l, a))
+    .collect();
+    for _ in 0..2 {
+        let _ = engine.synth_batch(&jobs);
+    }
+    let key = |k: &str| serde::Value::Str(k.to_owned());
+    let session_table = |stats: CacheStats, size_key: &str, size: usize| {
+        serde::Value::Map(vec![
+            (key("hits"), serde::Value::UInt(stats.hits)),
+            (key("misses"), serde::Value::UInt(stats.misses)),
+            (key("hit_rate"), serde::Value::Float(stats.hit_rate())),
+            (key(size_key), serde::Value::UInt(size as u64)),
+        ])
+    };
+    let doc = serde::Value::Map(vec![
+        (
+            key("demo"),
+            serde::Value::Map(vec![
+                (key("jobs"), serde::Value::UInt(jobs.len() as u64)),
+                (key("runs"), serde::Value::UInt(2)),
+            ]),
+        ),
+        (
+            key("session"),
+            serde::Value::Map(vec![
+                (
+                    key("synth_cache"),
+                    session_table(engine.cache_stats(), "points", engine.memoized_points()),
+                ),
+                (
+                    key("starts_cache"),
+                    session_table(engine.starts_cache_stats(), "pools", engine.starts_pools()),
+                ),
+                (
+                    key("alloc_cache"),
+                    session_table(
+                        engine.alloc_cache_stats(),
+                        "designs",
+                        engine.alloc_designs(),
+                    ),
+                ),
+            ]),
+        ),
+        (key("metrics"), rchls_telemetry::metrics::snapshot()),
+    ]);
+    Ok(serde_json::to_string_pretty(&doc).expect("metrics documents serialize") + "\n")
 }
 
 /// `rchls characterize`.

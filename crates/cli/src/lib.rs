@@ -12,6 +12,10 @@
 //! * `batch`        — run a JSON array of synthesis jobs through the
 //!   session [`rchls_core::Engine`], emitting one deterministic,
 //!   diagnostics-carrying JSON document;
+//! * `metrics`      — run a pinned demo batch twice (cold, then warm) and
+//!   print the process metrics snapshot — cache hit rates, phase latency
+//!   percentiles — as one deterministic-ordered JSON document;
+//!   `--validate FILE` schema-checks an exported snapshot instead;
 //! * `workloads`    — list the registered workload sources and specs;
 //! * `flows`        — list the registered strategies and passes;
 //! * `dot`          — emit a DFG in Graphviz DOT;
@@ -84,6 +88,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sweep" => commands::sweep(&parsed),
         "pareto" => commands::pareto(&parsed),
         "batch" => commands::batch(&parsed),
+        "metrics" => commands::metrics(&parsed),
         "workloads" => Ok(commands::workloads()),
         "flows" => Ok(commands::flows()),
         "dot" => commands::dot(&parsed),
@@ -365,6 +370,75 @@ mod tests {
         assert!(out.contains("\"design\""));
         assert!(out.contains("\"diagnostics\""));
         assert!(out.contains("\"victim_moves\""));
+        // The run's session cache facts ride along.
+        assert!(out.contains("\"session\""));
+        assert!(out.contains("\"starts_cache\""));
+        assert!(out.contains("\"alloc_cache\""));
+    }
+
+    #[test]
+    fn synth_trace_writes_a_chrome_trace() {
+        let dir = std::env::temp_dir().join("rchls-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = run(&s(&[
+            "synth",
+            "--workload",
+            "builtin:diffeq",
+            "--latency",
+            "6",
+            "--area",
+            "11",
+            "--trace",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("reliability"));
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let names = rchls_telemetry::trace_event_names(&doc).unwrap();
+        for expected in ["synth", "sched", "bind", "refine"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "{expected} span missing from trace"
+            );
+        }
+        // The sink is scoped to the traced run.
+        assert!(!rchls_telemetry::sink_ids().contains(&"chrome-trace".to_owned()));
+    }
+
+    #[test]
+    fn metrics_prints_cache_rates_and_percentiles() {
+        let out = run(&s(&["metrics", "--jobs", "1"])).unwrap();
+        assert!(out.contains("\"schema_version\""));
+        assert!(out.contains("\"hit_rate\""));
+        assert!(out.contains("phase.synth_micros"));
+        assert!(out.contains("\"p95\""));
+        // The embedded snapshot passes the exported schema check.
+        let doc: serde::Value = serde_json::from_str(&out).unwrap();
+        let snapshot = doc
+            .as_map()
+            .and_then(|entries| {
+                entries.iter().find_map(|(k, v)| match k {
+                    serde::Value::Str(s) if s == "metrics" => Some(v),
+                    _ => None,
+                })
+            })
+            .expect("metrics section present");
+        rchls_telemetry::metrics::validate_snapshot(snapshot).unwrap();
+    }
+
+    #[test]
+    fn metrics_validate_checks_schema() {
+        let dir = std::env::temp_dir().join("rchls-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("snap.json");
+        std::fs::write(&good, rchls_telemetry::metrics::snapshot_json()).unwrap();
+        let out = run(&s(&["metrics", "--validate", good.to_str().unwrap()])).unwrap();
+        assert!(out.contains("valid metrics snapshot"));
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"schema_version": 99}"#).unwrap();
+        let err = run(&s(&["metrics", "--validate", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("schema"));
     }
 
     #[test]
@@ -678,6 +752,10 @@ mod tests {
         assert!(reference.contains("\"wall_time_micros\": 0"));
         assert!(reference.contains("no ours design for builtin:figure4a meets Ld=3, Ad=99"));
         assert!(reference.contains("unknown workload scheme \\\"warp\\\""));
+        // Session cache sizes surface in the document (deterministic:
+        // distinct fingerprints only, never hit/miss tallies).
+        assert!(reference.contains("\"starts_pools\""));
+        assert!(reference.contains("\"alloc_designs\""));
         for jobs in ["2", "8"] {
             let parallel = run(&s(&["batch", path, "--jobs", jobs])).unwrap();
             assert_eq!(parallel, reference, "--jobs {jobs}");
@@ -701,8 +779,16 @@ mod tests {
 
     #[test]
     fn missing_flag_reports_clearly() {
-        let err = run(&s(&["synth", "--dfg", "diffeq"])).unwrap_err();
+        let err = run(&s(&["validate", "--dfg", "diffeq"])).unwrap_err();
         assert!(err.to_string().contains("latency"));
+    }
+
+    #[test]
+    fn synth_bounds_default_to_the_loosest_grid_corner() {
+        // Omitting --latency/--area synthesizes at the default grid's
+        // loosest (always feasible) corner instead of erroring.
+        let out = run(&s(&["synth", "--dfg", "figure4a"])).unwrap();
+        assert!(out.contains("reliability"));
     }
 
     #[test]

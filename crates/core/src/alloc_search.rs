@@ -22,6 +22,16 @@ use rchls_sched::Schedule;
 /// (returns no candidates) rather than blow up combinatorially.
 const MAX_ALLOCATIONS: usize = 200_000;
 
+/// Records the `phase.alloc_micros` histogram when the search returns,
+/// covering every exit path (including the early cyclic-graph decline).
+struct AllocPhaseTimer<'a>(&'a rchls_telemetry::SpanGuard);
+
+impl Drop for AllocPhaseTimer<'_> {
+    fn drop(&mut self) {
+        crate::obs::alloc_phase_micros().record(self.0.elapsed_micros());
+    }
+}
+
 /// Reusable buffers for [`schedule_on_allocation`] and the allocation
 /// search — one set serves every enumerated allocation.
 #[derive(Debug, Default)]
@@ -456,6 +466,8 @@ pub fn best_allocation_design_diag(
     bounds: Bounds,
     diagnostics: &mut Diagnostics,
 ) -> Option<(Assignment, Schedule, Binding)> {
+    let span = rchls_telemetry::span!(timed: "alloc");
+    let _record_on_exit = AllocPhaseTimer(&span);
     let mut scratch = AllocScratch::default();
     if !scratch.prepare(dfg) {
         return None;

@@ -4,13 +4,12 @@
 use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
-use crate::flow::{elapsed_micros, Diagnostics, FlowSpec, SynthReport};
+use crate::flow::{Diagnostics, FlowSpec, SynthReport};
 use crate::redundancy::{add_redundancy_with_model, RedundancyModel};
 use crate::synth::Synthesizer;
 use rchls_bind::Assignment;
 use rchls_dfg::{Dfg, OpClass};
 use rchls_reslib::{Library, VersionId};
-use std::time::Instant;
 
 /// The fixed version the baseline uses for each class: the fastest one,
 /// ties broken toward the smaller area.
@@ -109,7 +108,7 @@ pub(crate) fn nmr_baseline_report_pooled(
     model: RedundancyModel,
     pool: Option<&crate::scratch::ScratchPool>,
 ) -> Result<SynthReport, SynthesisError> {
-    let start = Instant::now();
+    let span = rchls_telemetry::span!(timed: "strategy.baseline");
     dfg.validate().map_err(rchls_sched::ScheduleError::from)?;
     // Fixed single version per class.
     let mut chosen = Vec::new();
@@ -161,7 +160,7 @@ pub(crate) fn nmr_baseline_report_pooled(
         ..Diagnostics::default()
     };
     synth.harvest_timers(&mut diagnostics);
-    diagnostics.wall_time_micros = elapsed_micros(start);
+    diagnostics.wall_time_micros = span.elapsed_micros();
     Ok(SynthReport {
         design,
         diagnostics,

@@ -4,12 +4,11 @@
 use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
-use crate::flow::{elapsed_micros, FlowSpec, SynthReport};
+use crate::flow::{FlowSpec, SynthReport};
 use crate::redundancy::{add_redundancy_with_model, RedundancyModel};
 use crate::synth::Synthesizer;
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
-use std::time::Instant;
 
 /// Runs the reliability-centric synthesizer, then spends any area still
 /// under the bound on modular redundancy — the "Our approach + Ref \[3\]"
@@ -99,7 +98,7 @@ pub(crate) fn combined_report_for(
         request.bounds,
         request.redundancy,
     );
-    let start = Instant::now();
+    let span = rchls_telemetry::span!(timed: "strategy.combined");
     let ours = Synthesizer::for_request(request)?
         .synthesize_report(bounds)
         .map(|mut report| {
@@ -131,7 +130,7 @@ pub(crate) fn combined_report_for(
         (Err(_), Ok(b)) => b,
         (Err(e), Err(_)) => return Err(e),
     };
-    report.diagnostics.wall_time_micros = elapsed_micros(start);
+    report.diagnostics.wall_time_micros = span.elapsed_micros();
     Ok(report)
 }
 

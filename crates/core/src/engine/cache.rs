@@ -178,13 +178,16 @@ impl SynthCache {
         if let Some(entry) = self.entries.lock().expect("cache lock").get(&key.0) {
             if entry.bounds == bounds && entry.strategy == strategy_token {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::synth_cache_hits().incr();
                 return entry.result.clone();
             }
             collided = true;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::synth_cache_misses().incr();
         let result = compute().ok();
         if !collided {
+            crate::obs::synth_cache_inserts().incr();
             self.entries.lock().expect("cache lock").insert(
                 key.0,
                 CacheEntry {

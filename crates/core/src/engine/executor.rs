@@ -49,8 +49,14 @@ impl SweepExecutor {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
+        crate::obs::executor_batches().incr();
+        crate::obs::executor_jobs().add(items.len() as u64);
+        crate::obs::executor_batch_jobs().record(items.len() as u64);
         if self.jobs <= 1 || items.len() <= 1 {
-            return items.iter().map(work).collect();
+            let busy = rchls_telemetry::span!(timed: "executor.batch");
+            let out = items.iter().map(work).collect();
+            crate::obs::executor_worker_busy_micros().record(busy.elapsed_micros());
+            return out;
         }
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<T>>> =
@@ -58,11 +64,19 @@ impl SweepExecutor {
         let workers = self.jobs.min(items.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(index) else { break };
-                    let output = work(item);
-                    results.lock().expect("result lock")[index] = Some(output);
+                scope.spawn(|| {
+                    let busy = rchls_telemetry::span!(timed: "executor.worker");
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else { break };
+                        // How deep the shared queue still is when this
+                        // worker pulls: the jobs nobody has claimed yet.
+                        crate::obs::executor_queue_depth()
+                            .record((items.len() - index.min(items.len())) as u64);
+                        let output = work(item);
+                        results.lock().expect("result lock")[index] = Some(output);
+                    }
+                    crate::obs::executor_worker_busy_micros().record(busy.elapsed_micros());
                 });
             }
         });

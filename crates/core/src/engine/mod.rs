@@ -251,13 +251,22 @@ pub struct JobOutcome {
 ///
 /// Byte-identical for the same jobs at any worker count: outcomes are in
 /// job order, wall times are scrubbed, error strings are canonical, and
-/// `memoized_points` counts distinct fingerprints (not hit/miss timing).
+/// the cache fields count distinct fingerprints — *sizes*, never hit/miss
+/// tallies, which racing workers can skew when duplicate jobs land on two
+/// workers at once. (Hit rates live in the telemetry metrics registry,
+/// which makes no determinism promise.)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Number of jobs submitted.
     pub jobs: usize,
     /// Distinct synthesis points memoized in the engine's cache so far.
     pub memoized_points: usize,
+    /// Distinct uniform start pools interned by the session's
+    /// [`StartsCache`] so far — the ROADMAP's unbounded-growth watch
+    /// number for long-running sessions.
+    pub starts_pools: usize,
+    /// Distinct allocation-first designs interned by the session so far.
+    pub alloc_designs: usize,
     /// Per-job outcomes, in job order.
     pub outcomes: Vec<JobOutcome>,
 }
@@ -327,6 +336,30 @@ impl Engine {
     #[must_use]
     pub fn memoized_points(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Hit/miss counters of the session's uniform start-pool cache.
+    #[must_use]
+    pub fn starts_cache_stats(&self) -> CacheStats {
+        self.cache.starts_cache().stats()
+    }
+
+    /// Hit/miss counters of the session's allocation-first design cache.
+    #[must_use]
+    pub fn alloc_cache_stats(&self) -> CacheStats {
+        self.cache.starts_cache().alloc_stats()
+    }
+
+    /// Distinct uniform start pools interned so far.
+    #[must_use]
+    pub fn starts_pools(&self) -> usize {
+        self.cache.starts_cache().len()
+    }
+
+    /// Distinct allocation-first designs interned so far.
+    #[must_use]
+    pub fn alloc_designs(&self) -> usize {
+        self.cache.starts_cache().alloc_len()
     }
 
     /// Resolves a workload spec through the source registry, interning
@@ -448,6 +481,8 @@ impl Engine {
         BatchReport {
             jobs: jobs.len(),
             memoized_points: self.memoized_points(),
+            starts_pools: self.starts_pools(),
+            alloc_designs: self.alloc_designs(),
             outcomes,
         }
     }

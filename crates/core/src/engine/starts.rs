@@ -18,6 +18,7 @@
 //! sweeps, and CLI sweeps all share one pool table per session.
 
 use crate::bounds::Bounds;
+use crate::engine::cache::CacheStats;
 use crate::engine::fingerprint::Fingerprint;
 use crate::error::SynthesisError;
 use crate::flow::{Diagnostics, FlowState};
@@ -26,6 +27,7 @@ use rchls_bind::{Assignment, Binding};
 use rchls_sched::Schedule;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One interned pool plus the request facts that detect fingerprint
@@ -65,6 +67,10 @@ struct AllocEntry {
 pub struct StartsCache {
     entries: Mutex<HashMap<u64, StartsEntry>>,
     alloc: Mutex<HashMap<u64, AllocEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    alloc_hits: AtomicU64,
+    alloc_misses: AtomicU64,
 }
 
 impl StartsCache {
@@ -84,6 +90,31 @@ impl StartsCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of interned allocation-first designs.
+    #[must_use]
+    pub fn alloc_len(&self) -> usize {
+        self.alloc.lock().expect("alloc design lock").len()
+    }
+
+    /// Hit/miss counters for the uniform start pool table. Collisions
+    /// count as misses (the pool is computed fresh).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hit/miss counters for the allocation-first design table.
+    #[must_use]
+    pub fn alloc_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.alloc_hits.load(Ordering::Relaxed),
+            misses: self.alloc_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The uniform feasible start pool for `synth` at `bounds`: answered
@@ -115,14 +146,21 @@ impl StartsCache {
                 && entry.scheduler == flow.scheduler
                 && entry.binder == flow.binder
             {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::starts_cache_hits().incr();
                 synth.replay_pass_calls(entry.sched_calls, entry.bind_calls);
                 return Ok(entry.states.clone());
             }
             // Fingerprint collision: compute fresh, don't poison the
             // existing entry.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            crate::obs::starts_cache_misses().incr();
             return synth.uniform_feasible_starts_fresh(bounds);
         }
 
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::starts_cache_misses().incr();
+        let _span = rchls_telemetry::span!("starts.compute");
         let before = synth.pass_call_counts();
         let states = synth.uniform_feasible_starts_fresh(bounds)?;
         let after = synth.pass_call_counts();
@@ -164,10 +202,14 @@ impl StartsCache {
 
         if let Some(entry) = self.alloc.lock().expect("alloc design lock").get(&key) {
             if entry.bounds == bounds {
+                self.alloc_hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::alloc_cache_hits().incr();
                 diagnostics.alloc_cap_hit |= entry.cap_hit;
                 return entry.design.clone();
             }
             // Fingerprint collision: compute fresh, leave the entry be.
+            self.alloc_misses.fetch_add(1, Ordering::Relaxed);
+            crate::obs::alloc_cache_misses().incr();
             return crate::alloc_search::best_allocation_design_diag(
                 synth.dfg(),
                 synth.library(),
@@ -176,6 +218,8 @@ impl StartsCache {
             );
         }
 
+        self.alloc_misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::alloc_cache_misses().incr();
         let mut fresh = Diagnostics::default();
         let design = crate::alloc_search::best_allocation_design_diag(
             synth.dfg(),
@@ -200,6 +244,7 @@ impl fmt::Debug for StartsCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StartsCache")
             .field("pools", &self.len())
+            .field("alloc_designs", &self.alloc_len())
             .finish()
     }
 }

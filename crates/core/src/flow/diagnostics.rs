@@ -60,35 +60,82 @@ impl Diagnostics {
     /// A copy with every wall-clock timing zeroed — the deterministic form
     /// stored in sweep rows and exports. The phase *call counters* are
     /// pure functions of the inputs and survive scrubbing.
+    ///
+    /// The exhaustive destructuring (no `..` rest pattern) is deliberate:
+    /// adding a field to [`Diagnostics`] refuses to compile until this
+    /// method decides whether the field is deterministic (kept) or a wall
+    /// time (zeroed) — it can't be forgotten silently.
     #[must_use]
     pub fn scrubbed(&self) -> Diagnostics {
+        let Diagnostics {
+            victim_moves,
+            rejected_moves,
+            loop_iterations,
+            candidate_pool_sizes,
+            refine_upgrades,
+            redundancy_moves,
+            alloc_cap_hit,
+            sched_calls,
+            bind_calls,
+            sched_micros: _,
+            bind_micros: _,
+            refine_micros: _,
+            wall_time_micros: _,
+        } = self;
         Diagnostics {
+            victim_moves: *victim_moves,
+            rejected_moves: *rejected_moves,
+            loop_iterations: *loop_iterations,
+            candidate_pool_sizes: candidate_pool_sizes.clone(),
+            refine_upgrades: *refine_upgrades,
+            redundancy_moves: *redundancy_moves,
+            alloc_cap_hit: *alloc_cap_hit,
+            sched_calls: *sched_calls,
+            bind_calls: *bind_calls,
             sched_micros: 0,
             bind_micros: 0,
             refine_micros: 0,
             wall_time_micros: 0,
-            ..self.clone()
         }
     }
 
     /// Folds another run's counters into this one (used by portfolio
     /// strategies that execute several sub-flows). Timings are summed;
     /// pool sizes are concatenated in execution order.
+    ///
+    /// Exhaustively destructures `other` for the same reason as
+    /// [`scrubbed`](Diagnostics::scrubbed): a new field must be given a
+    /// fold rule here before the crate compiles again.
     pub fn absorb(&mut self, other: &Diagnostics) {
-        self.victim_moves += other.victim_moves;
-        self.rejected_moves += other.rejected_moves;
-        self.loop_iterations += other.loop_iterations;
+        let Diagnostics {
+            victim_moves,
+            rejected_moves,
+            loop_iterations,
+            candidate_pool_sizes,
+            refine_upgrades,
+            redundancy_moves,
+            alloc_cap_hit,
+            sched_calls,
+            bind_calls,
+            sched_micros,
+            bind_micros,
+            refine_micros,
+            wall_time_micros,
+        } = other;
+        self.victim_moves += victim_moves;
+        self.rejected_moves += rejected_moves;
+        self.loop_iterations += loop_iterations;
         self.candidate_pool_sizes
-            .extend(other.candidate_pool_sizes.iter().copied());
-        self.refine_upgrades += other.refine_upgrades;
-        self.redundancy_moves += other.redundancy_moves;
-        self.alloc_cap_hit |= other.alloc_cap_hit;
-        self.sched_calls += other.sched_calls;
-        self.bind_calls += other.bind_calls;
-        self.sched_micros += other.sched_micros;
-        self.bind_micros += other.bind_micros;
-        self.refine_micros += other.refine_micros;
-        self.wall_time_micros += other.wall_time_micros;
+            .extend(candidate_pool_sizes.iter().copied());
+        self.refine_upgrades += refine_upgrades;
+        self.redundancy_moves += redundancy_moves;
+        self.alloc_cap_hit |= alloc_cap_hit;
+        self.sched_calls += sched_calls;
+        self.bind_calls += bind_calls;
+        self.sched_micros += sched_micros;
+        self.bind_micros += bind_micros;
+        self.refine_micros += refine_micros;
+        self.wall_time_micros += wall_time_micros;
     }
 }
 
@@ -147,6 +194,46 @@ mod tests {
         assert!(a.alloc_cap_hit);
         assert_eq!(a.candidate_pool_sizes, vec![5, 3]);
         assert_eq!(a.wall_time_micros, 17);
+    }
+
+    /// Compile-time exhaustiveness guard: this destructuring has no `..`
+    /// rest pattern, so adding a field to [`Diagnostics`] breaks this test
+    /// (and `scrubbed`/`absorb`) until the new field is classified as
+    /// deterministic or wall-clock.
+    #[test]
+    fn every_field_is_classified() {
+        let d = Diagnostics::default();
+        let Diagnostics {
+            victim_moves,
+            rejected_moves,
+            loop_iterations,
+            candidate_pool_sizes,
+            refine_upgrades,
+            redundancy_moves,
+            alloc_cap_hit,
+            sched_calls,
+            bind_calls,
+            sched_micros,
+            bind_micros,
+            refine_micros,
+            wall_time_micros,
+        } = d;
+        // Deterministic fields survive scrubbing…
+        let deterministic: [u32; 7] = [
+            victim_moves,
+            rejected_moves,
+            loop_iterations,
+            refine_upgrades,
+            redundancy_moves,
+            sched_calls,
+            bind_calls,
+        ];
+        assert!(deterministic.iter().all(|&v| v == 0));
+        assert!(candidate_pool_sizes.is_empty());
+        assert!(!alloc_cap_hit);
+        // …and wall-clock fields are zeroed by it.
+        let wall: [u64; 4] = [sched_micros, bind_micros, refine_micros, wall_time_micros];
+        assert!(wall.iter().all(|&v| v == 0));
     }
 
     #[test]

@@ -60,5 +60,3 @@ pub use spec::{FlowSpec, ResolvedFlow};
 pub use strategy::{
     Baseline, Combined, Ours, Pipelined, Redundancy, Strategy, SynthReport, SynthRequest,
 };
-
-pub(crate) use strategy::elapsed_micros;

@@ -12,7 +12,6 @@ use crate::synth::Synthesizer;
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Everything a strategy needs to synthesize one design point.
 #[derive(Debug, Clone)]
@@ -281,7 +280,7 @@ impl Strategy for Redundancy {
     }
 
     fn run(&self, request: &SynthRequest<'_>) -> Result<SynthReport, SynthesisError> {
-        let start = Instant::now();
+        let span = rchls_telemetry::span!(timed: "strategy.redundancy");
         let synth = Synthesizer::for_request(request)?;
         let starts = synth.uniform_feasible_starts(request.bounds)?;
         let mut diagnostics = Diagnostics::default();
@@ -324,17 +323,12 @@ impl Strategy for Redundancy {
         })?;
         diagnostics.redundancy_moves = moves;
         synth.harvest_timers(&mut diagnostics);
-        diagnostics.wall_time_micros = elapsed_micros(start);
+        diagnostics.wall_time_micros = span.elapsed_micros();
         Ok(SynthReport {
             design,
             diagnostics,
         })
     }
-}
-
-/// Saturating microsecond conversion for wall-time stamps.
-pub(crate) fn elapsed_micros(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

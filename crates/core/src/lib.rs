@@ -75,6 +75,7 @@ mod error;
 pub mod explore;
 pub mod flow;
 pub mod modes;
+mod obs;
 mod pipelined;
 mod redundancy;
 mod scratch;

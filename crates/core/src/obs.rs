@@ -1,0 +1,90 @@
+//! Cached handles to the global telemetry metrics this crate records.
+//!
+//! Every instrumentation site in `rchls-core` goes through one of these
+//! accessors, so the registry lock is taken once per metric per process
+//! and the hot paths only touch the returned atomics. The names below
+//! are the crate's stable metrics vocabulary — the README's
+//! "Observability" section documents them.
+
+use rchls_telemetry::metrics::{self, Counter, Histogram, COUNT_BUCKETS, TIME_BUCKETS_MICROS};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! counter_handle {
+    ($(#[$doc:meta])* $fn_name:ident, $name:expr) => {
+        $(#[$doc])*
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+            HANDLE.get_or_init(|| metrics::counter($name))
+        }
+    };
+}
+
+macro_rules! histogram_handle {
+    ($(#[$doc:meta])* $fn_name:ident, $name:expr, $buckets:expr) => {
+        $(#[$doc])*
+        pub(crate) fn $fn_name() -> &'static Histogram {
+            static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+            HANDLE.get_or_init(|| metrics::histogram($name, $buckets))
+        }
+    };
+}
+
+counter_handle!(
+    /// `synth_cache.hits` — memoized synthesis points answered from cache.
+    synth_cache_hits, "synth_cache.hits");
+counter_handle!(
+    /// `synth_cache.misses` — synthesis points computed fresh.
+    synth_cache_misses, "synth_cache.misses");
+counter_handle!(
+    /// `synth_cache.inserts` — entries added (the cache never evicts, so
+    /// this is its size; ROADMAP item 1 watches it).
+    synth_cache_inserts, "synth_cache.inserts");
+counter_handle!(
+    /// `starts_cache.hits` — uniform start pools answered from cache.
+    starts_cache_hits, "starts_cache.hits");
+counter_handle!(
+    /// `starts_cache.misses` — uniform start pools computed fresh.
+    starts_cache_misses, "starts_cache.misses");
+counter_handle!(
+    /// `alloc_cache.hits` — allocation-first designs answered from cache.
+    alloc_cache_hits, "alloc_cache.hits");
+counter_handle!(
+    /// `alloc_cache.misses` — allocation-first designs computed fresh.
+    alloc_cache_misses, "alloc_cache.misses");
+counter_handle!(
+    /// `scratch_pool.lends` — arenas handed out by [`crate::ScratchPool`].
+    scratch_pool_lends, "scratch_pool.lends");
+counter_handle!(
+    /// `scratch_pool.creates` — lends that had to allocate a new arena.
+    scratch_pool_creates, "scratch_pool.creates");
+counter_handle!(
+    /// `executor.jobs` — jobs completed by the sweep executor.
+    executor_jobs, "executor.jobs");
+counter_handle!(
+    /// `executor.batches` — executor batch invocations.
+    executor_batches, "executor.batches");
+
+histogram_handle!(
+    /// `phase.sched_micros` — scheduler-pass latency per invocation.
+    sched_phase_micros, "phase.sched_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `phase.bind_micros` — binder-pass latency per invocation.
+    bind_phase_micros, "phase.bind_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `phase.refine_micros` — refine-pass latency per strategy run.
+    refine_phase_micros, "phase.refine_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `phase.synth_micros` — whole-report latency per strategy run.
+    synth_phase_micros, "phase.synth_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `phase.alloc_micros` — allocation-first search latency per run.
+    alloc_phase_micros, "phase.alloc_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `executor.batch_jobs` — jobs per executor batch.
+    executor_batch_jobs, "executor.batch_jobs", COUNT_BUCKETS);
+histogram_handle!(
+    /// `executor.queue_depth` — jobs still queued when a worker pulls one.
+    executor_queue_depth, "executor.queue_depth", COUNT_BUCKETS);
+histogram_handle!(
+    /// `executor.worker_busy_micros` — per-worker busy time per batch.
+    executor_worker_busy_micros, "executor.worker_busy_micros", TIME_BUCKETS_MICROS);

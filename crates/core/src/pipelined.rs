@@ -11,11 +11,10 @@
 use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
-use crate::flow::{elapsed_micros, Diagnostics, SynthReport};
+use crate::flow::{Diagnostics, SynthReport};
 use crate::synth::Synthesizer;
 use rchls_bind::bind_left_edge_pipelined;
 use rchls_sched::{asap, schedule_modulo};
-use std::time::Instant;
 
 impl Synthesizer<'_> {
     /// Synthesizes a pipelined data path with initiation interval `ii`:
@@ -74,7 +73,7 @@ impl Synthesizer<'_> {
         ii: u32,
     ) -> Result<SynthReport, SynthesisError> {
         assert!(ii > 0, "initiation interval must be positive");
-        let timer = Instant::now();
+        let span = rchls_telemetry::span!(timed: "strategy.pipelined");
         self.dfg()
             .validate()
             .map_err(rchls_sched::ScheduleError::from)?;
@@ -101,7 +100,7 @@ impl Synthesizer<'_> {
             reason: format!("no pipelined design meets {bounds} at II={ii}"),
         })?;
         self.harvest_timers(&mut diagnostics);
-        diagnostics.wall_time_micros = elapsed_micros(timer);
+        diagnostics.wall_time_micros = span.elapsed_micros();
         Ok(SynthReport {
             design,
             diagnostics,

@@ -54,12 +54,12 @@ impl ScratchPool {
     /// scratch's graph-keyed caches are invalidated before hand-out.
     #[must_use]
     pub fn acquire(&self) -> SynthScratch {
-        let mut scratch = self
-            .pool
-            .lock()
-            .expect("scratch pool lock")
-            .pop()
-            .unwrap_or_default();
+        crate::obs::scratch_pool_lends().incr();
+        let pooled = self.pool.lock().expect("scratch pool lock").pop();
+        let mut scratch = pooled.unwrap_or_else(|| {
+            crate::obs::scratch_pool_creates().incr();
+            SynthScratch::default()
+        });
         scratch.sched.invalidate();
         scratch
     }

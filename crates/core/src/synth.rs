@@ -5,15 +5,16 @@
 use crate::bounds::Bounds;
 use crate::design::Design;
 use crate::error::SynthesisError;
-use crate::flow::{elapsed_micros, Diagnostics, FlowSpec, FlowState, ResolvedFlow, SynthReport};
+use crate::flow::{Diagnostics, FlowSpec, FlowState, ResolvedFlow, SynthReport};
+use crate::obs;
 use crate::scratch::{ScratchPool, SynthScratch};
 use rchls_bind::{Assignment, Binding};
 use rchls_dfg::{Dfg, NodeId};
 use rchls_reslib::{Library, VersionId};
 use rchls_sched::Schedule;
+use rchls_telemetry::span;
 use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Per-phase wall-time and call accumulators, harvested into
 /// [`Diagnostics`] when a report is assembled.
@@ -196,13 +197,19 @@ impl<'a> Synthesizer<'a> {
     ///
     /// Same contract as [`Synthesizer::synthesize`].
     pub fn synthesize_report(&self, bounds: Bounds) -> Result<SynthReport, SynthesisError> {
-        let start = Instant::now();
+        let synth_span = span!(timed: "synth");
         let mut diagnostics = Diagnostics::default();
-        let figure6 = self.figure6(bounds, &mut diagnostics);
+        let figure6 = {
+            let _figure6_span = span!("figure6");
+            self.figure6(bounds, &mut diagnostics)
+        };
         let refine = std::sync::Arc::clone(&self.flow.refine);
-        let refine_start = Instant::now();
+        let refine_span = span!(timed: "refine");
         let state = refine.run(self, figure6, bounds, &mut diagnostics)?;
-        diagnostics.refine_micros += elapsed_micros(refine_start);
+        let refine_micros = refine_span.elapsed_micros();
+        drop(refine_span);
+        diagnostics.refine_micros += refine_micros;
+        obs::refine_phase_micros().record(refine_micros);
         let replication = vec![1u32; state.binding.instance_count()];
         let design = Design::assemble(
             self.dfg,
@@ -213,7 +220,8 @@ impl<'a> Synthesizer<'a> {
             replication,
         );
         self.harvest_timers(&mut diagnostics);
-        diagnostics.wall_time_micros = elapsed_micros(start);
+        diagnostics.wall_time_micros = synth_span.elapsed_micros();
+        obs::synth_phase_micros().record(diagnostics.wall_time_micros);
         Ok(SynthReport {
             design,
             diagnostics,
@@ -511,20 +519,23 @@ impl<'a> Synthesizer<'a> {
         scratch.delays.fill_from_fn(self.dfg, |n| {
             self.library.version(assignment.version(n)).delay()
         });
-        let sched_start = Instant::now();
+        let sched_span = span!(timed: "sched");
         let schedule = self.flow.scheduler.schedule_with(
             self.dfg,
             &scratch.delays,
             latency,
             &mut scratch.sched,
         )?;
+        let sched_micros = sched_span.elapsed_micros();
+        drop(sched_span);
+        obs::sched_phase_micros().record(sched_micros);
         self.timers
             .sched_micros
-            .set(self.timers.sched_micros.get() + elapsed_micros(sched_start));
+            .set(self.timers.sched_micros.get() + sched_micros);
         self.timers
             .sched_calls
             .set(self.timers.sched_calls.get() + 1);
-        let bind_start = Instant::now();
+        let bind_span = span!(timed: "bind");
         let binding = self.flow.binder.bind_with(
             self.dfg,
             &schedule,
@@ -532,9 +543,12 @@ impl<'a> Synthesizer<'a> {
             self.library,
             &mut scratch.bind,
         );
+        let bind_micros = bind_span.elapsed_micros();
+        drop(bind_span);
+        obs::bind_phase_micros().record(bind_micros);
         self.timers
             .bind_micros
-            .set(self.timers.bind_micros.get() + elapsed_micros(bind_start));
+            .set(self.timers.bind_micros.get() + bind_micros);
         self.timers.bind_calls.set(self.timers.bind_calls.get() + 1);
         Ok((schedule, binding))
     }

@@ -1,0 +1,236 @@
+//! The telemetry determinism suite.
+//!
+//! Telemetry is out-of-band by construction: installing a sink or
+//! reading the metrics registry must never change a synthesis result,
+//! and the *deterministic* counters (cache hits/misses over
+//! distinct-fingerprint jobs) must not depend on the worker count.
+//! This suite holds the stack to both contracts:
+//!
+//! * identical deterministic cache tallies at `--jobs 1` and `--jobs 8`
+//!   (cold run all misses, warm re-run all hits);
+//! * byte-identical batch documents with span sinks installed vs none;
+//! * a structurally valid Chrome trace whose sched/bind/refine spans
+//!   nest inside their enclosing `synth` span by timestamp containment.
+//!
+//! The sink registry and metrics registry are process-global, and the
+//! tests in this binary share one process — every test serializes on
+//! [`telemetry_lock`] so resets and sink installs can't interleave.
+
+use rchls_core::{Engine, SynthJob};
+use rchls_reslib::Library;
+use rchls_telemetry::{
+    metrics, register_sink, trace_event_names, unregister_sink, AggregatorSink, ChromeTraceSink,
+    SpanSink,
+};
+use serde::Value;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that touch the process-global telemetry state.
+/// Poisoning is ignored: a failed test must not cascade into the rest
+/// of the suite.
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Unregisters a sink id on drop, so an assertion failure mid-test
+/// can't leave the global registry dirty for the next test.
+struct SinkGuard(&'static str);
+
+impl SinkGuard {
+    fn install(sink: Arc<dyn SpanSink>) -> SinkGuard {
+        let id: &'static str = match sink.id() {
+            "chrome-trace" => "chrome-trace",
+            "aggregator" => "aggregator",
+            other => panic!("unexpected sink id {other:?}"),
+        };
+        register_sink(sink).expect("telemetry_lock holds off concurrent installs");
+        SinkGuard(id)
+    }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let _ = unregister_sink(self.0);
+    }
+}
+
+/// Distinct-fingerprint jobs: every spec appears exactly once, so cache
+/// tallies are deterministic at any worker count (no two workers can
+/// race the same key — a cold batch is all misses, a warm re-run all
+/// hits).
+fn distinct_jobs() -> Vec<SynthJob> {
+    let mut jobs: Vec<SynthJob> = (0..6u64)
+        .map(|seed| SynthJob::new(format!("random:16x4@{seed}"), 8, 10))
+        .collect();
+    jobs.push(SynthJob::new("builtin:figure4a", 6, 4));
+    jobs.push(SynthJob::new("builtin:diffeq", 6, 11));
+    jobs
+}
+
+/// The deterministic counter subset: cache tallies over
+/// distinct-fingerprint jobs. Pool/executor counters are deliberately
+/// excluded — lends and queue depths legitimately vary with scheduling.
+const DETERMINISTIC_COUNTERS: &[&str] = &[
+    "synth_cache.hits",
+    "synth_cache.misses",
+    "synth_cache.inserts",
+    "starts_cache.hits",
+    "starts_cache.misses",
+    "alloc_cache.hits",
+    "alloc_cache.misses",
+];
+
+#[test]
+fn deterministic_counters_match_across_worker_counts() {
+    let _lock = telemetry_lock();
+    let jobs = distinct_jobs();
+    let mut tallies: Vec<Vec<(&str, u64)>> = Vec::new();
+    for workers in [1usize, 8] {
+        metrics::reset();
+        let engine = Engine::new(Library::table1()).with_jobs(workers);
+        let cold = engine.run_batch(&jobs);
+        let warm = engine.run_batch(&jobs);
+        assert_eq!(
+            serde_json::to_string(&cold).expect("batch documents serialize"),
+            serde_json::to_string(&warm).expect("batch documents serialize"),
+            "warm re-run changed the document at --jobs {workers}"
+        );
+        // Engine-level stats: the cold batch misses every point, the
+        // warm re-run hits every one of them.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, jobs.len() as u64, "--jobs {workers}");
+        assert_eq!(stats.hits, jobs.len() as u64, "--jobs {workers}");
+        tallies.push(
+            DETERMINISTIC_COUNTERS
+                .iter()
+                .map(|name| (*name, metrics::counter(name).get()))
+                .collect(),
+        );
+    }
+    assert_eq!(
+        tallies[0], tallies[1],
+        "deterministic counters diverged between --jobs 1 and --jobs 8"
+    );
+    let get = |name: &str| {
+        tallies[0]
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("counter present")
+            .1
+    };
+    assert_eq!(get("synth_cache.hits"), jobs.len() as u64);
+    assert_eq!(get("synth_cache.misses"), jobs.len() as u64);
+    assert!(get("starts_cache.misses") > 0, "starts cache saw the batch");
+}
+
+#[test]
+fn batch_documents_are_byte_identical_with_sinks_installed() {
+    let _lock = telemetry_lock();
+    let jobs = distinct_jobs();
+    let run = || {
+        let batch = Engine::new(Library::table1()).with_jobs(8).run_batch(&jobs);
+        serde_json::to_string(&batch).expect("batch documents serialize")
+    };
+    let plain = run();
+
+    let trace = Arc::new(ChromeTraceSink::new());
+    let aggregator = Arc::new(AggregatorSink::new());
+    let traced = {
+        let _trace_guard = SinkGuard::install(trace.clone());
+        let _agg_guard = SinkGuard::install(aggregator.clone());
+        run()
+    };
+    assert_eq!(
+        plain, traced,
+        "installing span sinks changed the batch document"
+    );
+
+    // The sinks really observed the run: the phase spans are present in
+    // both the aggregator and the (structurally valid) Chrome trace.
+    let summary = aggregator.summary();
+    for phase in ["synth", "sched", "bind", "refine"] {
+        let agg = summary
+            .iter()
+            .find(|(name, _)| name == phase)
+            .unwrap_or_else(|| panic!("aggregator saw no {phase:?} span"));
+        assert!(agg.1.count > 0, "{phase} count");
+    }
+    let names = trace_event_names(&trace.to_trace_json()).expect("valid Chrome trace");
+    for phase in ["synth", "sched", "bind", "refine"] {
+        assert!(
+            names.iter().any(|n| n == phase),
+            "trace missing {phase:?} span"
+        );
+    }
+}
+
+/// One trace event, as far as nesting is concerned.
+struct TraceEvent {
+    name: String,
+    tid: u64,
+    ts: u64,
+    dur: u64,
+}
+
+/// Parses the fields the nesting check needs out of a trace document.
+fn trace_events(doc: &str) -> Vec<TraceEvent> {
+    let value: Value = serde_json::from_str(doc).expect("trace parses");
+    let entries = value.as_map().expect("trace document is an object");
+    let Some(Value::Seq(events)) = serde::map_get(entries, "traceEvents") else {
+        panic!("missing traceEvents array");
+    };
+    events
+        .iter()
+        .map(|event| {
+            let fields = event.as_map().expect("trace event is an object");
+            let num = |key: &str| match serde::map_get(fields, key) {
+                Some(Value::UInt(u)) => *u,
+                other => panic!("trace event field {key:?} is not numeric: {other:?}"),
+            };
+            let Some(Value::Str(name)) = serde::map_get(fields, "name") else {
+                panic!("trace event name is not a string");
+            };
+            TraceEvent {
+                name: name.clone(),
+                tid: num("tid"),
+                ts: num("ts"),
+                dur: num("dur"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn trace_nests_phase_spans_within_synth() {
+    let _lock = telemetry_lock();
+    let trace = Arc::new(ChromeTraceSink::new());
+    {
+        let _guard = SinkGuard::install(trace.clone());
+        let engine = Engine::new(Library::table1()).with_jobs(1);
+        engine
+            .synth(&SynthJob::new("builtin:diffeq", 6, 11))
+            .expect("diffeq at (6, 11) is feasible");
+    }
+    let events = trace_events(&trace.to_trace_json());
+    let synth = events
+        .iter()
+        .find(|e| e.name == "synth")
+        .expect("trace has a synth span");
+    // Chrome viewers nest complete events on a tid by timestamp
+    // containment; each phase must have at least one span inside the
+    // synth envelope on the same thread. Start and duration come from
+    // independent clock reads truncated to whole microseconds, so the
+    // end-side check allows a few microseconds of rounding skew.
+    for phase in ["sched", "bind", "refine"] {
+        assert!(
+            events.iter().any(|e| e.name == phase
+                && e.tid == synth.tid
+                && e.ts >= synth.ts
+                && e.ts + e.dur <= synth.ts + synth.dur + 16),
+            "no {phase:?} span nested inside the synth span"
+        );
+    }
+}

@@ -124,6 +124,7 @@ pub fn schedule_density_with(
     latency: u32,
     scratch: &mut SchedScratch,
 ) -> Result<Schedule, ScheduleError> {
+    let _span = rchls_telemetry::span!("sched.density");
     scratch.ensure_topo(dfg)?;
     // Feasibility exactly as asap+alap validation reports it.
     let minimum = scratch.asap_latency(dfg, delays)?;

@@ -80,6 +80,7 @@ pub fn schedule_force_directed_with(
     latency: u32,
     scratch: &mut SchedScratch,
 ) -> Result<Schedule, ScheduleError> {
+    let _span = rchls_telemetry::span!("sched.force-directed");
     scratch.ensure_topo(dfg)?;
     let minimum = scratch.asap_latency(dfg, delays)?;
     if latency < minimum {

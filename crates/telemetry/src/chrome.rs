@@ -1,0 +1,197 @@
+//! Built-in sink that exports spans as Chrome trace-event JSON.
+//!
+//! The output is the classic `{"traceEvents": [...]}` document of
+//! complete (`"ph": "X"`) events, one per finished span, loadable
+//! directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Nesting needs no explicit markup: complete
+//! events on the same `tid` nest by timestamp containment, which the
+//! span guards guarantee for lexically nested scopes.
+
+use crate::sink::SpanSink;
+use crate::span::SpanRecord;
+use serde::Value;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Built-in sink collecting spans for a Chrome trace-event export.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<SpanRecord>>,
+}
+
+impl ChromeTraceSink {
+    /// An empty trace buffer.
+    #[must_use]
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace buffer lock").len()
+    }
+
+    /// Whether no span has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the buffered spans as a Chrome trace-event JSON document.
+    /// Events are sorted by (thread, start, longest-first) so the output
+    /// is stable for single-threaded runs.
+    #[must_use]
+    pub fn to_trace_json(&self) -> String {
+        let mut events = self.events.lock().expect("trace buffer lock").clone();
+        events.sort_by(|a, b| {
+            (a.thread, a.ts_micros, b.dur_micros).cmp(&(b.thread, b.ts_micros, a.dur_micros))
+        });
+        let events: Vec<Value> = events
+            .iter()
+            .map(|e| {
+                Value::Map(vec![
+                    (Value::Str("name".into()), Value::Str(e.name.into())),
+                    (Value::Str("cat".into()), Value::Str("rchls".into())),
+                    (Value::Str("ph".into()), Value::Str("X".into())),
+                    (Value::Str("ts".into()), Value::UInt(e.ts_micros)),
+                    (Value::Str("dur".into()), Value::UInt(e.dur_micros)),
+                    (Value::Str("pid".into()), Value::UInt(1)),
+                    (Value::Str("tid".into()), Value::UInt(e.thread)),
+                    (Value::Str("args".into()), depth_args(e.depth)),
+                ])
+            })
+            .collect();
+        let doc = Value::Map(vec![(Value::Str("traceEvents".into()), Value::Seq(events))]);
+        serde_json::to_string_pretty(&doc).expect("trace document serializes")
+    }
+
+    /// Writes the trace document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_trace_json())
+    }
+}
+
+fn depth_args(depth: u32) -> Value {
+    Value::Map(vec![(
+        Value::Str("depth".into()),
+        Value::UInt(u64::from(depth)),
+    )])
+}
+
+impl SpanSink for ChromeTraceSink {
+    fn id(&self) -> &str {
+        "chrome-trace"
+    }
+
+    fn record(&self, span: &SpanRecord) {
+        self.events
+            .lock()
+            .expect("trace buffer lock")
+            .push(span.clone());
+    }
+}
+
+/// Parses a trace document and returns the event names, for validation
+/// in tests and tooling. Errors describe the first structural problem.
+pub fn trace_event_names(doc: &str) -> Result<Vec<String>, String> {
+    let value: Value = serde_json::from_str(doc).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Map(entries) = &value else {
+        return Err("trace document is not an object".into());
+    };
+    let events = entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == "traceEvents"))
+        .map(|(_, v)| v)
+        .ok_or("missing traceEvents key")?;
+    let Value::Seq(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    let mut names = Vec::with_capacity(events.len());
+    for event in events {
+        let Value::Map(fields) = event else {
+            return Err("trace event is not an object".into());
+        };
+        let field = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+                .map(|(_, v)| v)
+        };
+        for required in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            if field(required).is_none() {
+                return Err(format!("trace event missing {required:?}"));
+            }
+        }
+        match field("name") {
+            Some(Value::Str(name)) => names.push(name.clone()),
+            _ => return Err("trace event name is not a string".into()),
+        }
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_round_trips_and_validates() {
+        let sink = ChromeTraceSink::new();
+        sink.record(&SpanRecord {
+            name: "synth",
+            ts_micros: 0,
+            dur_micros: 100,
+            thread: 1,
+            depth: 0,
+        });
+        sink.record(&SpanRecord {
+            name: "sched",
+            ts_micros: 10,
+            dur_micros: 20,
+            thread: 1,
+            depth: 1,
+        });
+        assert_eq!(sink.len(), 2);
+        let doc = sink.to_trace_json();
+        let names = trace_event_names(&doc).expect("valid trace");
+        assert_eq!(names, vec!["synth", "sched"]);
+        assert!(doc.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn outer_span_sorts_before_contained_inner_span() {
+        let sink = ChromeTraceSink::new();
+        // Inner span closes (and is recorded) before its enclosing outer
+        // span, but shares its start timestamp; longest-first ordering
+        // puts the outer event first so viewers nest them correctly.
+        sink.record(&SpanRecord {
+            name: "inner",
+            ts_micros: 5,
+            dur_micros: 10,
+            thread: 1,
+            depth: 1,
+        });
+        sink.record(&SpanRecord {
+            name: "outer",
+            ts_micros: 5,
+            dur_micros: 50,
+            thread: 1,
+            depth: 0,
+        });
+        let names = trace_event_names(&sink.to_trace_json()).expect("valid trace");
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(trace_event_names("not json").is_err());
+        assert!(trace_event_names("{}").is_err());
+        assert!(trace_event_names("{\"traceEvents\": [{}]}").is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Observability for the rchls synthesis stack: spans, sinks, metrics.
+//!
+//! Three small, independent layers, all out-of-band by construction —
+//! nothing here feeds back into synthesis results, so reports stay
+//! byte-identical whether or not telemetry is on:
+//!
+//! * **Spans** ([`SpanGuard`], [`span!`]) bracket phases of work with
+//!   monotonic timing. Guards nest, and `span!("name")` costs one
+//!   relaxed atomic load when no sink is installed.
+//! * **Sinks** ([`SpanSink`], [`register_sink`]) subscribe to the span
+//!   stream through a process-global, id-keyed registry that mirrors
+//!   `rchls_core::flow::register_*`. Built-ins: [`AggregatorSink`]
+//!   (in-memory per-name totals) and [`ChromeTraceSink`] (trace-event
+//!   JSON, loadable in Perfetto).
+//! * **Metrics** ([`metrics`]) are always-on counters and fixed-bucket
+//!   histograms, snapshotable as a deterministic-ordered,
+//!   schema-versioned JSON document.
+//!
+//! # Examples
+//!
+//! Trace a scope into a Chrome trace file:
+//!
+//! ```
+//! use rchls_telemetry::{register_sink, unregister_sink, span, ChromeTraceSink};
+//! use std::sync::Arc;
+//!
+//! let trace = Arc::new(ChromeTraceSink::new());
+//! register_sink(trace.clone()).unwrap();
+//! {
+//!     let _outer = span!("request");
+//!     let _inner = span!("sched");
+//! }
+//! unregister_sink("chrome-trace");
+//! assert_eq!(trace.len(), 2);
+//! assert!(trace.to_trace_json().contains("\"sched\""));
+//! ```
+//!
+//! Count and time work, then snapshot:
+//!
+//! ```
+//! use rchls_telemetry::metrics;
+//!
+//! let hits = metrics::counter("example.hits");
+//! hits.incr();
+//! let lat = metrics::histogram("example.micros", metrics::TIME_BUCKETS_MICROS);
+//! lat.record(250);
+//! let doc = metrics::snapshot();
+//! metrics::validate_snapshot(&doc).unwrap();
+//! ```
+
+mod chrome;
+pub mod metrics;
+mod sink;
+mod span;
+
+pub use chrome::{trace_event_names, ChromeTraceSink};
+pub use sink::{
+    register_sink, sink_ids, tracing_enabled, unregister_sink, AggregatorSink, SinkRegistryError,
+    SpanAggregate, SpanSink,
+};
+pub use span::{SpanGuard, SpanRecord};

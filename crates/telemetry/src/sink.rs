@@ -1,0 +1,205 @@
+//! The process-global span-sink registry.
+//!
+//! Mirrors the `rchls_core::flow::register_*` pattern: sinks are keyed
+//! by a stable string id, duplicates are rejected, and listings are
+//! deterministic (installation order). Out-of-tree crates subscribe to
+//! the span stream by implementing [`SpanSink`] and calling
+//! [`register_sink`] once at startup; one-shot consumers (the CLI's
+//! `--trace` flag, tests) pair it with [`unregister_sink`].
+//!
+//! The registry starts empty, and span guards check
+//! [`tracing_enabled`] — a single relaxed atomic load — before touching
+//! the clock or the sink table, so an uninstrumented process pays
+//! nothing.
+
+use crate::span::SpanRecord;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// A subscriber to the span stream.
+///
+/// `record` is called once per finished span, on the thread that closed
+/// the guard, so implementations must be cheap and `Send + Sync`.
+pub trait SpanSink: Send + Sync {
+    /// Stable registry id, e.g. `"chrome-trace"`.
+    fn id(&self) -> &str;
+    /// Observes one finished span.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// Installing a sink failed because the id is already taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkRegistryError {
+    id: String,
+}
+
+impl fmt::Display for SinkRegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a span sink with id {:?} is already installed", self.id)
+    }
+}
+
+impl std::error::Error for SinkRegistryError {}
+
+static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// The registry's entry table: installation-ordered `(id, sink)` pairs.
+type SinkEntries = Vec<(String, Arc<dyn SpanSink>)>;
+
+fn sinks() -> &'static RwLock<SinkEntries> {
+    static SINKS: OnceLock<RwLock<SinkEntries>> = OnceLock::new();
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Whether at least one sink is installed. Span guards use this as the
+/// fast path; callers can use it to skip building expensive trace-only
+/// payloads.
+#[inline]
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    SINK_COUNT.load(Ordering::Relaxed) != 0
+}
+
+/// Installs a sink under its [`SpanSink::id`].
+///
+/// # Errors
+///
+/// Returns a [`SinkRegistryError`] when the id is already taken.
+pub fn register_sink(sink: Arc<dyn SpanSink>) -> Result<(), SinkRegistryError> {
+    let id = sink.id().to_owned();
+    let mut entries = sinks().write().expect("sink registry lock");
+    if entries.iter().any(|(k, _)| *k == id) {
+        return Err(SinkRegistryError { id });
+    }
+    entries.push((id, sink));
+    SINK_COUNT.store(entries.len(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Removes a sink by id; returns it if it was installed.
+pub fn unregister_sink(id: &str) -> Option<Arc<dyn SpanSink>> {
+    let mut entries = sinks().write().expect("sink registry lock");
+    let pos = entries.iter().position(|(k, _)| k == id)?;
+    let (_, sink) = entries.remove(pos);
+    SINK_COUNT.store(entries.len(), Ordering::Relaxed);
+    Some(sink)
+}
+
+/// Installed sink ids, in installation order.
+#[must_use]
+pub fn sink_ids() -> Vec<String> {
+    sinks()
+        .read()
+        .expect("sink registry lock")
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+/// Delivers a finished span to every installed sink.
+pub(crate) fn emit(record: &SpanRecord) {
+    for (_, sink) in sinks().read().expect("sink registry lock").iter() {
+        sink.record(record);
+    }
+}
+
+/// Per-name aggregate maintained by [`AggregatorSink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAggregate {
+    /// Number of spans observed under this name.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_micros: u64,
+    /// Longest single span, microseconds.
+    pub max_micros: u64,
+}
+
+/// Built-in in-memory sink: per-name span counts and durations.
+///
+/// Cheap enough to leave installed for a whole session; `summary()`
+/// returns the aggregates sorted by span name for deterministic output.
+#[derive(Debug, Default)]
+pub struct AggregatorSink {
+    entries: Mutex<Vec<(&'static str, SpanAggregate)>>,
+}
+
+impl AggregatorSink {
+    /// An empty aggregator.
+    #[must_use]
+    pub fn new() -> AggregatorSink {
+        AggregatorSink::default()
+    }
+
+    /// Aggregates sorted by span name.
+    #[must_use]
+    pub fn summary(&self) -> Vec<(String, SpanAggregate)> {
+        let mut rows: Vec<(String, SpanAggregate)> = self
+            .entries
+            .lock()
+            .expect("aggregator lock")
+            .iter()
+            .map(|(name, agg)| ((*name).to_owned(), *agg))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+impl SpanSink for AggregatorSink {
+    fn id(&self) -> &str {
+        "aggregator"
+    }
+
+    fn record(&self, span: &SpanRecord) {
+        let mut entries = self.entries.lock().expect("aggregator lock");
+        let agg = match entries.iter_mut().find(|(name, _)| *name == span.name) {
+            Some((_, agg)) => agg,
+            None => {
+                entries.push((span.name, SpanAggregate::default()));
+                &mut entries.last_mut().expect("just pushed").1
+            }
+        };
+        agg.count += 1;
+        agg.total_micros += span.dur_micros;
+        agg.max_micros = agg.max_micros.max(span.dur_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_groups_by_name() {
+        let sink = AggregatorSink::new();
+        for (name, dur) in [("sched", 5), ("bind", 2), ("sched", 7)] {
+            sink.record(&SpanRecord {
+                name,
+                ts_micros: 0,
+                dur_micros: dur,
+                thread: 1,
+                depth: 0,
+            });
+        }
+        let summary = sink.summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, "bind");
+        assert_eq!(summary[1].0, "sched");
+        assert_eq!(summary[1].1.count, 2);
+        assert_eq!(summary[1].1.total_micros, 12);
+        assert_eq!(summary[1].1.max_micros, 7);
+    }
+
+    #[test]
+    fn duplicate_sink_ids_are_rejected_and_unregister_restores() {
+        let a = Arc::new(AggregatorSink::new());
+        register_sink(a.clone()).expect("first install");
+        let err = register_sink(Arc::new(AggregatorSink::new())).unwrap_err();
+        assert!(err.to_string().contains("aggregator"));
+        assert!(tracing_enabled());
+        assert!(sink_ids().contains(&"aggregator".to_owned()));
+        assert!(unregister_sink("aggregator").is_some());
+        assert!(unregister_sink("aggregator").is_none());
+    }
+}
