@@ -75,11 +75,91 @@ struct Summary {
     families: Vec<FamilyResult>,
     /// Per-phase timings of the pinned perf-gate workload set.
     perf: PerfSection,
+    /// Round-trip smoke of the `rchls serve` daemon on a loopback
+    /// port: request counts, wall time, and the byte-identity verdict
+    /// against the offline engine (`null` in `--baseline` mode — the
+    /// gate only reads `perf`).
+    serve: serde::Value,
     /// Telemetry metrics snapshot covering the scaling families (taken
     /// before the perf measurement, which resets the registry).
     metrics: serde::Value,
     /// Total wall time of all timed runs, milliseconds.
     total_ms: f64,
+}
+
+/// Boot a daemon on an ephemeral loopback port, push a small batch
+/// through a real socket, and time the round trips. The responses must
+/// be byte-identical to an offline engine run over the same jobs.
+fn serve_smoke(workers: usize) -> serde::Value {
+    use serde::Value;
+
+    let jobs = family_jobs(16, 4, 1);
+    let offline = serde_json::to_value(&Engine::new(Library::table1()).run_batch(&jobs).outcomes);
+
+    let config = rchls_serve::ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: workers,
+        ..rchls_serve::ServeConfig::default()
+    };
+    let handle = rchls_serve::Server::start(config, Library::table1()).expect("bind loopback");
+    let mut client =
+        rchls_serve::Client::connect(&handle.addr().to_string()).expect("connect to daemon");
+
+    let start = Instant::now();
+    let mut requests = 0u64;
+    // Per-job synth round trips, then the whole set as one batch.
+    let mut synth_outcomes = Vec::new();
+    for job in &jobs {
+        let doc = client
+            .call("synth", Some(&serde_json::to_value(job)), None)
+            .expect("synth round trip");
+        requests += 1;
+        synth_outcomes.push(
+            rchls_serve::response_result(&doc)
+                .expect("synth answers ok")
+                .clone(),
+        );
+    }
+    let params = Value::Map(vec![(
+        Value::Str("jobs".to_owned()),
+        serde_json::to_value(&jobs),
+    )]);
+    let doc = client
+        .call("batch", Some(&params), None)
+        .expect("batch round trip");
+    requests += 1;
+    let batch = rchls_serve::response_result(&doc)
+        .expect("batch answers ok")
+        .clone();
+    let wall_ms = millis(start);
+
+    let batch_outcomes = serde::map_get(batch.as_map().expect("batch result is a map"), "outcomes")
+        .expect("batch result has outcomes")
+        .clone();
+    let deterministic = Value::Seq(synth_outcomes) == offline && batch_outcomes == offline;
+    assert!(
+        deterministic,
+        "served outcomes diverged from the offline engine"
+    );
+
+    handle.shutdown();
+    handle.join();
+
+    Value::Map(vec![
+        (Value::Str("requests".to_owned()), Value::UInt(requests)),
+        (
+            Value::Str("jobs".to_owned()),
+            Value::UInt(jobs.len() as u64),
+        ),
+        (
+            Value::Str("wall_ms".to_owned()),
+            serde_json::to_value(&wall_ms),
+        ),
+        (
+            Value::Str("deterministic".to_owned()),
+            Value::Bool(deterministic),
+        ),
+    ])
 }
 
 fn millis(start: Instant) -> f64 {
@@ -207,6 +287,17 @@ fn main() {
         results.push(r);
     }
 
+    // Serve smoke: the daemon path answers byte-identically to the
+    // offline engine over a real socket. Skipped in `--baseline` mode.
+    let serve = if baseline {
+        serde::Value::Null
+    } else {
+        let section = serve_smoke(workers);
+        let text = serde_json::to_string(&section).expect("serve sections serialize");
+        println!("serve smoke: {text}");
+        section
+    };
+
     // Snapshot the families' metrics before the perf measurement resets
     // the registry for its isolated percentile windows.
     let metrics = rchls_telemetry::metrics::snapshot();
@@ -238,6 +329,7 @@ fn main() {
         workers,
         families: results,
         perf,
+        serve,
         metrics: metrics.clone(),
         total_ms: millis(start),
     };

@@ -36,6 +36,16 @@ pub struct Assignment {
 }
 
 impl Assignment {
+    /// Approximate heap footprint in bytes (capacity-based, excluding
+    /// `size_of::<Assignment>()`) — the size-accounting input for
+    /// budgeted caches.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.versions.capacity() * std::mem::size_of::<VersionId>()
+    }
+}
+
+impl Assignment {
     /// Assigns every node the *most reliable* version of its class — the
     /// initial solution of the paper's Figure 6 algorithm (line 3).
     ///

@@ -50,6 +50,23 @@ pub struct Binding {
 }
 
 impl Binding {
+    /// Approximate heap footprint in bytes (capacity-based, excluding
+    /// `size_of::<Binding>()`) — the size-accounting input for budgeted
+    /// caches.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.instances.capacity() * size_of::<Instance>()
+            + self
+                .instances
+                .iter()
+                .map(|i| i.nodes.capacity() * size_of::<NodeId>())
+                .sum::<usize>()
+            + self.owner.capacity() * size_of::<InstanceId>()
+    }
+}
+
+impl Binding {
     /// Builds a binding from the instance list and per-node owners.
     ///
     /// # Panics

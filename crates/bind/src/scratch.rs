@@ -64,6 +64,31 @@ impl BindScratch {
         BindScratch::default()
     }
 
+    /// Approximate heap footprint of the retained buffers in bytes
+    /// (capacity-based, excluding `size_of::<BindScratch>()`) — the
+    /// size-accounting input for budgeted arena pools.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let ids = size_of::<NodeId>();
+        self.delays.approx_heap_bytes()
+            + self.groups.capacity() * size_of::<Vec<NodeId>>()
+            + self
+                .groups
+                .iter()
+                .map(|g| g.capacity() * ids)
+                .sum::<usize>()
+            + self.counts.capacity() * size_of::<u32>()
+            + self.sorted.capacity() * ids
+            + self.lanes.capacity() * size_of::<(u32, usize)>()
+            + self.degree.capacity() * size_of::<u32>()
+            + self.order.capacity() * ids
+            + self.color_of.capacity() * size_of::<u32>()
+            + self.colored.capacity() * ids
+            + self.used_colors.capacity() * size_of::<bool>()
+            + self.color_instance.capacity() * size_of::<usize>()
+    }
+
     /// Clears and resizes the per-version group lists for a library with
     /// `versions` entries, then fills them from `f`'s `(node, version
     /// index)` pairs in node-id order.

@@ -4,8 +4,8 @@ use crate::args::ParsedArgs;
 use crate::error::CliError;
 use rchls_core::explore::format_table;
 use rchls_core::{
-    flow, monte_carlo_reliability, Bounds, Engine, FlowSpec, RedundancyModel, SynthJob,
-    SynthRequest, Synthesizer,
+    flow, monte_carlo_reliability, Bounds, CacheBudget, Engine, FlowSpec, RedundancyModel,
+    SynthJob, SynthRequest, Synthesizer,
 };
 use rchls_explorer::{explore, export, CacheStats, ExploreTask, SweepExecutor, SynthCache};
 use rchls_netlist::{generators, FaultInjector};
@@ -26,7 +26,12 @@ pub fn help() -> String {
      \x20       [--format table|json|csv]\n\
      \x20 rchls pareto <SPEC> [--latencies ...] [--areas ...]\n\
      \x20       [--format table|json|csv]\n\
-     \x20 rchls batch <jobs.json> [--jobs N] [--library <file>] [--mission-time T]\n\
+     \x20 rchls batch <jobs.json> [--jobs N] [--cache-budget BYTES]\n\
+     \x20       [--library <file>] [--mission-time T]\n\
+     \x20 rchls serve [--addr IP:PORT] [--jobs N] [--queue-depth N]\n\
+     \x20       [--cache-budget BYTES] [--library <file>] [--mission-time T]\n\
+     \x20       [--trace FILE] [--check]\n\
+     \x20 rchls request <method> [--json FILE] [--addr IP:PORT] [--deadline-ms N]\n\
      \x20 rchls metrics [--jobs N] [--library <file>] | rchls metrics --validate FILE\n\
      \x20 rchls workloads\n\
      \x20 rchls flows\n\
@@ -61,9 +66,21 @@ pub fn help() -> String {
      deterministic-ordered JSON document; `rchls metrics --validate FILE`\n\
      schema-checks an exported snapshot (CI runs it on bench_engine's).\n\
      \n\
+     serving: `rchls serve` runs the session engine as a daemon speaking\n\
+     line-delimited JSON over TCP (methods: ping, synth, batch, sweep,\n\
+     pareto, workloads, flows, metrics, shutdown — see docs/protocol.md);\n\
+     `--queue-depth` bounds admission (beyond it requests are rejected as\n\
+     overloaded, never queued unboundedly), `--cache-budget` bounds the\n\
+     resident caches (eviction never changes responses), `--check` prints\n\
+     the effective configuration without binding. `rchls request METHOD`\n\
+     sends one request (params from `--json FILE`) and prints the\n\
+     response document.\n\
+     \n\
      global flags: --jobs N sizes the worker pool of the sweep, pareto,\n\
-     and batch commands (0 or omitted = one worker per CPU); parallel\n\
-     runs produce byte-identical output to serial runs.\n"
+     batch, and serve commands (omitted = one worker per CPU; an explicit\n\
+     --jobs 0 is rejected); parallel runs produce byte-identical output\n\
+     to serial runs. --cache-budget takes `unlimited` or a byte count\n\
+     with B/KiB/MiB/GiB suffixes.\n"
         .to_owned()
 }
 
@@ -325,6 +342,9 @@ fn session_caches_value(cache: &SynthCache) -> serde::Value {
 
 /// `rchls synth`.
 pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
+    // `synth` is single-threaded, but an explicit `--jobs 0` is rejected
+    // here too so the flag means one thing on every command.
+    let _ = jobs_arg(args)?;
     let workload = load_workload_arg(args)?;
     let dfg = workload.dfg;
     let library = load_library(args)?;
@@ -457,10 +477,35 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Resolves the global `--jobs` flag into an executor (0 or absent means
-/// one worker per CPU).
+/// Resolves the global `--jobs` flag: absent means one worker per CPU,
+/// but an *explicit* `--jobs 0` is rejected — a worker pool of zero
+/// would silently mean "auto", which has burned scripted callers.
+fn jobs_arg(args: &ParsedArgs) -> Result<usize, CliError> {
+    let jobs = args.u32_or("jobs", 0)? as usize;
+    if jobs == 0 && args.get("jobs").is_some() {
+        return Err(CliError::BadValue {
+            flag: "jobs".to_owned(),
+            reason: "worker count must be positive (omit --jobs for one worker per CPU)".to_owned(),
+        });
+    }
+    Ok(jobs)
+}
+
+/// Resolves the `--cache-budget` flag (absent = unlimited, the
+/// historical behavior). Eviction under a budget never changes outputs.
+fn cache_budget_arg(args: &ParsedArgs) -> Result<CacheBudget, CliError> {
+    match args.get("cache-budget") {
+        Some(spec) => CacheBudget::parse(spec).map_err(|reason| CliError::BadValue {
+            flag: "cache-budget".to_owned(),
+            reason,
+        }),
+        None => Ok(CacheBudget::UNLIMITED),
+    }
+}
+
+/// Resolves the global `--jobs` flag into an executor.
 fn executor(args: &ParsedArgs) -> Result<SweepExecutor, CliError> {
-    Ok(SweepExecutor::new(args.u32_or("jobs", 0)? as usize))
+    Ok(SweepExecutor::new(jobs_arg(args)?))
 }
 
 /// `rchls sweep`.
@@ -576,13 +621,19 @@ pub fn dot(args: &ParsedArgs) -> Result<String, CliError> {
 /// `rchls batch` — run a JSON job file through the session [`Engine`]
 /// and emit the deterministic, diagnostics-carrying outcome document.
 pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
+    // Flag validation comes before any filesystem work so a bad
+    // `--jobs`/`--cache-budget` reports itself even for a missing file.
+    let workers = jobs_arg(args)?;
+    let budget = cache_budget_arg(args)?;
     let path = args.required("file")?;
     let text = std::fs::read_to_string(path)?;
     let jobs: Vec<SynthJob> = serde_json::from_str(&text).map_err(|e| CliError::BadValue {
         flag: "file".to_owned(),
         reason: format!("{path}: {e}"),
     })?;
-    let engine = Engine::new(load_library(args)?).with_jobs(args.u32_or("jobs", 0)? as usize);
+    let engine = Engine::new(load_library(args)?)
+        .with_jobs(workers)
+        .with_cache_budget(budget);
     let report = engine.run_batch(&jobs);
     Ok(serde_json::to_string_pretty(&report).expect("batch reports serialize") + "\n")
 }
@@ -620,7 +671,7 @@ pub fn metrics(args: &ParsedArgs) -> Result<String, CliError> {
         ));
     }
     rchls_telemetry::metrics::reset();
-    let engine = Engine::new(load_library(args)?).with_jobs(args.u32_or("jobs", 0)? as usize);
+    let engine = Engine::new(load_library(args)?).with_jobs(jobs_arg(args)?);
     // Distinct workload specs keep the hit/miss tallies deterministic at
     // any worker count: the cold run misses every key exactly once (no
     // two workers ever race on the same fingerprint), the warm run hits
@@ -678,6 +729,84 @@ pub fn metrics(args: &ParsedArgs) -> Result<String, CliError> {
         (key("metrics"), rchls_telemetry::metrics::snapshot()),
     ]);
     Ok(serde_json::to_string_pretty(&doc).expect("metrics documents serialize") + "\n")
+}
+
+/// `rchls serve` — run the session engine as a long-lived daemon
+/// speaking the line-delimited JSON protocol over TCP. With `check`
+/// (the `--check` flag), validate everything and print the effective
+/// configuration without binding a socket.
+pub fn serve(args: &ParsedArgs, check: bool) -> Result<String, CliError> {
+    let config = rchls_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7411").to_owned(),
+        jobs: jobs_arg(args)?,
+        queue_depth: args.u32_or("queue-depth", 64)? as usize,
+        cache_budget: cache_budget_arg(args)?,
+    };
+    config.validate().map_err(|reason| CliError::BadValue {
+        flag: "addr".to_owned(),
+        reason,
+    })?;
+    let library = load_library(args)?;
+    if check {
+        return Ok(config.render(&library));
+    }
+    // `--trace` brackets every served request with spans; the trace
+    // file is written once the daemon shuts down.
+    let trace_path = args.get("trace").map(str::to_owned);
+    let trace_sink = match &trace_path {
+        Some(_) => {
+            let sink = std::sync::Arc::new(rchls_telemetry::ChromeTraceSink::new());
+            rchls_telemetry::register_sink(sink.clone()).map_err(|e| CliError::BadValue {
+                flag: "trace".to_owned(),
+                reason: e.to_string(),
+            })?;
+            Some(sink)
+        }
+        None => None,
+    };
+    let handle = rchls_serve::Server::start(config, library)?;
+    // The payload string is only printed at exit; announce the bound
+    // address on stderr so clients know where to connect now.
+    eprintln!(
+        "rchls serve: listening on {} (stop with `rchls request shutdown --addr {}`)",
+        handle.addr(),
+        handle.addr()
+    );
+    let addr = handle.addr();
+    handle.join();
+    if trace_sink.is_some() {
+        let _ = rchls_telemetry::unregister_sink("chrome-trace");
+    }
+    if let (Some(path), Some(sink)) = (&trace_path, &trace_sink) {
+        sink.write_to(std::path::Path::new(path))?;
+    }
+    Ok(format!("rchls serve: {addr} shut down cleanly\n"))
+}
+
+/// `rchls request` — send one method call to a running daemon and
+/// print the response document (params read from `--json FILE`).
+/// Server-side failures still print as a document (`"ok": false` with a
+/// structured error); only transport problems are CLI errors.
+pub fn request(args: &ParsedArgs) -> Result<String, CliError> {
+    let method = args.required("method")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7411");
+    let params: Option<serde::Value> = match args.get("json") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            Some(serde_json::from_str(&text).map_err(|e| CliError::BadValue {
+                flag: "json".to_owned(),
+                reason: format!("{path}: {e}"),
+            })?)
+        }
+        None => None,
+    };
+    let deadline_ms = match args.get("deadline-ms") {
+        Some(_) => Some(args.u64_or("deadline-ms", 0)?),
+        None => None,
+    };
+    let mut client = rchls_serve::Client::connect(addr)?;
+    let doc = client.call(method, params.as_ref(), deadline_ms)?;
+    Ok(serde_json::to_string_pretty(&doc).expect("responses serialize") + "\n")
 }
 
 /// `rchls characterize`.

@@ -11,7 +11,14 @@
 //!   frontier over achieved `(latency, area, reliability)`;
 //! * `batch`        — run a JSON array of synthesis jobs through the
 //!   session [`rchls_core::Engine`], emitting one deterministic,
-//!   diagnostics-carrying JSON document;
+//!   diagnostics-carrying JSON document (`--cache-budget` bounds the
+//!   session caches without changing a byte of it);
+//! * `serve`        — run the session engine as a long-lived TCP daemon
+//!   speaking the line-delimited JSON protocol (admission control,
+//!   per-request deadlines, bounded caches; `--check` prints the
+//!   effective configuration without binding);
+//! * `request`      — send one method call to a running daemon and
+//!   print the response document;
 //! * `metrics`      — run a pinned demo batch twice (cold, then warm) and
 //!   print the process metrics snapshot — cache hit rates, phase latency
 //!   percentiles — as one deterministic-ordered JSON document;
@@ -34,9 +41,10 @@
 //! `--dfg <name|file>` flag desugars to `builtin:`/`file:` specs, so
 //! every entry point resolves through the registry.
 //!
-//! The sweep, pareto, and batch commands accept a global `--jobs N` flag
-//! sizing their worker pool (0 or omitted: one worker per CPU); parallel
-//! output is byte-identical to serial output.
+//! The sweep, pareto, batch, and serve commands accept a global
+//! `--jobs N` flag sizing their worker pool (omitted: one worker per
+//! CPU; an explicit `--jobs 0` is rejected); parallel output is
+//! byte-identical to serial output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,12 +74,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Ok(commands::help());
     };
-    // `pareto` takes its workload positionally (`rchls pareto fir16`)
-    // and `batch` its job file (`rchls batch jobs.json`); desugar those
-    // into the flags the commands read.
+    // `pareto` takes its workload positionally (`rchls pareto fir16`),
+    // `batch` its job file (`rchls batch jobs.json`), and `request` its
+    // method (`rchls request ping`); desugar those into the flags the
+    // commands read.
     let positional_flag = match command.as_str() {
         "pareto" => Some("--workload"),
         "batch" => Some("--file"),
+        "request" => Some("--method"),
         _ => None,
     };
     let rest: Vec<String> = match (positional_flag, rest.split_first()) {
@@ -82,12 +92,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         _ => rest.to_vec(),
     };
+    // `serve --check` is the one valueless flag; lift it out before the
+    // `--flag value` parser sees it.
+    let mut serve_check = false;
+    let rest: Vec<String> = if command == "serve" {
+        rest.into_iter()
+            .filter(|arg| {
+                if arg == "--check" {
+                    serve_check = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect()
+    } else {
+        rest
+    };
     let parsed = ParsedArgs::parse(&rest)?;
     match command.as_str() {
         "synth" => commands::synth(&parsed),
         "sweep" => commands::sweep(&parsed),
         "pareto" => commands::pareto(&parsed),
         "batch" => commands::batch(&parsed),
+        "serve" => commands::serve(&parsed, serve_check),
+        "request" => commands::request(&parsed),
         "metrics" => commands::metrics(&parsed),
         "workloads" => Ok(commands::workloads()),
         "flows" => Ok(commands::flows()),
@@ -763,6 +792,140 @@ mod tests {
         // The positional and flag spellings agree.
         let flagged = run(&s(&["batch", "--file", path, "--jobs", "1"])).unwrap();
         assert_eq!(flagged, reference);
+    }
+
+    #[test]
+    fn explicit_jobs_zero_is_rejected_everywhere() {
+        let cases: Vec<Vec<String>> = vec![
+            s(&["synth", "--dfg", "figure4a", "--jobs", "0"]),
+            s(&[
+                "sweep",
+                "--dfg",
+                "figure4a",
+                "--latencies",
+                "5",
+                "--areas",
+                "4",
+                "--jobs",
+                "0",
+            ]),
+            s(&["pareto", "figure4a", "--jobs", "0"]),
+            s(&["batch", "/nonexistent/jobs.json", "--jobs", "0"]),
+            s(&["metrics", "--jobs", "0"]),
+            s(&["serve", "--check", "--jobs", "0"]),
+        ];
+        for args in cases {
+            let err = run(&args).unwrap_err();
+            assert!(
+                err.to_string().contains("worker count must be positive"),
+                "{args:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_output_is_cache_budget_and_jobs_invariant() {
+        let (jobs_path, _) = write_batch_fixture();
+        let path = jobs_path.to_str().unwrap();
+        let reference = run(&s(&["batch", path, "--jobs", "1"])).unwrap();
+        // Eviction must never change a byte of the report: the full
+        // budget × worker-count matrix agrees with the unbudgeted
+        // serial run, including the cumulative cache-size facts.
+        for budget in ["0", "64KiB", "unlimited"] {
+            for jobs in ["1", "8"] {
+                let out = run(&s(&[
+                    "batch",
+                    path,
+                    "--jobs",
+                    jobs,
+                    "--cache-budget",
+                    budget,
+                ]))
+                .unwrap();
+                assert_eq!(out, reference, "--cache-budget {budget} --jobs {jobs}");
+            }
+        }
+        // Malformed budgets report clearly.
+        let err = run(&s(&["batch", path, "--cache-budget", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("cache budget"));
+    }
+
+    #[test]
+    fn serve_check_prints_the_effective_config_without_binding() {
+        let out = run(&s(&[
+            "serve",
+            "--check",
+            "--addr",
+            "127.0.0.1:7411",
+            "--jobs",
+            "3",
+            "--queue-depth",
+            "9",
+            "--cache-budget",
+            "64KiB",
+        ]))
+        .unwrap();
+        assert!(out.contains("dry run"), "{out}");
+        assert!(out.contains("127.0.0.1:7411"));
+        assert!(out.contains("3 synthesis workers"));
+        assert!(out.contains("9 queued requests"));
+        assert!(out.contains("65536 B"));
+        assert!(out.contains("docs/protocol.md"));
+        // Validation failures surface before anything binds.
+        let err = run(&s(&["serve", "--check", "--addr", "nonsense"])).unwrap_err();
+        assert!(err.to_string().contains("nonsense"));
+        let err = run(&s(&["serve", "--check", "--cache-budget", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("cache budget"));
+    }
+
+    #[test]
+    fn request_round_trips_against_a_live_server() {
+        let config = rchls_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 1,
+            ..rchls_serve::ServeConfig::default()
+        };
+        let handle = rchls_serve::Server::start(config, rchls_reslib::Library::table1()).unwrap();
+        let addr = handle.addr().to_string();
+
+        let pong = run(&s(&["request", "ping", "--addr", &addr])).unwrap();
+        assert!(pong.contains("\"ok\": true"), "{pong}");
+        assert!(pong.contains("\"protocol\": 1"), "{pong}");
+
+        // Params ride in from a JSON file.
+        let dir = std::env::temp_dir().join("rchls-cli-request-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let params = dir.join("synth.json");
+        std::fs::write(
+            &params,
+            r#"{"workload": "builtin:figure4a", "latency": 6, "area": 4}"#,
+        )
+        .unwrap();
+        let out = run(&s(&[
+            "request",
+            "synth",
+            "--json",
+            params.to_str().unwrap(),
+            "--addr",
+            &addr,
+        ]))
+        .unwrap();
+        assert!(out.contains("\"ok\": true"), "{out}");
+        assert!(out.contains("\"report\""), "{out}");
+        assert!(out.contains("\"wall_time_micros\": 0"), "{out}");
+
+        // A server-side failure still prints as a document, not a CLI
+        // error.
+        let out = run(&s(&["request", "frobnicate", "--addr", &addr])).unwrap();
+        assert!(out.contains("\"ok\": false"), "{out}");
+        assert!(out.contains("bad_request"), "{out}");
+
+        let stop = run(&s(&["request", "shutdown", "--addr", &addr])).unwrap();
+        assert!(stop.contains("stopping"), "{stop}");
+        handle.join();
+
+        // With no daemon listening, transport failure is a CLI error.
+        assert!(run(&s(&["request", "ping", "--addr", &addr])).is_err());
     }
 
     #[test]

@@ -31,6 +31,17 @@ pub struct Design {
 }
 
 impl Design {
+    /// Approximate heap footprint in bytes (capacity-based, excluding
+    /// `size_of::<Design>()`) — the size-accounting input for budgeted
+    /// caches.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.assignment.approx_heap_bytes()
+            + self.schedule.approx_heap_bytes()
+            + self.binding.approx_heap_bytes()
+            + self.replication.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Assembles a design and computes its metrics.
     ///
     /// # Panics

@@ -10,13 +10,13 @@
 //! discriminants — so any structurally identical request, even from a
 //! rebuilt [`Dfg`] value or an out-of-tree strategy, hits the cache.
 
+use crate::engine::budget::{BudgetedTable, CacheBudget};
 use crate::engine::fingerprint::Fingerprint;
 use crate::{
     Bounds, FlowSpec, RedundancyModel, Strategy, SynthReport, SynthRequest, SynthesisError,
 };
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -89,6 +89,16 @@ struct CacheEntry {
     result: Option<SynthReport>,
 }
 
+impl CacheEntry {
+    /// Approximate bytes this entry keeps resident — the size-accounting
+    /// input for the cache's LRU budget.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<CacheEntry>()
+            + self.strategy.capacity()
+            + self.result.as_ref().map_or(0, SynthReport::approx_bytes)
+    }
+}
+
 /// A thread-safe memo table of synthesis reports.
 ///
 /// Stores `Option<SynthReport>` per key — `None` records an *infeasible*
@@ -101,9 +111,15 @@ struct CacheEntry {
 /// Cached reports keep the wall time of the run that populated the entry;
 /// callers assembling deterministic artifacts scrub it (see
 /// [`crate::Diagnostics::scrubbed`]).
+///
+/// Under a [`CacheBudget`], every layer this cache owns (the memo table
+/// here, the two [`StartsCache`](crate::engine::StartsCache) tables, and
+/// the scratch pool) evicts least-recently-used entries to stay inside
+/// its share — see [`SynthCache::set_budget`]. Eviction never changes
+/// outputs, only recompute cost.
 #[derive(Debug, Default)]
 pub struct SynthCache {
-    entries: Mutex<HashMap<u64, CacheEntry>>,
+    entries: Mutex<BudgetedTable<CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Session scratch arenas lent to every miss's synthesis run, so a
@@ -161,6 +177,21 @@ impl SynthCache {
         &self.starts
     }
 
+    /// Applies a session-wide cache budget: the memo table takes the
+    /// synth share, the starts/alloc tables and the scratch pool take
+    /// theirs. Layers over their new share evict immediately.
+    pub fn set_budget(&self, budget: CacheBudget) {
+        let evicted = self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .set_budget(budget.synth_share());
+        crate::obs::synth_cache_evictions().add(evicted);
+        self.starts
+            .set_budget(budget.starts_share(), budget.alloc_share());
+        self.scratch.set_budget(budget.scratch_share());
+    }
+
     /// Looks up `key`, computing and storing with `compute` on a miss.
     ///
     /// `bounds` and `strategy_token` double as a collision check: an
@@ -175,7 +206,7 @@ impl SynthCache {
         compute: impl FnOnce() -> Result<SynthReport, SynthesisError>,
     ) -> Option<SynthReport> {
         let mut collided = false;
-        if let Some(entry) = self.entries.lock().expect("cache lock").get(&key.0) {
+        if let Some(entry) = self.entries.lock().expect("cache lock").get(key.0) {
             if entry.bounds == bounds && entry.strategy == strategy_token {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 crate::obs::synth_cache_hits().incr();
@@ -188,14 +219,19 @@ impl SynthCache {
         let result = compute().ok();
         if !collided {
             crate::obs::synth_cache_inserts().incr();
-            self.entries.lock().expect("cache lock").insert(
-                key.0,
-                CacheEntry {
-                    bounds,
-                    strategy: strategy_token.to_owned(),
-                    result: result.clone(),
-                },
-            );
+            let entry = CacheEntry {
+                bounds,
+                strategy: strategy_token.to_owned(),
+                result: result.clone(),
+            };
+            let bytes = entry.approx_bytes();
+            let (evicted, resident) = {
+                let mut table = self.entries.lock().expect("cache lock");
+                let evicted = table.insert(key.0, entry, bytes);
+                (evicted, table.resident_bytes())
+            };
+            crate::obs::synth_cache_evictions().add(evicted);
+            crate::obs::synth_cache_resident_bytes().record(resident as u64);
         }
         result
     }
@@ -209,16 +245,38 @@ impl SynthCache {
         }
     }
 
-    /// Number of memoized points (feasible and infeasible).
+    /// Number of *resident* memoized points (feasible and infeasible).
+    /// Under a budget this can shrink; for the deterministic
+    /// ever-memoized count use [`SynthCache::seen_points`].
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache lock").len()
     }
 
-    /// `true` when nothing has been memoized yet.
+    /// `true` when nothing is currently memoized.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of distinct synthesis points ever memoized — independent
+    /// of eviction (and worker count), so deterministic documents report
+    /// this rather than [`SynthCache::len`].
+    #[must_use]
+    pub fn seen_points(&self) -> usize {
+        self.entries.lock().expect("cache lock").seen_len()
+    }
+
+    /// Approximate resident bytes of the memo table.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.lock().expect("cache lock").resident_bytes()
+    }
+
+    /// Entries evicted from the memo table since construction.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.entries.lock().expect("cache lock").evictions()
     }
 }
 
@@ -356,6 +414,44 @@ mod tests {
         let other = cache.get_or_compute(key, wide, "pipelined@ii=2", || run(wide));
         assert_eq!(cache.stats().misses, 3);
         assert!(other.is_some());
+    }
+
+    #[test]
+    fn budget_zero_evicts_everything_without_changing_outputs() {
+        let dfg = tiny();
+        let lib = Library::table1();
+        let unlimited = SynthCache::new();
+        let zero = SynthCache::new();
+        zero.set_budget(CacheBudget::limited(0));
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let bounds = Bounds::new(6, 4);
+        for _ in 0..2 {
+            let cached = unlimited
+                .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+                .unwrap();
+            let evicted = zero
+                .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+                .unwrap();
+            // Only wall times may differ between a cache hit and a
+            // recompute-after-eviction.
+            assert_eq!(cached.design, evicted.design);
+            assert_eq!(
+                cached.diagnostics.scrubbed(),
+                evicted.diagnostics.scrubbed()
+            );
+        }
+        // The unlimited session memoized; the budget-0 session kept
+        // nothing resident but still counted the distinct point.
+        assert_eq!(unlimited.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(zero.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(zero.len(), 0);
+        assert_eq!(zero.resident_bytes(), 0);
+        assert_eq!(zero.seen_points(), 1);
+        assert_eq!(zero.evictions(), 2);
+        assert!(unlimited.resident_bytes() > 0);
+        assert_eq!(unlimited.evictions(), 0);
+        assert_eq!(unlimited.seen_points(), 1);
     }
 
     #[test]

@@ -43,11 +43,13 @@
 //! assert_eq!(batch.outcomes[1].workload, "random:16x4@7");
 //! ```
 
+mod budget;
 mod cache;
 mod executor;
 mod fingerprint;
 mod starts;
 
+pub use budget::CacheBudget;
 pub use cache::{CacheKey, CacheStats, SynthCache};
 pub use executor::SweepExecutor;
 pub use fingerprint::{fingerprint, Fingerprint};
@@ -249,17 +251,19 @@ pub struct JobOutcome {
 /// A whole batch's outcomes plus session counters — the
 /// diagnostics-carrying document `rchls batch` serializes.
 ///
-/// Byte-identical for the same jobs at any worker count: outcomes are in
-/// job order, wall times are scrubbed, error strings are canonical, and
-/// the cache fields count distinct fingerprints — *sizes*, never hit/miss
-/// tallies, which racing workers can skew when duplicate jobs land on two
-/// workers at once. (Hit rates live in the telemetry metrics registry,
-/// which makes no determinism promise.)
+/// Byte-identical for the same jobs at any worker count *and any cache
+/// budget*: outcomes are in job order, wall times are scrubbed, error
+/// strings are canonical, and the cache fields count distinct
+/// fingerprints ever interned — cumulative *sizes*, never hit/miss
+/// tallies (which racing workers skew) and never resident counts (which
+/// eviction order skews). (Hit rates and resident bytes live in the
+/// telemetry metrics registry, which makes no determinism promise.)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Number of jobs submitted.
     pub jobs: usize,
-    /// Distinct synthesis points memoized in the engine's cache so far.
+    /// Distinct synthesis points memoized in the engine's cache so far
+    /// (cumulative; eviction never decrements it).
     pub memoized_points: usize,
     /// Distinct uniform start pools interned by the session's
     /// [`StartsCache`] so far — the ROADMAP's unbounded-growth watch
@@ -291,6 +295,7 @@ pub struct Engine {
     library: Arc<Library>,
     executor: SweepExecutor,
     cache: SynthCache,
+    budget: CacheBudget,
     workloads: RwLock<HashMap<String, InternedWorkload>>,
 }
 
@@ -302,6 +307,7 @@ impl Engine {
             library: Arc::new(library),
             executor: SweepExecutor::default(),
             cache: SynthCache::new(),
+            budget: CacheBudget::UNLIMITED,
             workloads: RwLock::new(HashMap::new()),
         }
     }
@@ -312,6 +318,45 @@ impl Engine {
     pub fn with_jobs(mut self, jobs: usize) -> Engine {
         self.executor = SweepExecutor::new(jobs);
         self
+    }
+
+    /// Applies a session cache budget across all four cache layers
+    /// (synthesis reports, start pools, alloc designs, scratch arenas).
+    /// The budget changes what stays *resident*, never what any request
+    /// returns — evicted work is simply recomputed.
+    #[must_use]
+    pub fn with_cache_budget(mut self, budget: CacheBudget) -> Engine {
+        self.budget = budget;
+        self.cache.set_budget(budget);
+        self
+    }
+
+    /// The session cache budget.
+    #[must_use]
+    pub fn cache_budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// The session synthesis cache (and through it the starts cache and
+    /// scratch pool).
+    #[must_use]
+    pub fn cache(&self) -> &SynthCache {
+        &self.cache
+    }
+
+    /// Approximate resident bytes across the three memo layers plus the
+    /// pooled scratch arenas — the number a budget bounds.
+    #[must_use]
+    pub fn resident_cache_bytes(&self) -> usize {
+        self.cache.resident_bytes()
+            + self.cache.starts_cache().resident_bytes()
+            + self.cache.scratch_pool().pooled_bytes()
+    }
+
+    /// Entries evicted across all cache layers since construction.
+    #[must_use]
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions() + self.cache.starts_cache().evictions()
     }
 
     /// The session library.
@@ -332,10 +377,12 @@ impl Engine {
         self.cache.stats()
     }
 
-    /// Distinct synthesis points memoized so far.
+    /// Distinct synthesis points memoized so far — cumulative over the
+    /// session, independent of eviction, so it is identical at any
+    /// worker count or cache budget.
     #[must_use]
     pub fn memoized_points(&self) -> usize {
-        self.cache.len()
+        self.cache.seen_points()
     }
 
     /// Hit/miss counters of the session's uniform start-pool cache.
@@ -350,16 +397,18 @@ impl Engine {
         self.cache.starts_cache().alloc_stats()
     }
 
-    /// Distinct uniform start pools interned so far.
+    /// Distinct uniform start pools interned so far (cumulative,
+    /// eviction-independent).
     #[must_use]
     pub fn starts_pools(&self) -> usize {
-        self.cache.starts_cache().len()
+        self.cache.starts_cache().seen_len()
     }
 
-    /// Distinct allocation-first designs interned so far.
+    /// Distinct allocation-first designs interned so far (cumulative,
+    /// eviction-independent).
     #[must_use]
     pub fn alloc_designs(&self) -> usize {
-        self.cache.starts_cache().alloc_len()
+        self.cache.starts_cache().alloc_seen_len()
     }
 
     /// Resolves a workload spec through the source registry, interning
@@ -636,6 +685,20 @@ mod tests {
             .synth(&SynthJob::new("builtin:figure4a", 3, 99))
             .unwrap_err();
         assert_eq!(infeasible, again);
+    }
+
+    #[test]
+    fn malformed_file_workload_errors_surface_path_and_line_in_batch() {
+        let dir = std::env::temp_dir().join("rchls-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.dfg");
+        std::fs::write(&path, "graph g\nop a add\na -> ghost\n").unwrap();
+        let e = engine();
+        let batch = e.run_batch(&[SynthJob::new(format!("file:{}", path.display()), 6, 4)]);
+        let error = batch.outcomes[0].error.as_deref().unwrap();
+        assert!(error.contains("broken.dfg"), "{error}");
+        assert!(error.contains("line 3"), "{error}");
+        assert!(error.contains("ghost"), "{error}");
     }
 
     #[test]

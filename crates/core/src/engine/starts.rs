@@ -18,6 +18,7 @@
 //! sweeps, and CLI sweeps all share one pool table per session.
 
 use crate::bounds::Bounds;
+use crate::engine::budget::BudgetedTable;
 use crate::engine::cache::CacheStats;
 use crate::engine::fingerprint::Fingerprint;
 use crate::error::SynthesisError;
@@ -25,7 +26,6 @@ use crate::flow::{Diagnostics, FlowState};
 use crate::synth::Synthesizer;
 use rchls_bind::{Assignment, Binding};
 use rchls_sched::Schedule;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -42,6 +42,21 @@ struct StartsEntry {
     bind_calls: u32,
 }
 
+impl StartsEntry {
+    /// Approximate bytes this entry keeps resident — the size-accounting
+    /// input for the cache's LRU budget.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<StartsEntry>()
+            + self.scheduler.capacity()
+            + self.binder.capacity()
+            + self
+                .states
+                .iter()
+                .map(FlowState::approx_bytes)
+                .sum::<usize>()
+    }
+}
+
 /// One interned allocation-first design (see
 /// [`crate::alloc_search::best_allocation_design_diag`]) plus the
 /// completeness flag its search reported.
@@ -50,6 +65,17 @@ struct AllocEntry {
     bounds: Bounds,
     design: Option<(Assignment, Schedule, Binding)>,
     cap_hit: bool,
+}
+
+impl AllocEntry {
+    /// Approximate bytes this entry keeps resident — the size-accounting
+    /// input for the cache's LRU budget.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<AllocEntry>()
+            + self.design.as_ref().map_or(0, |(a, s, b)| {
+                a.approx_heap_bytes() + s.approx_heap_bytes() + b.approx_heap_bytes()
+            })
+    }
 }
 
 /// A thread-safe memo table of refine-portfolio ingredients: the uniform
@@ -65,8 +91,8 @@ struct AllocEntry {
 /// rather than answered wrongly.
 #[derive(Default)]
 pub struct StartsCache {
-    entries: Mutex<HashMap<u64, StartsEntry>>,
-    alloc: Mutex<HashMap<u64, AllocEntry>>,
+    entries: Mutex<BudgetedTable<StartsEntry>>,
+    alloc: Mutex<BudgetedTable<AllocEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     alloc_hits: AtomicU64,
@@ -80,22 +106,76 @@ impl StartsCache {
         StartsCache::default()
     }
 
-    /// Number of interned pools.
+    /// Number of *resident* interned pools. Under a budget this can
+    /// shrink; for the deterministic ever-interned count use
+    /// [`StartsCache::seen_len`].
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.lock().expect("starts cache lock").len()
     }
 
-    /// `true` when no pool has been interned yet.
+    /// `true` when no pool is currently interned.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Number of interned allocation-first designs.
+    /// Number of *resident* interned allocation-first designs (see
+    /// [`StartsCache::alloc_seen_len`] for the deterministic count).
     #[must_use]
     pub fn alloc_len(&self) -> usize {
         self.alloc.lock().expect("alloc design lock").len()
+    }
+
+    /// Number of distinct start pools ever interned — independent of
+    /// eviction, so deterministic documents report this.
+    #[must_use]
+    pub fn seen_len(&self) -> usize {
+        self.entries.lock().expect("starts cache lock").seen_len()
+    }
+
+    /// Number of distinct allocation-first designs ever interned.
+    #[must_use]
+    pub fn alloc_seen_len(&self) -> usize {
+        self.alloc.lock().expect("alloc design lock").seen_len()
+    }
+
+    /// Approximate resident bytes across both tables.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("starts cache lock")
+            .resident_bytes()
+            + self
+                .alloc
+                .lock()
+                .expect("alloc design lock")
+                .resident_bytes()
+    }
+
+    /// Entries evicted from both tables since construction.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.entries.lock().expect("starts cache lock").evictions()
+            + self.alloc.lock().expect("alloc design lock").evictions()
+    }
+
+    /// Applies the session budget's shares to the pool and alloc-design
+    /// tables, evicting immediately when over.
+    pub(crate) fn set_budget(&self, pools: Option<usize>, alloc: Option<usize>) {
+        let evicted = self
+            .entries
+            .lock()
+            .expect("starts cache lock")
+            .set_budget(pools);
+        crate::obs::starts_cache_evictions().add(evicted);
+        let evicted = self
+            .alloc
+            .lock()
+            .expect("alloc design lock")
+            .set_budget(alloc);
+        crate::obs::alloc_cache_evictions().add(evicted);
     }
 
     /// Hit/miss counters for the uniform start pool table. Collisions
@@ -141,7 +221,7 @@ impl StartsCache {
         fp.update(&flow.binder);
         let key = fp.finish();
 
-        if let Some(entry) = self.entries.lock().expect("starts cache lock").get(&key) {
+        if let Some(entry) = self.entries.lock().expect("starts cache lock").get(key) {
             if entry.bounds == bounds
                 && entry.scheduler == flow.scheduler
                 && entry.binder == flow.binder
@@ -164,17 +244,22 @@ impl StartsCache {
         let before = synth.pass_call_counts();
         let states = synth.uniform_feasible_starts_fresh(bounds)?;
         let after = synth.pass_call_counts();
-        self.entries.lock().expect("starts cache lock").insert(
-            key,
-            StartsEntry {
-                bounds,
-                scheduler: flow.scheduler.clone(),
-                binder: flow.binder.clone(),
-                states: states.clone(),
-                sched_calls: after.0 - before.0,
-                bind_calls: after.1 - before.1,
-            },
-        );
+        let entry = StartsEntry {
+            bounds,
+            scheduler: flow.scheduler.clone(),
+            binder: flow.binder.clone(),
+            states: states.clone(),
+            sched_calls: after.0 - before.0,
+            bind_calls: after.1 - before.1,
+        };
+        let bytes = entry.approx_bytes();
+        let (evicted, resident) = {
+            let mut table = self.entries.lock().expect("starts cache lock");
+            let evicted = table.insert(key, entry, bytes);
+            (evicted, table.resident_bytes())
+        };
+        crate::obs::starts_cache_evictions().add(evicted);
+        crate::obs::starts_cache_resident_bytes().record(resident as u64);
         Ok(states)
     }
 }
@@ -200,7 +285,7 @@ impl StartsCache {
         fp.update(&bounds);
         let key = fp.finish();
 
-        if let Some(entry) = self.alloc.lock().expect("alloc design lock").get(&key) {
+        if let Some(entry) = self.alloc.lock().expect("alloc design lock").get(key) {
             if entry.bounds == bounds {
                 self.alloc_hits.fetch_add(1, Ordering::Relaxed);
                 crate::obs::alloc_cache_hits().incr();
@@ -228,14 +313,19 @@ impl StartsCache {
             &mut fresh,
         );
         diagnostics.alloc_cap_hit |= fresh.alloc_cap_hit;
-        self.alloc.lock().expect("alloc design lock").insert(
-            key,
-            AllocEntry {
-                bounds,
-                design: design.clone(),
-                cap_hit: fresh.alloc_cap_hit,
-            },
-        );
+        let entry = AllocEntry {
+            bounds,
+            design: design.clone(),
+            cap_hit: fresh.alloc_cap_hit,
+        };
+        let bytes = entry.approx_bytes();
+        let (evicted, resident) = {
+            let mut table = self.alloc.lock().expect("alloc design lock");
+            let evicted = table.insert(key, entry, bytes);
+            (evicted, table.resident_bytes())
+        };
+        crate::obs::alloc_cache_evictions().add(evicted);
+        crate::obs::alloc_cache_resident_bytes().record(resident as u64);
         design
     }
 }

@@ -57,6 +57,14 @@ pub struct Diagnostics {
 }
 
 impl Diagnostics {
+    /// Approximate heap footprint in bytes (capacity-based, excluding
+    /// `size_of::<Diagnostics>()`) — the size-accounting input for
+    /// budgeted caches.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.candidate_pool_sizes.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// A copy with every wall-clock timing zeroed — the deterministic form
     /// stored in sweep rows and exports. The phase *call counters* are
     /// pure functions of the inputs and survive scrubbing.

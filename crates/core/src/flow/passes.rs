@@ -136,6 +136,19 @@ pub struct FlowState {
     pub binding: Binding,
 }
 
+impl FlowState {
+    /// Approximate total footprint in bytes (including
+    /// `size_of::<FlowState>()`) — the size-accounting input for
+    /// budgeted caches.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<FlowState>()
+            + self.assignment.approx_heap_bytes()
+            + self.schedule.approx_heap_bytes()
+            + self.binding.approx_heap_bytes()
+    }
+}
+
 /// The post-Figure-6 stage: given the greedy's outcome, produce the flow
 /// state the design is assembled from.
 pub trait RefinePass: Send + Sync {

@@ -104,6 +104,18 @@ pub struct SynthReport {
     pub diagnostics: Diagnostics,
 }
 
+impl SynthReport {
+    /// Approximate total footprint in bytes (including
+    /// `size_of::<SynthReport>()`) — the size-accounting input for
+    /// budgeted caches.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<SynthReport>()
+            + self.design.approx_heap_bytes()
+            + self.diagnostics.approx_heap_bytes()
+    }
+}
+
 /// A complete synthesis algorithm, dispatched by id.
 ///
 /// The built-in ids are `baseline`, `ours`, `combined`, `pipelined`, and

@@ -86,7 +86,7 @@ pub use baseline::{baseline_versions, nmr_baseline_report, synthesize_nmr_baseli
 pub use bounds::Bounds;
 pub use combined::{combined_report, synthesize_combined};
 pub use design::Design;
-pub use engine::{BatchReport, Engine, EngineError, JobOutcome, SynthJob};
+pub use engine::{BatchReport, CacheBudget, Engine, EngineError, JobOutcome, SynthJob};
 pub use error::SynthesisError;
 pub use explore::{StrategyDiagnostics, StrategyKind};
 pub use flow::{Diagnostics, FlowSpec, Strategy, SynthReport, SynthRequest};

@@ -6,7 +6,9 @@
 //! are the crate's stable metrics vocabulary — the README's
 //! "Observability" section documents them.
 
-use rchls_telemetry::metrics::{self, Counter, Histogram, COUNT_BUCKETS, TIME_BUCKETS_MICROS};
+use rchls_telemetry::metrics::{
+    self, Counter, Histogram, BYTE_BUCKETS, COUNT_BUCKETS, TIME_BUCKETS_MICROS,
+};
 use std::sync::{Arc, OnceLock};
 
 macro_rules! counter_handle {
@@ -36,9 +38,25 @@ counter_handle!(
     /// `synth_cache.misses` — synthesis points computed fresh.
     synth_cache_misses, "synth_cache.misses");
 counter_handle!(
-    /// `synth_cache.inserts` — entries added (the cache never evicts, so
-    /// this is its size; ROADMAP item 1 watches it).
+    /// `synth_cache.inserts` — entries added (with no budget this is the
+    /// resident size; under one, inserts minus evictions is).
     synth_cache_inserts, "synth_cache.inserts");
+counter_handle!(
+    /// `synth_cache.evictions` — memoized reports dropped to stay under
+    /// the session cache budget.
+    synth_cache_evictions, "synth_cache.evictions");
+counter_handle!(
+    /// `starts_cache.evictions` — interned start pools dropped to stay
+    /// under the session cache budget.
+    starts_cache_evictions, "starts_cache.evictions");
+counter_handle!(
+    /// `alloc_cache.evictions` — interned allocation-first designs
+    /// dropped to stay under the session cache budget.
+    alloc_cache_evictions, "alloc_cache.evictions");
+counter_handle!(
+    /// `scratch_pool.drops` — arenas released but not retained because
+    /// pooling them would exceed the scratch byte budget.
+    scratch_pool_drops, "scratch_pool.drops");
 counter_handle!(
     /// `starts_cache.hits` — uniform start pools answered from cache.
     starts_cache_hits, "starts_cache.hits");
@@ -79,6 +97,18 @@ histogram_handle!(
 histogram_handle!(
     /// `phase.alloc_micros` — allocation-first search latency per run.
     alloc_phase_micros, "phase.alloc_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `synth_cache.resident_bytes` — approximate resident bytes of the
+    /// memo table, recorded after every insert/eviction round.
+    synth_cache_resident_bytes, "synth_cache.resident_bytes", BYTE_BUCKETS);
+histogram_handle!(
+    /// `starts_cache.resident_bytes` — approximate resident bytes of the
+    /// start-pool table, recorded after every insert/eviction round.
+    starts_cache_resident_bytes, "starts_cache.resident_bytes", BYTE_BUCKETS);
+histogram_handle!(
+    /// `alloc_cache.resident_bytes` — approximate resident bytes of the
+    /// alloc-design table, recorded after every insert/eviction round.
+    alloc_cache_resident_bytes, "alloc_cache.resident_bytes", BYTE_BUCKETS);
 histogram_handle!(
     /// `executor.batch_jobs` — jobs per executor batch.
     executor_batch_jobs, "executor.batch_jobs", COUNT_BUCKETS);

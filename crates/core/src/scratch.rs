@@ -31,6 +31,27 @@ pub struct SynthScratch {
     pub delays: Delays,
 }
 
+impl SynthScratch {
+    /// Approximate heap footprint of the retained arenas in bytes
+    /// (capacity-based, excluding `size_of::<SynthScratch>()`) — the
+    /// size-accounting input for the pool's memory budget.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.sched.approx_heap_bytes()
+            + self.bind.approx_heap_bytes()
+            + self.delays.approx_heap_bytes()
+    }
+}
+
+/// The lock-protected pool state: idle arenas with the byte size each
+/// was booked at, the running total, and the optional retention budget.
+#[derive(Default)]
+struct PoolState {
+    arenas: Vec<(SynthScratch, usize)>,
+    bytes: usize,
+    budget: Option<usize>,
+}
+
 /// A lock-protected stack of idle [`SynthScratch`] arenas.
 ///
 /// `acquire` pops an arena (or creates one when the pool is dry) and
@@ -38,9 +59,14 @@ pub struct SynthScratch {
 /// `k` arenas for the life of the session. Returned arenas have their
 /// cached topological order invalidated, so reuse across different
 /// graphs is always safe.
+///
+/// Under a [`set_budget`](ScratchPool::set_budget) cap, `release` drops
+/// (rather than retains) any arena that would push the pooled bytes past
+/// the budget — arenas are pure capacity, so dropping one never changes
+/// results, only the next acquire's allocation cost.
 #[derive(Default)]
 pub struct ScratchPool {
-    pool: Mutex<Vec<SynthScratch>>,
+    pool: Mutex<PoolState>,
 }
 
 impl ScratchPool {
@@ -50,12 +76,25 @@ impl ScratchPool {
         ScratchPool::default()
     }
 
+    /// Caps the bytes of idle arena capacity the pool may retain
+    /// (`None` = unlimited). A budget of 0 disables pooling entirely.
+    pub fn set_budget(&self, budget: Option<usize>) {
+        self.pool.lock().expect("scratch pool lock").budget = budget;
+    }
+
     /// Takes an idle scratch (creating one when none is pooled). The
     /// scratch's graph-keyed caches are invalidated before hand-out.
     #[must_use]
     pub fn acquire(&self) -> SynthScratch {
         crate::obs::scratch_pool_lends().incr();
-        let pooled = self.pool.lock().expect("scratch pool lock").pop();
+        let pooled = {
+            let mut state = self.pool.lock().expect("scratch pool lock");
+            let popped = state.arenas.pop();
+            if let Some((_, bytes)) = &popped {
+                state.bytes -= bytes;
+            }
+            popped.map(|(scratch, _)| scratch)
+        };
         let mut scratch = pooled.unwrap_or_else(|| {
             crate::obs::scratch_pool_creates().incr();
             SynthScratch::default()
@@ -64,15 +103,32 @@ impl ScratchPool {
         scratch
     }
 
-    /// Returns a scratch to the pool for the next job.
+    /// Returns a scratch to the pool for the next job — or drops it when
+    /// retaining it would exceed the pool's byte budget.
     pub fn release(&self, scratch: SynthScratch) {
-        self.pool.lock().expect("scratch pool lock").push(scratch);
+        let bytes = scratch.approx_heap_bytes();
+        let mut state = self.pool.lock().expect("scratch pool lock");
+        if let Some(budget) = state.budget {
+            if state.bytes + bytes > budget {
+                drop(state);
+                crate::obs::scratch_pool_drops().incr();
+                return;
+            }
+        }
+        state.bytes += bytes;
+        state.arenas.push((scratch, bytes));
     }
 
     /// Number of idle arenas currently pooled.
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.pool.lock().expect("scratch pool lock").len()
+        self.pool.lock().expect("scratch pool lock").arenas.len()
+    }
+
+    /// Approximate bytes of idle arena capacity currently pooled.
+    #[must_use]
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.lock().expect("scratch pool lock").bytes
     }
 }
 

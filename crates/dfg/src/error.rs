@@ -36,7 +36,8 @@ impl Error for DfgError {}
 /// An error produced while parsing the textual DFG format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDfgError {
-    /// 1-based line number of the offending line.
+    /// 1-based line number of the offending line; 0 for whole-graph
+    /// problems (such as a dependence cycle) that no single line causes.
     pub line: usize,
     /// Human-readable description of the problem.
     pub message: String,
@@ -44,7 +45,11 @@ pub struct ParseDfgError {
 
 impl fmt::Display for ParseDfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 

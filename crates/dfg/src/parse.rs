@@ -90,9 +90,18 @@ pub fn parse_dfg(text: &str) -> Result<Dfg, ParseDfgError> {
             _ => return Err(err(lineno, format!("unrecognized line {line:?}"))),
         }
     }
+    // Whole-graph problems have no single offending line (`line: 0`,
+    // which `Display` omits). A cycle names the operation by the label
+    // the file used, not the internal node id.
     dfg.validate().map_err(|e| ParseDfgError {
         line: 0,
-        message: e.to_string(),
+        message: match e {
+            crate::DfgError::Cycle(n) => format!(
+                "dependence cycle detected through op {:?}",
+                dfg.node(n).label()
+            ),
+            other => other.to_string(),
+        },
     })?;
     Ok(dfg)
 }
@@ -195,6 +204,15 @@ mod tests {
     fn cycle_rejected() {
         let e = parse_dfg("op a add\nop b add\na -> b\nb -> a\n").unwrap_err();
         assert!(e.message.contains("cycle"));
+    }
+
+    #[test]
+    fn cycle_names_a_label_without_a_bogus_line() {
+        let e = parse_dfg("op up add\nop down add\nup -> down\ndown -> up\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        // The display names an op by the label the file used and omits
+        // the meaningless `line 0:` prefix.
+        assert_eq!(e.to_string(), "dependence cycle detected through op \"up\"");
     }
 
     #[test]

@@ -57,6 +57,14 @@ impl Delays {
         Delays::from_fn(dfg, |_| d)
     }
 
+    /// Approximate heap footprint in bytes (capacity-based, excluding
+    /// `size_of::<Delays>()`) — the size-accounting input for budgeted
+    /// caches and arena pools.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.delays.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Refills this delay map in place by evaluating `f` on every node —
     /// the allocation-free counterpart of [`Delays::from_fn`] for hot
     /// loops that re-derive delays from a changing version assignment.

@@ -65,6 +65,14 @@ impl Schedule {
         self.starts.len()
     }
 
+    /// Approximate heap footprint in bytes (capacity-based, excluding
+    /// `size_of::<Schedule>()`) — the size-accounting input for budgeted
+    /// caches.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.starts.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Whether the schedule covers zero nodes.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -87,6 +87,31 @@ impl SchedScratch {
         self.topo_valid = false;
     }
 
+    /// Approximate heap footprint of the retained buffers in bytes
+    /// (capacity-based, excluding `size_of::<SchedScratch>()`) — the
+    /// size-accounting input for budgeted arena pools.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let ids = size_of::<NodeId>();
+        self.topo.capacity() * ids
+            + self.indegree.capacity() * size_of::<u32>()
+            + self.queue.capacity() * ids
+            + self.es.capacity() * size_of::<u32>()
+            + self.ls.capacity() * size_of::<u32>()
+            + self.prev_es.capacity() * size_of::<u32>()
+            + self.prev_ls.capacity() * size_of::<u32>()
+            + self.density.capacity() * size_of::<f64>()
+            + self.cand_force.capacity() * size_of::<f64>()
+            + self.cand_step.capacity() * size_of::<u32>()
+            + self.fixed.capacity() * size_of::<Option<u32>>()
+            + self.order.capacity() * ids
+            + self.priority.capacity() * size_of::<u32>()
+            + self.ready.capacity() * ids
+            + self.pending_preds.capacity() * size_of::<usize>()
+            + self.starts_opt.capacity() * size_of::<Option<u32>>()
+    }
+
     /// Makes sure the cached topological order matches `dfg`, recomputing
     /// it (allocation-free after warm-up) when invalidated or when the
     /// graph's node/edge counts changed.

@@ -1,0 +1,124 @@
+//! A minimal blocking client for the wire protocol — what `rchls
+//! request` and the tests speak through.
+
+use crate::protocol;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to a running `rchls serve` daemon.
+///
+/// Requests on a connection are answered in order; open one client per
+/// thread for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with a 30-second response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with an explicit response timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect or socket-option error.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one method call and returns the parsed response document
+    /// (`{"v": 1, "id": ..., "ok": ..., ...}`). Server-side failures are
+    /// still `Ok` here — inspect the document's `ok`/`error` fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the connection drops or times out, or
+    /// `InvalidData` when the response line is not JSON.
+    pub fn call(
+        &mut self,
+        method: &str,
+        params: Option<&Value>,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Value> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = protocol::request_line(id, method, params, deadline_ms);
+        let response = self.roundtrip(&line)?;
+        serde_json::from_str(&response).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response is not JSON: {e}"),
+            )
+        })
+    }
+
+    /// Sends one raw line (newline appended if missing) and returns the
+    /// raw response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the connection drops or times out.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.stream.write_all(b"\n")?;
+        }
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line[..pos]).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-response",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}
+
+/// Extracts `result` from a response document when `ok` is true.
+#[must_use]
+pub fn response_result(doc: &Value) -> Option<&Value> {
+    let entries = doc.as_map()?;
+    match serde::map_get(entries, "ok") {
+        Some(Value::Bool(true)) => serde::map_get(entries, "result"),
+        _ => None,
+    }
+}
+
+/// Extracts the error `kind` from a response document when `ok` is
+/// false.
+#[must_use]
+pub fn response_error_kind(doc: &Value) -> Option<&str> {
+    let entries = doc.as_map()?;
+    match serde::map_get(entries, "ok") {
+        Some(Value::Bool(false)) => serde::map_get(entries, "error")?
+            .as_map()
+            .and_then(|e| serde::map_get(e, "kind"))
+            .and_then(Value::as_str),
+        _ => None,
+    }
+}

@@ -1,0 +1,122 @@
+//! Daemon configuration: bind address, worker pool, admission queue,
+//! and the session cache budget.
+
+use rchls_core::engine::SweepExecutor;
+use rchls_core::CacheBudget;
+use rchls_reslib::Library;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+
+/// Everything `rchls serve` needs besides the resource library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// The `ip:port` to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Synthesis worker count (`0` = one worker per CPU).
+    pub jobs: usize,
+    /// Maximum queued heavy requests; anything beyond is rejected with
+    /// a structured `overloaded` error instead of waiting.
+    pub queue_depth: usize,
+    /// The byte budget shared by all four engine cache layers.
+    pub cache_budget: CacheBudget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7411".to_owned(),
+            jobs: 0,
+            queue_depth: 64,
+            cache_budget: CacheBudget::UNLIMITED,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The worker count the pool will actually run (`jobs`, with `0`
+    /// resolved to one worker per CPU).
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        SweepExecutor::new(self.jobs).jobs()
+    }
+
+    /// Checks the configuration without binding anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when `addr` is not an explicit
+    /// `ip:port` socket address.
+    pub fn validate(&self) -> Result<(), String> {
+        self.addr.parse::<SocketAddr>().map_err(|_| {
+            format!(
+                "invalid listen address {:?} (expected ip:port, e.g. 127.0.0.1:7411)",
+                self.addr
+            )
+        })?;
+        Ok(())
+    }
+
+    /// The `rchls serve --check` dry-run rendering: the effective
+    /// configuration, defaults resolved, without binding a socket.
+    #[must_use]
+    pub fn render(&self, library: &Library) -> String {
+        let mut out = String::from("rchls serve configuration (dry run, nothing bound):\n");
+        let _ = writeln!(out, "  addr          {}", self.addr);
+        let _ = writeln!(
+            out,
+            "  jobs          {} synthesis workers{}",
+            self.effective_jobs(),
+            if self.jobs == 0 { " (one per CPU)" } else { "" }
+        );
+        let _ = writeln!(
+            out,
+            "  queue depth   {} queued requests (beyond that: overloaded rejection)",
+            self.queue_depth
+        );
+        let _ = writeln!(out, "  cache budget  {}", self.cache_budget);
+        let _ = writeln!(out, "  library       {} resource versions", library.len());
+        let _ = writeln!(
+            out,
+            "  protocol      v{} line-delimited JSON (see docs/protocol.md)",
+            crate::protocol::PROTOCOL_VERSION
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_the_listen_address() {
+        let mut config = ServeConfig::default();
+        assert_eq!(config.validate(), Ok(()));
+        config.addr = "localhost:7411".to_owned();
+        assert!(config.validate().unwrap_err().contains("localhost"));
+        config.addr = "not an address".to_owned();
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn render_shows_the_effective_configuration() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:7411".to_owned(),
+            jobs: 3,
+            queue_depth: 9,
+            cache_budget: CacheBudget::limited(64 << 10),
+        };
+        let out = config.render(&Library::table1());
+        assert!(out.contains("127.0.0.1:7411"));
+        assert!(out.contains("3 synthesis workers"));
+        assert!(!out.contains("one per CPU"));
+        assert!(out.contains("9 queued requests"));
+        assert!(out.contains("65536 B"));
+        assert!(out.contains("resource versions"));
+        assert!(out.contains("dry run"));
+        // jobs = 0 resolves and says so.
+        let auto = ServeConfig::default().render(&Library::table1());
+        assert!(auto.contains("one per CPU"));
+        assert!(auto.contains("unlimited"));
+    }
+}

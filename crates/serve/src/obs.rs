@@ -1,0 +1,49 @@
+//! Cached handles to the daemon's telemetry metrics (the same pattern
+//! as `rchls-core`'s instrumentation: one registry lookup per metric
+//! per process, atomics on the hot path).
+
+use rchls_telemetry::metrics::{self, Counter, Histogram, COUNT_BUCKETS, TIME_BUCKETS_MICROS};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! counter_handle {
+    ($(#[$doc:meta])* $fn_name:ident, $name:expr) => {
+        $(#[$doc])*
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+            HANDLE.get_or_init(|| metrics::counter($name))
+        }
+    };
+}
+
+macro_rules! histogram_handle {
+    ($(#[$doc:meta])* $fn_name:ident, $name:expr, $buckets:expr) => {
+        $(#[$doc])*
+        pub(crate) fn $fn_name() -> &'static Histogram {
+            static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+            HANDLE.get_or_init(|| metrics::histogram($name, $buckets))
+        }
+    };
+}
+
+counter_handle!(
+    /// `serve.connections` — client connections accepted.
+    connections, "serve.connections");
+counter_handle!(
+    /// `serve.requests` — request lines parsed (any method).
+    requests, "serve.requests");
+counter_handle!(
+    /// `serve.rejected_overloaded` — requests refused because the
+    /// admission queue was full.
+    rejected_overloaded, "serve.rejected_overloaded");
+counter_handle!(
+    /// `serve.rejected_deadline` — requests whose `deadline_ms` expired
+    /// at admission, dequeue, or between phases.
+    rejected_deadline, "serve.rejected_deadline");
+
+histogram_handle!(
+    /// `serve.request_micros` — wall latency per request, parse to
+    /// response line.
+    request_micros, "serve.request_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `serve.queue_depth` — queued heavy requests at each admission.
+    queue_depth, "serve.queue_depth", COUNT_BUCKETS);

@@ -1,0 +1,649 @@
+//! The daemon: accept loop, per-connection readers, and a bounded
+//! worker pool with admission control and deadlines.
+//!
+//! Concurrency shape (plain `std` threads, no async runtime):
+//!
+//! * one **accept thread** takes connections and spawns a reader per
+//!   connection (`serve.connections` counts them);
+//! * each **reader** frames request lines. Admin methods (`ping`,
+//!   `workloads`, `flows`, `metrics`, `shutdown`) are answered inline —
+//!   they never queue behind synthesis. Heavy methods (`synth`,
+//!   `batch`, `sweep`, `pareto`) go through a bounded queue; a full
+//!   queue yields an immediate structured `overloaded` rejection with
+//!   `retry_after_ms`, never a hang;
+//! * a fixed pool of **synthesis workers** drains the queue. Every
+//!   worker runs under `catch_unwind`, so a panicking job answers
+//!   `internal` instead of wedging its client;
+//! * per-request `deadline_ms` is checked at admission, at dequeue, and
+//!   between phases of multi-phase work;
+//! * `shutdown` flips one flag; readers and workers poll it on their
+//!   wait timeouts, and the shutdown path self-connects once to unblock
+//!   the accept call.
+//!
+//! All requests share one [`Engine`] session, so its caches (bounded by
+//! the configured [`CacheBudget`](rchls_core::CacheBudget)) and interned
+//! workloads serve every client.
+
+use crate::config::ServeConfig;
+use crate::obs;
+use crate::protocol::{self, ErrorKind, Request, PROTOCOL_VERSION};
+use rchls_core::engine::SweepExecutor;
+use rchls_core::{flow, Engine, RedundancyModel, SynthJob};
+use rchls_explorer::{explore, export, ExploreTask};
+use rchls_reslib::Library;
+use rchls_telemetry::span;
+use serde::{map_get, Value};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked readers and workers poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The `retry_after_ms` hint sent with `overloaded` rejections.
+const RETRY_AFTER_MS: u64 = 100;
+
+/// One queued heavy request: what to run and where to send the line.
+struct QueuedJob {
+    request: Request,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by the accept thread, readers, and workers.
+struct Shared {
+    engine: Engine,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+    queue_depth: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag, wakes the workers, and unblocks the
+    /// accept call with one throwaway connection.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The running daemon.
+pub struct Server;
+
+/// A started server: its bound address plus the join handles a clean
+/// exit waits on.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unusable.
+    pub fn start(config: ServeConfig, library: Library) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Engine::new(library)
+            .with_jobs(config.jobs)
+            .with_cache_budget(config.cache_budget);
+        let workers = engine.jobs();
+        let shared = Arc::new(Shared {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queue_depth: config.queue_depth,
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `127.0.0.1:0` to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown without a client (equivalent to the `shutdown`
+    /// method on the wire).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the accept loop and every worker to exit. Call after
+    /// [`ServerHandle::shutdown`] or once a client has sent `shutdown`.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        obs::connections().incr();
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &shared);
+        });
+    }
+}
+
+/// Frames request lines off one connection until the peer hangs up, the
+/// server shuts down, or a `shutdown` request closes it.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true).ok();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..pos]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, keep_going) = handle_line(shared, line.trim());
+            stream.write_all(response.as_bytes())?;
+            stream.write_all(b"\n")?;
+            if !keep_going {
+                return Ok(());
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Dispatches one request line; returns the response line and whether
+/// the connection stays open.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    let received = Instant::now();
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(message) => {
+            return (
+                protocol::error_line(&Value::Null, ErrorKind::BadRequest, &message, None),
+                true,
+            )
+        }
+    };
+    obs::requests().incr();
+    // Span names must be `&'static`: map the method onto the fixed
+    // vocabulary so server-side `--trace` brackets every request.
+    let _span = span!(match request.method.as_str() {
+        "synth" => "serve.synth",
+        "batch" => "serve.batch",
+        "sweep" => "serve.sweep",
+        "pareto" => "serve.pareto",
+        "ping" => "serve.ping",
+        "workloads" => "serve.workloads",
+        "flows" => "serve.flows",
+        "metrics" => "serve.metrics",
+        "shutdown" => "serve.shutdown",
+        _ => "serve.request",
+    });
+    let deadline = request
+        .deadline_ms
+        .map(|ms| received + Duration::from_millis(ms));
+    let id = request.id.clone();
+    if shared.shutting_down() && request.method != "shutdown" {
+        return (
+            protocol::error_line(&id, ErrorKind::Shutdown, "server is shutting down", None),
+            false,
+        );
+    }
+    let (response, keep_going) = match request.method.as_str() {
+        "ping" => (Ok(ping_result(shared)), true),
+        "workloads" => (Ok(workloads_result()), true),
+        "flows" => (Ok(flows_result()), true),
+        "metrics" => (Ok(metrics_result(shared)), true),
+        "shutdown" => {
+            shared.begin_shutdown();
+            (
+                Ok(Value::Map(vec![(key("stopping"), Value::Bool(true))])),
+                false,
+            )
+        }
+        "synth" | "batch" | "sweep" | "pareto" => {
+            (enqueue_and_wait(shared, request, deadline), true)
+        }
+        other => (
+            Err(protocol::error_line(
+                &id,
+                ErrorKind::BadRequest,
+                &format!(
+                    "unknown method {other:?} (methods: ping, synth, batch, sweep, pareto, \
+                     workloads, flows, metrics, shutdown)"
+                ),
+                None,
+            )),
+            true,
+        ),
+    };
+    let line = match response {
+        Ok(result) => protocol::ok_line(&id, result),
+        Err(error_line) => error_line,
+    };
+    obs::request_micros().record(received.elapsed().as_micros() as u64);
+    (line, keep_going)
+}
+
+/// Admission control: reject on a full queue or an already-expired
+/// deadline, otherwise queue the job and wait for its response line.
+fn enqueue_and_wait(
+    shared: &Arc<Shared>,
+    request: Request,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
+    let id = request.id.clone();
+    if expired(deadline) {
+        obs::rejected_deadline().incr();
+        return Err(protocol::error_line(
+            &id,
+            ErrorKind::DeadlineExceeded,
+            "deadline expired before admission",
+            None,
+        ));
+    }
+    let (reply, response) = mpsc::channel();
+    {
+        let mut queue = shared.queue.lock().expect("serve queue lock");
+        obs::queue_depth().record(queue.len() as u64);
+        if queue.len() >= shared.queue_depth {
+            obs::rejected_overloaded().incr();
+            return Err(protocol::error_line(
+                &id,
+                ErrorKind::Overloaded,
+                &format!("admission queue is full ({} requests queued)", queue.len()),
+                Some(RETRY_AFTER_MS),
+            ));
+        }
+        queue.push_back(QueuedJob {
+            request,
+            deadline,
+            reply,
+        });
+        shared.available.notify_one();
+    }
+    match response.recv() {
+        // The worker's line is complete (ok or error); pass it through.
+        Ok(line) => Err(line),
+        Err(_) => Err(protocol::error_line(
+            &id,
+            ErrorKind::Internal,
+            "worker dropped the request",
+            None,
+        )),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("serve queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down() {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, POLL)
+                    .expect("serve queue lock")
+                    .0;
+            }
+        };
+        let id = job.request.id.clone();
+        // Deadline check at dequeue: don't start work that can no
+        // longer answer in time.
+        let line = if expired(job.deadline) {
+            obs::rejected_deadline().incr();
+            protocol::error_line(
+                &id,
+                ErrorKind::DeadlineExceeded,
+                "deadline expired while queued",
+                None,
+            )
+        } else {
+            match catch_unwind(AssertUnwindSafe(|| execute(shared, &job))) {
+                Ok(line) => line,
+                Err(_) => protocol::error_line(
+                    &id,
+                    ErrorKind::Internal,
+                    "synthesis worker panicked",
+                    None,
+                ),
+            }
+        };
+        let _ = job.reply.send(line);
+    }
+}
+
+/// Runs one heavy method to a complete response line.
+fn execute(shared: &Arc<Shared>, job: &QueuedJob) -> String {
+    let id = &job.request.id;
+    let params = &job.request.params;
+    let bad = |message: &str| protocol::error_line(id, ErrorKind::BadRequest, message, None);
+    let result = match job.request.method.as_str() {
+        "synth" => synth_result(shared, params, job.deadline),
+        "batch" => batch_result(shared, params, job.deadline),
+        "sweep" => explore_result(shared, params, job.deadline, true),
+        "pareto" => explore_result(shared, params, job.deadline, false),
+        other => unreachable!("only heavy methods are queued, got {other:?}"),
+    };
+    match result {
+        Ok(value) => protocol::ok_line(id, value),
+        Err(Fail::BadRequest(message)) => bad(&message),
+        Err(Fail::Deadline(at)) => {
+            obs::rejected_deadline().incr();
+            protocol::error_line(id, ErrorKind::DeadlineExceeded, at, None)
+        }
+    }
+}
+
+/// Why a heavy method produced no result.
+enum Fail {
+    BadRequest(String),
+    Deadline(&'static str),
+}
+
+fn check_deadline(deadline: Option<Instant>, at: &'static str) -> Result<(), Fail> {
+    if expired(deadline) {
+        return Err(Fail::Deadline(at));
+    }
+    Ok(())
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|at| Instant::now() >= at)
+}
+
+/// `synth`: params are one [`SynthJob`] map; the result is the same
+/// scrubbed outcome object an offline `rchls batch` emits for that job.
+fn synth_result(
+    shared: &Arc<Shared>,
+    params: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, Fail> {
+    let job: SynthJob = serde_json::from_value(params)
+        .map_err(|e| Fail::BadRequest(format!("invalid synth params: {e}")))?;
+    check_deadline(deadline, "deadline expired before synthesis")?;
+    let batch = shared.engine.run_batch(std::slice::from_ref(&job));
+    Ok(serde_json::to_value(&batch.outcomes[0]))
+}
+
+/// `batch`: params are `{"jobs": [<job>, ...]}`; the result is
+/// `{"jobs": N, "outcomes": [...]}` — exactly the outcomes an offline
+/// `rchls batch` emits, without the session-cumulative counters (those
+/// depend on server history; `metrics` reports them).
+fn batch_result(
+    shared: &Arc<Shared>,
+    params: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, Fail> {
+    let entries = params
+        .as_map()
+        .ok_or_else(|| Fail::BadRequest("batch params must be {\"jobs\": [...]}".to_owned()))?;
+    let jobs_value = map_get(entries, "jobs")
+        .ok_or_else(|| Fail::BadRequest("batch params are missing \"jobs\"".to_owned()))?;
+    if matches!(jobs_value, Value::UInt(_) | Value::Int(_)) {
+        return Err(Fail::BadRequest(
+            "\"jobs\" must be an array of synthesis jobs, not a worker count — \
+             the server's worker pool is fixed at startup (rchls serve --jobs N)"
+                .to_owned(),
+        ));
+    }
+    let jobs: Vec<SynthJob> = serde_json::from_value(jobs_value)
+        .map_err(|e| Fail::BadRequest(format!("invalid batch jobs: {e}")))?;
+    if jobs.is_empty() {
+        return Err(Fail::BadRequest(
+            "\"jobs\" must name at least one synthesis job".to_owned(),
+        ));
+    }
+    check_deadline(deadline, "deadline expired before synthesis")?;
+    let batch = shared.engine.run_batch(&jobs);
+    check_deadline(deadline, "deadline expired during synthesis")?;
+    Ok(Value::Map(vec![
+        (key("jobs"), Value::UInt(batch.jobs as u64)),
+        (key("outcomes"), serde_json::to_value(&batch.outcomes)),
+    ]))
+}
+
+/// `sweep` / `pareto`: params are `{"workload": SPEC, "latencies":
+/// [...], "areas": [...], "flow": {...}}` (`sweep` requires both bound
+/// lists; `pareto` defaults to the workload's default grid). The result
+/// is the same exploration document `rchls sweep --format json` emits.
+fn explore_result(
+    shared: &Arc<Shared>,
+    params: &Value,
+    deadline: Option<Instant>,
+    require_grid: bool,
+) -> Result<Value, Fail> {
+    let entries = params
+        .as_map()
+        .ok_or_else(|| Fail::BadRequest("params must be a JSON object".to_owned()))?;
+    let spec = match map_get(entries, "workload") {
+        Some(Value::Str(spec)) => spec.clone(),
+        Some(_) => return Err(Fail::BadRequest("\"workload\" must be a string".to_owned())),
+        None => {
+            return Err(Fail::BadRequest(
+                "params are missing \"workload\"".to_owned(),
+            ))
+        }
+    };
+    let workload = shared
+        .engine
+        .workload(&spec)
+        .map_err(|e| Fail::BadRequest(e.to_string()))?;
+    let bounds_list = |name: &str| -> Result<Option<Vec<u32>>, Fail> {
+        match map_get(entries, name) {
+            None => Ok(None),
+            Some(v) => {
+                let list: Vec<u32> = serde_json::from_value(v)
+                    .map_err(|e| Fail::BadRequest(format!("invalid {name:?}: {e}")))?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err(Fail::BadRequest(format!(
+                        "{name:?} must be a non-empty list of positive bounds"
+                    )));
+                }
+                Ok(Some(list))
+            }
+        }
+    };
+    let grid: Vec<(u32, u32)> = match (bounds_list("latencies")?, bounds_list("areas")?) {
+        (Some(latencies), Some(areas)) => latencies
+            .iter()
+            .flat_map(|&l| areas.iter().map(move |&a| (l, a)))
+            .collect(),
+        (None, None) if !require_grid => {
+            rchls_explorer::default_grid(&workload.dfg, shared.engine.library()).ok_or_else(
+                || {
+                    Fail::BadRequest(format!(
+                        "the library has no version for one of {}'s operation classes",
+                        workload.dfg.name()
+                    ))
+                },
+            )?
+        }
+        _ => {
+            return Err(Fail::BadRequest(if require_grid {
+                "sweep params need both \"latencies\" and \"areas\"".to_owned()
+            } else {
+                "pareto params need both \"latencies\" and \"areas\", or neither".to_owned()
+            }))
+        }
+    };
+    let flow = match map_get(entries, "flow") {
+        Some(v) => {
+            serde_json::from_value(v).map_err(|e| Fail::BadRequest(format!("invalid flow: {e}")))?
+        }
+        None => flow::FlowSpec::default(),
+    };
+    flow.resolve()
+        .map_err(|e| Fail::BadRequest(e.to_string()))?;
+    check_deadline(deadline, "deadline expired before exploration")?;
+    let tasks = [
+        ExploreTask::new(workload.dfg.name(), (*workload.dfg).clone(), grid)
+            .with_workload(workload.spec.clone()),
+    ];
+    let exploration = explore(
+        &tasks,
+        shared.engine.library(),
+        &flow,
+        RedundancyModel::default(),
+        SweepExecutor::new(shared.engine.jobs()),
+        shared.engine.cache(),
+    );
+    check_deadline(deadline, "deadline expired during exploration")?;
+    let doc = export::exploration_json(&exploration);
+    serde_json::from_str(&doc)
+        .map_err(|e| Fail::BadRequest(format!("exploration document did not parse: {e}")))
+}
+
+fn ping_result(shared: &Arc<Shared>) -> Value {
+    Value::Map(vec![
+        (key("protocol"), Value::UInt(PROTOCOL_VERSION)),
+        (key("jobs"), Value::UInt(shared.engine.jobs() as u64)),
+        (key("queue_depth"), Value::UInt(shared.queue_depth as u64)),
+        (
+            key("cache_budget"),
+            Value::Str(shared.engine.cache_budget().to_string()),
+        ),
+    ])
+}
+
+/// The registered workload sources and their known specs, structured.
+fn workloads_result() -> Value {
+    let schemes = rchls_workloads::workload_source_schemes()
+        .into_iter()
+        .filter_map(|scheme| {
+            let source = rchls_workloads::workload_source(&scheme)?;
+            Some(Value::Map(vec![
+                (key("scheme"), Value::Str(scheme)),
+                (
+                    key("description"),
+                    Value::Str(source.description().to_owned()),
+                ),
+                (
+                    key("known_specs"),
+                    Value::Seq(source.known_specs().into_iter().map(Value::Str).collect()),
+                ),
+            ]))
+        })
+        .collect();
+    Value::Map(vec![(key("sources"), Value::Seq(schemes))])
+}
+
+/// The registered strategies and passes, structured.
+fn flows_result() -> Value {
+    let ids = |ids: Vec<String>| Value::Seq(ids.into_iter().map(Value::Str).collect());
+    Value::Map(vec![
+        (key("strategies"), ids(flow::strategy_ids())),
+        (key("schedulers"), ids(flow::scheduler_ids())),
+        (key("binders"), ids(flow::binder_ids())),
+        (key("victim_policies"), ids(flow::victim_policy_ids())),
+        (key("refine_passes"), ids(flow::refine_pass_ids())),
+    ])
+}
+
+/// The session cache facts plus the full process metrics snapshot.
+fn metrics_result(shared: &Arc<Shared>) -> Value {
+    let engine = &shared.engine;
+    Value::Map(vec![
+        (
+            key("session"),
+            Value::Map(vec![
+                (
+                    key("cache_budget"),
+                    Value::Str(engine.cache_budget().to_string()),
+                ),
+                (
+                    key("resident_cache_bytes"),
+                    Value::UInt(engine.resident_cache_bytes() as u64),
+                ),
+                (
+                    key("cache_evictions"),
+                    Value::UInt(engine.cache_evictions()),
+                ),
+                (
+                    key("memoized_points"),
+                    Value::UInt(engine.memoized_points() as u64),
+                ),
+                (
+                    key("starts_pools"),
+                    Value::UInt(engine.starts_pools() as u64),
+                ),
+                (
+                    key("alloc_designs"),
+                    Value::UInt(engine.alloc_designs() as u64),
+                ),
+                (
+                    key("interned_workloads"),
+                    Value::UInt(engine.interned_workloads() as u64),
+                ),
+            ]),
+        ),
+        (key("metrics"), rchls_telemetry::metrics::snapshot()),
+    ])
+}
+
+fn key(k: &str) -> Value {
+    Value::Str(k.to_owned())
+}

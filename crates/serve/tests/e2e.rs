@@ -1,0 +1,379 @@
+//! End-to-end tests over real loopback sockets: concurrent clients,
+//! admission control, deadlines, shutdown, and byte-identity with the
+//! offline engine.
+
+use rchls_core::{Engine, SynthJob};
+use rchls_reslib::Library;
+use rchls_serve::{
+    response_error_kind, response_result, Client, ServeConfig, Server, ServerHandle,
+};
+use serde::{map_get, Value};
+
+fn start(config: ServeConfig) -> (ServerHandle, String) {
+    let handle = Server::start(config, Library::table1()).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn ephemeral(jobs: usize, queue_depth: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs,
+        queue_depth,
+        ..ServeConfig::default()
+    }
+}
+
+fn key(k: &str) -> Value {
+    Value::Str(k.to_owned())
+}
+
+fn demo_jobs() -> Vec<SynthJob> {
+    vec![
+        SynthJob::new("builtin:figure4a", 6, 4),
+        SynthJob::new("random:16x4@2", 9, 9).with_strategy("combined"),
+        SynthJob::new("builtin:figure4a", 3, 99), // infeasible
+    ]
+}
+
+#[test]
+fn admin_methods_answer_inline() {
+    let (handle, addr) = start(ephemeral(2, 4));
+    let mut client = Client::connect(&addr).unwrap();
+
+    let pong = client.call("ping", None, None).unwrap();
+    let result = response_result(&pong).expect("ping ok");
+    let entries = result.as_map().unwrap();
+    assert_eq!(map_get(entries, "protocol"), Some(&Value::UInt(1)));
+    assert_eq!(map_get(entries, "jobs"), Some(&Value::UInt(2)));
+
+    let workloads = client.call("workloads", None, None).unwrap();
+    let text = serde_json::to_string(response_result(&workloads).unwrap()).unwrap();
+    assert!(text.contains("builtin"), "{text}");
+    assert!(text.contains("builtin:fir16"), "{text}");
+
+    let flows = client.call("flows", None, None).unwrap();
+    let text = serde_json::to_string(response_result(&flows).unwrap()).unwrap();
+    for id in [
+        "ours",
+        "baseline",
+        "combined",
+        "force-directed",
+        "left-edge",
+    ] {
+        assert!(text.contains(id), "{id} missing from flows");
+    }
+
+    let metrics = client.call("metrics", None, None).unwrap();
+    let result = response_result(&metrics).expect("metrics ok");
+    let entries = result.as_map().unwrap();
+    let session = map_get(entries, "session").unwrap().as_map().unwrap();
+    assert!(map_get(session, "cache_budget").is_some());
+    assert!(map_get(session, "resident_cache_bytes").is_some());
+    assert!(map_get(session, "cache_evictions").is_some());
+    let snapshot = map_get(entries, "metrics").expect("snapshot present");
+    rchls_telemetry::metrics::validate_snapshot(snapshot).expect("snapshot validates");
+
+    let stop = client.call("shutdown", None, None).unwrap();
+    let text = serde_json::to_string(response_result(&stop).unwrap()).unwrap();
+    assert!(text.contains("stopping"));
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_match_the_offline_engine_byte_for_byte() {
+    let jobs = demo_jobs();
+    // The offline reference: scrubbed outcomes from a fresh engine.
+    let offline = Engine::new(Library::table1()).run_batch(&jobs);
+    let offline_outcomes = serde_json::to_value(&offline.outcomes);
+    let offline_outcome_values: Vec<Value> = jobs
+        .iter()
+        .map(|job| {
+            serde_json::to_value(
+                &Engine::new(Library::table1())
+                    .run_batch(std::slice::from_ref(job))
+                    .outcomes[0],
+            )
+        })
+        .collect();
+
+    let (handle, addr) = start(ephemeral(2, 16));
+    // Client A streams per-job `synth` calls; client B sends the whole
+    // set as one `batch`; both run concurrently against the shared
+    // engine and must answer exactly what the offline CLI computes.
+    let synth_thread = {
+        let addr = addr.clone();
+        let jobs = jobs.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            jobs.iter()
+                .map(|job| {
+                    let params = serde_json::to_value(job);
+                    let doc = client.call("synth", Some(&params), None).unwrap();
+                    response_result(&doc).expect("synth ok").clone()
+                })
+                .collect::<Vec<Value>>()
+        })
+    };
+    let batch_thread = {
+        let addr = addr.clone();
+        let jobs = jobs.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let params = Value::Map(vec![(key("jobs"), serde_json::to_value(&jobs))]);
+            let doc = client.call("batch", Some(&params), None).unwrap();
+            let result = response_result(&doc).expect("batch ok").clone();
+            let entries = result.as_map().unwrap().to_vec();
+            (
+                map_get(&entries, "jobs").cloned().unwrap(),
+                map_get(&entries, "outcomes").cloned().unwrap(),
+            )
+        })
+    };
+    let synth_outcomes = synth_thread.join().unwrap();
+    let (batch_jobs, batch_outcomes) = batch_thread.join().unwrap();
+
+    assert_eq!(synth_outcomes, offline_outcome_values);
+    assert_eq!(batch_jobs, Value::UInt(jobs.len() as u64));
+    assert_eq!(batch_outcomes, offline_outcomes);
+
+    // Repeating through the warmed shared cache answers identically.
+    let mut client = Client::connect(&addr).unwrap();
+    let params = serde_json::to_value(&jobs[0]);
+    let doc = client.call("synth", Some(&params), None).unwrap();
+    assert_eq!(
+        response_result(&doc).expect("cached synth ok"),
+        &offline_outcome_values[0]
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn sweep_and_pareto_match_offline_exploration_json() {
+    let (handle, addr) = start(ephemeral(2, 8));
+    let mut client = Client::connect(&addr).unwrap();
+    let params = Value::Map(vec![
+        (key("workload"), key("builtin:figure4a")),
+        (
+            key("latencies"),
+            Value::Seq(vec![Value::UInt(5), Value::UInt(6)]),
+        ),
+        (key("areas"), Value::Seq(vec![Value::UInt(4)])),
+    ]);
+    let doc = client.call("sweep", Some(&params), None).unwrap();
+    let sweep = response_result(&doc).expect("sweep ok");
+    let text = serde_json::to_string(sweep).unwrap();
+    assert!(text.contains("frontier"), "{text}");
+    assert!(text.contains("diagnostics"), "{text}");
+    assert!(text.contains("builtin:figure4a"), "{text}");
+
+    // Pareto without bound lists falls back to the default grid.
+    let params = Value::Map(vec![(key("workload"), key("builtin:figure4a"))]);
+    let doc = client.call("pareto", Some(&params), None).unwrap();
+    let pareto = response_result(&doc).expect("pareto ok");
+    assert!(serde_json::to_string(pareto).unwrap().contains("frontier"));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn full_queue_rejects_with_structured_overload() {
+    // queue_depth 0: every heavy request is refused at admission with a
+    // retry hint — no hang, no panic — while admin methods still work.
+    let (handle, addr) = start(ephemeral(1, 0));
+    let mut client = Client::connect(&addr).unwrap();
+    let params = serde_json::to_value(&SynthJob::new("builtin:figure4a", 6, 4));
+    let doc = client.call("synth", Some(&params), None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("overloaded"));
+    let error = map_get(doc.as_map().unwrap(), "error").unwrap();
+    assert!(map_get(error.as_map().unwrap(), "retry_after_ms").is_some());
+    // The connection survives the rejection.
+    let pong = client.call("ping", None, None).unwrap();
+    assert!(response_result(&pong).is_some());
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn expired_deadlines_answer_deadline_exceeded() {
+    let (handle, addr) = start(ephemeral(1, 4));
+    let mut client = Client::connect(&addr).unwrap();
+    let params = serde_json::to_value(&SynthJob::new("builtin:figure4a", 6, 4));
+    let doc = client.call("synth", Some(&params), Some(0)).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("deadline_exceeded"));
+    // A generous deadline passes.
+    let doc = client.call("synth", Some(&params), Some(60_000)).unwrap();
+    assert!(response_result(&doc).is_some());
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn malformed_requests_get_structured_bad_request() {
+    let (handle, addr) = start(ephemeral(1, 4));
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Not JSON at all: id echoes as null.
+    let raw = client.roundtrip("this is not json").unwrap();
+    let doc: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("bad_request"));
+    assert_eq!(map_get(doc.as_map().unwrap(), "id"), Some(&Value::Null));
+
+    // Unknown method.
+    let doc = client.call("frobnicate", None, None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("bad_request"));
+
+    // `jobs: 0` in batch params: a worker count is not a job list.
+    let params = Value::Map(vec![(key("jobs"), Value::UInt(0))]);
+    let doc = client.call("batch", Some(&params), None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("bad_request"));
+    let text = serde_json::to_string(&doc).unwrap();
+    assert!(text.contains("array of synthesis jobs"), "{text}");
+    assert!(text.contains("--jobs"), "{text}");
+
+    // An empty job list is rejected too.
+    let params = Value::Map(vec![(key("jobs"), Value::Seq(vec![]))]);
+    let doc = client.call("batch", Some(&params), None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("bad_request"));
+
+    // Synth params with zero bounds surface the engine's message.
+    let params: Value =
+        serde_json::from_str(r#"{"workload": "builtin:figure4a", "latency": 0, "area": 4}"#)
+            .unwrap();
+    let doc = client.call("synth", Some(&params), None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("bad_request"));
+
+    // A malformed file workload carries path and line through the wire.
+    let dir = std::env::temp_dir().join("rchls-serve-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.dfg");
+    std::fs::write(&path, "graph g\nop a add\na -> ghost\n").unwrap();
+    let params = Value::Map(vec![(
+        key("workload"),
+        Value::Str(format!("file:{}", path.display())),
+    )]);
+    let doc = client.call("pareto", Some(&params), None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("bad_request"));
+    let text = serde_json::to_string(&doc).unwrap();
+    assert!(text.contains("broken.dfg"), "{text}");
+    assert!(text.contains("line 3"), "{text}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_via_handle_unblocks_everything() {
+    let (handle, addr) = start(ephemeral(2, 4));
+    // An idle connected client must not keep the server alive.
+    let _idle = Client::connect(&addr).unwrap();
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn soak_1k_requests_stays_under_cache_budget() {
+    // 1000 synth requests cycling 100 distinct workloads through a
+    // 64 KiB budget: the resident cache size must stay bounded the
+    // whole way, and the budget must actually evict.
+    const BUDGET: u64 = 64 * 1024;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 2,
+        queue_depth: 32,
+        cache_budget: rchls_core::CacheBudget::limited(BUDGET),
+    };
+    let (handle, addr) = start(config);
+
+    let resident_bytes = |client: &mut Client| -> u64 {
+        let doc = client.call("metrics", None, None).unwrap();
+        let result = response_result(&doc).expect("metrics ok");
+        let session = map_get(result.as_map().unwrap(), "session").unwrap();
+        match map_get(session.as_map().unwrap(), "resident_cache_bytes") {
+            Some(Value::UInt(n)) => *n,
+            other => panic!("resident_cache_bytes missing or wrong type: {other:?}"),
+        }
+    };
+
+    let workers: Vec<_> = (0..4)
+        .map(|lane| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut over_budget = 0u32;
+                for i in 0..250u32 {
+                    let seed = (lane * 250 + i) % 100;
+                    let job = SynthJob::new(format!("random:10x3@{seed}"), 8, 6);
+                    let params = serde_json::to_value(&job);
+                    let doc = client.call("synth", Some(&params), None).unwrap();
+                    // Every request gets a definite answer: a result or
+                    // a structured error, never a dropped line.
+                    assert!(
+                        response_result(&doc).is_some() || response_error_kind(&doc).is_some(),
+                        "request {lane}/{i} got no structured answer"
+                    );
+                    if i % 50 == 0 && resident_bytes(&mut client) > BUDGET {
+                        over_budget += 1;
+                    }
+                }
+                over_budget
+            })
+        })
+        .collect();
+    let over_budget: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(
+        over_budget, 0,
+        "resident cache exceeded the budget mid-soak"
+    );
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(resident_bytes(&mut client) <= BUDGET);
+
+    // The budget had to work for a living: evictions happened, and the
+    // eviction counters ride through the validated metrics snapshot.
+    let doc = client.call("metrics", None, None).unwrap();
+    let result = response_result(&doc).expect("metrics ok");
+    let entries = result.as_map().unwrap();
+    let session = map_get(entries, "session").unwrap().as_map().unwrap();
+    match map_get(session, "cache_evictions") {
+        Some(Value::UInt(n)) => assert!(*n > 0, "soak never evicted"),
+        other => panic!("cache_evictions missing or wrong type: {other:?}"),
+    }
+    let snapshot = map_get(entries, "metrics").expect("snapshot present");
+    rchls_telemetry::metrics::validate_snapshot(snapshot).expect("snapshot validates");
+    let text = serde_json::to_string(snapshot).unwrap();
+    assert!(text.contains("synth_cache.evictions"), "{text}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn cache_budget_never_changes_responses() {
+    let jobs = demo_jobs();
+    let offline = serde_json::to_value(&Engine::new(Library::table1()).run_batch(&jobs).outcomes);
+    for budget in ["0", "64KiB", "unlimited"] {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 2,
+            queue_depth: 8,
+            cache_budget: rchls_core::CacheBudget::parse(budget).unwrap(),
+        };
+        let (handle, addr) = start(config);
+        let mut client = Client::connect(&addr).unwrap();
+        let params = Value::Map(vec![(key("jobs"), serde_json::to_value(&jobs))]);
+        // Twice: the second pass replays through whatever the budget
+        // left resident and must not change a byte.
+        for pass in 0..2 {
+            let doc = client.call("batch", Some(&params), None).unwrap();
+            let result = response_result(&doc).expect("batch ok");
+            let outcomes = map_get(result.as_map().unwrap(), "outcomes").unwrap();
+            assert_eq!(outcomes, &offline, "budget {budget}, pass {pass}");
+        }
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -35,6 +35,13 @@ pub const COUNT_BUCKETS: &[u64] = &[
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
 ];
 
+/// Default histogram bounds for byte sizes (cache residency, payload
+/// lengths): powers of four from 64 B to 4 GiB.
+pub const BYTE_BUCKETS: &[u64] = &[
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864, 268435456,
+    1073741824, 4294967296,
+];
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {

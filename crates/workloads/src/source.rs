@@ -377,6 +377,32 @@ mod tests {
         assert_eq!(w.dfg.node_count(), 2);
         let e = load_workload("file:/nonexistent/x.dfg").unwrap_err();
         assert!(e.message.contains("cannot read"));
+        // The display of every file-spec failure carries the offending
+        // path (via the spec) so batch documents stay actionable.
+        assert!(e.to_string().contains("/nonexistent/x.dfg"), "{e}");
+    }
+
+    #[test]
+    fn malformed_file_specs_carry_path_and_line() {
+        let dir = std::env::temp_dir().join("rchls-workload-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A per-line problem reports the path and the offending line.
+        let bad = dir.join("bad-line.dfg");
+        std::fs::write(&bad, "graph g\nop a add\na -> ghost\n").unwrap();
+        let e = load_workload(&format!("file:{}", bad.display())).unwrap_err();
+        let shown = e.to_string();
+        assert!(shown.contains("bad-line.dfg"), "{shown}");
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(shown.contains("ghost"), "{shown}");
+        // A whole-graph problem (cycle) reports the path and the op's
+        // label — no bogus `line 0`, no internal node id.
+        let cyc = dir.join("cycle.dfg");
+        std::fs::write(&cyc, "graph g\nop a add\nop b add\na -> b\nb -> a\n").unwrap();
+        let e = load_workload(&format!("file:{}", cyc.display())).unwrap_err();
+        let shown = e.to_string();
+        assert!(shown.contains("cycle.dfg"), "{shown}");
+        assert!(shown.contains("cycle detected through op \"a\""), "{shown}");
+        assert!(!shown.contains("line 0"), "{shown}");
     }
 
     #[test]
