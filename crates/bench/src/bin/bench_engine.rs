@@ -105,6 +105,7 @@ fn serve_smoke(workers: usize) -> serde::Value {
     let mut client =
         rchls_serve::Client::connect(&handle.addr().to_string()).expect("connect to daemon");
 
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let mut requests = 0u64;
     // Per-job synth round trips, then the whole set as one batch.
@@ -188,11 +189,13 @@ fn bench_family(nodes: usize, layers: usize, seeds: u64, workers: usize) -> Fami
     let jobs = family_jobs(nodes, layers, seeds);
 
     let serial_engine = Engine::new(Library::table1()).with_jobs(1);
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let serial = serial_engine.run_batch(&jobs);
     let serial_ms = millis(start);
 
     let parallel_engine = Engine::new(Library::table1()).with_jobs(workers);
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let parallel = parallel_engine.run_batch(&jobs);
     let parallel_ms = millis(start);
@@ -203,6 +206,7 @@ fn bench_family(nodes: usize, layers: usize, seeds: u64, workers: usize) -> Fami
     let deterministic = serial_doc == parallel_doc;
 
     // Warm repeat on the parallel engine: every point is memoized.
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let _ = parallel_engine.run_batch(&jobs);
     let warm_ms = millis(start);
@@ -264,6 +268,7 @@ fn main() {
     };
     let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
 
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let mut results = Vec::new();
     for &(nodes, layers, seeds) in families {

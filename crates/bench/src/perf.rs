@@ -122,6 +122,7 @@ pub fn perf_jobs() -> Vec<SynthJob> {
 /// Returns iterations per second (the checksum keeps the loop honest).
 #[must_use]
 pub fn calibrate(iters: u64) -> f64 {
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let mut x = 0x9E37_79B9_7F4A_7C15u64;
     for _ in 0..iters {
@@ -158,6 +159,7 @@ pub fn measure_perf_section(calibration_iters: u64) -> PerfSection {
 
     rchls_telemetry::metrics::reset();
     let engine = Engine::new(Library::table1()).with_jobs(1);
+    // rchls-lint: allow(wall-clock, reason = "benchmark timer: measuring wall time is the point")
     let start = Instant::now();
     let mut sched_micros = 0u64;
     let mut bind_micros = 0u64;

@@ -41,7 +41,7 @@ impl Assignment {
     /// budgeted caches.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
-        self.versions.capacity() * std::mem::size_of::<VersionId>()
+        self.versions.capacity() * size_of::<VersionId>()
     }
 }
 

@@ -213,7 +213,7 @@ mod tests {
             .build()
             .unwrap();
         let d = Delays::uniform(&g, 1);
-        let s = rchls_sched::Schedule::new(vec![1, 4], &d);
+        let s = Schedule::new(vec![1, 4], &d);
         let lts = value_lifetimes(&g, &s, &d);
         assert_eq!(lts[0].defined, 1);
         assert_eq!(lts[0].last_use, 5); // outputs outlive the schedule

@@ -379,7 +379,7 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
                 });
             }
             (
-                std::sync::Arc::new(rchls_core::flow::Pipelined::with_ii(ii)),
+                std::sync::Arc::new(flow::Pipelined::with_ii(ii)),
                 format!("pipelined design ({bounds}, II={ii}):\n"),
             )
         }

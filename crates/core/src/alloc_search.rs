@@ -640,7 +640,7 @@ mod tests {
             assert!(alloc.iter().any(|&(_, n)| n > 0));
             // Only adder-class versions appear (graph has no multiplies).
             for &(v, _) in alloc {
-                assert_eq!(lib.version(v).class(), rchls_dfg::OpClass::Adder);
+                assert_eq!(lib.version(v).class(), OpClass::Adder);
             }
         }
         // {1x adder1}, {2x adder1}, {1x adder2}, {1x adder3}, {a1+a2}, ...

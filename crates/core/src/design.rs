@@ -39,7 +39,7 @@ impl Design {
         self.assignment.approx_heap_bytes()
             + self.schedule.approx_heap_bytes()
             + self.binding.approx_heap_bytes()
-            + self.replication.capacity() * std::mem::size_of::<u32>()
+            + self.replication.capacity() * size_of::<u32>()
     }
 
     /// Assembles a design and computes its metrics.

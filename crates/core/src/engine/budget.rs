@@ -221,10 +221,14 @@ impl<V> BudgetedTable<V> {
         let Some(budget) = self.budget else { return 0 };
         let mut evicted = 0;
         while self.resident_bytes > budget && !self.entries.is_empty() {
+            // Ticks are unique, so `last_used` alone already picks one
+            // entry; the key tie-break keeps the choice independent of
+            // hash iteration order even if that ever changes.
             let key = *self
                 .entries
+                // rchls-lint: allow(unordered-iter, reason = "min over (last_used, key) is iteration-order independent")
                 .iter()
-                .min_by_key(|(_, slot)| slot.last_used)
+                .min_by_key(|(key, slot)| (slot.last_used, **key))
                 .expect("non-empty table has a minimum")
                 .0;
             let slot = self.entries.remove(&key).expect("key just found");

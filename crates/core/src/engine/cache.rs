@@ -93,7 +93,7 @@ impl CacheEntry {
     /// Approximate bytes this entry keeps resident — the size-accounting
     /// input for the cache's LRU budget.
     fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<CacheEntry>()
+        size_of::<CacheEntry>()
             + self.strategy.capacity()
             + self.result.as_ref().map_or(0, SynthReport::approx_bytes)
     }
@@ -181,11 +181,7 @@ impl SynthCache {
     /// synth share, the starts/alloc tables and the scratch pool take
     /// theirs. Layers over their new share evict immediately.
     pub fn set_budget(&self, budget: CacheBudget) {
-        let evicted = self
-            .entries
-            .lock()
-            .expect("cache lock")
-            .set_budget(budget.synth_share());
+        let evicted = crate::sync::lock_unpoisoned(&self.entries).set_budget(budget.synth_share());
         crate::obs::synth_cache_evictions().add(evicted);
         self.starts
             .set_budget(budget.starts_share(), budget.alloc_share());
@@ -206,7 +202,7 @@ impl SynthCache {
         compute: impl FnOnce() -> Result<SynthReport, SynthesisError>,
     ) -> Option<SynthReport> {
         let mut collided = false;
-        if let Some(entry) = self.entries.lock().expect("cache lock").get(key.0) {
+        if let Some(entry) = crate::sync::lock_unpoisoned(&self.entries).get(key.0) {
             if entry.bounds == bounds && entry.strategy == strategy_token {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 crate::obs::synth_cache_hits().incr();
@@ -226,7 +222,7 @@ impl SynthCache {
             };
             let bytes = entry.approx_bytes();
             let (evicted, resident) = {
-                let mut table = self.entries.lock().expect("cache lock");
+                let mut table = crate::sync::lock_unpoisoned(&self.entries);
                 let evicted = table.insert(key.0, entry, bytes);
                 (evicted, table.resident_bytes())
             };
@@ -250,7 +246,7 @@ impl SynthCache {
     /// ever-memoized count use [`SynthCache::seen_points`].
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        crate::sync::lock_unpoisoned(&self.entries).len()
     }
 
     /// `true` when nothing is currently memoized.
@@ -264,19 +260,19 @@ impl SynthCache {
     /// this rather than [`SynthCache::len`].
     #[must_use]
     pub fn seen_points(&self) -> usize {
-        self.entries.lock().expect("cache lock").seen_len()
+        crate::sync::lock_unpoisoned(&self.entries).seen_len()
     }
 
     /// Approximate resident bytes of the memo table.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
-        self.entries.lock().expect("cache lock").resident_bytes()
+        crate::sync::lock_unpoisoned(&self.entries).resident_bytes()
     }
 
     /// Entries evicted from the memo table since construction.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.entries.lock().expect("cache lock").evictions()
+        crate::sync::lock_unpoisoned(&self.entries).evictions()
     }
 }
 
@@ -452,6 +448,32 @@ mod tests {
         assert!(unlimited.resident_bytes() > 0);
         assert_eq!(unlimited.evictions(), 0);
         assert_eq!(unlimited.seen_points(), 1);
+    }
+
+    #[test]
+    fn a_poisoned_lock_does_not_wedge_the_cache() {
+        let dfg = tiny();
+        let lib = Library::table1();
+        let cache = SynthCache::new();
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let first = cache.synthesize(&dfg, &lib, Bounds::new(6, 4), &flow_spec, model, &*ours());
+        // Panic while holding the memo-table lock, as a panicking request
+        // in a shared session would.
+        let poisoner = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.entries.lock().unwrap();
+                    panic!("poison the cache lock");
+                })
+                .join()
+        });
+        assert!(poisoner.is_err());
+        assert!(cache.entries.is_poisoned());
+        // The session keeps serving: the memoized entry still answers.
+        let second = cache.synthesize(&dfg, &lib, Bounds::new(6, 4), &flow_spec, model, &*ours());
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
 
     #[test]

@@ -419,16 +419,11 @@ impl Engine {
     ///
     /// Returns [`EngineError::Workload`] when the spec does not resolve.
     pub fn workload(&self, spec: &str) -> Result<InternedWorkload, EngineError> {
-        if let Some(found) = self
-            .workloads
-            .read()
-            .expect("workload intern lock")
-            .get(spec)
-        {
+        if let Some(found) = crate::sync::read_unpoisoned(&self.workloads).get(spec) {
             return Ok(found.clone());
         }
         let loaded = rchls_workloads::load_workload(spec)?;
-        let mut table = self.workloads.write().expect("workload intern lock");
+        let mut table = crate::sync::write_unpoisoned(&self.workloads);
         // Under the write lock, prefer any entry that appeared since the
         // read-lock miss — either this spelling (a racing resolver) or
         // the canonical one (`random:30x6` after `random:30x6@0`) — so
@@ -453,7 +448,7 @@ impl Engine {
     /// Number of distinct workloads interned so far.
     #[must_use]
     pub fn interned_workloads(&self) -> usize {
-        let table = self.workloads.read().expect("workload intern lock");
+        let table = crate::sync::read_unpoisoned(&self.workloads);
         let mut specs: Vec<&str> = table.values().map(|w| w.spec.as_str()).collect();
         specs.sort_unstable();
         specs.dedup();

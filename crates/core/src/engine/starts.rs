@@ -46,7 +46,7 @@ impl StartsEntry {
     /// Approximate bytes this entry keeps resident — the size-accounting
     /// input for the cache's LRU budget.
     fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<StartsEntry>()
+        size_of::<StartsEntry>()
             + self.scheduler.capacity()
             + self.binder.capacity()
             + self
@@ -71,7 +71,7 @@ impl AllocEntry {
     /// Approximate bytes this entry keeps resident — the size-accounting
     /// input for the cache's LRU budget.
     fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<AllocEntry>()
+        size_of::<AllocEntry>()
             + self.design.as_ref().map_or(0, |(a, s, b)| {
                 a.approx_heap_bytes() + s.approx_heap_bytes() + b.approx_heap_bytes()
             })
@@ -111,7 +111,7 @@ impl StartsCache {
     /// [`StartsCache::seen_len`].
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("starts cache lock").len()
+        crate::sync::lock_unpoisoned(&self.entries).len()
     }
 
     /// `true` when no pool is currently interned.
@@ -124,57 +124,42 @@ impl StartsCache {
     /// [`StartsCache::alloc_seen_len`] for the deterministic count).
     #[must_use]
     pub fn alloc_len(&self) -> usize {
-        self.alloc.lock().expect("alloc design lock").len()
+        crate::sync::lock_unpoisoned(&self.alloc).len()
     }
 
     /// Number of distinct start pools ever interned — independent of
     /// eviction, so deterministic documents report this.
     #[must_use]
     pub fn seen_len(&self) -> usize {
-        self.entries.lock().expect("starts cache lock").seen_len()
+        crate::sync::lock_unpoisoned(&self.entries).seen_len()
     }
 
     /// Number of distinct allocation-first designs ever interned.
     #[must_use]
     pub fn alloc_seen_len(&self) -> usize {
-        self.alloc.lock().expect("alloc design lock").seen_len()
+        crate::sync::lock_unpoisoned(&self.alloc).seen_len()
     }
 
     /// Approximate resident bytes across both tables.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("starts cache lock")
-            .resident_bytes()
-            + self
-                .alloc
-                .lock()
-                .expect("alloc design lock")
-                .resident_bytes()
+        crate::sync::lock_unpoisoned(&self.entries).resident_bytes()
+            + crate::sync::lock_unpoisoned(&self.alloc).resident_bytes()
     }
 
     /// Entries evicted from both tables since construction.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.entries.lock().expect("starts cache lock").evictions()
-            + self.alloc.lock().expect("alloc design lock").evictions()
+        crate::sync::lock_unpoisoned(&self.entries).evictions()
+            + crate::sync::lock_unpoisoned(&self.alloc).evictions()
     }
 
     /// Applies the session budget's shares to the pool and alloc-design
     /// tables, evicting immediately when over.
     pub(crate) fn set_budget(&self, pools: Option<usize>, alloc: Option<usize>) {
-        let evicted = self
-            .entries
-            .lock()
-            .expect("starts cache lock")
-            .set_budget(pools);
+        let evicted = crate::sync::lock_unpoisoned(&self.entries).set_budget(pools);
         crate::obs::starts_cache_evictions().add(evicted);
-        let evicted = self
-            .alloc
-            .lock()
-            .expect("alloc design lock")
-            .set_budget(alloc);
+        let evicted = crate::sync::lock_unpoisoned(&self.alloc).set_budget(alloc);
         crate::obs::alloc_cache_evictions().add(evicted);
     }
 
@@ -221,7 +206,7 @@ impl StartsCache {
         fp.update(&flow.binder);
         let key = fp.finish();
 
-        if let Some(entry) = self.entries.lock().expect("starts cache lock").get(key) {
+        if let Some(entry) = crate::sync::lock_unpoisoned(&self.entries).get(key) {
             if entry.bounds == bounds
                 && entry.scheduler == flow.scheduler
                 && entry.binder == flow.binder
@@ -254,7 +239,7 @@ impl StartsCache {
         };
         let bytes = entry.approx_bytes();
         let (evicted, resident) = {
-            let mut table = self.entries.lock().expect("starts cache lock");
+            let mut table = crate::sync::lock_unpoisoned(&self.entries);
             let evicted = table.insert(key, entry, bytes);
             (evicted, table.resident_bytes())
         };
@@ -285,7 +270,7 @@ impl StartsCache {
         fp.update(&bounds);
         let key = fp.finish();
 
-        if let Some(entry) = self.alloc.lock().expect("alloc design lock").get(key) {
+        if let Some(entry) = crate::sync::lock_unpoisoned(&self.alloc).get(key) {
             if entry.bounds == bounds {
                 self.alloc_hits.fetch_add(1, Ordering::Relaxed);
                 crate::obs::alloc_cache_hits().incr();
@@ -320,7 +305,7 @@ impl StartsCache {
         };
         let bytes = entry.approx_bytes();
         let (evicted, resident) = {
-            let mut table = self.alloc.lock().expect("alloc design lock");
+            let mut table = crate::sync::lock_unpoisoned(&self.alloc);
             let evicted = table.insert(key, entry, bytes);
             (evicted, table.resident_bytes())
         };

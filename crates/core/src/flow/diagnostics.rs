@@ -62,7 +62,7 @@ impl Diagnostics {
     /// budgeted caches.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
-        self.candidate_pool_sizes.capacity() * std::mem::size_of::<u32>()
+        self.candidate_pool_sizes.capacity() * size_of::<u32>()
     }
 
     /// A copy with every wall-clock timing zeroed — the deterministic form
@@ -251,8 +251,7 @@ mod tests {
             candidate_pool_sizes: vec![1, 2, 3],
             ..Diagnostics::default()
         };
-        let back: Diagnostics =
-            serde::Deserialize::from_value(&serde::Serialize::to_value(&d)).unwrap();
+        let back: Diagnostics = Deserialize::from_value(&Serialize::to_value(&d)).unwrap();
         assert_eq!(back, d);
     }
 }

@@ -142,7 +142,7 @@ impl FlowState {
     /// budgeted caches.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<FlowState>()
+        size_of::<FlowState>()
             + self.assignment.approx_heap_bytes()
             + self.schedule.approx_heap_bytes()
             + self.binding.approx_heap_bytes()

@@ -84,25 +84,21 @@ impl<T: ?Sized> Table<T> {
     }
 
     fn get(&self, id: &str) -> Option<Arc<T>> {
-        self.entries
-            .read()
-            .expect("registry lock")
+        crate::sync::read_unpoisoned(&self.entries)
             .iter()
             .find(|(k, _)| k == id)
             .map(|(_, v)| Arc::clone(v))
     }
 
     fn ids(&self) -> Vec<String> {
-        self.entries
-            .read()
-            .expect("registry lock")
+        crate::sync::read_unpoisoned(&self.entries)
             .iter()
             .map(|(k, _)| k.clone())
             .collect()
     }
 
     fn insert(&self, id: String, value: Arc<T>) -> Result<(), RegistryError> {
-        let mut entries = self.entries.write().expect("registry lock");
+        let mut entries = crate::sync::write_unpoisoned(&self.entries);
         if entries.iter().any(|(k, _)| *k == id) {
             return Err(RegistryError {
                 kind: self.kind,

@@ -205,8 +205,8 @@ mod tests {
     #[test]
     fn serde_round_trips_as_plain_ids() {
         let f = FlowSpec::default().with_scheduler("force-directed");
-        let v = serde::Serialize::to_value(&f);
-        let back: FlowSpec = serde::Deserialize::from_value(&v).unwrap();
+        let v = Serialize::to_value(&f);
+        let back: FlowSpec = Deserialize::from_value(&v).unwrap();
         assert_eq!(back, f);
     }
 }

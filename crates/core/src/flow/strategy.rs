@@ -110,7 +110,7 @@ impl SynthReport {
     /// budgeted caches.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<SynthReport>()
+        size_of::<SynthReport>()
             + self.design.approx_heap_bytes()
             + self.diagnostics.approx_heap_bytes()
     }
@@ -432,8 +432,8 @@ mod tests {
         let scrubbed = report.diagnostics.scrubbed();
         assert_eq!(scrubbed.wall_time_micros, 0);
         // Serde round-trip of the full report.
-        let v = serde::Serialize::to_value(&report);
-        let back: SynthReport = serde::Deserialize::from_value(&v).unwrap();
+        let v = Serialize::to_value(&report);
+        let back: SynthReport = Deserialize::from_value(&v).unwrap();
         assert_eq!(back, report);
     }
 }

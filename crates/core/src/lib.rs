@@ -79,6 +79,7 @@ mod obs;
 mod pipelined;
 mod redundancy;
 mod scratch;
+mod sync;
 mod synth;
 mod validate;
 

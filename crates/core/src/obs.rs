@@ -76,6 +76,10 @@ counter_handle!(
     /// `scratch_pool.creates` — lends that had to allocate a new arena.
     scratch_pool_creates, "scratch_pool.creates");
 counter_handle!(
+    /// `core.lock_poisoned` — poisoned cache/registry locks recovered
+    /// instead of aborting (see [`crate::sync`]).
+    lock_poisoned, "core.lock_poisoned");
+counter_handle!(
     /// `executor.jobs` — jobs completed by the sweep executor.
     executor_jobs, "executor.jobs");
 counter_handle!(

@@ -141,7 +141,7 @@ mod tests {
     use crate::synth::Synthesizer;
     use rchls_dfg::{DfgBuilder, OpKind};
 
-    fn chain2() -> rchls_dfg::Dfg {
+    fn chain2() -> Dfg {
         DfgBuilder::new("chain2")
             .ops(&["a", "b"], OpKind::Add)
             .dep("a", "b")

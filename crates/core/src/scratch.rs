@@ -79,7 +79,7 @@ impl ScratchPool {
     /// Caps the bytes of idle arena capacity the pool may retain
     /// (`None` = unlimited). A budget of 0 disables pooling entirely.
     pub fn set_budget(&self, budget: Option<usize>) {
-        self.pool.lock().expect("scratch pool lock").budget = budget;
+        crate::sync::lock_unpoisoned(&self.pool).budget = budget;
     }
 
     /// Takes an idle scratch (creating one when none is pooled). The
@@ -88,7 +88,7 @@ impl ScratchPool {
     pub fn acquire(&self) -> SynthScratch {
         crate::obs::scratch_pool_lends().incr();
         let pooled = {
-            let mut state = self.pool.lock().expect("scratch pool lock");
+            let mut state = crate::sync::lock_unpoisoned(&self.pool);
             let popped = state.arenas.pop();
             if let Some((_, bytes)) = &popped {
                 state.bytes -= bytes;
@@ -107,7 +107,7 @@ impl ScratchPool {
     /// retaining it would exceed the pool's byte budget.
     pub fn release(&self, scratch: SynthScratch) {
         let bytes = scratch.approx_heap_bytes();
-        let mut state = self.pool.lock().expect("scratch pool lock");
+        let mut state = crate::sync::lock_unpoisoned(&self.pool);
         if let Some(budget) = state.budget {
             if state.bytes + bytes > budget {
                 drop(state);
@@ -122,13 +122,13 @@ impl ScratchPool {
     /// Number of idle arenas currently pooled.
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.pool.lock().expect("scratch pool lock").arenas.len()
+        crate::sync::lock_unpoisoned(&self.pool).arenas.len()
     }
 
     /// Approximate bytes of idle arena capacity currently pooled.
     #[must_use]
     pub fn pooled_bytes(&self) -> usize {
-        self.pool.lock().expect("scratch pool lock").bytes
+        crate::sync::lock_unpoisoned(&self.pool).bytes
     }
 }
 

@@ -375,7 +375,7 @@ impl<'a> Synthesizer<'a> {
         &self,
         bounds: Bounds,
         diagnostics: &mut Diagnostics,
-    ) -> Option<(Assignment, rchls_sched::Schedule, Binding)> {
+    ) -> Option<(Assignment, Schedule, Binding)> {
         match self.starts {
             Some(cache) => cache.alloc_design(self, bounds, diagnostics),
             None => crate::alloc_search::best_allocation_design_diag(

@@ -1,0 +1,296 @@
+//! `lint.toml`: the committed, reviewable scope configuration.
+//!
+//! Suppression has exactly two mechanisms, both in-tree and both
+//! carrying rationale: inline pragmas (see [`crate::pragma`]) for
+//! single sites, and this file for whole crates or paths (a crate-wide
+//! exemption such as "`rchls-telemetry` owns the clock" belongs in
+//! review-visible configuration, not sprinkled over call sites).
+//!
+//! The container builds offline, so the parser is a hand-rolled TOML
+//! subset — exactly what the committed `lint.toml` needs: `[section]`
+//! and `[section.sub-section]` headers, string / integer / boolean
+//! scalars, arrays of strings, and `#` comments.
+
+use std::collections::BTreeMap;
+
+/// Scope configuration for one rule, from a `[rules.<id>]` section.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Crates the rule runs in. Empty = every first-party crate.
+    pub crates: Vec<String>,
+    /// Crates the rule never fires in.
+    pub allow_crates: Vec<String>,
+    /// Repo-relative path prefixes the rule never fires in.
+    pub allow_paths: Vec<String>,
+}
+
+impl RuleConfig {
+    /// `true` when the rule applies to `crate_name` at `path` (repo
+    /// relative, `/`-separated).
+    #[must_use]
+    pub fn applies(&self, crate_name: &str, path: &str) -> bool {
+        if !self.crates.is_empty() && !self.crates.iter().any(|c| c == crate_name) {
+            return false;
+        }
+        if self.allow_crates.iter().any(|c| c == crate_name) {
+            return false;
+        }
+        !self
+            .allow_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Directories (repo relative) to scan for first-party sources.
+    pub include: Vec<String>,
+    /// Path prefixes never scanned (vendored shims, build output).
+    pub exclude: Vec<String>,
+    /// Per-rule scope, keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            include: vec!["src".to_owned(), "crates".to_owned()],
+            exclude: vec!["vendor".to_owned(), "target".to_owned()],
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// The scope for `rule`, defaulting to "everywhere".
+    #[must_use]
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered message on syntax the subset does not
+    /// cover, unknown sections, or unknown keys — a config typo must
+    /// fail loudly, not silently widen the lint's scope.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let mut config = LintConfig {
+            include: Vec::new(),
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+        };
+        let mut section: Vec<String> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated section header"))?;
+                section = header.split('.').map(|s| s.trim().to_owned()).collect();
+                if section.iter().any(String::is_empty) {
+                    return Err(format!("line {lineno}: empty section name"));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = parse_value(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+            config.apply(&section, key, value, lineno)?;
+        }
+        if config.include.is_empty() {
+            config.include = LintConfig::default().include;
+        }
+        Ok(config)
+    }
+
+    fn apply(
+        &mut self,
+        section: &[String],
+        key: &str,
+        value: TomlValue,
+        lineno: usize,
+    ) -> Result<(), String> {
+        let section_names: Vec<&str> = section.iter().map(String::as_str).collect();
+        match (section_names.as_slice(), key) {
+            ([], "schema_version") => match value {
+                TomlValue::Int(SCHEMA_VERSION) => Ok(()),
+                TomlValue::Int(other) => Err(format!(
+                    "line {lineno}: unsupported schema_version {other} (this tool reads {SCHEMA_VERSION})"
+                )),
+                _ => Err(format!("line {lineno}: schema_version must be an integer")),
+            },
+            (["scan"], "include") => {
+                self.include = value.into_strings(lineno, key)?;
+                Ok(())
+            }
+            (["scan"], "exclude") => {
+                self.exclude = value.into_strings(lineno, key)?;
+                Ok(())
+            }
+            (["rules", rule], _) => {
+                let entry = self.rules.entry((*rule).to_owned()).or_default();
+                match key {
+                    "crates" => entry.crates = value.into_strings(lineno, key)?,
+                    "allow_crates" => entry.allow_crates = value.into_strings(lineno, key)?,
+                    "allow_paths" => entry.allow_paths = value.into_strings(lineno, key)?,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: unknown rule key {other:?} (crates, allow_crates, allow_paths)"
+                        ))
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(format!(
+                "line {lineno}: unknown section {:?}",
+                section.join(".")
+            )),
+        }
+    }
+}
+
+/// The `schema_version` this parser accepts.
+pub const SCHEMA_VERSION: i64 = 1;
+
+#[derive(Debug)]
+enum TomlValue {
+    Str(String),
+    Int(i64),
+    #[allow(dead_code)]
+    Bool(bool),
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn into_strings(self, lineno: usize, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            TomlValue::Array(items) => items
+                .into_iter()
+                .map(|item| match item {
+                    TomlValue::Str(s) => Ok(s),
+                    _ => Err(format!("line {lineno}: {key} must be an array of strings")),
+                })
+                .collect(),
+            _ => Err(format!("line {lineno}: {key} must be an array of strings")),
+        }
+    }
+}
+
+/// Strips a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<TomlValue, String> {
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or("unterminated array (arrays must be single-line)")?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part)?);
+            }
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or("unterminated string")?;
+        return Ok(TomlValue::Str(body.to_owned()));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    text.parse::<i64>()
+        .map(TomlValue::Int)
+        .map_err(|_| format!("unsupported value {text:?}"))
+}
+
+/// Splits an array body on commas outside quotes.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let config = LintConfig::parse(
+            r#"
+schema_version = 1
+
+[scan]
+include = ["src", "crates"]
+exclude = ["vendor", "target"]  # build output
+
+[rules.wall-clock]
+allow_crates = ["rchls-telemetry"]
+
+[rules.unordered-iter]
+crates = ["rchls-core", "rchls-sched"]
+allow_paths = ["crates/core/src/engine/fingerprint.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(config.include, vec!["src", "crates"]);
+        let wall = config.rule("wall-clock");
+        assert!(wall.applies("rchls-core", "crates/core/src/synth.rs"));
+        assert!(!wall.applies("rchls-telemetry", "crates/telemetry/src/span.rs"));
+        let unordered = config.rule("unordered-iter");
+        assert!(unordered.applies("rchls-core", "crates/core/src/engine/cache.rs"));
+        assert!(!unordered.applies("rchls-bind", "crates/bind/src/binding.rs"));
+        assert!(!unordered.applies("rchls-core", "crates/core/src/engine/fingerprint.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_fail_loudly() {
+        assert!(LintConfig::parse("[rules.wall-clock]\ntypo_key = [\"x\"]\n").is_err());
+        assert!(LintConfig::parse("[scans]\ninclude = [\"src\"]\n").is_err());
+        assert!(LintConfig::parse("schema_version = 99\n").is_err());
+    }
+
+    #[test]
+    fn unconfigured_rule_applies_everywhere() {
+        let config = LintConfig::parse("schema_version = 1\n").unwrap();
+        assert!(config
+            .rule("float-order")
+            .applies("rchls-core", "crates/core/src/x.rs"));
+    }
+}

@@ -1,0 +1,511 @@
+//! A hand-rolled Rust lexer: just enough tokenization to run the rule
+//! catalog without `syn` (the container builds offline, so the analyzer
+//! follows the same shim discipline as `vendor/`).
+//!
+//! The lexer understands every construct that would otherwise corrupt a
+//! token-stream scan: ordinary/raw/byte strings (`"…"`, `r#"…"#`,
+//! `b"…"`, `br##"…"##`), char and byte-char literals (including `'"'`
+//! and `'\''`), lifetimes vs. char literals (`'a` vs `'a'`), raw
+//! identifiers (`r#fn`), nested block comments (`/* /* */ */`), and
+//! numeric literals with suffixes and exponents (`1_000f64`, `1e-5`).
+//! Comments are not tokens, but their text is kept (with position) so
+//! suppression pragmas can be read from comments *only* — a pragma
+//! spelled inside a string literal never counts.
+
+/// What a token is; the `text` on [`Tok`] carries the spelling where a
+/// rule needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers lose their `r#`).
+    Ident,
+    /// A lifetime such as `'a` (text keeps the leading `'`).
+    Lifetime,
+    /// A char or byte-char literal.
+    Char,
+    /// A string literal of any flavor (ordinary, raw, byte, raw byte).
+    Str,
+    /// A numeric literal; see [`Tok::is_float_literal`].
+    Num,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token spelling (for [`TokKind::Punct`], one character).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` for an identifier with exactly this spelling.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` for a punctuation token with exactly this character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    /// `true` when this numeric literal is a float (`1.5`, `1e9`,
+    /// `2f64`), as opposed to an integer.
+    #[must_use]
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Num {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        if t.contains('.') || t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        // An exponent (`1e9`, `2E-5`): `e`/`E` after a digit, before an
+        // optionally-signed digit. A suffix like `3usize` has no digit
+        // before its `e`.
+        let chars: Vec<char> = t.chars().collect();
+        chars.windows(2).enumerate().any(|(i, w)| {
+            matches!(w[0], 'e' | 'E')
+                && i > 0
+                && chars[i - 1].is_ascii_digit()
+                && (w[1].is_ascii_digit()
+                    || (matches!(w[1], '+' | '-')
+                        && chars.get(i + 2).is_some_and(char::is_ascii_digit)))
+        })
+    }
+}
+
+/// One comment (line or block), kept for pragma scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text, delimiters included.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace stripped.
+    pub toks: Vec<Tok>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`, never failing: unterminated constructs consume to
+/// end-of-file (rules still see every token before the damage).
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Lexer {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, col),
+                'b' if self.peek(1) == Some('\'') => self.byte_char(line, col),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                'b' if self.peek(1) == Some('r')
+                    && matches!(self.peek(2), Some('"') | Some('#')) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'r' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                'r' if self.peek(1) == Some('#') => self.raw_hash(line, col),
+                '\'' => self.quote(line, col),
+                _ if c.is_ascii_digit() => self.number(line, col),
+                _ if is_ident_start(c) => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// An ordinary (or byte) string body, opening `"` pending.
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    self.bump(); // whatever is escaped, including `\"`
+                }
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// A raw (or raw byte) string, positioned at the `#`s or `"`.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // the opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// `r#…`: a raw string (`r#"…"#`) or a raw identifier (`r#fn`).
+    fn raw_hash(&mut self, line: u32, col: u32) {
+        let mut ahead = 1;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        if self.peek(ahead) == Some('"') {
+            self.bump(); // the r
+            self.raw_string(line, col);
+        } else {
+            self.bump(); // the r
+            self.bump(); // the #
+            self.ident(line, col);
+        }
+    }
+
+    /// `b'…'`: a byte-char literal.
+    fn byte_char(&mut self, line: u32, col: u32) {
+        self.bump(); // the b
+        self.char_body(line, col);
+    }
+
+    /// A bare `'`: a char literal or a lifetime.
+    ///
+    /// `'\…` is always a char literal; `'x'` (any single char, then a
+    /// quote) is a char literal; otherwise an identifier start begins a
+    /// lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        let one = self.peek(1);
+        let two = self.peek(2);
+        if one == Some('\\') || two == Some('\'') {
+            self.char_body(line, col);
+        } else if one.is_some_and(is_ident_start) {
+            self.bump(); // the quote
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            // Unterminated or malformed; consume the quote and move on.
+            self.bump();
+            self.push(TokKind::Punct, "'".to_owned(), line, col);
+        }
+    }
+
+    /// A char-literal body, opening `'` pending.
+    fn char_body(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening quote
+        // Anything other than `\\` is the single (possibly multi-byte)
+        // character itself, already consumed.
+        if self.bump() == Some('\\') {
+            if self.bump() == Some('u') && self.peek(0) == Some('{') {
+                while let Some(c) = self.bump() {
+                    if c == '}' {
+                        break;
+                    }
+                }
+            } else {
+                // `\x41`-style escapes: consume to the close quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.push(TokKind::Char, String::new(), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let radix_prefix =
+            self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b'));
+        if radix_prefix {
+            text.push(self.bump().expect("digit"));
+            text.push(self.bump().expect("radix"));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // A fractional part only when a digit follows the dot:
+            // `1.5` is a float, `1..5` and `1.max(2)` are not.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if matches!(self.peek(0), Some('e') | Some('E'))
+                && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                    || (matches!(self.peek(1), Some('+') | Some('-'))
+                        && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+            {
+                text.push(self.bump().expect("exponent"));
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' || c == '+' || c == '-' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a::b;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ":".into()),
+                (TokKind::Punct, ":".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("&'a str; 'x'; '\\n'; '\"'; b'\\n'");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 1, "{toks:?}");
+        assert_eq!(lifetimes[0].1, "'a");
+        assert_eq!(chars.len(), 4, "{toks:?}");
+    }
+
+    #[test]
+    fn floats_are_classified() {
+        let toks = lex("1 1.5 1..2 0x1f 1e9 2f64 3usize").toks;
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|t| t.is_float_literal())
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e9", "2f64"]);
+    }
+
+    #[test]
+    fn comments_are_kept_not_tokenized() {
+        let lexed = lex("a // one\n/* two /* nested */ still */ b");
+        assert_eq!(lexed.toks.len(), 2);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn strings_swallow_everything() {
+        let lexed =
+            lex(r####"let s = "Instant::now() // not a comment"; r#"also "quoted" here"#;"####);
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(lexed.comments.is_empty());
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! `rchls-lint` — the workspace invariant analyzer.
+//!
+//! Every PR since the seed stakes this repo's credibility on invariants
+//! the golden tests can only catch *after* the fact: byte-identical
+//! output at any `--jobs`, `total_cmp`-only float ordering, no
+//! wall-clock reads on deterministic paths, and one structured response
+//! per request in the daemon. This crate checks them at the source
+//! level, on every commit, before the code runs.
+//!
+//! Because the container builds offline (no `syn`, no `dylint`), the
+//! analyzer is a hand-rolled Rust [`lexer`] plus a token-stream rule
+//! engine — the same shim discipline as `vendor/`. The [`rules`]
+//! catalog ships six checks, each with a stable id, a teaching message,
+//! and a span; `docs/lints.md` is the user-facing catalog.
+//!
+//! Suppression is explicit and reviewable, never silent: an inline
+//! pragma with a mandatory reason (see [`pragma`]) for single sites, or
+//! the committed `lint.toml` (see [`config`]) for whole crates/paths.
+//!
+//! ```
+//! use rchls_lint::{config::LintConfig, source::SourceFile};
+//!
+//! let config = LintConfig::default();
+//! let file = SourceFile::parse(
+//!     "crates/x/src/lib.rs".into(),
+//!     "rchls-x".into(),
+//!     false,
+//!     "fn f() { let t = std::time::Instant::now(); }",
+//! );
+//! let report = rchls_lint::analyze_files(vec![file], &config);
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "wall-clock");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use config::LintConfig;
+use report::{Finding, Report, Suppressed};
+use source::SourceFile;
+use std::path::Path;
+
+/// Scans the workspace at `root` under `config`.
+///
+/// # Errors
+///
+/// Returns a message when sources cannot be read.
+pub fn analyze_workspace(root: &Path, config: &LintConfig) -> Result<Report, String> {
+    let files = source::discover(root, config)?;
+    Ok(analyze_files(files, config))
+}
+
+/// Runs the rule catalog over already-loaded files (the test seam: the
+/// self-test feeds seeded violations through exactly this path).
+#[must_use]
+pub fn analyze_files(files: Vec<SourceFile>, config: &LintConfig) -> Report {
+    let catalog = rules::catalog();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed: Vec<Suppressed> = Vec::new();
+    for file in &files {
+        // Malformed pragmas are findings themselves — a suppression
+        // without a reason must not silently hold.
+        for err in &file.pragma_errors {
+            findings.push(Finding {
+                rule: pragma::BAD_PRAGMA,
+                path: file.path.clone(),
+                line: err.line,
+                col: 1,
+                message: err.message.clone(),
+                snippet: file.snippet(err.line),
+            });
+        }
+        let mut raw: Vec<Finding> = Vec::new();
+        for rule in &catalog {
+            if config.rule(rule.id()).applies(&file.crate_name, &file.path) {
+                rule.check(file, &mut raw);
+            }
+        }
+        for finding in raw {
+            // A pragma suppresses its own line and the next one, so the
+            // annotation sits on or directly above the violating line.
+            let pragma = file.pragmas.iter().find(|p| {
+                p.rule == finding.rule && (p.line == finding.line || p.line + 1 == finding.line)
+            });
+            match pragma {
+                Some(p) => suppressed.push(Suppressed {
+                    rule: p.rule.clone(),
+                    path: file.path.clone(),
+                    line: finding.line,
+                    reason: p.reason.clone(),
+                }),
+                None => findings.push(finding),
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    suppressed.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(b.path.as_str(), b.line, b.rule.as_str()))
+    });
+    Report {
+        files_scanned: files.len(),
+        findings,
+        suppressed,
+    }
+}
+
+/// Loads `lint.toml` from `root` (falling back to defaults when the
+/// file is absent) and scans the workspace.
+///
+/// # Errors
+///
+/// Returns a message on unreadable sources or a malformed config.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let config_path = root.join("lint.toml");
+    let config = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+        LintConfig::parse(&text).map_err(|e| format!("lint.toml: {e}"))?
+    } else {
+        LintConfig::default()
+    };
+    analyze_workspace(root, &config)
+}

@@ -1,0 +1,103 @@
+//! The `rchls-lint` binary: scan the workspace, print findings, exit
+//! non-zero unless lint-clean.
+//!
+//! ```text
+//! rchls-lint [--root DIR] [--config FILE] [--format text|json] [--out FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use rchls_lint::config::LintConfig;
+use rchls_lint::report::Report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: rchls-lint [--root DIR] [--config FILE] [--format text|json] [--out FILE]
+
+Scans first-party sources for determinism & serve-safety invariant
+violations (see docs/lints.md for the rule catalog). Exit code 0 when
+clean, 1 on findings, 2 on usage or I/O errors.";
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--format" => match value("--format")?.as_str() {
+                "json" => args.json = true,
+                "text" => args.json = false,
+                other => return Err(format!("unknown format {other:?} (text, json)\n\n{USAGE}")),
+            },
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(Report, Args), String> {
+    let args = parse_args()?;
+    let report = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let config =
+                LintConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            rchls_lint::analyze_workspace(&args.root, &config)?
+        }
+        None => rchls_lint::run(&args.root)?,
+    };
+    Ok((report, args))
+}
+
+fn main() -> ExitCode {
+    let (report, args) = match run() {
+        Ok(done) => done,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if args.json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        // Keep the terminal summary even when the document goes to disk.
+        if args.json {
+            print!("{}", report.render_text());
+        }
+    } else {
+        print!("{rendered}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

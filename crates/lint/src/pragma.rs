@@ -1,0 +1,181 @@
+//! Suppression pragmas: `// rchls-lint: allow(<rule>, reason = "…")`.
+//!
+//! A pragma is read from *plain* comment text only: the lexer never
+//! surfaces string-literal contents as comments (so a pragma spelled
+//! inside a string does not count), and doc comments (`///`, `//!`,
+//! `/** */`, `/*! */`) are rendered documentation where the syntax is
+//! legitimately quoted, so they are skipped too. A pragma suppresses
+//! findings of the named rule on its own line and on the following
+//! line — annotate the violating line itself, or the line directly
+//! above it.
+//!
+//! The `reason` is mandatory: a pragma without one suppresses nothing
+//! and is itself reported (rule id [`BAD_PRAGMA`]), so every silence in
+//! the workspace carries its justification in source.
+
+use crate::lexer::Comment;
+
+/// The marker that opens a pragma inside a comment.
+pub const MARKER: &str = "rchls-lint:";
+
+/// The rule id reported for malformed pragmas.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// One parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule id being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the pragma's comment starts on.
+    pub line: u32,
+}
+
+/// A pragma that does not parse, reported as a finding.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// What is wrong, in teaching terms.
+    pub message: String,
+    /// 1-based line of the offending comment.
+    pub line: u32,
+}
+
+/// Scans comments for pragmas. Malformed ones (missing reason, bad
+/// syntax) come back as errors, never as silent suppressions.
+#[must_use]
+pub fn scan(comments: &[Comment]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for comment in comments {
+        if is_doc_comment(&comment.text) {
+            continue;
+        }
+        let Some(at) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let rest = comment.text[at + MARKER.len()..].trim();
+        match parse_body(rest) {
+            Ok((rule, reason)) => pragmas.push(Pragma {
+                rule,
+                reason,
+                line: comment.line,
+            }),
+            Err(message) => errors.push(PragmaError {
+                message,
+                line: comment.line,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// `true` for `///`, `//!`, `/** */`, and `/*! */` comments — rendered
+/// documentation, never a pragma carrier.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// Parses `allow(<rule>, reason = "…")`.
+fn parse_body(body: &str) -> Result<(String, String), String> {
+    let teach = |what: &str| {
+        format!("{what} — write `{MARKER} allow(<rule>, reason = \"why this site is exempt\")`")
+    };
+    let Some(args) = body.strip_prefix("allow") else {
+        return Err(teach("pragma must start with `allow`"));
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err(teach("missing `(` after `allow`"));
+    };
+    let Some(args) = args.strip_suffix(')') else {
+        return Err(teach("missing closing `)`"));
+    };
+    let Some((rule, reason_part)) = args.split_once(',') else {
+        return Err(teach("missing the mandatory `reason = \"…\"` argument"));
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(teach("rule id must be a kebab-case name"));
+    }
+    let reason_part = reason_part.trim();
+    let Some(quoted) = reason_part.strip_prefix("reason") else {
+        return Err(teach("second argument must be `reason = \"…\"`"));
+    };
+    let quoted = quoted.trim_start();
+    let Some(quoted) = quoted.strip_prefix('=') else {
+        return Err(teach("missing `=` after `reason`"));
+    };
+    let quoted = quoted.trim();
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|q| q.strip_suffix('"'))
+        .ok_or_else(|| teach("reason must be a double-quoted string"))?;
+    if reason.trim().is_empty() {
+        return Err(teach("reason must not be empty"));
+    }
+    Ok((rule.to_owned(), reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_src(src: &str) -> (Vec<Pragma>, Vec<PragmaError>) {
+        scan(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (pragmas, errors) =
+            scan_src("let t = now(); // rchls-lint: allow(wall-clock, reason = \"bench timer\")\n");
+        assert!(errors.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].rule, "wall-clock");
+        assert_eq!(pragmas[0].reason, "bench timer");
+        assert_eq!(pragmas[0].line, 1);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error_not_a_suppression() {
+        let (pragmas, errors) = scan_src("// rchls-lint: allow(wall-clock)\n");
+        assert!(pragmas.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let (pragmas, errors) = scan_src("// rchls-lint: allow(wall-clock, reason = \"  \")\n");
+        assert!(pragmas.is_empty());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn pragma_inside_string_does_not_count() {
+        let (pragmas, errors) =
+            scan_src("let s = \"// rchls-lint: allow(wall-clock, reason = \\\"nope\\\")\";\n");
+        assert!(pragmas.is_empty());
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (pragmas, errors) = scan_src("// just a note about rchls-lint the tool\n");
+        assert!(pragmas.is_empty());
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let (pragmas, errors) = scan_src(
+            "/// Write `// rchls-lint: allow(<rule>, reason = \"…\")` to suppress.\nfn f() {}\n",
+        );
+        assert!(pragmas.is_empty());
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+}

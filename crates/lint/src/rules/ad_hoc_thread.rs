@@ -1,0 +1,46 @@
+//! `ad-hoc-thread`: concurrency stays in the executor.
+
+use crate::report::Finding;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+/// Flags `thread::spawn` outside the blessed concurrency owners (the
+/// engine executor, the serve daemon, telemetry — scoped by
+/// `lint.toml`).
+///
+/// Determinism at any `--jobs` holds because all parallelism funnels
+/// through `SweepExecutor` (deterministic result ordering) and the
+/// serve worker pool (panic-isolated, admission-controlled). A stray
+/// `thread::spawn` is unaccounted concurrency: no result ordering, no
+/// `catch_unwind`, no queue-depth bookkeeping.
+pub struct AdHocThread;
+
+impl Rule for AdHocThread {
+    fn id(&self) -> &'static str {
+        "ad-hoc-thread"
+    }
+
+    fn teach(&self) -> &'static str {
+        "all parallelism funnels through the executor or the serve worker pool; ad-hoc \
+         threads escape deterministic ordering and panic isolation"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            if file.is_path2(i, "thread", "spawn") {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    "`thread::spawn` outside the executor/serve/telemetry escapes \
+                     deterministic result ordering and panic isolation; run the work \
+                     through `SweepExecutor` instead"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `float-order`: float comparisons must be total.
+
+use crate::report::Finding;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+/// Flags `partial_cmp` calls and float-literal `==` / `!=` comparisons.
+///
+/// `partial_cmp` on floats returns `None` for NaN; every comparator
+/// built on it (`sort_by`, `min_by`, `max_by`) either panics via
+/// `.unwrap()` or silently reorders — both killed reproducibility
+/// before PR 2 replaced every site with `total_cmp`. This rule keeps
+/// them out. Float `==` against a literal is flagged for the same
+/// reason: it is not a total relation (NaN != NaN) and one rounding
+/// step away from a heisenbug.
+pub struct FloatOrder;
+
+impl Rule for FloatOrder {
+    fn id(&self) -> &'static str {
+        "float-order"
+    }
+
+    fn teach(&self) -> &'static str {
+        "float ordering must use total_cmp: partial_cmp and float == are not total \
+         relations, and NaN silently breaks comparator contracts"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            if toks[i].is_ident("partial_cmp") {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    "`partial_cmp` is not total over floats (NaN maps to `None`); order \
+                     floats with `total_cmp`"
+                        .to_owned(),
+                ));
+            }
+            // `== 1.5` / `1.5 ==` / `!= 1.5` / `1.5 !=`.
+            let eq_op = (toks[i].is_punct('=') || toks[i].is_punct('!'))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && !toks.get(i + 2).is_some_and(|t| t.is_punct('='));
+            if eq_op {
+                let lhs_float = i > 0 && toks[i - 1].is_float_literal();
+                let rhs_float = toks
+                    .get(i + 2)
+                    .is_some_and(crate::lexer::Tok::is_float_literal);
+                if lhs_float || rhs_float {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        i,
+                        "float equality is not a total relation (NaN != NaN) and is \
+                         rounding-fragile; compare with `total_cmp` or an explicit \
+                         tolerance"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The rule catalog.
+//!
+//! Each rule has a stable kebab-case id (the pragma vocabulary), a
+//! one-line teaching rationale, and a token-stream check producing
+//! spanned findings. Rules are scoped per crate/path by `lint.toml`
+//! (see [`crate::config`]); single sites are suppressed by inline
+//! pragmas (see [`crate::pragma`]).
+
+mod ad_hoc_thread;
+mod float_order;
+mod panic_in_serve;
+mod print_in_lib;
+mod unordered_iter;
+mod wall_clock;
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// One invariant check.
+pub trait Rule {
+    /// Stable kebab-case id, used in pragmas and `lint.toml`.
+    fn id(&self) -> &'static str;
+
+    /// One-line rationale: which invariant the rule guards and why.
+    fn teach(&self) -> &'static str;
+
+    /// Scans one file, appending findings. The caller applies crate and
+    /// path scoping, pragma suppression, and ordering.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// Every shipped rule, in catalog order.
+#[must_use]
+pub fn catalog() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(wall_clock::WallClock),
+        Box::new(float_order::FloatOrder),
+        Box::new(unordered_iter::UnorderedIter),
+        Box::new(panic_in_serve::PanicInServe),
+        Box::new(ad_hoc_thread::AdHocThread),
+        Box::new(print_in_lib::PrintInLib),
+    ]
+}
+
+/// Builds a finding at token `i` of `file`.
+pub(crate) fn finding(rule: &'static str, file: &SourceFile, i: usize, message: String) -> Finding {
+    let tok = &file.toks[i];
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: file.snippet(tok.line),
+    }
+}

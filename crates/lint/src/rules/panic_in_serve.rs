@@ -1,0 +1,74 @@
+//! `panic-in-serve`: request-handling paths answer, never abort.
+
+use crate::report::Finding;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+/// Panicking macros a serve path must not reach for.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Flags `.unwrap()` / `.expect(…)` and panicking macros in the serve
+/// crate (`lint.toml` scopes the rule to it).
+///
+/// The daemon's contract is one structured response per request. A
+/// panic in a handling path either kills a reader thread (the client
+/// hangs up confused) or — worse — fires while a shared `Mutex` is
+/// held, poisoning it so every *later* `.lock().expect(…)` aborts the
+/// whole daemon. `.lock().expect(…)` is exactly such a bomb: recover
+/// with `lock_unpoisoned` (which counts `serve.lock_poisoned`) or
+/// return a structured `internal` error instead.
+pub struct PanicInServe;
+
+impl Rule for PanicInServe {
+    fn id(&self) -> &'static str {
+        "panic-in-serve"
+    }
+
+    fn teach(&self) -> &'static str {
+        "serve paths must answer with structured errors, never panic: an unwrap/expect \
+         can poison shared locks and take the whole daemon down"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            let method_call = |name: &str| {
+                toks[i].is_ident(name)
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            };
+            if method_call("unwrap") || method_call("expect") {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    format!(
+                        "`.{}(…)` can panic in a request-handling path; return a \
+                         structured error (`protocol::error_line`) or recover \
+                         (`lock_unpoisoned`) instead",
+                        toks[i].text
+                    ),
+                ));
+                continue;
+            }
+            let is_macro = PANIC_MACROS.iter().any(|m| toks[i].is_ident(m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if is_macro {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    format!(
+                        "`{}!` aborts the worker; serve paths must answer every request \
+                         with a structured response",
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! `unordered-iter`: no unordered iteration on deterministic paths.
+
+use crate::report::Finding;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Methods that enumerate a hash container in arbitrary order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Order-restoring identifiers: a flagged site is fine when the same or
+/// the next statement funnels the items through one of these.
+const ORDERING: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+/// Flags iteration over `HashMap` / `HashSet` in the crates on the
+/// deterministic-output path (`lint.toml` scopes the rule to them).
+///
+/// Detection is lexical, in two layers:
+///
+/// 1. names bound to a hash container in this file (`x: HashMap<…>`,
+///    `x = HashMap::new()`, struct fields, including through wrappers
+///    like `Mutex<HashMap<…>>`) flag any [`ITER_METHODS`] call and any
+///    `for … in &name` loop;
+/// 2. `.keys()` / `.values()` / `.values_mut()` / `.into_keys()` /
+///    `.into_values()` on *any* receiver are flagged — in these crates
+///    they overwhelmingly mean a map, and aliases (`let t =
+///    m.read()…`) would otherwise hide layer 1.
+///
+/// A site is auto-accepted when the items are visibly re-ordered
+/// within the same or the immediately following statement (`sort*`, a
+/// BTree collect); anything subtler must carry a pragma explaining why
+/// its order cannot reach an output byte.
+pub struct UnorderedIter;
+
+impl Rule for UnorderedIter {
+    fn id(&self) -> &'static str {
+        "unordered-iter"
+    }
+
+    fn teach(&self) -> &'static str {
+        "HashMap/HashSet iteration order is arbitrary; on the deterministic-output path \
+         sort the items (or use a BTree container) before their order can matter"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let hash_names = hash_bindings(file);
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            // Layer 2: map-enumerating method names on any receiver.
+            let map_method = ["keys", "into_keys", "values", "values_mut", "into_values"];
+            let is_method_call = |j: usize, names: &[&str]| {
+                j > 0
+                    && toks[j - 1].is_punct('.')
+                    && names.iter().any(|m| toks[j].is_ident(m))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+            };
+            if is_method_call(i, &map_method) && !reordered_nearby(file, i) {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    format!(
+                        "`.{}()` enumerates a map in arbitrary order on the \
+                         deterministic-output path; sort the items before their order \
+                         can reach an output",
+                        toks[i].text
+                    ),
+                ));
+                continue;
+            }
+            // Layer 1: iteration methods on names known to be hash
+            // containers in this file.
+            if is_method_call(i, ITER_METHODS)
+                && i >= 2
+                && toks[i - 2].kind == crate::lexer::TokKind::Ident
+                && hash_names.contains(toks[i - 2].text.as_str())
+                && !reordered_nearby(file, i)
+            {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    i,
+                    format!(
+                        "`{}.{}()` iterates a hash container in arbitrary order; sort \
+                         first or switch to a BTree container",
+                        toks[i - 2].text,
+                        toks[i].text
+                    ),
+                ));
+                continue;
+            }
+            // Layer 1b: `for x in &name` / `for x in name`.
+            if toks[i].is_ident("in") {
+                let mut j = i + 1;
+                while toks
+                    .get(j)
+                    .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+                {
+                    j += 1;
+                }
+                let direct_loop = toks
+                    .get(j)
+                    .is_some_and(|t| hash_names.contains(t.text.as_str()))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('{'));
+                if direct_loop && !reordered_nearby(file, j) {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        j,
+                        format!(
+                            "`for … in {}` iterates a hash container in arbitrary order; \
+                             sort first or switch to a BTree container",
+                            toks[j].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Names bound to `HashMap` / `HashSet` anywhere in this file: type
+/// ascriptions (possibly through wrapper generics) and constructor
+/// assignments.
+fn hash_bindings(file: &SourceFile) -> BTreeSet<&str> {
+    let toks = &file.toks;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std::collections::` path prefix.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            j -= 3; // the path segment before `::`
+        }
+        // Skip back over reference sigils (`x: &mut HashMap<…>`).
+        while j >= 1
+            && (toks[j - 1].is_punct('&')
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].kind == crate::lexer::TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        match &toks[j - 1] {
+            // `name: HashMap<…>` or `name: Mutex<HashMap<…>>` (walk back
+            // over `Wrapper<` layers to the ascribed name).
+            t if t.is_punct(':') || t.is_punct('<') => {
+                let mut k = j - 1;
+                while k >= 2 && toks[k].is_punct('<') {
+                    k -= 1; // the wrapper type name
+                    if !(toks[k].kind == crate::lexer::TokKind::Ident && k >= 1) {
+                        break;
+                    }
+                    k -= 1; // whatever precedes it (`:` or another `<`)
+                }
+                if toks[k].is_punct(':')
+                    && k >= 1
+                    && toks[k - 1].kind == crate::lexer::TokKind::Ident
+                {
+                    names.insert(toks[k - 1].text.as_str());
+                }
+            }
+            // `name = HashMap::new()`.
+            t if t.is_punct('=') && j >= 2 && toks[j - 2].kind == crate::lexer::TokKind::Ident => {
+                names.insert(toks[j - 2].text.as_str());
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// `true` when the statement containing token `i` — or the one after
+/// it — visibly restores an order (`sort*` call, BTree collect).
+fn reordered_nearby(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.toks;
+    let mut semis = 0;
+    for t in toks.iter().skip(i) {
+        if t.is_punct(';') {
+            semis += 1;
+            if semis >= 2 {
+                break;
+            }
+            continue;
+        }
+        if t.kind == crate::lexer::TokKind::Ident
+            && (t.text.starts_with("sort") || ORDERING.iter().any(|o| t.text == *o))
+        {
+            return true;
+        }
+    }
+    false
+}

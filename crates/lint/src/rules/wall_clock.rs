@@ -1,0 +1,47 @@
+//! `wall-clock`: no wall-clock reads on deterministic paths.
+
+use crate::report::Finding;
+use crate::rules::{finding, Rule};
+use crate::source::SourceFile;
+
+/// Flags `Instant::now()` and `SystemTime::now()`.
+///
+/// Byte-identical output at any `--jobs` (and across cache states)
+/// requires that no deterministic artifact ever observes real time.
+/// Timing belongs to `rchls-telemetry` spans (exempted in `lint.toml`)
+/// and the bench/serve sites that justify themselves with a pragma;
+/// everything else must take time as data, not read the clock.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn teach(&self) -> &'static str {
+        "wall-clock reads break byte-identical reproducibility; take time from telemetry \
+         spans or pass it in as data"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            for clock in ["Instant", "SystemTime"] {
+                if file.is_path2(i, clock, "now") {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        i,
+                        format!(
+                            "`{clock}::now()` reads the wall clock; deterministic paths must \
+                             not observe real time (scrub it, span it, or justify the site \
+                             with a pragma)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! First-party source discovery and the per-file analysis input.
+//!
+//! The scan covers `.rs` files under a `src/` tree of the workspace's
+//! first-party packages (the root umbrella crate and everything under
+//! `crates/`). Test suites, benches, examples, and fixtures live
+//! outside `src/` and are deliberately out of scope: the invariants
+//! guard *shipped* code paths. Inline `#[cfg(test)]` modules and
+//! `#[test]` functions inside `src/` are masked token-by-token for the
+//! same reason.
+
+use crate::config::LintConfig;
+use crate::lexer::{self, Tok};
+use crate::pragma::{self, Pragma, PragmaError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One analyzed source file: the rule engine's entire input.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// The owning package name (e.g. `rchls-core`).
+    pub crate_name: String,
+    /// `true` for binary targets (`src/bin/*`, `src/main.rs`); some
+    /// rules (printing) only bind libraries.
+    pub is_bin: bool,
+    /// The raw source lines, for finding snippets.
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// `test_mask[i]` marks tokens inside `#[cfg(test)]` / `#[test]`
+    /// items, which every rule skips.
+    pub test_mask: Vec<bool>,
+    /// Suppression pragmas found in plain comments.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas (reported as findings, never suppressing).
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl SourceFile {
+    /// Lexes and masks one file's source text.
+    #[must_use]
+    pub fn parse(path: String, crate_name: String, is_bin: bool, source: &str) -> SourceFile {
+        let lexed = lexer::lex(source);
+        let (pragmas, pragma_errors) = pragma::scan(&lexed.comments);
+        let test_mask = test_mask(&lexed.toks);
+        SourceFile {
+            path,
+            crate_name,
+            is_bin,
+            lines: source.lines().map(str::to_owned).collect(),
+            toks: lexed.toks,
+            test_mask,
+            pragmas,
+            pragma_errors,
+        }
+    }
+
+    /// The source line at 1-based `line`, trimmed, for snippets.
+    #[must_use]
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    }
+
+    /// `true` when token `i` is inside a test-only item.
+    #[must_use]
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// `true` when `toks[i..]` spells `first::second` (the `::` arrives
+    /// as two `:` punct tokens).
+    #[must_use]
+    pub fn is_path2(&self, i: usize, first: &str, second: &str) -> bool {
+        self.toks[i].is_ident(first)
+            && self.toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && self.toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && self.toks.get(i + 3).is_some_and(|t| t.is_ident(second))
+    }
+}
+
+/// Marks tokens belonging to `#[test]` / `#[cfg(test)]` items.
+///
+/// Attribute arguments are searched for the *identifier* `test`
+/// (covering `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, unix))]`); a
+/// string like `"test"` in an attribute is not an identifier and does
+/// not mask. The masked region runs to the end of the annotated item:
+/// the matching `}` of its first brace block, or the first `;` before
+/// any brace.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attribute(toks, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        let start = i;
+        let mut j = attr_end;
+        // Any further attributes belong to the same item.
+        while j < toks.len()
+            && toks[j].is_punct('#')
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = scan_attribute(toks, j + 1).0;
+        }
+        let end = scan_item(toks, j);
+        for flag in &mut mask[start..end] {
+            *flag = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Scans a `[...]` group starting at its `[`; returns (index past the
+/// closing `]`, whether the group contains the identifier `test`).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i + 1, is_test);
+            }
+        } else if t.is_ident("test") {
+            is_test = true;
+        }
+        i += 1;
+    }
+    (i, is_test)
+}
+
+/// Scans one item starting at `from`; returns the index just past it.
+fn scan_item(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Walks the configured include roots and loads every first-party
+/// source file, sorted by path for deterministic output.
+///
+/// # Errors
+///
+/// Returns a message when a directory or file cannot be read.
+pub fn discover(root: &Path, config: &LintConfig) -> Result<Vec<SourceFile>, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for include in &config.include {
+        let dir = root.join(include);
+        if dir.is_dir() {
+            walk(&dir, &mut paths).map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+        }
+    }
+    let mut rel_paths: Vec<String> = paths
+        .iter()
+        .filter_map(|p| relative(root, p))
+        .filter(|rel| {
+            rel.ends_with(".rs")
+                && rel.split('/').any(|seg| seg == "src")
+                && !config.exclude.iter().any(|ex| rel.starts_with(ex.as_str()))
+        })
+        .collect();
+    rel_paths.sort();
+    rel_paths.dedup();
+    let mut files = Vec::new();
+    for rel in rel_paths {
+        let absolute = root.join(&rel);
+        let source = fs::read_to_string(&absolute)
+            .map_err(|e| format!("reading {}: {e}", absolute.display()))?;
+        let crate_name = crate_name_for(root, &rel);
+        let is_bin = rel.contains("/bin/") || rel.ends_with("/main.rs");
+        files.push(SourceFile::parse(rel, crate_name, is_bin, &source));
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    Some(parts.join("/"))
+}
+
+/// Resolves the package name owning a repo-relative source path: read
+/// from the crate's manifest, falling back to the directory convention.
+fn crate_name_for(root: &Path, rel: &str) -> String {
+    let segments: Vec<&str> = rel.split('/').collect();
+    let (manifest, fallback) = if segments.first() == Some(&"crates") && segments.len() > 1 {
+        (
+            root.join("crates").join(segments[1]).join("Cargo.toml"),
+            format!("rchls-{}", segments[1]),
+        )
+    } else {
+        (root.join("Cargo.toml"), "rc-hls".to_owned())
+    };
+    manifest_package_name(&manifest).unwrap_or(fallback)
+}
+
+fn manifest_package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(value) = line.strip_prefix("name") {
+            let value = value.trim_start().strip_prefix('=')?.trim();
+            return Some(value.trim_matches('"').to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/lib.rs".into(), "rchls-x".into(), false, src)
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let f = file(
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_real() {}\n",
+        );
+        let unwrap_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("token present");
+        assert!(f.in_test(unwrap_at));
+        let real_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("also_real"))
+            .expect("token present");
+        assert!(!f.in_test(real_at));
+    }
+
+    #[test]
+    fn test_attribute_masks_one_fn() {
+        let f = file("#[test]\nfn t() { a.unwrap(); }\nfn real() { b.other(); }\n");
+        let unwrap_at = f.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let other_at = f.toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(f.in_test(unwrap_at));
+        assert!(!f.in_test(other_at));
+    }
+
+    #[test]
+    fn cfg_feature_string_test_does_not_mask() {
+        let f = file("#[cfg(feature = \"test\")]\nfn shipped() { c.call(); }\n");
+        let call_at = f.toks.iter().position(|t| t.is_ident("call")).unwrap();
+        assert!(!f.in_test(call_at));
+    }
+}

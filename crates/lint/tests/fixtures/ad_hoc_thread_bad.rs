@@ -1,0 +1,11 @@
+// Fixture: spawns a detached thread outside the blessed concurrency
+// owners.
+use std::thread;
+
+pub fn fire_and_forget(job: impl FnOnce() + Send + 'static) {
+    thread::spawn(job);
+}
+
+pub fn also_flagged(job: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(job);
+}

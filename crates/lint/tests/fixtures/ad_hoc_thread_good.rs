@@ -1,0 +1,11 @@
+// Fixture: structured concurrency — scoped threads join before the
+// function returns, so no detached lifetime escapes review.
+pub fn map_in_parallel(items: &[u64]) -> Vec<u64> {
+    let mut out = vec![0; items.len()];
+    std::thread::scope(|scope| {
+        for (slot, item) in out.iter_mut().zip(items) {
+            scope.spawn(move || *slot = item * 2);
+        }
+    });
+    out
+}

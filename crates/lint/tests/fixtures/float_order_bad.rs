@@ -1,0 +1,9 @@
+// Fixture: NaN-fragile float comparisons — `partial_cmp` ordering and
+// equality against a float literal.
+pub fn rank(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn is_half(x: f64) -> bool {
+    x == 0.5
+}

@@ -1,0 +1,8 @@
+// Fixture: total-order float comparison and tolerance-based equality.
+pub fn rank(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn close_to_half(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-12
+}

@@ -1,0 +1,18 @@
+// Fixture: every disambiguation the lexer must get right, in one file.
+/* nested /* block /* comments */ close */ properly */
+pub fn torture<'a>(x: &'a str) -> f64 {
+    let plain = 'x';
+    let escaped = '\'';
+    let byte = b'\n';
+    let raw = r#"a "quoted" string with // no comment and 'no char'"#;
+    let raw_bytes = br##"nested "# hashes"##;
+    let s = "string with /* not a comment */ and \"escapes\"";
+    let ident = r#fn;
+    let float_dot = 1.5;
+    let float_suffix = 2f64;
+    let float_exp = 3e2;
+    let not_float = 42usize;
+    let hex = 0x2e;
+    let _ = (x, plain, escaped, byte, raw, raw_bytes, s, ident, hex);
+    float_dot + float_suffix + float_exp + not_float as f64
+}

@@ -1,0 +1,20 @@
+// Fixture: panics on request-handling paths — every spelling the rule
+// catches.
+pub fn handle(line: &str) -> String {
+    let parsed: u64 = line.parse().unwrap();
+    if parsed == 0 {
+        panic!("zero is not a request id");
+    }
+    respond(parsed).expect("responses always build")
+}
+
+pub fn dispatch(method: &str) -> String {
+    match method {
+        "ping" => "pong".to_owned(),
+        other => unreachable!("unknown method {other}"),
+    }
+}
+
+fn respond(id: u64) -> Option<String> {
+    Some(format!("ok {id}"))
+}

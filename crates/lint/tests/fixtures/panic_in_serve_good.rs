@@ -1,0 +1,20 @@
+// Fixture: every request gets a structured answer; no panics outside
+// test code.
+pub fn handle(line: &str) -> Result<String, String> {
+    let parsed: u64 = line
+        .parse()
+        .map_err(|e| format!("bad request id: {e}"))?;
+    respond(parsed).ok_or_else(|| "no response".to_owned())
+}
+
+fn respond(id: u64) -> Option<String> {
+    Some(format!("ok {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::handle("7").unwrap(), "ok 7");
+    }
+}

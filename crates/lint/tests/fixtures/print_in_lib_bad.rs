@@ -1,0 +1,5 @@
+// Fixture: a library writing to stdout/stderr directly.
+pub fn announce(name: &str) {
+    println!("starting {name}");
+    eprintln!("(debug) starting {name}");
+}

@@ -1,0 +1,8 @@
+// Fixture: a library returns text; the binary decides where it goes.
+use std::fmt::Write;
+
+pub fn announcement(name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "starting {name}");
+    out
+}

@@ -1,0 +1,19 @@
+// Fixture: iterating hash containers in arbitrary order on a path
+// whose output could reach a deterministic document.
+use std::collections::{HashMap, HashSet};
+
+pub fn report(by_name: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for key in by_name.keys() {
+        out.push_str(key);
+    }
+    out
+}
+
+pub fn drain_all(seen: HashSet<u64>) -> u64 {
+    let mut total = 0;
+    for v in seen.into_iter() {
+        total += v;
+    }
+    total
+}

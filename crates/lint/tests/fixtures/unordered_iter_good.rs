@@ -1,0 +1,19 @@
+// Fixture: hash containers are fine as storage — the order is restored
+// before anything observes it (a BTree collect in the same statement,
+// or a sort in the next one).
+use std::collections::{BTreeMap, HashMap};
+
+pub fn report(by_name: &HashMap<String, u32>) -> String {
+    let ordered = by_name.iter().collect::<BTreeMap<_, _>>();
+    let mut out = String::new();
+    for (key, _) in &ordered {
+        out.push_str(key);
+    }
+    out
+}
+
+pub fn ascending_totals(by_name: &HashMap<String, u32>) -> Vec<u32> {
+    let mut vals: Vec<u32> = by_name.values().copied().collect();
+    vals.sort_unstable();
+    vals
+}

@@ -1,0 +1,12 @@
+// Fixture: reads the wall clock on a shipped path — both spellings.
+use std::time::{Instant, SystemTime};
+
+pub fn how_long(work: impl FnOnce()) -> u64 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_micros() as u64
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,40 @@
+//! Golden test over the lexer's full token stream for a torture file
+//! covering raw strings, nested comments, lifetimes-vs-chars, raw
+//! identifiers, and numeric classification.
+//!
+//! Regenerate the golden after an intentional lexer change with
+//! `BLESS=1 cargo test -p rchls-lint --test lexer_golden`, then review
+//! the diff like any other source change.
+
+use rchls_lint::lexer;
+use std::path::Path;
+
+#[test]
+fn torture_file_lexes_to_the_golden_token_stream() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let source = std::fs::read_to_string(dir.join("lexer_torture.rs")).expect("fixture present");
+    let lexed = lexer::lex(&source);
+
+    let mut rendered = String::new();
+    for t in &lexed.toks {
+        let float = if t.is_float_literal() { " float" } else { "" };
+        rendered.push_str(&format!(
+            "{}:{} {:?} {}{}\n",
+            t.line, t.col, t.kind, t.text, float
+        ));
+    }
+    rendered.push_str(&format!("comments: {}\n", lexed.comments.len()));
+
+    let golden_path = dir.join("lexer_torture.tokens");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing — run once with BLESS=1 and review the output");
+    assert_eq!(
+        rendered,
+        golden,
+        "token stream drifted from {}",
+        golden_path.display()
+    );
+}

@@ -1,0 +1,45 @@
+//! The gate the CI `invariants` job enforces, as a plain test: the
+//! repo's own first-party source must scan clean under the committed
+//! `lint.toml`, and every suppression must carry its reason.
+
+#[test]
+fn the_workspace_scans_clean_under_the_committed_config() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = rchls_lint::run(&root).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "the workspace must be lint-clean:\n{}",
+        report.render_text()
+    );
+    // The scan actually covered the workspace, not an empty directory.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — discovery is broken",
+        report.files_scanned
+    );
+    // Suppressions exist (the justified wall-clock/panic sites) and
+    // every one carries a non-empty reason.
+    assert!(!report.suppressed.is_empty());
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} suppresses {} without a reason",
+            s.path,
+            s.line,
+            s.rule
+        );
+    }
+    // The JSON rendering round-trips through the vendored parser and
+    // keeps the schema version.
+    let json = report.render_json();
+    let doc: serde::Value = serde_json::from_str(&json).expect("report JSON parses");
+    let entries = doc.as_map().expect("report is an object");
+    assert_eq!(
+        serde::map_get(entries, "schema_version"),
+        Some(&serde::Value::UInt(rchls_lint::report::LINT_SCHEMA_VERSION))
+    );
+    match serde::map_get(entries, "clean") {
+        Some(serde::Value::Bool(true)) => {}
+        other => panic!("`clean` must be true, got {other:?}"),
+    }
+}

@@ -145,6 +145,7 @@ impl SerialProduct {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn swap_estimate(&self, index: usize, factor: f64) -> f64 {
+        // rchls-lint: allow(float-order, reason = "exact-zero sentinel guarding ln(), not an ordering comparison")
         if factor == 0.0 {
             return 0.0;
         }

@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn empty_graph_schedules_trivially() {
-        let g = rchls_dfg::Dfg::new("e");
+        let g = Dfg::new("e");
         let delays = Delays::uniform(&g, 1);
         let s = asap(&g, &delays).unwrap();
         assert!(s.is_empty());

@@ -62,7 +62,7 @@ impl Delays {
     /// caches and arena pools.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
-        self.delays.capacity() * std::mem::size_of::<u32>()
+        self.delays.capacity() * size_of::<u32>()
     }
 
     /// Refills this delay map in place by evaluating `f` on every node —

@@ -70,7 +70,7 @@ impl Schedule {
     /// caches.
     #[must_use]
     pub fn approx_heap_bytes(&self) -> usize {
-        self.starts.capacity() * std::mem::size_of::<u32>()
+        self.starts.capacity() * size_of::<u32>()
     }
 
     /// Whether the schedule covers zero nodes.

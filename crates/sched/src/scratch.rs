@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn cycles_are_reported() {
-        let mut g = rchls_dfg::Dfg::new("c");
+        let mut g = Dfg::new("c");
         let a = g.add_node(OpKind::Add, "a");
         let b = g.add_node(OpKind::Add, "b");
         g.add_edge(a, b).unwrap();
@@ -299,7 +299,7 @@ mod tests {
             s.asap_latency(&g, &d).unwrap(),
             asap(&g, &d).unwrap().latency()
         );
-        let empty = rchls_dfg::Dfg::new("e");
+        let empty = Dfg::new("e");
         let de = Delays::uniform(&empty, 1);
         assert_eq!(s.asap_latency(&empty, &de).unwrap_or(99), 0);
     }

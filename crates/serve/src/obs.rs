@@ -39,6 +39,11 @@ counter_handle!(
     /// `serve.rejected_deadline` — requests whose `deadline_ms` expired
     /// at admission, dequeue, or between phases.
     rejected_deadline, "serve.rejected_deadline");
+counter_handle!(
+    /// `serve.lock_poisoned` — poisoned shared locks recovered instead
+    /// of aborting (a worker panicked while holding one; the daemon
+    /// keeps serving).
+    lock_poisoned, "serve.lock_poisoned");
 
 histogram_handle!(
     /// `serve.request_micros` — wall latency per request, parse to

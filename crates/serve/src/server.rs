@@ -65,6 +65,23 @@ struct Shared {
     addr: SocketAddr,
 }
 
+/// Locks `m`, recovering the guard when a previous holder panicked
+/// instead of cascading the poison into every thread that shares the
+/// queue.
+///
+/// The queued state is a list of independent jobs plus their reply
+/// senders; `VecDeque` operations don't tear, so a panic mid-critical-
+/// section cannot leave it structurally broken. Abandoning the daemon
+/// over a poisoned lock would turn one bad request into a full outage —
+/// the exact failure mode the per-worker `catch_unwind` exists to
+/// prevent. Recoveries are counted as `serve.lock_poisoned`.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        obs::lock_poisoned().incr();
+        poisoned.into_inner()
+    })
+}
+
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -212,6 +229,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
 /// Dispatches one request line; returns the response line and whether
 /// the connection stays open.
 fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    // rchls-lint: allow(wall-clock, reason = "request latency metric and deadline anchor; never reaches a deterministic document")
     let received = Instant::now();
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
@@ -302,7 +320,7 @@ fn enqueue_and_wait(
     }
     let (reply, response) = mpsc::channel();
     {
-        let mut queue = shared.queue.lock().expect("serve queue lock");
+        let mut queue = lock_unpoisoned(&shared.queue);
         obs::queue_depth().record(queue.len() as u64);
         if queue.len() >= shared.queue_depth {
             obs::rejected_overloaded().incr();
@@ -335,7 +353,7 @@ fn enqueue_and_wait(
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("serve queue lock");
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -346,7 +364,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = shared
                     .available
                     .wait_timeout(queue, POLL)
-                    .expect("serve queue lock")
+                    .unwrap_or_else(|poisoned| {
+                        obs::lock_poisoned().incr();
+                        poisoned.into_inner()
+                    })
                     .0;
             }
         };
@@ -386,6 +407,7 @@ fn execute(shared: &Arc<Shared>, job: &QueuedJob) -> String {
         "batch" => batch_result(shared, params, job.deadline),
         "sweep" => explore_result(shared, params, job.deadline, true),
         "pareto" => explore_result(shared, params, job.deadline, false),
+        // rchls-lint: allow(panic-in-serve, reason = "enqueue_and_wait only queues the four heavy methods, and the worker's catch_unwind still answers `internal` if that ever breaks")
         other => unreachable!("only heavy methods are queued, got {other:?}"),
     };
     match result {
@@ -412,6 +434,7 @@ fn check_deadline(deadline: Option<Instant>, at: &'static str) -> Result<(), Fai
 }
 
 fn expired(deadline: Option<Instant>) -> bool {
+    // rchls-lint: allow(wall-clock, reason = "deadline enforcement is inherently wall-time; results never encode it")
     deadline.is_some_and(|at| Instant::now() >= at)
 }
 

@@ -266,6 +266,54 @@ fn malformed_requests_get_structured_bad_request() {
 }
 
 #[test]
+fn a_panicking_request_leaves_the_daemon_serving() {
+    struct PanickingStrategy;
+    impl rchls_core::Strategy for PanickingStrategy {
+        fn id(&self) -> &str {
+            "panic-for-e2e-test"
+        }
+        fn run(
+            &self,
+            _request: &rchls_core::SynthRequest<'_>,
+        ) -> Result<rchls_core::SynthReport, rchls_core::SynthesisError> {
+            panic!("synthetic strategy panic");
+        }
+    }
+    let _ = rchls_core::flow::register_strategy(std::sync::Arc::new(PanickingStrategy));
+
+    // One worker: the panicking job and every follow-up share it, so a
+    // wedged or dead worker would hang the rest of the test.
+    let (handle, addr) = start(ephemeral(1, 4));
+    let mut client = Client::connect(&addr).unwrap();
+    let good = serde_json::to_value(&SynthJob::new("builtin:figure4a", 6, 4));
+    let bad = serde_json::to_value(
+        &SynthJob::new("builtin:figure4a", 6, 4).with_strategy("panic-for-e2e-test"),
+    );
+
+    // The panicking job answers a structured internal error...
+    let doc = client.call("synth", Some(&bad), None).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("internal"));
+    // ...and the daemon keeps serving: same connection, same worker.
+    let pong = client.call("ping", None, None).unwrap();
+    assert!(response_result(&pong).is_some());
+    let doc = client.call("synth", Some(&good), None).unwrap();
+    assert!(response_result(&doc).is_some());
+
+    // Repeated panics don't wear anything out, and fresh connections
+    // after them still synthesize.
+    let mut fresh = Client::connect(&addr).unwrap();
+    for _ in 0..3 {
+        let doc = fresh.call("synth", Some(&bad), None).unwrap();
+        assert_eq!(response_error_kind(&doc), Some("internal"));
+    }
+    let doc = fresh.call("synth", Some(&good), None).unwrap();
+    assert!(response_result(&doc).is_some());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn shutdown_via_handle_unblocks_everything() {
     let (handle, addr) = start(ephemeral(2, 4));
     // An idle connected client must not keep the server alive.
