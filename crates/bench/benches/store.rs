@@ -1,0 +1,87 @@
+//! Persistent-store performance: raw save/load envelope throughput and
+//! the cost of answering a whole sweep from the on-disk tier with a
+//! cold in-memory cache (the restart-recovery path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rchls_core::{FlowSpec, RedundancyModel};
+use rchls_explorer::{explore, ExploreTask, SweepExecutor, SynthCache};
+use rchls_reslib::Library;
+use rchls_store::{Lookup, ResultStore};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A fresh scratch root under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("rchls-bench-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Envelope overhead: header encode + fsync + rename on save, read +
+/// validate on load, over a typical report-sized payload.
+fn bench_save_load(c: &mut Criterion) {
+    let store = ResultStore::open(scratch("roundtrip")).unwrap();
+    let payload = "x".repeat(2048);
+    c.bench_function("store/save-2KiB", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            store.save(key, &payload).unwrap();
+        })
+    });
+    store.save(0, &payload).unwrap();
+    c.bench_function("store/load-2KiB", |b| {
+        b.iter(|| match store.load(0) {
+            Lookup::Hit(p) => black_box(p.len()),
+            other => panic!("warm load was {other:?}"),
+        })
+    });
+}
+
+/// The restart path: a sweep whose every point replays from the store
+/// through a cold in-memory cache — decode + validate per point, no
+/// synthesis.
+fn bench_store_tier_sweep(c: &mut Criterion) {
+    let library = Library::table1();
+    let flow = FlowSpec::default();
+    let model = RedundancyModel::default();
+    let store = Arc::new(ResultStore::open(scratch("tier")).unwrap());
+    let workload = rchls_workloads::load_workload("builtin:diffeq").unwrap();
+    let grid: Vec<(u32, u32)> = [5u32, 6, 7]
+        .iter()
+        .flat_map(|&l| [7u32, 11].iter().map(move |&a| (l, a)))
+        .collect();
+    let task = [
+        ExploreTask::new(workload.dfg.name(), workload.dfg.clone(), grid)
+            .with_workload(workload.spec),
+    ];
+    // Write the whole sweep through once.
+    let warm_cache = SynthCache::new();
+    warm_cache.set_store(Arc::clone(&store));
+    let _ = explore(
+        &task,
+        &library,
+        &flow,
+        model,
+        SweepExecutor::new(1),
+        &warm_cache,
+    );
+    c.bench_function("store/cold-memory-warm-disk-sweep", |b| {
+        b.iter(|| {
+            let cache = SynthCache::new();
+            cache.set_store(Arc::clone(&store));
+            black_box(explore(
+                &task,
+                &library,
+                &flow,
+                model,
+                SweepExecutor::new(1),
+                &cache,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_save_load, bench_store_tier_sweep);
+criterion_main!(benches);

@@ -7,11 +7,16 @@ use rchls_core::{
     flow, monte_carlo_reliability, Bounds, CacheBudget, Engine, FlowSpec, RedundancyModel,
     SynthJob, SynthRequest, Synthesizer,
 };
-use rchls_explorer::{explore, export, CacheStats, ExploreTask, SweepExecutor, SynthCache};
+use rchls_explorer::{
+    explore, explore_shard, export, CacheKey, CacheStats, CheckpointedSweep, ExploreTask,
+    SweepExecutor, SynthCache,
+};
 use rchls_netlist::{generators, FaultInjector};
 use rchls_reslib::Library;
+use rchls_store::{GcPolicy, Lookup, ResultStore};
 use rchls_workloads::Workload;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Usage text.
 pub fn help() -> String {
@@ -21,16 +26,20 @@ pub fn help() -> String {
      \x20 rchls synth --workload SPEC [--latency N] [--area N]\n\
      \x20       [--strategy <id>|paper] [--ii N] [--report json] [--trace FILE]\n\
      \x20       [--scheduler <id>] [--binder <id>] [--victim <id>] [--refine <id>]\n\
-     \x20       [--library <file>] [--mission-time T]\n\
+     \x20       [--library <file>] [--mission-time T] [--store DIR]\n\
      \x20 rchls sweep --workload SPEC --latencies L1,L2,... --areas A1,A2,...\n\
-     \x20       [--format table|json|csv]\n\
+     \x20       [--format table|json|csv] [--store DIR] [--shard I/N]\n\
+     \x20       [--checkpoint-every N] [--resume]\n\
      \x20 rchls pareto <SPEC> [--latencies ...] [--areas ...]\n\
-     \x20       [--format table|json|csv]\n\
+     \x20       [--format table|json|csv] [--store DIR]\n\
+     \x20 rchls merge <shard.json>... [--format table|json|csv]\n\
      \x20 rchls batch <jobs.json> [--jobs N] [--cache-budget BYTES]\n\
-     \x20       [--library <file>] [--mission-time T]\n\
+     \x20       [--library <file>] [--mission-time T] [--store DIR]\n\
+     \x20 rchls store stats|gc|verify --store DIR [--max-age-days N]\n\
+     \x20       [--max-bytes BYTES] [--sample N] [--library <file>]\n\
      \x20 rchls serve [--addr IP:PORT] [--jobs N] [--queue-depth N]\n\
      \x20       [--cache-budget BYTES] [--library <file>] [--mission-time T]\n\
-     \x20       [--trace FILE] [--check]\n\
+     \x20       [--store DIR] [--trace FILE] [--check]\n\
      \x20 rchls request <method> [--json FILE] [--addr IP:PORT] [--deadline-ms N]\n\
      \x20 rchls metrics [--jobs N] [--library <file>] | rchls metrics --validate FILE\n\
      \x20 rchls workloads\n\
@@ -75,6 +84,20 @@ pub fn help() -> String {
      the effective configuration without binding. `rchls request METHOD`\n\
      sends one request (params from `--json FILE`) and prints the\n\
      response document.\n\
+     \n\
+     persistence: `--store DIR` (synth, sweep, pareto, batch, serve)\n\
+     backs the in-memory cache with an on-disk content-addressed result\n\
+     store — warm runs replay stored reports byte-identically, corrupt\n\
+     entries are quarantined and recomputed, never served. `rchls store\n\
+     stats|gc|verify` inspects and maintains a store (gc takes\n\
+     --max-age-days and/or --max-bytes; verify re-synthesizes entries\n\
+     from their provenance — --sample N caps how many — and flags\n\
+     drift). Long sweeps checkpoint with `--checkpoint-every N` and pick\n\
+     up where they left off with `--resume` (both need --store); `sweep\n\
+     --shard I/N` covers a deterministic 1/N slice of the grid and\n\
+     emits a shard document, and `rchls merge` recombines a complete\n\
+     shard set into the byte-identical unsharded document. See\n\
+     docs/store.md for the on-disk format and workflows.\n\
      \n\
      global flags: --jobs N sizes the worker pool of the sweep, pareto,\n\
      batch, and serve commands (omitted = one worker per CPU; an explicit\n\
@@ -361,9 +384,7 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         requested
     };
-    let (strategy, header): (std::sync::Arc<dyn rchls_core::Strategy>, String) = match args
-        .get("ii")
-    {
+    let (strategy, header): (Arc<dyn rchls_core::Strategy>, String) = match args.get("ii") {
         Some(_) => {
             let ii = args.required_u32("ii")?;
             if !matches!(strategy_id, "ours" | "pipelined") {
@@ -379,7 +400,7 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
                 });
             }
             (
-                std::sync::Arc::new(flow::Pipelined::with_ii(ii)),
+                Arc::new(flow::Pipelined::with_ii(ii)),
                 format!("pipelined design ({bounds}, II={ii}):\n"),
             )
         }
@@ -407,7 +428,7 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     let trace_path = args.get("trace").map(str::to_owned);
     let trace_sink = match &trace_path {
         Some(_) => {
-            let sink = std::sync::Arc::new(rchls_telemetry::ChromeTraceSink::new());
+            let sink = Arc::new(rchls_telemetry::ChromeTraceSink::new());
             rchls_telemetry::register_sink(sink.clone()).map_err(|e| CliError::BadValue {
                 flag: "trace".to_owned(),
                 reason: e.to_string(),
@@ -421,14 +442,18 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     // failed) replays the uncached run for its full error message.
     let request = SynthRequest::new(&dfg, &library, bounds).with_flow(flow_spec.clone());
     let session = SynthCache::new();
+    if let Some(store) = store_arg(args)? {
+        session.set_store(store);
+    }
     let result = session
-        .synthesize(
+        .synthesize_with_workload(
             &dfg,
             &library,
             bounds,
             &flow_spec,
             RedundancyModel::default(),
             &*strategy,
+            Some(&workload.spec),
         )
         .map_or_else(|| strategy.run(&request).map_err(CliError::Synthesis), Ok);
     if trace_sink.is_some() {
@@ -508,8 +533,53 @@ fn executor(args: &ParsedArgs) -> Result<SweepExecutor, CliError> {
     Ok(SweepExecutor::new(jobs_arg(args)?))
 }
 
-/// `rchls sweep`.
-pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
+/// Resolves the optional `--store DIR` flag into an opened persistent
+/// result store (creating the directory layout on first use).
+fn store_arg(args: &ParsedArgs) -> Result<Option<Arc<ResultStore>>, CliError> {
+    match args.get("store") {
+        Some(dir) => Ok(Some(Arc::new(
+            ResultStore::open(dir).map_err(|e| CliError::Store(e.to_string()))?,
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// The `--store DIR` flag where the store is the point of the command.
+fn required_store(args: &ParsedArgs) -> Result<Arc<ResultStore>, CliError> {
+    store_arg(args)?.ok_or(CliError::MissingFlag("store"))
+}
+
+/// Parses `--shard I/N` (shard index out of shard count).
+fn shard_arg(args: &ParsedArgs) -> Result<Option<(u32, u32)>, CliError> {
+    let Some(raw) = args.get("shard") else {
+        return Ok(None);
+    };
+    let bad = |reason: String| CliError::BadValue {
+        flag: "shard".to_owned(),
+        reason,
+    };
+    let (index, count) = raw
+        .split_once('/')
+        .ok_or_else(|| bad(format!("{raw:?} (expected I/N, e.g. 0/4)")))?;
+    let parse = |part: &str| {
+        part.trim()
+            .parse::<u32>()
+            .map_err(|_| bad(format!("{part:?} is not an unsigned integer")))
+    };
+    let (index, count) = (parse(index)?, parse(count)?);
+    if count == 0 {
+        return Err(bad("shard count must be positive".to_owned()));
+    }
+    if index >= count {
+        return Err(bad(format!(
+            "shard index {index} out of range for {count} shards (indices run 0..{count})"
+        )));
+    }
+    Ok(Some((index, count)))
+}
+
+/// `rchls sweep`. The `resume` flag is the lifted valueless `--resume`.
+pub fn sweep(args: &ParsedArgs, resume: bool) -> Result<String, CliError> {
     let workload = load_workload_arg(args)?;
     let library = load_library(args)?;
     let flow_spec = flow_from_args(args)?;
@@ -519,24 +589,136 @@ pub fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
         .iter()
         .flat_map(|&l| areas.iter().map(move |&a| (l, a)))
         .collect();
+    let model = RedundancyModel::default();
+    let store = store_arg(args)?;
     let cache = SynthCache::new();
+    if let Some(store) = &store {
+        cache.set_store(Arc::clone(store));
+    }
     let tasks = [
         ExploreTask::new(workload.dfg.name(), workload.dfg.clone(), grid)
             .with_workload(workload.spec),
     ];
-    let exploration = explore(
-        &tasks,
-        &library,
-        &flow_spec,
-        RedundancyModel::default(),
-        executor(args)?,
-        &cache,
-    );
+    let checkpointing = resume || args.get("checkpoint-every").is_some();
+
+    // `--shard I/N`: cover a deterministic 1/N slice of the grid and
+    // emit the shard document for a later `rchls merge`.
+    if let Some((index, count)) = shard_arg(args)? {
+        if checkpointing {
+            return Err(CliError::BadFlag(
+                "--shard is a single bounded pass; it cannot be combined with \
+                 --resume/--checkpoint-every"
+                    .to_owned(),
+            ));
+        }
+        match args.get("format").unwrap_or("json") {
+            "json" => {}
+            other => {
+                return Err(CliError::BadValue {
+                    flag: "format".to_owned(),
+                    reason: format!(
+                        "{other:?} (a shard is always a json document for `rchls merge`)"
+                    ),
+                })
+            }
+        }
+        let shard = explore_shard(
+            &tasks[0],
+            &library,
+            &flow_spec,
+            model,
+            &executor(args)?,
+            &cache,
+            index,
+            count,
+        );
+        return Ok(export::shard_json(&shard) + "\n");
+    }
+
+    // `--checkpoint-every N` / `--resume`: warm the pending grid points
+    // into the store in chunks (checkpointing after each), then let the
+    // plain exploration below assemble the document entirely from the
+    // cache tiers — byte-identical no matter where a prior run died.
+    if checkpointing {
+        let Some(store) = &store else {
+            return Err(CliError::BadFlag(
+                "--resume/--checkpoint-every persist through the result store; add --store DIR"
+                    .to_owned(),
+            ));
+        };
+        let every = args.u32_or("checkpoint-every", 8)? as usize;
+        if every == 0 {
+            return Err(CliError::BadValue {
+                flag: "checkpoint-every".to_owned(),
+                reason: "checkpoint interval must be a positive point count".to_owned(),
+            });
+        }
+        let exec = executor(args)?;
+        let warm = CheckpointedSweep {
+            task: &tasks[0],
+            library: &library,
+            flow: &flow_spec,
+            model,
+            executor: &exec,
+            cache: &cache,
+            store,
+            every,
+            resume,
+        };
+        let outcome = warm.run();
+        // Progress goes to stderr; stdout stays the deterministic
+        // document.
+        eprintln!(
+            "rchls sweep: {} grid points ({} resumed from checkpoint, {} computed, \
+             {} checkpoints written)",
+            outcome.total_points, outcome.skipped, outcome.computed, outcome.checkpoints_written
+        );
+    }
+
+    let exploration = explore(&tasks, &library, &flow_spec, model, executor(args)?, &cache);
+    if checkpointing {
+        if let Some(store) = &store {
+            // The document is assembled; the checkpoint has served its
+            // purpose.
+            store.remove_checkpoint(rchls_explorer::sweep_fingerprint(
+                &tasks[0], &library, &flow_spec, model,
+            ));
+        }
+    }
     let rows = &exploration.sweeps[0].rows;
     match args.get("format").unwrap_or("table") {
         "table" => Ok(format_table(rows)),
         // Machine-consumable: rows with per-strategy diagnostics plus the
         // frontier, as one JSON document.
+        "json" => Ok(export::exploration_json(&exploration) + "\n"),
+        "csv" => Ok(export::rows_csv(rows)),
+        other => Err(CliError::BadValue {
+            flag: "format".to_owned(),
+            reason: format!("{other:?} (expected table|json|csv)"),
+        }),
+    }
+}
+
+/// `rchls merge` — recombine a complete set of `sweep --shard` documents
+/// into the exploration document the unsharded sweep would have emitted.
+pub fn merge(args: &ParsedArgs, inputs: &[String]) -> Result<String, CliError> {
+    if inputs.is_empty() {
+        return Err(CliError::BadFlag(
+            "merge needs shard document paths (rchls merge shard0.json shard1.json ...)".to_owned(),
+        ));
+    }
+    let shards: Vec<rchls_explorer::SweepShard> = inputs
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)?;
+            export::shard_from_json(&text)
+                .map_err(|e| CliError::Store(format!("merge: {path}: not a shard document ({e})")))
+        })
+        .collect::<Result<_, _>>()?;
+    let exploration = rchls_explorer::merge(&shards).map_err(|e| CliError::Store(e.to_string()))?;
+    let rows = &exploration.sweeps[0].rows;
+    match args.get("format").unwrap_or("table") {
+        "table" => Ok(format_table(rows)),
         "json" => Ok(export::exploration_json(&exploration) + "\n"),
         "csv" => Ok(export::rows_csv(rows)),
         other => Err(CliError::BadValue {
@@ -573,6 +755,9 @@ pub fn pareto(args: &ParsedArgs) -> Result<String, CliError> {
         }
     };
     let cache = SynthCache::new();
+    if let Some(store) = store_arg(args)? {
+        cache.set_store(store);
+    }
     let tasks = [ExploreTask::new(dfg.name(), dfg.clone(), grid.clone())
         .with_workload(workload.spec.clone())];
     let exploration = explore(
@@ -631,9 +816,12 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         flag: "file".to_owned(),
         reason: format!("{path}: {e}"),
     })?;
-    let engine = Engine::new(load_library(args)?)
+    let mut engine = Engine::new(load_library(args)?)
         .with_jobs(workers)
         .with_cache_budget(budget);
+    if let Some(store) = store_arg(args)? {
+        engine = engine.with_store(store);
+    }
     let report = engine.run_batch(&jobs);
     Ok(serde_json::to_string_pretty(&report).expect("batch reports serialize") + "\n")
 }
@@ -741,6 +929,7 @@ pub fn serve(args: &ParsedArgs, check: bool) -> Result<String, CliError> {
         jobs: jobs_arg(args)?,
         queue_depth: args.u32_or("queue-depth", 64)? as usize,
         cache_budget: cache_budget_arg(args)?,
+        store: args.get("store").map(str::to_owned),
     };
     config.validate().map_err(|reason| CliError::BadValue {
         flag: "addr".to_owned(),
@@ -755,7 +944,7 @@ pub fn serve(args: &ParsedArgs, check: bool) -> Result<String, CliError> {
     let trace_path = args.get("trace").map(str::to_owned);
     let trace_sink = match &trace_path {
         Some(_) => {
-            let sink = std::sync::Arc::new(rchls_telemetry::ChromeTraceSink::new());
+            let sink = Arc::new(rchls_telemetry::ChromeTraceSink::new());
             rchls_telemetry::register_sink(sink.clone()).map_err(|e| CliError::BadValue {
                 flag: "trace".to_owned(),
                 reason: e.to_string(),
@@ -839,6 +1028,203 @@ pub fn characterize(args: &ParsedArgs) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// `rchls store <action>` — inspect and maintain a persistent result
+/// store: `stats` counts its contents, `gc` evicts by age and/or size,
+/// `verify` re-synthesizes entries from their provenance and flags
+/// drift.
+pub fn store(args: &ParsedArgs) -> Result<String, CliError> {
+    let action = args.required("action")?;
+    let store = required_store(args)?;
+    match action {
+        "stats" => {
+            let s = store.stats();
+            Ok(format!(
+                "result store {}:\n  objects      {}\n  object bytes {}\n  quarantined  {}\n  checkpoints  {}\n",
+                store.root().display(),
+                s.objects,
+                s.object_bytes,
+                s.quarantined,
+                s.checkpoints
+            ))
+        }
+        "gc" => {
+            let max_age = match args.get("max-age-days") {
+                Some(_) => Some(rchls_store::days(args.u64_or("max-age-days", 0)?)),
+                None => None,
+            };
+            let max_bytes = match args.get("max-bytes") {
+                Some(spec) => CacheBudget::parse(spec)
+                    .map_err(|reason| CliError::BadValue {
+                        flag: "max-bytes".to_owned(),
+                        reason,
+                    })?
+                    .total_bytes(),
+                None => None,
+            };
+            if max_age.is_none() && max_bytes.is_none() {
+                return Err(CliError::Store(
+                    "store gc needs --max-age-days and/or --max-bytes".to_owned(),
+                ));
+            }
+            let report = store.gc(GcPolicy { max_age, max_bytes });
+            Ok(format!(
+                "store gc {}:\n  examined {}\n  evicted  {} ({} bytes)\n  kept     {} bytes live\n",
+                store.root().display(),
+                report.examined,
+                report.evicted,
+                report.evicted_bytes,
+                report.kept_bytes
+            ))
+        }
+        "verify" => verify_store(args, &store),
+        other => Err(CliError::BadValue {
+            flag: "action".to_owned(),
+            reason: format!("{other:?} (expected stats|gc|verify)"),
+        }),
+    }
+}
+
+/// `rchls store verify` — walk the store (up to `--sample N` entries,
+/// sorted by fingerprint), re-derive each entry's cache key from its
+/// provenance, re-synthesize, and compare. Reports, per entry:
+///
+/// * `ok`           — the key matches and re-synthesis reproduces the
+///   stored report byte-for-byte;
+/// * `DRIFT`        — re-synthesis disagrees with the stored report (an
+///   engine change since the entry was written); the command errors;
+/// * `key-mismatch` — the provenance no longer reproduces the entry's
+///   fingerprint (typically a different `--library` than the writer's);
+/// * `unverifiable` — no provenance, an unregistered strategy token, or
+///   a workload spec that no longer resolves.
+fn verify_store(args: &ParsedArgs, store: &ResultStore) -> Result<String, CliError> {
+    use rchls_core::engine::store_tier;
+
+    let library = load_library(args)?;
+    let keys = store.keys();
+    let total = keys.len();
+    let checked: Vec<u64> = match args.get("sample") {
+        Some(_) => {
+            let n = args.required_u32("sample")? as usize;
+            if n == 0 {
+                return Err(CliError::BadValue {
+                    flag: "sample".to_owned(),
+                    reason: "sample size must be positive (omit --sample to check everything)"
+                        .to_owned(),
+                });
+            }
+            keys.into_iter().take(n).collect()
+        }
+        None => keys,
+    };
+    let mut out = format!(
+        "store verify {}: {} entries, checking {}\n",
+        store.root().display(),
+        total,
+        checked.len()
+    );
+    let (mut ok, mut drift, mut mismatch, mut unverifiable, mut quarantined) = (0, 0, 0, 0, 0);
+    for key in checked {
+        let line: String = match store.load(key) {
+            Lookup::Miss => {
+                // Deleted between the walk and the probe; nothing to say.
+                continue;
+            }
+            Lookup::Quarantined => {
+                quarantined += 1;
+                "quarantined: envelope failed validation".to_owned()
+            }
+            Lookup::Hit(payload) => match store_tier::decode_entry(&payload) {
+                Err(e) => {
+                    unverifiable += 1;
+                    format!("unverifiable: payload does not decode ({e})")
+                }
+                Ok(entry) => match &entry.provenance {
+                    None => {
+                        unverifiable += 1;
+                        "unverifiable: entry carries no provenance".to_owned()
+                    }
+                    Some(p) => match rchls_workloads::load_workload(&p.workload) {
+                        Err(e) => {
+                            unverifiable += 1;
+                            format!("unverifiable: workload {:?} ({e})", p.workload)
+                        }
+                        Ok(w) => {
+                            let derived = CacheKey::for_point(
+                                &w.dfg,
+                                &library,
+                                entry.bounds,
+                                &p.flow,
+                                p.model,
+                                &entry.strategy,
+                            );
+                            if derived.raw() != key {
+                                mismatch += 1;
+                                "key-mismatch: provenance does not reproduce the fingerprint \
+                                 (written under a different library?)"
+                                    .to_owned()
+                            } else {
+                                match reverify(&entry, &w.dfg, &library) {
+                                    Ok(()) => {
+                                        ok += 1;
+                                        continue;
+                                    }
+                                    Err(reason) => {
+                                        drift += 1;
+                                        format!("DRIFT: {reason}")
+                                    }
+                                }
+                            }
+                        }
+                    },
+                },
+            },
+        };
+        let _ = writeln!(out, "  {key:016x} {line}");
+    }
+    let _ = writeln!(
+        out,
+        "summary: {ok} ok, {drift} drifted, {mismatch} key-mismatched, \
+         {unverifiable} unverifiable, {quarantined} quarantined"
+    );
+    if drift > 0 {
+        return Err(CliError::Store(out));
+    }
+    Ok(out)
+}
+
+/// Re-synthesizes one verified-key entry and compares it with what the
+/// store remembers. `Ok(())` means byte-identical agreement.
+fn reverify(
+    entry: &rchls_core::engine::StoredEntry,
+    dfg: &rchls_dfg::Dfg,
+    library: &Library,
+) -> Result<(), String> {
+    let Some(provenance) = &entry.provenance else {
+        return Err("entry lost its provenance".to_owned());
+    };
+    let strategy = flow::strategy(&entry.strategy)
+        .ok_or_else(|| format!("strategy token {:?} is not a registered id", entry.strategy))?;
+    let request = SynthRequest::new(dfg, library, entry.bounds)
+        .with_flow(provenance.flow.clone())
+        .with_redundancy(provenance.model);
+    match (strategy.run(&request), &entry.report) {
+        (Err(_), None) => Ok(()),
+        (Err(e), Some(_)) => Err(format!(
+            "stored feasible, but re-synthesis finds no design ({e})"
+        )),
+        (Ok(_), None) => Err("stored infeasible, but re-synthesis found a design".to_owned()),
+        (Ok(fresh), Some(stored)) => {
+            if fresh.design != stored.design {
+                return Err("re-synthesized design differs from the stored one".to_owned());
+            }
+            if fresh.diagnostics.scrubbed() != stored.diagnostics {
+                return Err("re-synthesized diagnostics differ from the stored ones".to_owned());
+            }
+            Ok(())
+        }
+    }
 }
 
 /// `rchls validate`.

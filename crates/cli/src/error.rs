@@ -30,6 +30,10 @@ pub enum CliError {
     Synthesis(SynthesisError),
     /// A batch job failed engine-side validation.
     Engine(rchls_core::EngineError),
+    /// A persistent-store or shard-merge operation failed (the message
+    /// carries its own context, e.g. `store open /path: ...` or
+    /// `merge: missing shard index 1 of 2`).
+    Store(String),
 }
 
 impl fmt::Display for CliError {
@@ -49,6 +53,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Synthesis(e) => write!(f, "{e}"),
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Store(message) => write!(f, "{message}"),
         }
     }
 }

@@ -23,6 +23,11 @@
 //!   print the process metrics snapshot — cache hit rates, phase latency
 //!   percentiles — as one deterministic-ordered JSON document;
 //!   `--validate FILE` schema-checks an exported snapshot instead;
+//! * `store`        — inspect and maintain a persistent result store:
+//!   `stats` counts its contents, `gc` evicts by age/size, `verify`
+//!   re-synthesizes entries from their provenance and flags drift;
+//! * `merge`        — recombine `sweep --shard i/n` shard documents
+//!   into the byte-identical unsharded sweep document;
 //! * `workloads`    — list the registered workload sources and specs;
 //! * `flows`        — list the registered strategies and passes;
 //! * `dot`          — emit a DFG in Graphviz DOT;
@@ -44,7 +49,12 @@
 //! The sweep, pareto, batch, and serve commands accept a global
 //! `--jobs N` flag sizing their worker pool (omitted: one worker per
 //! CPU; an explicit `--jobs 0` is rejected); parallel output is
-//! byte-identical to serial output.
+//! byte-identical to serial output. The synth, sweep, pareto, batch,
+//! and serve commands accept `--store DIR`, a persistent
+//! content-addressed result store backing the in-memory cache — warm
+//! runs replay stored reports byte-identically; `sweep` adds
+//! `--shard i/n`, `--checkpoint-every N`, and `--resume` on top of it
+//! (see `docs/store.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,13 +85,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Ok(commands::help());
     };
     // `pareto` takes its workload positionally (`rchls pareto fir16`),
-    // `batch` its job file (`rchls batch jobs.json`), and `request` its
-    // method (`rchls request ping`); desugar those into the flags the
-    // commands read.
+    // `batch` its job file (`rchls batch jobs.json`), `request` its
+    // method (`rchls request ping`), and `store` its action (`rchls
+    // store stats`); desugar those into the flags the commands read.
     let positional_flag = match command.as_str() {
         "pareto" => Some("--workload"),
         "batch" => Some("--file"),
         "request" => Some("--method"),
+        "store" => Some("--action"),
         _ => None,
     };
     let rest: Vec<String> = match (positional_flag, rest.split_first()) {
@@ -92,11 +103,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         _ => rest.to_vec(),
     };
-    // `serve --check` is the one valueless flag; lift it out before the
-    // `--flag value` parser sees it.
+    // `merge` takes its shard documents positionally (`rchls merge
+    // s0.json s1.json --format json`); collect the leading non-flag
+    // arguments before the `--flag value` parser sees them.
+    let mut merge_inputs: Vec<String> = Vec::new();
+    let rest: Vec<String> = if command == "merge" {
+        let split = rest
+            .iter()
+            .position(|arg| arg.starts_with("--"))
+            .unwrap_or(rest.len());
+        merge_inputs = rest[..split].to_vec();
+        rest[split..].to_vec()
+    } else {
+        rest
+    };
+    // `serve --check` and `sweep --resume` are the two valueless flags;
+    // lift them out before the `--flag value` parser sees them.
     let mut serve_check = false;
-    let rest: Vec<String> = if command == "serve" {
-        rest.into_iter()
+    let mut sweep_resume = false;
+    let rest: Vec<String> = match command.as_str() {
+        "serve" => rest
+            .into_iter()
             .filter(|arg| {
                 if arg == "--check" {
                     serve_check = true;
@@ -105,16 +132,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     true
                 }
             })
-            .collect()
-    } else {
-        rest
+            .collect(),
+        "sweep" => rest
+            .into_iter()
+            .filter(|arg| {
+                if arg == "--resume" {
+                    sweep_resume = true;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect(),
+        _ => rest,
     };
     let parsed = ParsedArgs::parse(&rest)?;
     match command.as_str() {
         "synth" => commands::synth(&parsed),
-        "sweep" => commands::sweep(&parsed),
+        "sweep" => commands::sweep(&parsed, sweep_resume),
         "pareto" => commands::pareto(&parsed),
         "batch" => commands::batch(&parsed),
+        "merge" => commands::merge(&parsed, &merge_inputs),
+        "store" => commands::store(&parsed),
         "serve" => commands::serve(&parsed, serve_check),
         "request" => commands::request(&parsed),
         "metrics" => commands::metrics(&parsed),

@@ -12,13 +12,15 @@
 
 use crate::engine::budget::{BudgetedTable, CacheBudget};
 use crate::engine::fingerprint::Fingerprint;
+use crate::engine::store_tier::{self, Provenance, StoreOutcome};
 use crate::{
     Bounds, FlowSpec, RedundancyModel, Strategy, SynthReport, SynthRequest, SynthesisError,
 };
 use rchls_dfg::Dfg;
 use rchls_reslib::Library;
+use rchls_store::ResultStore;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The cache key: a content fingerprint of every input that can change a
 /// synthesis result.
@@ -130,6 +132,10 @@ pub struct SynthCache {
     /// [`StartsCache`](crate::engine::StartsCache)), shared by every
     /// refining flow this cache runs.
     starts: crate::engine::StartsCache,
+    /// The optional on-disk second tier (see [`SynthCache::set_store`]):
+    /// probed after a memory miss, written back after a fresh
+    /// synthesis. Set once per session.
+    store: OnceLock<Arc<ResultStore>>,
 }
 
 impl SynthCache {
@@ -152,9 +158,32 @@ impl SynthCache {
         model: RedundancyModel,
         strategy: &dyn Strategy,
     ) -> Option<SynthReport> {
+        self.synthesize_with_workload(dfg, library, bounds, flow, model, strategy, None)
+    }
+
+    /// [`SynthCache::synthesize`] with the request's canonical workload
+    /// spec, when the caller knows it. The spec rides into on-disk
+    /// store entries as re-synthesis provenance (`rchls store verify`);
+    /// it never affects the cache key or the result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize_with_workload(
+        &self,
+        dfg: &Dfg,
+        library: &Library,
+        bounds: Bounds,
+        flow: &FlowSpec,
+        model: RedundancyModel,
+        strategy: &dyn Strategy,
+        workload: Option<&str>,
+    ) -> Option<SynthReport> {
         let token = strategy.fingerprint_token();
         let key = CacheKey::for_point(dfg, library, bounds, flow, model, &token);
-        self.get_or_compute(key, bounds, &token, || {
+        let provenance = workload.map(|spec| Provenance {
+            workload: spec.to_owned(),
+            flow: flow.clone(),
+            model,
+        });
+        self.get_or_compute_with(key, bounds, &token, provenance.as_ref(), || {
             strategy.run(
                 &SynthRequest::new(dfg, library, bounds)
                     .with_flow(flow.clone())
@@ -163,6 +192,20 @@ impl SynthCache {
                     .with_starts_cache(&self.starts),
             )
         })
+    }
+
+    /// Attaches the on-disk result store as the second cache tier. The
+    /// first store attached to a session wins; later calls are ignored
+    /// (tiering is a session-construction decision, not a runtime
+    /// toggle).
+    pub fn set_store(&self, store: Arc<ResultStore>) {
+        let _ = self.store.set(store);
+    }
+
+    /// The attached on-disk store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.store.get()
     }
 
     /// The session scratch pool misses synthesize on.
@@ -201,6 +244,20 @@ impl SynthCache {
         strategy_token: &str,
         compute: impl FnOnce() -> Result<SynthReport, SynthesisError>,
     ) -> Option<SynthReport> {
+        self.get_or_compute_with(key, bounds, strategy_token, None, compute)
+    }
+
+    /// [`SynthCache::get_or_compute`] with optional store provenance
+    /// for the write-back path (see
+    /// [`SynthCache::synthesize_with_workload`]).
+    fn get_or_compute_with(
+        &self,
+        key: CacheKey,
+        bounds: Bounds,
+        strategy_token: &str,
+        provenance: Option<&Provenance>,
+        compute: impl FnOnce() -> Result<SynthReport, SynthesisError>,
+    ) -> Option<SynthReport> {
         let mut collided = false;
         if let Some(entry) = crate::sync::lock_unpoisoned(&self.entries).get(key.0) {
             if entry.bounds == bounds && entry.strategy == strategy_token {
@@ -210,26 +267,73 @@ impl SynthCache {
             }
             collided = true;
         }
+        // Second tier: the on-disk store. Skipped when the memory entry
+        // collided — the store is keyed by the same fingerprint, so its
+        // entry is just as suspect for this request.
+        let mut probe_store = !collided;
+        if probe_store {
+            if let Some(store) = self.store.get() {
+                match store_tier::load(store, key, bounds, strategy_token) {
+                    StoreOutcome::Hit(result) => {
+                        // Promote into the memory tier so `seen_points`
+                        // and later lookups match a cold-computed
+                        // session, then answer.
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.insert_entry(key, bounds, strategy_token, result.clone());
+                        return result;
+                    }
+                    StoreOutcome::Collision => {
+                        collided = true;
+                        probe_store = false;
+                    }
+                    StoreOutcome::Miss => {}
+                }
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         crate::obs::synth_cache_misses().incr();
         let result = compute().ok();
         if !collided {
-            crate::obs::synth_cache_inserts().incr();
-            let entry = CacheEntry {
-                bounds,
-                strategy: strategy_token.to_owned(),
-                result: result.clone(),
-            };
-            let bytes = entry.approx_bytes();
-            let (evicted, resident) = {
-                let mut table = crate::sync::lock_unpoisoned(&self.entries);
-                let evicted = table.insert(key.0, entry, bytes);
-                (evicted, table.resident_bytes())
-            };
-            crate::obs::synth_cache_evictions().add(evicted);
-            crate::obs::synth_cache_resident_bytes().record(resident as u64);
+            self.insert_entry(key, bounds, strategy_token, result.clone());
+            if probe_store {
+                if let Some(store) = self.store.get() {
+                    store_tier::save(
+                        store,
+                        key,
+                        bounds,
+                        strategy_token,
+                        result.as_ref(),
+                        provenance,
+                    );
+                }
+            }
         }
         result
+    }
+
+    /// Inserts one memoized outcome, with the eviction and residency
+    /// accounting every insert path shares.
+    fn insert_entry(
+        &self,
+        key: CacheKey,
+        bounds: Bounds,
+        strategy_token: &str,
+        result: Option<SynthReport>,
+    ) {
+        crate::obs::synth_cache_inserts().incr();
+        let entry = CacheEntry {
+            bounds,
+            strategy: strategy_token.to_owned(),
+            result,
+        };
+        let bytes = entry.approx_bytes();
+        let (evicted, resident) = {
+            let mut table = crate::sync::lock_unpoisoned(&self.entries);
+            let evicted = table.insert(key.0, entry, bytes);
+            (evicted, table.resident_bytes())
+        };
+        crate::obs::synth_cache_evictions().add(evicted);
+        crate::obs::synth_cache_resident_bytes().record(resident as u64);
     }
 
     /// Hit/miss counters since construction.
@@ -290,7 +394,7 @@ mod tests {
             .unwrap()
     }
 
-    fn ours() -> std::sync::Arc<dyn Strategy> {
+    fn ours() -> Arc<dyn Strategy> {
         flow::strategy("ours").unwrap()
     }
 
@@ -481,5 +585,182 @@ mod tests {
         let stats = CacheStats { hits: 3, misses: 1 };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    /// A fresh store root under the system temp dir, unique per test.
+    fn store_at(tag: &str) -> Arc<ResultStore> {
+        let root =
+            std::env::temp_dir().join(format!("rchls-core-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        Arc::new(ResultStore::open(root).expect("temp store opens"))
+    }
+
+    /// A session cache tiered over an existing store root.
+    fn session_over(store: &Arc<ResultStore>) -> SynthCache {
+        let cache = SynthCache::new();
+        cache.set_store(Arc::clone(store));
+        cache
+    }
+
+    #[test]
+    fn store_tier_round_trips_across_sessions() {
+        let store = store_at("roundtrip");
+        let dfg = tiny();
+        let lib = Library::table1();
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let bounds = Bounds::new(6, 4);
+
+        let cold = session_over(&store);
+        let first = cold
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .unwrap();
+        assert_eq!(cold.stats(), CacheStats { hits: 0, misses: 1 });
+
+        // A brand-new session over the same root answers from disk:
+        // same design, same scrubbed diagnostics, no synthesis run.
+        let warm = session_over(&store);
+        let second = warm
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .unwrap();
+        assert_eq!(warm.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(first.design, second.design);
+        assert_eq!(first.diagnostics.scrubbed(), second.diagnostics);
+        // The store keeps wall-time-scrubbed diagnostics, so store-served
+        // reports are deterministic as-is.
+        assert_eq!(second.diagnostics.wall_time_micros, 0);
+        // The hit was promoted into the memory tier: the cumulative
+        // point count matches a cold-computed session, and the next
+        // lookup never touches disk.
+        assert_eq!(warm.seen_points(), 1);
+        let third = warm
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .unwrap();
+        assert_eq!(third, second);
+        assert_eq!(warm.stats(), CacheStats { hits: 2, misses: 0 });
+    }
+
+    #[test]
+    fn store_tier_records_infeasibility_too() {
+        let store = store_at("infeasible");
+        let dfg = tiny();
+        let lib = Library::table1();
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        // Latency 1 is impossible for two dependent ops.
+        let bounds = Bounds::new(1, 4);
+        let cold = session_over(&store);
+        assert!(cold
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .is_none());
+        let warm = session_over(&store);
+        assert!(warm
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .is_none());
+        assert_eq!(warm.stats(), CacheStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn corrupt_store_entries_are_recomputed_never_served() {
+        let store = store_at("corrupt");
+        let dfg = tiny();
+        let lib = Library::table1();
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let bounds = Bounds::new(6, 4);
+        let cold = session_over(&store);
+        let first = cold
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .unwrap();
+
+        // Truncate every live entry file behind the store's back.
+        let mut corrupted = 0;
+        for key in store.keys() {
+            let rchls_store::Lookup::Hit(_) = store.load(key) else {
+                panic!("cold entries load");
+            };
+            corrupted += 1;
+        }
+        assert_eq!(corrupted, 1);
+        fn truncate_all(dir: &std::path::Path) {
+            for entry in std::fs::read_dir(dir).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    truncate_all(&path);
+                } else {
+                    let text = std::fs::read_to_string(&path).unwrap();
+                    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+                }
+            }
+        }
+        truncate_all(&store.root().join("objects"));
+
+        // The warm session quarantines, recomputes, and matches.
+        let warm = session_over(&store);
+        let second = warm
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .unwrap();
+        assert_eq!(warm.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(first.design, second.design);
+        assert_eq!(store.stats().quarantined, 1);
+        // The recompute wrote a clean entry back.
+        let healed = session_over(&store);
+        let third = healed
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .unwrap();
+        assert_eq!(healed.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(second.design, third.design);
+    }
+
+    #[test]
+    fn undecodable_store_payloads_are_quarantined() {
+        let store = store_at("undecodable");
+        let dfg = tiny();
+        let lib = Library::table1();
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let bounds = Bounds::new(6, 4);
+        let key = CacheKey::for_point(&dfg, &lib, bounds, &flow_spec, model, "ours");
+        // A valid envelope whose payload is not a StoredEntry — what an
+        // engine schema change would leave behind.
+        store.save(key.raw(), r#"{"era": "older-engine"}"#).unwrap();
+        let cache = session_over(&store);
+        assert!(cache
+            .synthesize(&dfg, &lib, bounds, &flow_spec, model, &*ours())
+            .is_some());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(store.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn store_collisions_compute_fresh_and_keep_the_entry() {
+        let store = store_at("collision");
+        let dfg = tiny();
+        let lib = Library::table1();
+        let flow_spec = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let wide = Bounds::new(6, 4);
+        let tight = Bounds::new(2, 6);
+        let key = CacheKey::for_point(&dfg, &lib, wide, &flow_spec, model, "ours");
+        let run =
+            |bounds: Bounds| StrategyKind::Ours.run_report(&dfg, &lib, bounds, &flow_spec, model);
+
+        let first = session_over(&store).get_or_compute(key, wide, "ours", || run(wide));
+        // A different request arriving under the same fingerprint in a
+        // fresh session collides against the *disk* entry: computed
+        // fresh, not written back.
+        let colliding = session_over(&store);
+        let second = colliding.get_or_compute(key, tight, "ours", || run(tight));
+        assert_ne!(first, second);
+        assert_eq!(second.as_ref().map(|r| r.design.latency), Some(2));
+        assert_eq!(colliding.stats(), CacheStats { hits: 0, misses: 1 });
+        // The original entry survived and still answers its own request.
+        let again = session_over(&store).get_or_compute(key, wide, "ours", || {
+            unreachable!("must be served from the store")
+        });
+        assert_eq!(
+            again.as_ref().map(|r| r.design.clone()),
+            first.as_ref().map(|r| r.design.clone())
+        );
     }
 }

@@ -48,12 +48,14 @@ mod cache;
 mod executor;
 mod fingerprint;
 mod starts;
+pub mod store_tier;
 
 pub use budget::CacheBudget;
 pub use cache::{CacheKey, CacheStats, SynthCache};
 pub use executor::SweepExecutor;
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use starts::StartsCache;
+pub use store_tier::{Provenance, StoredEntry};
 
 use crate::bounds::Bounds;
 use crate::error::SynthesisError;
@@ -331,6 +333,24 @@ impl Engine {
         self
     }
 
+    /// Attaches an on-disk [`rchls_store::ResultStore`] as the second
+    /// cache tier: memory misses probe the store, fresh syntheses write
+    /// back. Tiering changes where answers come from, never what they
+    /// are — store-served reports are byte-identical (wall time
+    /// scrubbed) to freshly computed ones in every deterministic
+    /// artifact.
+    #[must_use]
+    pub fn with_store(self, store: Arc<rchls_store::ResultStore>) -> Engine {
+        self.cache.set_store(store);
+        self
+    }
+
+    /// The attached on-disk store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<rchls_store::ResultStore>> {
+        self.cache.store()
+    }
+
     /// The session cache budget.
     #[must_use]
     pub fn cache_budget(&self) -> CacheBudget {
@@ -543,13 +563,14 @@ impl Engine {
         let strategy = flow::strategy(&job.strategy)
             .ok_or_else(|| EngineError::UnknownStrategy(job.strategy.clone()))?;
         self.cache
-            .synthesize(
+            .synthesize_with_workload(
                 &workload.dfg,
                 &self.library,
                 job.bounds(),
                 &job.flow,
                 job.redundancy,
                 &*strategy,
+                Some(&workload.spec),
             )
             .ok_or_else(|| EngineError::Infeasible {
                 workload: workload.spec.clone(),

@@ -122,3 +122,30 @@ histogram_handle!(
 histogram_handle!(
     /// `executor.worker_busy_micros` — per-worker busy time per batch.
     executor_worker_busy_micros, "executor.worker_busy_micros", TIME_BUCKETS_MICROS);
+
+counter_handle!(
+    /// `store.hits` — synthesis points answered from the on-disk store
+    /// (the second cache tier) after a memory miss.
+    store_hits, "store.hits");
+counter_handle!(
+    /// `store.misses` — on-disk store probes that found no usable
+    /// entry (absent, quarantined, or a fingerprint collision).
+    store_misses, "store.misses");
+counter_handle!(
+    /// `store.writes` — fresh results written back to the store.
+    store_writes, "store.writes");
+counter_handle!(
+    /// `store.write_failures` — write-backs that failed (disk full,
+    /// permissions); synthesis results are still returned.
+    store_write_failures, "store.write_failures");
+counter_handle!(
+    /// `store.quarantined` — store entries demoted because their
+    /// payload no longer decodes (engine schema drift), on top of the
+    /// store's own envelope-level quarantines.
+    store_quarantined, "store.quarantined");
+histogram_handle!(
+    /// `store.hit_micros` — on-disk store probe latency on hits.
+    store_hit_micros, "store.hit_micros", TIME_BUCKETS_MICROS);
+histogram_handle!(
+    /// `store.miss_micros` — on-disk store probe latency on misses.
+    store_miss_micros, "store.miss_micros", TIME_BUCKETS_MICROS);

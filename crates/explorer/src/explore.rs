@@ -120,6 +120,7 @@ pub struct BenchmarkSweep {
 struct PointJob<'a> {
     dfg: &'a Dfg,
     benchmark: &'a str,
+    workload: Option<&'a str>,
     bounds: Bounds,
     strategy: Arc<dyn Strategy>,
 }
@@ -163,6 +164,7 @@ pub fn explore(
                 strategies_ref.iter().map(move |strategy| PointJob {
                     dfg: &t.dfg,
                     benchmark: &t.name,
+                    workload: t.workload.as_deref(),
                     bounds: Bounds::new(latency, area),
                     strategy: Arc::clone(strategy),
                 })
@@ -171,7 +173,15 @@ pub fn explore(
         .collect();
 
     let outcomes: Vec<Option<SynthReport>> = executor.run(&jobs, |job| {
-        cache.synthesize(job.dfg, library, job.bounds, flow, model, &*job.strategy)
+        cache.synthesize_with_workload(
+            job.dfg,
+            library,
+            job.bounds,
+            flow,
+            model,
+            &*job.strategy,
+            job.workload,
+        )
     });
 
     // Frontier: every feasible design, archived in deterministic job
@@ -240,6 +250,96 @@ pub fn explore(
         .collect();
 
     Exploration { sweeps, frontier }
+}
+
+/// Synthesizes the given grid points of one task (all three Table-2
+/// strategies per point) and assembles the *raw* — pre-inheritance —
+/// rows plus the feasible frontier candidates, in point order.
+///
+/// This is the shared fan-out under partial-grid drivers
+/// ([`crate::shard`] covers a deterministic slice of the grid;
+/// [`crate::resume`] warms pending points between checkpoints), where
+/// feasibility inheritance must wait until the full grid is assembled.
+pub(crate) fn synthesize_points(
+    task: &ExploreTask,
+    points: &[(u32, u32)],
+    library: &Library,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+    executor: &SweepExecutor,
+    cache: &SynthCache,
+) -> (Vec<SweepRow>, Vec<FrontierPoint>) {
+    let strategies: Vec<Arc<dyn Strategy>> = StrategyKind::TABLE2
+        .into_iter()
+        .map(StrategyKind::strategy)
+        .collect();
+    let jobs: Vec<PointJob<'_>> = points
+        .iter()
+        .flat_map(|&(latency, area)| {
+            strategies.iter().map(move |strategy| PointJob {
+                dfg: &task.dfg,
+                benchmark: &task.name,
+                workload: task.workload.as_deref(),
+                bounds: Bounds::new(latency, area),
+                strategy: Arc::clone(strategy),
+            })
+        })
+        .collect();
+    let outcomes: Vec<Option<SynthReport>> = executor.run(&jobs, |job| {
+        cache.synthesize_with_workload(
+            job.dfg,
+            library,
+            job.bounds,
+            flow,
+            model,
+            &*job.strategy,
+            job.workload,
+        )
+    });
+
+    let mut candidates = Vec::new();
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        if let Some(report) = outcome {
+            let point = DesignPoint::from(&report.design);
+            candidates.push(FrontierPoint {
+                benchmark: job.benchmark.to_owned(),
+                strategy: job.strategy.id().to_owned(),
+                latency_bound: job.bounds.latency,
+                area_bound: job.bounds.area,
+                latency: point.latency,
+                area: point.area,
+                reliability: point.reliability,
+            });
+        }
+    }
+
+    let stride = strategies.len();
+    let rows = points
+        .iter()
+        .enumerate()
+        .map(|(point, &(latency, area))| {
+            let mut row = SweepRow::empty(latency, area);
+            let base = point * stride;
+            for (slot, kind) in StrategyKind::TABLE2.into_iter().enumerate() {
+                let outcome = outcomes[base + slot].as_ref();
+                let r = outcome.map(|rep| rep.design.reliability.value());
+                match kind {
+                    StrategyKind::Baseline => row.baseline = r,
+                    StrategyKind::Ours => row.ours = r,
+                    StrategyKind::Combined => row.combined = r,
+                    _ => unreachable!("TABLE2 holds the paper's three strategies"),
+                }
+                if let Some(report) = outcome {
+                    row.diagnostics.push(StrategyDiagnostics {
+                        strategy: kind.name().to_owned(),
+                        diagnostics: report.diagnostics.scrubbed(),
+                    });
+                }
+            }
+            row
+        })
+        .collect();
+    (rows, candidates)
 }
 
 /// Sweeps one benchmark's grid in parallel — the drop-in counterpart of

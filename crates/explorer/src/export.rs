@@ -6,6 +6,7 @@
 
 use crate::explore::Exploration;
 use crate::pareto::ParetoArchive;
+use crate::shard::SweepShard;
 use rchls_core::explore::SweepRow;
 use std::fmt::Write as _;
 
@@ -40,6 +41,21 @@ pub fn frontier_csv(archive: &ParetoArchive) -> String {
 #[must_use]
 pub fn exploration_json(exploration: &Exploration) -> String {
     serde_json::to_string_pretty(exploration).expect("explorations always serialize")
+}
+
+/// A sweep shard document as pretty JSON, for a later `rchls merge`.
+#[must_use]
+pub fn shard_json(shard: &SweepShard) -> String {
+    serde_json::to_string_pretty(shard).expect("shards always serialize")
+}
+
+/// Parses a shard document produced by [`shard_json`].
+///
+/// # Errors
+///
+/// Returns the decode error when `text` is not a shard document.
+pub fn shard_from_json(text: &str) -> Result<SweepShard, serde::Error> {
+    serde_json::from_str(text)
 }
 
 /// Sweep rows as CSV (`latency_bound,area_bound,baseline,ours,combined`;

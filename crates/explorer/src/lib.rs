@@ -68,6 +68,8 @@
 mod explore;
 pub mod export;
 mod pareto;
+pub mod resume;
+pub mod shard;
 
 // The executor, fingerprint, and cache primitives were grown here and
 // now live in `rchls_core::engine` (so the session `Engine` can build on
@@ -81,3 +83,5 @@ pub use explore::{
     default_grid, explore, sweep_parallel, BenchmarkSweep, DesignPoint, Exploration, ExploreTask,
 };
 pub use pareto::{FrontierPoint, ParetoArchive};
+pub use resume::{sweep_fingerprint, CheckpointedSweep, ResumeOutcome, SweepCheckpoint};
+pub use shard::{explore_shard, merge, MergeError, SweepShard};

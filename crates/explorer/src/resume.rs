@@ -1,0 +1,427 @@
+//! Checkpoint/resume for long sweeps.
+//!
+//! A checkpointed sweep runs in two phases. The *warm phase* pushes the
+//! grid's pending points through the synthesis cache — and therefore
+//! into the attached [`ResultStore`] — in chunks, writing a
+//! [`SweepCheckpoint`] after each chunk. The *assembly phase* is a plain
+//! [`explore`](crate::explore()) over the full grid: every point is
+//! answered from the cache tiers, so the emitted document is
+//! byte-identical to an uninterrupted run no matter where (or how often)
+//! the warm phase was killed. Resuming validates the checkpoint's
+//! [`sweep_fingerprint`] before trusting its completed-point set — a
+//! checkpoint from a different sweep (or a different library) is
+//! ignored, never adopted.
+
+use crate::explore::{synthesize_points, ExploreTask};
+use crate::pareto::ParetoArchive;
+use rchls_core::engine::{Fingerprint, SweepExecutor, SynthCache};
+use rchls_core::{FlowSpec, RedundancyModel, StrategyKind};
+use rchls_reslib::Library;
+use rchls_store::{Lookup, ResultStore};
+use serde::{Deserialize, Serialize};
+
+/// On-disk schema version of [`SweepCheckpoint`] documents.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Deterministic identity of one sweep configuration: the graph, its
+/// label and workload spec, the library, the full bound grid, the flow,
+/// the redundancy model, and the Table-2 strategy tokens. Stable across
+/// processes; keys both checkpoints and shard documents.
+#[must_use]
+pub fn sweep_fingerprint(
+    task: &ExploreTask,
+    library: &Library,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.update(&task.name);
+    fp.update(&task.workload);
+    fp.update(&task.dfg);
+    fp.update(library);
+    fp.update(&task.grid);
+    fp.update(flow);
+    fp.update(&model);
+    for kind in StrategyKind::TABLE2 {
+        fp.update(&kind.strategy().fingerprint_token());
+    }
+    fp.finish()
+}
+
+/// A periodic snapshot of a long sweep: which grid points have been
+/// synthesized into the store, plus the frontier over them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Document schema version ([`CHECKPOINT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The [`sweep_fingerprint`] of the configuration this snapshot
+    /// belongs to; doubles as its key in the store's checkpoint area.
+    pub fingerprint: u64,
+    /// Completed grid indices, sorted ascending.
+    pub completed: Vec<u32>,
+    /// The frontier over every design synthesized so far.
+    pub frontier: ParetoArchive,
+}
+
+/// Renders a checkpoint as its on-disk payload (compact JSON).
+#[must_use]
+pub fn encode_checkpoint(checkpoint: &SweepCheckpoint) -> String {
+    serde_json::to_string(checkpoint).expect("checkpoints always serialize")
+}
+
+/// Parses an on-disk payload back into a [`SweepCheckpoint`].
+///
+/// # Errors
+///
+/// Returns the decode error when the payload is not a checkpoint — the
+/// caller starts the sweep from scratch.
+pub fn decode_checkpoint(payload: &str) -> Result<SweepCheckpoint, serde::Error> {
+    serde_json::from_str(payload)
+}
+
+/// What a checkpointed warm pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeOutcome {
+    /// Grid points in the sweep.
+    pub total_points: usize,
+    /// Points skipped because an adopted checkpoint recorded them done.
+    pub skipped: usize,
+    /// Points pushed through the cache tiers this run.
+    pub computed: usize,
+    /// Checkpoints successfully written this run.
+    pub checkpoints_written: usize,
+    /// Whether a prior checkpoint was adopted.
+    pub resumed: bool,
+}
+
+/// A checkpointed warm pass over one sweep: the configuration bundle for
+/// [`CheckpointedSweep::run`].
+pub struct CheckpointedSweep<'a> {
+    /// The benchmark and its full bound grid.
+    pub task: &'a ExploreTask,
+    /// The component library.
+    pub library: &'a Library,
+    /// The synthesis flow.
+    pub flow: &'a FlowSpec,
+    /// The redundancy model.
+    pub model: RedundancyModel,
+    /// The executor to fan point jobs over.
+    pub executor: &'a SweepExecutor,
+    /// The synthesis cache; must have `store` attached so warmed points
+    /// survive the process.
+    pub cache: &'a SynthCache,
+    /// The persistent store holding results and checkpoints.
+    pub store: &'a ResultStore,
+    /// Checkpoint after every this many grid points (clamped to ≥ 1).
+    pub every: usize,
+    /// Adopt a matching prior checkpoint instead of starting over.
+    pub resume: bool,
+}
+
+impl CheckpointedSweep<'_> {
+    /// Warms the sweep's pending points into the store, checkpointing as
+    /// it goes. Follow with a plain [`explore`](crate::explore()) over
+    /// the same configuration to assemble the document, then
+    /// [`clear`](CheckpointedSweep::clear) the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` names an unknown pass id (matching
+    /// [`crate::explore`]'s contract).
+    #[must_use]
+    pub fn run(&self) -> ResumeOutcome {
+        if let Err(e) = self.flow.resolve() {
+            panic!("checkpointed sweep: {e}");
+        }
+        let fingerprint = self.fingerprint();
+        let total_points = self.task.grid.len();
+        let mut completed: Vec<u32> = Vec::new();
+        let mut frontier = ParetoArchive::new();
+        let mut resumed = false;
+        if self.resume {
+            if let Lookup::Hit(payload) = self.store.load_checkpoint(fingerprint) {
+                if let Ok(checkpoint) = decode_checkpoint(&payload) {
+                    if checkpoint.schema_version == CHECKPOINT_SCHEMA_VERSION
+                        && checkpoint.fingerprint == fingerprint
+                    {
+                        completed = checkpoint.completed;
+                        completed.sort_unstable();
+                        completed.retain(|&i| (i as usize) < total_points);
+                        frontier = checkpoint.frontier;
+                        resumed = !completed.is_empty();
+                    }
+                }
+            }
+        }
+        let skipped = completed.len();
+        let pending: Vec<u32> = (0..total_points as u32)
+            .filter(|i| completed.binary_search(i).is_err())
+            .collect();
+        let mut checkpoints_written = 0;
+        for chunk in pending.chunks(self.every.max(1)) {
+            let points: Vec<(u32, u32)> =
+                chunk.iter().map(|&i| self.task.grid[i as usize]).collect();
+            let (_rows, candidates) = synthesize_points(
+                self.task,
+                &points,
+                self.library,
+                self.flow,
+                self.model,
+                self.executor,
+                self.cache,
+            );
+            frontier.extend(candidates);
+            completed.extend_from_slice(chunk);
+            completed.sort_unstable();
+            let snapshot = SweepCheckpoint {
+                schema_version: CHECKPOINT_SCHEMA_VERSION,
+                fingerprint,
+                completed: completed.clone(),
+                frontier: frontier.clone(),
+            };
+            if self
+                .store
+                .save_checkpoint(fingerprint, &encode_checkpoint(&snapshot))
+                .is_ok()
+            {
+                checkpoints_written += 1;
+            }
+        }
+        ResumeOutcome {
+            total_points,
+            skipped,
+            computed: pending.len(),
+            checkpoints_written,
+            resumed,
+        }
+    }
+
+    /// The [`sweep_fingerprint`] of this configuration.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        sweep_fingerprint(self.task, self.library, self.flow, self.model)
+    }
+
+    /// Removes this sweep's checkpoint — call once the final document
+    /// has been assembled and emitted.
+    pub fn clear(&self) {
+        self.store.remove_checkpoint(self.fingerprint());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::export::exploration_json;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rchls-resume-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn task() -> ExploreTask {
+        ExploreTask::new(
+            "diffeq",
+            rchls_workloads::diffeq(),
+            vec![(5, 11), (6, 13), (7, 9), (4, 2), (6, 11)],
+        )
+        .with_workload("builtin:diffeq")
+    }
+
+    fn session(store: &Arc<ResultStore>) -> SynthCache {
+        let cache = SynthCache::new();
+        cache.set_store(Arc::clone(store));
+        cache
+    }
+
+    fn baseline(task: &ExploreTask) -> String {
+        exploration_json(&explore(
+            std::slice::from_ref(task),
+            &Library::table1(),
+            &FlowSpec::default(),
+            RedundancyModel::default(),
+            SweepExecutor::serial(),
+            &SynthCache::new(),
+        ))
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_sweep_configuration() {
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let fp = sweep_fingerprint(&task, &lib, &flow, model);
+        assert_eq!(fp, sweep_fingerprint(&task, &lib, &flow, model));
+        let mut wider = task.clone();
+        wider.grid.push((9, 9));
+        assert_ne!(fp, sweep_fingerprint(&wider, &lib, &flow, model));
+        assert_ne!(
+            fp,
+            sweep_fingerprint(&task, &lib, &flow.clone().with_refine("none"), model)
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_the_plain_document() {
+        let dir = scratch("full");
+        let store = Arc::new(ResultStore::open(&dir).expect("store opens"));
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let executor = SweepExecutor::new(2);
+        let cache = session(&store);
+        let sweep = CheckpointedSweep {
+            task: &task,
+            library: &lib,
+            flow: &flow,
+            model,
+            executor: &executor,
+            cache: &cache,
+            store: &store,
+            every: 2,
+            resume: false,
+        };
+        let outcome = sweep.run();
+        assert_eq!(outcome.total_points, 5);
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(outcome.computed, 5);
+        assert_eq!(outcome.checkpoints_written, 3, "ceil(5 / 2) chunks");
+        assert!(!outcome.resumed);
+        // The checkpoint is live until cleared.
+        assert!(matches!(
+            store.load_checkpoint(sweep.fingerprint()),
+            Lookup::Hit(_)
+        ));
+        let doc = exploration_json(&explore(
+            std::slice::from_ref(&task),
+            &lib,
+            &flow,
+            model,
+            SweepExecutor::serial(),
+            &cache,
+        ));
+        assert_eq!(doc, baseline(&task));
+        sweep.clear();
+        assert!(matches!(
+            store.load_checkpoint(sweep.fingerprint()),
+            Lookup::Miss
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_checkpointed_points_and_reproduces_the_document() {
+        let dir = scratch("resume");
+        let store = Arc::new(ResultStore::open(&dir).expect("store opens"));
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+
+        // Session 1 "dies" after warming grid points 0 and 1: the store
+        // holds their results and a checkpoint naming them complete.
+        {
+            let cache = session(&store);
+            let executor = SweepExecutor::serial();
+            let points = [task.grid[0], task.grid[1]];
+            let (_rows, candidates) =
+                synthesize_points(&task, &points, &lib, &flow, model, &executor, &cache);
+            let mut frontier = ParetoArchive::new();
+            frontier.extend(candidates);
+            let fp = sweep_fingerprint(&task, &lib, &flow, model);
+            let snapshot = SweepCheckpoint {
+                schema_version: CHECKPOINT_SCHEMA_VERSION,
+                fingerprint: fp,
+                completed: vec![0, 1],
+                frontier,
+            };
+            store
+                .save_checkpoint(fp, &encode_checkpoint(&snapshot))
+                .expect("checkpoint writes");
+        }
+
+        // Session 2 resumes: skips the finished points, computes the rest,
+        // and the assembled document is byte-identical to an uninterrupted
+        // run.
+        let cache = session(&store);
+        let executor = SweepExecutor::serial();
+        let sweep = CheckpointedSweep {
+            task: &task,
+            library: &lib,
+            flow: &flow,
+            model,
+            executor: &executor,
+            cache: &cache,
+            store: &store,
+            every: 10,
+            resume: true,
+        };
+        let outcome = sweep.run();
+        assert!(outcome.resumed);
+        assert_eq!(outcome.skipped, 2);
+        assert_eq!(outcome.computed, 3);
+        let doc = exploration_json(&explore(
+            std::slice::from_ref(&task),
+            &lib,
+            &flow,
+            model,
+            SweepExecutor::serial(),
+            &cache,
+        ));
+        assert_eq!(doc, baseline(&task));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_or_corrupt_checkpoints_are_ignored() {
+        let dir = scratch("foreign");
+        let store = Arc::new(ResultStore::open(&dir).expect("store opens"));
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let fp = sweep_fingerprint(&task, &lib, &flow, model);
+
+        // A checkpoint whose embedded fingerprint disagrees with its key.
+        let snapshot = SweepCheckpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            fingerprint: fp ^ 1,
+            completed: vec![0, 1, 2, 3, 4],
+            frontier: ParetoArchive::new(),
+        };
+        store
+            .save_checkpoint(fp, &encode_checkpoint(&snapshot))
+            .expect("checkpoint writes");
+        let cache = session(&store);
+        let executor = SweepExecutor::serial();
+        let sweep = CheckpointedSweep {
+            task: &task,
+            library: &lib,
+            flow: &flow,
+            model,
+            executor: &executor,
+            cache: &cache,
+            store: &store,
+            every: 10,
+            resume: true,
+        };
+        let outcome = sweep.run();
+        assert!(!outcome.resumed, "mismatched fingerprint is not adopted");
+        assert_eq!(outcome.computed, 5);
+
+        // A checkpoint that does not decode at all.
+        store
+            .save_checkpoint(fp, "not a checkpoint")
+            .expect("checkpoint writes");
+        let outcome = sweep.run();
+        assert!(!outcome.resumed, "undecodable checkpoint is not adopted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,379 @@
+//! Sharded sweeps: deterministic grid partitioning and lossless merge.
+//!
+//! A sweep over a large bound grid can be split across processes (or
+//! machines) by running `n` shards, each covering the grid indices
+//! congruent to its shard index modulo `n`, and merging the shard
+//! documents afterwards. The merge is *lossless*: because shards carry
+//! their rows **raw** — before feasibility inheritance, which is a
+//! full-grid property — and because [`ParetoArchive`] contents are
+//! insertion-order independent, the merged [`Exploration`] is
+//! byte-for-byte identical to the document an unsharded run of the same
+//! sweep would have produced.
+//!
+//! Shard documents embed a [`sweep_fingerprint`]
+//! of the full sweep configuration (graph, library, grid, flow, model,
+//! strategy tokens), so [`merge`] can refuse shards from different
+//! sweeps — or from the same grid swept under a different library —
+//! instead of quietly interleaving them.
+
+use crate::explore::{synthesize_points, Exploration, ExploreTask};
+use crate::pareto::ParetoArchive;
+use crate::resume::sweep_fingerprint;
+use crate::{BenchmarkSweep, SweepExecutor, SynthCache};
+use rchls_core::explore::{inherit, SweepRow};
+use rchls_core::{FlowSpec, RedundancyModel};
+use rchls_reslib::Library;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// On-disk schema version of [`SweepShard`] documents.
+pub const SHARD_SCHEMA_VERSION: u32 = 1;
+
+/// One shard of a partitioned sweep: the raw rows and local frontier of
+/// the grid indices congruent to `shard_index` modulo `shard_count`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepShard {
+    /// Document schema version ([`SHARD_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Fingerprint of the *full* sweep configuration. [`merge`] only
+    /// combines shards agreeing on it.
+    pub fingerprint: u64,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The canonical workload spec the benchmark was resolved from.
+    pub workload: Option<String>,
+    /// This shard's index, `0 <= shard_index < shard_count`.
+    pub shard_index: u32,
+    /// Total number of shards the sweep was split into.
+    pub shard_count: u32,
+    /// The **full** bound grid of the sweep, not just this shard's slice.
+    pub grid: Vec<(u32, u32)>,
+    /// Raw — pre-inheritance — rows for this shard's grid indices, in
+    /// grid order. Feasibility inheritance is applied by [`merge`] once
+    /// the full grid is reassembled.
+    pub rows: Vec<SweepRow>,
+    /// The non-dominated frontier over this shard's designs.
+    pub frontier: ParetoArchive,
+}
+
+/// Why a set of shard documents cannot be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError(String);
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "merge: {}", self.0)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+fn err(msg: impl Into<String>) -> MergeError {
+    MergeError(msg.into())
+}
+
+/// The grid indices shard `index` of `count` covers, in grid order.
+#[must_use]
+pub fn shard_indices(grid_len: usize, index: u32, count: u32) -> Vec<usize> {
+    assert!(count > 0, "shard count must be positive");
+    assert!(index < count, "shard index {index} out of {count}");
+    (0..grid_len)
+        .filter(|i| i % count as usize == index as usize)
+        .collect()
+}
+
+/// Sweeps shard `index` of `count` of one task's grid and packages the
+/// result for a later [`merge`].
+///
+/// # Panics
+///
+/// Panics when `index >= count`, `count == 0`, or `flow` names an
+/// unknown pass id (matching [`crate::explore`]'s contract).
+// Same shape as `explore` plus the two shard coordinates; a config
+// struct would just rename the same eight facts.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn explore_shard(
+    task: &ExploreTask,
+    library: &Library,
+    flow: &FlowSpec,
+    model: RedundancyModel,
+    executor: &SweepExecutor,
+    cache: &SynthCache,
+    index: u32,
+    count: u32,
+) -> SweepShard {
+    if let Err(e) = flow.resolve() {
+        panic!("explore_shard: {e}");
+    }
+    let indices = shard_indices(task.grid.len(), index, count);
+    let points: Vec<(u32, u32)> = indices.iter().map(|&i| task.grid[i]).collect();
+    let (rows, candidates) =
+        synthesize_points(task, &points, library, flow, model, executor, cache);
+    let mut frontier = ParetoArchive::new();
+    frontier.extend(candidates);
+    SweepShard {
+        schema_version: SHARD_SCHEMA_VERSION,
+        fingerprint: sweep_fingerprint(task, library, flow, model),
+        benchmark: task.name.clone(),
+        workload: task.workload.clone(),
+        shard_index: index,
+        shard_count: count,
+        grid: task.grid.clone(),
+        rows,
+        frontier,
+    }
+}
+
+/// Recombines a complete set of shard documents into the [`Exploration`]
+/// an unsharded run of the same sweep would have produced, byte for byte
+/// under the same renderer.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] when the set is empty, mixes schema
+/// versions or sweep fingerprints, misses or duplicates a shard index,
+/// or a shard's row count disagrees with its slice of the grid.
+pub fn merge(shards: &[SweepShard]) -> Result<Exploration, MergeError> {
+    let first = shards.first().ok_or_else(|| err("no shard documents"))?;
+    if first.schema_version != SHARD_SCHEMA_VERSION {
+        return Err(err(format!(
+            "unsupported shard schema version {} (this build reads {SHARD_SCHEMA_VERSION})",
+            first.schema_version
+        )));
+    }
+    let count = first.shard_count;
+    if count == 0 {
+        return Err(err("shard count is zero"));
+    }
+    if shards.len() != count as usize {
+        return Err(err(format!(
+            "sweep was split into {count} shards but {} were given",
+            shards.len()
+        )));
+    }
+    let mut by_index: Vec<Option<&SweepShard>> = vec![None; count as usize];
+    for shard in shards {
+        for (what, ours, theirs) in [
+            (
+                "schema version",
+                u64::from(first.schema_version),
+                u64::from(shard.schema_version),
+            ),
+            ("fingerprint", first.fingerprint, shard.fingerprint),
+            (
+                "shard count",
+                u64::from(first.shard_count),
+                u64::from(shard.shard_count),
+            ),
+        ] {
+            if ours != theirs {
+                return Err(err(format!(
+                    "shards disagree on {what}: {ours} vs {theirs}"
+                )));
+            }
+        }
+        if shard.benchmark != first.benchmark
+            || shard.workload != first.workload
+            || shard.grid != first.grid
+        {
+            return Err(err(format!(
+                "shard {} describes a different sweep than shard {}",
+                shard.shard_index, first.shard_index
+            )));
+        }
+        let slot = by_index
+            .get_mut(shard.shard_index as usize)
+            .ok_or_else(|| err(format!("shard index {} out of {count}", shard.shard_index)))?;
+        if slot.replace(shard).is_some() {
+            return Err(err(format!("duplicate shard index {}", shard.shard_index)));
+        }
+    }
+    let by_index: Vec<&SweepShard> = by_index
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.ok_or_else(|| err(format!("missing shard index {i} of {count}"))))
+        .collect::<Result<_, _>>()?;
+
+    for shard in &by_index {
+        let expected = shard_indices(first.grid.len(), shard.shard_index, count).len();
+        if shard.rows.len() != expected {
+            return Err(err(format!(
+                "shard {} carries {} rows for a {expected}-point slice",
+                shard.shard_index,
+                shard.rows.len()
+            )));
+        }
+    }
+
+    // Reassemble the raw rows in grid order: index i came from shard
+    // i % count, as the ceil(i / count)-th row of its slice.
+    let raw: Vec<SweepRow> = (0..first.grid.len())
+        .map(|i| {
+            let shard = by_index[i % count as usize];
+            let row = shard.rows[i / count as usize].clone();
+            let (latency, area) = first.grid[i];
+            if (row.latency_bound, row.area_bound) != (latency, area) {
+                return Err(err(format!(
+                    "shard {} row for grid index {i} carries bounds ({}, {}), grid says ({latency}, {area})",
+                    shard.shard_index, row.latency_bound, row.area_bound
+                )));
+            }
+            Ok(row)
+        })
+        .collect::<Result<_, _>>()?;
+
+    // The archive's contents are insertion-order independent, so
+    // re-inserting every shard's frontier reproduces the global one.
+    let mut frontier = ParetoArchive::new();
+    for shard in &by_index {
+        frontier.extend(shard.frontier.points().iter().cloned());
+    }
+
+    Ok(Exploration {
+        sweeps: vec![BenchmarkSweep {
+            benchmark: first.benchmark.clone(),
+            workload: first.workload.clone(),
+            rows: inherit(&raw),
+        }],
+        frontier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    fn task() -> ExploreTask {
+        ExploreTask::new(
+            "diffeq",
+            rchls_workloads::diffeq(),
+            vec![(5, 11), (6, 13), (7, 9), (4, 2), (6, 11), (8, 8), (5, 5)],
+        )
+        .with_workload("builtin:diffeq")
+    }
+
+    fn unsharded(task: &ExploreTask) -> Exploration {
+        explore(
+            std::slice::from_ref(task),
+            &Library::table1(),
+            &FlowSpec::default(),
+            RedundancyModel::default(),
+            SweepExecutor::serial(),
+            &SynthCache::new(),
+        )
+    }
+
+    #[test]
+    fn shard_indices_partition_the_grid() {
+        let all: Vec<usize> = (0..7).collect();
+        let mut seen = Vec::new();
+        for i in 0..3 {
+            seen.extend(shard_indices(7, i, 3));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, all);
+        assert_eq!(shard_indices(7, 0, 3), vec![0, 3, 6]);
+        assert_eq!(shard_indices(7, 2, 3), vec![2, 5]);
+        assert_eq!(shard_indices(2, 2, 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn merged_shards_match_the_unsharded_exploration_exactly() {
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let whole = unsharded(&task);
+        for count in [1u32, 2, 3, 7] {
+            let shards: Vec<SweepShard> = (0..count)
+                .map(|i| {
+                    let cache = SynthCache::new();
+                    let executor = SweepExecutor::new(2);
+                    explore_shard(&task, &lib, &flow, model, &executor, &cache, i, count)
+                })
+                .collect();
+            let merged = merge(&shards).expect("complete shard set merges");
+            assert_eq!(merged, whole, "count = {count}");
+            // Byte-identity under the JSON renderer, not just Eq.
+            assert_eq!(
+                crate::export::exploration_json(&merged),
+                crate::export::exploration_json(&whole),
+                "count = {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_accepts_shards_in_any_order() {
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let cache = SynthCache::new();
+        let executor = SweepExecutor::serial();
+        let mut shards: Vec<SweepShard> = (0..3)
+            .map(|i| explore_shard(&task, &lib, &flow, model, &executor, &cache, i, 3))
+            .collect();
+        shards.reverse();
+        assert_eq!(merge(&shards).expect("order-free"), unsharded(&task));
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_sets() {
+        let task = task();
+        let lib = Library::table1();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let cache = SynthCache::new();
+        let executor = SweepExecutor::serial();
+        let shards: Vec<SweepShard> = (0..2)
+            .map(|i| explore_shard(&task, &lib, &flow, model, &executor, &cache, i, 2))
+            .collect();
+
+        assert!(merge(&[]).is_err(), "empty set");
+        assert!(merge(&shards[..1]).is_err(), "missing shard");
+        assert!(
+            merge(&[shards[0].clone(), shards[0].clone()]).is_err(),
+            "duplicate shard"
+        );
+
+        let mut drifted = shards.clone();
+        drifted[1].fingerprint ^= 1;
+        assert!(merge(&drifted).is_err(), "foreign fingerprint");
+
+        let mut future = shards.clone();
+        future[0].schema_version += 1;
+        assert!(merge(&future).is_err(), "future schema");
+
+        let mut torn = shards;
+        torn[1].rows.pop();
+        assert!(merge(&torn).is_err(), "short row slice");
+    }
+
+    #[test]
+    fn different_libraries_fingerprint_differently() {
+        let task = task();
+        let flow = FlowSpec::default();
+        let model = RedundancyModel::default();
+        let cache = SynthCache::new();
+        let executor = SweepExecutor::serial();
+        let a = explore_shard(
+            &task,
+            &Library::table1(),
+            &flow,
+            model,
+            &executor,
+            &cache,
+            0,
+            1,
+        );
+        let lib = rchls_reslib::parse_library(
+            "library tiny\nversion a1 adder 1 1 0.99\nversion m1 multiplier 1 2 0.98\n",
+        )
+        .expect("valid library text");
+        let b = explore_shard(&task, &lib, &flow, model, &executor, &cache, 0, 1);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+}

@@ -325,8 +325,8 @@ impl Lexer {
     /// A char-literal body, opening `'` pending.
     fn char_body(&mut self, line: u32, col: u32) {
         self.bump(); // the opening quote
-        // Anything other than `\\` is the single (possibly multi-byte)
-        // character itself, already consumed.
+                     // Anything other than `\\` is the single (possibly multi-byte)
+                     // character itself, already consumed.
         if self.bump() == Some('\\') {
             if self.bump() == Some('u') && self.peek(0) == Some('{') {
                 while let Some(c) = self.bump() {

@@ -19,6 +19,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// The byte budget shared by all four engine cache layers.
     pub cache_budget: CacheBudget,
+    /// Directory of the persistent result store backing the in-memory
+    /// cache (`None` = memory-only, the historical behavior). Results
+    /// survive restarts; a corrupt store entry is quarantined and
+    /// recomputed, never served.
+    pub store: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -28,6 +33,7 @@ impl Default for ServeConfig {
             jobs: 0,
             queue_depth: 64,
             cache_budget: CacheBudget::UNLIMITED,
+            store: None,
         }
     }
 }
@@ -74,6 +80,13 @@ impl ServeConfig {
             self.queue_depth
         );
         let _ = writeln!(out, "  cache budget  {}", self.cache_budget);
+        let _ = writeln!(
+            out,
+            "  store         {}",
+            self.store
+                .as_deref()
+                .unwrap_or("none (in-memory caches only)")
+        );
         let _ = writeln!(out, "  library       {} resource versions", library.len());
         let _ = writeln!(
             out,
@@ -105,6 +118,7 @@ mod tests {
             jobs: 3,
             queue_depth: 9,
             cache_budget: CacheBudget::limited(64 << 10),
+            store: Some("/tmp/rchls-store".to_owned()),
         };
         let out = config.render(&Library::table1());
         assert!(out.contains("127.0.0.1:7411"));
@@ -112,11 +126,13 @@ mod tests {
         assert!(!out.contains("one per CPU"));
         assert!(out.contains("9 queued requests"));
         assert!(out.contains("65536 B"));
+        assert!(out.contains("/tmp/rchls-store"));
         assert!(out.contains("resource versions"));
         assert!(out.contains("dry run"));
-        // jobs = 0 resolves and says so.
+        // jobs = 0 resolves and says so; no store says so too.
         let auto = ServeConfig::default().render(&Library::table1());
         assert!(auto.contains("one per CPU"));
         assert!(auto.contains("unlimited"));
+        assert!(auto.contains("none (in-memory caches only)"));
     }
 }

@@ -117,9 +117,14 @@ impl Server {
     pub fn start(config: ServeConfig, library: Library) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let engine = Engine::new(library)
+        let mut engine = Engine::new(library)
             .with_jobs(config.jobs)
             .with_cache_budget(config.cache_budget);
+        if let Some(dir) = &config.store {
+            let store = rchls_store::ResultStore::open(dir)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            engine = engine.with_store(Arc::new(store));
+        }
         let workers = engine.jobs();
         let shared = Arc::new(Shared {
             engine,
@@ -661,10 +666,29 @@ fn metrics_result(shared: &Arc<Shared>) -> Value {
                     key("interned_workloads"),
                     Value::UInt(engine.interned_workloads() as u64),
                 ),
+                (key("store"), store_value(engine)),
             ]),
         ),
         (key("metrics"), rchls_telemetry::metrics::snapshot()),
     ])
+}
+
+/// The persistent store's facts for the metrics document: `null` when
+/// the daemon runs memory-only, otherwise its path and on-disk counts.
+fn store_value(engine: &Engine) -> Value {
+    match engine.store() {
+        None => Value::Null,
+        Some(store) => {
+            let stats = store.stats();
+            Value::Map(vec![
+                (key("path"), Value::Str(store.root().display().to_string())),
+                (key("objects"), Value::UInt(stats.objects)),
+                (key("object_bytes"), Value::UInt(stats.object_bytes)),
+                (key("quarantined"), Value::UInt(stats.quarantined)),
+                (key("checkpoints"), Value::UInt(stats.checkpoints)),
+            ])
+        }
+    }
 }
 
 fn key(k: &str) -> Value {

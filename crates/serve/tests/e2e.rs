@@ -314,6 +314,98 @@ fn a_panicking_request_leaves_the_daemon_serving() {
 }
 
 #[test]
+fn store_backed_daemon_survives_a_poisoned_store() {
+    // A store-backed daemon: synthesis results persist across restarts,
+    // metrics reports store facts, and corrupted entries are quarantined
+    // mid-flight without wrong answers or downtime.
+    let dir = std::env::temp_dir().join(format!("rchls-serve-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let config = || ServeConfig {
+        store: Some(store_dir.display().to_string()),
+        ..ephemeral(2, 8)
+    };
+    let params = serde_json::to_value(&SynthJob::new("builtin:figure4a", 6, 4));
+    let offline = serde_json::to_value(
+        &Engine::new(Library::table1())
+            .run_batch(&[SynthJob::new("builtin:figure4a", 6, 4)])
+            .outcomes[0],
+    );
+
+    // Session 1 writes the entry through.
+    let (handle, addr) = start(config());
+    let mut client = Client::connect(&addr).unwrap();
+    let doc = client.call("synth", Some(&params), None).unwrap();
+    assert_eq!(response_result(&doc).expect("synth ok"), &offline);
+    let doc = client.call("metrics", None, None).unwrap();
+    let result = response_result(&doc).expect("metrics ok");
+    let session = map_get(result.as_map().unwrap(), "session").unwrap();
+    let store_facts = map_get(session.as_map().unwrap(), "store")
+        .expect("store facts in metrics")
+        .as_map()
+        .expect("store facts are a map");
+    match map_get(store_facts, "objects") {
+        Some(Value::UInt(n)) => assert!(*n > 0, "nothing persisted"),
+        other => panic!("store objects missing or wrong type: {other:?}"),
+    }
+    handle.shutdown();
+    handle.join();
+
+    // Session 2 starts cold in memory but warm on disk: the same call
+    // answers identically from the store, and the store.hits counter
+    // proves it replayed rather than re-synthesized.
+    let (handle, addr) = start(config());
+    let mut client = Client::connect(&addr).unwrap();
+    let doc = client.call("synth", Some(&params), None).unwrap();
+    assert_eq!(response_result(&doc).expect("synth ok"), &offline);
+    let doc = client.call("metrics", None, None).unwrap();
+    let result = response_result(&doc).expect("metrics ok");
+    let snapshot = map_get(result.as_map().unwrap(), "metrics").unwrap();
+    let text = serde_json::to_string(snapshot).unwrap();
+    assert!(text.contains("store.hits"), "{text}");
+    handle.shutdown();
+    handle.join();
+
+    // Poison every stored object, then serve again: the daemon must
+    // keep answering (quarantining as it goes), not trust the garbage.
+    fn poison(dir: &std::path::Path) -> usize {
+        let mut poisoned = 0;
+        for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                poisoned += poison(&path);
+            } else {
+                std::fs::write(&path, "definitely not a store entry").unwrap();
+                poisoned += 1;
+            }
+        }
+        poisoned
+    }
+    assert!(poison(&store_dir.join("objects")) > 0);
+
+    let (handle, addr) = start(config());
+    let mut client = Client::connect(&addr).unwrap();
+    let doc = client.call("synth", Some(&params), None).unwrap();
+    assert_eq!(
+        response_result(&doc).expect("synth ok despite poison"),
+        &offline
+    );
+    let doc = client.call("metrics", None, None).unwrap();
+    let result = response_result(&doc).expect("metrics ok");
+    let session = map_get(result.as_map().unwrap(), "session").unwrap();
+    let store_facts = map_get(session.as_map().unwrap(), "store")
+        .unwrap()
+        .as_map()
+        .unwrap();
+    match map_get(store_facts, "quarantined") {
+        Some(Value::UInt(n)) => assert!(*n > 0, "poisoned entry not quarantined"),
+        other => panic!("quarantined missing or wrong type: {other:?}"),
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn shutdown_via_handle_unblocks_everything() {
     let (handle, addr) = start(ephemeral(2, 4));
     // An idle connected client must not keep the server alive.
@@ -333,6 +425,7 @@ fn soak_1k_requests_stays_under_cache_budget() {
         jobs: 2,
         queue_depth: 32,
         cache_budget: rchls_core::CacheBudget::limited(BUDGET),
+        ..ServeConfig::default()
     };
     let (handle, addr) = start(config);
 
@@ -409,6 +502,7 @@ fn cache_budget_never_changes_responses() {
             jobs: 2,
             queue_depth: 8,
             cache_budget: rchls_core::CacheBudget::parse(budget).unwrap(),
+            ..ServeConfig::default()
         };
         let (handle, addr) = start(config);
         let mut client = Client::connect(&addr).unwrap();

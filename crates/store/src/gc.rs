@@ -1,0 +1,94 @@
+//! Store garbage collection: age and size eviction.
+//!
+//! Eviction order mirrors the in-memory cache discipline: strictly
+//! oldest-first by modification time with the entry key as the
+//! deterministic tie-break — the on-disk analogue of the LRU table's
+//! `(last_used, key)` rule. Two gc runs over the same tree evict the
+//! same entries.
+
+use crate::ResultStore;
+use std::time::{Duration, SystemTime};
+
+/// What `gc` may evict. `None` fields impose no constraint; a policy of
+/// two `None`s is a no-op scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcPolicy {
+    /// Evict entries whose modification time is older than this.
+    pub max_age: Option<Duration>,
+    /// After the age pass, evict oldest-first until the live entries
+    /// total at most this many bytes.
+    pub max_bytes: Option<u64>,
+}
+
+/// What one gc run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Live entries examined.
+    pub examined: u64,
+    /// Entries evicted (deleted).
+    pub evicted: u64,
+    /// Bytes of the surviving entries.
+    pub kept_bytes: u64,
+    /// Bytes freed by eviction.
+    pub evicted_bytes: u64,
+}
+
+pub(crate) fn run(store: &ResultStore, policy: GcPolicy) -> GcReport {
+    // (mtime, key) per entry — the deterministic eviction order.
+    let mut entries: Vec<(SystemTime, u64, std::path::PathBuf, u64)> = store
+        .object_files()
+        .into_iter()
+        .filter_map(|path| {
+            let key = crate::key_of(&path)?;
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            Some((store.object_mtime(&path), key, path, bytes))
+        })
+        .collect();
+    entries.sort_by_key(|&(mtime, key, _, _)| (mtime, key));
+
+    let mut report = GcReport {
+        examined: entries.len() as u64,
+        ..GcReport::default()
+    };
+    let cutoff = policy.max_age.map(|age| {
+        // rchls-lint: allow(wall-clock, reason = "gc ages entries against real time by design; the eviction choice stays deterministic given the tree")
+        SystemTime::now()
+            .checked_sub(age)
+            .unwrap_or(SystemTime::UNIX_EPOCH)
+    });
+
+    let mut kept: Vec<(u64, std::path::PathBuf, u64)> = Vec::new();
+    for (mtime, key, path, bytes) in entries {
+        match cutoff {
+            Some(cutoff) if mtime < cutoff => {
+                evict(&mut report, &path, bytes);
+            }
+            _ => kept.push((key, path, bytes)),
+        }
+    }
+
+    if let Some(max_bytes) = policy.max_bytes {
+        let mut live: u64 = kept.iter().map(|&(_, _, bytes)| bytes).sum();
+        // `kept` is still in (mtime, key) order: pop from the front.
+        let mut survivors = Vec::new();
+        for (key, path, bytes) in kept {
+            if live > max_bytes {
+                evict(&mut report, &path, bytes);
+                live -= bytes;
+            } else {
+                survivors.push((key, path, bytes));
+            }
+        }
+        kept = survivors;
+    }
+
+    report.kept_bytes = kept.iter().map(|&(_, _, bytes)| bytes).sum();
+    report
+}
+
+fn evict(report: &mut GcReport, path: &std::path::Path, bytes: u64) {
+    if std::fs::remove_file(path).is_ok() {
+        report.evicted += 1;
+        report.evicted_bytes += bytes;
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fails when any intra-repo markdown link in the documentation set
+# (README.md and docs/*.md) points at a file that does not exist.
+# External links (http/https/mailto) and pure #anchors are skipped;
+# a target's #fragment is stripped before the existence check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md docs/*.md)
+fail=0
+checked=0
+
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || { echo "missing documentation file: $doc" >&2; fail=1; continue; }
+  dir=$(dirname "$doc")
+  # Every inline [text](target) link in the file, target only.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"   # drop the anchor
+    path="${path%% *}"     # drop an optional "title"
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $doc: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/^.*](\(.*\))$/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED" >&2
+  exit 1
+fi
+echo "docs link check OK (${checked} intra-repo links resolve)"
