@@ -1,0 +1,454 @@
+//! The schema-versioned JSON *fault plan*: which injection points
+//! misbehave, how, and on exactly which hits.
+//!
+//! A plan is deterministic by construction. Triggers are functions of
+//! per-point hit counters and the plan seed — never wall clock, thread
+//! ids, or randomness drawn at run time — so a chaos failure replays
+//! bit-for-bit from the plan file alone:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "seed": 42,
+//!   "faults": [
+//!     {"point": "store.write.fsync", "action": "error", "hits": [1, 3]},
+//!     {"point": "serve.conn.read",   "action": "delay", "ms": 40, "every": 2},
+//!     {"point": "serve.worker.exec", "action": "panic", "range": [2, 4]},
+//!     {"point": "store.read",        "action": "torn",  "one_in": 3},
+//!     {"point": "serve.conn.write",  "action": "disconnect", "always": true}
+//!   ]
+//! }
+//! ```
+//!
+//! Every `point` must name an entry of the static [`CATALOG`] and every
+//! `action` must be one the point supports — unknown points and
+//! unsupported actions are arm-time errors, not silent no-ops, so a
+//! plan that drifts out of sync with the code fails loudly.
+
+use serde::{map_get, Value};
+use std::fmt;
+
+/// Version required in (and stamped onto) fault-plan documents.
+pub const FAULT_PLAN_SCHEMA_VERSION: u64 = 1;
+
+/// The action classes a plan can request, independent of parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Fail the guarded operation with an injected error.
+    Error,
+    /// Let the operation proceed but truncate/corrupt its effect
+    /// (partial write, half-read payload, half-written response line).
+    Torn,
+    /// Drop the connection mid-operation (serve points only).
+    Disconnect,
+    /// Panic on the evaluating thread (worker points only).
+    Panic,
+    /// Stall the operation for a fixed number of milliseconds.
+    Delay,
+}
+
+impl ActionKind {
+    /// The plan-file spelling of the kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ActionKind::Error => "error",
+            ActionKind::Torn => "torn",
+            ActionKind::Disconnect => "disconnect",
+            ActionKind::Panic => "panic",
+            ActionKind::Delay => "delay",
+        }
+    }
+}
+
+/// One fully parameterized action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// See [`ActionKind::Error`].
+    Error,
+    /// See [`ActionKind::Torn`].
+    Torn,
+    /// See [`ActionKind::Disconnect`].
+    Disconnect,
+    /// See [`ActionKind::Panic`].
+    Panic,
+    /// See [`ActionKind::Delay`].
+    Delay {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+}
+
+impl Action {
+    /// The action's class.
+    #[must_use]
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            Action::Error => ActionKind::Error,
+            Action::Torn => ActionKind::Torn,
+            Action::Disconnect => ActionKind::Disconnect,
+            Action::Panic => ActionKind::Panic,
+            Action::Delay { .. } => ActionKind::Delay,
+        }
+    }
+}
+
+/// When a rule fires, as a pure function of the point's 1-based hit
+/// counter (plus the plan seed for [`Trigger::OneIn`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires on every hit.
+    Always,
+    /// Fires on exactly the listed 1-based hits.
+    Hits(Vec<u64>),
+    /// Fires on every hit in `from..=to` (1-based, inclusive).
+    Range {
+        /// First firing hit.
+        from: u64,
+        /// Last firing hit.
+        to: u64,
+    },
+    /// Fires on hits `offset + n`, `offset + 2n`, ... — every n-th hit
+    /// after skipping the first `offset`.
+    Every {
+        /// The period (>= 1).
+        n: u64,
+        /// Hits to skip before the cadence starts.
+        offset: u64,
+    },
+    /// Fires on roughly one hit in `n`, decided by a seeded hash of
+    /// `(seed, point, hit)` — deterministic for a given plan, but
+    /// spread pseudo-uniformly instead of periodically.
+    OneIn {
+        /// The inverse firing rate (>= 1).
+        n: u64,
+    },
+}
+
+impl Trigger {
+    /// A compact human rendering for reports (`"hits [1, 3]"`,
+    /// `"every 2 (offset 0)"`, ...).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Trigger::Always => "always".to_owned(),
+            Trigger::Hits(hs) => format!("hits {hs:?}"),
+            Trigger::Range { from, to } => format!("range [{from}, {to}]"),
+            Trigger::Every { n, offset } => format!("every {n} (offset {offset})"),
+            Trigger::OneIn { n } => format!("one_in {n}"),
+        }
+    }
+}
+
+/// One parsed fault rule: at `point`, perform `action` whenever
+/// `trigger` fires. Rules for the same point are checked in plan order
+/// and the first firing rule wins that hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// The injection-point name (must be in [`CATALOG`]).
+    pub point: String,
+    /// What to do when the trigger fires.
+    pub action: Action,
+    /// On which hits to do it.
+    pub trigger: Trigger,
+}
+
+/// One parsed, validated fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into [`Trigger::OneIn`] hashes.
+    pub seed: u64,
+    /// The rules, in plan order.
+    pub rules: Vec<FaultRule>,
+}
+
+/// A plan that failed to parse or validate, with a teaching message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One catalog entry: a named injection point and the actions its call
+/// site knows how to perform.
+#[derive(Debug, Clone, Copy)]
+pub struct PointInfo {
+    /// The `faultpoint!` name.
+    pub name: &'static str,
+    /// Actions the guarded call site implements.
+    pub actions: &'static [ActionKind],
+    /// Where the point sits and what each action means there.
+    pub doc: &'static str,
+}
+
+/// The static catalog of injection points threaded through the stack.
+/// `docs/chaos.md` mirrors this table; adding a point means adding the
+/// guard, the entry here, and the doc row.
+pub const CATALOG: &[PointInfo] = &[
+    PointInfo {
+        name: "store.read",
+        actions: &[ActionKind::Error, ActionKind::Torn],
+        doc: "ResultStore::load after a successful disk read: `error` quarantines the \
+              object as if the read failed; `torn` halves the bytes handed to \
+              validation (which must quarantine).",
+    },
+    PointInfo {
+        name: "store.write",
+        actions: &[ActionKind::Error, ActionKind::Torn],
+        doc: "ResultStore::save body write: `error` fails the write (tmp removed); \
+              `torn` persists a truncated payload that later loads must quarantine.",
+    },
+    PointInfo {
+        name: "store.write.fsync",
+        actions: &[ActionKind::Error],
+        doc: "ResultStore::save before fsync: the write fails after the bytes landed.",
+    },
+    PointInfo {
+        name: "store.write.rename",
+        actions: &[ActionKind::Error],
+        doc: "ResultStore::save before the tmp->object rename: publication fails.",
+    },
+    PointInfo {
+        name: "engine.spill",
+        actions: &[ActionKind::Error],
+        doc: "Engine cache spill to the store tier: the spill is dropped and counted \
+              as a store write failure; synthesis must not notice.",
+    },
+    PointInfo {
+        name: "serve.conn.read",
+        actions: &[ActionKind::Disconnect, ActionKind::Error, ActionKind::Delay],
+        doc: "Per read chunk on a client connection: `disconnect` closes mid-line; \
+              `error` fails the read; `delay` simulates a slow client link.",
+    },
+    PointInfo {
+        name: "serve.conn.write",
+        actions: &[ActionKind::Disconnect, ActionKind::Error, ActionKind::Delay],
+        doc: "Per response line written: `disconnect` sends half the line then \
+              closes; `error` fails the write; `delay` stalls it.",
+    },
+    PointInfo {
+        name: "serve.worker.exec",
+        actions: &[ActionKind::Panic, ActionKind::Delay],
+        doc: "In the worker, before executing a dequeued request: `panic` drives \
+              the catch_unwind/internal-error path; `delay` makes work slow.",
+    },
+];
+
+/// Looks a point up in [`CATALOG`].
+#[must_use]
+pub fn point_info(name: &str) -> Option<&'static PointInfo> {
+    CATALOG.iter().find(|p| p.name == name)
+}
+
+impl FaultPlan {
+    /// Parses and validates one plan document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the first offending field when the
+    /// text is not JSON, the schema version is wrong, a point is not in
+    /// the catalog, an action is unsupported at its point, a trigger is
+    /// malformed, or an unknown key is present (typo protection).
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
+        let doc: Value =
+            serde_json::from_str(text).map_err(|e| PlanError(format!("not valid JSON: {e}")))?;
+        let entries = doc
+            .as_map()
+            .ok_or_else(|| PlanError("plan must be a JSON object".to_owned()))?;
+        for (k, _) in entries {
+            let k = k.as_str().unwrap_or("<non-string key>");
+            if !matches!(k, "schema_version" | "seed" | "faults") {
+                return Err(PlanError(format!(
+                    "unknown plan key {k:?} (expected schema_version, seed, faults)"
+                )));
+            }
+        }
+        match map_get(entries, "schema_version").and_then(as_u64) {
+            Some(v) if v == FAULT_PLAN_SCHEMA_VERSION => {}
+            Some(v) => {
+                return Err(PlanError(format!(
+                    "unsupported schema_version {v} (this build speaks {FAULT_PLAN_SCHEMA_VERSION})"
+                )))
+            }
+            None => {
+                return Err(PlanError(
+                    "missing or non-integer \"schema_version\"".to_owned(),
+                ))
+            }
+        }
+        let seed = match map_get(entries, "seed") {
+            None => 0,
+            Some(v) => as_u64(v)
+                .ok_or_else(|| PlanError("\"seed\" must be a non-negative integer".to_owned()))?,
+        };
+        let faults = match map_get(entries, "faults") {
+            Some(Value::Seq(items)) => items,
+            _ => return Err(PlanError("missing \"faults\" array".to_owned())),
+        };
+        let mut rules = Vec::with_capacity(faults.len());
+        for (i, item) in faults.iter().enumerate() {
+            rules.push(
+                parse_rule(item)
+                    .map_err(|PlanError(msg)| PlanError(format!("fault[{i}]: {msg}")))?,
+            );
+        }
+        Ok(FaultPlan { seed, rules })
+    }
+}
+
+const RULE_KEYS: &[&str] = &[
+    "point", "action", "ms", "always", "hits", "range", "every", "offset", "one_in",
+];
+
+fn parse_rule(item: &Value) -> Result<FaultRule, PlanError> {
+    let entries = item
+        .as_map()
+        .ok_or_else(|| PlanError("each fault must be a JSON object".to_owned()))?;
+    for (k, _) in entries {
+        let k = k.as_str().unwrap_or("<non-string key>");
+        if !RULE_KEYS.contains(&k) {
+            return Err(PlanError(format!(
+                "unknown key {k:?} (expected one of {RULE_KEYS:?})"
+            )));
+        }
+    }
+    let point = match map_get(entries, "point") {
+        Some(Value::Str(p)) => p.clone(),
+        _ => return Err(PlanError("missing \"point\" string".to_owned())),
+    };
+    let info = point_info(&point).ok_or_else(|| {
+        let known: Vec<&str> = CATALOG.iter().map(|p| p.name).collect();
+        PlanError(format!("unknown point {point:?} (catalog: {known:?})"))
+    })?;
+    let action = match map_get(entries, "action").and_then(Value::as_str) {
+        Some("error") => Action::Error,
+        Some("torn") => Action::Torn,
+        Some("disconnect") => Action::Disconnect,
+        Some("panic") => Action::Panic,
+        Some("delay") => {
+            let ms = map_get(entries, "ms").and_then(as_u64).ok_or_else(|| {
+                PlanError("action \"delay\" needs a non-negative integer \"ms\"".to_owned())
+            })?;
+            Action::Delay { ms }
+        }
+        Some(other) => {
+            return Err(PlanError(format!(
+                "unknown action {other:?} (expected error, torn, disconnect, panic, delay)"
+            )))
+        }
+        None => return Err(PlanError("missing \"action\" string".to_owned())),
+    };
+    if !info.actions.contains(&action.kind()) {
+        let allowed: Vec<&str> = info.actions.iter().map(|a| a.as_str()).collect();
+        return Err(PlanError(format!(
+            "point {point:?} does not support action {:?} (supported: {allowed:?})",
+            action.kind().as_str()
+        )));
+    }
+    if action.kind() != ActionKind::Delay && map_get(entries, "ms").is_some() {
+        return Err(PlanError(
+            "\"ms\" is only meaningful with action \"delay\"".to_owned(),
+        ));
+    }
+    let trigger = parse_trigger(entries)?;
+    Ok(FaultRule {
+        point,
+        action,
+        trigger,
+    })
+}
+
+fn parse_trigger(entries: &[(Value, Value)]) -> Result<Trigger, PlanError> {
+    let present: Vec<&str> = ["always", "hits", "range", "every", "one_in"]
+        .into_iter()
+        .filter(|k| map_get(entries, k).is_some())
+        .collect();
+    if present.len() > 1 {
+        return Err(PlanError(format!(
+            "at most one trigger per fault (found {present:?})"
+        )));
+    }
+    if map_get(entries, "offset").is_some() && !present.contains(&"every") {
+        return Err(PlanError(
+            "\"offset\" is only meaningful with \"every\"".to_owned(),
+        ));
+    }
+    match present.first() {
+        None => Ok(Trigger::Always),
+        Some(&"always") => match map_get(entries, "always") {
+            Some(Value::Bool(true)) => Ok(Trigger::Always),
+            _ => Err(PlanError("\"always\" must be true (or omitted)".to_owned())),
+        },
+        Some(&"hits") => {
+            let items = match map_get(entries, "hits") {
+                Some(Value::Seq(items)) if !items.is_empty() => items,
+                _ => {
+                    return Err(PlanError(
+                        "\"hits\" must be a non-empty array of positive integers".to_owned(),
+                    ))
+                }
+            };
+            let mut hits = Vec::with_capacity(items.len());
+            for v in items {
+                match as_u64(v) {
+                    Some(h) if h >= 1 => hits.push(h),
+                    _ => {
+                        return Err(PlanError(
+                            "\"hits\" entries must be positive integers (hits are 1-based)"
+                                .to_owned(),
+                        ))
+                    }
+                }
+            }
+            Ok(Trigger::Hits(hits))
+        }
+        Some(&"range") => {
+            let items = match map_get(entries, "range") {
+                Some(Value::Seq(items)) if items.len() == 2 => items,
+                _ => return Err(PlanError("\"range\" must be a [from, to] pair".to_owned())),
+            };
+            let from = as_u64(&items[0]).filter(|&f| f >= 1);
+            let to = as_u64(&items[1]);
+            match (from, to) {
+                (Some(from), Some(to)) if from <= to => Ok(Trigger::Range { from, to }),
+                _ => Err(PlanError(
+                    "\"range\" needs 1 <= from <= to (hits are 1-based)".to_owned(),
+                )),
+            }
+        }
+        Some(&"every") => {
+            let n = map_get(entries, "every")
+                .and_then(as_u64)
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| PlanError("\"every\" must be a positive integer".to_owned()))?;
+            let offset = match map_get(entries, "offset") {
+                None => 0,
+                Some(v) => as_u64(v).ok_or_else(|| {
+                    PlanError("\"offset\" must be a non-negative integer".to_owned())
+                })?,
+            };
+            Ok(Trigger::Every { n, offset })
+        }
+        Some(&"one_in") => {
+            let n = map_get(entries, "one_in")
+                .and_then(as_u64)
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| PlanError("\"one_in\" must be a positive integer".to_owned()))?;
+            Ok(Trigger::OneIn { n })
+        }
+        Some(_) => unreachable!("trigger keys are enumerated above"),
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}

@@ -1,0 +1,756 @@
+//! `rchls chaos` — the resilience harness.
+//!
+//! `chaos run --plan P --script S` arms a deterministic fault plan,
+//! boots an in-process daemon, drives scripted concurrent clients at
+//! it, and asserts the three resilience invariants the daemon promises
+//! under faults:
+//!
+//! 1. **No hang** — every client finishes (and the daemon shuts down)
+//!    within the script's `wall_timeout_ms`.
+//! 2. **Exactly one structured response per request** — every terminal
+//!    response is a well-formed document (`ok` boolean, known error
+//!    `kind`, fresh `id`); a duplicate or stale response line would
+//!    surface as a non-increasing id on its connection.
+//! 3. **Fault-free bytes** — every successful `synth` response is
+//!    byte-identical to what a clean offline engine computes for the
+//!    same job (faults may reject or delay work, never corrupt it).
+//!
+//! `chaos points` lists the injection-point catalog. The plan and
+//! script schemas live in `docs/chaos.md`.
+
+use crate::args::ParsedArgs;
+use crate::commands::FaultGuard;
+use crate::error::CliError;
+use rchls_core::{Engine, SynthJob};
+use rchls_reslib::Library;
+use rchls_serve::{Client, ServeConfig, Server};
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// The error kinds `docs/protocol.md` defines; anything else in a
+/// response is an invariant violation.
+const ERROR_KINDS: [&str; 5] = [
+    "bad_request",
+    "overloaded",
+    "deadline_exceeded",
+    "internal",
+    "shutdown",
+];
+
+/// `rchls chaos <action>` — dispatch.
+pub fn chaos(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.required("action")? {
+        "run" => run(args),
+        "points" => Ok(points()),
+        other => Err(CliError::BadValue {
+            flag: "action".to_owned(),
+            reason: format!("unknown chaos action {other:?} (actions: run, points)"),
+        }),
+    }
+}
+
+/// `rchls chaos points` — the injection-point catalog.
+fn points() -> String {
+    let mut out = String::from("chaos injection points (plan schema in docs/chaos.md):\n");
+    for info in rchls_chaos::CATALOG {
+        let actions: Vec<&str> = info.actions.iter().map(|&a| a.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "  {:<18} {:<26} {}",
+            info.name,
+            actions.join(", "),
+            info.doc
+        );
+    }
+    out
+}
+
+/// One scripted request.
+#[derive(Clone, Debug)]
+struct RequestSpec {
+    method: String,
+    params: Option<Value>,
+    deadline_ms: Option<u64>,
+}
+
+/// One scripted client: a named connection replaying its request list
+/// `repeat` times, retrying retryable failures `retries` extra times.
+#[derive(Clone, Debug)]
+struct ClientSpec {
+    name: String,
+    retries: u32,
+    repeat: u32,
+    requests: Vec<RequestSpec>,
+}
+
+/// A parsed chaos script.
+#[derive(Debug)]
+struct Script {
+    config: ServeConfig,
+    wall_timeout_ms: u64,
+    clients: Vec<ClientSpec>,
+}
+
+/// What one client thread observed.
+#[derive(Default)]
+struct ClientResult {
+    /// Terminal outcome per scripted request, in script order: `"ok"`,
+    /// an error kind, or `"transport (...)"`.
+    outcomes: Vec<String>,
+    /// `(params, serialized result)` per successful `synth`, for the
+    /// offline byte comparison.
+    ok_synths: Vec<(Value, String)>,
+    violations: Vec<String>,
+}
+
+/// `rchls chaos run --plan FILE --script FILE [--report FILE]`.
+fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    let plan_path = args.required("plan")?;
+    let script_path = args.required("script")?;
+    let bad = |flag: &'static str, reason: String| CliError::BadValue {
+        flag: flag.to_owned(),
+        reason,
+    };
+    let plan_text = std::fs::read_to_string(plan_path)?;
+    let plan = rchls_chaos::FaultPlan::parse(&plan_text)
+        .map_err(|e| bad("plan", format!("{plan_path}: {e}")))?;
+    let script_text = std::fs::read_to_string(script_path)?;
+    let script =
+        parse_script(&script_text).map_err(|e| bad("script", format!("{script_path}: {e}")))?;
+
+    let guard = FaultGuard::arm(plan).map_err(|e| bad("plan", e))?;
+    let handle = Server::start(script.config.clone(), Library::table1())?;
+    let addr = handle.addr().to_string();
+    let wall = Duration::from_millis(script.wall_timeout_ms);
+
+    // One thread per scripted client; each reports its observations
+    // over the channel, so a hung client simply never reports and the
+    // bounded receive below converts that into a violation.
+    let (tx, rx) = mpsc::channel();
+    for (index, spec) in script.clients.iter().cloned().enumerate() {
+        let tx = tx.clone();
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send((index, run_client(&addr, &spec)));
+        });
+    }
+    drop(tx);
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut results: Vec<Option<ClientResult>> = (0..script.clients.len()).map(|_| None).collect();
+    for _ in 0..script.clients.len() {
+        match rx.recv_timeout(wall) {
+            Ok((index, result)) => results[index] = Some(result),
+            Err(_) => break,
+        }
+    }
+    for (index, slot) in results.iter().enumerate() {
+        if slot.is_none() {
+            violations.push(format!(
+                "client {:?} did not finish within wall_timeout_ms {} (hang)",
+                script.clients[index].name, script.wall_timeout_ms
+            ));
+        }
+    }
+
+    // Stop the daemon (idempotent if a scripted `shutdown` already
+    // did) and bound the join the same way the clients were bounded.
+    handle.shutdown();
+    let (join_tx, join_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.join();
+        let _ = join_tx.send(());
+    });
+    if join_rx.recv_timeout(wall).is_err() {
+        violations.push(format!(
+            "daemon did not shut down within wall_timeout_ms {} (hang)",
+            script.wall_timeout_ms
+        ));
+    }
+    let chaos_report = guard.finish();
+
+    for result in results.iter().flatten() {
+        violations.extend(result.violations.iter().cloned());
+    }
+
+    // Byte-compare every successful synth response against a clean
+    // offline engine — after disarming, so the reference cannot be
+    // faulted, and single-threaded, the `rchls batch` discipline.
+    let engine = Engine::new(Library::table1()).with_jobs(1);
+    let mut offline_checked: u64 = 0;
+    for result in results.iter().flatten() {
+        for (params, served) in &result.ok_synths {
+            match serde_json::from_value::<SynthJob>(params) {
+                Ok(job) => {
+                    let batch = engine.run_batch(std::slice::from_ref(&job));
+                    let offline = serde_json::to_string(&serde_json::to_value(&batch.outcomes[0]))
+                        .expect("outcomes serialize");
+                    offline_checked += 1;
+                    if &offline != served {
+                        violations.push(format!(
+                            "synth response diverged from the offline engine for params {}",
+                            serde_json::to_string(params).expect("params serialize")
+                        ));
+                    }
+                }
+                Err(e) => violations.push(format!(
+                    "synth succeeded on params the offline engine rejects: {e}"
+                )),
+            }
+        }
+    }
+
+    let report = render_report(
+        plan_path,
+        script_path,
+        &script,
+        &results,
+        &violations,
+        offline_checked,
+        chaos_report.as_ref(),
+    );
+    if let Some(path) = args.get("report") {
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("reports serialize") + "\n",
+        )?;
+    }
+
+    let tally = tally(&results);
+    if violations.is_empty() {
+        Ok(format!(
+            "chaos run: PASS — {} clients, {} requests ({} ok, {} rejected, {} transport), \
+             {} synth responses byte-checked against the offline engine\n",
+            script.clients.len(),
+            tally.total,
+            tally.ok,
+            tally.rejected,
+            tally.transport,
+            offline_checked
+        ))
+    } else {
+        let mut message = format!("chaos run: FAIL — {} violation(s):\n", violations.len());
+        for v in &violations {
+            let _ = writeln!(message, "  - {v}");
+        }
+        Err(CliError::Chaos(message))
+    }
+}
+
+/// Outcome counts across every client.
+#[derive(Default)]
+struct Tally {
+    total: u64,
+    ok: u64,
+    rejected: u64,
+    transport: u64,
+    by_kind: BTreeMap<String, u64>,
+}
+
+fn tally(results: &[Option<ClientResult>]) -> Tally {
+    let mut tally = Tally::default();
+    for result in results.iter().flatten() {
+        for outcome in &result.outcomes {
+            tally.total += 1;
+            if outcome == "ok" {
+                tally.ok += 1;
+            } else if outcome.starts_with("transport") {
+                tally.transport += 1;
+            } else {
+                tally.rejected += 1;
+            }
+            *tally.by_kind.entry(outcome.clone()).or_insert(0) += 1;
+        }
+    }
+    tally
+}
+
+fn key(s: &str) -> Value {
+    Value::Str(s.to_owned())
+}
+
+/// The `--report` document: verdict, tallies, per-client outcomes,
+/// violations, and the armed plan's per-point hit/fire counts.
+fn render_report(
+    plan_path: &str,
+    script_path: &str,
+    script: &Script,
+    results: &[Option<ClientResult>],
+    violations: &[String],
+    offline_checked: u64,
+    chaos_report: Option<&rchls_chaos::ChaosReport>,
+) -> Value {
+    let tally = tally(results);
+    let clients: Vec<Value> = script
+        .clients
+        .iter()
+        .zip(results)
+        .map(|(spec, slot)| {
+            let outcomes = match slot {
+                Some(result) => Value::Seq(result.outcomes.iter().map(|o| key(o)).collect()),
+                None => Value::Null,
+            };
+            Value::Map(vec![
+                (key("name"), key(&spec.name)),
+                (key("finished"), Value::Bool(slot.is_some())),
+                (key("outcomes"), outcomes),
+            ])
+        })
+        .collect();
+    let by_kind: Vec<(Value, Value)> = tally
+        .by_kind
+        .iter()
+        .map(|(kind, count)| (key(kind), Value::UInt(*count)))
+        .collect();
+    Value::Map(vec![
+        (key("schema_version"), Value::UInt(1)),
+        (
+            key("verdict"),
+            key(if violations.is_empty() {
+                "pass"
+            } else {
+                "fail"
+            }),
+        ),
+        (key("plan"), key(plan_path)),
+        (key("script"), key(script_path)),
+        (
+            key("requests"),
+            Value::Map(vec![
+                (key("total"), Value::UInt(tally.total)),
+                (key("ok"), Value::UInt(tally.ok)),
+                (key("rejected"), Value::UInt(tally.rejected)),
+                (key("transport_errors"), Value::UInt(tally.transport)),
+                (key("by_outcome"), Value::Map(by_kind)),
+            ]),
+        ),
+        (key("clients"), Value::Seq(clients)),
+        (key("offline_checked"), Value::UInt(offline_checked)),
+        (
+            key("violations"),
+            Value::Seq(violations.iter().map(|v| key(v)).collect()),
+        ),
+        (
+            key("chaos"),
+            chaos_report.map_or(Value::Null, rchls_chaos::ChaosReport::to_value),
+        ),
+    ])
+}
+
+/// Replays one client's script against the daemon, recording a
+/// terminal outcome for every scripted request (never hanging: every
+/// call runs under the client's response timeout, and a dead
+/// connection is replaced or the remaining requests are recorded as
+/// unreachable).
+fn run_client(addr: &str, spec: &ClientSpec) -> ClientResult {
+    let mut out = ClientResult::default();
+    let connect = || Client::connect_with_timeout(addr, Duration::from_secs(10));
+    let mut client = None;
+    for attempt in 0..=spec.retries {
+        match connect() {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(e) => {
+                if attempt == spec.retries {
+                    out.violations.push(format!(
+                        "client {:?}: connect failed after {} attempt(s): {e}",
+                        spec.name,
+                        spec.retries + 1
+                    ));
+                } else {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+    let mut last_id = 0u64;
+    for _round in 0..spec.repeat {
+        for request in &spec.requests {
+            let Some(c) = client.as_mut() else {
+                out.outcomes.push("transport (unreachable)".to_owned());
+                continue;
+            };
+            match c.call_with_retries(
+                &request.method,
+                request.params.as_ref(),
+                request.deadline_ms,
+                spec.retries,
+            ) {
+                Ok(doc) => {
+                    let kind = check_response(&spec.name, &doc, &mut last_id, &mut out.violations);
+                    if kind == "ok" && request.method == "synth" {
+                        if let (Some(result), Some(params)) =
+                            (rchls_serve::response_result(&doc), &request.params)
+                        {
+                            out.ok_synths.push((
+                                params.clone(),
+                                serde_json::to_string(result).expect("results serialize"),
+                            ));
+                        }
+                    }
+                    out.outcomes.push(kind);
+                }
+                Err(e) => {
+                    out.outcomes.push(format!("transport ({:?})", e.kind()));
+                    // The connection is dead; a fresh one serves the
+                    // rest of the script (the daemon may be gone —
+                    // then the remaining requests record unreachable).
+                    client = connect().ok();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validates one response document's structure and returns its outcome
+/// kind. The strictly-increasing id check is what makes "exactly one
+/// response per request" observable: an extra or duplicated response
+/// line desyncs the connection, so some later call returns a stale id.
+fn check_response(
+    name: &str,
+    doc: &Value,
+    last_id: &mut u64,
+    violations: &mut Vec<String>,
+) -> String {
+    let Some(entries) = doc.as_map() else {
+        violations.push(format!("client {name:?}: response is not a JSON object"));
+        return "malformed".to_owned();
+    };
+    let ok = match serde::map_get(entries, "ok") {
+        Some(Value::Bool(b)) => *b,
+        _ => {
+            violations.push(format!(
+                "client {name:?}: response has no boolean \"ok\" field"
+            ));
+            return "malformed".to_owned();
+        }
+    };
+    match serde::map_get(entries, "id") {
+        Some(Value::UInt(id)) if *id > *last_id => *last_id = *id,
+        Some(Value::UInt(id)) => violations.push(format!(
+            "client {name:?}: response id {id} is not above {last_id} \
+             (duplicate or stale response line)"
+        )),
+        // Pre-parse rejections (connection turn-away, unparseable
+        // line) legitimately carry a null id.
+        Some(Value::Null) if !ok => {}
+        _ => violations.push(format!(
+            "client {name:?}: response id is neither a fresh integer nor null"
+        )),
+    }
+    if ok {
+        if serde::map_get(entries, "result").is_none() {
+            violations.push(format!(
+                "client {name:?}: ok response without a \"result\" field"
+            ));
+        }
+        return "ok".to_owned();
+    }
+    match rchls_serve::response_error_kind(doc) {
+        Some(kind) if ERROR_KINDS.contains(&kind) => kind.to_owned(),
+        Some(kind) => {
+            violations.push(format!(
+                "client {name:?}: error kind {kind:?} is not in the protocol taxonomy"
+            ));
+            kind.to_owned()
+        }
+        None => {
+            violations.push(format!(
+                "client {name:?}: error response without a structured kind"
+            ));
+            "malformed".to_owned()
+        }
+    }
+}
+
+fn uint(value: &Value, what: &str) -> Result<u64, String> {
+    match value {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+/// Parses a chaos script: serve overrides, a wall timeout, and the
+/// scripted clients. Strict about unknown keys, like fault plans — a
+/// typoed knob must fail loudly, not silently test nothing.
+fn parse_script(text: &str) -> Result<Script, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("script is not JSON: {e}"))?;
+    let entries = doc
+        .as_map()
+        .ok_or_else(|| "script must be a JSON object".to_owned())?;
+    for (k, _) in entries {
+        let k = k.as_str().unwrap_or("");
+        if !matches!(
+            k,
+            "schema_version" | "serve" | "wall_timeout_ms" | "clients"
+        ) {
+            return Err(format!(
+                "unknown script key {k:?} (expected schema_version, serve, \
+                 wall_timeout_ms, clients)"
+            ));
+        }
+    }
+    let version = serde::map_get(entries, "schema_version")
+        .ok_or_else(|| "missing \"schema_version\"".to_owned())
+        .and_then(|v| uint(v, "\"schema_version\""))?;
+    if version != 1 {
+        return Err(format!(
+            "unsupported script schema_version {version} (expected 1)"
+        ));
+    }
+
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        // Deterministic by default: a fixed worker pool, not per-CPU.
+        jobs: 2,
+        ..ServeConfig::default()
+    };
+    if let Some(serve) = serde::map_get(entries, "serve") {
+        let serve = serve
+            .as_map()
+            .ok_or_else(|| "\"serve\" must be an object".to_owned())?;
+        for (k, v) in serve {
+            let k = k.as_str().unwrap_or("");
+            let n = uint(v, &format!("serve.{k}"))?;
+            match k {
+                "jobs" => config.jobs = n as usize,
+                "queue_depth" => config.queue_depth = n as usize,
+                "max_conns" => config.max_conns = n as usize,
+                "read_timeout_ms" => config.read_timeout_ms = n,
+                "write_timeout_ms" => config.write_timeout_ms = n,
+                "drain_timeout_ms" => config.drain_timeout_ms = n,
+                other => {
+                    return Err(format!(
+                        "unknown serve key {other:?} (expected jobs, queue_depth, \
+                         max_conns, read_timeout_ms, write_timeout_ms, drain_timeout_ms)"
+                    ))
+                }
+            }
+        }
+    }
+    config.validate()?;
+
+    let wall_timeout_ms = match serde::map_get(entries, "wall_timeout_ms") {
+        Some(v) => uint(v, "\"wall_timeout_ms\"")?,
+        None => 30_000,
+    };
+    if wall_timeout_ms == 0 {
+        return Err("\"wall_timeout_ms\" must be at least 1".to_owned());
+    }
+
+    let Some(Value::Seq(client_docs)) = serde::map_get(entries, "clients") else {
+        return Err("\"clients\" must be an array of client objects".to_owned());
+    };
+    if client_docs.is_empty() {
+        return Err("\"clients\" must name at least one client".to_owned());
+    }
+    let mut clients = Vec::with_capacity(client_docs.len());
+    for (index, client_doc) in client_docs.iter().enumerate() {
+        clients.push(parse_client(index, client_doc)?);
+    }
+    Ok(Script {
+        config,
+        wall_timeout_ms,
+        clients,
+    })
+}
+
+fn parse_client(index: usize, doc: &Value) -> Result<ClientSpec, String> {
+    let entries = doc
+        .as_map()
+        .ok_or_else(|| format!("clients[{index}] must be an object"))?;
+    for (k, _) in entries {
+        let k = k.as_str().unwrap_or("");
+        if !matches!(k, "name" | "retries" | "repeat" | "requests") {
+            return Err(format!(
+                "unknown client key {k:?} in clients[{index}] \
+                 (expected name, retries, repeat, requests)"
+            ));
+        }
+    }
+    let name = match serde::map_get(entries, "name") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| format!("clients[{index}].name must be a string"))?
+            .to_owned(),
+        None => format!("client{}", index + 1),
+    };
+    let retries = match serde::map_get(entries, "retries") {
+        Some(v) => u32::try_from(uint(v, &format!("clients[{index}].retries"))?)
+            .map_err(|_| format!("clients[{index}].retries is out of range"))?,
+        None => 0,
+    };
+    let repeat = match serde::map_get(entries, "repeat") {
+        Some(v) => u32::try_from(uint(v, &format!("clients[{index}].repeat"))?)
+            .map_err(|_| format!("clients[{index}].repeat is out of range"))?,
+        None => 1,
+    };
+    if repeat == 0 {
+        return Err(format!("clients[{index}].repeat must be at least 1"));
+    }
+    let Some(Value::Seq(request_docs)) = serde::map_get(entries, "requests") else {
+        return Err(format!(
+            "clients[{index}].requests must be an array of request objects"
+        ));
+    };
+    if request_docs.is_empty() {
+        return Err(format!(
+            "clients[{index}].requests must name at least one request"
+        ));
+    }
+    let mut requests = Vec::with_capacity(request_docs.len());
+    for (ri, request_doc) in request_docs.iter().enumerate() {
+        let entries = request_doc
+            .as_map()
+            .ok_or_else(|| format!("clients[{index}].requests[{ri}] must be an object"))?;
+        for (k, _) in entries {
+            let k = k.as_str().unwrap_or("");
+            if !matches!(k, "method" | "params" | "deadline_ms") {
+                return Err(format!(
+                    "unknown request key {k:?} in clients[{index}].requests[{ri}] \
+                     (expected method, params, deadline_ms)"
+                ));
+            }
+        }
+        let method = serde::map_get(entries, "method")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("clients[{index}].requests[{ri}].method must be a string"))?
+            .to_owned();
+        let params = serde::map_get(entries, "params").cloned();
+        let deadline_ms = match serde::map_get(entries, "deadline_ms") {
+            Some(v) => Some(uint(
+                v,
+                &format!("clients[{index}].requests[{ri}].deadline_ms"),
+            )?),
+            None => None,
+        };
+        requests.push(RequestSpec {
+            method,
+            params,
+            deadline_ms,
+        });
+    }
+    Ok(ClientSpec {
+        name,
+        retries,
+        repeat,
+        requests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_lists_the_catalog() {
+        let out = points();
+        for info in rchls_chaos::CATALOG {
+            assert!(out.contains(info.name), "missing {}", info.name);
+        }
+        assert!(out.contains("docs/chaos.md"));
+    }
+
+    #[test]
+    fn scripts_parse_with_defaults_and_overrides() {
+        let script = parse_script(
+            r#"{
+                "schema_version": 1,
+                "serve": {"jobs": 1, "queue_depth": 4, "max_conns": 3,
+                          "drain_timeout_ms": 250},
+                "wall_timeout_ms": 9000,
+                "clients": [
+                    {"name": "polite", "retries": 2,
+                     "requests": [{"method": "ping"}]},
+                    {"repeat": 3,
+                     "requests": [{"method": "synth",
+                                   "params": {"workload": "builtin:fir16"},
+                                   "deadline_ms": 500}]}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(script.config.jobs, 1);
+        assert_eq!(script.config.queue_depth, 4);
+        assert_eq!(script.config.max_conns, 3);
+        assert_eq!(script.config.drain_timeout_ms, 250);
+        assert_eq!(script.config.addr, "127.0.0.1:0");
+        assert_eq!(script.wall_timeout_ms, 9_000);
+        assert_eq!(script.clients.len(), 2);
+        assert_eq!(script.clients[0].name, "polite");
+        assert_eq!(script.clients[0].retries, 2);
+        assert_eq!(script.clients[0].repeat, 1);
+        assert_eq!(script.clients[1].name, "client2");
+        assert_eq!(script.clients[1].repeat, 3);
+        assert_eq!(script.clients[1].requests[0].deadline_ms, Some(500));
+    }
+
+    #[test]
+    fn scripts_reject_unknown_keys_and_bad_shapes() {
+        let version = r#"{"schema_version": 2, "clients": [{"requests": [{"method": "ping"}]}]}"#;
+        assert!(parse_script(version)
+            .unwrap_err()
+            .contains("schema_version"));
+        let unknown = r#"{"schema_version": 1, "clientz": []}"#;
+        assert!(parse_script(unknown).unwrap_err().contains("clientz"));
+        let serve_key = r#"{"schema_version": 1, "serve": {"workers": 2},
+                            "clients": [{"requests": [{"method": "ping"}]}]}"#;
+        assert!(parse_script(serve_key).unwrap_err().contains("workers"));
+        let no_clients = r#"{"schema_version": 1, "clients": []}"#;
+        assert!(parse_script(no_clients)
+            .unwrap_err()
+            .contains("at least one"));
+        let zero_repeat = r#"{"schema_version": 1,
+                              "clients": [{"repeat": 0, "requests": [{"method": "ping"}]}]}"#;
+        assert!(parse_script(zero_repeat).unwrap_err().contains("repeat"));
+        let request_key = r#"{"schema_version": 1,
+                              "clients": [{"requests": [{"method": "ping", "body": 1}]}]}"#;
+        assert!(parse_script(request_key).unwrap_err().contains("body"));
+    }
+
+    #[test]
+    fn response_checks_catch_malformed_documents() {
+        let mut violations = Vec::new();
+        let mut last_id = 0;
+        // A well-formed ok response advances the id watermark.
+        let ok: Value =
+            serde_json::from_str(r#"{"v": 1, "id": 3, "ok": true, "result": {}}"#).unwrap();
+        assert_eq!(
+            check_response("c", &ok, &mut last_id, &mut violations),
+            "ok"
+        );
+        assert_eq!(last_id, 3);
+        assert!(violations.is_empty());
+        // A stale id (a duplicated response line) is a violation.
+        let stale: Value =
+            serde_json::from_str(r#"{"v": 1, "id": 2, "ok": true, "result": {}}"#).unwrap();
+        check_response("c", &stale, &mut last_id, &mut violations);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("duplicate or stale"));
+        // A null-id rejection is legitimate; an unknown kind is not.
+        violations.clear();
+        let turned_away: Value = serde_json::from_str(
+            r#"{"v": 1, "id": null, "ok": false,
+                "error": {"kind": "overloaded", "message": "full", "retry_after_ms": 25}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            check_response("c", &turned_away, &mut last_id, &mut violations),
+            "overloaded"
+        );
+        assert!(violations.is_empty());
+        let odd_kind: Value = serde_json::from_str(
+            r#"{"v": 1, "id": 9, "ok": false, "error": {"kind": "weird", "message": "?"}}"#,
+        )
+        .unwrap();
+        check_response("c", &odd_kind, &mut last_id, &mut violations);
+        assert!(violations[0].contains("taxonomy"));
+    }
+}

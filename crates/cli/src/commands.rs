@@ -38,9 +38,14 @@ pub fn help() -> String {
      \x20 rchls store stats|gc|verify --store DIR [--max-age-days N]\n\
      \x20       [--max-bytes BYTES] [--sample N] [--library <file>]\n\
      \x20 rchls serve [--addr IP:PORT] [--jobs N] [--queue-depth N]\n\
-     \x20       [--cache-budget BYTES] [--library <file>] [--mission-time T]\n\
-     \x20       [--store DIR] [--trace FILE] [--check]\n\
+     \x20       [--max-conns N] [--read-timeout-ms N] [--write-timeout-ms N]\n\
+     \x20       [--drain-timeout-ms N] [--cache-budget BYTES] [--library <file>]\n\
+     \x20       [--mission-time T] [--store DIR] [--trace FILE] [--faults FILE]\n\
+     \x20       [--check]\n\
      \x20 rchls request <method> [--json FILE] [--addr IP:PORT] [--deadline-ms N]\n\
+     \x20       [--retries N]\n\
+     \x20 rchls chaos run --plan FILE --script FILE [--report FILE]\n\
+     \x20 rchls chaos points\n\
      \x20 rchls metrics [--jobs N] [--library <file>] | rchls metrics --validate FILE\n\
      \x20 rchls workloads\n\
      \x20 rchls flows\n\
@@ -81,9 +86,24 @@ pub fn help() -> String {
      `--queue-depth` bounds admission (beyond it requests are rejected as\n\
      overloaded, never queued unboundedly), `--cache-budget` bounds the\n\
      resident caches (eviction never changes responses), `--check` prints\n\
-     the effective configuration without binding. `rchls request METHOD`\n\
-     sends one request (params from `--json FILE`) and prints the\n\
-     response document.\n\
+     the effective configuration without binding. `--max-conns` caps\n\
+     simultaneous connections, `--read-timeout-ms`/`--write-timeout-ms`\n\
+     drop stalled peers, and `--drain-timeout-ms` bounds the graceful\n\
+     drain after `shutdown`. `rchls request METHOD` sends one request\n\
+     (params from `--json FILE`) and prints the response document;\n\
+     `--retries N` retries overloaded/shutdown rejections and transport\n\
+     errors with deterministic capped backoff honoring the server's\n\
+     retry_after_ms hint.\n\
+     \n\
+     chaos: `--faults FILE` (synth, sweep, batch, serve) arms a\n\
+     deterministic fault-injection plan — seeded, trigger-counted faults\n\
+     at named points in store I/O, serve connections, and cache spill\n\
+     (docs/chaos.md has the schema; `rchls chaos points` the catalog).\n\
+     `rchls chaos run --plan P --script S` boots a daemon under the\n\
+     plan, drives scripted concurrent clients at it, and asserts the\n\
+     resilience invariants: no hang, one structured response per\n\
+     request, successful synth responses byte-identical to the offline\n\
+     engine (`--report FILE` writes the verdict document).\n\
      \n\
      persistence: `--store DIR` (synth, sweep, pareto, batch, serve)\n\
      backs the in-memory cache with an on-disk content-addressed result\n\
@@ -368,6 +388,7 @@ pub fn synth(args: &ParsedArgs) -> Result<String, CliError> {
     // `synth` is single-threaded, but an explicit `--jobs 0` is rejected
     // here too so the flag means one thing on every command.
     let _ = jobs_arg(args)?;
+    let _faults = faults_arg(args)?;
     let workload = load_workload_arg(args)?;
     let dfg = workload.dfg;
     let library = load_library(args)?;
@@ -549,6 +570,61 @@ fn required_store(args: &ParsedArgs) -> Result<Arc<ResultStore>, CliError> {
     store_arg(args)?.ok_or(CliError::MissingFlag("store"))
 }
 
+/// An armed fault plan, disarmed when the command returns (the fault
+/// plane is process-global; a command must never leave it armed for
+/// whatever runs next in the same process, e.g. another test).
+pub(crate) struct FaultGuard;
+
+impl FaultGuard {
+    /// Arms `plan` for the lifetime of the guard.
+    pub(crate) fn arm(plan: rchls_chaos::FaultPlan) -> Result<FaultGuard, String> {
+        rchls_chaos::arm(plan).map_err(|e| e.to_string())?;
+        Ok(FaultGuard)
+    }
+
+    /// Disarms and returns the per-point hit/fire tallies.
+    pub(crate) fn finish(self) -> Option<rchls_chaos::ChaosReport> {
+        let report = rchls_chaos::disarm();
+        std::mem::forget(self);
+        report
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let _ = rchls_chaos::disarm();
+    }
+}
+
+/// The `--faults FILE` flag, parse-only: validates the plan without
+/// arming it (also used by `serve --check`).
+fn parsed_faults(args: &ParsedArgs) -> Result<Option<rchls_chaos::FaultPlan>, CliError> {
+    let Some(path) = args.get("faults") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)?;
+    rchls_chaos::FaultPlan::parse(&text)
+        .map(Some)
+        .map_err(|e| CliError::BadValue {
+            flag: "faults".to_owned(),
+            reason: format!("{path}: {e}"),
+        })
+}
+
+/// The `--faults FILE` flag (synth, sweep, batch, serve): parses and
+/// arms a fault plan for the duration of the command.
+fn faults_arg(args: &ParsedArgs) -> Result<Option<FaultGuard>, CliError> {
+    match parsed_faults(args)? {
+        None => Ok(None),
+        Some(plan) => FaultGuard::arm(plan)
+            .map(Some)
+            .map_err(|reason| CliError::BadValue {
+                flag: "faults".to_owned(),
+                reason,
+            }),
+    }
+}
+
 /// Parses `--shard I/N` (shard index out of shard count).
 fn shard_arg(args: &ParsedArgs) -> Result<Option<(u32, u32)>, CliError> {
     let Some(raw) = args.get("shard") else {
@@ -580,6 +656,7 @@ fn shard_arg(args: &ParsedArgs) -> Result<Option<(u32, u32)>, CliError> {
 
 /// `rchls sweep`. The `resume` flag is the lifted valueless `--resume`.
 pub fn sweep(args: &ParsedArgs, resume: bool) -> Result<String, CliError> {
+    let _faults = faults_arg(args)?;
     let workload = load_workload_arg(args)?;
     let library = load_library(args)?;
     let flow_spec = flow_from_args(args)?;
@@ -810,6 +887,7 @@ pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     // `--jobs`/`--cache-budget` reports itself even for a missing file.
     let workers = jobs_arg(args)?;
     let budget = cache_budget_arg(args)?;
+    let _faults = faults_arg(args)?;
     let path = args.required("file")?;
     let text = std::fs::read_to_string(path)?;
     let jobs: Vec<SynthJob> = serde_json::from_str(&text).map_err(|e| CliError::BadValue {
@@ -930,15 +1008,37 @@ pub fn serve(args: &ParsedArgs, check: bool) -> Result<String, CliError> {
         queue_depth: args.u32_or("queue-depth", 64)? as usize,
         cache_budget: cache_budget_arg(args)?,
         store: args.get("store").map(str::to_owned),
+        max_conns: args.u32_or("max-conns", 256)? as usize,
+        read_timeout_ms: args.u64_or("read-timeout-ms", 30_000)?,
+        write_timeout_ms: args.u64_or("write-timeout-ms", 30_000)?,
+        drain_timeout_ms: args.u64_or("drain-timeout-ms", 5_000)?,
     };
-    config.validate().map_err(|reason| CliError::BadValue {
-        flag: "addr".to_owned(),
-        reason,
+    config.validate().map_err(|reason| {
+        // The validation messages name their own flag; attribute the
+        // error to the one they mention (default: the address).
+        let flag = ["max-conns", "read-timeout-ms", "write-timeout-ms"]
+            .into_iter()
+            .find(|f| reason.contains(f))
+            .unwrap_or("addr");
+        CliError::BadValue {
+            flag: flag.to_owned(),
+            reason,
+        }
     })?;
     let library = load_library(args)?;
     if check {
-        return Ok(config.render(&library));
+        // Dry-run validates a `--faults` plan too, without arming it.
+        let faults = parsed_faults(args)?;
+        let mut out = config.render(&library);
+        if let Some(plan) = faults {
+            out.push_str(&format!(
+                "  faults        {} rule(s), armed for the daemon's lifetime\n",
+                plan.rules.len()
+            ));
+        }
+        return Ok(out);
     }
+    let _faults = faults_arg(args)?;
     // `--trace` brackets every served request with spans; the trace
     // file is written once the daemon shuts down.
     let trace_path = args.get("trace").map(str::to_owned);
@@ -993,8 +1093,9 @@ pub fn request(args: &ParsedArgs) -> Result<String, CliError> {
         Some(_) => Some(args.u64_or("deadline-ms", 0)?),
         None => None,
     };
+    let retries = args.u32_or("retries", 0)?;
     let mut client = rchls_serve::Client::connect(addr)?;
-    let doc = client.call(method, params.as_ref(), deadline_ms)?;
+    let doc = client.call_with_retries(method, params.as_ref(), deadline_ms, retries)?;
     Ok(serde_json::to_string_pretty(&doc).expect("responses serialize") + "\n")
 }
 

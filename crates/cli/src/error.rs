@@ -34,6 +34,9 @@ pub enum CliError {
     /// carries its own context, e.g. `store open /path: ...` or
     /// `merge: missing shard index 1 of 2`).
     Store(String),
+    /// A `rchls chaos run` found resilience-invariant violations (the
+    /// message lists them; the `--report` document has the details).
+    Chaos(String),
 }
 
 impl fmt::Display for CliError {
@@ -54,6 +57,7 @@ impl fmt::Display for CliError {
             CliError::Synthesis(e) => write!(f, "{e}"),
             CliError::Engine(e) => write!(f, "{e}"),
             CliError::Store(message) => write!(f, "{message}"),
+            CliError::Chaos(message) => write!(f, "{message}"),
         }
     }
 }

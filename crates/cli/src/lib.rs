@@ -26,6 +26,11 @@
 //! * `store`        — inspect and maintain a persistent result store:
 //!   `stats` counts its contents, `gc` evicts by age/size, `verify`
 //!   re-synthesizes entries from their provenance and flags drift;
+//! * `chaos`        — the resilience harness: `run` boots a daemon under
+//!   a deterministic fault plan and drives scripted clients at it,
+//!   asserting no hangs, one structured response per request, and
+//!   offline-identical synth bytes; `points` lists the injection-point
+//!   catalog (see `docs/chaos.md`);
 //! * `merge`        — recombine `sweep --shard i/n` shard documents
 //!   into the byte-identical unsharded sweep document;
 //! * `workloads`    — list the registered workload sources and specs;
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod args;
+mod chaos;
 mod commands;
 mod error;
 
@@ -86,13 +92,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     };
     // `pareto` takes its workload positionally (`rchls pareto fir16`),
     // `batch` its job file (`rchls batch jobs.json`), `request` its
-    // method (`rchls request ping`), and `store` its action (`rchls
-    // store stats`); desugar those into the flags the commands read.
+    // method (`rchls request ping`), and `store`/`chaos` their action
+    // (`rchls store stats`, `rchls chaos run`); desugar those into the
+    // flags the commands read.
     let positional_flag = match command.as_str() {
         "pareto" => Some("--workload"),
         "batch" => Some("--file"),
         "request" => Some("--method"),
         "store" => Some("--action"),
+        "chaos" => Some("--action"),
         _ => None,
     };
     let rest: Vec<String> = match (positional_flag, rest.split_first()) {
@@ -154,6 +162,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "batch" => commands::batch(&parsed),
         "merge" => commands::merge(&parsed, &merge_inputs),
         "store" => commands::store(&parsed),
+        "chaos" => chaos::chaos(&parsed),
         "serve" => commands::serve(&parsed, serve_check),
         "request" => commands::request(&parsed),
         "metrics" => commands::metrics(&parsed),

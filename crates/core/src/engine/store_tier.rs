@@ -152,6 +152,13 @@ pub(crate) fn save(
         }),
         provenance: provenance.cloned(),
     };
+    // The engine-level spill point: drops the write before the store
+    // even sees it, exercising the "synthesis must not notice a dead
+    // store tier" contract one layer up from store.write.*.
+    if rchls_chaos::faultpoint!("engine.spill").is_some() {
+        crate::obs::store_write_failures().incr();
+        return;
+    }
     match store.save(key.raw(), &encode_entry(&entry)) {
         Ok(()) => crate::obs::store_writes().incr(),
         Err(_) => crate::obs::store_write_failures().incr(),

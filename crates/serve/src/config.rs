@@ -24,6 +24,19 @@ pub struct ServeConfig {
     /// survive restarts; a corrupt store entry is quarantined and
     /// recomputed, never served.
     pub store: Option<String>,
+    /// Maximum simultaneous client connections; further connections get
+    /// one structured `overloaded` rejection line and are closed.
+    pub max_conns: usize,
+    /// How long a *started* request line may sit incomplete (no
+    /// terminating newline) before the connection is closed. Idle
+    /// connections (nothing buffered) never time out.
+    pub read_timeout_ms: u64,
+    /// How long one response write may block on a stalled client before
+    /// the connection is closed.
+    pub write_timeout_ms: u64,
+    /// How long shutdown waits for queued and in-flight work to finish
+    /// before answering the remainder with `shutdown` errors.
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +47,10 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_budget: CacheBudget::UNLIMITED,
             store: None,
+            max_conns: 256,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            drain_timeout_ms: 5_000,
         }
     }
 }
@@ -59,6 +76,16 @@ impl ServeConfig {
                 self.addr
             )
         })?;
+        if self.max_conns == 0 {
+            return Err("--max-conns must be at least 1".to_owned());
+        }
+        if self.read_timeout_ms == 0 || self.write_timeout_ms == 0 {
+            return Err(
+                "--read-timeout-ms and --write-timeout-ms must be at least 1 \
+                 (use a large value to effectively disable)"
+                    .to_owned(),
+            );
+        }
         Ok(())
     }
 
@@ -78,6 +105,16 @@ impl ServeConfig {
             out,
             "  queue depth   {} queued requests (beyond that: overloaded rejection)",
             self.queue_depth
+        );
+        let _ = writeln!(
+            out,
+            "  max conns     {} simultaneous connections (beyond that: overloaded rejection)",
+            self.max_conns
+        );
+        let _ = writeln!(
+            out,
+            "  timeouts      read {} ms (mid-line stalls) / write {} ms / drain {} ms",
+            self.read_timeout_ms, self.write_timeout_ms, self.drain_timeout_ms
         );
         let _ = writeln!(out, "  cache budget  {}", self.cache_budget);
         let _ = writeln!(
@@ -112,6 +149,24 @@ mod tests {
     }
 
     #[test]
+    fn validates_connection_and_timeout_knobs() {
+        let mut config = ServeConfig {
+            max_conns: 0,
+            ..ServeConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("--max-conns"));
+        config.max_conns = 1;
+        config.read_timeout_ms = 0;
+        assert!(config.validate().unwrap_err().contains("read-timeout"));
+        config.read_timeout_ms = 1;
+        config.write_timeout_ms = 0;
+        assert!(config.validate().is_err());
+        config.write_timeout_ms = 1;
+        config.drain_timeout_ms = 0; // allowed: drop queued work at shutdown
+        assert_eq!(config.validate(), Ok(()));
+    }
+
+    #[test]
     fn render_shows_the_effective_configuration() {
         let config = ServeConfig {
             addr: "127.0.0.1:7411".to_owned(),
@@ -119,12 +174,20 @@ mod tests {
             queue_depth: 9,
             cache_budget: CacheBudget::limited(64 << 10),
             store: Some("/tmp/rchls-store".to_owned()),
+            max_conns: 17,
+            read_timeout_ms: 1_500,
+            write_timeout_ms: 2_500,
+            drain_timeout_ms: 3_500,
         };
         let out = config.render(&Library::table1());
         assert!(out.contains("127.0.0.1:7411"));
         assert!(out.contains("3 synthesis workers"));
         assert!(!out.contains("one per CPU"));
         assert!(out.contains("9 queued requests"));
+        assert!(out.contains("17 simultaneous connections"));
+        assert!(out.contains("read 1500 ms"));
+        assert!(out.contains("write 2500 ms"));
+        assert!(out.contains("drain 3500 ms"));
         assert!(out.contains("65536 B"));
         assert!(out.contains("/tmp/rchls-store"));
         assert!(out.contains("resource versions"));

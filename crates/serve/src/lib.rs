@@ -25,6 +25,18 @@
 //!   evict (LRU, size-accounted) instead of growing without bound;
 //!   eviction never changes any response byte.
 //!
+//! Plus resilience under misbehaving clients and faults: `--max-conns`
+//! caps simultaneous connections (one structured turn-away beyond it),
+//! the admission queue is round-robin fair across connections so a
+//! flooder cannot starve a polite client, read/write timeouts drop
+//! stalled peers, a disconnect cancels that client's queued work, and
+//! `shutdown` drains in-flight requests within `--drain-timeout-ms`
+//! before answering the rest with `shutdown` + `retry_after_ms`.
+//! [`Client::call_with_retries`] layers deterministic capped backoff
+//! over those structured rejections. The `serve.conn.*` and
+//! `serve.worker.exec` fault-injection points (`rchls-chaos`) make all
+//! of it testable on demand.
+//!
 //! Admin methods (`ping`, `workloads`, `flows`, `metrics`, `shutdown`)
 //! are answered inline and never queue behind synthesis. Synthesis
 //! results are byte-identical to the offline CLI: `synth`/`batch`
@@ -59,6 +71,6 @@ mod obs;
 pub mod protocol;
 mod server;
 
-pub use client::{response_error_kind, response_result, Client};
+pub use client::{response_error_kind, response_result, response_retry_after_ms, Client};
 pub use config::ServeConfig;
 pub use server::{Server, ServerHandle};

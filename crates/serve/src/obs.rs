@@ -44,6 +44,23 @@ counter_handle!(
     /// of aborting (a worker panicked while holding one; the daemon
     /// keeps serving).
     lock_poisoned, "serve.lock_poisoned");
+counter_handle!(
+    /// `serve.rejected_conns` — connections refused at accept because
+    /// `--max-conns` were already active.
+    rejected_conns, "serve.rejected_conns");
+counter_handle!(
+    /// `serve.timeouts` — connections closed for stalling: a request
+    /// line left incomplete past `--read-timeout-ms`, or a response
+    /// write blocked past `--write-timeout-ms`.
+    timeouts, "serve.timeouts");
+counter_handle!(
+    /// `serve.drained` — in-flight requests that finished during
+    /// graceful shutdown (inside the drain window).
+    drained, "serve.drained");
+counter_handle!(
+    /// `serve.abandoned_requests` — queued requests cancelled because
+    /// their client disconnected before the answer was computed.
+    abandoned_requests, "serve.abandoned_requests");
 
 histogram_handle!(
     /// `serve.request_micros` — wall latency per request, parse to
@@ -52,3 +69,7 @@ histogram_handle!(
 histogram_handle!(
     /// `serve.queue_depth` — queued heavy requests at each admission.
     queue_depth, "serve.queue_depth", COUNT_BUCKETS);
+histogram_handle!(
+    /// `serve.retry_after_ms` — the load-aware `retry_after_ms` hints
+    /// sent with `overloaded` and `shutdown` rejections.
+    retry_after_ms, "serve.retry_after_ms", COUNT_BUCKETS);

@@ -1,24 +1,40 @@
 //! The daemon: accept loop, per-connection readers, and a bounded
-//! worker pool with admission control and deadlines.
+//! worker pool with admission control, deadlines, fairness, and
+//! graceful drain.
 //!
 //! Concurrency shape (plain `std` threads, no async runtime):
 //!
-//! * one **accept thread** takes connections and spawns a reader per
-//!   connection (`serve.connections` counts them);
+//! * one **accept thread** takes connections up to `--max-conns`
+//!   (`serve.connections` counts accepts, `serve.rejected_conns` the
+//!   one-line `overloaded` turn-aways beyond the cap) and spawns a
+//!   reader per connection;
 //! * each **reader** frames request lines. Admin methods (`ping`,
 //!   `workloads`, `flows`, `metrics`, `shutdown`) are answered inline —
 //!   they never queue behind synthesis. Heavy methods (`synth`,
-//!   `batch`, `sweep`, `pareto`) go through a bounded queue; a full
-//!   queue yields an immediate structured `overloaded` rejection with
-//!   `retry_after_ms`, never a hang;
-//! * a fixed pool of **synthesis workers** drains the queue. Every
-//!   worker runs under `catch_unwind`, so a panicking job answers
-//!   `internal` instead of wedging its client;
+//!   `batch`, `sweep`, `pareto`) go through a bounded [`FairQueue`]; a
+//!   full queue yields an immediate structured `overloaded` rejection
+//!   with a load-aware `retry_after_ms`, never a hang. While a job is
+//!   queued the reader keeps watching its socket: a disconnect cancels
+//!   the job (`serve.abandoned_requests`) instead of wedging a worker
+//!   on a client that left. A request line stalled mid-frame past
+//!   `--read-timeout-ms`, or a response write blocked past
+//!   `--write-timeout-ms`, closes the connection (`serve.timeouts`);
+//! * a fixed pool of **synthesis workers** drains the queue round-robin
+//!   across connections, so one flooding client cannot starve a polite
+//!   one. Every worker runs under `catch_unwind`, so a panicking job
+//!   answers `internal` instead of wedging its client;
 //! * per-request `deadline_ms` is checked at admission, at dequeue, and
 //!   between phases of multi-phase work;
-//! * `shutdown` flips one flag; readers and workers poll it on their
-//!   wait timeouts, and the shutdown path self-connects once to unblock
-//!   the accept call.
+//! * `shutdown` starts a **graceful drain**: no new connections or
+//!   requests (rejections carry `retry_after_ms`), in-flight work gets
+//!   `--drain-timeout-ms` to finish (`serve.drained`), and anything
+//!   still queued past the window is answered with a `shutdown` error —
+//!   readers self-answer as a last resort, so no client ever hangs.
+//!
+//! Fault injection: the `serve.conn.read`, `serve.conn.write`, and
+//! `serve.worker.exec` points (see `rchls-chaos` and docs/chaos.md) sit
+//! on the socket reads, response writes, and worker execution paths;
+//! with no plan armed each is one relaxed atomic load.
 //!
 //! All requests share one [`Engine`] session, so its caches (bounded by
 //! the configured [`CacheBudget`](rchls_core::CacheBudget)) and interned
@@ -37,7 +53,7 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -45,23 +61,91 @@ use std::time::{Duration, Instant};
 /// How often blocked readers and workers poll the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
 
-/// The `retry_after_ms` hint sent with `overloaded` rejections.
-const RETRY_AFTER_MS: u64 = 100;
+/// The load-aware `retry_after_ms` hint sent with `overloaded` and
+/// `shutdown` rejections: 25 ms on an idle daemon, climbing linearly to
+/// 225 ms at a full queue. A pure function of load — no clock, no
+/// randomness — so chaos runs replay identically. Every hint issued is
+/// recorded in the `serve.retry_after_ms` histogram.
+fn rejection_hint(queue_len: usize, queue_depth: usize) -> u64 {
+    let hint = 25 + 200 * (queue_len.min(queue_depth) as u64) / (queue_depth.max(1) as u64);
+    obs::retry_after_ms().record(hint);
+    hint
+}
 
-/// One queued heavy request: what to run and where to send the line.
+/// One queued heavy request: what to run, where to send the line, and
+/// the cancel flag the reader flips when its client disconnects.
 struct QueuedJob {
     request: Request,
     deadline: Option<Instant>,
+    conn_id: u64,
+    cancelled: Arc<AtomicBool>,
     reply: mpsc::Sender<String>,
+}
+
+/// The admission queue, round-robin fair across connections: one lane
+/// per connection with queued work, served front-lane-first with the
+/// lane rotated to the back after each dequeue. A connection
+/// pipelining many requests fills its own lane; it cannot push another
+/// connection's single request behind all of them.
+struct FairQueue {
+    lanes: VecDeque<(u64, VecDeque<QueuedJob>)>,
+    len: usize,
+}
+
+impl FairQueue {
+    fn new() -> FairQueue {
+        FairQueue {
+            lanes: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, job: QueuedJob) {
+        self.len += 1;
+        if let Some((_, lane)) = self.lanes.iter_mut().find(|(id, _)| *id == job.conn_id) {
+            lane.push_back(job);
+            return;
+        }
+        let mut lane = VecDeque::new();
+        let conn_id = job.conn_id;
+        lane.push_back(job);
+        self.lanes.push_back((conn_id, lane));
+    }
+
+    fn pop(&mut self) -> Option<QueuedJob> {
+        while let Some((conn_id, mut lane)) = self.lanes.pop_front() {
+            if let Some(job) = lane.pop_front() {
+                self.len -= 1;
+                if !lane.is_empty() {
+                    self.lanes.push_back((conn_id, lane));
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 /// State shared by the accept thread, readers, and workers.
 struct Shared {
     engine: Engine,
-    queue: Mutex<VecDeque<QueuedJob>>,
+    queue: Mutex<FairQueue>,
     available: Condvar,
     queue_depth: usize,
+    max_conns: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    drain_timeout: Duration,
+    /// When the graceful-drain window closes; set once by the first
+    /// `begin_shutdown`.
+    drain_deadline: Mutex<Option<Instant>>,
     shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    next_conn_id: AtomicU64,
     addr: SocketAddr,
 }
 
@@ -87,12 +171,44 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flips the shutdown flag, wakes the workers, and unblocks the
-    /// accept call with one throwaway connection.
+    /// Starts the graceful drain: arms the drain deadline, flips the
+    /// shutdown flag, wakes the workers, and unblocks the accept call
+    /// with one throwaway connection.
     fn begin_shutdown(&self) {
+        {
+            let mut deadline = lock_unpoisoned(&self.drain_deadline);
+            if deadline.is_none() {
+                // rchls-lint: allow(wall-clock, reason = "drain-window anchor; never reaches a deterministic document")
+                *deadline = Some(Instant::now() + self.drain_timeout);
+            }
+        }
         self.shutdown.store(true, Ordering::SeqCst);
         self.available.notify_all();
         let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether the drain window has closed: queued work is now answered
+    /// with `shutdown` errors instead of being computed.
+    fn drain_expired(&self) -> bool {
+        let deadline = *lock_unpoisoned(&self.drain_deadline);
+        // rchls-lint: allow(wall-clock, reason = "drain-window enforcement is inherently wall-time; results never encode it")
+        deadline.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Whether the drain window closed long enough ago (two poll
+    /// periods) that the workers must have exited — the reader's cue to
+    /// self-answer a still-queued job rather than wait forever.
+    fn drain_long_expired(&self) -> bool {
+        let deadline = *lock_unpoisoned(&self.drain_deadline);
+        // rchls-lint: allow(wall-clock, reason = "drain-window enforcement is inherently wall-time; results never encode it")
+        deadline.is_some_and(|at| Instant::now() >= at + 2 * POLL)
+    }
+
+    /// The load-aware `retry_after_ms` hint, for rejections issued
+    /// outside the queue lock.
+    fn retry_hint(&self) -> u64 {
+        let len = lock_unpoisoned(&self.queue).len();
+        rejection_hint(len, self.queue_depth)
     }
 }
 
@@ -128,10 +244,17 @@ impl Server {
         let workers = engine.jobs();
         let shared = Arc::new(Shared {
             engine,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(FairQueue::new()),
             available: Condvar::new(),
             queue_depth: config.queue_depth,
+            max_conns: config.max_conns,
+            read_timeout: Duration::from_millis(config.read_timeout_ms),
+            write_timeout: Duration::from_millis(config.write_timeout_ms),
+            drain_timeout: Duration::from_millis(config.drain_timeout_ms),
+            drain_deadline: Mutex::new(None),
             shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
             addr,
         });
         let worker_handles = (0..workers)
@@ -183,22 +306,81 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.shutting_down() {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        if shared.active_conns.load(Ordering::SeqCst) >= shared.max_conns {
+            // One structured turn-away, then close: the client learns
+            // why and when to retry instead of hanging in a backlog.
+            obs::rejected_conns().incr();
+            let line = protocol::error_line(
+                &Value::Null,
+                ErrorKind::Overloaded,
+                &format!("connection limit ({}) reached", shared.max_conns),
+                Some(shared.retry_hint()),
+            );
+            stream.set_write_timeout(Some(POLL)).ok();
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue;
+        }
         obs::connections().incr();
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(shared);
         std::thread::spawn(move || {
-            let _ = serve_connection(stream, &shared);
+            let _ = serve_connection(stream, conn_id, &shared);
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
         });
     }
 }
 
-/// Frames request lines off one connection until the peer hangs up, the
-/// server shuts down, or a `shutdown` request closes it.
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one response line, with the `serve.conn.write` injection
+/// point applied first (a `disconnect` fault tears the line mid-write).
+/// A write blocked past `--write-timeout-ms` counts as `serve.timeouts`
+/// and closes the connection.
+fn write_response(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    match rchls_chaos::faultpoint!("serve.conn.write") {
+        Some(rchls_chaos::Fault::Disconnect) => {
+            let _ = stream.write_all(&line.as_bytes()[..line.len() / 2]);
+            return Err(rchls_chaos::injected_io_error("serve.conn.write"));
+        }
+        Some(_) => return Err(rchls_chaos::injected_io_error("serve.conn.write")),
+        None => {}
+    }
+    let write = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"));
+    if let Err(e) = &write {
+        if would_block(e) {
+            obs::timeouts().incr();
+        }
+    }
+    write
+}
+
+/// Frames request lines off one connection until the peer hangs up,
+/// stalls past a timeout, the server shuts down, or a `shutdown`
+/// request closes it.
+fn serve_connection(
+    mut stream: TcpStream,
+    conn_id: u64,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(shared.write_timeout))?;
     stream.set_nodelay(true).ok();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // When the buffer last held an incomplete frame with no progress —
+    // the anchor for the read-stall timeout. Idle connections (empty
+    // buffer) never time out.
+    let mut stalled_since: Option<Instant> = None;
     loop {
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
@@ -206,24 +388,49 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
             if line.trim().is_empty() {
                 continue;
             }
-            let (response, keep_going) = handle_line(shared, line.trim());
-            stream.write_all(response.as_bytes())?;
-            stream.write_all(b"\n")?;
-            if !keep_going {
-                return Ok(());
+            match handle_line(shared, conn_id, line.trim()) {
+                Handled::Line { line, keep_going } => {
+                    write_response(&mut stream, &line)?;
+                    if !keep_going {
+                        return Ok(());
+                    }
+                }
+                Handled::Pending(pending) => {
+                    let line = await_pending(&mut stream, &mut buf, shared, pending)?;
+                    write_response(&mut stream, &line)?;
+                }
             }
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
+            Ok(n) => match rchls_chaos::faultpoint!("serve.conn.read") {
+                Some(rchls_chaos::Fault::Disconnect) => return Ok(()),
+                Some(_) => return Err(rchls_chaos::injected_io_error("serve.conn.read")),
+                None => {
+                    stalled_since = None;
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            },
+            Err(e) if would_block(&e) => {
                 if shared.shutting_down() {
                     return Ok(());
+                }
+                if buf.is_empty() {
+                    stalled_since = None;
+                } else {
+                    // rchls-lint: allow(wall-clock, reason = "read-stall timeout anchor; never reaches a deterministic document")
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= shared.read_timeout {
+                        obs::timeouts().incr();
+                        let line = protocol::error_line(
+                            &Value::Null,
+                            ErrorKind::BadRequest,
+                            "request line stalled mid-frame (read timeout)",
+                            None,
+                        );
+                        let _ = write_response(&mut stream, &line);
+                        return Ok(());
+                    }
                 }
             }
             Err(e) => return Err(e),
@@ -231,18 +438,105 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
     }
 }
 
-/// Dispatches one request line; returns the response line and whether
-/// the connection stays open.
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+/// What handling one request line produced: a finished response line,
+/// or a queued heavy job the reader must await while watching its
+/// socket.
+enum Handled {
+    Line { line: String, keep_going: bool },
+    Pending(Pending),
+}
+
+/// A queued heavy request as the reader sees it: the reply channel plus
+/// the cancel flag shared with the worker.
+struct Pending {
+    id: Value,
+    received: Instant,
+    response: mpsc::Receiver<String>,
+    cancelled: Arc<AtomicBool>,
+}
+
+/// Waits for a queued job's response line while watching the socket:
+/// pipelined bytes are buffered for the next frame, a disconnect
+/// cancels the job (`serve.abandoned_requests`) so no worker answers
+/// nobody, and a drain window long past due is self-answered with a
+/// `shutdown` error so the reader cannot hang on workers that already
+/// exited.
+fn await_pending(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &Arc<Shared>,
+    pending: Pending,
+) -> std::io::Result<String> {
+    // The recv timeout is the pacing; the 1 ms read just samples the
+    // socket for EOF and pipelined bytes between waits.
+    stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+    let abandon = |pending: &Pending| {
+        pending.cancelled.store(true, Ordering::SeqCst);
+        obs::abandoned_requests().incr();
+    };
+    let mut chunk = [0u8; 4096];
+    let line = loop {
+        match pending.response.recv_timeout(POLL) {
+            Ok(line) => break line,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break protocol::error_line(
+                    &pending.id,
+                    ErrorKind::Internal,
+                    "worker dropped the request",
+                    None,
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+        if shared.drain_long_expired() {
+            pending.cancelled.store(true, Ordering::SeqCst);
+            break protocol::error_line(
+                &pending.id,
+                ErrorKind::Shutdown,
+                "server shut down before the request completed",
+                Some(shared.retry_hint()),
+            );
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                abandon(&pending);
+                return Err(std::io::Error::other("client disconnected mid-request"));
+            }
+            Ok(n) => match rchls_chaos::faultpoint!("serve.conn.read") {
+                Some(rchls_chaos::Fault::Disconnect) => {
+                    abandon(&pending);
+                    return Err(std::io::Error::other("client disconnected mid-request"));
+                }
+                Some(_) => {
+                    abandon(&pending);
+                    return Err(rchls_chaos::injected_io_error("serve.conn.read"));
+                }
+                None => buf.extend_from_slice(&chunk[..n]),
+            },
+            Err(e) if would_block(&e) => {}
+            Err(e) => {
+                abandon(&pending);
+                return Err(e);
+            }
+        }
+    };
+    stream.set_read_timeout(Some(POLL))?;
+    obs::request_micros().record(pending.received.elapsed().as_micros() as u64);
+    Ok(line)
+}
+
+/// Dispatches one request line; admin methods answer inline, heavy
+/// methods come back as [`Handled::Pending`] for the reader to await.
+fn handle_line(shared: &Arc<Shared>, conn_id: u64, line: &str) -> Handled {
     // rchls-lint: allow(wall-clock, reason = "request latency metric and deadline anchor; never reaches a deterministic document")
     let received = Instant::now();
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
         Err(message) => {
-            return (
-                protocol::error_line(&Value::Null, ErrorKind::BadRequest, &message, None),
-                true,
-            )
+            return Handled::Line {
+                line: protocol::error_line(&Value::Null, ErrorKind::BadRequest, &message, None),
+                keep_going: true,
+            }
         }
     };
     obs::requests().incr();
@@ -265,10 +559,15 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
         .map(|ms| received + Duration::from_millis(ms));
     let id = request.id.clone();
     if shared.shutting_down() && request.method != "shutdown" {
-        return (
-            protocol::error_line(&id, ErrorKind::Shutdown, "server is shutting down", None),
-            false,
-        );
+        return Handled::Line {
+            line: protocol::error_line(
+                &id,
+                ErrorKind::Shutdown,
+                "server is shutting down",
+                Some(shared.retry_hint()),
+            ),
+            keep_going: false,
+        };
     }
     let (response, keep_going) = match request.method.as_str() {
         "ping" => (Ok(ping_result(shared)), true),
@@ -283,7 +582,16 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
             )
         }
         "synth" | "batch" | "sweep" | "pareto" => {
-            (enqueue_and_wait(shared, request, deadline), true)
+            return match admit(shared, conn_id, request, deadline, received) {
+                Ok(pending) => Handled::Pending(pending),
+                Err(line) => {
+                    obs::request_micros().record(received.elapsed().as_micros() as u64);
+                    Handled::Line {
+                        line,
+                        keep_going: true,
+                    }
+                }
+            };
         }
         other => (
             Err(protocol::error_line(
@@ -303,16 +611,19 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
         Err(error_line) => error_line,
     };
     obs::request_micros().record(received.elapsed().as_micros() as u64);
-    (line, keep_going)
+    Handled::Line { line, keep_going }
 }
 
-/// Admission control: reject on a full queue or an already-expired
-/// deadline, otherwise queue the job and wait for its response line.
-fn enqueue_and_wait(
+/// Admission control for heavy methods: reject on an already-expired
+/// deadline or a full queue, otherwise queue the job and hand back the
+/// [`Pending`] the reader awaits.
+fn admit(
     shared: &Arc<Shared>,
+    conn_id: u64,
     request: Request,
     deadline: Option<Instant>,
-) -> Result<Value, String> {
+    received: Instant,
+) -> Result<Pending, String> {
     let id = request.id.clone();
     if expired(deadline) {
         obs::rejected_deadline().incr();
@@ -324,35 +635,35 @@ fn enqueue_and_wait(
         ));
     }
     let (reply, response) = mpsc::channel();
+    let cancelled = Arc::new(AtomicBool::new(false));
     {
         let mut queue = lock_unpoisoned(&shared.queue);
         obs::queue_depth().record(queue.len() as u64);
         if queue.len() >= shared.queue_depth {
             obs::rejected_overloaded().incr();
+            let hint = rejection_hint(queue.len(), shared.queue_depth);
             return Err(protocol::error_line(
                 &id,
                 ErrorKind::Overloaded,
                 &format!("admission queue is full ({} requests queued)", queue.len()),
-                Some(RETRY_AFTER_MS),
+                Some(hint),
             ));
         }
-        queue.push_back(QueuedJob {
+        queue.push(QueuedJob {
             request,
             deadline,
+            conn_id,
+            cancelled: Arc::clone(&cancelled),
             reply,
         });
         shared.available.notify_one();
     }
-    match response.recv() {
-        // The worker's line is complete (ok or error); pass it through.
-        Ok(line) => Err(line),
-        Err(_) => Err(protocol::error_line(
-            &id,
-            ErrorKind::Internal,
-            "worker dropped the request",
-            None,
-        )),
-    }
+    Ok(Pending {
+        id,
+        received,
+        response,
+        cancelled,
+    })
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -360,7 +671,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         let job = {
             let mut queue = lock_unpoisoned(&shared.queue);
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 if shared.shutting_down() {
@@ -376,10 +687,22 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .0;
             }
         };
+        if job.cancelled.load(Ordering::SeqCst) {
+            // The client left; the reader already counted the
+            // abandonment. Don't compute an answer for nobody.
+            continue;
+        }
         let id = job.request.id.clone();
         // Deadline check at dequeue: don't start work that can no
         // longer answer in time.
-        let line = if expired(job.deadline) {
+        let line = if shared.shutting_down() && shared.drain_expired() {
+            protocol::error_line(
+                &id,
+                ErrorKind::Shutdown,
+                "drain window expired before the request ran",
+                Some(shared.retry_hint()),
+            )
+        } else if expired(job.deadline) {
             obs::rejected_deadline().incr();
             protocol::error_line(
                 &id,
@@ -388,7 +711,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 None,
             )
         } else {
-            match catch_unwind(AssertUnwindSafe(|| execute(shared, &job))) {
+            let line = match catch_unwind(AssertUnwindSafe(|| {
+                // Only `panic` and `delay` are cataloged for this
+                // point; an injected panic unwinds to this boundary
+                // like any worker bug would.
+                let _ = rchls_chaos::faultpoint!("serve.worker.exec");
+                execute(shared, &job)
+            })) {
                 Ok(line) => line,
                 Err(_) => protocol::error_line(
                     &id,
@@ -396,7 +725,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                     "synthesis worker panicked",
                     None,
                 ),
+            };
+            if shared.shutting_down() {
+                obs::drained().incr();
             }
+            line
         };
         let _ = job.reply.send(line);
     }
@@ -404,6 +737,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 /// Runs one heavy method to a complete response line.
 fn execute(shared: &Arc<Shared>, job: &QueuedJob) -> String {
+    let _span = span!(match job.request.method.as_str() {
+        "synth" => "serve.exec.synth",
+        "batch" => "serve.exec.batch",
+        "sweep" => "serve.exec.sweep",
+        "pareto" => "serve.exec.pareto",
+        _ => "serve.exec",
+    });
     let id = &job.request.id;
     let params = &job.request.params;
     let bad = |message: &str| protocol::error_line(id, ErrorKind::BadRequest, message, None);
@@ -693,4 +1033,74 @@ fn store_value(engine: &Engine) -> Value {
 
 fn key(k: &str) -> Value {
     Value::Str(k.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(conn_id: u64, tag: &str) -> QueuedJob {
+        let (reply, _keep) = mpsc::channel();
+        std::mem::forget(_keep);
+        QueuedJob {
+            request: Request {
+                id: Value::UInt(1),
+                method: tag.to_owned(),
+                params: Value::Null,
+                deadline_ms: None,
+            },
+            deadline: None,
+            conn_id,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            reply,
+        }
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_connections() {
+        // Connection 1 pipelines three requests before connection 2's
+        // single request arrives; round-robin still alternates lanes,
+        // so conn 2 waits behind one conn-1 job, not all three.
+        let mut queue = FairQueue::new();
+        for tag in ["a1", "a2", "a3"] {
+            queue.push(job(1, tag));
+        }
+        queue.push(job(2, "b1"));
+        queue.push(job(3, "c1"));
+        let order: Vec<String> = std::iter::from_fn(|| queue.pop())
+            .map(|j| j.request.method)
+            .collect();
+        assert_eq!(order, ["a1", "b1", "c1", "a2", "a3"]);
+        assert_eq!(queue.len(), 0);
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn fair_queue_keeps_arrival_order_within_a_connection() {
+        let mut queue = FairQueue::new();
+        queue.push(job(7, "first"));
+        queue.push(job(7, "second"));
+        queue.push(job(7, "third"));
+        assert_eq!(queue.len(), 3);
+        let order: Vec<String> = std::iter::from_fn(|| queue.pop())
+            .map(|j| j.request.method)
+            .collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn rejection_hints_scale_with_load() {
+        // Idle floor, linear climb, full-queue ceiling — and a depth of
+        // zero must not divide by zero.
+        assert_eq!(rejection_hint(0, 8), 25);
+        assert_eq!(rejection_hint(4, 8), 125);
+        assert_eq!(rejection_hint(8, 8), 225);
+        assert_eq!(
+            rejection_hint(99, 8),
+            225,
+            "hints are capped at a full queue"
+        );
+        assert_eq!(rejection_hint(0, 0), 25);
+        assert_eq!(rejection_hint(5, 0), 25);
+    }
 }

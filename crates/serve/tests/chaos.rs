@@ -1,0 +1,212 @@
+//! Fault-injection coverage for the daemon: the `serve.conn.*` and
+//! `serve.worker.exec` points driving the resilience machinery —
+//! retry/reconnect, disconnect cancellation, and the graceful-drain
+//! window — with deterministic triggers instead of sleep-and-hope
+//! timing.
+//!
+//! Lives in its own integration-test binary because an armed fault
+//! plan is process-global: these tests must not share a process with
+//! the main e2e suite. Within the binary they serialize on
+//! [`chaos_lock`].
+
+use rchls_core::SynthJob;
+use rchls_reslib::Library;
+use rchls_serve::{response_error_kind, response_result, Client, ServeConfig, Server};
+use serde::{map_get, Value};
+use std::time::Duration;
+
+/// The fault plane is process-global; tests that arm it must not
+/// overlap.
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn arm(plan: &str) {
+    rchls_chaos::arm(rchls_chaos::FaultPlan::parse(plan).unwrap()).unwrap();
+}
+
+fn point_hits(report: &rchls_chaos::ChaosReport, point: &str) -> u64 {
+    report
+        .points
+        .iter()
+        .find(|p| p.point == point)
+        .map_or(0, |p| p.hits)
+}
+
+fn config(jobs: usize, queue_depth: usize, drain_timeout_ms: u64) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs,
+        queue_depth,
+        drain_timeout_ms,
+        ..ServeConfig::default()
+    }
+}
+
+fn figure4a() -> Value {
+    serde_json::to_value(&SynthJob::new("builtin:figure4a", 6, 4))
+}
+
+#[test]
+fn torn_response_writes_are_survived_by_retries() {
+    let _guard = chaos_lock();
+    arm(r#"{"schema_version": 1, "faults": [
+        {"point": "serve.conn.write", "action": "disconnect", "hits": [1]}
+    ]}"#);
+    let handle = Server::start(config(1, 4, 5_000), Library::table1()).unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    // The first response line is torn mid-write and the connection
+    // dropped; the retry reconnects and the second attempt answers.
+    let pong = client.call_with_retries("ping", None, None, 3).unwrap();
+    assert!(response_result(&pong).is_some());
+    handle.shutdown();
+    handle.join();
+    let report = rchls_chaos::disarm().expect("plan was armed");
+    assert!(
+        point_hits(&report, "serve.conn.write") >= 2,
+        "expected the torn write plus the successful retry: {report:?}"
+    );
+}
+
+#[test]
+fn injected_read_disconnects_are_survived_by_retries() {
+    let _guard = chaos_lock();
+    arm(r#"{"schema_version": 1, "faults": [
+        {"point": "serve.conn.read", "action": "disconnect", "hits": [1]}
+    ]}"#);
+    let handle = Server::start(config(1, 4, 5_000), Library::table1()).unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    // The server "loses" the first request read and closes the
+    // connection without an answer; the client's retry reconnects.
+    let pong = client.call_with_retries("ping", None, None, 3).unwrap();
+    assert!(response_result(&pong).is_some());
+    handle.shutdown();
+    handle.join();
+    let report = rchls_chaos::disarm().expect("plan was armed");
+    assert!(point_hits(&report, "serve.conn.read") >= 2);
+}
+
+#[test]
+fn disconnects_cancel_queued_work_before_it_runs() {
+    let _guard = chaos_lock();
+    // One worker, wedged for 500 ms on its first execution.
+    arm(r#"{"schema_version": 1, "faults": [
+        {"point": "serve.worker.exec", "action": "delay", "ms": 500, "hits": [1]}
+    ]}"#);
+    let handle = Server::start(config(1, 8, 5_000), Library::table1()).unwrap();
+    let addr = handle.addr().to_string();
+
+    // Client A occupies the worker...
+    let a = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            client.call("synth", Some(&figure4a()), None).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    // ...client B queues a second job and disconnects before it runs.
+    {
+        use std::io::Write as _;
+        let mut b = std::net::TcpStream::connect(&addr).unwrap();
+        let line = rchls_serve::protocol::request_line(1, "synth", Some(&figure4a()), None);
+        b.write_all(line.as_bytes()).unwrap();
+        b.write_all(b"\n").unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    } // dropped: B is gone
+
+    // A's delayed answer still arrives, correct.
+    let doc = a.join().unwrap();
+    assert!(response_result(&doc).is_some(), "{doc:?}");
+
+    // The abandonment was counted...
+    let mut client = Client::connect(&addr).unwrap();
+    let doc = client.call("metrics", None, None).unwrap();
+    let text = serde_json::to_string(response_result(&doc).unwrap()).unwrap();
+    assert!(text.contains("serve.abandoned_requests"), "{text}");
+
+    handle.shutdown();
+    handle.join();
+    // ...and the cancelled job never executed: the worker evaluated its
+    // injection point exactly once, for client A.
+    let report = rchls_chaos::disarm().expect("plan was armed");
+    assert_eq!(point_hits(&report, "serve.worker.exec"), 1, "{report:?}");
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_work_within_the_window() {
+    let _guard = chaos_lock();
+    arm(r#"{"schema_version": 1, "faults": [
+        {"point": "serve.worker.exec", "action": "delay", "ms": 300, "hits": [1]}
+    ]}"#);
+    let handle = Server::start(config(1, 8, 5_000), Library::table1()).unwrap();
+    let addr = handle.addr().to_string();
+    let a = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            client.call("synth", Some(&figure4a()), None).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    // Shutdown lands while A's job is mid-flight; the generous drain
+    // window lets it finish with a real answer, not a rejection.
+    let mut admin = Client::connect(&addr).unwrap();
+    let doc = admin.call("shutdown", None, None).unwrap();
+    assert!(response_result(&doc).is_some());
+    let doc = a.join().unwrap();
+    assert!(
+        response_result(&doc).is_some(),
+        "drained work must answer normally: {doc:?}"
+    );
+    handle.join();
+    rchls_chaos::disarm();
+}
+
+#[test]
+fn expired_drain_answers_queued_work_with_shutdown_and_a_hint() {
+    let _guard = chaos_lock();
+    // The worker's first job outlives the 150 ms drain window by far.
+    arm(r#"{"schema_version": 1, "faults": [
+        {"point": "serve.worker.exec", "action": "delay", "ms": 800, "hits": [1]}
+    ]}"#);
+    let handle = Server::start(config(1, 8, 150), Library::table1()).unwrap();
+    let addr = handle.addr().to_string();
+    let a = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            client.call("synth", Some(&figure4a()), None).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    let b = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            client.call("synth", Some(&figure4a()), None).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = Client::connect(&addr).unwrap();
+    let doc = admin.call("shutdown", None, None).unwrap();
+    assert!(response_result(&doc).is_some());
+
+    // Neither job can finish inside the 150 ms window: B is queued
+    // behind the wedged worker and A's own execution outlives the
+    // drain. Both get a structured `shutdown` rejection with a retry
+    // hint — never silence, never a hang on the still-running worker.
+    for handle_ in [b, a] {
+        let doc = handle_.join().unwrap();
+        assert_eq!(response_error_kind(&doc), Some("shutdown"), "{doc:?}");
+        let error = map_get(doc.as_map().unwrap(), "error").unwrap();
+        assert!(
+            map_get(error.as_map().unwrap(), "retry_after_ms").is_some(),
+            "{doc:?}"
+        );
+    }
+    handle.join();
+    rchls_chaos::disarm();
+}

@@ -519,3 +519,111 @@ fn cache_budget_never_changes_responses() {
         handle.join();
     }
 }
+
+#[test]
+fn connection_limit_turns_away_with_structured_overload() {
+    let config = ServeConfig {
+        max_conns: 1,
+        ..ephemeral(1, 4)
+    };
+    let (handle, addr) = start(config);
+    let mut first = Client::connect(&addr).unwrap();
+    let pong = first.call("ping", None, None).unwrap();
+    assert!(response_result(&pong).is_some());
+
+    // The second simultaneous connection gets one structured turn-away
+    // (null id: the daemon answers at accept, before any request line)
+    // with a retry hint, then EOF. Read it raw — writing a request
+    // first would race the close.
+    use std::io::Read as _;
+    let mut second = std::net::TcpStream::connect(&addr).unwrap();
+    let mut text = String::new();
+    second.read_to_string(&mut text).unwrap(); // EOF: the daemon closed it
+    let doc: Value = serde_json::from_str(text.trim_end()).unwrap();
+    assert_eq!(response_error_kind(&doc), Some("overloaded"));
+    assert_eq!(map_get(doc.as_map().unwrap(), "id"), Some(&Value::Null));
+    let error = map_get(doc.as_map().unwrap(), "error").unwrap();
+    assert!(map_get(error.as_map().unwrap(), "retry_after_ms").is_some());
+
+    // Freeing the slot lets the next connection in; retries absorb the
+    // window in which the reader hasn't noticed the disconnect yet.
+    drop(first);
+    let mut third = Client::connect(&addr).unwrap();
+    let pong = third.call_with_retries("ping", None, None, 10).unwrap();
+    assert!(response_result(&pong).is_some(), "slot never freed");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn stalled_request_lines_time_out_but_idle_connections_survive() {
+    use std::io::{Read as _, Write as _};
+    let config = ServeConfig {
+        read_timeout_ms: 100,
+        ..ephemeral(1, 4)
+    };
+    let (handle, addr) = start(config);
+
+    // An idle connection older than the read timeout still works: the
+    // timeout clock only runs while a request line sits incomplete.
+    let mut idle = Client::connect(&addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let pong = idle.call("ping", None, None).unwrap();
+    assert!(response_result(&pong).is_some());
+
+    // A half-sent request line is a stall: after 100 ms the server
+    // answers one structured bad_request and closes the connection.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"{\"v\": 1, \"method\": \"pi").unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("expected a response then EOF, got {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.contains("bad_request"), "{text}");
+    assert!(text.contains("read timeout"), "{text}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn client_assembles_split_frame_responses() {
+    use std::io::{Read as _, Write as _};
+    // A raw fake daemon that reads one request line, then dribbles the
+    // response out one byte at a time: the client must assemble the
+    // frame, not assume whole-line reads.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut seen = Vec::new();
+        let mut byte = [0u8; 1];
+        while !seen.contains(&b'\n') {
+            assert_eq!(stream.read(&mut byte).unwrap(), 1);
+            seen.push(byte[0]);
+        }
+        let response = b"{\"v\": 1, \"id\": 1, \"ok\": true, \"result\": {\"pong\": true}}\n";
+        for &b in response.iter() {
+            stream.write_all(&[b]).unwrap();
+            stream.flush().unwrap();
+        }
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let doc = client.call("ping", None, None).unwrap();
+    let result = response_result(&doc).expect("split-frame response assembles");
+    assert_eq!(
+        map_get(result.as_map().unwrap(), "pong"),
+        Some(&Value::Bool(true))
+    );
+    server.join().unwrap();
+}

@@ -124,6 +124,15 @@ pub struct StoreStats {
     pub checkpoints: u64,
 }
 
+/// Monotone process-wide sequence for unique tmp/quarantine names
+/// (combined with the process id, so concurrent processes on the same
+/// store never collide). Deliberately process-wide rather than
+/// per-instance: two `ResultStore` handles to the same root in one
+/// process share the pid, and per-instance counters both starting at 0
+/// would mint the same scratch name and truncate each other's
+/// in-flight writes.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// A content-addressed result store rooted at one directory.
 ///
 /// All methods take `&self`; the store is safe to share across threads
@@ -131,10 +140,6 @@ pub struct StoreStats {
 #[derive(Debug)]
 pub struct ResultStore {
     root: PathBuf,
-    /// Monotone per-process sequence for unique tmp/quarantine names
-    /// (combined with the process id, so concurrent processes on the
-    /// same store never collide).
-    seq: AtomicU64,
 }
 
 impl ResultStore {
@@ -150,10 +155,7 @@ impl ResultStore {
             let dir = root.join(sub);
             std::fs::create_dir_all(&dir).map_err(|e| StoreError::new("open", &dir, e))?;
         }
-        Ok(ResultStore {
-            root,
-            seq: AtomicU64::new(0),
-        })
+        Ok(ResultStore { root })
     }
 
     /// The store's root directory.
@@ -172,10 +174,10 @@ impl ResultStore {
             .join(format!("{hex}.json"))
     }
 
-    /// A unique scratch file name (process id + per-process sequence —
+    /// A unique scratch file name (process id + process-wide sequence —
     /// no clocks or randomness, so writes stay deterministic to trace).
     fn scratch_name(&self, hex: &str, ext: &str) -> String {
-        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let n = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
         format!("{hex}.{}.{n}.{ext}", std::process::id())
     }
 
@@ -285,7 +287,7 @@ impl ResultStore {
     }
 
     fn load_file(&self, path: &Path, key: u64) -> Lookup {
-        let text = match std::fs::read_to_string(path) {
+        let mut text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
             // Unreadable (permissions, not UTF-8, a directory in the
@@ -295,6 +297,18 @@ impl ResultStore {
                 return Lookup::Quarantined;
             }
         };
+        match rchls_chaos::faultpoint!("store.read") {
+            // A torn read hands validation half the file; the length
+            // framing must reject it.
+            Some(rchls_chaos::Fault::Torn) => text.truncate(text.len() / 2),
+            // Any other injected fault behaves like the unreadable-file
+            // arm above.
+            Some(_) => {
+                self.quarantine_file(path);
+                return Lookup::Quarantined;
+            }
+            None => {}
+        }
         match validate_entry(&text, key) {
             Ok(payload) => Lookup::Hit(payload.to_owned()),
             Err(_) => {
@@ -319,10 +333,26 @@ impl ResultStore {
             .join(self.scratch_name(&format!("{key:016x}"), "tmp"));
         let write = |tmp: &Path| -> std::io::Result<()> {
             let mut f = std::fs::File::create(tmp)?;
+            match rchls_chaos::faultpoint!("store.write") {
+                // A torn write: intact header, payload cut short, no
+                // terminator — then published as if nothing happened.
+                // The reader's length framing must quarantine it.
+                Some(rchls_chaos::Fault::Torn) => {
+                    f.write_all(header_line.as_bytes())?;
+                    f.write_all(b"\n")?;
+                    f.write_all(&payload.as_bytes()[..payload.len() / 2])?;
+                    return f.sync_all();
+                }
+                Some(_) => return Err(rchls_chaos::injected_io_error("store.write")),
+                None => {}
+            }
             f.write_all(header_line.as_bytes())?;
             f.write_all(b"\n")?;
             f.write_all(payload.as_bytes())?;
             f.write_all(b"\n")?;
+            if rchls_chaos::faultpoint!("store.write.fsync").is_some() {
+                return Err(rchls_chaos::injected_io_error("store.write.fsync"));
+            }
             f.sync_all()
         };
         if let Err(e) = write(&tmp) {
@@ -331,6 +361,14 @@ impl ResultStore {
         }
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent).map_err(|e| StoreError::new("save", parent, e))?;
+        }
+        if rchls_chaos::faultpoint!("store.write.rename").is_some() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::new(
+                "save",
+                path,
+                rchls_chaos::injected_io_error("store.write.rename"),
+            ));
         }
         std::fs::rename(&tmp, path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
@@ -619,6 +657,73 @@ mod tests {
         });
         assert_eq!((report.examined, report.evicted), (1, 0));
         assert_eq!(store.keys(), vec![2]);
+    }
+
+    #[test]
+    fn two_handles_to_one_root_never_collide_on_scratch_names() {
+        // Regression: the scratch sequence used to be per-instance, so
+        // two handles in one process (same pid, both counting 0, 1, ...)
+        // could mint the same tmp name and truncate each other's
+        // in-flight writes. The sequence is process-wide now; racing
+        // handles must always publish valid entries.
+        let root = scratch("two-handles");
+        let a = std::sync::Arc::new(ResultStore::open(&root).unwrap());
+        let b = std::sync::Arc::new(ResultStore::open(&root).unwrap());
+        let payload = format!("{{\"x\": \"{}\"}}", "y".repeat(4096));
+        let spawn = |store: std::sync::Arc<ResultStore>, payload: String| {
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    store.save(7, &payload).unwrap();
+                }
+            })
+        };
+        let ta = spawn(a.clone(), payload.clone());
+        let tb = spawn(b, payload.clone());
+        ta.join().unwrap();
+        tb.join().unwrap();
+        // Same deterministic content from both writers: whoever won,
+        // the published entry must validate and match.
+        assert_eq!(a.load(7), Lookup::Hit(payload));
+        assert_eq!(a.stats().quarantined, 0);
+        // No stranded tmp files either.
+        assert_eq!(count_files(&root.join("tmp")), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_key_leave_a_valid_entry() {
+        // First-writer-wins under the race: with *different* payloads
+        // racing on one key, the survivor must be exactly one writer's
+        // bytes, never an interleaving.
+        let root = scratch("racing-writers");
+        let store = std::sync::Arc::new(ResultStore::open(&root).unwrap());
+        let payloads: Vec<String> = (0..4)
+            .map(|i| format!("{{\"writer\": {i}, \"pad\": \"{}\"}}", "z".repeat(2048)))
+            .collect();
+        let threads: Vec<_> = payloads
+            .iter()
+            .map(|p| {
+                let store = store.clone();
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        store.save(9, &p).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        match store.load(9) {
+            Lookup::Hit(survivor) => {
+                assert!(
+                    payloads.contains(&survivor),
+                    "survivor must be one writer's payload, not a mix"
+                );
+            }
+            other => panic!("expected a valid entry, got {other:?}"),
+        }
+        assert_eq!(store.stats().quarantined, 0);
     }
 
     #[test]
